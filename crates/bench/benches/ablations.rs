@@ -1,0 +1,175 @@
+//! Ablations: the design choices DESIGN.md attributes the paper's results
+//! to, each isolated.
+//!
+//! * `set_encoding` — NoSQL-DWARF (edges in `set<int>`) vs MySQL-DWARF
+//!   (edge tables): what the collection type saves.
+//! * `secondary_index` — NoSQL cell table with vs without the two indexes:
+//!   what makes NoSQL-Min lose Table 5.
+//! * `coalescing` — DWARF vs fully-materialized (suffix sharing disabled):
+//!   what the DWARF structure itself saves.
+//! * `prepared_vs_text` — executing prepared statements vs rendering +
+//!   parsing CQL text per statement.
+//! * `insert_batch` — MySQL per-row statements vs multi-row inserts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_bench::prepare_dataset;
+use sc_core::models::{
+    ModelKind, MysqlMinModel, NosqlDwarfModel, NosqlMinModel, SchemaModel,
+};
+use sc_core::MappedDwarf;
+use sc_dwarf::builder::{build_with_options, BuildOptions};
+use sc_dwarf::{CubeSchema, Dwarf, TupleSet};
+use sc_ingest::Window;
+
+const SCALE: f64 = 0.01;
+
+fn bench_set_encoding(c: &mut Criterion) {
+    let dataset = prepare_dataset(Window::Day, SCALE, false);
+    let mapped = MappedDwarf::new(&dataset.cube);
+    println!("\nablation set_encoding (sizes at scale {SCALE}):");
+    for kind in [ModelKind::NosqlDwarf, ModelKind::MysqlDwarf] {
+        let mut model = kind.build().expect("schema");
+        let r = model.store(&mapped, &dataset.cube, false).expect("store");
+        println!("  {:<12} {}", kind.label(), r.size);
+    }
+    let mut group = c.benchmark_group("ablation/set_encoding_store");
+    group.sample_size(10);
+    for kind in [ModelKind::NosqlDwarf, ModelKind::MysqlDwarf] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut model = kind.build().expect("schema");
+                    model.store(&mapped, &dataset.cube, false).expect("store")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_secondary_index(c: &mut Criterion) {
+    let dataset = prepare_dataset(Window::Day, SCALE, false);
+    let mapped = MappedDwarf::new(&dataset.cube);
+    let mut group = c.benchmark_group("ablation/secondary_index");
+    group.sample_size(10);
+    // With the two indexes (NoSQL-Min as designed)...
+    group.bench_function("with_indexes", |b| {
+        b.iter(|| {
+            let mut model = NosqlMinModel::in_memory();
+            model.create_schema().expect("schema");
+            model.store(&mapped, &dataset.cube, false).expect("store")
+        })
+    });
+    // ...vs the same cell layout with no indexes (NosqlDwarf's cell table
+    // has no secondary indexes; here we reuse NoSQL-DWARF as the
+    // no-secondary-index reference storing strictly more rows).
+    group.bench_function("without_indexes_(nosql_dwarf)", |b| {
+        b.iter(|| {
+            let mut model = NosqlDwarfModel::in_memory();
+            model.create_schema().expect("schema");
+            model.store(&mapped, &dataset.cube, false).expect("store")
+        })
+    });
+    group.finish();
+}
+
+fn bench_coalescing(c: &mut Criterion) {
+    // Small synthetic cube; disabling sharing explodes superlinearly.
+    fn tuples(schema: &CubeSchema) -> TupleSet {
+        let mut ts = TupleSet::new(schema);
+        for i in 0..300usize {
+            let row: Vec<String> = (0..4)
+                .map(|k| format!("v{}", (i * (k * 5 + 2)) % (4 + k)))
+                .collect();
+            ts.push(row.iter().map(String::as_str), i as i64);
+        }
+        ts
+    }
+    let schema = CubeSchema::new(["a", "b", "c", "d"], "m");
+    let shared = Dwarf::build(schema.clone(), tuples(&schema));
+    let copied = build_with_options(
+        schema.clone(),
+        tuples(&schema),
+        BuildOptions {
+            suffix_coalescing: false,
+        },
+    );
+    println!(
+        "\nablation coalescing: shared={} nodes / {} cells, materialized={} nodes / {} cells",
+        shared.node_count(),
+        shared.cell_count(),
+        copied.node_count(),
+        copied.cell_count()
+    );
+    let mut group = c.benchmark_group("ablation/coalescing_build");
+    group.sample_size(10);
+    group.bench_function("suffix_coalescing_on", |b| {
+        b.iter(|| Dwarf::build(schema.clone(), tuples(&schema)).node_count())
+    });
+    group.bench_function("suffix_coalescing_off", |b| {
+        b.iter(|| {
+            build_with_options(
+                schema.clone(),
+                tuples(&schema),
+                BuildOptions {
+                    suffix_coalescing: false,
+                },
+            )
+            .node_count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_prepared_vs_text(c: &mut Criterion) {
+    let dataset = prepare_dataset(Window::Day, SCALE, false);
+    let mapped = MappedDwarf::new(&dataset.cube);
+    let mut group = c.benchmark_group("ablation/prepared_vs_text");
+    group.sample_size(10);
+    group.bench_function("prepared_statements", |b| {
+        b.iter(|| {
+            let mut model = NosqlDwarfModel::in_memory();
+            model.create_schema().expect("schema");
+            model.store(&mapped, &dataset.cube, false).expect("store")
+        })
+    });
+    group.bench_function("cql_text_roundtrip", |b| {
+        b.iter(|| {
+            let mut model = NosqlDwarfModel::in_memory();
+            model.create_schema().expect("schema");
+            model
+                .store_via_text(&mapped, &dataset.cube, false)
+                .expect("store")
+        })
+    });
+    group.finish();
+}
+
+fn bench_insert_batch(c: &mut Criterion) {
+    let dataset = prepare_dataset(Window::Day, SCALE, false);
+    let mapped = MappedDwarf::new(&dataset.cube);
+    let mut group = c.benchmark_group("ablation/mysql_insert_batch");
+    group.sample_size(10);
+    for batch in [1usize, 20, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let mut model = MysqlMinModel::in_memory().with_insert_batch(batch);
+                model.create_schema().expect("schema");
+                model.store(&mapped, &dataset.cube, false).expect("store")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_set_encoding,
+    bench_secondary_index,
+    bench_coalescing,
+    bench_prepared_vs_text,
+    bench_insert_batch
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! DWARF construction scaling: build time and structure size vs input
+//! size and dimensionality. Not a paper table, but the substrate cost every
+//! experiment sits on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sc_datagen::{BikesGenerator, DatasetSpec};
+use sc_dwarf::{CubeSchema, Dwarf, TupleSet};
+use sc_ingest::Window;
+
+fn bench_build_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dwarf/build_bikes");
+    group.sample_size(10);
+    for scale in [0.01, 0.05, 0.1] {
+        let spec = DatasetSpec::for_window(Window::Day).scaled_spec(scale);
+        let n = spec.target_tuples;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            let def = BikesGenerator::cube_def();
+            b.iter(|| {
+                let tuples = BikesGenerator::tuples(spec.clone());
+                Dwarf::build(def.schema(), tuples).node_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_by_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dwarf/build_by_dimensionality");
+    group.sample_size(10);
+    for d in [2usize, 4, 8] {
+        let dims: Vec<String> = (0..d).map(|i| format!("d{i}")).collect();
+        let schema = CubeSchema::new(dims, "m");
+        group.bench_with_input(BenchmarkId::from_parameter(d), &schema, |b, schema| {
+            b.iter(|| {
+                let mut ts = TupleSet::new(schema);
+                for i in 0..2000usize {
+                    let row: Vec<String> = (0..d)
+                        .map(|k| format!("v{}", (i * (k * 7 + 3)) % (5 + k)))
+                        .collect();
+                    ts.push(row.iter().map(String::as_str), i as i64);
+                }
+                Dwarf::build(schema.clone(), ts).cell_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_vs_groupby(c: &mut Criterion) {
+    let spec = DatasetSpec::for_window(Window::Day).scaled_spec(0.1);
+    let def = BikesGenerator::cube_def();
+    let cube = Dwarf::build(def.schema(), BikesGenerator::tuples(spec));
+    let mut group = c.benchmark_group("dwarf/query");
+    use sc_dwarf::Selection;
+    let full = vec![
+        Selection::value("2015"),
+        Selection::value("11"),
+        Selection::value("01"),
+        Selection::value("08"),
+        Selection::value("Dublin 2"),
+        Selection::value("Portobello"),
+        Selection::value("open"),
+        Selection::value("30"),
+    ];
+    let rollup = vec![Selection::All; 8];
+    group.bench_function("fully_specified_point", |b| {
+        b.iter(|| cube.point(&full))
+    });
+    group.bench_function("grand_total_all_dims", |b| {
+        b.iter(|| cube.point(&rollup))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build_by_size,
+    bench_build_by_dims,
+    bench_point_vs_groupby
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Query latency: in-memory DWARF vs store-backed traversal vs full
+//! rebuild — the retrieval side the paper defers to future work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::prepare_dataset;
+use sc_core::models::{NosqlDwarfModel, NosqlMinModel, SchemaModel};
+use sc_core::{MappedDwarf, MinStoreBackedCube, StoreBackedCube};
+use sc_dwarf::Selection;
+use sc_ingest::Window;
+
+fn bench_queries(c: &mut Criterion) {
+    let dataset = prepare_dataset(Window::Day, 0.02, false);
+    let cube = &dataset.cube;
+    let mapped = MappedDwarf::new(cube);
+    let mut model = NosqlDwarfModel::in_memory();
+    model.create_schema().expect("schema");
+    let report = model.store(&mapped, cube, false).expect("store");
+    let schema_id = report.schema_id;
+
+    let sel = vec![
+        Selection::value("2015"),
+        Selection::value("11"),
+        Selection::All,
+        Selection::All,
+        Selection::value("Dublin 2"),
+        Selection::All,
+        Selection::All,
+        Selection::All,
+    ];
+
+    // The Min layout for the node-reconstruction comparison (§5.1's
+    // anticipated query-time cost of dropping the Node construct).
+    let mut min_model = NosqlMinModel::in_memory();
+    min_model.create_schema().expect("schema");
+    let min_report = min_model.store(&mapped, cube, false).expect("store");
+    let min_id = min_report.schema_id;
+
+    let mut group = c.benchmark_group("query/point");
+    group.bench_function("in_memory_dwarf", |b| b.iter(|| cube.point(&sel)));
+    group.bench_function("store_backed_traversal_(nosql_dwarf)", |b| {
+        b.iter(|| {
+            let mut sbc = StoreBackedCube::open(&mut model, schema_id).expect("open");
+            sbc.point(&sel).expect("query")
+        })
+    });
+    group.bench_function("node_reconstruction_(nosql_min)", |b| {
+        b.iter(|| {
+            let mut sbc = MinStoreBackedCube::open(&mut min_model, min_id).expect("open");
+            sbc.point(&sel).expect("query")
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("query/rebuild_full_cube");
+    group.sample_size(10);
+    group.bench_function("nosql_dwarf_rebuild", |b| {
+        b.iter(|| model.rebuild(schema_id).expect("rebuild").tuple_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

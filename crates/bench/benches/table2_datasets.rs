@@ -1,0 +1,63 @@
+//! Table 2 bench: dataset generation and ingest cost per window.
+//!
+//! Measures (a) raw feed generation, (b) generation + XML parsing +
+//! extraction — the ETL front half of the pipeline. Windows run at 2% of
+//! the paper's tuple counts so the bench suite stays fast; `repro -- table2`
+//! prints the catalog at any scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sc_datagen::{BikesGenerator, DatasetSpec};
+use sc_dwarf::TupleSet;
+use sc_ingest::extract::{extract_into, ParsedDoc};
+use sc_ingest::{MissingPolicy, Window};
+
+const SCALE: f64 = 0.02;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/generate_xml");
+    group.sample_size(10);
+    for window in [Window::Day, Window::Week] {
+        let spec = DatasetSpec::for_window(window).scaled_spec(SCALE);
+        group.throughput(Throughput::Elements(spec.target_tuples as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let bytes: usize = BikesGenerator::new(spec.clone())
+                        .map(|s| s.xml.len())
+                        .sum();
+                    bytes
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/parse_and_extract");
+    group.sample_size(10);
+    for window in [Window::Day, Window::Week] {
+        let spec = DatasetSpec::for_window(window).scaled_spec(SCALE);
+        // Pre-render the feed so only parse+extract is timed.
+        let docs: Vec<String> = BikesGenerator::new(spec.clone()).map(|s| s.xml).collect();
+        let def = BikesGenerator::cube_def();
+        group.throughput(Throughput::Elements(spec.target_tuples as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(window), &docs, |b, docs| {
+            b.iter(|| {
+                let mut tuples = TupleSet::new(&def.schema());
+                for doc in docs {
+                    let parsed = ParsedDoc::parse(def.format, doc).expect("well-formed");
+                    extract_into(&def, &parsed, &mut tuples, MissingPolicy::Fail)
+                        .expect("extraction");
+                }
+                tuples.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 4 bench: storage size per schema model.
+//!
+//! Size is deterministic per dataset, so this bench measures the *work* of
+//! producing the stored bytes (store + flush) and prints the resulting
+//! sizes once so criterion output doubles as a Table 4 row at bench scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_bench::prepare_dataset;
+use sc_core::models::ModelKind;
+use sc_core::MappedDwarf;
+use sc_ingest::Window;
+
+const SCALE: f64 = 0.02;
+
+fn bench_storage(c: &mut Criterion) {
+    let dataset = prepare_dataset(Window::Day, SCALE, false);
+    let mapped = MappedDwarf::new(&dataset.cube);
+    // Print the Table 4 row once.
+    println!("\nTable 4 at scale {SCALE} ({} facts):", dataset.cube.tuple_count());
+    for kind in ModelKind::ALL {
+        let mut model = kind.build().expect("schema");
+        let report = model.store(&mapped, &dataset.cube, false).expect("store");
+        println!("  {:<12} {:>12}", kind.label(), report.size.to_string());
+    }
+    let mut group = c.benchmark_group("table4/store_and_flush");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut model = kind.build().expect("schema");
+                    let report = model.store(&mapped, &dataset.cube, false).expect("store");
+                    report.size.as_bytes()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

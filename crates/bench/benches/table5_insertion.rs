@@ -1,0 +1,45 @@
+//! Table 5 bench: insertion time per schema model, Day and Week windows.
+//!
+//! The timed section is exactly the paper's: executing the bulk-insert
+//! statements against a freshly created schema (model construction and
+//! cube mapping are outside the measurement, matching `StoreReport::elapsed`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sc_bench::prepare_dataset;
+use sc_core::models::ModelKind;
+use sc_core::MappedDwarf;
+use sc_ingest::Window;
+
+const SCALE: f64 = 0.02;
+
+fn bench_insertion(c: &mut Criterion) {
+    for window in [Window::Day, Window::Week] {
+        let dataset = prepare_dataset(window, SCALE, false);
+        let mapped = MappedDwarf::new(&dataset.cube);
+        let mut group = c.benchmark_group(format!("table5/insert/{window}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(mapped.cell_count() as u64));
+        for kind in ModelKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.label()),
+                &kind,
+                |b, &kind| {
+                    b.iter_custom(|iters| {
+                        let mut total = std::time::Duration::ZERO;
+                        for _ in 0..iters {
+                            let mut model = kind.build().expect("schema");
+                            let report =
+                                model.store(&mapped, &dataset.cube, false).expect("store");
+                            total += report.elapsed;
+                        }
+                        total
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_insertion);
+criterion_main!(benches);

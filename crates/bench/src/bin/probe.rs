@@ -1,0 +1,31 @@
+//! Scaling probe: per-model insert time vs dataset size (diagnostics).
+use sc_bench::{prepare_dataset, run_model};
+use sc_core::models::ModelKind;
+use sc_ingest::Window;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let windows = if args.len() > 1 { Window::ALL.to_vec() } else { vec![Window::Day, Window::Week] };
+    for window in windows {
+        let d = prepare_dataset(window, scale, false);
+        eprintln!(
+            "{} scale {scale}: {} tuples, {} nodes, {} cells",
+            window,
+            d.cube.tuple_count(),
+            d.cube.node_count(),
+            d.cube.cell_count()
+        );
+        for kind in ModelKind::ALL {
+            let t0 = std::time::Instant::now();
+            let r = run_model(kind, &d.cube);
+            eprintln!(
+                "  {:<12} insert={:>8.1}ms total={:>8.1}ms size={}",
+                kind.label(),
+                r.elapsed.as_secs_f64() * 1000.0,
+                t0.elapsed().as_secs_f64() * 1000.0,
+                r.size
+            );
+        }
+    }
+}

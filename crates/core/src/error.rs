@@ -1,0 +1,51 @@
+//! Errors of the mapping layer.
+
+use sc_nosql::NosqlError;
+use sc_relational::SqlError;
+use std::fmt;
+
+/// Anything that can go wrong storing or rebuilding a cube.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The NoSQL engine failed.
+    Nosql(NosqlError),
+    /// The relational engine failed.
+    Sql(SqlError),
+    /// Stored records are inconsistent (dangling ids, missing schema row).
+    Inconsistent(String),
+    /// The requested schema id does not exist in the store.
+    UnknownSchema(i64),
+    /// A cube used the reserved ALL key as a real dimension value.
+    ReservedKey(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nosql(e) => write!(f, "NoSQL store: {e}"),
+            CoreError::Sql(e) => write!(f, "relational store: {e}"),
+            CoreError::Inconsistent(m) => write!(f, "inconsistent store: {m}"),
+            CoreError::UnknownSchema(id) => write!(f, "no stored DWARF schema with id {id}"),
+            CoreError::ReservedKey(k) => {
+                write!(f, "dimension value {k:?} collides with the reserved ALL key")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<NosqlError> for CoreError {
+    fn from(e: NosqlError) -> Self {
+        CoreError::Nosql(e)
+    }
+}
+
+impl From<SqlError> for CoreError {
+    fn from(e: SqlError) -> Self {
+        CoreError::Sql(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,53 @@
+//! # sc-core
+//!
+//! The paper's contribution: a **bi-directional mapping between in-memory
+//! DWARF cubes and database storage**, in the four physical schemas the
+//! evaluation compares (§5):
+//!
+//! | Model | Store | Layout |
+//! |---|---|---|
+//! | [`models::NosqlDwarfModel`] | `sc-nosql` | Table 1: `DWARF_Schema` + `DWARF_Node` (with `set<int>` edges) + `DWARF_Cell` |
+//! | [`models::NosqlMinModel`]   | `sc-nosql` | Table 3: cube + cell only, two secondary indexes |
+//! | [`models::MysqlDwarfModel`] | `sc-relational` | Figure 4: `NODE`/`CELL` + `NODE_CHILDREN`/`CELL_CHILDREN` edge tables |
+//! | [`models::MysqlMinModel`]   | `sc-relational` | MySQL port of the Min layout |
+//!
+//! The forward direction ([`mapping::MappedDwarf`] + each model's `store`)
+//! walks the DWARF breadth-first with a visited-lookup table — nodes are
+//! multi-parented, so each is transformed exactly once (§4) — generating
+//! insert statements executed in bulk. The reverse direction (`rebuild`)
+//! reads the records back and reconstructs a [`sc_dwarf::Dwarf`] that is
+//! *identical* to the original (property-tested). [`store_query`] answers
+//! point queries directly from stored rows without a full rebuild.
+//!
+//! ```
+//! use sc_core::models::{NosqlDwarfModel, SchemaModel};
+//! use sc_core::mapping::MappedDwarf;
+//! use sc_dwarf::{CubeSchema, Dwarf, TupleSet, Selection};
+//!
+//! let schema = CubeSchema::new(["country", "station"], "bikes");
+//! let mut ts = TupleSet::new(&schema);
+//! ts.push(["Ireland", "Fenian St"], 3);
+//! let cube = Dwarf::build(schema, ts);
+//!
+//! let mut model = NosqlDwarfModel::in_memory();
+//! model.create_schema().unwrap();
+//! let stored = model.store(&MappedDwarf::new(&cube), &cube, false).unwrap();
+//! let back = model.rebuild(stored.schema_id).unwrap();
+//! assert_eq!(back.extract_tuples(), cube.extract_tuples());
+//! ```
+
+pub mod error;
+pub mod mapping;
+pub mod models;
+pub mod pipeline;
+pub mod store_query;
+pub mod transform;
+
+pub use error::CoreError;
+pub use mapping::{MappedDwarf, ALL_KEY};
+pub use models::{
+    ModelKind, MysqlDwarfModel, MysqlMinModel, NosqlDwarfModel, NosqlMinModel, SchemaModel,
+    StoreReport,
+};
+pub use pipeline::CubeWarehouse;
+pub use store_query::{MinStoreBackedCube, StoreBackedCube};

@@ -1,0 +1,153 @@
+//! The four evaluated schema models (§5 of the paper).
+//!
+//! Every model implements [`SchemaModel`]: create the physical schema once,
+//! then `store` mapped cubes (bulk insert, timed — Table 5), measure `size`
+//! (Table 4) and `rebuild` cubes back (the bi-directional mapping).
+
+pub mod mysql_dwarf;
+mod mysql_min;
+mod nosql_dwarf;
+mod nosql_min;
+
+pub use mysql_dwarf::MysqlDwarfModel;
+pub use mysql_min::MysqlMinModel;
+pub use nosql_dwarf::NosqlDwarfModel;
+pub use nosql_min::NosqlMinModel;
+
+use crate::error::Result;
+use crate::mapping::MappedDwarf;
+use sc_dwarf::Dwarf;
+use sc_encoding::ByteSize;
+use std::time::Duration;
+
+/// Which of the paper's four schemas a model implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Table 1 layout on the NoSQL engine (the paper's proposal).
+    NosqlDwarf,
+    /// Table 3 layout on the NoSQL engine (+2 secondary indexes).
+    NosqlMin,
+    /// Figure 4 layout on the relational engine.
+    MysqlDwarf,
+    /// Table 3's layout ported to the relational engine.
+    MysqlMin,
+}
+
+impl ModelKind {
+    /// All four, in the paper's table row order.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::MysqlDwarf,
+        ModelKind::MysqlMin,
+        ModelKind::NosqlDwarf,
+        ModelKind::NosqlMin,
+    ];
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::NosqlDwarf => "NoSQL-DWARF",
+            ModelKind::NosqlMin => "NoSQL-Min",
+            ModelKind::MysqlDwarf => "MySQL-DWARF",
+            ModelKind::MysqlMin => "MySQL-Min",
+        }
+    }
+
+    /// Creates a fresh in-memory model of this kind with its schema created.
+    pub fn build(self) -> Result<Box<dyn SchemaModel>> {
+        let mut model: Box<dyn SchemaModel> = match self {
+            ModelKind::NosqlDwarf => Box::new(NosqlDwarfModel::in_memory()),
+            ModelKind::NosqlMin => Box::new(NosqlMinModel::in_memory()),
+            ModelKind::MysqlDwarf => Box::new(MysqlDwarfModel::in_memory()),
+            ModelKind::MysqlMin => Box::new(MysqlMinModel::in_memory()),
+        };
+        model.create_schema()?;
+        Ok(model)
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome of storing one cube.
+#[derive(Debug, Clone)]
+pub struct StoreReport {
+    /// Id assigned to the stored schema/cube.
+    pub schema_id: i64,
+    /// Node rows written (0 for the Min layouts).
+    pub node_rows: usize,
+    /// Cell rows written.
+    pub cell_rows: usize,
+    /// Statements executed during the bulk insert.
+    pub statements: usize,
+    /// Wall-clock time of the insert phase (Table 5's measurement).
+    pub elapsed: Duration,
+    /// Store size after flushing (Table 4's measurement).
+    pub size: ByteSize,
+}
+
+/// A physical schema that can store and rebuild DWARF cubes.
+pub trait SchemaModel {
+    /// Which schema this is.
+    fn kind(&self) -> ModelKind;
+
+    /// Creates keyspaces/databases, tables and indexes. Call once.
+    fn create_schema(&mut self) -> Result<()>;
+
+    /// Stores a mapped cube in bulk, returning id, timing and size.
+    ///
+    /// `is_cube` is the paper's flag distinguishing a full DWARF schema from
+    /// a sub-cube produced by querying one.
+    fn store(
+        &mut self,
+        mapped: &MappedDwarf,
+        cube: &Dwarf,
+        is_cube: bool,
+    ) -> Result<StoreReport>;
+
+    /// Rebuilds a stored cube (the reverse mapping).
+    fn rebuild(&mut self, schema_id: i64) -> Result<Dwarf>;
+
+    /// Total on-disk size of the store right now (flushes first).
+    fn size(&mut self) -> Result<ByteSize>;
+}
+
+/// Id-space separation between stored schemas: record ids are
+/// `schema_id * ID_SPAN + mapped id`, so many cubes can share the single-id
+/// primary keys the paper's Table 1/3 layouts use.
+pub const ID_SPAN: i64 = 10_000_000_000;
+
+/// Offsets a mapped id into a schema's id space.
+pub fn offset_id(schema_id: i64, mapped_id: i64) -> i64 {
+    schema_id * ID_SPAN + mapped_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_rows() {
+        let labels: Vec<&str> = ModelKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["MySQL-DWARF", "MySQL-Min", "NoSQL-DWARF", "NoSQL-Min"]
+        );
+    }
+
+    #[test]
+    fn id_spaces_do_not_collide() {
+        assert!(offset_id(1, ID_SPAN - 1) < offset_id(2, 1));
+        assert_eq!(offset_id(3, 7), 3 * ID_SPAN + 7);
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in ModelKind::ALL {
+            let model = kind.build().unwrap();
+            assert_eq!(model.kind(), kind);
+        }
+    }
+}

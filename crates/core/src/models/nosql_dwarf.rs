@@ -1,0 +1,515 @@
+//! The paper's proposed model: Table 1 on the NoSQL engine.
+//!
+//! Three column families — `DWARF_Schema`, `DWARF_Node`, `DWARF_Cell` —
+//! with one primary-key index each and **no secondary indexes**. Node→cell
+//! relationships live in `set<int>` columns, so each node costs one insert
+//! regardless of fan-out; that is what wins Tables 4 and 5.
+
+use super::{offset_id, ModelKind, SchemaModel, StoreReport};
+use crate::error::{CoreError, Result};
+use crate::mapping::{
+    decode_schema_meta, encode_schema_meta, rows_from_cells, MappedDwarf, StoredCell,
+};
+use sc_dwarf::Dwarf;
+use sc_encoding::ByteSize;
+use sc_nosql::cql::ast::{SelectColumns, Statement, TableRef, WhereClause};
+use sc_nosql::{CqlValue, Db};
+use std::time::Instant;
+
+const KEYSPACE: &str = "smartcity";
+
+fn table(name: &str) -> TableRef {
+    TableRef {
+        keyspace: KEYSPACE.into(),
+        table: name.into(),
+    }
+}
+
+/// The NoSQL-DWARF schema model.
+#[derive(Debug)]
+pub struct NosqlDwarfModel {
+    db: Db,
+}
+
+impl NosqlDwarfModel {
+    /// Creates a model over a fresh in-memory engine.
+    pub fn in_memory() -> NosqlDwarfModel {
+        NosqlDwarfModel { db: Db::in_memory() }
+    }
+
+    /// Creates a model over an existing engine (shared keyspaces).
+    pub fn with_db(db: Db) -> NosqlDwarfModel {
+        NosqlDwarfModel { db }
+    }
+
+    /// Access to the underlying engine (store-backed queries, diagnostics).
+    pub fn db_mut(&mut self) -> &mut Db {
+        &mut self.db
+    }
+
+    fn next_schema_id(&mut self) -> Result<i64> {
+        let r = self.db.execute(&Statement::Select {
+            table: table("dwarf_schema"),
+            columns: SelectColumns::Named(vec!["id".into()]),
+            where_clause: None,
+            limit: None,
+        })?;
+        Ok(r.rows
+            .iter()
+            .filter_map(|row| row[0].as_int())
+            .max()
+            .unwrap_or(0)
+            + 1)
+    }
+
+    fn schema_row(&mut self, schema_id: i64) -> Result<(i64, String)> {
+        let r = self.db.execute(&Statement::Select {
+            table: table("dwarf_schema"),
+            columns: SelectColumns::Named(vec![
+                "entry_node_id".into(),
+                "schema_meta".into(),
+            ]),
+            where_clause: Some(WhereClause {
+                column: "id".into(),
+                value: CqlValue::Int(schema_id),
+            }),
+            limit: None,
+        })?;
+        let row = r
+            .rows
+            .first()
+            .ok_or(CoreError::UnknownSchema(schema_id))?;
+        let entry = row[0]
+            .as_int()
+            .ok_or_else(|| CoreError::Inconsistent("entry_node_id not an int".into()))?;
+        let meta = row[1]
+            .as_text()
+            .ok_or_else(|| CoreError::Inconsistent("schema_meta not text".into()))?
+            .to_string();
+        Ok((entry, meta))
+    }
+
+    /// The statements `store` executes, exposed for the prepared-vs-text
+    /// ablation and Figure 3 demonstrations.
+    pub fn insert_statements(
+        mapped: &MappedDwarf,
+        cube: &Dwarf,
+        schema_id: i64,
+        is_cube: bool,
+    ) -> Vec<Statement> {
+        let mut out = Vec::with_capacity(1 + mapped.nodes.len() + mapped.cells.len());
+        out.push(Statement::Insert {
+            table: table("dwarf_schema"),
+            columns: vec![
+                "id".into(),
+                "node_count".into(),
+                "cell_count".into(),
+                "size_as_mb".into(),
+                "entry_node_id".into(),
+                "is_cube".into(),
+                "schema_meta".into(),
+            ],
+            values: vec![
+                CqlValue::Int(schema_id),
+                CqlValue::Int(mapped.node_count() as i64),
+                CqlValue::Int(mapped.cell_count() as i64),
+                CqlValue::Int(0),
+                CqlValue::Int(offset_id(schema_id, mapped.entry_node_id)),
+                CqlValue::Boolean(is_cube),
+                CqlValue::Text(encode_schema_meta(cube.schema())),
+            ],
+        });
+        for node in &mapped.nodes {
+            out.push(Statement::Insert {
+                table: table("dwarf_node"),
+                columns: vec![
+                    "id".into(),
+                    "parentIds".into(),
+                    "childrenIds".into(),
+                    "root".into(),
+                    "schema_id".into(),
+                ],
+                values: vec![
+                    CqlValue::Int(offset_id(schema_id, node.id)),
+                    CqlValue::int_set(
+                        node.parent_cell_ids
+                            .iter()
+                            .map(|&id| offset_id(schema_id, id)),
+                    ),
+                    CqlValue::int_set(
+                        node.child_cell_ids
+                            .iter()
+                            .map(|&id| offset_id(schema_id, id)),
+                    ),
+                    CqlValue::Boolean(node.root),
+                    CqlValue::Int(schema_id),
+                ],
+            });
+        }
+        for cell in &mapped.cells {
+            out.push(Statement::Insert {
+                table: table("dwarf_cell"),
+                columns: vec![
+                    "id".into(),
+                    "key".into(),
+                    "measure".into(),
+                    "parentNode".into(),
+                    "pointerNode".into(),
+                    "leaf".into(),
+                    "schema_id".into(),
+                    "dimension_table_name".into(),
+                ],
+                values: vec![
+                    CqlValue::Int(offset_id(schema_id, cell.id)),
+                    CqlValue::Text(cell.key.clone()),
+                    CqlValue::Int(cell.measure),
+                    CqlValue::Int(offset_id(schema_id, cell.parent_node)),
+                    match cell.pointer_node {
+                        Some(p) => CqlValue::Int(offset_id(schema_id, p)),
+                        None => CqlValue::Null,
+                    },
+                    CqlValue::Boolean(cell.leaf),
+                    CqlValue::Int(schema_id),
+                    CqlValue::Text(cell.dimension.clone()),
+                ],
+            });
+        }
+        out
+    }
+
+    /// Ablation path: render every statement to CQL text and re-parse it,
+    /// measuring what the text round-trip costs versus prepared statements.
+    pub fn store_via_text(
+        &mut self,
+        mapped: &MappedDwarf,
+        cube: &Dwarf,
+        is_cube: bool,
+    ) -> Result<StoreReport> {
+        let schema_id = self.next_schema_id()?;
+        let statements = Self::insert_statements(mapped, cube, schema_id, is_cube);
+        let start = Instant::now();
+        for stmt in &statements {
+            self.db.execute_cql(&stmt.to_cql())?;
+        }
+        let elapsed = start.elapsed();
+        self.finish_store(mapped, schema_id, statements.len(), elapsed)
+    }
+
+    fn finish_store(
+        &mut self,
+        mapped: &MappedDwarf,
+        schema_id: i64,
+        statements: usize,
+        elapsed: std::time::Duration,
+    ) -> Result<StoreReport> {
+        self.db.flush_all()?;
+        let size = self.db.keyspace_size(KEYSPACE)?;
+        // The paper's final step: query the store's size and update
+        // `size_as_mb` on the schema row (an upsert re-binding only the
+        // changed column would lose the others in our row-replace model, so
+        // rewrite the full row).
+        let (entry, meta) = self.schema_row(schema_id)?;
+        self.db.execute(&Statement::Insert {
+            table: table("dwarf_schema"),
+            columns: vec![
+                "id".into(),
+                "node_count".into(),
+                "cell_count".into(),
+                "size_as_mb".into(),
+                "entry_node_id".into(),
+                "is_cube".into(),
+                "schema_meta".into(),
+            ],
+            values: vec![
+                CqlValue::Int(schema_id),
+                CqlValue::Int(mapped.node_count() as i64),
+                CqlValue::Int(mapped.cell_count() as i64),
+                CqlValue::Int(size.as_mb_rounded() as i64),
+                CqlValue::Int(entry),
+                CqlValue::Boolean(false),
+                CqlValue::Text(meta),
+            ],
+        })?;
+        Ok(StoreReport {
+            schema_id,
+            node_rows: mapped.node_count(),
+            cell_rows: mapped.cell_count(),
+            statements,
+            elapsed,
+            size,
+        })
+    }
+}
+
+impl SchemaModel for NosqlDwarfModel {
+    fn kind(&self) -> ModelKind {
+        ModelKind::NosqlDwarf
+    }
+
+    fn create_schema(&mut self) -> Result<()> {
+        self.db.execute_cql(&format!("CREATE KEYSPACE {KEYSPACE}"))?;
+        self.db.execute_cql(&format!(
+            "CREATE TABLE {KEYSPACE}.dwarf_schema (id int, node_count int, \
+             cell_count int, size_as_mb int, entry_node_id int, is_cube boolean, \
+             schema_meta text, PRIMARY KEY (id))"
+        ))?;
+        self.db.execute_cql(&format!(
+            "CREATE TABLE {KEYSPACE}.dwarf_node (id int, parentIds set<int>, \
+             childrenIds set<int>, root boolean, schema_id int, PRIMARY KEY (id))"
+        ))?;
+        self.db.execute_cql(&format!(
+            "CREATE TABLE {KEYSPACE}.dwarf_cell (id int, key text, measure int, \
+             parentNode int, pointerNode int, leaf boolean, schema_id int, \
+             dimension_table_name text, PRIMARY KEY (id))"
+        ))?;
+        Ok(())
+    }
+
+    fn store(
+        &mut self,
+        mapped: &MappedDwarf,
+        cube: &Dwarf,
+        is_cube: bool,
+    ) -> Result<StoreReport> {
+        let schema_id = self.next_schema_id()?;
+        // Stream statements: one reusable Insert per table whose value
+        // buffer is rebound per record (a prepared statement), so storing a
+        // million-cell cube never materializes a million ASTs.
+        let mut statements = 0usize;
+        let start = Instant::now();
+        self.db.execute(&Statement::Insert {
+            table: table("dwarf_schema"),
+            columns: vec![
+                "id".into(),
+                "node_count".into(),
+                "cell_count".into(),
+                "size_as_mb".into(),
+                "entry_node_id".into(),
+                "is_cube".into(),
+                "schema_meta".into(),
+            ],
+            values: vec![
+                CqlValue::Int(schema_id),
+                CqlValue::Int(mapped.node_count() as i64),
+                CqlValue::Int(mapped.cell_count() as i64),
+                CqlValue::Int(0),
+                CqlValue::Int(offset_id(schema_id, mapped.entry_node_id)),
+                CqlValue::Boolean(is_cube),
+                CqlValue::Text(encode_schema_meta(cube.schema())),
+            ],
+        })?;
+        statements += 1;
+        let mut node_stmt = Statement::Insert {
+            table: table("dwarf_node"),
+            columns: vec![
+                "id".into(),
+                "parentIds".into(),
+                "childrenIds".into(),
+                "root".into(),
+                "schema_id".into(),
+            ],
+            values: vec![CqlValue::Null; 5],
+        };
+        for node in &mapped.nodes {
+            if let Statement::Insert { values, .. } = &mut node_stmt {
+                values[0] = CqlValue::Int(offset_id(schema_id, node.id));
+                values[1] = CqlValue::int_set(
+                    node.parent_cell_ids
+                        .iter()
+                        .map(|&id| offset_id(schema_id, id)),
+                );
+                values[2] = CqlValue::int_set(
+                    node.child_cell_ids
+                        .iter()
+                        .map(|&id| offset_id(schema_id, id)),
+                );
+                values[3] = CqlValue::Boolean(node.root);
+                values[4] = CqlValue::Int(schema_id);
+            }
+            self.db.execute(&node_stmt)?;
+            statements += 1;
+        }
+        let mut cell_stmt = Statement::Insert {
+            table: table("dwarf_cell"),
+            columns: vec![
+                "id".into(),
+                "key".into(),
+                "measure".into(),
+                "parentNode".into(),
+                "pointerNode".into(),
+                "leaf".into(),
+                "schema_id".into(),
+                "dimension_table_name".into(),
+            ],
+            values: vec![CqlValue::Null; 8],
+        };
+        for cell in &mapped.cells {
+            if let Statement::Insert { values, .. } = &mut cell_stmt {
+                values[0] = CqlValue::Int(offset_id(schema_id, cell.id));
+                values[1] = CqlValue::Text(cell.key.clone());
+                values[2] = CqlValue::Int(cell.measure);
+                values[3] = CqlValue::Int(offset_id(schema_id, cell.parent_node));
+                values[4] = match cell.pointer_node {
+                    Some(p) => CqlValue::Int(offset_id(schema_id, p)),
+                    None => CqlValue::Null,
+                };
+                values[5] = CqlValue::Boolean(cell.leaf);
+                values[6] = CqlValue::Int(schema_id);
+                values[7] = CqlValue::Text(cell.dimension.clone());
+            }
+            self.db.execute(&cell_stmt)?;
+            statements += 1;
+        }
+        let elapsed = start.elapsed();
+        self.finish_store(mapped, schema_id, statements, elapsed)
+    }
+
+    fn rebuild(&mut self, schema_id: i64) -> Result<Dwarf> {
+        let (entry, meta) = self.schema_row(schema_id)?;
+        let schema = decode_schema_meta(&meta)?;
+        let r = self.db.execute(&Statement::Select {
+            table: table("dwarf_cell"),
+            columns: SelectColumns::Named(vec![
+                "key".into(),
+                "measure".into(),
+                "parentNode".into(),
+                "pointerNode".into(),
+                "leaf".into(),
+            ]),
+            where_clause: Some(WhereClause {
+                column: "schema_id".into(),
+                value: CqlValue::Int(schema_id),
+            }),
+            limit: None,
+        })?;
+        let mut cells = Vec::with_capacity(r.rows.len());
+        for row in &r.rows {
+            cells.push(StoredCell {
+                key: row[0]
+                    .as_text()
+                    .ok_or_else(|| CoreError::Inconsistent("cell key not text".into()))?
+                    .to_string(),
+                measure: row[1]
+                    .as_int()
+                    .ok_or_else(|| CoreError::Inconsistent("cell measure not int".into()))?,
+                parent_node: row[2]
+                    .as_int()
+                    .ok_or_else(|| CoreError::Inconsistent("parentNode not int".into()))?,
+                pointer_node: row[3].as_int(),
+                leaf: row[4]
+                    .as_bool()
+                    .ok_or_else(|| CoreError::Inconsistent("leaf not boolean".into()))?,
+            });
+        }
+        let rows = rows_from_cells(&cells, entry, schema.num_dims())?;
+        Ok(Dwarf::from_aggregated_rows(schema, rows))
+    }
+
+    fn size(&mut self) -> Result<ByteSize> {
+        self.db.flush_all()?;
+        Ok(self.db.keyspace_size(KEYSPACE)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_dwarf::{CubeSchema, Selection, TupleSet};
+
+    fn cube() -> Dwarf {
+        let schema = CubeSchema::new(["country", "city", "station"], "bikes");
+        let mut ts = TupleSet::new(&schema);
+        ts.push(["Ireland", "Dublin", "Fenian St"], 3);
+        ts.push(["Ireland", "Dublin", "Smithfield"], 5);
+        ts.push(["Ireland", "Cork", "Patrick St"], 2);
+        ts.push(["France", "Paris", "Bastille"], 7);
+        Dwarf::build(schema, ts)
+    }
+
+    #[test]
+    fn store_and_rebuild_roundtrip() {
+        let c = cube();
+        let mut model = NosqlDwarfModel::in_memory();
+        model.create_schema().unwrap();
+        let report = model.store(&MappedDwarf::new(&c), &c, false).unwrap();
+        assert_eq!(report.schema_id, 1);
+        assert!(report.node_rows > 0);
+        assert!(report.cell_rows > report.node_rows);
+        assert!(report.size.as_bytes() > 0);
+        let back = model.rebuild(report.schema_id).unwrap();
+        assert_eq!(back.extract_tuples(), c.extract_tuples());
+        assert_eq!(back.schema(), c.schema());
+        // Rebuilt cube answers queries identically.
+        let sel = vec![Selection::value("Ireland"), Selection::All, Selection::All];
+        assert_eq!(back.point(&sel), c.point(&sel));
+    }
+
+    #[test]
+    fn multiple_schemas_coexist() {
+        let c = cube();
+        let mut model = NosqlDwarfModel::in_memory();
+        model.create_schema().unwrap();
+        let r1 = model.store(&MappedDwarf::new(&c), &c, false).unwrap();
+        let r2 = model.store(&MappedDwarf::new(&c), &c, true).unwrap();
+        assert_eq!(r1.schema_id, 1);
+        assert_eq!(r2.schema_id, 2);
+        assert_eq!(
+            model.rebuild(1).unwrap().extract_tuples(),
+            model.rebuild(2).unwrap().extract_tuples()
+        );
+        assert!(matches!(
+            model.rebuild(99),
+            Err(CoreError::UnknownSchema(99))
+        ));
+    }
+
+    #[test]
+    fn size_as_mb_written_back() {
+        let c = cube();
+        let mut model = NosqlDwarfModel::in_memory();
+        model.create_schema().unwrap();
+        let report = model.store(&MappedDwarf::new(&c), &c, false).unwrap();
+        let r = model
+            .db_mut()
+            .execute_cql(&format!(
+                "SELECT size_as_mb, node_count, cell_count FROM smartcity.dwarf_schema WHERE id = {}",
+                report.schema_id
+            ))
+            .unwrap();
+        assert_eq!(
+            r.rows[0][0],
+            CqlValue::Int(report.size.as_mb_rounded() as i64)
+        );
+        assert_eq!(r.rows[0][1], CqlValue::Int(report.node_rows as i64));
+        assert_eq!(r.rows[0][2], CqlValue::Int(report.cell_rows as i64));
+    }
+
+    #[test]
+    fn text_path_equals_prepared_path() {
+        let c = cube();
+        let mut prepared = NosqlDwarfModel::in_memory();
+        prepared.create_schema().unwrap();
+        let rp = prepared.store(&MappedDwarf::new(&c), &c, false).unwrap();
+        let mut text = NosqlDwarfModel::in_memory();
+        text.create_schema().unwrap();
+        let rt = text.store_via_text(&MappedDwarf::new(&c), &c, false).unwrap();
+        assert_eq!(rp.statements, rt.statements);
+        assert_eq!(
+            prepared.rebuild(rp.schema_id).unwrap().extract_tuples(),
+            text.rebuild(rt.schema_id).unwrap().extract_tuples()
+        );
+    }
+
+    #[test]
+    fn node_rows_use_sets() {
+        let c = cube();
+        let mut model = NosqlDwarfModel::in_memory();
+        model.create_schema().unwrap();
+        model.store(&MappedDwarf::new(&c), &c, false).unwrap();
+        let r = model
+            .db_mut()
+            .execute_cql("SELECT childrenIds FROM smartcity.dwarf_node LIMIT 1")
+            .unwrap();
+        assert!(matches!(r.rows[0][0], CqlValue::IntSet(_)));
+    }
+}

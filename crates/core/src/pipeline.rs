@@ -1,0 +1,146 @@
+//! End-to-end convenience: the cube warehouse.
+//!
+//! Ties the whole paper pipeline together for applications: feed documents
+//! go in through an [`sc_ingest::StreamPipeline`], cubes come out and are
+//! stored in a chosen schema model, and stored cubes can be listed,
+//! rebuilt, queried and updated.
+
+use crate::error::Result;
+use crate::mapping::MappedDwarf;
+use crate::models::{SchemaModel, StoreReport};
+use sc_dwarf::Dwarf;
+use sc_ingest::{CubeDef, StreamPipeline};
+
+/// A warehouse: one stream pipeline feeding one schema model.
+pub struct CubeWarehouse {
+    pipeline: StreamPipeline,
+    model: Box<dyn SchemaModel>,
+    stored: Vec<StoreReport>,
+}
+
+impl std::fmt::Debug for CubeWarehouse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CubeWarehouse")
+            .field("model", &self.model.kind())
+            .field("documents", &self.pipeline.document_count())
+            .field("stored_cubes", &self.stored.len())
+            .finish()
+    }
+}
+
+impl CubeWarehouse {
+    /// Creates a warehouse over a cube definition and a model whose schema
+    /// is already created (see [`crate::models::ModelKind::build`]).
+    pub fn new(def: CubeDef, model: Box<dyn SchemaModel>) -> CubeWarehouse {
+        CubeWarehouse {
+            pipeline: StreamPipeline::new(def),
+            model,
+            stored: Vec::new(),
+        }
+    }
+
+    /// Ingests one feed document.
+    pub fn ingest(&mut self, text: &str) -> Result<()> {
+        self.pipeline
+            .ingest(text)
+            .map_err(|e| crate::error::CoreError::Inconsistent(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Documents ingested into the current window.
+    pub fn pending_documents(&self) -> usize {
+        self.pipeline.document_count()
+    }
+
+    /// Builds the cube from everything ingested, stores it, and returns the
+    /// cube plus its store report. The pipeline resets for the next window.
+    pub fn close_window(&mut self, is_cube: bool) -> Result<(Dwarf, StoreReport)> {
+        let cube = self.pipeline.build_cube();
+        let mapped = MappedDwarf::try_new(&cube)?;
+        let report = self.model.store(&mapped, &cube, is_cube)?;
+        self.stored.push(report.clone());
+        Ok((cube, report))
+    }
+
+    /// Reports of every cube stored so far.
+    pub fn stored(&self) -> &[StoreReport] {
+        &self.stored
+    }
+
+    /// Rebuilds a stored cube by schema id.
+    pub fn rebuild(&mut self, schema_id: i64) -> Result<Dwarf> {
+        self.model.rebuild(schema_id)
+    }
+
+    /// Current total store size.
+    pub fn store_size(&mut self) -> Result<sc_encoding::ByteSize> {
+        self.model.size()
+    }
+
+    /// The underlying model (e.g. to open a
+    /// [`crate::store_query::StoreBackedCube`]).
+    pub fn model_mut(&mut self) -> &mut dyn SchemaModel {
+        self.model.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelKind;
+    use sc_dwarf::Selection;
+    use sc_ingest::cube_def::TimeField;
+
+    fn def() -> CubeDef {
+        CubeDef::xml("/stations/station")
+            .timestamp("@updated")
+            .time_dimension("day", TimeField::Day)
+            .dimension("station", "name/text()")
+            .measure("bikes", "bikes/text()")
+            .build()
+            .unwrap()
+    }
+
+    fn feed(day: u8, a: i64, b: i64) -> String {
+        format!(
+            r#"<stations updated="2015-11-{day:02}T10:00:00">
+              <station><name>A</name><bikes>{a}</bikes></station>
+              <station><name>B</name><bikes>{b}</bikes></station>
+            </stations>"#
+        )
+    }
+
+    #[test]
+    fn warehouse_flow_on_every_model() {
+        for kind in ModelKind::ALL {
+            let mut wh = CubeWarehouse::new(def(), kind.build().unwrap());
+            wh.ingest(&feed(1, 3, 5)).unwrap();
+            wh.ingest(&feed(2, 4, 6)).unwrap();
+            assert_eq!(wh.pending_documents(), 2);
+            let (cube, report) = wh.close_window(false).unwrap();
+            assert_eq!(cube.tuple_count(), 4);
+            assert!(report.size.as_bytes() > 0, "{kind}: empty store");
+            assert_eq!(wh.pending_documents(), 0);
+            let back = wh.rebuild(report.schema_id).unwrap();
+            assert_eq!(back.extract_tuples(), cube.extract_tuples(), "{kind}");
+            assert_eq!(
+                back.point(&[Selection::value("01"), Selection::All]),
+                Some(8),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn successive_windows_get_distinct_ids() {
+        let mut wh = CubeWarehouse::new(def(), ModelKind::NosqlDwarf.build().unwrap());
+        wh.ingest(&feed(1, 1, 1)).unwrap();
+        let (_, r1) = wh.close_window(false).unwrap();
+        wh.ingest(&feed(2, 2, 2)).unwrap();
+        let (_, r2) = wh.close_window(false).unwrap();
+        assert_ne!(r1.schema_id, r2.schema_id);
+        assert_eq!(wh.stored().len(), 2);
+        // Store grew.
+        assert!(wh.store_size().unwrap() >= r2.size);
+    }
+}

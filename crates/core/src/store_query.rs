@@ -1,0 +1,406 @@
+//! Store-backed traversal: answering cube queries directly from NoSQL rows.
+//!
+//! The paper stores cubes "for future retrieval and querying"; this module
+//! implements the designed access path — start at `entry_node_id`, read the
+//! node row's `childrenIds` set, fetch those cells by primary key, match
+//! the wanted key (or the ALL cell), follow `pointerNode` — without
+//! rebuilding the whole DWARF in memory.
+
+use crate::error::{CoreError, Result};
+use crate::mapping::{decode_schema_meta, ALL_KEY};
+use crate::models::NosqlDwarfModel;
+use sc_dwarf::{CubeSchema, Selection};
+use sc_nosql::cql::ast::{SelectColumns, Statement, TableRef, WhereClause};
+use sc_nosql::CqlValue;
+
+const KEYSPACE: &str = "smartcity";
+
+fn table(name: &str) -> TableRef {
+    TableRef {
+        keyspace: KEYSPACE.into(),
+        table: name.into(),
+    }
+}
+
+/// A cube addressed by its stored rows.
+#[derive(Debug)]
+pub struct StoreBackedCube<'a> {
+    model: &'a mut NosqlDwarfModel,
+    schema_id: i64,
+    schema: CubeSchema,
+    entry_node_id: i64,
+}
+
+/// A fetched cell row (subset of Table 1-C).
+#[derive(Debug, Clone)]
+struct FetchedCell {
+    key: String,
+    measure: i64,
+    pointer_node: Option<i64>,
+    leaf: bool,
+}
+
+impl<'a> StoreBackedCube<'a> {
+    /// Opens a stored schema for querying.
+    pub fn open(model: &'a mut NosqlDwarfModel, schema_id: i64) -> Result<StoreBackedCube<'a>> {
+        let r = model.db_mut().execute(&Statement::Select {
+            table: table("dwarf_schema"),
+            columns: SelectColumns::Named(vec![
+                "entry_node_id".into(),
+                "schema_meta".into(),
+            ]),
+            where_clause: Some(WhereClause {
+                column: "id".into(),
+                value: CqlValue::Int(schema_id),
+            }),
+            limit: None,
+        })?;
+        let row = r.rows.first().ok_or(CoreError::UnknownSchema(schema_id))?;
+        let entry_node_id = row[0]
+            .as_int()
+            .ok_or_else(|| CoreError::Inconsistent("entry_node_id not int".into()))?;
+        let schema = decode_schema_meta(
+            row[1]
+                .as_text()
+                .ok_or_else(|| CoreError::Inconsistent("schema_meta not text".into()))?,
+        )?;
+        Ok(StoreBackedCube {
+            model,
+            schema_id,
+            schema,
+            entry_node_id,
+        })
+    }
+
+    /// The stored schema's cube schema.
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// The stored schema id.
+    pub fn schema_id(&self) -> i64 {
+        self.schema_id
+    }
+
+    fn node_children(&mut self, node_id: i64) -> Result<Vec<i64>> {
+        let r = self.model.db_mut().execute(&Statement::Select {
+            table: table("dwarf_node"),
+            columns: SelectColumns::Named(vec!["childrenIds".into()]),
+            where_clause: Some(WhereClause {
+                column: "id".into(),
+                value: CqlValue::Int(node_id),
+            }),
+            limit: None,
+        })?;
+        let row = r.rows.first().ok_or_else(|| {
+            CoreError::Inconsistent(format!("node {node_id} missing from store"))
+        })?;
+        Ok(row[0]
+            .as_int_set()
+            .ok_or_else(|| CoreError::Inconsistent("childrenIds not a set".into()))?
+            .iter()
+            .copied()
+            .collect())
+    }
+
+    fn fetch_cell(&mut self, cell_id: i64) -> Result<FetchedCell> {
+        let r = self.model.db_mut().execute(&Statement::Select {
+            table: table("dwarf_cell"),
+            columns: SelectColumns::Named(vec![
+                "key".into(),
+                "measure".into(),
+                "pointerNode".into(),
+                "leaf".into(),
+            ]),
+            where_clause: Some(WhereClause {
+                column: "id".into(),
+                value: CqlValue::Int(cell_id),
+            }),
+            limit: None,
+        })?;
+        let row = r.rows.first().ok_or_else(|| {
+            CoreError::Inconsistent(format!("cell {cell_id} missing from store"))
+        })?;
+        Ok(FetchedCell {
+            key: row[0]
+                .as_text()
+                .ok_or_else(|| CoreError::Inconsistent("cell key not text".into()))?
+                .to_string(),
+            measure: row[1]
+                .as_int()
+                .ok_or_else(|| CoreError::Inconsistent("cell measure not int".into()))?,
+            pointer_node: row[2].as_int(),
+            leaf: row[3]
+                .as_bool()
+                .ok_or_else(|| CoreError::Inconsistent("cell leaf not boolean".into()))?,
+        })
+    }
+
+    /// Point / group-by query straight off the store (same semantics as
+    /// [`sc_dwarf::Dwarf::point`]).
+    pub fn point(&mut self, sel: &[Selection]) -> Result<Option<i64>> {
+        assert_eq!(
+            sel.len(),
+            self.schema.num_dims(),
+            "selection arity must match dimensions"
+        );
+        let mut node_id = self.entry_node_id;
+        for s in sel {
+            let children = self.node_children(node_id)?;
+            if children.is_empty() {
+                return Ok(None);
+            }
+            let wanted = match s {
+                Selection::All => None,
+                Selection::Value(v) => Some(v.as_str()),
+            };
+            let mut matched: Option<FetchedCell> = None;
+            for cell_id in children {
+                let cell = self.fetch_cell(cell_id)?;
+                let hit = match wanted {
+                    None => cell.key == ALL_KEY,
+                    Some(v) => cell.key == v,
+                };
+                if hit {
+                    matched = Some(cell);
+                    break;
+                }
+            }
+            let Some(cell) = matched else {
+                return Ok(None);
+            };
+            match (cell.leaf, cell.pointer_node) {
+                (true, _) => return Ok(Some(cell.measure)),
+                (false, Some(next)) => node_id = next,
+                (false, None) => {
+                    return Err(CoreError::Inconsistent(
+                        "non-leaf cell without pointer".into(),
+                    ))
+                }
+            }
+        }
+        Err(CoreError::Inconsistent(
+            "traversal exhausted selections before the leaf level".into(),
+        ))
+    }
+}
+
+/// Store-backed traversal over the **NoSQL-Min** layout.
+///
+/// The Min schema stores no node rows, so every traversal step must
+/// *reconstruct* the current node by querying the cell table's
+/// `parentNodeId` secondary index — the cost §5.1 anticipates: "the absence
+/// of a DWARF Node construct will have a significant impact on query times
+/// as DWARF Node reconstruction is required". Compare with
+/// [`StoreBackedCube`], which reads the node row's `childrenIds` set and
+/// fetches cells by primary key.
+#[derive(Debug)]
+pub struct MinStoreBackedCube<'a> {
+    model: &'a mut crate::models::NosqlMinModel,
+    schema: CubeSchema,
+    entry_node_id: i64,
+}
+
+const MIN_KEYSPACE: &str = "smartcity_min";
+
+impl<'a> MinStoreBackedCube<'a> {
+    /// Opens a stored cube for querying.
+    pub fn open(
+        model: &'a mut crate::models::NosqlMinModel,
+        cube_id: i64,
+    ) -> Result<MinStoreBackedCube<'a>> {
+        let r = model.db_mut().execute(&Statement::Select {
+            table: TableRef {
+                keyspace: MIN_KEYSPACE.into(),
+                table: "dwarf_cube".into(),
+            },
+            columns: SelectColumns::Named(vec![
+                "entry_node_id".into(),
+                "schema_meta".into(),
+            ]),
+            where_clause: Some(WhereClause {
+                column: "id".into(),
+                value: CqlValue::Int(cube_id),
+            }),
+            limit: None,
+        })?;
+        let row = r.rows.first().ok_or(CoreError::UnknownSchema(cube_id))?;
+        let entry_node_id = row[0]
+            .as_int()
+            .ok_or_else(|| CoreError::Inconsistent("entry_node_id not int".into()))?;
+        let schema = decode_schema_meta(
+            row[1]
+                .as_text()
+                .ok_or_else(|| CoreError::Inconsistent("schema_meta not text".into()))?,
+        )?;
+        Ok(MinStoreBackedCube {
+            model,
+            schema,
+            entry_node_id,
+        })
+    }
+
+    /// The stored cube's schema.
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// Reconstructs a node: every cell whose `parentNodeId` equals
+    /// `node_id`, via the secondary index.
+    fn node_cells(&mut self, node_id: i64) -> Result<Vec<FetchedCell>> {
+        let r = self.model.db_mut().execute(&Statement::Select {
+            table: TableRef {
+                keyspace: MIN_KEYSPACE.into(),
+                table: "dwarf_cell".into(),
+            },
+            columns: SelectColumns::Named(vec![
+                "item_name".into(),
+                "measure".into(),
+                "childNodeId".into(),
+                "leaf".into(),
+            ]),
+            where_clause: Some(WhereClause {
+                column: "parentNodeId".into(),
+                value: CqlValue::Int(node_id),
+            }),
+            limit: None,
+        })?;
+        let mut out = Vec::with_capacity(r.rows.len());
+        for row in &r.rows {
+            out.push(FetchedCell {
+                key: row[0]
+                    .as_text()
+                    .ok_or_else(|| CoreError::Inconsistent("item_name not text".into()))?
+                    .to_string(),
+                measure: row[1]
+                    .as_int()
+                    .ok_or_else(|| CoreError::Inconsistent("measure not int".into()))?,
+                pointer_node: row[2].as_int(),
+                leaf: row[3]
+                    .as_bool()
+                    .ok_or_else(|| CoreError::Inconsistent("leaf not bool".into()))?,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Point / group-by query with node reconstruction at every level.
+    pub fn point(&mut self, sel: &[Selection]) -> Result<Option<i64>> {
+        assert_eq!(
+            sel.len(),
+            self.schema.num_dims(),
+            "selection arity must match dimensions"
+        );
+        let mut node_id = self.entry_node_id;
+        for s in sel {
+            let cells = self.node_cells(node_id)?;
+            if cells.is_empty() {
+                return Ok(None);
+            }
+            let wanted = match s {
+                Selection::All => None,
+                Selection::Value(v) => Some(v.as_str()),
+            };
+            let matched = cells.into_iter().find(|c| match wanted {
+                None => c.key == ALL_KEY,
+                Some(v) => c.key == v,
+            });
+            let Some(cell) = matched else {
+                return Ok(None);
+            };
+            match (cell.leaf, cell.pointer_node) {
+                (true, _) => return Ok(Some(cell.measure)),
+                (false, Some(next)) => node_id = next,
+                (false, None) => {
+                    return Err(CoreError::Inconsistent(
+                        "non-leaf cell without pointer".into(),
+                    ))
+                }
+            }
+        }
+        Err(CoreError::Inconsistent(
+            "traversal exhausted selections before the leaf level".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappedDwarf;
+    use crate::models::SchemaModel;
+    use sc_dwarf::{Dwarf, TupleSet};
+
+    fn cube() -> Dwarf {
+        let schema = CubeSchema::new(["country", "city", "station"], "bikes");
+        let mut ts = TupleSet::new(&schema);
+        ts.push(["Ireland", "Dublin", "Fenian St"], 3);
+        ts.push(["Ireland", "Dublin", "Smithfield"], 5);
+        ts.push(["Ireland", "Cork", "Patrick St"], 2);
+        ts.push(["France", "Paris", "Bastille"], 7);
+        Dwarf::build(schema, ts)
+    }
+
+    #[test]
+    fn store_backed_point_queries_match_in_memory() {
+        let c = cube();
+        let mut model = NosqlDwarfModel::in_memory();
+        model.create_schema().unwrap();
+        let report = model.store(&MappedDwarf::new(&c), &c, false).unwrap();
+        let mut sbc = StoreBackedCube::open(&mut model, report.schema_id).unwrap();
+        assert_eq!(sbc.schema().num_dims(), 3);
+        let all = Selection::All;
+        let v = Selection::value;
+        let cases: Vec<Vec<Selection>> = vec![
+            vec![v("Ireland"), v("Dublin"), v("Fenian St")],
+            vec![v("Ireland"), all.clone(), all.clone()],
+            vec![all.clone(), v("Dublin"), all.clone()],
+            vec![all.clone(), all.clone(), v("Bastille")],
+            vec![all.clone(), all.clone(), all.clone()],
+            vec![v("Spain"), all.clone(), all.clone()],
+            vec![v("Ireland"), v("Paris"), all.clone()],
+        ];
+        for sel in cases {
+            assert_eq!(
+                sbc.point(&sel).unwrap(),
+                c.point(&sel),
+                "selection {sel:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_store_backed_queries_match_in_memory() {
+        let c = cube();
+        let mut model = crate::models::NosqlMinModel::in_memory();
+        model.create_schema().unwrap();
+        let report = model.store(&MappedDwarf::new(&c), &c, false).unwrap();
+        let mut sbc = MinStoreBackedCube::open(&mut model, report.schema_id).unwrap();
+        let all = Selection::All;
+        let v = Selection::value;
+        let cases: Vec<Vec<Selection>> = vec![
+            vec![v("Ireland"), v("Dublin"), v("Fenian St")],
+            vec![v("Ireland"), all.clone(), all.clone()],
+            vec![all.clone(), v("Dublin"), all.clone()],
+            vec![all.clone(), all.clone(), all.clone()],
+            vec![v("Spain"), all.clone(), all.clone()],
+        ];
+        for sel in cases {
+            assert_eq!(
+                sbc.point(&sel).unwrap(),
+                c.point(&sel),
+                "selection {sel:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_schema_is_an_error() {
+        let mut model = NosqlDwarfModel::in_memory();
+        model.create_schema().unwrap();
+        assert!(matches!(
+            StoreBackedCube::open(&mut model, 5),
+            Err(CoreError::UnknownSchema(5))
+        ));
+    }
+}

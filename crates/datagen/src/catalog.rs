@@ -1,0 +1,108 @@
+//! Table 2's dataset catalog.
+//!
+//! The paper evaluates five bike datasets; this module pins their tuple
+//! counts and raw sizes and turns each into a [`BikesSpec`].
+
+use crate::bikes::BikesSpec;
+use sc_ingest::{DateTime, Window};
+
+/// One evaluation dataset (a row of Table 2).
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// The window this dataset covers.
+    pub window: Window,
+    /// The paper's tuple count for the window.
+    pub paper_tuples: usize,
+    /// The paper's raw-XML size in MB (Table 2's `Size (MB)` row).
+    pub paper_size_mb: f64,
+}
+
+/// Number of stations in the synthetic city. The per-window tuple counts
+/// then imply the snapshot cadence (Day: 7 358 tuples / 97 stations ≈ 76
+/// snapshots ≈ one every 19 minutes — a realistic feed poll rate).
+pub const STATIONS: usize = 97;
+
+/// Feed start timestamp (the bike data in \[7\] is late-2015 Dublin data).
+pub fn start_date() -> DateTime {
+    DateTime::parse("2015-11-01T00:00:00").expect("valid date")
+}
+
+impl DatasetSpec {
+    /// The Table 2 row for a window.
+    pub fn for_window(window: Window) -> DatasetSpec {
+        let (paper_tuples, paper_size_mb) = match window {
+            Window::Day => (7_358, 2.1),
+            Window::Week => (60_102, 17.1),
+            Window::Month => (118_934, 54.1),
+            Window::TMonth => (396_756, 113.0),
+            Window::SMonth => (1_181_344, 338.0),
+        };
+        DatasetSpec {
+            window,
+            paper_tuples,
+            paper_size_mb,
+        }
+    }
+
+    /// All five rows, smallest first.
+    pub fn all() -> Vec<DatasetSpec> {
+        Window::ALL.iter().map(|w| DatasetSpec::for_window(*w)).collect()
+    }
+
+    /// The generator spec reproducing this dataset at full scale.
+    pub fn bikes_spec(&self) -> BikesSpec {
+        self.scaled_spec(1.0)
+    }
+
+    /// The generator spec at a fraction of the paper's tuple count
+    /// (benchmarks default to scaled runs; `repro --scale full` uses 1.0).
+    pub fn scaled_spec(&self, scale: f64) -> BikesSpec {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let target = ((self.paper_tuples as f64 * scale).round() as usize).max(1);
+        BikesSpec {
+            seed: 0xB1CE5 ^ self.window.days() as u64,
+            stations: STATIONS,
+            start: start_date(),
+            duration_minutes: self.window.minutes(),
+            target_tuples: target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants() {
+        let all = DatasetSpec::all();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].paper_tuples, 7_358);
+        assert_eq!(all[4].paper_tuples, 1_181_344);
+        let mb: Vec<f64> = all.iter().map(|d| d.paper_size_mb).collect();
+        assert_eq!(mb, vec![2.1, 17.1, 54.1, 113.0, 338.0]);
+    }
+
+    #[test]
+    fn specs_scale() {
+        let day = DatasetSpec::for_window(Window::Day);
+        assert_eq!(day.bikes_spec().target_tuples, 7_358);
+        assert_eq!(day.scaled_spec(0.1).target_tuples, 736);
+        assert_eq!(day.scaled_spec(0.5).duration_minutes, 1440);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn zero_scale_panics() {
+        DatasetSpec::for_window(Window::Day).scaled_spec(0.0);
+    }
+
+    #[test]
+    fn seeds_differ_per_window() {
+        let seeds: std::collections::HashSet<u64> = DatasetSpec::all()
+            .iter()
+            .map(|d| d.bikes_spec().seed)
+            .collect();
+        assert_eq!(seeds.len(), 5);
+    }
+}

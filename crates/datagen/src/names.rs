@@ -1,0 +1,89 @@
+//! Name pools for the synthetic Dublin feeds.
+
+/// Street-ish station name stems (Dublin flavoured, per the paper's city).
+pub const STATION_STEMS: &[&str] = &[
+    "Fenian St", "Smithfield", "Portobello", "Charlemont", "Dame St",
+    "Eccles St", "Grantham St", "Merrion Sq", "Pearse St", "Parnell Sq",
+    "Custom House", "Heuston", "Bolton St", "Talbot St", "Wilton Tce",
+    "Exchequer St", "Golden Ln", "Kevin St", "Mount St", "Herbert Pl",
+    "Ormond Quay", "Usher's Quay", "Francis St", "James St", "Newman House",
+    "Grand Canal", "Sir Patrick Dun's", "Denmark St", "Blessington St",
+    "North Circular", "Hardwicke St", "Mountjoy Sq", "Jervis St",
+    "Christchurch", "High St", "Winetavern St", "Greek St", "Blackhall Pl",
+    "Queen St", "Benburb St", "Rothe Abbey", "St James Hospital",
+    "Emmet Rd", "Brookfield Rd", "Parkgate St", "Collins Barracks",
+    "Clonmel St", "Harcourt Tce", "Adelaide Rd", "Leeson St",
+];
+
+/// Directional suffixes used to inflate the pool past the stems.
+pub const STATION_SUFFIXES: &[&str] = &["", " North", " South", " East", " West", " Upper", " Lower"];
+
+/// Postal areas ("Dublin 1", ...) stations belong to.
+pub const AREAS: &[&str] = &[
+    "Dublin 1", "Dublin 2", "Dublin 3", "Dublin 4", "Dublin 6",
+    "Dublin 7", "Dublin 8", "Dublin 9",
+];
+
+/// Operational statuses a station can report.
+pub const STATUSES: &[&str] = &["open", "closed", "maintenance"];
+
+/// Car-park names for the car-park feed.
+pub const CARPARKS: &[&str] = &[
+    "Arnotts", "Brown Thomas", "Christchurch", "Drury Street", "Fleet Street",
+    "Ilac Centre", "Jervis Street", "Marlborough Street", "Parnell Centre",
+    "Setanta Place", "Stephens Green", "Trinity Street",
+];
+
+/// City-centre zones for the car-park feed.
+pub const ZONES: &[&str] = &["north-city", "south-city", "docklands", "liberties"];
+
+/// Pollutants for the air-quality feed.
+pub const POLLUTANTS: &[&str] = &["NO2", "PM10", "PM2.5", "O3", "SO2"];
+
+/// Auction categories.
+pub const AUCTION_CATEGORIES: &[&str] = &[
+    "antiques", "art", "books", "collectibles", "electronics", "furniture",
+    "jewellery", "vehicles",
+];
+
+/// Irish counties for auction listings.
+pub const COUNTIES: &[&str] = &[
+    "Dublin", "Cork", "Galway", "Limerick", "Waterford", "Kilkenny",
+    "Wexford", "Kerry", "Mayo", "Donegal", "Sligo", "Meath",
+];
+
+/// Retail product categories for the sales feed.
+pub const PRODUCT_CATEGORIES: &[&str] = &[
+    "grocery", "bakery", "dairy", "produce", "household", "beverages",
+];
+
+/// A station name for index `i`, unique for `i < STATION_STEMS.len() *
+/// STATION_SUFFIXES.len()`.
+pub fn station_name(i: usize) -> String {
+    let stem = STATION_STEMS[i % STATION_STEMS.len()];
+    let suffix = STATION_SUFFIXES[(i / STATION_STEMS.len()) % STATION_SUFFIXES.len()];
+    format!("{stem}{suffix}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn station_names_are_unique_within_pool() {
+        let limit = STATION_STEMS.len() * STATION_SUFFIXES.len();
+        let names: HashSet<String> = (0..limit).map(station_name).collect();
+        assert_eq!(names.len(), limit);
+        assert!(limit >= 300, "pool supports the paper-scale station counts");
+    }
+
+    #[test]
+    fn first_names_are_bare_stems() {
+        assert_eq!(station_name(0), "Fenian St");
+        assert_eq!(
+            station_name(STATION_STEMS.len()),
+            "Fenian St North"
+        );
+    }
+}

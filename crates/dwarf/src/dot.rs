@@ -1,0 +1,99 @@
+//! Graphviz rendering of small cubes (the paper's Figure 2).
+
+use crate::cube::{Dwarf, NONE_NODE};
+use std::fmt::Write as _;
+
+impl Dwarf {
+    /// Renders the cube as Graphviz `dot` text.
+    ///
+    /// Each node is drawn as a record of its cells plus a trailing `ALL`
+    /// port; value-cell edges are solid, ALL edges dashed. Shared sub-dwarfs
+    /// (suffix coalescing) are visible as nodes with several inbound edges —
+    /// exactly how the paper's Figure 2 depicts them. Intended for small
+    /// demonstration cubes; rendering a million-node cube is on the caller.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("digraph dwarf {\n");
+        out.push_str("  rankdir=TB;\n  node [shape=record, fontname=\"monospace\"];\n");
+        let d = self.num_dims();
+        for id in self.node_ids() {
+            let n = self.node(id);
+            let level = n.node.level as usize;
+            let leaf = level == d - 1;
+            let mut label = String::new();
+            for (i, c) in n.cells.iter().enumerate() {
+                if i > 0 {
+                    label.push('|');
+                }
+                let key = escape(self.interner(level).resolve(c.key));
+                if leaf {
+                    let _ = write!(label, "{{{key}|{}}}", c.measure);
+                } else {
+                    let _ = write!(label, "<c{i}> {key}");
+                }
+            }
+            if !n.cells.is_empty() {
+                if leaf {
+                    let _ = write!(label, "|{{ALL|{}}}", n.node.total);
+                } else {
+                    label.push_str("|<all> ALL");
+                }
+            }
+            let _ = writeln!(out, "  n{id} [label=\"{label}\"];");
+            if !leaf {
+                for (i, c) in n.cells.iter().enumerate() {
+                    if c.child != NONE_NODE {
+                        let _ = writeln!(out, "  n{id}:c{i} -> n{};", c.child);
+                    }
+                }
+                if n.node.all_child != NONE_NODE {
+                    let _ = writeln!(out, "  n{id}:all -> n{} [style=dashed];", n.node.all_child);
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('|', "\\|")
+        .replace('{', "\\{")
+        .replace('}', "\\}")
+        .replace('<', "\\<")
+        .replace('>', "\\>")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CubeSchema, Dwarf, TupleSet};
+
+    #[test]
+    fn dot_output_mentions_every_node_and_all_edges() {
+        let schema = CubeSchema::new(["country", "station"], "bikes");
+        let mut ts = TupleSet::new(&schema);
+        ts.push(["Ireland", "Fenian St"], 3);
+        ts.push(["France", "Bastille"], 2);
+        let cube = Dwarf::build(schema, ts);
+        let dot = cube.to_dot();
+        assert!(dot.starts_with("digraph dwarf {"));
+        for id in cube.node_ids() {
+            assert!(dot.contains(&format!("n{id} [label=")), "missing node {id}");
+        }
+        assert!(dot.contains("Fenian St"));
+        assert!(dot.contains("style=dashed"), "ALL edges must be dashed");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn special_characters_are_escaped() {
+        let schema = CubeSchema::new(["k"], "m");
+        let mut ts = TupleSet::new(&schema);
+        ts.push(["a|b{c}\"<d>"], 1);
+        let cube = Dwarf::build(schema, ts);
+        let dot = cube.to_dot();
+        assert!(dot.contains("a\\|b\\{c\\}\\\"\\<d\\>"));
+    }
+}

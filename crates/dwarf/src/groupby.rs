@@ -1,0 +1,173 @@
+//! GROUP BY enumeration: materialized lattice → result table.
+//!
+//! A DWARF answers a `GROUP BY dims ⊆ D` without recomputation: descend
+//! value cells at grouped levels and ALL cells at aggregated-out levels.
+//! This module enumerates the full result table for any dimension subset —
+//! the operation OLAP front-ends issue constantly.
+
+use crate::cube::{Dwarf, NodeId};
+use crate::intern::ValueId;
+
+impl Dwarf {
+    /// Enumerates `GROUP BY` over the named dimensions, returning
+    /// `(group key, aggregate)` rows sorted by group key.
+    ///
+    /// Dimension names may be given in any order; keys come back in cube
+    /// level order. Unknown names return `None`. An empty list yields the
+    /// grand total as a single row with an empty key.
+    pub fn group_by<S: AsRef<str>>(&self, dims: &[S]) -> Option<Vec<(Vec<String>, i64)>> {
+        let mut mask = vec![false; self.num_dims()];
+        for d in dims {
+            let idx = self.schema().dimension_index(d.as_ref())?;
+            mask[idx] = true;
+        }
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return Some(out);
+        }
+        let mut key: Vec<ValueId> = Vec::new();
+        self.group_by_rec(self.root(), 0, &mask, &mut key, &mut out);
+        Some(out)
+    }
+
+    fn group_by_rec(
+        &self,
+        node_id: NodeId,
+        level: usize,
+        mask: &[bool],
+        key: &mut Vec<ValueId>,
+        out: &mut Vec<(Vec<String>, i64)>,
+    ) {
+        let node = self.node(node_id);
+        let leaf = level == self.num_dims() - 1;
+        let grouped = mask[level];
+        if grouped {
+            for cell in node.cells {
+                key.push(cell.key);
+                if leaf || mask[level + 1..].iter().all(|g| !g) {
+                    // Every remaining level is aggregated out: the cell's
+                    // measure IS the group's aggregate (child totals are
+                    // cached on cells).
+                    out.push((self.render_key(mask, key), cell.measure));
+                } else {
+                    self.group_by_rec(cell.child, level + 1, mask, key, out);
+                }
+                key.pop();
+            }
+        } else if leaf {
+            // Fully aggregated leaf: node total closes the group.
+            out.push((self.render_key(mask, key), node.node.total));
+        } else {
+            self.group_by_rec(node.node.all_child, level + 1, mask, key, out);
+        }
+    }
+
+    fn render_key(&self, mask: &[bool], key: &[ValueId]) -> Vec<String> {
+        let mut out = Vec::with_capacity(key.len());
+        let mut ki = 0;
+        for (dim, &grouped) in mask.iter().enumerate() {
+            if grouped && ki < key.len() {
+                out.push(self.interner(dim).resolve(key[ki]).to_string());
+                ki += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CubeSchema, Dwarf, TupleSet};
+    use std::collections::BTreeMap;
+
+    fn cube() -> (Dwarf, Vec<(Vec<String>, i64)>) {
+        let schema = CubeSchema::new(["day", "area", "station"], "hires");
+        let rows = vec![
+            (vec!["mon", "D2", "a"], 1),
+            (vec!["mon", "D2", "b"], 2),
+            (vec!["mon", "D7", "c"], 4),
+            (vec!["tue", "D2", "a"], 8),
+            (vec!["tue", "D7", "c"], 16),
+            (vec!["wed", "D7", "d"], 32),
+        ];
+        let mut ts = TupleSet::new(&schema);
+        for (k, m) in &rows {
+            ts.push(k.iter().copied(), *m);
+        }
+        let owned = rows
+            .into_iter()
+            .map(|(k, m)| (k.into_iter().map(str::to_string).collect(), m))
+            .collect();
+        (Dwarf::build(schema, ts), owned)
+    }
+
+    fn oracle(rows: &[(Vec<String>, i64)], dims: &[usize]) -> Vec<(Vec<String>, i64)> {
+        let mut acc: BTreeMap<Vec<String>, i64> = BTreeMap::new();
+        for (key, m) in rows {
+            let group: Vec<String> = dims.iter().map(|&d| key[d].clone()).collect();
+            *acc.entry(group).or_insert(0) += m;
+        }
+        acc.into_iter().collect()
+    }
+
+    #[test]
+    fn group_by_each_single_dimension() {
+        let (cube, rows) = cube();
+        assert_eq!(cube.group_by(&["day"]).unwrap(), oracle(&rows, &[0]));
+        assert_eq!(cube.group_by(&["area"]).unwrap(), oracle(&rows, &[1]));
+        assert_eq!(cube.group_by(&["station"]).unwrap(), oracle(&rows, &[2]));
+    }
+
+    #[test]
+    fn group_by_pairs_and_full() {
+        let (cube, rows) = cube();
+        assert_eq!(
+            cube.group_by(&["day", "area"]).unwrap(),
+            oracle(&rows, &[0, 1])
+        );
+        assert_eq!(
+            cube.group_by(&["day", "station"]).unwrap(),
+            oracle(&rows, &[0, 2])
+        );
+        assert_eq!(
+            cube.group_by(&["area", "station"]).unwrap(),
+            oracle(&rows, &[1, 2])
+        );
+        assert_eq!(
+            cube.group_by(&["day", "area", "station"]).unwrap(),
+            oracle(&rows, &[0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn dimension_order_in_args_is_irrelevant() {
+        let (cube, _) = cube();
+        assert_eq!(
+            cube.group_by(&["area", "day"]),
+            cube.group_by(&["day", "area"])
+        );
+    }
+
+    #[test]
+    fn empty_subset_is_grand_total() {
+        let (cube, rows) = cube();
+        let total: i64 = rows.iter().map(|(_, m)| m).sum();
+        assert_eq!(
+            cube.group_by::<&str>(&[]).unwrap(),
+            vec![(vec![], total)]
+        );
+    }
+
+    #[test]
+    fn unknown_dimension_is_none() {
+        let (cube, _) = cube();
+        assert!(cube.group_by(&["bogus"]).is_none());
+    }
+
+    #[test]
+    fn empty_cube_yields_no_groups() {
+        let schema = CubeSchema::new(["a"], "m");
+        let cube = Dwarf::build(schema.clone(), TupleSet::new(&schema));
+        assert_eq!(cube.group_by(&["a"]).unwrap(), vec![]);
+    }
+}

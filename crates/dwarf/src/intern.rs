@@ -1,0 +1,156 @@
+//! Per-dimension string interning.
+//!
+//! Dimension values are interned to dense `u32` ids so tuples sort and
+//! compare as integers. After all input tuples are collected the ids are
+//! **re-ranked to lexicographic order** (see [`Interner::sorted_remap`]), so
+//! `ValueId` order equals string order and range queries over ids are
+//! meaningful.
+
+use sc_encoding::FnvHashMap;
+
+/// An interned dimension value (dense, 0-based).
+pub type ValueId = u32;
+
+/// String interner for one dimension.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    values: Vec<String>,
+    index: FnvHashMap<String, ValueId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `value`, returning its id (existing or fresh).
+    pub fn intern(&mut self, value: &str) -> ValueId {
+        if let Some(&id) = self.index.get(value) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("more than u32::MAX distinct values");
+        self.values.push(value.to_string());
+        self.index.insert(value.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing value without interning.
+    pub fn get(&self, value: &str) -> Option<ValueId> {
+        self.index.get(value).copied()
+    }
+
+    /// The string for an id.
+    ///
+    /// Panics on an out-of-range id (ids only come from this interner).
+    pub fn resolve(&self, id: ValueId) -> &str {
+        &self.values[id as usize]
+    }
+
+    /// Number of distinct values (the dimension's cardinality).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ValueId, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as ValueId, v.as_str()))
+    }
+
+    /// Re-ranks ids to lexicographic order.
+    ///
+    /// Returns `remap` where `remap[old_id] = new_id`; afterwards
+    /// `resolve(a) < resolve(b)` iff `a < b`. Callers must rewrite any ids
+    /// they have stored (the tuple set does this before sorting).
+    pub fn sorted_remap(&mut self) -> Vec<ValueId> {
+        let mut order: Vec<u32> = (0..self.values.len() as u32).collect();
+        order.sort_by(|&a, &b| self.values[a as usize].cmp(&self.values[b as usize]));
+        let mut remap = vec![0u32; self.values.len()];
+        for (new_id, &old_id) in order.iter().enumerate() {
+            remap[old_id as usize] = new_id as u32;
+        }
+        let mut sorted_values = vec![String::new(); self.values.len()];
+        for (old_id, value) in self.values.drain(..).enumerate() {
+            sorted_values[remap[old_id] as usize] = value;
+        }
+        self.values = sorted_values;
+        self.index.clear();
+        for (id, v) in self.values.iter().enumerate() {
+            self.index.insert(v.clone(), id as u32);
+        }
+        remap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_dedups() {
+        let mut i = Interner::new();
+        let a = i.intern("Dublin");
+        let b = i.intern("Paris");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("Dublin"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(b), "Paris");
+        assert_eq!(i.get("Paris"), Some(b));
+        assert_eq!(i.get("Berlin"), None);
+    }
+
+    #[test]
+    fn sorted_remap_orders_ids_lexicographically() {
+        let mut i = Interner::new();
+        let zebra = i.intern("zebra");
+        let apple = i.intern("apple");
+        let mango = i.intern("mango");
+        let remap = i.sorted_remap();
+        assert_eq!(remap[zebra as usize], 2);
+        assert_eq!(remap[apple as usize], 0);
+        assert_eq!(remap[mango as usize], 1);
+        assert_eq!(i.resolve(0), "apple");
+        assert_eq!(i.resolve(1), "mango");
+        assert_eq!(i.resolve(2), "zebra");
+        assert_eq!(i.get("zebra"), Some(2));
+    }
+
+    #[test]
+    fn iter_follows_id_order() {
+        let mut i = Interner::new();
+        i.intern("b");
+        i.intern("a");
+        i.sorted_remap();
+        let pairs: Vec<_> = i.iter().collect();
+        assert_eq!(pairs, vec![(0, "a"), (1, "b")]);
+    }
+
+    proptest! {
+        #[test]
+        fn remap_preserves_strings_and_sortedness(
+            values in proptest::collection::hash_set("[a-z]{1,8}", 1..32)
+        ) {
+            let mut i = Interner::new();
+            let olds: Vec<(String, ValueId)> =
+                values.iter().map(|v| (v.clone(), i.intern(v))).collect();
+            let remap = i.sorted_remap();
+            // Every old id maps to the same string under the new id.
+            for (s, old) in &olds {
+                prop_assert_eq!(i.resolve(remap[*old as usize]), s.as_str());
+            }
+            // Ids are lexicographically ordered.
+            for id in 1..i.len() as u32 {
+                prop_assert!(i.resolve(id - 1) < i.resolve(id));
+            }
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Point, range and slice queries over a built cube.
+//!
+//! DWARF answers any of the 2^d group-bys by following value cells for
+//! specified dimensions and ALL cells for aggregated ones — no computation
+//! happens at query time for point lookups. Range queries descend only the
+//! cells whose keys fall in range, combining partial aggregates with the
+//! cube's aggregate function.
+
+use crate::cube::{Dwarf, NodeId, NONE_NODE};
+use crate::intern::ValueId;
+
+/// Per-dimension coordinate of a point query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// Aggregate over the whole dimension (follow the ALL cell).
+    All,
+    /// A specific dimension value.
+    Value(String),
+}
+
+impl Selection {
+    /// Convenience constructor for [`Selection::Value`].
+    pub fn value(v: impl Into<String>) -> Selection {
+        Selection::Value(v.into())
+    }
+}
+
+/// Per-dimension constraint of a range query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeSel {
+    /// No constraint (aggregate everything).
+    All,
+    /// Exactly one value.
+    Value(String),
+    /// A closed lexicographic interval `[lo, hi]` over dimension values.
+    Between(String, String),
+}
+
+impl RangeSel {
+    /// Convenience constructor for [`RangeSel::Value`].
+    pub fn value(v: impl Into<String>) -> RangeSel {
+        RangeSel::Value(v.into())
+    }
+
+    /// Convenience constructor for [`RangeSel::Between`].
+    pub fn between(lo: impl Into<String>, hi: impl Into<String>) -> RangeSel {
+        RangeSel::Between(lo.into(), hi.into())
+    }
+}
+
+/// A resolved per-dimension id interval, `None` when nothing can match.
+#[derive(Debug, Clone, Copy)]
+enum IdRange {
+    All,
+    Exact(ValueId),
+    Span(ValueId, ValueId),
+    Empty,
+}
+
+impl Dwarf {
+    /// Point / group-by query: one [`Selection`] per dimension.
+    ///
+    /// Returns `None` when a named value does not exist in the cube or no
+    /// fact matches (including on the empty cube).
+    ///
+    /// Panics if `sel.len()` differs from the number of dimensions.
+    pub fn point(&self, sel: &[Selection]) -> Option<i64> {
+        assert_eq!(
+            sel.len(),
+            self.num_dims(),
+            "selection arity must match dimensions"
+        );
+        if self.is_empty() {
+            return None;
+        }
+        let d = self.num_dims();
+        let mut node = self.node(self.root);
+        for (level, s) in sel.iter().enumerate() {
+            let leaf = level == d - 1;
+            match s {
+                Selection::All => {
+                    if leaf {
+                        return Some(node.node.total);
+                    }
+                    debug_assert_ne!(node.node.all_child, NONE_NODE);
+                    node = self.node(node.node.all_child);
+                }
+                Selection::Value(v) => {
+                    let id = self.interners[level].get(v)?;
+                    let cell = node.find(id)?;
+                    if leaf {
+                        return Some(cell.measure);
+                    }
+                    node = self.node(cell.child);
+                }
+            }
+        }
+        unreachable!("loop returns at the leaf level")
+    }
+
+    /// Range aggregate: one [`RangeSel`] per dimension. Returns `None` when
+    /// no fact matches.
+    ///
+    /// Panics if `sel.len()` differs from the number of dimensions.
+    pub fn range(&self, sel: &[RangeSel]) -> Option<i64> {
+        let ranges = self.resolve_ranges(sel)?;
+        if self.is_empty() {
+            return None;
+        }
+        self.range_rec(self.root, 0, &ranges)
+    }
+
+    fn resolve_ranges(&self, sel: &[RangeSel]) -> Option<Vec<IdRange>> {
+        assert_eq!(
+            sel.len(),
+            self.num_dims(),
+            "selection arity must match dimensions"
+        );
+        let mut out = Vec::with_capacity(sel.len());
+        for (level, s) in sel.iter().enumerate() {
+            let interner = &self.interners[level];
+            let r = match s {
+                RangeSel::All => IdRange::All,
+                RangeSel::Value(v) => match interner.get(v) {
+                    Some(id) => IdRange::Exact(id),
+                    None => IdRange::Empty,
+                },
+                RangeSel::Between(lo, hi) => {
+                    if lo > hi {
+                        IdRange::Empty
+                    } else {
+                        // Ids are ranked lexicographically, so the matching
+                        // ids form a contiguous span even when the exact
+                        // bound strings are absent from the dictionary.
+                        let lo_id = first_id_at_or_after(interner, lo);
+                        let hi_id = last_id_at_or_before(interner, hi);
+                        match (lo_id, hi_id) {
+                            (Some(l), Some(h)) if l <= h => IdRange::Span(l, h),
+                            _ => IdRange::Empty,
+                        }
+                    }
+                }
+            };
+            out.push(r);
+        }
+        Some(out)
+    }
+
+    fn range_rec(&self, node_id: NodeId, level: usize, ranges: &[IdRange]) -> Option<i64> {
+        let node = self.node(node_id);
+        let leaf = level == self.num_dims() - 1;
+        let agg = self.schema.agg();
+        match ranges[level] {
+            IdRange::Empty => None,
+            IdRange::All => {
+                if leaf {
+                    Some(node.node.total)
+                } else if trailing_all(ranges, level + 1) {
+                    // Everything below is unconstrained: the ALL pointer
+                    // already materializes this aggregate.
+                    Some(self.node(node.node.all_child).node.total)
+                } else {
+                    self.range_rec(node.node.all_child, level + 1, ranges)
+                }
+            }
+            IdRange::Exact(id) => {
+                let cell = node.find(id)?;
+                if leaf {
+                    Some(cell.measure)
+                } else {
+                    self.range_rec(cell.child, level + 1, ranges)
+                }
+            }
+            IdRange::Span(lo, hi) => {
+                let start = node.cells.partition_point(|c| c.key < lo);
+                let mut acc: Option<i64> = None;
+                for cell in &node.cells[start..] {
+                    if cell.key > hi {
+                        break;
+                    }
+                    let part = if leaf {
+                        Some(cell.measure)
+                    } else {
+                        self.range_rec(cell.child, level + 1, ranges)
+                    };
+                    if let Some(p) = part {
+                        acc = Some(match acc {
+                            Some(a) => agg.combine(a, p),
+                            None => p,
+                        });
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Slice: the base fact rows (string keys + aggregated measures) that
+    /// fall inside `sel`, in sorted key order.
+    pub fn slice(&self, sel: &[RangeSel]) -> Vec<(Vec<String>, i64)> {
+        let Some(ranges) = self.resolve_ranges(sel) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        if self.is_empty() || ranges.iter().any(|r| matches!(r, IdRange::Empty)) {
+            return out;
+        }
+        let mut path = Vec::with_capacity(self.num_dims());
+        self.slice_rec(self.root, 0, &ranges, &mut path, &mut out);
+        out
+    }
+
+    fn slice_rec(
+        &self,
+        node_id: NodeId,
+        level: usize,
+        ranges: &[IdRange],
+        path: &mut Vec<ValueId>,
+        out: &mut Vec<(Vec<String>, i64)>,
+    ) {
+        let node = self.node(node_id);
+        let leaf = level == self.num_dims() - 1;
+        let (lo, hi) = match ranges[level] {
+            IdRange::All => (0u32, u32::MAX),
+            IdRange::Exact(id) => (id, id),
+            IdRange::Span(l, h) => (l, h),
+            IdRange::Empty => return,
+        };
+        let start = node.cells.partition_point(|c| c.key < lo);
+        for cell in &node.cells[start..] {
+            if cell.key > hi {
+                break;
+            }
+            path.push(cell.key);
+            if leaf {
+                let key = path
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &v)| self.interners[d].resolve(v).to_string())
+                    .collect();
+                out.push((key, cell.measure));
+            } else {
+                self.slice_rec(cell.child, level + 1, ranges, path, out);
+            }
+            path.pop();
+        }
+    }
+}
+
+fn trailing_all(ranges: &[IdRange], from: usize) -> bool {
+    ranges[from..].iter().all(|r| matches!(r, IdRange::All))
+}
+
+fn first_id_at_or_after(interner: &crate::intern::Interner, bound: &str) -> Option<ValueId> {
+    // Ids are in string order, so binary search over ids works.
+    let n = interner.len() as u32;
+    let mut lo = 0u32;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if interner.resolve(mid) < bound {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo < n).then_some(lo)
+}
+
+fn last_id_at_or_before(interner: &crate::intern::Interner, bound: &str) -> Option<ValueId> {
+    let n = interner.len() as u32;
+    let mut lo = 0u32;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if interner.resolve(mid) <= bound {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo > 0).then(|| lo - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CubeSchema, TupleSet};
+
+    fn cube() -> Dwarf {
+        let schema = CubeSchema::new(["day", "station"], "hires");
+        let mut ts = TupleSet::new(&schema);
+        ts.push(["mon", "a"], 1);
+        ts.push(["mon", "b"], 2);
+        ts.push(["tue", "a"], 4);
+        ts.push(["tue", "c"], 8);
+        ts.push(["wed", "b"], 16);
+        Dwarf::build(schema, ts)
+    }
+
+    #[test]
+    fn range_all_matches_point_all() {
+        let c = cube();
+        assert_eq!(
+            c.range(&[RangeSel::All, RangeSel::All]),
+            c.point(&[Selection::All, Selection::All])
+        );
+        assert_eq!(c.range(&[RangeSel::All, RangeSel::All]), Some(31));
+    }
+
+    #[test]
+    fn between_over_first_dimension() {
+        let c = cube();
+        assert_eq!(
+            c.range(&[RangeSel::between("mon", "tue"), RangeSel::All]),
+            Some(15)
+        );
+        assert_eq!(
+            c.range(&[RangeSel::between("tue", "wed"), RangeSel::All]),
+            Some(28)
+        );
+    }
+
+    #[test]
+    fn between_with_absent_bounds() {
+        let c = cube();
+        // "a".."s" covers only "mon" among {mon,tue,wed}.
+        assert_eq!(
+            c.range(&[RangeSel::between("a", "s"), RangeSel::All]),
+            Some(3)
+        );
+        // Bounds beyond every value.
+        assert_eq!(c.range(&[RangeSel::between("x", "z"), RangeSel::All]), None);
+        // Inverted bounds.
+        assert_eq!(c.range(&[RangeSel::between("z", "a"), RangeSel::All]), None);
+    }
+
+    #[test]
+    fn range_on_second_dimension_uses_all_pointer() {
+        let c = cube();
+        assert_eq!(
+            c.range(&[RangeSel::All, RangeSel::value("a")]),
+            Some(5)
+        );
+        assert_eq!(
+            c.range(&[RangeSel::All, RangeSel::between("b", "c")]),
+            Some(26)
+        );
+    }
+
+    #[test]
+    fn mixed_range() {
+        let c = cube();
+        assert_eq!(
+            c.range(&[RangeSel::value("tue"), RangeSel::between("a", "b")]),
+            Some(4)
+        );
+        assert_eq!(
+            c.range(&[RangeSel::value("tue"), RangeSel::value("b")]),
+            None
+        );
+    }
+
+    #[test]
+    fn unknown_value_is_none() {
+        let c = cube();
+        assert_eq!(c.range(&[RangeSel::value("fri"), RangeSel::All]), None);
+        assert_eq!(c.point(&[Selection::value("fri"), Selection::All]), None);
+    }
+
+    #[test]
+    fn slice_returns_matching_rows_sorted() {
+        let c = cube();
+        let rows = c.slice(&[RangeSel::between("mon", "tue"), RangeSel::All]);
+        assert_eq!(
+            rows,
+            vec![
+                (vec!["mon".to_string(), "a".into()], 1),
+                (vec!["mon".to_string(), "b".into()], 2),
+                (vec!["tue".to_string(), "a".into()], 4),
+                (vec!["tue".to_string(), "c".into()], 8),
+            ]
+        );
+        let rows = c.slice(&[RangeSel::All, RangeSel::value("b")]);
+        assert_eq!(
+            rows,
+            vec![
+                (vec!["mon".to_string(), "b".into()], 2),
+                (vec!["wed".to_string(), "b".into()], 16),
+            ]
+        );
+    }
+
+    #[test]
+    fn slice_empty_region() {
+        let c = cube();
+        assert!(c.slice(&[RangeSel::value("xxx"), RangeSel::All]).is_empty());
+    }
+
+    #[test]
+    fn min_agg_range() {
+        let schema = CubeSchema::new(["d", "s"], "m").with_agg(crate::AggFn::Min);
+        let mut ts = TupleSet::new(&schema);
+        ts.push(["mon", "a"], 5);
+        ts.push(["mon", "b"], 3);
+        ts.push(["tue", "a"], 9);
+        let c = Dwarf::build(schema, ts);
+        assert_eq!(c.range(&[RangeSel::All, RangeSel::All]), Some(3));
+        assert_eq!(c.range(&[RangeSel::value("tue"), RangeSel::All]), Some(9));
+        assert_eq!(c.range(&[RangeSel::All, RangeSel::value("a")]), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        cube().point(&[Selection::All]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Tuple collection: interning, sorting, duplicate pre-aggregation.
+//!
+//! The DWARF construction algorithm requires its input fact tuples sorted
+//! lexicographically by dimension values with no duplicate keys (duplicates
+//! are pre-aggregated, exactly as a fact-table GROUP BY would). [`TupleSet`]
+//! owns that preparation: values are interned as they arrive, ids are
+//! re-ranked to string order once input ends, and
+//! [`TupleSet::into_sorted`] hands the builder a clean, sorted, deduplicated
+//! columnar batch.
+
+use crate::intern::{Interner, ValueId};
+use crate::schema::CubeSchema;
+use std::cmp::Ordering;
+
+/// A growable batch of input fact tuples for a given schema.
+#[derive(Debug, Clone)]
+pub struct TupleSet {
+    num_dims: usize,
+    agg: crate::schema::AggFn,
+    /// Row-major dimension ids: tuple `t`'s dims at `keys[t*d .. (t+1)*d]`.
+    keys: Vec<ValueId>,
+    measures: Vec<i64>,
+    interners: Vec<Interner>,
+}
+
+impl TupleSet {
+    /// Creates an empty set shaped for `schema`.
+    pub fn new(schema: &CubeSchema) -> Self {
+        Self {
+            num_dims: schema.num_dims(),
+            agg: schema.agg(),
+            keys: Vec::new(),
+            measures: Vec::new(),
+            interners: (0..schema.num_dims()).map(|_| Interner::new()).collect(),
+        }
+    }
+
+    /// Appends one tuple given as dimension strings plus a measure.
+    ///
+    /// Panics if the number of dimension values does not match the schema —
+    /// shaped input is the caller's contract.
+    pub fn push<I, S>(&mut self, dims: I, measure: i64)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let before = self.keys.len();
+        for (i, v) in dims.into_iter().enumerate() {
+            assert!(i < self.num_dims, "too many dimension values");
+            self.keys.push(self.interners[i].intern(v.as_ref()));
+        }
+        assert_eq!(
+            self.keys.len() - before,
+            self.num_dims,
+            "wrong number of dimension values"
+        );
+        self.measures.push(measure);
+    }
+
+    /// Number of tuples collected so far (before deduplication).
+    pub fn len(&self) -> usize {
+        self.measures.len()
+    }
+
+    /// Whether no tuples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.measures.is_empty()
+    }
+
+    /// Cardinality of dimension `i` seen so far.
+    pub fn cardinality(&self, i: usize) -> usize {
+        self.interners[i].len()
+    }
+
+    /// Finalizes the batch: re-ranks ids to string order, sorts tuples
+    /// lexicographically and pre-aggregates duplicate keys.
+    pub fn into_sorted(mut self) -> SortedTuples {
+        let d = self.num_dims;
+        // Re-rank every dimension's ids so integer order == string order.
+        for (dim, interner) in self.interners.iter_mut().enumerate() {
+            let remap = interner.sorted_remap();
+            for t in 0..self.measures.len() {
+                let k = &mut self.keys[t * d + dim];
+                *k = remap[*k as usize];
+            }
+        }
+        // Sort tuple indices lexicographically by their key rows.
+        let n = self.measures.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let keys = &self.keys;
+        order.sort_unstable_by(|&a, &b| {
+            let ra = &keys[a as usize * d..a as usize * d + d];
+            let rb = &keys[b as usize * d..b as usize * d + d];
+            ra.cmp(rb)
+        });
+        // Emit in order, folding duplicates.
+        let mut out_keys: Vec<ValueId> = Vec::with_capacity(self.keys.len());
+        let mut out_measures: Vec<i64> = Vec::with_capacity(n);
+        for &t in &order {
+            let row = &self.keys[t as usize * d..t as usize * d + d];
+            let m = self.agg.of_tuple(self.measures[t as usize]);
+            let dup = out_measures
+                .last()
+                .is_some_and(|_| &out_keys[out_keys.len() - d..] == row);
+            if dup {
+                let last = out_measures.last_mut().expect("non-empty on dup");
+                *last = self.agg.combine(*last, m);
+            } else {
+                out_keys.extend_from_slice(row);
+                out_measures.push(m);
+            }
+        }
+        SortedTuples {
+            num_dims: d,
+            keys: out_keys,
+            measures: out_measures,
+            interners: self.interners,
+        }
+    }
+}
+
+/// A sorted, deduplicated, id-ranked tuple batch ready for construction.
+#[derive(Debug, Clone)]
+pub struct SortedTuples {
+    num_dims: usize,
+    keys: Vec<ValueId>,
+    measures: Vec<i64>,
+    interners: Vec<Interner>,
+}
+
+impl SortedTuples {
+    /// Number of distinct fact keys.
+    pub fn len(&self) -> usize {
+        self.measures.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.measures.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.num_dims
+    }
+
+    /// The key row of tuple `t`.
+    pub fn key(&self, t: usize) -> &[ValueId] {
+        &self.keys[t * self.num_dims..(t + 1) * self.num_dims]
+    }
+
+    /// The (pre-aggregated) measure of tuple `t`.
+    pub fn measure(&self, t: usize) -> i64 {
+        self.measures[t]
+    }
+
+    /// Takes the per-dimension interners (passed on into the built cube).
+    pub(crate) fn take_interners(&mut self) -> Vec<Interner> {
+        std::mem::take(&mut self.interners)
+    }
+
+    /// Length of the common prefix between tuples `a` and `b`.
+    pub fn common_prefix(&self, a: usize, b: usize) -> usize {
+        let ka = self.key(a);
+        let kb = self.key(b);
+        ka.iter().zip(kb).take_while(|(x, y)| x == y).count()
+    }
+
+    /// Asserts the sorted/deduplicated invariants (debug builds and tests).
+    pub fn check_invariants(&self) {
+        for t in 1..self.len() {
+            match self.key(t - 1).cmp(self.key(t)) {
+                Ordering::Less => {}
+                Ordering::Equal => panic!("duplicate key at tuple {t}"),
+                Ordering::Greater => panic!("tuples out of order at {t}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AggFn;
+
+    fn schema3() -> CubeSchema {
+        CubeSchema::new(["a", "b", "c"], "m")
+    }
+
+    #[test]
+    fn sorts_lexicographically_by_string_order() {
+        let mut ts = TupleSet::new(&schema3());
+        ts.push(["z", "x", "y"], 1);
+        ts.push(["a", "q", "y"], 2);
+        ts.push(["a", "b", "y"], 3);
+        let sorted = ts.into_sorted();
+        sorted.check_invariants();
+        assert_eq!(sorted.len(), 3);
+        assert_eq!(sorted.measure(0), 3); // ("a","b","y")
+        assert_eq!(sorted.measure(1), 2); // ("a","q","y")
+        assert_eq!(sorted.measure(2), 1); // ("z","x","y")
+    }
+
+    #[test]
+    fn duplicates_are_preaggregated() {
+        let mut ts = TupleSet::new(&schema3());
+        ts.push(["a", "b", "c"], 5);
+        ts.push(["a", "b", "c"], 7);
+        ts.push(["a", "b", "d"], 1);
+        let sorted = ts.into_sorted();
+        assert_eq!(sorted.len(), 2);
+        assert_eq!(sorted.measure(0), 12);
+        assert_eq!(sorted.measure(1), 1);
+    }
+
+    #[test]
+    fn count_aggregation_ignores_measures() {
+        let schema = CubeSchema::new(["a"], "m").with_agg(AggFn::Count);
+        let mut ts = TupleSet::new(&schema);
+        ts.push(["x"], 100);
+        ts.push(["x"], 200);
+        ts.push(["y"], 300);
+        let sorted = ts.into_sorted();
+        assert_eq!(sorted.measure(0), 2);
+        assert_eq!(sorted.measure(1), 1);
+    }
+
+    #[test]
+    fn min_max_aggregation() {
+        let schema = CubeSchema::new(["a"], "m").with_agg(AggFn::Min);
+        let mut ts = TupleSet::new(&schema);
+        ts.push(["x"], 9);
+        ts.push(["x"], 4);
+        assert_eq!(ts.into_sorted().measure(0), 4);
+
+        let schema = CubeSchema::new(["a"], "m").with_agg(AggFn::Max);
+        let mut ts = TupleSet::new(&schema);
+        ts.push(["x"], 9);
+        ts.push(["x"], 4);
+        assert_eq!(ts.into_sorted().measure(0), 9);
+    }
+
+    #[test]
+    fn common_prefix() {
+        let mut ts = TupleSet::new(&schema3());
+        ts.push(["a", "b", "c"], 1);
+        ts.push(["a", "b", "d"], 1);
+        ts.push(["a", "e", "c"], 1);
+        let s = ts.into_sorted();
+        assert_eq!(s.common_prefix(0, 1), 2);
+        assert_eq!(s.common_prefix(0, 2), 1);
+        assert_eq!(s.common_prefix(0, 0), 3);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = TupleSet::new(&schema3()).into_sorted();
+        assert!(s.is_empty());
+        s.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of dimension values")]
+    fn short_row_panics() {
+        let mut ts = TupleSet::new(&schema3());
+        ts.push(["a", "b"], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many dimension values")]
+    fn long_row_panics() {
+        let mut ts = TupleSet::new(&schema3());
+        ts.push(["a", "b", "c", "d"], 1);
+    }
+}

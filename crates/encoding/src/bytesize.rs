@@ -1,0 +1,120 @@
+//! Byte quantities with the paper's MB-centric reporting conventions.
+//!
+//! Table 4 reports sizes as whole megabytes with `< 1` for sub-MB cubes; the
+//! [`ByteSize::paper_mb`] formatter reproduces exactly that convention so the
+//! `repro` binary prints rows shaped like the paper's.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// A quantity of bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Constructs from a raw byte count.
+    pub fn bytes(n: u64) -> Self {
+        ByteSize(n)
+    }
+
+    /// Constructs from mebibytes.
+    pub fn mib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    pub fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Size in (binary) megabytes as a float.
+    pub fn as_mb(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Rounded whole-MB figure matching the paper's `size_as_mb` column.
+    pub fn as_mb_rounded(self) -> u64 {
+        (self.as_mb()).round() as u64
+    }
+
+    /// The paper's Table 4 cell format: `< 1` below one MB, else whole MB.
+    pub fn paper_mb(self) -> String {
+        if self.0 > 0 && self.as_mb() < 1.0 {
+            "< 1".to_string()
+        } else {
+            format!("{}", self.as_mb_rounded())
+        }
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const UNITS: [(&str, u64); 4] = [
+            ("GiB", 1 << 30),
+            ("MiB", 1 << 20),
+            ("KiB", 1 << 10),
+            ("B", 1),
+        ];
+        for (name, scale) in UNITS {
+            if self.0 >= scale {
+                return write!(f, "{:.2} {}", self.0 as f64 / scale as f64, name);
+            }
+        }
+        write!(f, "0 B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_format_matches_table4_conventions() {
+        assert_eq!(ByteSize::bytes(500_000).paper_mb(), "< 1");
+        assert_eq!(ByteSize::mib(182).paper_mb(), "182");
+        assert_eq!(ByteSize::ZERO.paper_mb(), "0");
+        // Rounds, does not truncate: 2.6 MiB -> "3".
+        assert_eq!(ByteSize::bytes(2 * 1024 * 1024 + 640 * 1024).paper_mb(), "3");
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: ByteSize = [ByteSize::bytes(10), ByteSize::bytes(20)].into_iter().sum();
+        assert_eq!(total.as_bytes(), 30);
+        let mut s = ByteSize::bytes(1);
+        s += ByteSize::bytes(2);
+        assert_eq!(s, ByteSize::bytes(1) + ByteSize::bytes(2));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(ByteSize::bytes(0).to_string(), "0 B");
+        assert_eq!(ByteSize::bytes(512).to_string(), "512.00 B");
+        assert_eq!(ByteSize::bytes(2048).to_string(), "2.00 KiB");
+        assert_eq!(ByteSize::mib(3).to_string(), "3.00 MiB");
+        assert_eq!(ByteSize::bytes(3 << 30).to_string(), "3.00 GiB");
+    }
+}

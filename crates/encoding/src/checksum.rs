@@ -1,0 +1,112 @@
+//! CRC-32 (IEEE 802.3 polynomial), implemented from scratch.
+//!
+//! Used to detect torn writes in the NoSQL commit log and to validate
+//! SSTable / heap-file footers. The table is generated at first use.
+
+/// Reflected IEEE polynomial used by zlib, Ethernet, Cassandra commit logs.
+const POLY: u32 = 0xEDB8_8320;
+
+fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC-32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        // The table is small and construction is cheap; computing it once in
+        // a static avoids lazy_static-style dependencies.
+        static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+        let table = TABLE.get_or_init(make_table);
+        let mut state = self.state;
+        for &byte in data {
+            let idx = ((state ^ u32::from(byte)) & 0xff) as usize;
+            state = (state >> 8) ^ table[idx];
+        }
+        self.state = state;
+        self
+    }
+
+    /// Finishes and returns the checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+
+    /// Convenience: checksum of a single buffer.
+    pub fn of(data: &[u8]) -> u32 {
+        let mut c = Crc32::new();
+        c.update(data);
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/IEEE test vectors.
+        assert_eq!(Crc32::of(b""), 0x0000_0000);
+        assert_eq!(Crc32::of(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::of(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"smart city data cube";
+        let mut c = Crc32::new();
+        c.update(&data[..5]).update(&data[5..]);
+        assert_eq!(c.finish(), Crc32::of(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let data = vec![0u8; 64];
+        let base = Crc32::of(&data);
+        for i in 0..64 {
+            let mut corrupt = data.clone();
+            corrupt[i] ^= 1;
+            assert_ne!(Crc32::of(&corrupt), base, "flip at byte {i} undetected");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn split_points_agree(data in proptest::collection::vec(any::<u8>(), 0..256), split in 0usize..256) {
+            let split = split.min(data.len());
+            let mut c = Crc32::new();
+            c.update(&data[..split]).update(&data[split..]);
+            prop_assert_eq!(c.finish(), Crc32::of(&data));
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Length-prefixed record encoder/decoder used by the storage engines.
+//!
+//! Records written by [`Encoder`] are read back by [`Decoder`]; each engine
+//! layers its own row/cell format on top. All multi-byte fixed-width values
+//! are little-endian; variable-width values use [`crate::varint`].
+
+use crate::varint;
+use std::fmt;
+
+/// Error produced when decoding a corrupt or truncated record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof {
+        /// What the decoder was trying to read.
+        wanted: &'static str,
+    },
+    /// A varint was malformed (overlong or overflowing).
+    BadVarint,
+    /// A string field did not contain valid UTF-8.
+    BadUtf8,
+    /// A tag/enum discriminant had no known meaning.
+    BadTag {
+        /// The unknown discriminant value.
+        tag: u8,
+        /// Context for error messages.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { wanted } => {
+                write!(f, "unexpected end of buffer while reading {wanted}")
+            }
+            DecodeError::BadVarint => write!(f, "malformed varint"),
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::BadTag { tag, context } => {
+                write!(f, "unknown tag {tag} while decoding {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only encoder over a byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Creates an encoder with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single raw byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) -> &mut Self {
+        self.put_u8(v as u8)
+    }
+
+    /// Writes a fixed-width little-endian `u32`.
+    pub fn put_u32_fixed(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a fixed-width little-endian `u64`.
+    pub fn put_u64_fixed(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes an unsigned varint.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        varint::write_u64(&mut self.buf, v);
+        self
+    }
+
+    /// Writes a `u32` as a varint.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.put_u64(u64::from(v))
+    }
+
+    /// Writes a signed zig-zag varint.
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        varint::write_i64(&mut self.buf, v);
+        self
+    }
+
+    /// Writes an `f64` as its IEEE-754 little-endian bits.
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Writes raw bytes with no length prefix (caller knows the framing).
+    pub fn put_raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+}
+
+/// Cursor-style decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole buffer has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current byte offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize, wanted: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof { wanted });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one raw byte.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a bool written by [`Encoder::put_bool`].
+    pub fn get_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::BadTag {
+                tag,
+                context: "bool",
+            }),
+        }
+    }
+
+    /// Reads a fixed-width little-endian `u32`.
+    pub fn get_u32_fixed(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a fixed-width little-endian `u64`.
+    pub fn get_u64_fixed(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an unsigned varint.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        let (v, n) =
+            varint::read_u64(&self.buf[self.pos..]).ok_or(DecodeError::BadVarint)?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads a `u32` varint, rejecting values that overflow `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        let v = self.get_u64()?;
+        u32::try_from(v).map_err(|_| DecodeError::BadVarint)
+    }
+
+    /// Reads a signed zig-zag varint.
+    pub fn get_i64(&mut self) -> Result<i64, DecodeError> {
+        let (v, n) =
+            varint::read_i64(&self.buf[self.pos..]).ok_or(DecodeError::BadVarint)?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads an `f64` written by [`Encoder::put_f64`].
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        let b = self.take(8, "f64")?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.get_u64()? as usize;
+        self.take(len, "bytes body")
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, DecodeError> {
+        let raw = self.get_bytes()?;
+        std::str::from_utf8(raw).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Reads `n` raw bytes with no length prefix.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n, "raw bytes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mixed_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7)
+            .put_bool(true)
+            .put_u32_fixed(0xdead_beef)
+            .put_u64(300)
+            .put_i64(-42)
+            .put_f64(3.5)
+            .put_str("Fenian St")
+            .put_bytes(&[1, 2, 3]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert!(dec.get_bool().unwrap());
+        assert_eq!(dec.get_u32_fixed().unwrap(), 0xdead_beef);
+        assert_eq!(dec.get_u64().unwrap(), 300);
+        assert_eq!(dec.get_i64().unwrap(), -42);
+        assert_eq!(dec.get_f64().unwrap(), 3.5);
+        assert_eq!(dec.get_str().unwrap(), "Fenian St");
+        assert_eq!(dec.get_bytes().unwrap(), &[1, 2, 3]);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn eof_errors_name_the_field() {
+        let mut dec = Decoder::new(&[]);
+        assert_eq!(
+            dec.get_u32_fixed(),
+            Err(DecodeError::UnexpectedEof { wanted: "u32" })
+        );
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        let mut dec = Decoder::new(&[2]);
+        assert!(matches!(dec.get_bool(), Err(DecodeError::BadTag { tag: 2, .. })));
+    }
+
+    #[test]
+    fn string_rejects_invalid_utf8() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xff, 0xfe]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_str(), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn u32_varint_rejects_overflow() {
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::from(u32::MAX) + 1);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u32(), Err(DecodeError::BadVarint));
+    }
+
+    #[test]
+    fn truncated_string_body_is_eof() {
+        let mut enc = Encoder::new();
+        enc.put_str("hello");
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes[..3]);
+        assert!(matches!(dec.get_str(), Err(DecodeError::UnexpectedEof { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn string_roundtrip(s in ".{0,64}") {
+            let mut enc = Encoder::new();
+            enc.put_str(&s);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            prop_assert_eq!(dec.get_str().unwrap(), s.as_str());
+            prop_assert!(dec.is_exhausted());
+        }
+
+        #[test]
+        fn numeric_sequence_roundtrip(vals in proptest::collection::vec(any::<i64>(), 0..32)) {
+            let mut enc = Encoder::new();
+            enc.put_u64(vals.len() as u64);
+            for &v in &vals {
+                enc.put_i64(v);
+            }
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            let n = dec.get_u64().unwrap() as usize;
+            let mut back = Vec::with_capacity(n);
+            for _ in 0..n {
+                back.push(dec.get_i64().unwrap());
+            }
+            prop_assert_eq!(back, vals);
+            prop_assert!(dec.is_exhausted());
+        }
+    }
+}

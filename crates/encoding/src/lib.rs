@@ -1,0 +1,32 @@
+//! # sc-encoding
+//!
+//! Byte-level encoding primitives shared by every smartcube storage engine.
+//!
+//! Both the columnar NoSQL engine (`sc-nosql`) and the relational engine
+//! (`sc-relational`) serialize records to real bytes so that the paper's
+//! `size_as_mb` measurements (Table 4) are derived from actual serialized
+//! data rather than formulas. This crate provides:
+//!
+//! * [`varint`] — LEB128-style unsigned varints and zig-zag signed varints,
+//! * [`codec`] — a small [`codec::Encoder`]/[`codec::Decoder`]
+//!   pair with length-prefixed strings and byte slices,
+//! * [`checksum`] — a from-scratch CRC-32 (IEEE) used by commit logs and
+//!   SSTable footers,
+//! * [`hash`] — FNV-1a hashing and a [`BuildHasher`](std::hash::BuildHasher)
+//!   for fast integer-keyed maps,
+//! * [`bytesize`] — human-readable byte quantities (the paper reports sizes
+//!   in MB),
+//! * [`overhead`] — the documented per-record overhead constants that model
+//!   InnoDB and Cassandra storage formats.
+
+pub mod bytesize;
+pub mod checksum;
+pub mod codec;
+pub mod hash;
+pub mod overhead;
+pub mod varint;
+
+pub use bytesize::ByteSize;
+pub use checksum::Crc32;
+pub use codec::{DecodeError, Decoder, Encoder};
+pub use hash::{fnv1a_64, FnvBuildHasher, FnvHashMap, FnvHashSet};

@@ -1,0 +1,83 @@
+//! Documented per-record storage overhead constants.
+//!
+//! Table 4 of the paper compares on-disk sizes of the same logical DWARF cube
+//! under four physical schemas. The *differences* between the schemas come
+//! from structural choices (edge tables vs `set<int>`, extra index column
+//! families), but every engine also pays a fixed tax per stored record. We
+//! model those taxes with constants chosen from the publicly documented
+//! storage formats and keep them in one place so they are auditable:
+//!
+//! * **InnoDB (compact row format)** — 5-byte record header + 6-byte
+//!   transaction id + 7-byte roll pointer per clustered-index record, plus a
+//!   variable-length column map and page directory amortization. We charge
+//!   [`RELATIONAL_ROW_HEADER`] per row and [`RELATIONAL_COLUMN_OVERHEAD`] per
+//!   column, and [`RELATIONAL_INDEX_ENTRY_OVERHEAD`] per secondary-index
+//!   entry.
+//! * **Cassandra (pre-3.0 SSTable format, contemporary with the paper)** —
+//!   each row repeats per-cell metadata: column name, an 8-byte timestamp and
+//!   flags. We charge [`NOSQL_ROW_HEADER`] per partition row,
+//!   [`NOSQL_CELL_OVERHEAD`] per cell (column value), and
+//!   [`NOSQL_SET_ELEMENT_OVERHEAD`] per element of a collection column —
+//!   collections are stored as one cell per element, but *without* a separate
+//!   row/partition header, which is exactly why `set<int>` beats an edge
+//!   table.
+//!
+//! These constants affect absolute MB figures only; the orderings in Table 4
+//! are produced by record counts and schema structure.
+
+/// Per-row header charged by the relational heap/clustered index
+/// (InnoDB compact format: 5B header + 6B trx id + 7B roll ptr + ~2B of
+/// page-directory amortization).
+pub const RELATIONAL_ROW_HEADER: u64 = 20;
+
+/// Per-column overhead in a relational row (null bitmap share + var-len map).
+pub const RELATIONAL_COLUMN_OVERHEAD: u64 = 1;
+
+/// Per-entry overhead of a relational secondary index (record header + page
+/// amortization around the key + primary-key pointer it stores).
+pub const RELATIONAL_INDEX_ENTRY_OVERHEAD: u64 = 12;
+
+/// Per-partition-row header in the NoSQL engine (partition key hash + row
+/// flags + liveness timestamp).
+pub const NOSQL_ROW_HEADER: u64 = 16;
+
+/// Per-cell overhead in the NoSQL engine (column index + 8B timestamp + flag).
+pub const NOSQL_CELL_OVERHEAD: u64 = 11;
+
+/// Per-element overhead inside a collection (`set<int>`) cell. Collections
+/// serialize one sub-cell per element but share the row header, making them
+/// far cheaper than one edge-row per relationship.
+pub const NOSQL_SET_ELEMENT_OVERHEAD: u64 = 3;
+
+/// Per-entry overhead of a NoSQL secondary index entry (the hidden index
+/// column family stores `indexed value -> set<row id>`; each posting pays a
+/// set-element overhead plus timestamp bookkeeping).
+pub const NOSQL_INDEX_ENTRY_OVERHEAD: u64 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The relational edge-table representation of one node->cell link must
+    /// cost more than the NoSQL set element: that inequality is the paper's
+    /// §5.1 explanation for MySQL-DWARF losing Table 4, so it must hold by
+    /// construction.
+    #[test]
+    fn edge_row_costs_more_than_set_element() {
+        let edge_row = RELATIONAL_ROW_HEADER + 2 * RELATIONAL_COLUMN_OVERHEAD;
+        let set_element = NOSQL_SET_ELEMENT_OVERHEAD;
+        assert!(edge_row > 4 * set_element);
+    }
+
+    /// Secondary-index entries must be nonzero in both engines, so index-heavy
+    /// schemas (NoSQL-Min) measurably grow — the paper's stated reason its
+    /// size exceeds NoSQL-DWARF.
+    #[test]
+    fn index_entries_are_charged() {
+        // Compared against a runtime value so the assertion is not
+        // constant-folded away if the constants change type.
+        let zero = std::hint::black_box(0u64);
+        assert!(RELATIONAL_INDEX_ENTRY_OVERHEAD > zero);
+        assert!(NOSQL_INDEX_ENTRY_OVERHEAD > zero);
+    }
+}

@@ -1,0 +1,364 @@
+//! Cube definitions: the declarative feed→tuple mapping.
+
+use sc_dwarf::{AggFn, CubeSchema};
+use sc_json::JsonPath;
+use sc_xml::path::Path as XmlPath;
+
+/// Which syntax a feed uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceFormat {
+    /// XML documents, navigated with XPath-lite.
+    Xml,
+    /// JSON documents, navigated with pointer paths.
+    Json,
+}
+
+/// A compiled value path for whichever format the cube reads.
+#[derive(Debug, Clone)]
+pub enum ValuePath {
+    /// XPath-lite expression.
+    Xml(XmlPath),
+    /// JSON pointer expression.
+    Json(JsonPath),
+}
+
+/// How a dimension value is derived from a record.
+#[derive(Debug, Clone)]
+pub enum DimensionSpec {
+    /// The value at a path, verbatim.
+    Path {
+        /// Dimension name.
+        name: String,
+        /// Where the value lives, relative to the record.
+        path: ValuePath,
+    },
+    /// A calendar field of a timestamp found at a path. The timestamp is
+    /// parsed once per record and shared by every `TimeField` dimension.
+    TimeField {
+        /// Dimension name.
+        name: String,
+        /// Which field of the record timestamp.
+        field: TimeField,
+    },
+}
+
+impl DimensionSpec {
+    /// The dimension's name.
+    pub fn name(&self) -> &str {
+        match self {
+            DimensionSpec::Path { name, .. } | DimensionSpec::TimeField { name, .. } => name,
+        }
+    }
+}
+
+/// Calendar fields derivable from the record timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeField {
+    /// Four-digit year.
+    Year,
+    /// Two-digit month.
+    Month,
+    /// Two-digit day of month.
+    Day,
+    /// Two-digit hour.
+    Hour,
+    /// Weekday name (`mon` .. `sun`).
+    Weekday,
+}
+
+impl TimeField {
+    /// Renders the field of `dt` as a dimension value.
+    pub fn render(self, dt: &crate::datetime::DateTime) -> String {
+        match self {
+            TimeField::Year => format!("{:04}", dt.year),
+            TimeField::Month => format!("{:02}", dt.month),
+            TimeField::Day => format!("{:02}", dt.day),
+            TimeField::Hour => format!("{:02}", dt.hour),
+            TimeField::Weekday => ["mon", "tue", "wed", "thu", "fri", "sat", "sun"]
+                [dt.weekday() as usize]
+                .to_string(),
+        }
+    }
+}
+
+/// How the measure is derived from a record.
+#[derive(Debug, Clone)]
+pub enum MeasureSpec {
+    /// An integer at a path.
+    Path(ValuePath),
+    /// Each record contributes 1 (used with [`AggFn::Count`] semantics or
+    /// plain row counting).
+    One,
+}
+
+/// A full feed→cube mapping.
+#[derive(Debug, Clone)]
+pub struct CubeDef {
+    /// Feed syntax.
+    pub format: SourceFormat,
+    /// Path selecting record elements/values within a document.
+    pub record_path: ValuePath,
+    /// Path (relative to the document root, not the record) of the document
+    /// timestamp, when `TimeField` dimensions are used. Feeds typically
+    /// stamp the whole snapshot once.
+    pub timestamp_path: Option<ValuePath>,
+    /// Dimensions, in cube level order.
+    pub dimensions: Vec<DimensionSpec>,
+    /// The measure.
+    pub measure: MeasureSpec,
+    /// Measure name for the schema.
+    pub measure_name: String,
+    /// Aggregate function for the schema.
+    pub agg: AggFn,
+}
+
+impl CubeDef {
+    /// Starts a builder for an XML feed.
+    pub fn xml(record_path: &str) -> CubeDefBuilder {
+        CubeDefBuilder {
+            format: SourceFormat::Xml,
+            record_path: record_path.to_string(),
+            timestamp_path: None,
+            dimensions: Vec::new(),
+            measure: None,
+            measure_name: "measure".into(),
+            agg: AggFn::Sum,
+        }
+    }
+
+    /// Starts a builder for a JSON feed.
+    pub fn json(record_path: &str) -> CubeDefBuilder {
+        CubeDefBuilder {
+            format: SourceFormat::Json,
+            record_path: record_path.to_string(),
+            timestamp_path: None,
+            dimensions: Vec::new(),
+            measure: None,
+            measure_name: "measure".into(),
+            agg: AggFn::Sum,
+        }
+    }
+
+    /// The [`CubeSchema`] this definition produces.
+    pub fn schema(&self) -> CubeSchema {
+        CubeSchema::new(
+            self.dimensions.iter().map(|d| d.name().to_string()),
+            self.measure_name.clone(),
+        )
+        .with_agg(self.agg)
+    }
+}
+
+/// Builder for [`CubeDef`]; path expressions are compiled at `build` time.
+#[derive(Debug)]
+pub struct CubeDefBuilder {
+    format: SourceFormat,
+    record_path: String,
+    timestamp_path: Option<String>,
+    dimensions: Vec<(String, DimSpecKind)>,
+    measure: Option<String>,
+    measure_name: String,
+    agg: AggFn,
+}
+
+#[derive(Debug)]
+enum DimSpecKind {
+    Path(String),
+    Time(TimeField),
+}
+
+/// Errors building a definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeDefError {
+    /// Description, naming the offending path.
+    pub message: String,
+}
+
+impl std::fmt::Display for CubeDefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid cube definition: {}", self.message)
+    }
+}
+
+impl std::error::Error for CubeDefError {}
+
+impl CubeDefBuilder {
+    /// Declares a dimension fed from a record path.
+    pub fn dimension(mut self, name: &str, path: &str) -> Self {
+        self.dimensions
+            .push((name.to_string(), DimSpecKind::Path(path.to_string())));
+        self
+    }
+
+    /// Declares a dimension fed from a calendar field of the document
+    /// timestamp.
+    pub fn time_dimension(mut self, name: &str, field: TimeField) -> Self {
+        self.dimensions
+            .push((name.to_string(), DimSpecKind::Time(field)));
+        self
+    }
+
+    /// Sets the document timestamp path (required with `time_dimension`).
+    pub fn timestamp(mut self, path: &str) -> Self {
+        self.timestamp_path = Some(path.to_string());
+        self
+    }
+
+    /// Sets the measure path and name.
+    pub fn measure(mut self, name: &str, path: &str) -> Self {
+        self.measure = Some(path.to_string());
+        self.measure_name = name.to_string();
+        self
+    }
+
+    /// Counts records instead of reading a measure.
+    pub fn count_records(mut self, name: &str) -> Self {
+        self.measure = None;
+        self.measure_name = name.to_string();
+        self.agg = AggFn::Count;
+        self
+    }
+
+    /// Sets the aggregate function.
+    pub fn agg(mut self, agg: AggFn) -> Self {
+        self.agg = agg;
+        self
+    }
+
+    fn compile(&self, expr: &str) -> Result<ValuePath, CubeDefError> {
+        match self.format {
+            SourceFormat::Xml => XmlPath::parse(expr).map(ValuePath::Xml).map_err(|e| {
+                CubeDefError {
+                    message: format!("{expr:?}: {e}"),
+                }
+            }),
+            SourceFormat::Json => JsonPath::parse(expr).map(ValuePath::Json).map_err(|e| {
+                CubeDefError {
+                    message: format!("{expr:?}: {e}"),
+                }
+            }),
+        }
+    }
+
+    /// Compiles every path and produces the definition.
+    pub fn build(self) -> Result<CubeDef, CubeDefError> {
+        if self.dimensions.is_empty() {
+            return Err(CubeDefError {
+                message: "at least one dimension is required".into(),
+            });
+        }
+        let record_path = self.compile(&self.record_path)?;
+        let timestamp_path = match &self.timestamp_path {
+            Some(p) => Some(self.compile(p)?),
+            None => None,
+        };
+        let uses_time = self
+            .dimensions
+            .iter()
+            .any(|(_, k)| matches!(k, DimSpecKind::Time(_)));
+        if uses_time && timestamp_path.is_none() {
+            return Err(CubeDefError {
+                message: "time dimensions require .timestamp(path)".into(),
+            });
+        }
+        let mut dimensions = Vec::with_capacity(self.dimensions.len());
+        for (name, kind) in &self.dimensions {
+            dimensions.push(match kind {
+                DimSpecKind::Path(p) => DimensionSpec::Path {
+                    name: name.clone(),
+                    path: self.compile(p)?,
+                },
+                DimSpecKind::Time(f) => DimensionSpec::TimeField {
+                    name: name.clone(),
+                    field: *f,
+                },
+            });
+        }
+        let measure = match &self.measure {
+            Some(p) => MeasureSpec::Path(self.compile(p)?),
+            None => MeasureSpec::One,
+        };
+        Ok(CubeDef {
+            format: self.format,
+            record_path,
+            timestamp_path,
+            dimensions,
+            measure,
+            measure_name: self.measure_name,
+            agg: self.agg,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_builder_produces_schema() {
+        let def = CubeDef::xml("/stations/station")
+            .timestamp("@updated")
+            .time_dimension("year", TimeField::Year)
+            .time_dimension("day", TimeField::Day)
+            .dimension("station", "name/text()")
+            .measure("bikes", "bikes/text()")
+            .build()
+            .unwrap();
+        let schema = def.schema();
+        assert_eq!(schema.num_dims(), 3);
+        assert_eq!(schema.dimensions(), ["year", "day", "station"]);
+        assert_eq!(schema.measure(), "bikes");
+    }
+
+    #[test]
+    fn json_builder() {
+        let def = CubeDef::json("/readings/*")
+            .dimension("sensor", "/sensor")
+            .count_records("observations")
+            .build()
+            .unwrap();
+        assert_eq!(def.schema().agg(), AggFn::Count);
+        assert!(matches!(def.measure, MeasureSpec::One));
+    }
+
+    #[test]
+    fn time_dimension_requires_timestamp() {
+        let err = CubeDef::xml("/s/r")
+            .time_dimension("year", TimeField::Year)
+            .measure("m", "v/text()")
+            .build()
+            .unwrap_err();
+        assert!(err.message.contains("timestamp"));
+    }
+
+    #[test]
+    fn bad_paths_are_reported() {
+        let err = CubeDef::xml("///")
+            .dimension("d", "x/text()")
+            .measure("m", "v/text()")
+            .build()
+            .unwrap_err();
+        assert!(err.message.contains("\"///\""));
+        let err = CubeDef::json("stations")
+            .dimension("d", "/x")
+            .measure("m", "/v")
+            .build()
+            .unwrap_err();
+        assert!(err.message.contains("stations"));
+    }
+
+    #[test]
+    fn no_dimensions_rejected() {
+        assert!(CubeDef::xml("/a/b").measure("m", "v/text()").build().is_err());
+    }
+
+    #[test]
+    fn time_field_rendering() {
+        let dt = crate::datetime::DateTime::parse("2016-03-15T09:05:00").unwrap();
+        assert_eq!(TimeField::Year.render(&dt), "2016");
+        assert_eq!(TimeField::Month.render(&dt), "03");
+        assert_eq!(TimeField::Day.render(&dt), "15");
+        assert_eq!(TimeField::Hour.render(&dt), "09");
+        assert_eq!(TimeField::Weekday.render(&dt), "tue");
+    }
+}

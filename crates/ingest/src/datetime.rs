@@ -1,0 +1,263 @@
+//! Civil date/time, from scratch (no chrono): the ISO-8601 subset the feeds
+//! use (`YYYY-MM-DDTHH:MM:SS`), calendar math via the days-from-civil
+//! algorithm, and the calendar fields cube dimensions are derived from.
+
+use std::fmt;
+
+/// A civil date-time (no time zone; feeds publish local time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DateTime {
+    /// Year, e.g. 2015.
+    pub year: i32,
+    /// Month 1-12.
+    pub month: u8,
+    /// Day of month 1-31.
+    pub day: u8,
+    /// Hour 0-23.
+    pub hour: u8,
+    /// Minute 0-59.
+    pub minute: u8,
+    /// Second 0-59.
+    pub second: u8,
+}
+
+/// Days per month in a non-leap year.
+const DAYS_IN_MONTH: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(year: i32, month: u8, day: u8) -> i64 {
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let m = i64::from(month);
+    let d = i64::from(day);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (
+        (y + i64::from(m <= 2)) as i32,
+        m as u8,
+        d as u8,
+    )
+}
+
+impl DateTime {
+    /// Creates a date-time, validating ranges.
+    pub fn new(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Option<Self> {
+        if !(1..=12).contains(&month)
+            || day == 0
+            || day > days_in_month(year, month)
+            || hour > 23
+            || minute > 59
+            || second > 59
+        {
+            return None;
+        }
+        Some(DateTime {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+        })
+    }
+
+    /// Parses `YYYY-MM-DDTHH:MM:SS` (a space also accepted as separator; a
+    /// bare date gets midnight).
+    pub fn parse(s: &str) -> Option<DateTime> {
+        let s = s.trim();
+        let (date, time) = match s.split_once(['T', ' ']) {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let mut dp = date.split('-');
+        let year: i32 = dp.next()?.parse().ok()?;
+        let month: u8 = dp.next()?.parse().ok()?;
+        let day: u8 = dp.next()?.parse().ok()?;
+        if dp.next().is_some() {
+            return None;
+        }
+        let (hour, minute, second) = match time {
+            None => (0, 0, 0),
+            Some(t) => {
+                let t = t.trim_end_matches('Z');
+                let mut tp = t.split(':');
+                let h: u8 = tp.next()?.parse().ok()?;
+                let m: u8 = tp.next()?.parse().ok()?;
+                let s: u8 = match tp.next() {
+                    Some(sec) => sec.parse().ok()?,
+                    None => 0,
+                };
+                if tp.next().is_some() {
+                    return None;
+                }
+                (h, m, s)
+            }
+        };
+        DateTime::new(year, month, day, hour, minute, second)
+    }
+
+    /// Seconds since the Unix epoch.
+    pub fn to_epoch_seconds(&self) -> i64 {
+        days_from_civil(self.year, self.month, self.day) * 86_400
+            + i64::from(self.hour) * 3600
+            + i64::from(self.minute) * 60
+            + i64::from(self.second)
+    }
+
+    /// Builds from seconds since the Unix epoch.
+    pub fn from_epoch_seconds(secs: i64) -> DateTime {
+        let days = secs.div_euclid(86_400);
+        let secs = secs.rem_euclid(86_400);
+        let (year, month, day) = civil_from_days(days);
+        let hour = (secs / 3600) as u8;
+        let minute = ((secs % 3600) / 60) as u8;
+        let second = (secs % 60) as u8;
+        DateTime {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+        }
+    }
+
+    /// This date-time plus whole minutes.
+    pub fn add_minutes(&self, minutes: i64) -> DateTime {
+        DateTime::from_epoch_seconds(self.to_epoch_seconds() + minutes * 60)
+    }
+
+    /// This date-time plus whole days.
+    pub fn add_days(&self, days: i64) -> DateTime {
+        DateTime::from_epoch_seconds(self.to_epoch_seconds() + days * 86_400)
+    }
+
+    /// Day of week, 0 = Monday .. 6 = Sunday.
+    pub fn weekday(&self) -> u8 {
+        let d = days_from_civil(self.year, self.month, self.day);
+        ((d + 3).rem_euclid(7)) as u8
+    }
+
+    /// `YYYY-MM-DD`.
+    pub fn date_string(&self) -> String {
+        format!("{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+
+    /// `HH:MM:SS`.
+    pub fn time_string(&self) -> String {
+        format!("{:02}:{:02}:{:02}", self.hour, self.minute, self.second)
+    }
+}
+
+impl fmt::Display for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}T{}", self.date_string(), self.time_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_and_format() {
+        let dt = DateTime::parse("2016-03-15T10:30:05").unwrap();
+        assert_eq!(dt.to_string(), "2016-03-15T10:30:05");
+        assert_eq!(DateTime::parse("2016-03-15").unwrap().hour, 0);
+        assert_eq!(DateTime::parse("2016-03-15 10:30").unwrap().minute, 30);
+        assert_eq!(DateTime::parse("2016-03-15T10:30:05Z").unwrap().second, 5);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        for bad in [
+            "2016-13-01",
+            "2016-02-30",
+            "2015-02-29",
+            "2016-00-10",
+            "2016-01-00",
+            "2016-01-01T24:00:00",
+            "2016-01-01T10:60:00",
+            "junk",
+            "2016-01-01-01",
+        ] {
+            assert!(DateTime::parse(bad).is_none(), "{bad:?} should fail");
+        }
+        // 2016 is a leap year.
+        assert!(DateTime::parse("2016-02-29").is_some());
+    }
+
+    #[test]
+    fn epoch_known_values() {
+        assert_eq!(
+            DateTime::parse("1970-01-01T00:00:00").unwrap().to_epoch_seconds(),
+            0
+        );
+        assert_eq!(
+            DateTime::parse("2016-03-15T00:00:00").unwrap().to_epoch_seconds(),
+            1_458_000_000
+        );
+    }
+
+    #[test]
+    fn weekday_known_values() {
+        // 2016-03-15 was a Tuesday.
+        assert_eq!(DateTime::parse("2016-03-15").unwrap().weekday(), 1);
+        // 1970-01-01 was a Thursday.
+        assert_eq!(DateTime::parse("1970-01-01").unwrap().weekday(), 3);
+    }
+
+    #[test]
+    fn arithmetic_crosses_boundaries() {
+        let nye = DateTime::parse("2015-12-31T23:59:00").unwrap();
+        assert_eq!(nye.add_minutes(1).to_string(), "2016-01-01T00:00:00");
+        assert_eq!(nye.add_days(1).to_string(), "2016-01-01T23:59:00");
+        let leap = DateTime::parse("2016-02-28T12:00:00").unwrap();
+        assert_eq!(leap.add_days(1).date_string(), "2016-02-29");
+    }
+
+    proptest! {
+        #[test]
+        fn epoch_roundtrip(secs in -4_000_000_000i64..10_000_000_000) {
+            let dt = DateTime::from_epoch_seconds(secs);
+            prop_assert_eq!(dt.to_epoch_seconds(), secs);
+        }
+
+        #[test]
+        fn parse_display_roundtrip(
+            y in 1900i32..2100, mo in 1u8..=12, d in 1u8..=28,
+            h in 0u8..24, mi in 0u8..60, s in 0u8..60,
+        ) {
+            let dt = DateTime::new(y, mo, d, h, mi, s).unwrap();
+            prop_assert_eq!(DateTime::parse(&dt.to_string()), Some(dt));
+        }
+    }
+}

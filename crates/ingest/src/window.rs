@@ -1,0 +1,123 @@
+//! The paper's evaluation windows.
+//!
+//! §5 builds one cube per time period of bikes data: one day, one week, one
+//! month, two months and six months. [`Window`] names those periods and
+//! derives their boundaries from a start date.
+
+use crate::datetime::DateTime;
+use std::fmt;
+
+/// An evaluation window (Table 2's five datasets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Window {
+    /// One day.
+    Day,
+    /// One week.
+    Week,
+    /// One month (30 days).
+    Month,
+    /// Two months (the paper's `TMonth`).
+    TMonth,
+    /// Six months (the paper's `SMonth`).
+    SMonth,
+}
+
+impl Window {
+    /// All windows, smallest first.
+    pub const ALL: [Window; 5] = [
+        Window::Day,
+        Window::Week,
+        Window::Month,
+        Window::TMonth,
+        Window::SMonth,
+    ];
+
+    /// The paper's label for the window.
+    pub fn label(self) -> &'static str {
+        match self {
+            Window::Day => "Day",
+            Window::Week => "Week",
+            Window::Month => "Month",
+            Window::TMonth => "TMonth",
+            Window::SMonth => "SMonth",
+        }
+    }
+
+    /// Window length in days (months normalized to 30 days).
+    pub fn days(self) -> i64 {
+        match self {
+            Window::Day => 1,
+            Window::Week => 7,
+            Window::Month => 30,
+            Window::TMonth => 60,
+            Window::SMonth => 180,
+        }
+    }
+
+    /// Window length in minutes.
+    pub fn minutes(self) -> i64 {
+        self.days() * 24 * 60
+    }
+
+    /// End of a window starting at `start` (exclusive).
+    pub fn end(self, start: DateTime) -> DateTime {
+        start.add_days(self.days())
+    }
+
+    /// Whether `t` falls inside `[start, start + window)`.
+    pub fn contains(self, start: DateTime, t: DateTime) -> bool {
+        t >= start && t < self.end(start)
+    }
+
+    /// Parses a paper label (case-insensitive).
+    pub fn parse(s: &str) -> Option<Window> {
+        match s.to_ascii_lowercase().as_str() {
+            "day" => Some(Window::Day),
+            "week" => Some(Window::Week),
+            "month" => Some(Window::Month),
+            "tmonth" => Some(Window::TMonth),
+            "smonth" => Some(Window::SMonth),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_scale() {
+        assert_eq!(Window::Day.days(), 1);
+        assert_eq!(Window::Week.days(), 7);
+        assert_eq!(Window::SMonth.days(), 180);
+        assert_eq!(Window::Day.minutes(), 1440);
+        assert!(Window::ALL.windows(2).all(|w| w[0].days() < w[1].days()));
+    }
+
+    #[test]
+    fn containment() {
+        let start = DateTime::parse("2015-11-01T00:00:00").unwrap();
+        let inside = DateTime::parse("2015-11-01T23:59:59").unwrap();
+        let boundary = DateTime::parse("2015-11-02T00:00:00").unwrap();
+        assert!(Window::Day.contains(start, inside));
+        assert!(!Window::Day.contains(start, boundary));
+        assert!(Window::Week.contains(start, boundary));
+        assert!(!Window::Day.contains(start, start.add_minutes(-1)));
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for w in Window::ALL {
+            assert_eq!(Window::parse(w.label()), Some(w));
+            assert_eq!(Window::parse(&w.label().to_uppercase()), Some(w));
+        }
+        assert_eq!(Window::parse("fortnight"), None);
+    }
+}

@@ -1,0 +1,33 @@
+//! JSON parse errors with positions.
+
+use std::fmt;
+
+/// A JSON parse error at a 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+impl JsonError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>, line: u32, column: u32) -> Self {
+        Self {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}

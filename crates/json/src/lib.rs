@@ -1,0 +1,34 @@
+//! # sc-json
+//!
+//! A from-scratch JSON (RFC 8259) parser and writer.
+//!
+//! Several smart-city feeds (air quality, auction data) publish JSON rather
+//! than XML; the paper's goal is "a canonical approach to managing XML and
+//! JSON smart city data streams", so the ingest layer accepts both. This
+//! crate provides:
+//!
+//! * [`value::JsonValue`] — an owned value model with object key order
+//!   preserved,
+//! * [`parse`] — a recursive-descent parser with positioned errors,
+//! * [`value::JsonValue::to_json`] — a compact writer (plus pretty printing),
+//! * `pointer` — JSON-pointer-style paths (`/stations/0/name`, with a `*`
+//!   wildcard extension) used by cube definitions.
+//!
+//! ```
+//! use sc_json::{parse, JsonValue};
+//!
+//! let v = parse(r#"{"station": "Fenian St", "bikes": 3}"#).unwrap();
+//! assert_eq!(v.get("station").and_then(JsonValue::as_str), Some("Fenian St"));
+//! assert_eq!(v.get("bikes").and_then(JsonValue::as_i64), Some(3));
+//! ```
+
+pub mod error;
+pub mod parser;
+pub mod pointer;
+pub mod value;
+pub mod writer;
+
+pub use error::JsonError;
+pub use parser::parse;
+pub use pointer::JsonPath;
+pub use value::JsonValue;

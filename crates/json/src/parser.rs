@@ -1,0 +1,461 @@
+//! Recursive-descent JSON parser (RFC 8259).
+
+use crate::error::JsonError;
+use crate::value::JsonValue;
+
+/// Maximum nesting depth, to keep hostile inputs from overflowing the stack.
+const MAX_DEPTH: usize = 512;
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser::new(input);
+    p.skip_ws();
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if !p.is_eof() {
+        return Err(p.err("trailing characters after the JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            bytes: input.as_bytes(),
+            input,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn is_eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError::new(message, self.line, self.col)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.err(format!(
+                "expected {:?}, found {:?}",
+                b as char, c as char
+            ))),
+            None => Err(self.err(format!("expected {:?}, found end of input", b as char))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), JsonError> {
+        if self.input[self.pos..].starts_with(kw) {
+            for _ in 0..kw.len() {
+                self.bump();
+            }
+            Ok(())
+        } else {
+            Err(self.err(format!("invalid literal, expected {kw:?}")))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("maximum nesting depth exceeded"));
+        }
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(JsonValue::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(JsonValue::Bool(false))
+            }
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(JsonValue::Null)
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(JsonValue::Object(members)),
+                Some(c) => {
+                    return Err(self.err(format!(
+                        "expected ',' or '}}' in object, found {:?}",
+                        c as char
+                    )))
+                }
+                None => return Err(self.err("unterminated object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonValue::Array(items)),
+                Some(c) => {
+                    return Err(self.err(format!(
+                        "expected ',' or ']' in array, found {:?}",
+                        c as char
+                    )))
+                }
+                None => return Err(self.err("unterminated array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Fast path: copy a run of plain bytes at once.
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                // Multi-byte UTF-8 is fine: we advance bytewise but only
+                // slice at boundaries found via peek of ASCII delimiters.
+                self.pos += 1;
+                self.col += 1;
+            }
+            out.push_str(&self.input[start..self.pos]);
+            match self.peek() {
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    self.parse_escape(&mut out)?;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => unreachable!("loop above stops only at delimiters"),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), JsonError> {
+        match self.bump() {
+            Some(b'"') => out.push('"'),
+            Some(b'\\') => out.push('\\'),
+            Some(b'/') => out.push('/'),
+            Some(b'b') => out.push('\u{0008}'),
+            Some(b'f') => out.push('\u{000C}'),
+            Some(b'n') => out.push('\n'),
+            Some(b'r') => out.push('\r'),
+            Some(b't') => out.push('\t'),
+            Some(b'u') => {
+                let first = self.parse_hex4()?;
+                let c = if (0xD800..0xDC00).contains(&first) {
+                    // High surrogate: must be followed by \uXXXX low surrogate.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.err("high surrogate not followed by low surrogate"));
+                    }
+                    let second = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&second) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    let code =
+                        0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))?
+                } else if (0xDC00..0xE000).contains(&first) {
+                    return Err(self.err("unexpected low surrogate"));
+                } else {
+                    char::from_u32(first).ok_or_else(|| self.err("invalid \\u escape"))?
+                };
+                out.push(c);
+            }
+            Some(c) => return Err(self.err(format!("invalid escape \\{}", c as char))),
+            None => return Err(self.err("unterminated escape")),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        // Integer part: "0" or [1-9][0-9]*.
+        match self.peek() {
+            Some(b'0') => {
+                self.bump();
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.err("numbers may not have leading zeros"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.bump();
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = &self.input[start..self.pos];
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("unparseable number {text:?}")))?;
+        Ok(JsonValue::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("42").unwrap(), JsonValue::Number(42.0));
+        assert_eq!(parse("-3.25e2").unwrap(), JsonValue::Number(-325.0));
+        assert_eq!(parse("\"hi\"").unwrap(), JsonValue::string("hi"));
+    }
+
+    #[test]
+    fn air_quality_feed() {
+        let v = parse(
+            r#"{
+              "sensor": "AQ-17",
+              "readings": [
+                {"pollutant": "NO2", "value": 41.5, "ok": true},
+                {"pollutant": "PM10", "value": 18.0, "ok": null}
+              ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("sensor").unwrap().as_str(), Some("AQ-17"));
+        let readings = v.get("readings").unwrap().as_array().unwrap();
+        assert_eq!(readings.len(), 2);
+        assert_eq!(readings[1].get("pollutant").unwrap().as_str(), Some("PM10"));
+        assert!(readings[1].get("ok").unwrap().is_null());
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            parse(r#""a\"b\\c\/d\b\f\n\r\t""#).unwrap(),
+            JsonValue::string("a\"b\\c/d\u{8}\u{c}\n\r\t")
+        );
+        assert_eq!(parse(r#""A""#).unwrap(), JsonValue::string("A"));
+        assert_eq!(
+            parse(r#""🚲""#).unwrap(),
+            JsonValue::string("🚲")
+        );
+    }
+
+    #[test]
+    fn surrogate_errors() {
+        assert!(parse(r#""\uD83D""#).is_err());
+        assert!(parse(r#""\uD83Dx""#).is_err());
+        assert!(parse(r#""\uDEB2""#).is_err());
+        assert!(parse(r#""\uD83DA""#).is_err());
+    }
+
+    #[test]
+    fn number_edge_cases() {
+        assert!(parse("01").is_err());
+        assert!(parse("1.").is_err());
+        assert!(parse(".5").is_err());
+        assert!(parse("1e").is_err());
+        assert!(parse("-").is_err());
+        assert!(parse("+1").is_err());
+        assert_eq!(parse("0").unwrap(), JsonValue::Number(0.0));
+        assert_eq!(parse("-0").unwrap(), JsonValue::Number(-0.0));
+        assert_eq!(parse("1e+3").unwrap(), JsonValue::Number(1000.0));
+    }
+
+    #[test]
+    fn structural_errors() {
+        for bad in [
+            "", "{", "[", "{\"a\"}", "{\"a\":1,}", "[1,]", "[1 2]", "\"open",
+            "{'a':1}", "nul", "truex", "[]]", "{\"a\":1}{", "\"\x01\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let v = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        let keys: Vec<_> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn duplicate_keys_first_wins_on_get() {
+        let v = parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_i64(), Some(1));
+        assert_eq!(v.as_object().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn depth_limit() {
+        let deep = "[".repeat(600) + &"]".repeat(600);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse("{\n  \"a\": tru\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unicode_text_passthrough() {
+        let v = parse("\"Baile Átha Cliath 🚲\"").unwrap();
+        assert_eq!(v.as_str(), Some("Baile Átha Cliath 🚲"));
+    }
+
+    proptest! {
+        /// parse(value.to_json()) == value for arbitrary generated values.
+        #[test]
+        fn roundtrip(v in arb_json(3)) {
+            let text = v.to_json();
+            let back = parse(&text).unwrap();
+            prop_assert_eq!(back, v);
+        }
+
+        /// Pretty and compact forms parse to the same value.
+        #[test]
+        fn pretty_equals_compact(v in arb_json(3)) {
+            let pretty = v.to_json_pretty();
+            prop_assert_eq!(parse(&pretty).unwrap(), parse(&v.to_json()).unwrap());
+        }
+    }
+
+    fn arb_json(depth: u32) -> impl Strategy<Value = JsonValue> {
+        let leaf = prop_oneof![
+            Just(JsonValue::Null),
+            any::<bool>().prop_map(JsonValue::Bool),
+            // Finite, exactly-representable numbers so equality is exact.
+            (-1_000_000i64..1_000_000).prop_map(|n| JsonValue::Number(n as f64)),
+            "[ -~]{0,16}".prop_map(JsonValue::String),
+        ];
+        leaf.prop_recursive(depth, 64, 8, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..6).prop_map(JsonValue::Array),
+                proptest::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(|members| {
+                    JsonValue::Object(members)
+                }),
+            ]
+        })
+    }
+}

@@ -1,0 +1,212 @@
+//! JSON-pointer-style paths with a `*` wildcard extension.
+//!
+//! Cube definitions use these to locate record arrays and field values in
+//! JSON feeds, mirroring what `sc-xml`'s XPath-lite does for XML:
+//!
+//! * `/stations/3/name` — RFC 6901-style member/index navigation,
+//! * `/stations/*` — every element of the `stations` array (the wildcard is
+//!   the extension that makes record iteration expressible),
+//! * `~0`/`~1` escapes are honoured per RFC 6901.
+
+use crate::value::JsonValue;
+use std::fmt;
+
+/// One path segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Object member name (or array index if it parses as a number).
+    Key(String),
+    /// `*`: all elements of an array / all member values of an object.
+    Wildcard,
+}
+
+/// Error parsing a pointer expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonPathError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON path: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonPathError {}
+
+/// A compiled pointer path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonPath {
+    /// Segments in order. Empty means "the root value itself".
+    pub segments: Vec<Segment>,
+}
+
+impl JsonPath {
+    /// Parses a pointer. The empty string and `/` both denote the root.
+    pub fn parse(expr: &str) -> Result<JsonPath, JsonPathError> {
+        let expr = expr.trim();
+        if expr.is_empty() || expr == "/" {
+            return Ok(JsonPath { segments: vec![] });
+        }
+        let body = expr.strip_prefix('/').ok_or(JsonPathError {
+            message: format!("path must start with '/': {expr:?}"),
+        })?;
+        let mut segments = Vec::new();
+        for raw in body.split('/') {
+            if raw == "*" {
+                segments.push(Segment::Wildcard);
+                continue;
+            }
+            // RFC 6901 unescaping: ~1 -> '/', ~0 -> '~'.
+            let mut key = String::with_capacity(raw.len());
+            let mut chars = raw.chars();
+            while let Some(c) = chars.next() {
+                if c == '~' {
+                    match chars.next() {
+                        Some('0') => key.push('~'),
+                        Some('1') => key.push('/'),
+                        other => {
+                            return Err(JsonPathError {
+                                message: format!("bad escape '~{}'", other.unwrap_or(' ')),
+                            })
+                        }
+                    }
+                } else {
+                    key.push(c);
+                }
+            }
+            segments.push(Segment::Key(key));
+        }
+        Ok(JsonPath { segments })
+    }
+
+    /// Evaluates the path, returning all matched values.
+    pub fn select<'a>(&self, root: &'a JsonValue) -> Vec<&'a JsonValue> {
+        let mut current = vec![root];
+        for seg in &self.segments {
+            let mut next = Vec::new();
+            for v in current {
+                match seg {
+                    Segment::Wildcard => match v {
+                        JsonValue::Array(items) => next.extend(items.iter()),
+                        JsonValue::Object(members) => {
+                            next.extend(members.iter().map(|(_, v)| v))
+                        }
+                        _ => {}
+                    },
+                    Segment::Key(k) => {
+                        if let Some(found) = v.get(k) {
+                            next.push(found);
+                        } else if let (JsonValue::Array(items), Ok(idx)) =
+                            (v, k.parse::<usize>())
+                        {
+                            if let Some(found) = items.get(idx) {
+                                next.push(found);
+                            }
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Vec::new();
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// First matched value, if any.
+    pub fn select_first<'a>(&self, root: &'a JsonValue) -> Option<&'a JsonValue> {
+        self.select(root).into_iter().next()
+    }
+
+    /// Matched values rendered as display strings (see
+    /// [`JsonValue::to_display_string`]).
+    pub fn select_values(&self, root: &JsonValue) -> Vec<String> {
+        self.select(root)
+            .into_iter()
+            .map(JsonValue::to_display_string)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn feed() -> JsonValue {
+        parse(
+            r#"{
+              "updated": "10:00",
+              "stations": [
+                {"id": 17, "name": "Fenian St", "bikes": 3},
+                {"id": 42, "name": "Smithfield", "bikes": 11}
+              ],
+              "a/b": {"~": "tilde"}
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn root_path() {
+        let f = feed();
+        assert_eq!(JsonPath::parse("").unwrap().select(&f), vec![&f]);
+        assert_eq!(JsonPath::parse("/").unwrap().select(&f), vec![&f]);
+    }
+
+    #[test]
+    fn member_and_index() {
+        let f = feed();
+        let p = JsonPath::parse("/stations/1/name").unwrap();
+        assert_eq!(p.select_first(&f).unwrap().as_str(), Some("Smithfield"));
+    }
+
+    #[test]
+    fn wildcard_over_array() {
+        let f = feed();
+        let p = JsonPath::parse("/stations/*/bikes").unwrap();
+        assert_eq!(p.select_values(&f), vec!["3", "11"]);
+    }
+
+    #[test]
+    fn wildcard_over_object() {
+        let v = parse(r#"{"a": 1, "b": 2}"#).unwrap();
+        let p = JsonPath::parse("/*").unwrap();
+        assert_eq!(p.select_values(&v), vec!["1", "2"]);
+    }
+
+    #[test]
+    fn rfc6901_escapes() {
+        let f = feed();
+        let p = JsonPath::parse("/a~1b/~0").unwrap();
+        assert_eq!(p.select_first(&f).unwrap().as_str(), Some("tilde"));
+    }
+
+    #[test]
+    fn missing_paths_select_nothing() {
+        let f = feed();
+        assert!(JsonPath::parse("/nope").unwrap().select(&f).is_empty());
+        assert!(JsonPath::parse("/stations/9").unwrap().select(&f).is_empty());
+        assert!(JsonPath::parse("/updated/deeper")
+            .unwrap()
+            .select(&f)
+            .is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(JsonPath::parse("stations").is_err());
+        assert!(JsonPath::parse("/a~2b").is_err());
+        assert!(JsonPath::parse("/a~").is_err());
+    }
+
+    #[test]
+    fn numeric_object_keys_beat_indices() {
+        let v = parse(r#"{"0": "zero"}"#).unwrap();
+        let p = JsonPath::parse("/0").unwrap();
+        assert_eq!(p.select_first(&v).unwrap().as_str(), Some("zero"));
+    }
+}

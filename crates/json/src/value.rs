@@ -1,0 +1,212 @@
+//! Owned JSON value model.
+
+use std::fmt;
+
+/// A JSON value. Object member order is preserved (feeds are order-stable
+/// and tests compare serialized output).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number. Stored as `f64`, like most dynamic JSON models;
+    /// integers up to 2^53 roundtrip exactly.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with member order preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Array element lookup.
+    pub fn index(&self, i: usize) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&str` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer if it is a number with an exact integral value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Number(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow as object members.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// A loose string rendering used by the ingest layer: strings are
+    /// returned verbatim, scalars via their JSON form, composites via
+    /// compact JSON.
+    pub fn to_display_string(&self) -> String {
+        match self {
+            JsonValue::String(s) => s.clone(),
+            other => other.to_json(),
+        }
+    }
+
+    /// Compact JSON serialization.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        crate::writer::write_compact(self, &mut out);
+        out
+    }
+
+    /// Pretty JSON serialization with two-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        crate::writer::write_pretty(self, 0, &mut out);
+        out
+    }
+
+    /// Convenience object constructor.
+    pub fn object(members: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience string constructor.
+    pub fn string(s: impl Into<String>) -> JsonValue {
+        JsonValue::String(s.into())
+    }
+
+    /// Convenience number constructor.
+    pub fn number(n: impl Into<f64>) -> JsonValue {
+        JsonValue::Number(n.into())
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.to_string())
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Number(n)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> Self {
+        JsonValue::Number(n as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = JsonValue::object(vec![
+            ("name", "Fenian St".into()),
+            ("bikes", 3i64.into()),
+            ("open", true.into()),
+            ("temp", 13.5.into()),
+            ("tags", JsonValue::Array(vec!["a".into(), "b".into()])),
+            ("nothing", JsonValue::Null),
+        ]);
+        assert_eq!(v.get("name").unwrap().as_str(), Some("Fenian St"));
+        assert_eq!(v.get("bikes").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("open").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("temp").unwrap().as_f64(), Some(13.5));
+        assert_eq!(v.get("temp").unwrap().as_i64(), None);
+        assert_eq!(v.get("tags").unwrap().as_array().unwrap().len(), 2);
+        assert!(v.get("nothing").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.get("tags").unwrap().index(1).unwrap().as_str(), Some("b"));
+    }
+
+    #[test]
+    fn display_string_forms() {
+        assert_eq!(JsonValue::string("x").to_display_string(), "x");
+        assert_eq!(JsonValue::Number(3.0).to_display_string(), "3");
+        assert_eq!(JsonValue::Bool(false).to_display_string(), "false");
+        assert_eq!(JsonValue::Null.to_display_string(), "null");
+    }
+
+    #[test]
+    fn i64_bounds() {
+        assert_eq!(JsonValue::Number(2f64.powi(53)).as_i64(), Some(1 << 53));
+        assert_eq!(JsonValue::Number(2f64.powi(54)).as_i64(), None);
+        assert_eq!(JsonValue::Number(-7.0).as_i64(), Some(-7));
+    }
+}

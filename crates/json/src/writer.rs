@@ -1,0 +1,159 @@
+//! JSON serialization (compact and pretty).
+
+use crate::value::JsonValue;
+
+/// Writes `v` in compact form (no whitespace).
+pub fn write_compact(v: &JsonValue, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::Number(n) => write_number(*n, out),
+        JsonValue::String(s) => write_string(s, out),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(members) => {
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Writes `v` with two-space indentation at `indent` levels deep.
+pub fn write_pretty(v: &JsonValue, indent: usize, out: &mut String) {
+    match v {
+        JsonValue::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        JsonValue::Object(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if n.is_finite() {
+        if n.fract() == 0.0 && n.abs() < 1e15 {
+            // Integral values print without a trailing ".0".
+            out.push_str(&format!("{}", n as i64));
+        } else {
+            out.push_str(&format!("{n}"));
+        }
+    } else {
+        // JSON has no NaN/Infinity; emit null like most tolerant writers.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_shapes() {
+        let v = JsonValue::object(vec![
+            ("a", JsonValue::Array(vec![1i64.into(), 2i64.into()])),
+            ("b", "x\"y".into()),
+            ("c", JsonValue::Null),
+        ]);
+        assert_eq!(v.to_json(), r#"{"a":[1,2],"b":"x\"y","c":null}"#);
+    }
+
+    #[test]
+    fn pretty_shape() {
+        let v = JsonValue::object(vec![("a", JsonValue::Array(vec![1i64.into()]))]);
+        assert_eq!(v.to_json_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_composites_stay_compact_in_pretty() {
+        let v = JsonValue::object(vec![
+            ("a", JsonValue::Array(vec![])),
+            ("b", JsonValue::Object(vec![])),
+        ]);
+        assert_eq!(v.to_json_pretty(), "{\n  \"a\": [],\n  \"b\": {}\n}");
+    }
+
+    #[test]
+    fn numbers_render_cleanly() {
+        assert_eq!(JsonValue::Number(3.0).to_json(), "3");
+        assert_eq!(JsonValue::Number(3.5).to_json(), "3.5");
+        assert_eq!(JsonValue::Number(-0.25).to_json(), "-0.25");
+        assert_eq!(JsonValue::Number(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::Number(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let v = JsonValue::string("a\u{1}b\nc");
+        let text = v.to_json();
+        assert_eq!(text, "\"a\\u0001b\\nc\"");
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+}

@@ -1,0 +1,203 @@
+//! The commit log: durability journal of the write path.
+//!
+//! Every mutation is framed and appended before it touches the memtable,
+//! exactly as Cassandra does; Table 5's insertion time therefore pays real
+//! serialization and append costs per statement (and batches amortize the
+//! append, like Cassandra's `BEGIN BATCH`).
+//!
+//! Frame format: `[len: u32][crc: u32][payload]` where `crc` covers the
+//! payload. Replay stops cleanly at a torn tail.
+
+use crate::error::{NosqlError, Result};
+use sc_encoding::{Crc32, Decoder, Encoder};
+use sc_storage::Vfs;
+
+/// A mutation record as stored in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Qualified table name the mutation applies to.
+    pub table: String,
+    /// Encoded partition key.
+    pub key: Vec<u8>,
+    /// Encoded row body, empty for a tombstone.
+    pub body: Vec<u8>,
+    /// Write timestamp.
+    pub timestamp: u64,
+}
+
+/// Append handle for one engine's commit log.
+#[derive(Debug)]
+pub struct CommitLog {
+    vfs: Vfs,
+    file: String,
+}
+
+impl CommitLog {
+    /// Opens (or creates) the log at `file`.
+    pub fn open(vfs: Vfs, file: impl Into<String>) -> CommitLog {
+        CommitLog {
+            vfs,
+            file: file.into(),
+        }
+    }
+
+    fn frame(record: &LogRecord, out: &mut Encoder) {
+        let mut payload = Encoder::new();
+        payload
+            .put_str(&record.table)
+            .put_bytes(&record.key)
+            .put_bytes(&record.body)
+            .put_u64_fixed(record.timestamp);
+        let payload = payload.into_bytes();
+        out.put_u32_fixed(payload.len() as u32);
+        out.put_u32_fixed(Crc32::of(&payload));
+        out.put_raw(&payload);
+    }
+
+    /// Appends one mutation.
+    pub fn append(&self, record: &LogRecord) -> Result<()> {
+        let mut enc = Encoder::new();
+        Self::frame(record, &mut enc);
+        self.vfs.append(&self.file, enc.bytes())?;
+        Ok(())
+    }
+
+    /// Appends a group of mutations in one write (batch commit).
+    pub fn append_batch(&self, records: &[LogRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut enc = Encoder::new();
+        for r in records {
+            Self::frame(r, &mut enc);
+        }
+        self.vfs.append(&self.file, enc.bytes())?;
+        Ok(())
+    }
+
+    /// Bytes currently in the log.
+    pub fn size(&self) -> u64 {
+        self.vfs.len(&self.file).unwrap_or(0)
+    }
+
+    /// Truncates the log (after a flush makes it redundant).
+    pub fn truncate(&self) -> Result<()> {
+        self.vfs.delete(&self.file)?;
+        Ok(())
+    }
+
+    /// Replays all intact records; a torn or corrupt tail ends the replay
+    /// without error (standard commit-log semantics).
+    pub fn replay(&self) -> Result<Vec<LogRecord>> {
+        let data = match self.vfs.read_all(&self.file) {
+            Ok(d) => d,
+            Err(sc_storage::StorageError::NotFound(_)) => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut out = Vec::new();
+        let mut dec = Decoder::new(&data);
+        while dec.remaining() >= 8 {
+            let len = dec.get_u32_fixed()? as usize;
+            let crc = dec.get_u32_fixed()?;
+            if dec.remaining() < len {
+                break; // torn tail
+            }
+            let payload = dec.get_raw(len)?;
+            if Crc32::of(payload) != crc {
+                break; // corrupt tail
+            }
+            let mut p = Decoder::new(payload);
+            let table = p.get_str().map_err(NosqlError::from)?.to_string();
+            let key = p.get_bytes()?.to_vec();
+            let body = p.get_bytes()?.to_vec();
+            let timestamp = p.get_u64_fixed()?;
+            out.push(LogRecord {
+                table,
+                key,
+                body,
+                timestamp,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u8) -> LogRecord {
+        LogRecord {
+            table: "ks.t".into(),
+            key: vec![i],
+            body: vec![i; i as usize],
+            timestamp: i as u64,
+        }
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let vfs = Vfs::memory();
+        let log = CommitLog::open(vfs, "ks/commitlog");
+        log.append(&rec(1)).unwrap();
+        log.append_batch(&[rec(2), rec(3)]).unwrap();
+        assert_eq!(log.replay().unwrap(), vec![rec(1), rec(2), rec(3)]);
+        assert!(log.size() > 0);
+    }
+
+    #[test]
+    fn replay_of_missing_log_is_empty() {
+        let log = CommitLog::open(Vfs::memory(), "nope");
+        assert!(log.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let vfs = Vfs::memory();
+        let log = CommitLog::open(vfs.clone(), "log");
+        log.append(&rec(1)).unwrap();
+        log.append(&rec(2)).unwrap();
+        // Simulate a torn write: truncate the file mid-frame.
+        let data = vfs.read_all("log").unwrap();
+        vfs.delete("log").unwrap();
+        vfs.append("log", &data[..data.len() - 3]).unwrap();
+        assert_eq!(log.replay().unwrap(), vec![rec(1)]);
+    }
+
+    #[test]
+    fn corrupt_payload_stops_replay() {
+        let vfs = Vfs::memory();
+        let log = CommitLog::open(vfs.clone(), "log");
+        log.append(&rec(1)).unwrap();
+        let mut data = vfs.read_all("log").unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xff;
+        vfs.delete("log").unwrap();
+        vfs.append("log", &data).unwrap();
+        assert!(log.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncate_resets() {
+        let vfs = Vfs::memory();
+        let log = CommitLog::open(vfs, "log");
+        log.append(&rec(1)).unwrap();
+        log.truncate().unwrap();
+        assert_eq!(log.size(), 0);
+        assert!(log.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_is_one_storage_write() {
+        // The batch framing writes the same record bytes; total size of a
+        // batch equals the sum of individual frames.
+        let vfs1 = Vfs::memory();
+        let single = CommitLog::open(vfs1, "a");
+        single.append(&rec(1)).unwrap();
+        single.append(&rec(2)).unwrap();
+        let vfs2 = Vfs::memory();
+        let batched = CommitLog::open(vfs2, "b");
+        batched.append_batch(&[rec(1), rec(2)]).unwrap();
+        assert_eq!(single.size(), batched.size());
+    }
+}

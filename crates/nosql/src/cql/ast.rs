@@ -1,0 +1,209 @@
+//! CQL statement AST.
+
+use crate::types::{CqlType, CqlValue};
+
+/// A fully-qualified table reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Keyspace name.
+    pub keyspace: String,
+    /// Table name.
+    pub table: String,
+}
+
+/// `WHERE <column> = <value>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhereClause {
+    /// Column constrained.
+    pub column: String,
+    /// Required value.
+    pub value: CqlValue,
+}
+
+/// The column list of a SELECT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectColumns {
+    /// `SELECT *`.
+    All,
+    /// An explicit list.
+    Named(Vec<String>),
+    /// `SELECT COUNT(*)`.
+    Count,
+}
+
+/// A parsed CQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `CREATE KEYSPACE name`.
+    CreateKeyspace {
+        /// Keyspace name.
+        name: String,
+    },
+    /// `CREATE TABLE ks.t (...)`.
+    CreateTable {
+        /// Target.
+        table: TableRef,
+        /// Column name/type pairs in declaration order.
+        columns: Vec<(String, CqlType)>,
+        /// Primary-key column name.
+        primary_key: String,
+    },
+    /// `CREATE INDEX ON ks.t (col)`.
+    CreateIndex {
+        /// Target.
+        table: TableRef,
+        /// Indexed column.
+        column: String,
+    },
+    /// `INSERT INTO ks.t (cols) VALUES (vals)`.
+    Insert {
+        /// Target.
+        table: TableRef,
+        /// Bound column names.
+        columns: Vec<String>,
+        /// Literal values, aligned with `columns`.
+        values: Vec<CqlValue>,
+    },
+    /// `SELECT ... FROM ks.t [WHERE ...] [LIMIT n]`.
+    Select {
+        /// Target.
+        table: TableRef,
+        /// Projected columns.
+        columns: SelectColumns,
+        /// Optional equality filter.
+        where_clause: Option<WhereClause>,
+        /// Optional row limit.
+        limit: Option<usize>,
+    },
+    /// `UPDATE ks.t SET c = v, ... WHERE pk = v` (an upsert, as in
+    /// Cassandra).
+    Update {
+        /// Target.
+        table: TableRef,
+        /// Column/value assignments.
+        assignments: Vec<(String, CqlValue)>,
+        /// Key filter (must be the primary key).
+        where_clause: WhereClause,
+    },
+    /// `DELETE FROM ks.t WHERE pk = v`.
+    Delete {
+        /// Target.
+        table: TableRef,
+        /// Key filter (must be the primary key).
+        where_clause: WhereClause,
+    },
+    /// `TRUNCATE ks.t`.
+    Truncate {
+        /// Target.
+        table: TableRef,
+    },
+    /// `BEGIN BATCH ... APPLY BATCH` of inserts/deletes.
+    Batch {
+        /// The batched statements.
+        statements: Vec<Statement>,
+    },
+}
+
+impl Statement {
+    /// Renders the statement back to CQL text (inverse of parsing; used to
+    /// show Figure 3's generated INSERT and in the text-path ablation).
+    pub fn to_cql(&self) -> String {
+        match self {
+            Statement::CreateKeyspace { name } => format!("CREATE KEYSPACE {name}"),
+            Statement::CreateTable {
+                table,
+                columns,
+                primary_key,
+            } => {
+                let cols: Vec<String> = columns
+                    .iter()
+                    .map(|(n, t)| format!("{n} {t}"))
+                    .collect();
+                format!(
+                    "CREATE TABLE {}.{} ({}, PRIMARY KEY ({}))",
+                    table.keyspace,
+                    table.table,
+                    cols.join(", "),
+                    primary_key
+                )
+            }
+            Statement::CreateIndex { table, column } => {
+                format!("CREATE INDEX ON {}.{} ({})", table.keyspace, table.table, column)
+            }
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                let vals: Vec<String> = values.iter().map(CqlValue::to_cql_literal).collect();
+                format!(
+                    "INSERT INTO {}.{} ({}) VALUES ({})",
+                    table.keyspace,
+                    table.table,
+                    columns.join(","),
+                    vals.join(",")
+                )
+            }
+            Statement::Select {
+                table,
+                columns,
+                where_clause,
+                limit,
+            } => {
+                let cols = match columns {
+                    SelectColumns::All => "*".to_string(),
+                    SelectColumns::Named(names) => names.join(", "),
+                    SelectColumns::Count => "COUNT(*)".to_string(),
+                };
+                let mut s = format!("SELECT {cols} FROM {}.{}", table.keyspace, table.table);
+                if let Some(w) = where_clause {
+                    s.push_str(&format!(" WHERE {} = {}", w.column, w.value.to_cql_literal()));
+                }
+                if let Some(n) = limit {
+                    s.push_str(&format!(" LIMIT {n}"));
+                }
+                s
+            }
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => {
+                let sets: Vec<String> = assignments
+                    .iter()
+                    .map(|(c, v)| format!("{c} = {}", v.to_cql_literal()))
+                    .collect();
+                format!(
+                    "UPDATE {}.{} SET {} WHERE {} = {}",
+                    table.keyspace,
+                    table.table,
+                    sets.join(", "),
+                    where_clause.column,
+                    where_clause.value.to_cql_literal()
+                )
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => format!(
+                "DELETE FROM {}.{} WHERE {} = {}",
+                table.keyspace,
+                table.table,
+                where_clause.column,
+                where_clause.value.to_cql_literal()
+            ),
+            Statement::Truncate { table } => {
+                format!("TRUNCATE {}.{}", table.keyspace, table.table)
+            }
+            Statement::Batch { statements } => {
+                let mut s = String::from("BEGIN BATCH ");
+                for st in statements {
+                    s.push_str(&st.to_cql());
+                    s.push_str("; ");
+                }
+                s.push_str("APPLY BATCH");
+                s
+            }
+        }
+    }
+}

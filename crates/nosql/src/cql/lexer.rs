@@ -1,0 +1,170 @@
+//! CQL tokenizer.
+
+use crate::error::{NosqlError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Bare identifier or keyword (original case preserved).
+    Ident(String),
+    /// Integer literal.
+    Number(i64),
+    /// Single-quoted string literal, unescaped.
+    Str(String),
+    /// One punctuation character: `( ) , . = ; { } < >` or `*`.
+    Symbol(char),
+}
+
+impl Token {
+    /// Whether this token is the keyword `kw` (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes CQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // -- line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | '.' | '=' | ';' | '{' | '}' | '<' | '>' | '*' => {
+                out.push(Token::Symbol(c));
+                i += 1;
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(NosqlError::Parse(
+                                "unterminated string literal".into(),
+                            ))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Consume a full UTF-8 character.
+                            let ch = input[i..].chars().next().expect("in-bounds");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                        return Err(NosqlError::Parse(format!(
+                            "stray '-' at byte {start}"
+                        )));
+                    }
+                }
+                while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| NosqlError::Parse(format!("bad number {text:?}")))?;
+                out.push(Token::Number(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = input[i..].chars().next().expect("in-bounds");
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(NosqlError::Parse(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_statement_tokenizes() {
+        let toks = tokenize(
+            "INSERT INTO DWARF_CELL (id,key,measure) VALUES (3,'Fenian St', 3);",
+        )
+        .unwrap();
+        assert!(toks[0].is_keyword("insert"));
+        assert!(toks.contains(&Token::Str("Fenian St".into())));
+        assert!(toks.contains(&Token::Number(3)));
+        assert_eq!(*toks.last().unwrap(), Token::Symbol(';'));
+    }
+
+    #[test]
+    fn string_escapes_and_unicode() {
+        let toks = tokenize("'O''Connell St' 'Baile Átha Cliath'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Str("O'Connell St".into()),
+                Token::Str("Baile Átha Cliath".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers_and_sets() {
+        let toks = tokenize("{-1, 2}").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Symbol('{'),
+                Token::Number(-1),
+                Token::Symbol(','),
+                Token::Number(2),
+                Token::Symbol('}'),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT -- everything\n* FROM t").unwrap();
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[1], Token::Symbol('*'));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("- 5").is_err());
+        assert!(tokenize("99999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,984 @@
+//! The database engine: catalog + table runtimes + write/read paths.
+
+use crate::commitlog::CommitLog;
+use crate::cql::ast::{SelectColumns, Statement, TableRef, WhereClause};
+use crate::cql::parse_statement;
+use crate::error::{NosqlError, Result};
+use crate::row::Row;
+use crate::schema::{Catalog, ColumnDef, TableDef};
+use crate::table::{TableOptions, TableRuntime};
+use crate::types::{CqlType, CqlValue};
+use sc_encoding::ByteSize;
+use sc_storage::Vfs;
+use std::collections::HashMap;
+
+/// Engine construction options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DbOptions {
+    /// Per-table flush/compaction tuning.
+    pub table: TableOptions,
+}
+
+/// Rows returned by a SELECT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Projected column names.
+    pub columns: Vec<String>,
+    /// Result rows aligned with `columns`.
+    pub rows: Vec<Vec<CqlValue>>,
+}
+
+impl QueryResult {
+    fn empty() -> QueryResult {
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// An embedded Cassandra-like database.
+#[derive(Debug)]
+pub struct Db {
+    vfs: Vfs,
+    catalog: Catalog,
+    tables: HashMap<String, TableRuntime>,
+    log: CommitLog,
+    clock: u64,
+    options: DbOptions,
+}
+
+const SCHEMA_LOG: &str = "schema.log";
+const COMMIT_LOG: &str = "commitlog";
+
+impl Db {
+    /// Creates an engine over an in-memory VFS (tests, benchmarks).
+    pub fn in_memory() -> Db {
+        Db::with_options(Vfs::memory(), DbOptions::default())
+    }
+
+    /// Creates an engine over an explicit VFS.
+    pub fn with_options(vfs: Vfs, options: DbOptions) -> Db {
+        let log = CommitLog::open(vfs.clone(), COMMIT_LOG);
+        Db {
+            vfs,
+            catalog: Catalog::new(),
+            tables: HashMap::new(),
+            log,
+            clock: 0,
+            options,
+        }
+    }
+
+    /// Reopens an engine from an existing VFS: replays the schema journal,
+    /// reopens SSTables (via fresh flushes they were already on disk — the
+    /// catalog replay recreates runtimes) and replays the commit log into
+    /// memtables.
+    pub fn recover(vfs: Vfs, options: DbOptions) -> Result<Db> {
+        let mut db = Db::with_options(vfs.clone(), options);
+        // Replay DDL.
+        if let Ok(schema) = vfs.read_all(SCHEMA_LOG) {
+            let text = String::from_utf8(schema)
+                .map_err(|_| NosqlError::Corrupt("schema journal is not UTF-8".into()))?;
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                let stmt = parse_statement(line)?;
+                db.apply_ddl(&stmt, false)?;
+            }
+        }
+        // Reattach SSTables that already exist on disk.
+        for (qualified, rt) in &mut db.tables {
+            let prefix = {
+                let def = rt.def();
+                format!("{}/{}/sst-", def.keyspace, def.name)
+            };
+            for file in vfs.list(&prefix)? {
+                rt.attach_sstable(&file)?;
+            }
+            let _ = qualified;
+        }
+        // Replay surviving commit-log records.
+        let records = db.log.replay()?;
+        let mut max_ts = 0;
+        for record in records {
+            max_ts = max_ts.max(record.timestamp);
+            if let Some(rt) = db.tables.get_mut(&record.table) {
+                rt.apply_log_record(record)?;
+            }
+        }
+        db.clock = max_ts + 1;
+        Ok(db)
+    }
+
+    fn next_ts(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// The schema catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Parses and executes one CQL statement.
+    pub fn execute_cql(&mut self, cql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(cql)?;
+        self.execute(&stmt)
+    }
+
+    /// Executes a pre-parsed statement (the "prepared" fast path the bulk
+    /// loader uses).
+    pub fn execute(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateKeyspace { .. }
+            | Statement::CreateTable { .. }
+            | Statement::CreateIndex { .. } => {
+                self.apply_ddl(stmt, true)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                self.insert(table, columns, values)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Select {
+                table,
+                columns,
+                where_clause,
+                limit,
+            } => self.select(table, columns, where_clause.as_ref(), *limit),
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => {
+                self.update(table, assignments, where_clause)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                self.delete(table, where_clause)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Truncate { table } => {
+                self.truncate(table)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Batch { statements } => {
+                for s in statements {
+                    self.execute(s)?;
+                }
+                Ok(QueryResult::empty())
+            }
+        }
+    }
+
+    fn journal_ddl(&self, stmt: &Statement) -> Result<()> {
+        let mut line = stmt.to_cql();
+        line.push('\n');
+        self.vfs.append(SCHEMA_LOG, line.as_bytes())?;
+        Ok(())
+    }
+
+    fn apply_ddl(&mut self, stmt: &Statement, journal: bool) -> Result<()> {
+        match stmt {
+            Statement::CreateKeyspace { name } => {
+                self.catalog.create_keyspace(name)?;
+            }
+            Statement::CreateTable {
+                table,
+                columns,
+                primary_key,
+            } => {
+                let defs: Vec<ColumnDef> = columns
+                    .iter()
+                    .map(|(name, ty)| ColumnDef {
+                        name: name.clone(),
+                        ty: *ty,
+                    })
+                    .collect();
+                let def = TableDef::new(&table.keyspace, &table.table, defs, primary_key)?;
+                self.catalog.create_table(def.clone())?;
+                self.tables.insert(
+                    def.qualified_name(),
+                    TableRuntime::new(def, self.vfs.clone(), self.options.table),
+                );
+            }
+            Statement::CreateIndex { table, column } => {
+                self.create_index(table, column)?;
+            }
+            _ => unreachable!("apply_ddl called on non-DDL"),
+        }
+        if journal {
+            self.journal_ddl(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn create_index(&mut self, table: &TableRef, column: &str) -> Result<()> {
+        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+        let col_idx = def
+            .column_index(column)
+            .ok_or_else(|| NosqlError::UnknownColumn {
+                table: def.name.clone(),
+                column: column.to_string(),
+            })?;
+        if def.is_indexed(column) {
+            return Err(NosqlError::AlreadyExists(format!("index on {column:?}")));
+        }
+        if def.columns[col_idx].ty == CqlType::IntSet {
+            return Err(NosqlError::Unsupported(
+                "secondary indexes on set<int> columns".into(),
+            ));
+        }
+        if def.pk_column().ty != CqlType::Int {
+            return Err(NosqlError::Unsupported(
+                "secondary indexes require an int primary key (posting sets hold ints)".into(),
+            ));
+        }
+        // The hidden index column family: one row per posting, keyed by
+        // `hex(indexed value) ':' row id` — Cassandra's one-cell-per-posting
+        // physical layout expressed as rows.
+        let idx_name = def.index_table_name(column);
+        let idx_def = TableDef::new(
+            &def.keyspace,
+            &idx_name,
+            vec![
+                ColumnDef {
+                    name: "k".into(),
+                    ty: CqlType::Text,
+                },
+                ColumnDef {
+                    name: "id".into(),
+                    ty: CqlType::Int,
+                },
+            ],
+            "k",
+        )?;
+        self.tables.insert(
+            idx_def.qualified_name(),
+            TableRuntime::new(idx_def.clone(), self.vfs.clone(), self.options.table),
+        );
+        self.catalog.create_table(idx_def)?;
+        self.catalog
+            .table_mut(&table.keyspace, &table.table)?
+            .indexed_columns
+            .push(column.to_string());
+        self.tables
+            .get_mut(&format!("{}.{}", table.keyspace, table.table))
+            .expect("runtime exists for cataloged table")
+            .add_index(column);
+        // Backfill for rows already present.
+        let existing = self
+            .tables
+            .get(&format!("{}.{}", table.keyspace, table.table))
+            .expect("runtime exists")
+            .scan()?;
+        let base_def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+        for (_, row) in existing {
+            let pk = row.pk(&base_def).clone();
+            let value = row.values[col_idx].clone();
+            self.index_add(&base_def, column, &value, &pk)?;
+        }
+        Ok(())
+    }
+
+    fn runtime_mut(&mut self, qualified: &str) -> &mut TableRuntime {
+        self.tables
+            .get_mut(qualified)
+            .expect("runtime exists for cataloged table")
+    }
+
+    fn insert(
+        &mut self,
+        table: &TableRef,
+        columns: &[String],
+        values: &[CqlValue],
+    ) -> Result<()> {
+        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+        if columns.len() != values.len() {
+            return Err(NosqlError::Parse(format!(
+                "INSERT binds {} columns but {} values",
+                columns.len(),
+                values.len()
+            )));
+        }
+        // Assemble the full row (unbound columns become null).
+        let mut row_values = vec![CqlValue::Null; def.columns.len()];
+        for (name, value) in columns.iter().zip(values) {
+            let idx = def
+                .column_index(name)
+                .ok_or_else(|| NosqlError::UnknownColumn {
+                    table: def.name.clone(),
+                    column: name.clone(),
+                })?;
+            if !value.matches(def.columns[idx].ty) {
+                return Err(NosqlError::TypeMismatch {
+                    column: name.clone(),
+                    expected: def.columns[idx].ty.name().to_string(),
+                    found: value.type_name().to_string(),
+                });
+            }
+            row_values[idx] = value.clone();
+        }
+        if row_values[def.primary_key].is_null() {
+            return Err(NosqlError::MissingPrimaryKey(def.pk_column().name.clone()));
+        }
+        let row = Row::new(row_values);
+        self.put_row(&def, row)
+    }
+
+    /// Full write path for one row: secondary-index read-before-write,
+    /// commit-log append, memtable insert, posting updates.
+    fn put_row(&mut self, def: &TableDef, row: Row) -> Result<()> {
+        let qualified = def.qualified_name();
+        let key = row.pk_bytes(def);
+        // Gather index work up front so the row can move into the memtable
+        // without a clone (the common, index-free path pays nothing here).
+        let mut index_ops: Vec<(String, Option<CqlValue>, Option<CqlValue>)> = Vec::new();
+        let pk = if def.indexed_columns.is_empty() {
+            CqlValue::Null
+        } else {
+            // Read-before-write: indexed tables must look up the previous
+            // row version to keep postings consistent (a real cost of
+            // Cassandra-style secondary indexes).
+            let old_row = self.runtime_mut(&qualified).get(&key)?;
+            for column in &def.indexed_columns {
+                let idx = def.column_index(column).expect("index on known column");
+                let new_value = row.values[idx].clone();
+                let old_value = old_row.as_ref().map(|r| r.values[idx].clone());
+                if old_value.as_ref() == Some(&new_value) {
+                    continue;
+                }
+                index_ops.push((column.clone(), old_value, Some(new_value)));
+            }
+            row.pk(def).clone()
+        };
+        let ts = self.next_ts();
+        {
+            let log = &self.log;
+            let rt = self
+                .tables
+                .get_mut(&qualified)
+                .expect("runtime exists for cataloged table");
+            rt.put(Some(row), key, ts, Some(log))?;
+        }
+        for (column, old_value, new_value) in index_ops {
+            if let Some(old) = old_value {
+                if !old.is_null() {
+                    self.index_remove(def, &column, &old, &pk)?;
+                }
+            }
+            if let Some(new) = new_value {
+                if !new.is_null() {
+                    self.index_add(def, &column, &new, &pk)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Posting-row key: `len-prefixed(value key) ++ order-preserving id`.
+    /// The value-key prefix groups a per-value partition; the id suffix
+    /// makes each posting its own row. Like Cassandra's index entries, the
+    /// indexed value is stored once (in the key), not repeated in the body.
+    fn posting_key(value: &CqlValue, id: i64) -> Vec<u8> {
+        let mut enc = sc_encoding::Encoder::new();
+        enc.put_bytes(&value.encode_key());
+        enc.put_raw(&((id as u64) ^ (1u64 << 63)).to_be_bytes());
+        enc.into_bytes()
+    }
+
+    /// Prefix covering every posting of `value`.
+    fn posting_prefix(value: &CqlValue) -> Vec<u8> {
+        let mut enc = sc_encoding::Encoder::new();
+        enc.put_bytes(&value.encode_key());
+        enc.into_bytes()
+    }
+
+    fn index_write(
+        &mut self,
+        def: &TableDef,
+        column: &str,
+        value: &CqlValue,
+        pk: &CqlValue,
+        add: bool,
+    ) -> Result<()> {
+        let idx_qualified = format!("{}.{}", def.keyspace, def.index_table_name(column));
+        let id = pk
+            .as_int()
+            .expect("index creation enforced int primary keys");
+        let key = Self::posting_key(value, id);
+        let ts = self.next_ts();
+        // Minimal body: the indexed value lives in the key only.
+        let row = add.then(|| Row::new(vec![CqlValue::Null, CqlValue::Int(id)]));
+        let log = &self.log;
+        let rt = self
+            .tables
+            .get_mut(&idx_qualified)
+            .expect("runtime exists for index table");
+        rt.put(row, key, ts, Some(log))?;
+        Ok(())
+    }
+
+    fn index_add(
+        &mut self,
+        def: &TableDef,
+        column: &str,
+        value: &CqlValue,
+        pk: &CqlValue,
+    ) -> Result<()> {
+        self.index_write(def, column, value, pk, true)
+    }
+
+    fn index_remove(
+        &mut self,
+        def: &TableDef,
+        column: &str,
+        value: &CqlValue,
+        pk: &CqlValue,
+    ) -> Result<()> {
+        self.index_write(def, column, value, pk, false)
+    }
+
+    /// Cassandra UPDATE semantics: an upsert — unassigned columns keep
+    /// their existing values (or null for a fresh row).
+    fn update(
+        &mut self,
+        table: &TableRef,
+        assignments: &[(String, CqlValue)],
+        where_clause: &WhereClause,
+    ) -> Result<()> {
+        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+        if where_clause.column != def.pk_column().name {
+            return Err(NosqlError::Unsupported(format!(
+                "UPDATE is by primary key ({})",
+                def.pk_column().name
+            )));
+        }
+        if !where_clause.value.matches(def.pk_column().ty) {
+            return Err(NosqlError::TypeMismatch {
+                column: where_clause.column.clone(),
+                expected: def.pk_column().ty.name().to_string(),
+                found: where_clause.value.type_name().to_string(),
+            });
+        }
+        let key = where_clause.value.encode_key();
+        let qualified = def.qualified_name();
+        let existing = self.runtime_mut(&qualified).get(&key)?;
+        let mut values = existing
+            .map(|r| r.values)
+            .unwrap_or_else(|| vec![CqlValue::Null; def.columns.len()]);
+        values[def.primary_key] = where_clause.value.clone();
+        for (column, value) in assignments {
+            let idx = def
+                .column_index(column)
+                .ok_or_else(|| NosqlError::UnknownColumn {
+                    table: def.name.clone(),
+                    column: column.clone(),
+                })?;
+            if idx == def.primary_key {
+                return Err(NosqlError::Unsupported(
+                    "the primary key cannot be SET".into(),
+                ));
+            }
+            if !value.matches(def.columns[idx].ty) {
+                return Err(NosqlError::TypeMismatch {
+                    column: column.clone(),
+                    expected: def.columns[idx].ty.name().to_string(),
+                    found: value.type_name().to_string(),
+                });
+            }
+            values[idx] = value.clone();
+        }
+        self.put_row(&def, Row::new(values))
+    }
+
+    fn delete(&mut self, table: &TableRef, where_clause: &WhereClause) -> Result<()> {
+        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+        if where_clause.column != def.pk_column().name {
+            return Err(NosqlError::Unsupported(format!(
+                "DELETE is by primary key ({})",
+                def.pk_column().name
+            )));
+        }
+        let key = where_clause.value.encode_key();
+        let qualified = def.qualified_name();
+        let old_row = self.runtime_mut(&qualified).get(&key)?;
+        let ts = self.next_ts();
+        {
+            let log = &self.log;
+            let rt = self
+                .tables
+                .get_mut(&qualified)
+                .expect("runtime exists for cataloged table");
+            rt.put(None, key, ts, Some(log))?;
+        }
+        if let Some(old) = old_row {
+            for column in def.indexed_columns.clone() {
+                let idx = def.column_index(&column).expect("index on known column");
+                let value = old.values[idx].clone();
+                if !value.is_null() {
+                    self.index_remove(&def, &column, &value, old.pk(&def))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, table: &TableRef) -> Result<()> {
+        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+        let rebuild = |db: &mut Db, name: &str| -> Result<()> {
+            let qualified = format!("{}.{}", def.keyspace, name);
+            let fresh_def = (**db.catalog.table(&def.keyspace, name)?).clone();
+            let prefix = format!("{}/{}/sst-", def.keyspace, name);
+            for f in db.vfs.list(&prefix)? {
+                db.vfs.delete(&f)?;
+            }
+            db.tables.insert(
+                qualified,
+                TableRuntime::new(fresh_def, db.vfs.clone(), db.options.table),
+            );
+            Ok(())
+        };
+        rebuild(self, &def.name)?;
+        for column in &def.indexed_columns {
+            rebuild(self, &def.index_table_name(column))?;
+        }
+        Ok(())
+    }
+
+    fn select(
+        &mut self,
+        table: &TableRef,
+        columns: &SelectColumns,
+        where_clause: Option<&WhereClause>,
+        limit: Option<usize>,
+    ) -> Result<QueryResult> {
+        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+        let qualified = def.qualified_name();
+        let mut rows: Vec<Row> = match where_clause {
+            None => self
+                .runtime_mut(&qualified)
+                .scan()?
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect(),
+            Some(w) if w.column == def.pk_column().name => {
+                let key = w.value.encode_key();
+                self.runtime_mut(&qualified).get(&key)?.into_iter().collect()
+            }
+            Some(w) if def.is_indexed(&w.column) => {
+                let idx_qualified =
+                    format!("{}.{}", def.keyspace, def.index_table_name(&w.column));
+                let prefix = Self::posting_prefix(&w.value);
+                let postings = self.runtime_mut(&idx_qualified).scan_prefix(&prefix)?;
+                let ids: Vec<i64> = postings
+                    .iter()
+                    .filter_map(|(_, r)| r.values[1].as_int())
+                    .collect();
+                let col_idx = def.column_index(&w.column).expect("indexed column exists");
+                let mut out = Vec::with_capacity(ids.len());
+                for id in ids {
+                    if let Some(row) = self
+                        .runtime_mut(&qualified)
+                        .get(&CqlValue::Int(id).encode_key())?
+                    {
+                        // Re-check: postings may be stale relative to
+                        // overwrites racing the index update.
+                        if row.values[col_idx] == w.value {
+                            out.push(row);
+                        }
+                    }
+                }
+                out
+            }
+            Some(w) => {
+                // Unindexed filter: full scan (CQL would demand ALLOW
+                // FILTERING; we accept it for diagnostics and tests).
+                let col_idx =
+                    def.column_index(&w.column)
+                        .ok_or_else(|| NosqlError::UnknownColumn {
+                            table: def.name.clone(),
+                            column: w.column.clone(),
+                        })?;
+                self.runtime_mut(&qualified)
+                    .scan()?
+                    .into_iter()
+                    .map(|(_, r)| r)
+                    .filter(|r| r.values[col_idx] == w.value)
+                    .collect()
+            }
+        };
+        if let Some(n) = limit {
+            rows.truncate(n);
+        }
+        if matches!(columns, SelectColumns::Count) {
+            return Ok(QueryResult {
+                columns: vec!["count".to_string()],
+                rows: vec![vec![CqlValue::Int(rows.len() as i64)]],
+            });
+        }
+        let (names, indices): (Vec<String>, Vec<usize>) = match columns {
+            SelectColumns::Count => unreachable!("handled above"),
+            SelectColumns::All => (
+                def.columns.iter().map(|c| c.name.clone()).collect(),
+                (0..def.columns.len()).collect(),
+            ),
+            SelectColumns::Named(names) => {
+                let mut idx = Vec::with_capacity(names.len());
+                for n in names {
+                    idx.push(def.column_index(n).ok_or_else(|| {
+                        NosqlError::UnknownColumn {
+                            table: def.name.clone(),
+                            column: n.clone(),
+                        }
+                    })?);
+                }
+                (names.clone(), idx)
+            }
+        };
+        let projected = rows
+            .into_iter()
+            .map(|r| indices.iter().map(|&i| r.values[i].clone()).collect())
+            .collect();
+        Ok(QueryResult {
+            columns: names,
+            rows: projected,
+        })
+    }
+
+    /// Flushes every memtable to disk and truncates the commit log (its
+    /// contents are now redundant). Call before measuring sizes.
+    pub fn flush_all(&mut self) -> Result<()> {
+        for rt in self.tables.values_mut() {
+            rt.flush()?;
+        }
+        self.log.truncate()?;
+        Ok(())
+    }
+
+    /// Compacts every table fully.
+    pub fn compact_all(&mut self) -> Result<()> {
+        for rt in self.tables.values_mut() {
+            rt.compact()?;
+        }
+        Ok(())
+    }
+
+    /// On-disk size of one table's SSTables (hidden index tables *not*
+    /// included; see [`Db::keyspace_size`]).
+    pub fn table_size(&self, keyspace: &str, table: &str) -> Result<ByteSize> {
+        self.catalog.table(keyspace, table)?;
+        let rt = self
+            .tables
+            .get(&format!("{keyspace}.{table}"))
+            .expect("runtime exists");
+        Ok(ByteSize::bytes(rt.disk_size()))
+    }
+
+    /// Total on-disk size of a keyspace: all tables including hidden index
+    /// column families. This is the paper's `size_as_mb` measurement.
+    pub fn keyspace_size(&self, keyspace: &str) -> Result<ByteSize> {
+        self.catalog.tables_in(keyspace)?; // validates the keyspace
+        let mut total = 0;
+        for (qualified, rt) in &self.tables {
+            if qualified.starts_with(&format!("{keyspace}.")) {
+                total += rt.disk_size();
+            }
+        }
+        Ok(ByteSize::bytes(total))
+    }
+
+    /// Commit-log bytes currently on disk.
+    pub fn commitlog_size(&self) -> ByteSize {
+        ByteSize::bytes(self.log.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Db {
+        let mut db = Db::in_memory();
+        db.execute_cql("CREATE KEYSPACE ks").unwrap();
+        db.execute_cql(
+            "CREATE TABLE ks.cells (id int, key text, parent int, leaf boolean, \
+             kids set<int>, PRIMARY KEY (id))",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_select_by_pk() {
+        let mut db = setup();
+        db.execute_cql(
+            "INSERT INTO ks.cells (id, key, parent, leaf, kids) \
+             VALUES (3, 'Fenian St', 1, true, {4, 5})",
+        )
+        .unwrap();
+        let r = db
+            .execute_cql("SELECT key, kids FROM ks.cells WHERE id = 3")
+            .unwrap();
+        assert_eq!(r.columns, vec!["key", "kids"]);
+        assert_eq!(
+            r.rows,
+            vec![vec![
+                CqlValue::Text("Fenian St".into()),
+                CqlValue::int_set([4, 5])
+            ]]
+        );
+    }
+
+    #[test]
+    fn insert_is_upsert() {
+        let mut db = setup();
+        db.execute_cql("INSERT INTO ks.cells (id, key) VALUES (1, 'old')")
+            .unwrap();
+        db.execute_cql("INSERT INTO ks.cells (id, key) VALUES (1, 'new')")
+            .unwrap();
+        let r = db
+            .execute_cql("SELECT key FROM ks.cells WHERE id = 1")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![CqlValue::Text("new".into())]]);
+    }
+
+    #[test]
+    fn unbound_columns_are_null() {
+        let mut db = setup();
+        db.execute_cql("INSERT INTO ks.cells (id) VALUES (9)").unwrap();
+        let r = db
+            .execute_cql("SELECT key, leaf FROM ks.cells WHERE id = 9")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![CqlValue::Null, CqlValue::Null]]);
+    }
+
+    #[test]
+    fn type_checking() {
+        let mut db = setup();
+        assert!(matches!(
+            db.execute_cql("INSERT INTO ks.cells (id, key) VALUES (1, 2)"),
+            Err(NosqlError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            db.execute_cql("INSERT INTO ks.cells (key) VALUES ('x')"),
+            Err(NosqlError::MissingPrimaryKey(_))
+        ));
+        assert!(matches!(
+            db.execute_cql("INSERT INTO ks.cells (id, nope) VALUES (1, 2)"),
+            Err(NosqlError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let mut db = setup();
+        db.execute_cql("CREATE INDEX ON ks.cells (parent)").unwrap();
+        for i in 0..10 {
+            db.execute_cql(&format!(
+                "INSERT INTO ks.cells (id, key, parent) VALUES ({i}, 'k{i}', {})",
+                i % 3
+            ))
+            .unwrap();
+        }
+        let r = db
+            .execute_cql("SELECT id FROM ks.cells WHERE parent = 1")
+            .unwrap();
+        let mut ids: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn index_backfills_existing_rows() {
+        let mut db = setup();
+        db.execute_cql("INSERT INTO ks.cells (id, parent) VALUES (1, 42)")
+            .unwrap();
+        db.execute_cql("CREATE INDEX ON ks.cells (parent)").unwrap();
+        let r = db
+            .execute_cql("SELECT id FROM ks.cells WHERE parent = 42")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn index_tracks_overwrites_and_deletes() {
+        let mut db = setup();
+        db.execute_cql("CREATE INDEX ON ks.cells (parent)").unwrap();
+        db.execute_cql("INSERT INTO ks.cells (id, parent) VALUES (1, 10)")
+            .unwrap();
+        db.execute_cql("INSERT INTO ks.cells (id, parent) VALUES (1, 20)")
+            .unwrap();
+        assert!(db
+            .execute_cql("SELECT id FROM ks.cells WHERE parent = 10")
+            .unwrap()
+            .rows
+            .is_empty());
+        assert_eq!(
+            db.execute_cql("SELECT id FROM ks.cells WHERE parent = 20")
+                .unwrap()
+                .rows
+                .len(),
+            1
+        );
+        db.execute_cql("DELETE FROM ks.cells WHERE id = 1").unwrap();
+        assert!(db
+            .execute_cql("SELECT id FROM ks.cells WHERE parent = 20")
+            .unwrap()
+            .rows
+            .is_empty());
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let mut db = setup();
+        db.execute_cql("CREATE INDEX ON ks.cells (parent)").unwrap();
+        db.execute_cql("INSERT INTO ks.cells (id, key) VALUES (1, 'x')")
+            .unwrap();
+        // Index table stays empty.
+        let idx_size = db.table_size("ks", "cells__idx_parent").unwrap();
+        db.flush_all().unwrap();
+        let _ = idx_size;
+        assert!(db
+            .execute_cql("SELECT id FROM ks.cells WHERE parent = 0")
+            .unwrap()
+            .rows
+            .is_empty());
+    }
+
+    #[test]
+    fn unindexed_filter_falls_back_to_scan() {
+        let mut db = setup();
+        db.execute_cql("INSERT INTO ks.cells (id, key) VALUES (1, 'hit')")
+            .unwrap();
+        db.execute_cql("INSERT INTO ks.cells (id, key) VALUES (2, 'miss')")
+            .unwrap();
+        let r = db
+            .execute_cql("SELECT id FROM ks.cells WHERE key = 'hit'")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![CqlValue::Int(1)]]);
+    }
+
+    #[test]
+    fn select_all_and_limit() {
+        let mut db = setup();
+        for i in 0..5 {
+            db.execute_cql(&format!("INSERT INTO ks.cells (id) VALUES ({i})"))
+                .unwrap();
+        }
+        let r = db.execute_cql("SELECT * FROM ks.cells").unwrap();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.columns.len(), 5);
+        let r = db.execute_cql("SELECT id FROM ks.cells LIMIT 2").unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn truncate_clears_table_and_indexes() {
+        let mut db = setup();
+        db.execute_cql("CREATE INDEX ON ks.cells (parent)").unwrap();
+        db.execute_cql("INSERT INTO ks.cells (id, parent) VALUES (1, 2)")
+            .unwrap();
+        db.execute_cql("TRUNCATE ks.cells").unwrap();
+        assert!(db.execute_cql("SELECT * FROM ks.cells").unwrap().rows.is_empty());
+        assert!(db
+            .execute_cql("SELECT id FROM ks.cells WHERE parent = 2")
+            .unwrap()
+            .rows
+            .is_empty());
+    }
+
+    #[test]
+    fn sizes_after_flush() {
+        let mut db = setup();
+        for i in 0..100 {
+            db.execute_cql(&format!(
+                "INSERT INTO ks.cells (id, key) VALUES ({i}, 'station name {i}')"
+            ))
+            .unwrap();
+        }
+        assert!(db.commitlog_size().as_bytes() > 0);
+        db.flush_all().unwrap();
+        assert_eq!(db.commitlog_size().as_bytes(), 0);
+        let size = db.table_size("ks", "cells").unwrap();
+        assert!(size.as_bytes() > 2000, "got {size}");
+        assert!(db.keyspace_size("ks").unwrap().as_bytes() > 0);
+    }
+
+    #[test]
+    fn index_inflates_keyspace_size() {
+        let mut plain = setup();
+        let mut indexed = setup();
+        indexed
+            .execute_cql("CREATE INDEX ON ks.cells (parent)")
+            .unwrap();
+        for db in [&mut plain, &mut indexed] {
+            for i in 0..200 {
+                db.execute_cql(&format!(
+                    "INSERT INTO ks.cells (id, parent) VALUES ({i}, {})",
+                    i % 10
+                ))
+                .unwrap();
+            }
+            db.flush_all().unwrap();
+        }
+        let p = plain.keyspace_size("ks").unwrap();
+        let x = indexed.keyspace_size("ks").unwrap();
+        assert!(x > p, "indexed {x} must exceed plain {p}");
+    }
+
+    #[test]
+    fn recovery_from_schema_journal_and_commitlog() {
+        let vfs = Vfs::memory();
+        {
+            let mut db = Db::with_options(vfs.clone(), DbOptions::default());
+            db.execute_cql("CREATE KEYSPACE ks").unwrap();
+            db.execute_cql(
+                "CREATE TABLE ks.t (id int, v text, PRIMARY KEY (id))",
+            )
+            .unwrap();
+            db.execute_cql("INSERT INTO ks.t (id, v) VALUES (1, 'logged')")
+                .unwrap();
+            // No flush: the row lives only in the commit log.
+        }
+        let mut db = Db::recover(vfs, DbOptions::default()).unwrap();
+        let r = db.execute_cql("SELECT v FROM ks.t WHERE id = 1").unwrap();
+        assert_eq!(r.rows, vec![vec![CqlValue::Text("logged".into())]]);
+    }
+
+    #[test]
+    fn recovery_reattaches_sstables() {
+        let vfs = Vfs::memory();
+        {
+            let mut db = Db::with_options(vfs.clone(), DbOptions::default());
+            db.execute_cql("CREATE KEYSPACE ks").unwrap();
+            db.execute_cql("CREATE TABLE ks.t (id int, v text, PRIMARY KEY (id))")
+                .unwrap();
+            db.execute_cql("INSERT INTO ks.t (id, v) VALUES (1, 'flushed')")
+                .unwrap();
+            db.flush_all().unwrap();
+        }
+        let mut db = Db::recover(vfs, DbOptions::default()).unwrap();
+        let r = db.execute_cql("SELECT v FROM ks.t WHERE id = 1").unwrap();
+        assert_eq!(r.rows, vec![vec![CqlValue::Text("flushed".into())]]);
+    }
+
+    #[test]
+    fn batch_executes_all() {
+        let mut db = setup();
+        db.execute_cql(
+            "BEGIN BATCH \
+             INSERT INTO ks.cells (id) VALUES (1); \
+             INSERT INTO ks.cells (id) VALUES (2); \
+             APPLY BATCH",
+        )
+        .unwrap();
+        assert_eq!(db.execute_cql("SELECT * FROM ks.cells").unwrap().rows.len(), 2);
+    }
+}

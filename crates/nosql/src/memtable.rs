@@ -1,0 +1,153 @@
+//! In-memory write buffer, sorted by partition key.
+
+use crate::row::Row;
+use std::collections::BTreeMap;
+
+/// A memtable entry: a live row or a tombstone, with its write timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// `None` = tombstone (row deleted at `timestamp`).
+    pub row: Option<Row>,
+    /// Logical write timestamp (last-write-wins).
+    pub timestamp: u64,
+}
+
+/// The in-memory, sorted write buffer of one column family.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    entries: BTreeMap<Vec<u8>, Entry>,
+    /// Approximate bytes held (drives flush decisions).
+    bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Memtable {
+        Memtable::default()
+    }
+
+    /// Upserts a row (or tombstone) under an encoded partition key.
+    pub fn put(&mut self, key: Vec<u8>, entry: Entry, encoded_size: usize) {
+        self.bytes += key.len() + encoded_size;
+        self.entries.insert(key, entry);
+    }
+
+    /// Latest entry for a key, if buffered.
+    pub fn get(&self, key: &[u8]) -> Option<&Entry> {
+        self.entries.get(key)
+    }
+
+    /// Number of buffered keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate buffered bytes (monotone until clear; overwrites keep
+    /// counting, like Cassandra's allocator accounting).
+    pub fn approximate_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &Entry)> {
+        self.entries.iter()
+    }
+
+    /// Iterates entries whose keys start with `prefix`, in key order.
+    pub fn iter_prefix<'a>(
+        &'a self,
+        prefix: &'a [u8],
+    ) -> impl Iterator<Item = (&'a Vec<u8>, &'a Entry)> + 'a {
+        self.entries
+            .range(prefix.to_vec()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+    }
+
+    /// Drains the memtable for a flush, leaving it empty.
+    pub fn drain(&mut self) -> Vec<(Vec<u8>, Entry)> {
+        self.bytes = 0;
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::CqlValue;
+
+    fn row(v: i64) -> Row {
+        Row::new(vec![CqlValue::Int(v)])
+    }
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = Memtable::new();
+        m.put(
+            vec![1],
+            Entry {
+                row: Some(row(10)),
+                timestamp: 1,
+            },
+            16,
+        );
+        m.put(
+            vec![1],
+            Entry {
+                row: Some(row(20)),
+                timestamp: 2,
+            },
+            16,
+        );
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&[1]).unwrap().row.as_ref().unwrap(), &row(20));
+        assert_eq!(m.get(&[1]).unwrap().timestamp, 2);
+        assert!(m.get(&[2]).is_none());
+        assert!(m.approximate_bytes() >= 32, "overwrites keep counting");
+    }
+
+    #[test]
+    fn tombstones_are_entries() {
+        let mut m = Memtable::new();
+        m.put(
+            vec![9],
+            Entry {
+                row: None,
+                timestamp: 5,
+            },
+            1,
+        );
+        assert!(m.get(&[9]).unwrap().row.is_none());
+    }
+
+    #[test]
+    fn drain_empties_in_key_order() {
+        let mut m = Memtable::new();
+        m.put(
+            vec![2],
+            Entry {
+                row: Some(row(2)),
+                timestamp: 1,
+            },
+            8,
+        );
+        m.put(
+            vec![1],
+            Entry {
+                row: Some(row(1)),
+                timestamp: 2,
+            },
+            8,
+        );
+        let drained = m.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, vec![1]);
+        assert_eq!(drained[1].0, vec![2]);
+        assert!(m.is_empty());
+        assert_eq!(m.approximate_bytes(), 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Keyspace / column-family schema catalog.
+
+use crate::error::{NosqlError, Result};
+use crate::types::CqlType;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One column of a column family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: CqlType,
+}
+
+/// A column family (table) definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    /// Owning keyspace.
+    pub keyspace: String,
+    /// Table name.
+    pub name: String,
+    /// Columns, in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Index into `columns` of the partition-key column.
+    pub primary_key: usize,
+    /// Names of columns with secondary indexes.
+    pub indexed_columns: Vec<String>,
+}
+
+impl TableDef {
+    /// Creates a definition, validating names and the primary key.
+    pub fn new(
+        keyspace: &str,
+        name: &str,
+        columns: Vec<ColumnDef>,
+        primary_key: &str,
+    ) -> Result<TableDef> {
+        if columns.is_empty() {
+            return Err(NosqlError::Parse(format!(
+                "table {name} must have at least one column"
+            )));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(NosqlError::Parse(format!(
+                    "duplicate column {:?} in table {name}",
+                    c.name
+                )));
+            }
+        }
+        let pk = columns
+            .iter()
+            .position(|c| c.name == primary_key)
+            .ok_or_else(|| NosqlError::UnknownColumn {
+                table: name.to_string(),
+                column: primary_key.to_string(),
+            })?;
+        if columns[pk].ty == CqlType::IntSet {
+            return Err(NosqlError::Parse(format!(
+                "set<int> column {primary_key:?} cannot be the primary key"
+            )));
+        }
+        Ok(TableDef {
+            keyspace: keyspace.to_string(),
+            name: name.to_string(),
+            columns,
+            primary_key: pk,
+            indexed_columns: Vec::new(),
+        })
+    }
+
+    /// Fully qualified `keyspace.table` name.
+    pub fn qualified_name(&self) -> String {
+        format!("{}.{}", self.keyspace, self.name)
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The primary key column.
+    pub fn pk_column(&self) -> &ColumnDef {
+        &self.columns[self.primary_key]
+    }
+
+    /// Whether `column` has a secondary index.
+    pub fn is_indexed(&self, column: &str) -> bool {
+        self.indexed_columns.iter().any(|c| c == column)
+    }
+
+    /// Name of the hidden index table for `column`.
+    pub fn index_table_name(&self, column: &str) -> String {
+        format!("{}__idx_{}", self.name, column)
+    }
+}
+
+/// The schema catalog: keyspaces and their tables.
+///
+/// Definitions are stored behind `Arc` so the executor's hot path can hold
+/// a table definition without deep-cloning eight column names per INSERT.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    keyspaces: BTreeMap<String, BTreeMap<String, Arc<TableDef>>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Creates a keyspace.
+    pub fn create_keyspace(&mut self, name: &str) -> Result<()> {
+        if self.keyspaces.contains_key(name) {
+            return Err(NosqlError::AlreadyExists(format!("keyspace {name:?}")));
+        }
+        self.keyspaces.insert(name.to_string(), BTreeMap::new());
+        Ok(())
+    }
+
+    /// Whether a keyspace exists.
+    pub fn has_keyspace(&self, name: &str) -> bool {
+        self.keyspaces.contains_key(name)
+    }
+
+    /// Adds a table to its keyspace.
+    pub fn create_table(&mut self, def: TableDef) -> Result<()> {
+        let ks = self
+            .keyspaces
+            .get_mut(&def.keyspace)
+            .ok_or_else(|| NosqlError::UnknownKeyspace(def.keyspace.clone()))?;
+        if ks.contains_key(&def.name) {
+            return Err(NosqlError::AlreadyExists(format!(
+                "table {}",
+                def.qualified_name()
+            )));
+        }
+        ks.insert(def.name.clone(), Arc::new(def));
+        Ok(())
+    }
+
+    /// Looks up a table (cheap `Arc` to clone for hot paths).
+    pub fn table(&self, keyspace: &str, name: &str) -> Result<&Arc<TableDef>> {
+        self.keyspaces
+            .get(keyspace)
+            .ok_or_else(|| NosqlError::UnknownKeyspace(keyspace.to_string()))?
+            .get(name)
+            .ok_or_else(|| NosqlError::UnknownTable(format!("{keyspace}.{name}")))
+    }
+
+    /// Mutable table lookup (index registration).
+    pub fn table_mut(&mut self, keyspace: &str, name: &str) -> Result<&mut TableDef> {
+        self.keyspaces
+            .get_mut(keyspace)
+            .ok_or_else(|| NosqlError::UnknownKeyspace(keyspace.to_string()))?
+            .get_mut(name)
+            .map(Arc::make_mut)
+            .ok_or_else(|| NosqlError::UnknownTable(format!("{keyspace}.{name}")))
+    }
+
+    /// Tables of a keyspace, sorted by name.
+    pub fn tables_in(&self, keyspace: &str) -> Result<Vec<&Arc<TableDef>>> {
+        Ok(self
+            .keyspaces
+            .get(keyspace)
+            .ok_or_else(|| NosqlError::UnknownKeyspace(keyspace.to_string()))?
+            .values()
+            .collect())
+    }
+
+    /// All keyspace names, sorted.
+    pub fn keyspace_names(&self) -> Vec<&str> {
+        self.keyspaces.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef {
+                name: "id".into(),
+                ty: CqlType::Int,
+            },
+            ColumnDef {
+                name: "key".into(),
+                ty: CqlType::Text,
+            },
+            ColumnDef {
+                name: "children".into(),
+                ty: CqlType::IntSet,
+            },
+        ]
+    }
+
+    #[test]
+    fn table_def_basics() {
+        let def = TableDef::new("ks", "cells", cols(), "id").unwrap();
+        assert_eq!(def.qualified_name(), "ks.cells");
+        assert_eq!(def.primary_key, 0);
+        assert_eq!(def.pk_column().name, "id");
+        assert_eq!(def.column_index("key"), Some(1));
+        assert_eq!(def.column_index("zzz"), None);
+        assert!(!def.is_indexed("key"));
+        assert_eq!(def.index_table_name("key"), "cells__idx_key");
+    }
+
+    #[test]
+    fn table_def_rejections() {
+        assert!(matches!(
+            TableDef::new("ks", "t", vec![], "id"),
+            Err(NosqlError::Parse(_))
+        ));
+        assert!(matches!(
+            TableDef::new("ks", "t", cols(), "nope"),
+            Err(NosqlError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            TableDef::new("ks", "t", cols(), "children"),
+            Err(NosqlError::Parse(_))
+        ));
+        let mut dup = cols();
+        dup.push(ColumnDef {
+            name: "id".into(),
+            ty: CqlType::Int,
+        });
+        assert!(matches!(
+            TableDef::new("ks", "t", dup, "id"),
+            Err(NosqlError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn catalog_flow() {
+        let mut cat = Catalog::new();
+        cat.create_keyspace("smartcity").unwrap();
+        assert!(cat.has_keyspace("smartcity"));
+        assert!(matches!(
+            cat.create_keyspace("smartcity"),
+            Err(NosqlError::AlreadyExists(_))
+        ));
+        let def = TableDef::new("smartcity", "cells", cols(), "id").unwrap();
+        cat.create_table(def.clone()).unwrap();
+        assert!(matches!(
+            cat.create_table(def),
+            Err(NosqlError::AlreadyExists(_))
+        ));
+        assert!(cat.table("smartcity", "cells").is_ok());
+        assert!(matches!(
+            cat.table("smartcity", "nodes"),
+            Err(NosqlError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            cat.table("nope", "cells"),
+            Err(NosqlError::UnknownKeyspace(_))
+        ));
+        assert_eq!(cat.tables_in("smartcity").unwrap().len(), 1);
+        assert_eq!(cat.keyspace_names(), vec!["smartcity"]);
+        let bad = TableDef::new("ghost", "t", cols(), "id").unwrap();
+        assert!(matches!(
+            cat.create_table(bad),
+            Err(NosqlError::UnknownKeyspace(_))
+        ));
+    }
+}

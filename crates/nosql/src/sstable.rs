@@ -1,0 +1,292 @@
+//! SSTables: immutable sorted string tables flushed from memtables.
+//!
+//! Layout:
+//!
+//! ```text
+//! [ entries... ][ index ][ footer ]
+//! entry : key(len-prefixed) flag(u8: 1 live / 0 tombstone) ts(u64)
+//!         body(len-prefixed; empty for tombstones)
+//! index : count, then per entry key(len-prefixed) + entry offset
+//! footer: index_offset(u64) index_len(u64) index_crc(u32) magic(u32)
+//! ```
+//!
+//! The index is loaded into memory on open (these are cube-sized tables,
+//! not petabytes); entry bodies are read on demand.
+
+use crate::error::{NosqlError, Result};
+use sc_encoding::{Crc32, Decoder, Encoder};
+use sc_storage::Vfs;
+
+const MAGIC: u32 = 0x5354_4231; // "STB1"
+
+/// One record offered to the writer / returned by readers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SstEntry {
+    /// Encoded partition key.
+    pub key: Vec<u8>,
+    /// Encoded row body; `None` = tombstone.
+    pub body: Option<Vec<u8>>,
+    /// Write timestamp.
+    pub timestamp: u64,
+}
+
+/// Writes a sorted run of entries as one SSTable file.
+///
+/// Panics (debug) if entries are out of order — the flush path always hands
+/// over a sorted memtable drain.
+pub fn write_sstable(vfs: &Vfs, file: &str, entries: &[SstEntry]) -> Result<()> {
+    debug_assert!(
+        entries.windows(2).all(|w| w[0].key < w[1].key),
+        "sstable entries must be strictly sorted"
+    );
+    let mut data = Encoder::new();
+    let mut index = Encoder::new();
+    index.put_u64(entries.len() as u64);
+    for e in entries {
+        index.put_bytes(&e.key);
+        index.put_u64(data.len() as u64);
+        data.put_bytes(&e.key);
+        match &e.body {
+            Some(body) => {
+                data.put_u8(1);
+                data.put_u64_fixed(e.timestamp);
+                data.put_bytes(body);
+            }
+            None => {
+                data.put_u8(0);
+                data.put_u64_fixed(e.timestamp);
+                data.put_bytes(&[]);
+            }
+        }
+    }
+    let index_bytes = index.into_bytes();
+    let index_offset = data.len() as u64;
+    let index_crc = Crc32::of(&index_bytes);
+    let mut out = data;
+    out.put_raw(&index_bytes);
+    out.put_u64_fixed(index_offset);
+    out.put_u64_fixed(index_bytes.len() as u64);
+    out.put_u32_fixed(index_crc);
+    out.put_u32_fixed(MAGIC);
+    vfs.append(file, out.bytes())?;
+    Ok(())
+}
+
+/// An open SSTable with its index resident.
+#[derive(Debug)]
+pub struct SsTable {
+    vfs: Vfs,
+    file: String,
+    /// `(key, offset)` pairs in key order. Entries are written in key
+    /// order, so offsets increase with index position.
+    index: Vec<(Vec<u8>, u64)>,
+    /// End of the data region (== index offset).
+    data_end: u64,
+    size: u64,
+}
+
+impl SsTable {
+    /// Opens and validates an SSTable file.
+    pub fn open(vfs: Vfs, file: impl Into<String>) -> Result<SsTable> {
+        let file = file.into();
+        let size = vfs.len(&file)?;
+        if size < 24 {
+            return Err(NosqlError::Corrupt(format!("{file}: too small")));
+        }
+        let footer = vfs.read_at(&file, size - 24, 24)?;
+        let mut f = Decoder::new(&footer);
+        let index_offset = f.get_u64_fixed()?;
+        let index_len = f.get_u64_fixed()? as usize;
+        let index_crc = f.get_u32_fixed()?;
+        let magic = f.get_u32_fixed()?;
+        if magic != MAGIC {
+            return Err(NosqlError::Corrupt(format!("{file}: bad magic")));
+        }
+        if index_offset + index_len as u64 + 24 != size {
+            return Err(NosqlError::Corrupt(format!("{file}: bad footer geometry")));
+        }
+        let index_bytes = vfs.read_at(&file, index_offset, index_len)?;
+        if Crc32::of(&index_bytes) != index_crc {
+            return Err(NosqlError::Corrupt(format!("{file}: index checksum")));
+        }
+        let mut d = Decoder::new(&index_bytes);
+        let n = d.get_u64()? as usize;
+        let mut index = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = d.get_bytes()?.to_vec();
+            let offset = d.get_u64()?;
+            index.push((key, offset));
+        }
+        Ok(SsTable {
+            vfs,
+            file,
+            index,
+            data_end: index_offset,
+            size,
+        })
+    }
+
+    /// File name.
+    pub fn file(&self) -> &str {
+        &self.file
+    }
+
+    /// Total file size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Reads the entry at index position `i`; its extent ends at the next
+    /// entry's offset (entries are written in key order).
+    fn read_entry(&self, i: usize) -> Result<SstEntry> {
+        let offset = self.index[i].1;
+        let end = self
+            .index
+            .get(i + 1)
+            .map(|(_, o)| *o)
+            .unwrap_or(self.data_end);
+        let len = (end - offset) as usize;
+        let buf = self.vfs.read_at(&self.file, offset, len)?;
+        let mut d = Decoder::new(&buf);
+        let key = d.get_bytes()?.to_vec();
+        let flag = d.get_u8()?;
+        let timestamp = d.get_u64_fixed()?;
+        let body = d.get_bytes()?.to_vec();
+        Ok(SstEntry {
+            key,
+            body: (flag == 1).then_some(body),
+            timestamp,
+        })
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<SstEntry>> {
+        match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => Ok(Some(self.read_entry(i)?)),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Full scan in key order.
+    pub fn scan(&self) -> Result<Vec<SstEntry>> {
+        let mut out = Vec::with_capacity(self.index.len());
+        for i in 0..self.index.len() {
+            out.push(self.read_entry(i)?);
+        }
+        Ok(out)
+    }
+
+    /// Entries whose keys start with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<SstEntry>> {
+        let start = self
+            .index
+            .partition_point(|(k, _)| k.as_slice() < prefix);
+        let mut out = Vec::new();
+        for (i, (key, _)) in self.index.iter().enumerate().skip(start) {
+            if !key.starts_with(prefix) {
+                break;
+            }
+            out.push(self.read_entry(i)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<SstEntry> {
+        vec![
+            SstEntry {
+                key: vec![1],
+                body: Some(vec![10, 11]),
+                timestamp: 1,
+            },
+            SstEntry {
+                key: vec![2],
+                body: None, // tombstone
+                timestamp: 2,
+            },
+            SstEntry {
+                key: vec![3, 0],
+                body: Some(vec![]),
+                timestamp: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn write_open_get_scan() {
+        let vfs = Vfs::memory();
+        write_sstable(&vfs, "t/sst-1", &entries()).unwrap();
+        let sst = SsTable::open(vfs, "t/sst-1").unwrap();
+        assert_eq!(sst.len(), 3);
+        assert_eq!(sst.get(&[1]).unwrap().unwrap().body, Some(vec![10, 11]));
+        assert_eq!(sst.get(&[2]).unwrap().unwrap().body, None);
+        assert_eq!(sst.get(&[3, 0]).unwrap().unwrap().body, Some(vec![]));
+        assert!(sst.get(&[9]).unwrap().is_none());
+        assert_eq!(sst.scan().unwrap(), entries());
+        assert_eq!(sst.size(), sst.vfs.len("t/sst-1").unwrap());
+    }
+
+    #[test]
+    fn empty_table() {
+        let vfs = Vfs::memory();
+        write_sstable(&vfs, "t/empty", &[]).unwrap();
+        let sst = SsTable::open(vfs, "t/empty").unwrap();
+        assert!(sst.is_empty());
+        assert!(sst.scan().unwrap().is_empty());
+        assert!(sst.get(&[0]).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let vfs = Vfs::memory();
+        write_sstable(&vfs, "t/x", &entries()).unwrap();
+        let mut data = vfs.read_all("t/x").unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0x55;
+        vfs.delete("t/x").unwrap();
+        vfs.append("t/x", &data).unwrap();
+        assert!(matches!(
+            SsTable::open(vfs, "t/x"),
+            Err(NosqlError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_index_rejected() {
+        let vfs = Vfs::memory();
+        write_sstable(&vfs, "t/x", &entries()).unwrap();
+        let mut data = vfs.read_all("t/x").unwrap();
+        let n = data.len();
+        data[n - 30] ^= 0xff; // somewhere in the index
+        vfs.delete("t/x").unwrap();
+        vfs.append("t/x", &data).unwrap();
+        assert!(matches!(
+            SsTable::open(vfs, "t/x"),
+            Err(NosqlError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let vfs = Vfs::memory();
+        vfs.append("tiny", &[1, 2, 3]).unwrap();
+        assert!(matches!(
+            SsTable::open(vfs, "tiny"),
+            Err(NosqlError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,310 @@
+//! CQL value types.
+//!
+//! The paper's Table 1 schema needs exactly: `int`, `text`, `boolean` and
+//! `set<int>`. Values encode to the byte formats the memtable/SSTable layer
+//! stores; the encodings carry real per-cell metadata (type tag, and for
+//! sets a per-element header) so measured sizes reflect Cassandra-style
+//! overheads structurally.
+
+use sc_encoding::{DecodeError, Decoder, Encoder};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A column's declared type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CqlType {
+    /// 64-bit signed integer (covers the paper's `int`).
+    Int,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Boolean,
+    /// A set of integers — the collection type that stores node→cell id
+    /// sets in one cell.
+    IntSet,
+}
+
+impl CqlType {
+    /// Parses a CQL type name.
+    pub fn parse(s: &str) -> Option<CqlType> {
+        let lower = s.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "int" | "bigint" => Some(CqlType::Int),
+            "text" | "varchar" => Some(CqlType::Text),
+            "boolean" | "bool" => Some(CqlType::Boolean),
+            _ if lower.replace(' ', "") == "set<int>" => Some(CqlType::IntSet),
+            _ => None,
+        }
+    }
+
+    /// CQL name of the type.
+    pub fn name(self) -> &'static str {
+        match self {
+            CqlType::Int => "int",
+            CqlType::Text => "text",
+            CqlType::Boolean => "boolean",
+            CqlType::IntSet => "set<int>",
+        }
+    }
+}
+
+impl fmt::Display for CqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CqlValue {
+    /// Absent / deleted value.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// String.
+    Text(String),
+    /// Boolean.
+    Boolean(bool),
+    /// Integer set (ordered for deterministic encoding).
+    IntSet(BTreeSet<i64>),
+}
+
+impl CqlValue {
+    /// Convenience constructor for a set from any iterator.
+    pub fn int_set(ids: impl IntoIterator<Item = i64>) -> CqlValue {
+        CqlValue::IntSet(ids.into_iter().collect())
+    }
+
+    /// Whether the value's runtime type matches `ty` (`Null` matches all).
+    pub fn matches(&self, ty: CqlType) -> bool {
+        matches!(
+            (self, ty),
+            (CqlValue::Null, _)
+                | (CqlValue::Int(_), CqlType::Int)
+                | (CqlValue::Text(_), CqlType::Text)
+                | (CqlValue::Boolean(_), CqlType::Boolean)
+                | (CqlValue::IntSet(_), CqlType::IntSet)
+        )
+    }
+
+    /// Name of the value's runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            CqlValue::Null => "null",
+            CqlValue::Int(_) => "int",
+            CqlValue::Text(_) => "text",
+            CqlValue::Boolean(_) => "boolean",
+            CqlValue::IntSet(_) => "set<int>",
+        }
+    }
+
+    /// The integer, if this is an [`CqlValue::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            CqlValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a [`CqlValue::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            CqlValue::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a [`CqlValue::Boolean`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            CqlValue::Boolean(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The set, if this is an [`CqlValue::IntSet`].
+    pub fn as_int_set(&self) -> Option<&BTreeSet<i64>> {
+        match self {
+            CqlValue::IntSet(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is [`CqlValue::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, CqlValue::Null)
+    }
+
+    /// Encodes the value (tagged).
+    pub fn encode(&self, enc: &mut Encoder) {
+        match self {
+            CqlValue::Null => {
+                enc.put_u8(0);
+            }
+            CqlValue::Int(v) => {
+                enc.put_u8(1).put_i64(*v);
+            }
+            CqlValue::Text(v) => {
+                enc.put_u8(2).put_str(v);
+            }
+            CqlValue::Boolean(v) => {
+                enc.put_u8(3).put_bool(*v);
+            }
+            CqlValue::IntSet(set) => {
+                enc.put_u8(4).put_u64(set.len() as u64);
+                for &v in set {
+                    // Per-element header (2 bytes: flags + liveness marker)
+                    // mirrors Cassandra's per-element collection cells.
+                    enc.put_u8(0).put_u8(1).put_i64(v);
+                }
+            }
+        }
+    }
+
+    /// Decodes a value written by [`CqlValue::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<CqlValue, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(CqlValue::Null),
+            1 => Ok(CqlValue::Int(dec.get_i64()?)),
+            2 => Ok(CqlValue::Text(dec.get_str()?.to_string())),
+            3 => Ok(CqlValue::Boolean(dec.get_bool()?)),
+            4 => {
+                let n = dec.get_u64()? as usize;
+                let mut set = BTreeSet::new();
+                for _ in 0..n {
+                    let _flags = dec.get_u8()?;
+                    let _live = dec.get_u8()?;
+                    set.insert(dec.get_i64()?);
+                }
+                Ok(CqlValue::IntSet(set))
+            }
+            tag => Err(DecodeError::BadTag {
+                tag,
+                context: "CqlValue",
+            }),
+        }
+    }
+
+    /// Order-preserving key encoding (used for partition keys so the
+    /// memtable/SSTable sort order equals value order).
+    pub fn encode_key(&self) -> Vec<u8> {
+        match self {
+            CqlValue::Int(v) => {
+                // Flip the sign bit so byte order == numeric order.
+                let biased = (*v as u64) ^ (1u64 << 63);
+                biased.to_be_bytes().to_vec()
+            }
+            CqlValue::Text(s) => s.as_bytes().to_vec(),
+            CqlValue::Boolean(b) => vec![*b as u8],
+            CqlValue::Null => vec![],
+            CqlValue::IntSet(_) => {
+                // Sets cannot be partition keys; the schema layer rejects
+                // this before we ever get here.
+                unreachable!("set<int> cannot be a partition key")
+            }
+        }
+    }
+
+    /// CQL literal form (used when rendering statements, e.g. Figure 3).
+    pub fn to_cql_literal(&self) -> String {
+        match self {
+            CqlValue::Null => "null".to_string(),
+            CqlValue::Int(v) => v.to_string(),
+            CqlValue::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            CqlValue::Boolean(b) => b.to_string(),
+            CqlValue::IntSet(set) => {
+                let items: Vec<String> = set.iter().map(i64::to_string).collect();
+                format!("{{{}}}", items.join(", "))
+            }
+        }
+    }
+}
+
+impl fmt::Display for CqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_cql_literal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn type_parsing() {
+        assert_eq!(CqlType::parse("int"), Some(CqlType::Int));
+        assert_eq!(CqlType::parse("TEXT"), Some(CqlType::Text));
+        assert_eq!(CqlType::parse("boolean"), Some(CqlType::Boolean));
+        assert_eq!(CqlType::parse("set<int>"), Some(CqlType::IntSet));
+        assert_eq!(CqlType::parse("set< int >"), Some(CqlType::IntSet));
+        assert_eq!(CqlType::parse("blob"), None);
+    }
+
+    #[test]
+    fn value_type_matching() {
+        assert!(CqlValue::Int(1).matches(CqlType::Int));
+        assert!(!CqlValue::Int(1).matches(CqlType::Text));
+        assert!(CqlValue::Null.matches(CqlType::IntSet));
+        assert!(CqlValue::int_set([1, 2]).matches(CqlType::IntSet));
+    }
+
+    #[test]
+    fn literal_rendering() {
+        assert_eq!(CqlValue::Int(-5).to_cql_literal(), "-5");
+        assert_eq!(
+            CqlValue::Text("Fenian St".into()).to_cql_literal(),
+            "'Fenian St'"
+        );
+        assert_eq!(
+            CqlValue::Text("O'Connell".into()).to_cql_literal(),
+            "'O''Connell'"
+        );
+        assert_eq!(CqlValue::int_set([3, 1, 2]).to_cql_literal(), "{1, 2, 3}");
+        assert_eq!(CqlValue::Null.to_cql_literal(), "null");
+        assert_eq!(CqlValue::Boolean(true).to_cql_literal(), "true");
+    }
+
+    #[test]
+    fn key_encoding_orders_ints_numerically() {
+        let vals = [-100i64, -1, 0, 1, 99, i64::MIN, i64::MAX];
+        let mut sorted = vals.to_vec();
+        sorted.sort_unstable();
+        let mut keys: Vec<(Vec<u8>, i64)> = vals
+            .iter()
+            .map(|&v| (CqlValue::Int(v).encode_key(), v))
+            .collect();
+        keys.sort();
+        let by_key: Vec<i64> = keys.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(by_key, sorted);
+    }
+
+    proptest! {
+        #[test]
+        fn encode_roundtrip(v in arb_value()) {
+            let mut enc = Encoder::new();
+            v.encode(&mut enc);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            prop_assert_eq!(CqlValue::decode(&mut dec).unwrap(), v);
+            prop_assert!(dec.is_exhausted());
+        }
+
+        #[test]
+        fn int_key_order_is_numeric(a in any::<i64>(), b in any::<i64>()) {
+            let ka = CqlValue::Int(a).encode_key();
+            let kb = CqlValue::Int(b).encode_key();
+            prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+        }
+    }
+
+    fn arb_value() -> impl Strategy<Value = CqlValue> {
+        prop_oneof![
+            Just(CqlValue::Null),
+            any::<i64>().prop_map(CqlValue::Int),
+            "[ -~]{0,24}".prop_map(CqlValue::Text),
+            any::<bool>().prop_map(CqlValue::Boolean),
+            proptest::collection::btree_set(any::<i64>(), 0..16).prop_map(CqlValue::IntSet),
+        ]
+    }
+}

@@ -1,0 +1,136 @@
+//! Model checking: random operation sequences against an in-memory oracle,
+//! across flushes, compactions and recovery.
+
+use proptest::prelude::*;
+use sc_nosql::table::TableOptions;
+use sc_nosql::{CqlValue, Db, DbOptions};
+use sc_storage::Vfs;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: i64, v: i64 },
+    Update { id: i64, v: i64 },
+    Delete { id: i64 },
+    Flush,
+    Compact,
+    Recover,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0i64..40, any::<i64>()).prop_map(|(id, v)| Op::Insert { id, v }),
+        3 => (0i64..40, any::<i64>()).prop_map(|(id, v)| Op::Update { id, v }),
+        2 => (0i64..40).prop_map(|id| Op::Delete { id }),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+        1 => Just(Op::Recover),
+    ]
+}
+
+fn tiny_options() -> DbOptions {
+    DbOptions {
+        table: TableOptions {
+            memtable_flush_bytes: 512, // force frequent flushes
+            compaction_threshold: 3,
+        },
+    }
+}
+
+fn fresh(vfs: &Vfs) -> Db {
+    let mut db = Db::with_options(vfs.clone(), tiny_options());
+    db.execute_cql("CREATE KEYSPACE m").unwrap();
+    db.execute_cql("CREATE TABLE m.t (id int, v int, PRIMARY KEY (id))")
+        .unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_agrees_with_oracle(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let vfs = Vfs::memory();
+        let mut db = fresh(&vfs);
+        let mut oracle: HashMap<i64, i64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert { id, v } | Op::Update { id, v } => {
+                    db.execute_cql(&format!(
+                        "INSERT INTO m.t (id, v) VALUES ({id}, {v})"
+                    ))
+                    .unwrap();
+                    oracle.insert(id, v);
+                }
+                Op::Delete { id } => {
+                    db.execute_cql(&format!("DELETE FROM m.t WHERE id = {id}"))
+                        .unwrap();
+                    oracle.remove(&id);
+                }
+                Op::Flush => db.flush_all().unwrap(),
+                Op::Compact => db.compact_all().unwrap(),
+                Op::Recover => {
+                    // Drop the engine and rebuild it from disk state.
+                    drop(db);
+                    db = Db::recover(vfs.clone(), tiny_options()).unwrap();
+                }
+            }
+            // Spot-check a couple of keys each step.
+            for probe in [0i64, 17, 39] {
+                let r = db
+                    .execute_cql(&format!("SELECT v FROM m.t WHERE id = {probe}"))
+                    .unwrap();
+                let got = r.rows.first().map(|row| row[0].clone());
+                let want = oracle.get(&probe).map(|v| CqlValue::Int(*v));
+                prop_assert_eq!(got, want, "probe {} diverged", probe);
+            }
+        }
+        // Final full-scan equivalence.
+        let r = db.execute_cql("SELECT id, v FROM m.t").unwrap();
+        let mut got: Vec<(i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<(i64, i64)> = oracle.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn indexed_queries_agree_with_oracle(
+        ops in proptest::collection::vec((0i64..30, 0i64..5), 0..60),
+        flush_every in 1usize..10,
+    ) {
+        let vfs = Vfs::memory();
+        let mut db = Db::with_options(vfs, tiny_options());
+        db.execute_cql("CREATE KEYSPACE m").unwrap();
+        db.execute_cql("CREATE TABLE m.t (id int, tag int, PRIMARY KEY (id))")
+            .unwrap();
+        db.execute_cql("CREATE INDEX ON m.t (tag)").unwrap();
+        let mut oracle: HashMap<i64, i64> = HashMap::new();
+        for (i, (id, tag)) in ops.iter().enumerate() {
+            db.execute_cql(&format!("INSERT INTO m.t (id, tag) VALUES ({id}, {tag})"))
+                .unwrap();
+            oracle.insert(*id, *tag);
+            if i % flush_every == 0 {
+                db.flush_all().unwrap();
+            }
+        }
+        for tag in 0..5i64 {
+            let r = db
+                .execute_cql(&format!("SELECT id FROM m.t WHERE tag = {tag}"))
+                .unwrap();
+            let mut got: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+            got.sort_unstable();
+            let mut want: Vec<i64> = oracle
+                .iter()
+                .filter(|(_, t)| **t == tag)
+                .map(|(id, _)| *id)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "tag {} diverged", tag);
+        }
+    }
+}

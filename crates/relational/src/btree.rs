@@ -1,0 +1,424 @@
+//! A from-scratch B+tree keyed by byte strings.
+//!
+//! This is the index structure behind every primary key and secondary index
+//! in the relational engine (InnoDB clusters rows in a B+tree; we keep the
+//! tree in memory and persist its entries at checkpoints, so index bytes
+//! still land on disk for size accounting).
+//!
+//! Design notes:
+//!
+//! * Arena-allocated nodes addressed by `u32`, no pointer juggling.
+//! * Leaves are chained for range scans.
+//! * Deletion is **lazy**: entries are removed from leaves but nodes are not
+//!   rebalanced. The paper's workloads are insert-dominated, and a sparse
+//!   node only costs memory, never correctness.
+
+const NONE: u32 = u32::MAX;
+
+/// Maximum keys per node before a split.
+const ORDER: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Node<V> {
+    Internal {
+        /// Separator keys; child `i` holds keys `< keys[i]`, child `keys.len()`
+        /// holds the rest.
+        keys: Vec<Vec<u8>>,
+        children: Vec<u32>,
+    },
+    Leaf {
+        keys: Vec<Vec<u8>>,
+        values: Vec<V>,
+        next: u32,
+    },
+}
+
+/// A B+tree mapping byte-string keys to values.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<V> {
+    nodes: Vec<Node<V>>,
+    root: u32,
+    len: usize,
+}
+
+impl<V: Clone> Default for BPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> BPlusTree<V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        let nodes = vec![Node::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+            next: NONE,
+        }];
+        BPlusTree {
+            nodes,
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 = just a root leaf). Exposed for tests.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Leaf { .. } => return h,
+                Node::Internal { children, .. } => {
+                    id = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    fn child_index(keys: &[Vec<u8>], key: &[u8]) -> usize {
+        keys.partition_point(|k| key >= k.as_slice())
+    }
+
+    fn find_leaf(&self, key: &[u8]) -> u32 {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Leaf { .. } => return id,
+                Node::Internal { keys, children } => {
+                    id = children[Self::child_index(keys, key)];
+                }
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<&V> {
+        let leaf = self.find_leaf(key);
+        match &self.nodes[leaf as usize] {
+            Node::Leaf { keys, values, .. } => keys
+                .binary_search_by(|k| k.as_slice().cmp(key))
+                .ok()
+                .map(|i| &values[i]),
+            Node::Internal { .. } => unreachable!("find_leaf returns a leaf"),
+        }
+    }
+
+    /// Inserts, returning the previous value for the key, if any.
+    pub fn insert(&mut self, key: Vec<u8>, value: V) -> Option<V> {
+        let (replaced, split) = self.insert_rec(self.root, key, value);
+        if let Some((sep, right)) = split {
+            let new_root = Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
+            self.nodes.push(new_root);
+            self.root = (self.nodes.len() - 1) as u32;
+        }
+        if replaced.is_none() {
+            self.len += 1;
+        }
+        replaced
+    }
+
+    /// Recursive insert; returns (replaced value, optional split = (separator
+    /// key, new right sibling id)).
+    fn insert_rec(
+        &mut self,
+        id: u32,
+        key: Vec<u8>,
+        value: V,
+    ) -> (Option<V>, Option<(Vec<u8>, u32)>) {
+        match &mut self.nodes[id as usize] {
+            Node::Leaf { keys, values, next } => {
+                match keys.binary_search_by(|k| k.as_slice().cmp(&key)) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut values[i], value);
+                        (Some(old), None)
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                        if keys.len() <= ORDER {
+                            return (None, None);
+                        }
+                        // Split the leaf.
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_values = values.split_off(mid);
+                        let sep = right_keys[0].clone();
+                        let old_next = *next;
+                        let right = Node::Leaf {
+                            keys: right_keys,
+                            values: right_values,
+                            next: old_next,
+                        };
+                        self.nodes.push(right);
+                        let right_id = (self.nodes.len() - 1) as u32;
+                        if let Node::Leaf { next, .. } = &mut self.nodes[id as usize] {
+                            *next = right_id;
+                        }
+                        (None, Some((sep, right_id)))
+                    }
+                }
+            }
+            Node::Internal { keys, .. } => {
+                let idx = Self::child_index(keys, &key);
+                let child = match &self.nodes[id as usize] {
+                    Node::Internal { children, .. } => children[idx],
+                    Node::Leaf { .. } => unreachable!(),
+                };
+                let (replaced, split) = self.insert_rec(child, key, value);
+                if let Some((sep, right_id)) = split {
+                    if let Node::Internal { keys, children } = &mut self.nodes[id as usize] {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right_id);
+                        if keys.len() > ORDER {
+                            // Split this internal node; middle key moves up.
+                            let mid = keys.len() / 2;
+                            let up = keys[mid].clone();
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop(); // drop the promoted key
+                            let right_children = children.split_off(mid + 1);
+                            let right = Node::Internal {
+                                keys: right_keys,
+                                children: right_children,
+                            };
+                            self.nodes.push(right);
+                            let right_id = (self.nodes.len() - 1) as u32;
+                            return (replaced, Some((up, right_id)));
+                        }
+                    }
+                }
+                (replaced, None)
+            }
+        }
+    }
+
+    /// Removes a key, returning its value. Lazy: no rebalancing.
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let leaf = self.find_leaf(key);
+        match &mut self.nodes[leaf as usize] {
+            Node::Leaf { keys, values, .. } => {
+                match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        keys.remove(i);
+                        let v = values.remove(i);
+                        self.len -= 1;
+                        Some(v)
+                    }
+                    Err(_) => None,
+                }
+            }
+            Node::Internal { .. } => unreachable!("find_leaf returns a leaf"),
+        }
+    }
+
+    /// Iterates all `(key, value)` pairs in key order.
+    pub fn iter(&self) -> BTreeIter<'_, V> {
+        // Leftmost leaf.
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Leaf { .. } => break,
+                Node::Internal { children, .. } => id = children[0],
+            }
+        }
+        BTreeIter {
+            tree: self,
+            leaf: id,
+            pos: 0,
+            end: None,
+        }
+    }
+
+    /// Iterates entries with `key >= start`, in key order.
+    pub fn iter_from(&self, start: &[u8]) -> BTreeIter<'_, V> {
+        let leaf = self.find_leaf(start);
+        let pos = match &self.nodes[leaf as usize] {
+            Node::Leaf { keys, .. } => keys.partition_point(|k| k.as_slice() < start),
+            Node::Internal { .. } => unreachable!(),
+        };
+        BTreeIter {
+            tree: self,
+            leaf,
+            pos,
+            end: None,
+        }
+    }
+
+    /// Iterates entries whose keys start with `prefix`.
+    pub fn iter_prefix<'a>(&'a self, prefix: &[u8]) -> BTreeIter<'a, V> {
+        let mut it = self.iter_from(prefix);
+        it.end = Some(prefix.to_vec());
+        it
+    }
+}
+
+/// Iterator over tree entries.
+pub struct BTreeIter<'a, V> {
+    tree: &'a BPlusTree<V>,
+    leaf: u32,
+    pos: usize,
+    /// When set, iteration stops at the first key that does not start with
+    /// this prefix.
+    end: Option<Vec<u8>>,
+}
+
+impl<'a, V> Iterator for BTreeIter<'a, V> {
+    type Item = (&'a [u8], &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.leaf == NONE {
+                return None;
+            }
+            match &self.tree.nodes[self.leaf as usize] {
+                Node::Leaf { keys, values, next } => {
+                    if self.pos >= keys.len() {
+                        self.leaf = *next;
+                        self.pos = 0;
+                        continue;
+                    }
+                    let key = keys[self.pos].as_slice();
+                    if let Some(prefix) = &self.end {
+                        if !key.starts_with(prefix) {
+                            return None;
+                        }
+                    }
+                    let value = &values[self.pos];
+                    self.pos += 1;
+                    return Some((key, value));
+                }
+                Node::Internal { .. } => unreachable!("leaf chain only links leaves"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut t: BPlusTree<i32> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(b"b".to_vec(), 2), None);
+        assert_eq!(t.insert(b"a".to_vec(), 1), None);
+        assert_eq!(t.insert(b"b".to_vec(), 20), Some(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(b"a"), Some(&1));
+        assert_eq!(t.get(b"b"), Some(&20));
+        assert_eq!(t.get(b"c"), None);
+    }
+
+    #[test]
+    fn splits_grow_height() {
+        let mut t: BPlusTree<u32> = BPlusTree::new();
+        for i in 0..10_000u32 {
+            t.insert(i.to_be_bytes().to_vec(), i);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.height() >= 3, "height {}", t.height());
+        for i in (0..10_000u32).step_by(7) {
+            assert_eq!(t.get(&i.to_be_bytes()), Some(&i));
+        }
+        // Full iteration is sorted and complete.
+        let collected: Vec<u32> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(collected.len(), 10_000);
+        assert!(collected.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn reverse_and_random_orders() {
+        let mut t: BPlusTree<u32> = BPlusTree::new();
+        for i in (0..1000u32).rev() {
+            t.insert(i.to_be_bytes().to_vec(), i);
+        }
+        let keys: Vec<u32> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(keys, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_is_lazy_but_correct() {
+        let mut t: BPlusTree<u32> = BPlusTree::new();
+        for i in 0..500u32 {
+            t.insert(i.to_be_bytes().to_vec(), i);
+        }
+        for i in (0..500u32).step_by(2) {
+            assert_eq!(t.remove(&i.to_be_bytes()), Some(i));
+        }
+        assert_eq!(t.remove(&0u32.to_be_bytes()), None);
+        assert_eq!(t.len(), 250);
+        let left: Vec<u32> = t.iter().map(|(_, v)| *v).collect();
+        assert!(left.iter().all(|v| v % 2 == 1));
+        assert_eq!(left.len(), 250);
+    }
+
+    #[test]
+    fn iter_from_and_prefix() {
+        let mut t: BPlusTree<i32> = BPlusTree::new();
+        for (i, k) in ["apple", "apricot", "banana", "cherry"].iter().enumerate() {
+            t.insert(k.as_bytes().to_vec(), i as i32);
+        }
+        let from_b: Vec<i32> = t.iter_from(b"b").map(|(_, v)| *v).collect();
+        assert_eq!(from_b, vec![2, 3]);
+        let ap: Vec<i32> = t.iter_prefix(b"ap").map(|(_, v)| *v).collect();
+        assert_eq!(ap, vec![0, 1]);
+        let none: Vec<i32> = t.iter_prefix(b"zz").map(|(_, v)| *v).collect();
+        assert!(none.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn agrees_with_std_btreemap(ops in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..12), any::<u32>(), any::<bool>()),
+            0..400,
+        )) {
+            let mut tree: BPlusTree<u32> = BPlusTree::new();
+            let mut model: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
+            for (key, value, is_insert) in ops {
+                if is_insert {
+                    prop_assert_eq!(tree.insert(key.clone(), value), model.insert(key, value));
+                } else {
+                    prop_assert_eq!(tree.remove(&key), model.remove(&key));
+                }
+                prop_assert_eq!(tree.len(), model.len());
+            }
+            let tree_entries: Vec<(Vec<u8>, u32)> =
+                tree.iter().map(|(k, v)| (k.to_vec(), *v)).collect();
+            let model_entries: Vec<(Vec<u8>, u32)> =
+                model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            prop_assert_eq!(tree_entries, model_entries);
+        }
+
+        #[test]
+        fn range_scans_agree(keys in proptest::collection::btree_set(
+            proptest::collection::vec(any::<u8>(), 0..8), 0..200,
+        ), start in proptest::collection::vec(any::<u8>(), 0..8)) {
+            let mut tree: BPlusTree<u8> = BPlusTree::new();
+            for k in &keys {
+                tree.insert(k.clone(), 0);
+            }
+            let got: Vec<Vec<u8>> = tree.iter_from(&start).map(|(k, _)| k.to_vec()).collect();
+            let want: Vec<Vec<u8>> = keys.iter().filter(|k| k.as_slice() >= start.as_slice()).cloned().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! SQL statement AST.
+
+use crate::value::{SqlType, SqlValue};
+
+/// `database.table` reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableName {
+    /// Database name.
+    pub database: String,
+    /// Table name.
+    pub table: String,
+}
+
+impl TableName {
+    /// `db.table` rendering.
+    pub fn qualified(&self) -> String {
+        format!("{}.{}", self.database, self.table)
+    }
+}
+
+/// A possibly-qualified column reference (`t.col` or `col`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Table name or alias qualifier, when written.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// One column in a CREATE TABLE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: SqlType,
+    /// Whether `NOT NULL` was written.
+    pub not_null: bool,
+}
+
+/// A foreign-key constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKeySpec {
+    /// Referencing column in this table.
+    pub column: String,
+    /// Referenced table (same database).
+    pub ref_table: String,
+    /// Referenced column (must be that table's primary key).
+    pub ref_column: String,
+}
+
+/// A `FROM`/`JOIN` table factor with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableFactor {
+    /// The table.
+    pub name: TableName,
+    /// `AS alias` (or bare alias).
+    pub alias: Option<String>,
+}
+
+impl TableFactor {
+    /// The name WHERE/projection qualifiers match against.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name.table)
+    }
+}
+
+/// `JOIN t2 ON a.x = b.y`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// Joined table.
+    pub factor: TableFactor,
+    /// Left side of the ON equality.
+    pub on_left: ColumnRef,
+    /// Right side of the ON equality.
+    pub on_right: ColumnRef,
+}
+
+/// SELECT projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// `SELECT *`.
+    All,
+    /// Explicit column references.
+    Columns(Vec<ColumnRef>),
+    /// `SELECT COUNT(*)`.
+    Count,
+}
+
+/// An equality predicate `col = literal`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    /// Constrained column.
+    pub column: ColumnRef,
+    /// Required value.
+    pub value: SqlValue,
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlStatement {
+    /// `CREATE DATABASE name`.
+    CreateDatabase {
+        /// Database name.
+        name: String,
+    },
+    /// `CREATE TABLE db.t (...)`.
+    CreateTable {
+        /// Target table.
+        name: TableName,
+        /// Column specs in order.
+        columns: Vec<ColumnSpec>,
+        /// Primary-key column.
+        primary_key: String,
+        /// Inline `INDEX (col)` declarations.
+        indexes: Vec<String>,
+        /// Foreign keys.
+        foreign_keys: Vec<ForeignKeySpec>,
+    },
+    /// `CREATE INDEX ON db.t (col)`.
+    CreateIndex {
+        /// Target table.
+        table: TableName,
+        /// Indexed column.
+        column: String,
+    },
+    /// `INSERT INTO db.t (cols) VALUES (...), (...)`.
+    Insert {
+        /// Target table.
+        table: TableName,
+        /// Bound columns.
+        columns: Vec<String>,
+        /// One or more literal rows.
+        rows: Vec<Vec<SqlValue>>,
+    },
+    /// `SELECT ... FROM ... [JOIN ...] [WHERE ...] [LIMIT n]`.
+    Select {
+        /// Projection.
+        projection: Projection,
+        /// Primary table.
+        from: TableFactor,
+        /// Optional single join.
+        join: Option<JoinSpec>,
+        /// ANDed equality predicates.
+        predicates: Vec<Predicate>,
+        /// Optional limit.
+        limit: Option<usize>,
+    },
+    /// `UPDATE db.t SET c = v, ... WHERE pk = v`.
+    Update {
+        /// Target table.
+        table: TableName,
+        /// Column/value assignments.
+        assignments: Vec<(String, SqlValue)>,
+        /// Key predicate.
+        predicate: Predicate,
+    },
+    /// `DELETE FROM db.t WHERE col = v`.
+    Delete {
+        /// Target table.
+        table: TableName,
+        /// Key predicate.
+        predicate: Predicate,
+    },
+    /// `TRUNCATE [TABLE] db.t`.
+    Truncate {
+        /// Target table.
+        table: TableName,
+    },
+}
+
+impl SqlStatement {
+    /// Renders back to SQL (used for DDL journaling and tests).
+    pub fn to_sql(&self) -> String {
+        fn col_ref(c: &ColumnRef) -> String {
+            match &c.qualifier {
+                Some(q) => format!("{q}.{}", c.column),
+                None => c.column.clone(),
+            }
+        }
+        match self {
+            SqlStatement::CreateDatabase { name } => format!("CREATE DATABASE {name}"),
+            SqlStatement::CreateTable {
+                name,
+                columns,
+                primary_key,
+                indexes,
+                foreign_keys,
+            } => {
+                let mut parts: Vec<String> = columns
+                    .iter()
+                    .map(|c| {
+                        let mut s = format!("{} {}", c.name, c.ty);
+                        if c.not_null {
+                            s.push_str(" NOT NULL");
+                        }
+                        s
+                    })
+                    .collect();
+                parts.push(format!("PRIMARY KEY ({primary_key})"));
+                for i in indexes {
+                    parts.push(format!("INDEX ({i})"));
+                }
+                for fk in foreign_keys {
+                    parts.push(format!(
+                        "FOREIGN KEY ({}) REFERENCES {} ({})",
+                        fk.column, fk.ref_table, fk.ref_column
+                    ));
+                }
+                format!("CREATE TABLE {} ({})", name.qualified(), parts.join(", "))
+            }
+            SqlStatement::CreateIndex { table, column } => {
+                format!("CREATE INDEX ON {} ({column})", table.qualified())
+            }
+            SqlStatement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let row_texts: Vec<String> = rows
+                    .iter()
+                    .map(|r| {
+                        let vals: Vec<String> =
+                            r.iter().map(SqlValue::to_sql_literal).collect();
+                        format!("({})", vals.join(", "))
+                    })
+                    .collect();
+                format!(
+                    "INSERT INTO {} ({}) VALUES {}",
+                    table.qualified(),
+                    columns.join(", "),
+                    row_texts.join(", ")
+                )
+            }
+            SqlStatement::Select {
+                projection,
+                from,
+                join,
+                predicates,
+                limit,
+            } => {
+                let proj = match projection {
+                    Projection::All => "*".to_string(),
+                    Projection::Columns(cols) => {
+                        cols.iter().map(col_ref).collect::<Vec<_>>().join(", ")
+                    }
+                    Projection::Count => "COUNT(*)".to_string(),
+                };
+                let mut s = format!("SELECT {proj} FROM {}", from.name.qualified());
+                if let Some(a) = &from.alias {
+                    s.push_str(&format!(" AS {a}"));
+                }
+                if let Some(j) = join {
+                    s.push_str(&format!(" JOIN {}", j.factor.name.qualified()));
+                    if let Some(a) = &j.factor.alias {
+                        s.push_str(&format!(" AS {a}"));
+                    }
+                    s.push_str(&format!(
+                        " ON {} = {}",
+                        col_ref(&j.on_left),
+                        col_ref(&j.on_right)
+                    ));
+                }
+                if !predicates.is_empty() {
+                    let preds: Vec<String> = predicates
+                        .iter()
+                        .map(|p| {
+                            format!("{} = {}", col_ref(&p.column), p.value.to_sql_literal())
+                        })
+                        .collect();
+                    s.push_str(&format!(" WHERE {}", preds.join(" AND ")));
+                }
+                if let Some(n) = limit {
+                    s.push_str(&format!(" LIMIT {n}"));
+                }
+                s
+            }
+            SqlStatement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let sets: Vec<String> = assignments
+                    .iter()
+                    .map(|(c, v)| format!("{c} = {}", v.to_sql_literal()))
+                    .collect();
+                format!(
+                    "UPDATE {} SET {} WHERE {} = {}",
+                    table.qualified(),
+                    sets.join(", "),
+                    col_ref(&predicate.column),
+                    predicate.value.to_sql_literal()
+                )
+            }
+            SqlStatement::Delete { table, predicate } => format!(
+                "DELETE FROM {} WHERE {} = {}",
+                table.qualified(),
+                col_ref(&predicate.column),
+                predicate.value.to_sql_literal()
+            ),
+            SqlStatement::Truncate { table } => {
+                format!("TRUNCATE TABLE {}", table.qualified())
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! SQL tokenizer (shares conventions with the CQL lexer; SQL adds no new
+//! token kinds for our subset).
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (case preserved; keywords match
+    /// case-insensitively). Backquoted identifiers are unquoted.
+    Ident(String),
+    /// Integer literal.
+    Number(i64),
+    /// Single-quoted string, unescaped.
+    Str(String),
+    /// Punctuation: `( ) , . = ; *`.
+    Symbol(char),
+}
+
+impl Token {
+    /// Case-insensitive keyword check.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | '.' | '=' | ';' | '*' => {
+                out.push(Token::Symbol(c));
+                i += 1;
+            }
+            '`' => {
+                let start = i + 1;
+                let end = input[start..]
+                    .find('`')
+                    .ok_or_else(|| SqlError::Parse("unterminated ` identifier".into()))?;
+                out.push(Token::Ident(input[start..start + end].to_string()));
+                i = start + end + 1;
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::Parse("unterminated string".into())),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let ch = input[i..].chars().next().expect("in-bounds");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                        return Err(SqlError::Parse(format!("stray '-' at byte {start}")));
+                    }
+                }
+                while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                out.push(Token::Number(text.parse().map_err(|_| {
+                    SqlError::Parse(format!("bad number {text:?}"))
+                })?));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = input[i..].chars().next().expect("in-bounds");
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_row_insert_tokenizes() {
+        let toks =
+            tokenize("INSERT INTO d.t (id) VALUES (1), (2), (3)").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Token::Symbol('(')).count(), 4);
+    }
+
+    #[test]
+    fn backquoted_identifiers() {
+        let toks = tokenize("SELECT `key` FROM d.`order`").unwrap();
+        assert_eq!(toks[1], Token::Ident("key".into()));
+        assert_eq!(toks[5], Token::Ident("order".into()));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            tokenize("'it''s'").unwrap(),
+            vec![Token::Str("it's".into())]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("`open").is_err());
+        assert!(tokenize("a % b").is_err());
+    }
+}

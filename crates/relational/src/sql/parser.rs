@@ -1,0 +1,562 @@
+//! Recursive-descent SQL parser.
+
+use super::ast::{
+    ColumnRef, ColumnSpec, ForeignKeySpec, JoinSpec, Predicate, Projection, SqlStatement,
+    TableFactor, TableName,
+};
+use super::lexer::{tokenize, Token};
+use crate::error::{Result, SqlError};
+use crate::value::{SqlType, SqlValue};
+
+/// Parses one SQL statement (a trailing `;` is tolerated).
+pub fn parse_sql(input: &str) -> Result<SqlStatement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_symbol(';');
+    if !p.is_done() {
+        return Err(SqlError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+const RESERVED_AFTER_TABLE: &[&str] = &["join", "on", "where", "limit", "as"];
+
+impl Parser {
+    fn is_done(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.bump() {
+            Some(t) if t.is_keyword(kw) => Ok(()),
+            other => Err(SqlError::Parse(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_keyword(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: char) -> Result<()> {
+        match self.bump() {
+            Some(Token::Symbol(c)) if c == sym => Ok(()),
+            other => Err(SqlError::Parse(format!(
+                "expected {sym:?}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: char) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(c)) if *c == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn table_name(&mut self) -> Result<TableName> {
+        let database = self.ident()?;
+        self.expect_symbol('.').map_err(|_| {
+            SqlError::Parse(format!(
+                "table references must be qualified as database.table (got {database:?})"
+            ))
+        })?;
+        let table = self.ident()?;
+        Ok(TableName { database, table })
+    }
+
+    fn table_factor(&mut self) -> Result<TableFactor> {
+        let name = self.table_name()?;
+        let explicit_as = self.eat_keyword("as");
+        let alias = if explicit_as
+            || matches!(self.peek(), Some(Token::Ident(s))
+                if !RESERVED_AFTER_TABLE.iter().any(|k| s.eq_ignore_ascii_case(k)))
+        {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableFactor { name, alias })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.eat_symbol('.') {
+            let column = self.ident()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+
+    fn literal(&mut self) -> Result<SqlValue> {
+        match self.bump() {
+            Some(Token::Number(n)) => Ok(SqlValue::Int(n)),
+            Some(Token::Str(s)) => Ok(SqlValue::Text(s)),
+            Some(t) if t.is_keyword("true") => Ok(SqlValue::Bool(true)),
+            Some(t) if t.is_keyword("false") => Ok(SqlValue::Bool(false)),
+            Some(t) if t.is_keyword("null") => Ok(SqlValue::Null),
+            other => Err(SqlError::Parse(format!(
+                "expected literal, found {other:?}"
+            ))),
+        }
+    }
+
+    fn type_name(&mut self) -> Result<SqlType> {
+        let base = self.ident()?;
+        let ty = SqlType::parse(&base)
+            .ok_or_else(|| SqlError::Parse(format!("unknown type {base:?}")))?;
+        // Optional length argument, e.g. VARCHAR(255).
+        if self.eat_symbol('(') {
+            match self.bump() {
+                Some(Token::Number(_)) => {}
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected length in type, found {other:?}"
+                    )))
+                }
+            }
+            self.expect_symbol(')')?;
+        }
+        Ok(ty)
+    }
+
+    fn statement(&mut self) -> Result<SqlStatement> {
+        if self.eat_keyword("create") {
+            if self.eat_keyword("database") {
+                return Ok(SqlStatement::CreateDatabase { name: self.ident()? });
+            }
+            if self.eat_keyword("table") {
+                return self.create_table();
+            }
+            if self.eat_keyword("index") {
+                if !self.peek_keyword("on") {
+                    let _name = self.ident()?;
+                }
+                self.expect_keyword("on")?;
+                let table = self.table_name()?;
+                self.expect_symbol('(')?;
+                let column = self.ident()?;
+                self.expect_symbol(')')?;
+                return Ok(SqlStatement::CreateIndex { table, column });
+            }
+            return Err(SqlError::Parse(
+                "expected DATABASE, TABLE or INDEX after CREATE".into(),
+            ));
+        }
+        if self.eat_keyword("insert") {
+            self.expect_keyword("into")?;
+            return self.insert();
+        }
+        if self.eat_keyword("select") {
+            return self.select();
+        }
+        if self.eat_keyword("update") {
+            let table = self.table_name()?;
+            self.expect_keyword("set")?;
+            let mut assignments = Vec::new();
+            loop {
+                let column = self.ident()?;
+                self.expect_symbol('=')?;
+                let value = self.literal()?;
+                assignments.push((column, value));
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+            self.expect_keyword("where")?;
+            let column = self.column_ref()?;
+            self.expect_symbol('=')?;
+            let value = self.literal()?;
+            return Ok(SqlStatement::Update {
+                table,
+                assignments,
+                predicate: Predicate { column, value },
+            });
+        }
+        if self.eat_keyword("delete") {
+            self.expect_keyword("from")?;
+            let table = self.table_name()?;
+            self.expect_keyword("where")?;
+            let column = self.column_ref()?;
+            self.expect_symbol('=')?;
+            let value = self.literal()?;
+            return Ok(SqlStatement::Delete {
+                table,
+                predicate: Predicate { column, value },
+            });
+        }
+        if self.eat_keyword("truncate") {
+            self.eat_keyword("table");
+            let table = self.table_name()?;
+            return Ok(SqlStatement::Truncate { table });
+        }
+        Err(SqlError::Parse(format!(
+            "unrecognized statement start: {:?}",
+            self.peek()
+        )))
+    }
+
+    fn create_table(&mut self) -> Result<SqlStatement> {
+        let name = self.table_name()?;
+        self.expect_symbol('(')?;
+        let mut columns = Vec::new();
+        let mut primary_key = None;
+        let mut indexes = Vec::new();
+        let mut foreign_keys = Vec::new();
+        loop {
+            if self.eat_keyword("primary") {
+                self.expect_keyword("key")?;
+                self.expect_symbol('(')?;
+                let pk = self.ident()?;
+                self.expect_symbol(')')?;
+                if primary_key.replace(pk).is_some() {
+                    return Err(SqlError::Parse("duplicate PRIMARY KEY clause".into()));
+                }
+            } else if self.eat_keyword("index") || self.eat_keyword("key") {
+                self.expect_symbol('(')?;
+                indexes.push(self.ident()?);
+                self.expect_symbol(')')?;
+            } else if self.eat_keyword("foreign") {
+                self.expect_keyword("key")?;
+                self.expect_symbol('(')?;
+                let column = self.ident()?;
+                self.expect_symbol(')')?;
+                self.expect_keyword("references")?;
+                let ref_table = self.ident()?;
+                self.expect_symbol('(')?;
+                let ref_column = self.ident()?;
+                self.expect_symbol(')')?;
+                foreign_keys.push(ForeignKeySpec {
+                    column,
+                    ref_table,
+                    ref_column,
+                });
+            } else {
+                let col_name = self.ident()?;
+                let ty = self.type_name()?;
+                let not_null = if self.eat_keyword("not") {
+                    self.expect_keyword("null")?;
+                    true
+                } else {
+                    false
+                };
+                columns.push(ColumnSpec {
+                    name: col_name,
+                    ty,
+                    not_null,
+                });
+            }
+            if self.eat_symbol(')') {
+                break;
+            }
+            self.expect_symbol(',')?;
+        }
+        let primary_key = primary_key
+            .ok_or_else(|| SqlError::Parse("CREATE TABLE needs a PRIMARY KEY".into()))?;
+        Ok(SqlStatement::CreateTable {
+            name,
+            columns,
+            primary_key,
+            indexes,
+            foreign_keys,
+        })
+    }
+
+    fn insert(&mut self) -> Result<SqlStatement> {
+        let table = self.table_name()?;
+        self.expect_symbol('(')?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident()?);
+            if self.eat_symbol(')') {
+                break;
+            }
+            self.expect_symbol(',')?;
+        }
+        self.expect_keyword("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol('(')?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if self.eat_symbol(')') {
+                    break;
+                }
+                self.expect_symbol(',')?;
+            }
+            if row.len() != columns.len() {
+                return Err(SqlError::Parse(format!(
+                    "row binds {} values for {} columns",
+                    row.len(),
+                    columns.len()
+                )));
+            }
+            rows.push(row);
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        Ok(SqlStatement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn select(&mut self) -> Result<SqlStatement> {
+        let projection = if self.eat_symbol('*') {
+            Projection::All
+        } else if self.peek_keyword("count") {
+            self.pos += 1;
+            self.expect_symbol('(')?;
+            self.expect_symbol('*')?;
+            self.expect_symbol(')')?;
+            Projection::Count
+        } else {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.column_ref()?);
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+            Projection::Columns(cols)
+        };
+        self.expect_keyword("from")?;
+        let from = self.table_factor()?;
+        let join = if self.eat_keyword("join") {
+            let factor = self.table_factor()?;
+            self.expect_keyword("on")?;
+            let on_left = self.column_ref()?;
+            self.expect_symbol('=')?;
+            let on_right = self.column_ref()?;
+            Some(JoinSpec {
+                factor,
+                on_left,
+                on_right,
+            })
+        } else {
+            None
+        };
+        let mut predicates = Vec::new();
+        if self.eat_keyword("where") {
+            loop {
+                let column = self.column_ref()?;
+                self.expect_symbol('=')?;
+                let value = self.literal()?;
+                predicates.push(Predicate { column, value });
+                if !self.eat_keyword("and") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("limit") {
+            match self.bump() {
+                Some(Token::Number(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "LIMIT needs a non-negative integer, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SqlStatement::Select {
+            projection,
+            from,
+            join,
+            predicates,
+            limit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_node_children_table() {
+        // One of the Fig. 4 edge tables that make MySQL-DWARF expensive.
+        let stmt = parse_sql(
+            "CREATE TABLE dwarf.node_children (
+                id INT NOT NULL,
+                node_id INT NOT NULL,
+                cell_id INT NOT NULL,
+                PRIMARY KEY (id),
+                INDEX (node_id),
+                FOREIGN KEY (node_id) REFERENCES node (id),
+                FOREIGN KEY (cell_id) REFERENCES cell (id)
+             )",
+        )
+        .unwrap();
+        match stmt {
+            SqlStatement::CreateTable {
+                columns,
+                primary_key,
+                indexes,
+                foreign_keys,
+                ..
+            } => {
+                assert_eq!(columns.len(), 3);
+                assert!(columns[0].not_null);
+                assert_eq!(primary_key, "id");
+                assert_eq!(indexes, vec!["node_id"]);
+                assert_eq!(foreign_keys.len(), 2);
+                assert_eq!(foreign_keys[0].ref_table, "node");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_row_insert() {
+        let stmt = parse_sql(
+            "INSERT INTO d.cell (id, name) VALUES (1, 'a'), (2, 'b'), (3, NULL)",
+        )
+        .unwrap();
+        match stmt {
+            SqlStatement::Insert { rows, .. } => {
+                assert_eq!(rows.len(), 3);
+                assert_eq!(rows[2][1], SqlValue::Null);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_join_and_where() {
+        let stmt = parse_sql(
+            "SELECT c.id, n.id FROM d.cell AS c \
+             JOIN d.node AS n ON c.parent_id = n.id \
+             WHERE c.leaf = TRUE AND n.root = FALSE LIMIT 5",
+        )
+        .unwrap();
+        match &stmt {
+            SqlStatement::Select {
+                projection: Projection::Columns(cols),
+                from,
+                join: Some(j),
+                predicates,
+                limit: Some(5),
+            } => {
+                assert_eq!(cols.len(), 2);
+                assert_eq!(cols[0].qualifier.as_deref(), Some("c"));
+                assert_eq!(from.binding(), "c");
+                assert_eq!(j.factor.binding(), "n");
+                assert_eq!(j.on_left.column, "parent_id");
+                assert_eq!(predicates.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Round-trip through to_sql.
+        assert_eq!(parse_sql(&stmt.to_sql()).unwrap(), stmt);
+    }
+
+    #[test]
+    fn bare_alias_without_as() {
+        let stmt = parse_sql("SELECT * FROM d.cell c WHERE c.id = 1").unwrap();
+        match stmt {
+            SqlStatement::Select { from, .. } => {
+                assert_eq!(from.alias.as_deref(), Some("c"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn varchar_length_is_accepted() {
+        let stmt = parse_sql(
+            "CREATE TABLE d.t (name VARCHAR(255), PRIMARY KEY (name))",
+        )
+        .unwrap();
+        match stmt {
+            SqlStatement::CreateTable { columns, .. } => {
+                assert_eq!(columns[0].ty, SqlType::Text);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_and_truncate() {
+        assert!(matches!(
+            parse_sql("DELETE FROM d.t WHERE id = 3").unwrap(),
+            SqlStatement::Delete { .. }
+        ));
+        assert!(matches!(
+            parse_sql("TRUNCATE TABLE d.t").unwrap(),
+            SqlStatement::Truncate { .. }
+        ));
+        assert!(matches!(
+            parse_sql("TRUNCATE d.t").unwrap(),
+            SqlStatement::Truncate { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "SELECT * FROM t",                          // unqualified
+            "INSERT INTO d.t (a, b) VALUES (1)",        // arity
+            "CREATE TABLE d.t (id INT)",                // no PK
+            "SELECT * FROM d.t WHERE a = 1 OR b = 2",   // OR unsupported
+            "DELETE FROM d.t",                          // no WHERE
+            "SELECT * FROM d.t LIMIT -2",
+            "CREATE TABLE d.t (id BLOB, PRIMARY KEY (id))",
+            "SELECT * FROM d.t; SELECT * FROM d.t",
+        ] {
+            assert!(parse_sql(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Model checking the relational engine against an in-memory oracle,
+//! across checkpoints and index lookups.
+
+use proptest::prelude::*;
+use sc_relational::{Db, SqlValue};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: i64, tag: i64 },
+    Update { id: i64, tag: i64 },
+    Delete { id: i64 },
+    Checkpoint,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0i64..40, 0i64..6).prop_map(|(id, tag)| Op::Insert { id, tag }),
+        3 => (0i64..40, 0i64..6).prop_map(|(id, tag)| Op::Update { id, tag }),
+        2 => (0i64..40).prop_map(|id| Op::Delete { id }),
+        1 => Just(Op::Checkpoint),
+    ]
+}
+
+fn fresh() -> Db {
+    let mut db = Db::in_memory();
+    db.execute_sql("CREATE DATABASE m").unwrap();
+    db.execute_sql("CREATE TABLE m.t (id INT NOT NULL, tag INT, PRIMARY KEY (id), INDEX (tag))")
+        .unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_agrees_with_oracle(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut db = fresh();
+        let mut oracle: HashMap<i64, i64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert { id, tag } => {
+                    let r = db.execute_sql(&format!(
+                        "INSERT INTO m.t (id, tag) VALUES ({id}, {tag})"
+                    ));
+                    #[allow(clippy::map_entry)]
+                    if oracle.contains_key(&id) {
+                        prop_assert!(r.is_err(), "duplicate pk must be rejected");
+                    } else {
+                        prop_assert!(r.is_ok());
+                        oracle.insert(id, tag);
+                    }
+                }
+                Op::Update { id, tag } => {
+                    db.execute_sql(&format!("UPDATE m.t SET tag = {tag} WHERE id = {id}"))
+                        .unwrap();
+                    if let Some(t) = oracle.get_mut(&id) {
+                        *t = tag;
+                    }
+                }
+                Op::Delete { id } => {
+                    db.execute_sql(&format!("DELETE FROM m.t WHERE id = {id}"))
+                        .unwrap();
+                    oracle.remove(&id);
+                }
+                Op::Checkpoint => db.checkpoint_all().unwrap(),
+            }
+        }
+        // Point lookups.
+        for probe in [0i64, 13, 39] {
+            let r = db
+                .execute_sql(&format!("SELECT tag FROM m.t WHERE id = {probe}"))
+                .unwrap();
+            let got = r.rows.first().map(|row| row[0].clone());
+            let want = oracle.get(&probe).map(|t| SqlValue::Int(*t));
+            prop_assert_eq!(got, want);
+        }
+        // Index lookups per tag.
+        for tag in 0..6i64 {
+            let r = db
+                .execute_sql(&format!("SELECT id FROM m.t WHERE tag = {tag}"))
+                .unwrap();
+            let mut got: Vec<i64> =
+                r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+            got.sort_unstable();
+            let mut want: Vec<i64> = oracle
+                .iter()
+                .filter(|(_, t)| **t == tag)
+                .map(|(id, _)| *id)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "tag {}", tag);
+        }
+        // COUNT agrees.
+        let r = db.execute_sql("SELECT COUNT(*) FROM m.t").unwrap();
+        prop_assert_eq!(r.rows[0][0].as_int().unwrap() as usize, oracle.len());
+    }
+
+    #[test]
+    fn join_agrees_with_nested_loop_oracle(
+        nodes in proptest::collection::btree_set(0i64..15, 1..10),
+        cells in proptest::collection::vec((0i64..40, 0i64..20), 0..40),
+    ) {
+        let mut db = Db::in_memory();
+        db.execute_sql("CREATE DATABASE m").unwrap();
+        db.execute_sql("CREATE TABLE m.n (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+        db.execute_sql(
+            "CREATE TABLE m.c (id INT NOT NULL, nid INT, PRIMARY KEY (id))"
+        ).unwrap();
+        for id in &nodes {
+            db.execute_sql(&format!("INSERT INTO m.n (id) VALUES ({id})")).unwrap();
+        }
+        let mut inserted: HashMap<i64, i64> = HashMap::new();
+        for (id, nid) in cells {
+            if inserted.contains_key(&id) {
+                continue;
+            }
+            db.execute_sql(&format!("INSERT INTO m.c (id, nid) VALUES ({id}, {nid})"))
+                .unwrap();
+            inserted.insert(id, nid);
+        }
+        let r = db
+            .execute_sql("SELECT c.id, n.id FROM m.c JOIN m.n ON c.nid = n.id")
+            .unwrap();
+        let mut got: Vec<(i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<(i64, i64)> = inserted
+            .iter()
+            .filter(|(_, nid)| nodes.contains(nid))
+            .map(|(id, nid)| (*id, *nid))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

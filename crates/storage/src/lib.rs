@@ -1,0 +1,327 @@
+//! # sc-storage
+//!
+//! A minimal virtual file system shared by the NoSQL and relational engines.
+//!
+//! Both engines measure the paper's `size_as_mb` (Table 4) from **real
+//! serialized bytes**; this crate gives them a common place to put those
+//! bytes. Two backends are provided:
+//!
+//! * [`Vfs::memory`] — an in-memory file map. Fast and hermetic; the default
+//!   for tests and benchmarks (the byte counts are identical to the disk
+//!   backend's).
+//! * [`Vfs::disk`] — real files under a root directory, for examples and
+//!   anyone who wants to inspect SSTables/heap files on disk.
+//!
+//! The API is deliberately tiny: append-only writes plus positioned reads,
+//! which is all a commit log, SSTable or heap file needs.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The named file does not exist.
+    NotFound(String),
+    /// A read went past the end of the file.
+    ShortRead {
+        /// File name.
+        file: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: usize,
+    },
+    /// An underlying I/O error (disk backend).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound(name) => write!(f, "file not found: {name}"),
+            StorageError::ShortRead { file, offset, len } => {
+                write!(f, "short read: {file} at {offset} (+{len})")
+            }
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[derive(Debug)]
+enum Backend {
+    Memory(Mutex<BTreeMap<String, Vec<u8>>>),
+    Disk(PathBuf),
+}
+
+/// A handle to a file namespace. Cheap to clone (shared).
+#[derive(Debug, Clone)]
+pub struct Vfs {
+    backend: Arc<Backend>,
+}
+
+impl Vfs {
+    /// Creates an in-memory VFS.
+    pub fn memory() -> Vfs {
+        Vfs {
+            backend: Arc::new(Backend::Memory(Mutex::new(BTreeMap::new()))),
+        }
+    }
+
+    /// Creates a disk-backed VFS rooted at `root` (created if missing).
+    pub fn disk(root: impl Into<PathBuf>) -> Result<Vfs> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Vfs {
+            backend: Arc::new(Backend::Disk(root)),
+        })
+    }
+
+    fn disk_path(root: &Path, name: &str) -> PathBuf {
+        // File names may contain '/' separators; map them to subdirectories.
+        root.join(name)
+    }
+
+    /// Appends `data` to `name`, creating it if missing. Returns the offset
+    /// the data was written at.
+    pub fn append(&self, name: &str, data: &[u8]) -> Result<u64> {
+        match &*self.backend {
+            Backend::Memory(files) => {
+                let mut files = files.lock();
+                let file = files.entry(name.to_string()).or_default();
+                let offset = file.len() as u64;
+                file.extend_from_slice(data);
+                Ok(offset)
+            }
+            Backend::Disk(root) => {
+                let path = Self::disk_path(root, name);
+                if let Some(parent) = path.parent() {
+                    fs::create_dir_all(parent)?;
+                }
+                let mut f = fs::OpenOptions::new().create(true).append(true).open(&path)?;
+                let offset = f.seek(SeekFrom::End(0))?;
+                f.write_all(data)?;
+                Ok(offset)
+            }
+        }
+    }
+
+    /// Reads `len` bytes at `offset` from `name`.
+    pub fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        match &*self.backend {
+            Backend::Memory(files) => {
+                let files = files.lock();
+                let file = files
+                    .get(name)
+                    .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
+                let start = offset as usize;
+                let end = start.checked_add(len).filter(|&e| e <= file.len());
+                match end {
+                    Some(end) => Ok(file[start..end].to_vec()),
+                    None => Err(StorageError::ShortRead {
+                        file: name.to_string(),
+                        offset,
+                        len,
+                    }),
+                }
+            }
+            Backend::Disk(root) => {
+                let path = Self::disk_path(root, name);
+                let mut f = fs::File::open(&path)
+                    .map_err(|_| StorageError::NotFound(name.to_string()))?;
+                f.seek(SeekFrom::Start(offset))?;
+                let mut buf = vec![0u8; len];
+                f.read_exact(&mut buf).map_err(|_| StorageError::ShortRead {
+                    file: name.to_string(),
+                    offset,
+                    len,
+                })?;
+                Ok(buf)
+            }
+        }
+    }
+
+    /// Reads the whole file.
+    pub fn read_all(&self, name: &str) -> Result<Vec<u8>> {
+        let len = self.len(name)?;
+        self.read_at(name, 0, len as usize)
+    }
+
+    /// Length of `name` in bytes.
+    pub fn len(&self, name: &str) -> Result<u64> {
+        match &*self.backend {
+            Backend::Memory(files) => files
+                .lock()
+                .get(name)
+                .map(|f| f.len() as u64)
+                .ok_or_else(|| StorageError::NotFound(name.to_string())),
+            Backend::Disk(root) => {
+                let path = Self::disk_path(root, name);
+                Ok(fs::metadata(&path)
+                    .map_err(|_| StorageError::NotFound(name.to_string()))?
+                    .len())
+            }
+        }
+    }
+
+    /// Whether `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.len(name).is_ok()
+    }
+
+    /// Deletes `name` (idempotent).
+    pub fn delete(&self, name: &str) -> Result<()> {
+        match &*self.backend {
+            Backend::Memory(files) => {
+                files.lock().remove(name);
+                Ok(())
+            }
+            Backend::Disk(root) => {
+                let path = Self::disk_path(root, name);
+                match fs::remove_file(path) {
+                    Ok(()) => Ok(()),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+                    Err(e) => Err(e.into()),
+                }
+            }
+        }
+    }
+
+    /// Lists files whose names start with `prefix`, sorted.
+    pub fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        match &*self.backend {
+            Backend::Memory(files) => Ok(files
+                .lock()
+                .keys()
+                .filter(|k| k.starts_with(prefix))
+                .cloned()
+                .collect()),
+            Backend::Disk(root) => {
+                let mut out = Vec::new();
+                fn walk(
+                    dir: &Path,
+                    root: &Path,
+                    prefix: &str,
+                    out: &mut Vec<String>,
+                ) -> Result<()> {
+                    if !dir.exists() {
+                        return Ok(());
+                    }
+                    for entry in fs::read_dir(dir)? {
+                        let entry = entry?;
+                        let path = entry.path();
+                        if path.is_dir() {
+                            walk(&path, root, prefix, out)?;
+                        } else if let Ok(rel) = path.strip_prefix(root) {
+                            let name = rel.to_string_lossy().replace('\\', "/");
+                            if name.starts_with(prefix) {
+                                out.push(name);
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+                walk(root, root, prefix, &mut out)?;
+                out.sort();
+                Ok(out)
+            }
+        }
+    }
+
+    /// Total bytes across all files whose names start with `prefix`.
+    pub fn total_size(&self, prefix: &str) -> Result<u64> {
+        let mut total = 0;
+        for f in self.list(prefix)? {
+            total += self.len(&f)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(vfs: Vfs) {
+        assert!(!vfs.exists("a/log"));
+        assert_eq!(vfs.append("a/log", b"hello").unwrap(), 0);
+        assert_eq!(vfs.append("a/log", b" world").unwrap(), 5);
+        assert_eq!(vfs.len("a/log").unwrap(), 11);
+        assert_eq!(vfs.read_at("a/log", 6, 5).unwrap(), b"world");
+        assert_eq!(vfs.read_all("a/log").unwrap(), b"hello world");
+        assert!(matches!(
+            vfs.read_at("a/log", 8, 10),
+            Err(StorageError::ShortRead { .. })
+        ));
+        assert!(matches!(
+            vfs.read_all("missing"),
+            Err(StorageError::NotFound(_))
+        ));
+        vfs.append("a/other", b"x").unwrap();
+        vfs.append("b/log", b"yy").unwrap();
+        assert_eq!(vfs.list("a/").unwrap(), vec!["a/log", "a/other"]);
+        assert_eq!(vfs.total_size("a/").unwrap(), 12);
+        assert_eq!(vfs.total_size("").unwrap(), 14);
+        vfs.delete("a/other").unwrap();
+        assert!(!vfs.exists("a/other"));
+        vfs.delete("a/other").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn memory_backend() {
+        exercise(Vfs::memory());
+    }
+
+    #[test]
+    fn disk_backend() {
+        let dir = std::env::temp_dir().join(format!(
+            "sc-storage-test-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        exercise(Vfs::disk(&dir).unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn backends_agree_on_sizes() {
+        let mem = Vfs::memory();
+        let dir = std::env::temp_dir().join(format!(
+            "sc-storage-size-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let disk = Vfs::disk(&dir).unwrap();
+        for i in 0..10 {
+            let data = vec![i as u8; (i * 37) % 100 + 1];
+            mem.append("f", &data).unwrap();
+            disk.append("f", &data).unwrap();
+        }
+        assert_eq!(mem.len("f").unwrap(), disk.len("f").unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Vfs::memory();
+        let b = a.clone();
+        a.append("x", b"1").unwrap();
+        assert_eq!(b.read_all("x").unwrap(), b"1");
+    }
+}

@@ -1,0 +1,291 @@
+//! A small owned DOM built on top of the pull parser.
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::event::{Attribute, XmlEvent};
+use crate::reader::XmlReader;
+use crate::writer::XmlWriter;
+
+/// A node inside an element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// Character data (text and CDATA merged).
+    Text(String),
+}
+
+/// An element with attributes and children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name as written.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<Attribute>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder-style: adds an attribute.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push(Attribute {
+            name: name.into(),
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Builder-style: adds a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder-style: adds a text child.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Iterates child elements.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Iterates child elements with a given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// First child element with a given tag name.
+    pub fn first_child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated text content of this element (direct text children only).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Concatenated text content of this element and all descendants.
+    pub fn deep_text(&self) -> String {
+        let mut out = String::new();
+        fn walk(e: &Element, out: &mut String) {
+            for n in &e.children {
+                match n {
+                    Node::Text(t) => out.push_str(t),
+                    Node::Element(c) => walk(c, out),
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Number of descendant elements, including self.
+    pub fn element_count(&self) -> usize {
+        1 + self
+            .child_elements()
+            .map(Element::element_count)
+            .sum::<usize>()
+    }
+
+    /// Serializes this element (and subtree) to XML text.
+    pub fn to_xml(&self) -> String {
+        let mut w = XmlWriter::new();
+        w.write_element(self);
+        w.into_string()
+    }
+}
+
+/// A parsed document: declaration metadata plus the root element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Declared version (defaults to `1.0`).
+    pub version: String,
+    /// Declared encoding, if any.
+    pub encoding: Option<String>,
+    /// The root element.
+    pub root: Element,
+}
+
+impl Document {
+    /// Parses a complete document.
+    pub fn parse(input: &str) -> Result<Document, XmlError> {
+        let mut reader = XmlReader::new(input);
+        let mut version = "1.0".to_string();
+        let mut encoding = None;
+        let mut stack: Vec<Element> = Vec::new();
+        let mut root: Option<Element> = None;
+        loop {
+            match reader.next_event()? {
+                XmlEvent::Declaration {
+                    version: v,
+                    encoding: e,
+                } => {
+                    version = v;
+                    encoding = e;
+                }
+                XmlEvent::StartElement {
+                    name, attributes, ..
+                } => {
+                    stack.push(Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                    });
+                }
+                XmlEvent::EndElement { .. } => {
+                    // The reader guarantees balance, so unwraps are safe.
+                    let done = stack.pop().expect("reader guarantees balanced tags");
+                    if let Some(parent) = stack.last_mut() {
+                        parent.children.push(Node::Element(done));
+                    } else {
+                        root = Some(done);
+                    }
+                }
+                XmlEvent::Text(t) | XmlEvent::CData(t) => {
+                    if let Some(parent) = stack.last_mut() {
+                        // Merge adjacent text nodes for a tidier tree.
+                        if let Some(Node::Text(prev)) = parent.children.last_mut() {
+                            prev.push_str(&t);
+                        } else {
+                            parent.children.push(Node::Text(t));
+                        }
+                    }
+                }
+                XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => {}
+                XmlEvent::Eof => break,
+            }
+        }
+        let root = root.ok_or(XmlError::new(
+            XmlErrorKind::BadDocumentStructure("document has no root element".into()),
+            1,
+            1,
+        ))?;
+        Ok(Document {
+            version,
+            encoding,
+            root,
+        })
+    }
+
+    /// Serializes the document with a declaration.
+    pub fn to_xml(&self) -> String {
+        let mut w = XmlWriter::new();
+        w.write_declaration(&self.version, self.encoding.as_deref());
+        w.write_element(&self.root);
+        w.into_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FEED: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<stations updated="2016-03-15T10:00:00">
+  <station id="17">
+    <name>Fenian St</name>
+    <bikes>3</bikes>
+    <docks>20</docks>
+  </station>
+  <station id="42">
+    <name>Smithfield</name>
+    <bikes>11</bikes>
+    <docks>30</docks>
+  </station>
+</stations>"#;
+
+    #[test]
+    fn parse_bike_feed() {
+        let doc = Document::parse(FEED).unwrap();
+        assert_eq!(doc.encoding.as_deref(), Some("UTF-8"));
+        assert_eq!(doc.root.name, "stations");
+        assert_eq!(doc.root.attr("updated"), Some("2016-03-15T10:00:00"));
+        let stations: Vec<_> = doc.root.children_named("station").collect();
+        assert_eq!(stations.len(), 2);
+        assert_eq!(
+            stations[0].first_child("name").unwrap().text(),
+            "Fenian St"
+        );
+        assert_eq!(stations[1].first_child("bikes").unwrap().text(), "11");
+    }
+
+    #[test]
+    fn text_merging_across_cdata() {
+        let doc = Document::parse("<a>one<![CDATA[ two]]> three</a>").unwrap();
+        assert_eq!(doc.root.text(), "one two three");
+        assert_eq!(doc.root.children.len(), 1);
+    }
+
+    #[test]
+    fn deep_text_spans_children() {
+        let doc = Document::parse("<a>x<b>y<c>z</c></b></a>").unwrap();
+        assert_eq!(doc.root.deep_text(), "xyz");
+        assert_eq!(doc.root.text(), "x");
+    }
+
+    #[test]
+    fn element_count() {
+        let doc = Document::parse(FEED).unwrap();
+        // stations + 2*(station + name + bikes + docks) = 9
+        assert_eq!(doc.root.element_count(), 9);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let doc = Document::parse(FEED).unwrap();
+        let text = doc.to_xml();
+        let back = Document::parse(&text).unwrap();
+        // Whitespace text nodes survive, so compare structure directly.
+        assert_eq!(back.root, doc.root);
+    }
+
+    #[test]
+    fn roundtrip_with_special_characters() {
+        let e = Element::new("q")
+            .with_attr("expr", "a < b & \"c\"")
+            .with_text("5 > 4 & 3 < 4");
+        let text = e.to_xml();
+        let doc = Document::parse(&text).unwrap();
+        assert_eq!(doc.root.attr("expr"), Some("a < b & \"c\""));
+        assert_eq!(doc.root.text(), "5 > 4 & 3 < 4");
+    }
+
+    #[test]
+    fn builder_api() {
+        let e = Element::new("station")
+            .with_attr("id", "7")
+            .with_child(Element::new("name").with_text("Dame St"));
+        assert_eq!(e.attr("id"), Some("7"));
+        assert_eq!(e.first_child("name").unwrap().text(), "Dame St");
+        assert!(e.first_child("missing").is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! Pull-parser events.
+
+/// One attribute on a start tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as written (prefix included).
+    pub name: String,
+    /// Decoded attribute value (entities resolved).
+    pub value: String,
+}
+
+/// An event produced by [`crate::reader::XmlReader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<?xml version="1.0" ...?>`.
+    Declaration {
+        /// Version string, e.g. `1.0`.
+        version: String,
+        /// Encoding if declared.
+        encoding: Option<String>,
+    },
+    /// `<name attr="v">` — `self_closing` is true for `<name/>`.
+    StartElement {
+        /// Element name as written.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+        /// Whether the tag closed itself (`/>`).
+        self_closing: bool,
+    },
+    /// `</name>` — also emitted synthetically after a self-closing start tag.
+    EndElement {
+        /// Element name as written.
+        name: String,
+    },
+    /// Character data with entities resolved; adjacent CDATA is separate.
+    Text(String),
+    /// `<![CDATA[...]]>` content, verbatim.
+    CData(String),
+    /// `<!-- ... -->` content, verbatim.
+    Comment(String),
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// Raw data after the target.
+        data: String,
+    },
+    /// End of the document.
+    Eof,
+}
+
+impl XmlEvent {
+    /// True if this is [`XmlEvent::Eof`].
+    pub fn is_eof(&self) -> bool {
+        matches!(self, XmlEvent::Eof)
+    }
+}

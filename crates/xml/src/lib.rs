@@ -1,0 +1,46 @@
+//! # sc-xml
+//!
+//! A from-scratch XML 1.0 subset parser for smart-city data feeds.
+//!
+//! Smart-city services publish observations as XML documents (bike-share
+//! station feeds, car-park occupancy, air-quality sensors). This crate
+//! provides everything the ingest pipeline needs and nothing more:
+//!
+//! * [`reader::XmlReader`] — a streaming pull parser producing
+//!   [`event::XmlEvent`]s, suitable for very large feeds,
+//! * [`dom`] — a small owned document tree for tests and examples,
+//! * [`path`] — an XPath-lite selector language (`/a/b`, `//station`,
+//!   `@attr`) used by cube definitions to locate dimensions and measures,
+//! * [`writer::XmlWriter`] — an escaping writer used by the data generator.
+//!
+//! ## Supported XML subset
+//!
+//! Elements, attributes (single or double quoted), character data, CDATA
+//! sections, comments, processing instructions, the XML declaration, the five
+//! predefined entities and decimal/hex character references. DTDs are
+//! recognised and skipped; external entities are (deliberately) not
+//! supported.
+//!
+//! ```
+//! use sc_xml::dom::Document;
+//!
+//! let doc = Document::parse("<stations><station id=\"42\">Fenian St</station></stations>").unwrap();
+//! let station = &doc.root.children_named("station").next().unwrap();
+//! assert_eq!(station.attr("id"), Some("42"));
+//! assert_eq!(station.text(), "Fenian St");
+//! ```
+
+pub mod dom;
+pub mod entities;
+pub mod error;
+pub mod event;
+pub mod path;
+pub mod reader;
+pub mod scanner;
+pub mod writer;
+
+pub use dom::{Document, Element};
+pub use error::{XmlError, XmlErrorKind};
+pub use event::XmlEvent;
+pub use reader::XmlReader;
+pub use writer::XmlWriter;

@@ -1,0 +1,394 @@
+//! XPath-lite: the tiny selector language cube definitions use to locate
+//! record elements, dimension values and measures inside a feed document.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! path      := "/"? step ("/" step)* ("/" leaf)?
+//! step      := ("/")? name predicate?          -- leading "//" = descendant
+//! name      := NCName | "*"
+//! predicate := "[" digits "]" | "[@" name "='" value "'" "]"
+//! leaf      := "@" name | "text()"
+//! ```
+//!
+//! Examples: `/stations/station`, `//station[@id='42']/name/text()`,
+//! `@updated`, `readings/reading[2]/value/text()`.
+
+use crate::dom::Element;
+use std::fmt;
+
+/// How a step walks the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Direct children.
+    Child,
+    /// Any descendant (the `//` axis), including children.
+    Descendant,
+}
+
+/// Optional filter on a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// 1-based position among the step's matches.
+    Index(usize),
+    /// Requires `@name='value'`.
+    AttrEquals {
+        /// Attribute name.
+        name: String,
+        /// Required value.
+        value: String,
+    },
+}
+
+/// One navigation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Child or descendant axis.
+    pub axis: Axis,
+    /// Element name, or `*` for any.
+    pub name: String,
+    /// Optional predicate filter.
+    pub predicate: Option<Predicate>,
+}
+
+/// What the path ultimately extracts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Leaf {
+    /// The matched elements themselves.
+    Elements,
+    /// Text content of the matched elements.
+    Text,
+    /// An attribute of the matched elements.
+    Attr(String),
+}
+
+/// Parse error for a path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path: {}", self.message)
+    }
+}
+
+impl std::error::Error for PathError {}
+
+fn err(message: impl Into<String>) -> PathError {
+    PathError {
+        message: message.into(),
+    }
+}
+
+/// A compiled path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Navigation steps, in order.
+    pub steps: Vec<Step>,
+    /// Value extraction at the end.
+    pub leaf: Leaf,
+    /// Whether the path began with `/` (anchored at the document root
+    /// element rather than evaluated relative to the context element).
+    pub absolute: bool,
+}
+
+impl Path {
+    /// Compiles a path expression.
+    pub fn parse(expr: &str) -> Result<Path, PathError> {
+        let expr = expr.trim();
+        if expr.is_empty() {
+            return Err(err("empty expression"));
+        }
+        let mut rest = expr;
+        let absolute = rest.starts_with('/') && !rest.starts_with("//");
+        let mut steps = Vec::new();
+        let mut leaf = Leaf::Elements;
+
+        while !rest.is_empty() {
+            let axis = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                Axis::Descendant
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                Axis::Child
+            } else if steps.is_empty() {
+                Axis::Child
+            } else {
+                return Err(err(format!("expected '/' before {rest:?}")));
+            };
+            if rest.is_empty() {
+                return Err(err("trailing '/'"));
+            }
+            // Leaf selectors terminate the path.
+            if let Some(r) = rest.strip_prefix('@') {
+                if r.is_empty() {
+                    return Err(err("'@' with no attribute name"));
+                }
+                if !r.chars().all(is_name_char) {
+                    return Err(err(format!("bad attribute name {r:?}")));
+                }
+                leaf = Leaf::Attr(r.to_string());
+                break;
+            }
+            if rest == "text()" {
+                leaf = Leaf::Text;
+                break;
+            }
+            // Element step: name, optional [predicate].
+            let name_end = rest
+                .find(['/', '['])
+                .unwrap_or(rest.len());
+            let name = &rest[..name_end];
+            if name.is_empty() || (name != "*" && !name.chars().all(is_name_char)) {
+                return Err(err(format!("bad step name {name:?}")));
+            }
+            rest = &rest[name_end..];
+            let mut predicate = None;
+            if let Some(r) = rest.strip_prefix('[') {
+                let close = r.find(']').ok_or_else(|| err("unterminated '['"))?;
+                let body = &r[..close];
+                rest = &r[close + 1..];
+                predicate = Some(parse_predicate(body)?);
+            }
+            steps.push(Step {
+                axis,
+                name: name.to_string(),
+                predicate,
+            });
+        }
+        if steps.is_empty() && leaf == Leaf::Elements {
+            return Err(err("expression selects nothing"));
+        }
+        Ok(Path {
+            steps,
+            leaf,
+            absolute,
+        })
+    }
+
+    /// Evaluates the path, returning matched elements.
+    ///
+    /// For a leaf of `@attr` or `text()` the returned elements are the ones
+    /// the leaf extracts from; use [`Path::select_values`] to get strings.
+    pub fn select<'a>(&self, context: &'a Element) -> Vec<&'a Element> {
+        let mut current: Vec<&Element> = vec![context];
+        for (i, step) in self.steps.iter().enumerate() {
+            // For absolute paths the first step names the root element itself
+            // (like `/stations/station` where context *is* `<stations>`).
+            let mut next: Vec<&Element> = Vec::new();
+            if i == 0 && self.absolute {
+                if step.name == "*" || context.name == step.name {
+                    next.push(context);
+                }
+            } else {
+                for el in &current {
+                    match step.axis {
+                        Axis::Child => {
+                            next.extend(
+                                el.child_elements()
+                                    .filter(|c| step.name == "*" || c.name == step.name),
+                            );
+                        }
+                        Axis::Descendant => collect_descendants(el, &step.name, &mut next),
+                    }
+                }
+            }
+            if let Some(pred) = &step.predicate {
+                next = apply_predicate(next, pred);
+            }
+            if next.is_empty() {
+                return Vec::new();
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Evaluates the path and extracts the leaf values.
+    pub fn select_values(&self, context: &Element) -> Vec<String> {
+        let elements = self.select(context);
+        match &self.leaf {
+            Leaf::Elements => elements.iter().map(|e| e.text()).collect(),
+            Leaf::Text => elements.iter().map(|e| e.text()).collect(),
+            Leaf::Attr(name) => elements
+                .iter()
+                .filter_map(|e| e.attr(name).map(str::to_string))
+                .collect(),
+        }
+    }
+
+    /// First leaf value, if any.
+    pub fn select_first(&self, context: &Element) -> Option<String> {
+        self.select_values(context).into_iter().next()
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+}
+
+fn parse_predicate(body: &str) -> Result<Predicate, PathError> {
+    if let Some(r) = body.strip_prefix('@') {
+        let eq = r.find('=').ok_or_else(|| err("predicate missing '='"))?;
+        let name = &r[..eq];
+        let value = &r[eq + 1..];
+        let value = value
+            .strip_prefix('\'')
+            .and_then(|v| v.strip_suffix('\''))
+            .ok_or_else(|| err("predicate value must be single-quoted"))?;
+        if name.is_empty() || !name.chars().all(is_name_char) {
+            return Err(err(format!("bad predicate attribute {name:?}")));
+        }
+        return Ok(Predicate::AttrEquals {
+            name: name.to_string(),
+            value: value.to_string(),
+        });
+    }
+    let n: usize = body
+        .parse()
+        .map_err(|_| err(format!("bad predicate {body:?}")))?;
+    if n == 0 {
+        return Err(err("position predicates are 1-based"));
+    }
+    Ok(Predicate::Index(n))
+}
+
+fn apply_predicate<'a>(matches: Vec<&'a Element>, pred: &Predicate) -> Vec<&'a Element> {
+    match pred {
+        Predicate::Index(n) => matches.into_iter().skip(n - 1).take(1).collect(),
+        Predicate::AttrEquals { name, value } => matches
+            .into_iter()
+            .filter(|e| e.attr(name) == Some(value.as_str()))
+            .collect(),
+    }
+}
+
+fn collect_descendants<'a>(el: &'a Element, name: &str, out: &mut Vec<&'a Element>) {
+    for child in el.child_elements() {
+        if name == "*" || child.name == name {
+            out.push(child);
+        }
+        collect_descendants(child, name, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    const FEED: &str = r#"<stations updated="10:00">
+      <station id="17"><name>Fenian St</name><bikes>3</bikes></station>
+      <station id="42"><name>Smithfield</name><bikes>11</bikes></station>
+      <meta><source kind="bikes"><name>dublinbikes</name></source></meta>
+    </stations>"#;
+
+    fn feed() -> Document {
+        Document::parse(FEED).unwrap()
+    }
+
+    #[test]
+    fn absolute_child_path() {
+        let doc = feed();
+        let p = Path::parse("/stations/station").unwrap();
+        assert_eq!(p.select(&doc.root).len(), 2);
+    }
+
+    #[test]
+    fn absolute_path_requires_root_name_match() {
+        let doc = feed();
+        let p = Path::parse("/wrong/station").unwrap();
+        assert!(p.select(&doc.root).is_empty());
+    }
+
+    #[test]
+    fn relative_path_and_text_leaf() {
+        let doc = feed();
+        let station = doc.root.first_child("station").unwrap();
+        let p = Path::parse("name/text()").unwrap();
+        assert_eq!(p.select_values(station), vec!["Fenian St"]);
+    }
+
+    #[test]
+    fn attribute_leaf() {
+        let doc = feed();
+        let station = doc.root.children_named("station").nth(1).unwrap();
+        let p = Path::parse("@id").unwrap();
+        assert_eq!(p.select_first(station), Some("42".to_string()));
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let doc = feed();
+        let p = Path::parse("//name/text()").unwrap();
+        assert_eq!(
+            p.select_values(&doc.root),
+            vec!["Fenian St", "Smithfield", "dublinbikes"]
+        );
+    }
+
+    #[test]
+    fn attr_predicate() {
+        let doc = feed();
+        let p = Path::parse("//station[@id='42']/bikes/text()").unwrap();
+        assert_eq!(p.select_values(&doc.root), vec!["11"]);
+    }
+
+    #[test]
+    fn index_predicate_is_one_based() {
+        let doc = feed();
+        let p = Path::parse("station[2]/name/text()").unwrap();
+        assert_eq!(p.select_values(&doc.root), vec!["Smithfield"]);
+        let p = Path::parse("station[3]").unwrap();
+        assert!(p.select(&doc.root).is_empty());
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let doc = feed();
+        let p = Path::parse("station/*").unwrap();
+        assert_eq!(p.select(&doc.root).len(), 4);
+    }
+
+    #[test]
+    fn bare_attribute_path() {
+        let doc = feed();
+        let p = Path::parse("@updated").unwrap();
+        assert_eq!(p.select_first(&doc.root), Some("10:00".to_string()));
+    }
+
+    #[test]
+    fn missing_attribute_yields_nothing() {
+        let doc = feed();
+        let p = Path::parse("station/@nope").unwrap();
+        assert!(p.select_values(&doc.root).is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "", "/", "a//", "a/[1]", "a[b]", "a[@x=y]", "a[0]", "@", "a/@", "a b",
+        ] {
+            assert!(Path::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_structure() {
+        let p = Path::parse("//station[@id='7']/name/text()").unwrap();
+        assert!(!p.absolute);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+        assert_eq!(
+            p.steps[0].predicate,
+            Some(Predicate::AttrEquals {
+                name: "id".into(),
+                value: "7".into()
+            })
+        );
+        assert_eq!(p.leaf, Leaf::Text);
+    }
+}

@@ -1,0 +1,499 @@
+//! Streaming pull parser.
+
+use crate::entities::resolve_reference;
+use crate::error::{XmlError, XmlErrorKind};
+use crate::event::{Attribute, XmlEvent};
+use crate::scanner::Scanner;
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+/// A pull parser over an in-memory XML document.
+///
+/// Call [`XmlReader::next_event`] until it returns [`XmlEvent::Eof`]. The
+/// reader enforces well-formedness: tags must balance, attributes must be
+/// unique per element, and exactly one root element must exist.
+///
+/// ```
+/// use sc_xml::{XmlReader, XmlEvent};
+///
+/// let mut r = XmlReader::new("<a x=\"1\"><b/>hi</a>");
+/// let mut names = Vec::new();
+/// loop {
+///     match r.next_event().unwrap() {
+///         XmlEvent::StartElement { name, .. } => names.push(name),
+///         XmlEvent::Eof => break,
+///         _ => {}
+///     }
+/// }
+/// assert_eq!(names, ["a", "b"]);
+/// ```
+#[derive(Debug)]
+pub struct XmlReader<'a> {
+    scanner: Scanner<'a>,
+    /// Open-element stack, for tag balancing.
+    stack: Vec<String>,
+    /// Pending synthetic EndElement after a self-closing tag.
+    pending_end: Option<String>,
+    /// Whether the root element has been seen (and closed).
+    seen_root: bool,
+    finished: bool,
+}
+
+impl<'a> XmlReader<'a> {
+    /// Creates a reader over `input`. A leading UTF-8 BOM (common in
+    /// Windows-produced feeds) is skipped.
+    pub fn new(input: &'a str) -> Self {
+        let input = input.strip_prefix('\u{FEFF}').unwrap_or(input);
+        Self {
+            scanner: Scanner::new(input),
+            stack: Vec::new(),
+            pending_end: None,
+            seen_root: false,
+            finished: false,
+        }
+    }
+
+    /// Current depth of open elements (0 outside the root).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Produces the next event.
+    pub fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(XmlEvent::EndElement { name });
+        }
+        if self.finished {
+            return Ok(XmlEvent::Eof);
+        }
+        {
+            // Outside any element we skip whitespace; inside, it is text.
+            if self.stack.is_empty() {
+                self.scanner.skip_whitespace();
+            }
+            if self.scanner.is_eof() {
+                if let Some(open) = self.stack.last() {
+                    return Err(self
+                        .scanner
+                        .error(XmlErrorKind::BadDocumentStructure(format!(
+                            "input ended with <{open}> still open"
+                        ))));
+                }
+                if !self.seen_root {
+                    return Err(self
+                        .scanner
+                        .error(XmlErrorKind::BadDocumentStructure(
+                            "document has no root element".into(),
+                        )));
+                }
+                self.finished = true;
+                return Ok(XmlEvent::Eof);
+            }
+            if self.scanner.starts_with("<") {
+                return self.parse_markup();
+            }
+            // Text content outside markup.
+            let text = self.parse_text()?;
+            if self.stack.is_empty() {
+                // Non-whitespace text outside the root is not well-formed;
+                // whitespace was skipped above, so anything here is an error.
+                return Err(self.scanner.error(XmlErrorKind::BadDocumentStructure(
+                    "character data outside the root element".into(),
+                )));
+            }
+            Ok(XmlEvent::Text(text))
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<String, XmlError> {
+        let mut out = String::new();
+        loop {
+            match self.scanner.peek() {
+                None | Some('<') => break,
+                Some('&') => {
+                    self.scanner.bump();
+                    resolve_reference(&mut self.scanner, &mut out)?;
+                }
+                Some(c) => {
+                    self.scanner.bump();
+                    out.push(c);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_markup(&mut self) -> Result<XmlEvent, XmlError> {
+        if self.scanner.eat("<!--") {
+            let body = self
+                .scanner
+                .take_until("-->")
+                .ok_or_else(|| self.scanner.error(XmlErrorKind::UnexpectedEof))?
+                .to_string();
+            self.scanner.expect("-->")?;
+            return Ok(XmlEvent::Comment(body));
+        }
+        if self.scanner.eat("<![CDATA[") {
+            if self.stack.is_empty() {
+                return Err(self.scanner.error(XmlErrorKind::BadDocumentStructure(
+                    "CDATA outside the root element".into(),
+                )));
+            }
+            let body = self
+                .scanner
+                .take_until("]]>")
+                .ok_or_else(|| self.scanner.error(XmlErrorKind::UnexpectedEof))?
+                .to_string();
+            self.scanner.expect("]]>")?;
+            return Ok(XmlEvent::CData(body));
+        }
+        if self.scanner.starts_with("<!DOCTYPE") || self.scanner.starts_with("<!doctype") {
+            self.skip_doctype()?;
+            return self.next_event();
+        }
+        if self.scanner.eat("<?") {
+            return self.parse_pi();
+        }
+        if self.scanner.eat("</") {
+            return self.parse_end_tag();
+        }
+        self.scanner.expect("<")?;
+        self.parse_start_tag()
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        // Consume "<!DOCTYPE ... >" honouring one level of [] internal subset.
+        self.scanner.expect("<!")?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.scanner.bump() {
+                Some('<') => depth += 1,
+                Some('>') => depth -= 1,
+                Some('[') => {
+                    // Internal subset: skip to the matching ']'.
+                    while let Some(c) = self.scanner.bump() {
+                        if c == ']' {
+                            break;
+                        }
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.scanner.error(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        match self.scanner.peek() {
+            Some(c) if is_name_start(c) => {}
+            _ => return Err(self.scanner.error(XmlErrorKind::BadName)),
+        }
+        Ok(self.scanner.take_while(is_name_char).to_string())
+    }
+
+    fn parse_pi(&mut self) -> Result<XmlEvent, XmlError> {
+        let target = self.parse_name()?;
+        let data = self
+            .scanner
+            .take_until("?>")
+            .ok_or_else(|| self.scanner.error(XmlErrorKind::UnexpectedEof))?
+            .trim()
+            .to_string();
+        self.scanner.expect("?>")?;
+        if target.eq_ignore_ascii_case("xml") {
+            let attrs = parse_pseudo_attrs(&data);
+            let version = attrs
+                .iter()
+                .find(|(k, _)| k == "version")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| "1.0".to_string());
+            let encoding = attrs
+                .iter()
+                .find(|(k, _)| k == "encoding")
+                .map(|(_, v)| v.clone());
+            return Ok(XmlEvent::Declaration { version, encoding });
+        }
+        Ok(XmlEvent::ProcessingInstruction { target, data })
+    }
+
+    fn parse_start_tag(&mut self) -> Result<XmlEvent, XmlError> {
+        if self.seen_root && self.stack.is_empty() {
+            return Err(self.scanner.error(XmlErrorKind::BadDocumentStructure(
+                "multiple root elements".into(),
+            )));
+        }
+        let name = self.parse_name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            self.scanner.skip_whitespace();
+            if self.scanner.eat("/>") {
+                self.pending_end = Some(name.clone());
+                if self.stack.is_empty() {
+                    self.seen_root = true;
+                }
+                return Ok(XmlEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing: true,
+                });
+            }
+            if self.scanner.eat(">") {
+                self.stack.push(name.clone());
+                return Ok(XmlEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing: false,
+                });
+            }
+            let attr_name = self.parse_name()?;
+            if attributes.iter().any(|a| a.name == attr_name) {
+                return Err(self
+                    .scanner
+                    .error(XmlErrorKind::DuplicateAttribute(attr_name)));
+            }
+            self.scanner.skip_whitespace();
+            self.scanner.expect("=")?;
+            self.scanner.skip_whitespace();
+            let quote = match self.scanner.bump() {
+                Some(q @ ('"' | '\'')) => q,
+                _ => return Err(self.scanner.error_here()),
+            };
+            let mut value = String::new();
+            loop {
+                match self.scanner.peek() {
+                    None => return Err(self.scanner.error(XmlErrorKind::UnexpectedEof)),
+                    Some(c) if c == quote => {
+                        self.scanner.bump();
+                        break;
+                    }
+                    Some('&') => {
+                        self.scanner.bump();
+                        resolve_reference(&mut self.scanner, &mut value)?;
+                    }
+                    Some('<') => return Err(self.scanner.error_here()),
+                    Some(c) => {
+                        self.scanner.bump();
+                        value.push(c);
+                    }
+                }
+            }
+            attributes.push(Attribute {
+                name: attr_name,
+                value,
+            });
+        }
+    }
+
+    fn parse_end_tag(&mut self) -> Result<XmlEvent, XmlError> {
+        let name = self.parse_name()?;
+        self.scanner.skip_whitespace();
+        self.scanner.expect(">")?;
+        match self.stack.pop() {
+            Some(open) if open == name => {
+                if self.stack.is_empty() {
+                    self.seen_root = true;
+                }
+                Ok(XmlEvent::EndElement { name })
+            }
+            Some(open) => Err(self.scanner.error(XmlErrorKind::MismatchedTag {
+                expected: open,
+                found: name,
+            })),
+            None => Err(self.scanner.error(XmlErrorKind::UnbalancedClose(name))),
+        }
+    }
+}
+
+/// Parses `key="value"` pseudo-attributes in an XML declaration body.
+fn parse_pseudo_attrs(data: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut rest = data.trim();
+    while let Some(eq) = rest.find('=') {
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        let Some(quote) = after.chars().next().filter(|c| *c == '"' || *c == '\'') else {
+            break;
+        };
+        let Some(close) = after[1..].find(quote) else {
+            break;
+        };
+        out.push((key, after[1..1 + close].to_string()));
+        rest = &after[close + 2..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Result<Vec<XmlEvent>, XmlError> {
+        let mut r = XmlReader::new(input);
+        let mut out = Vec::new();
+        loop {
+            let ev = r.next_event()?;
+            let done = ev.is_eof();
+            out.push(ev);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events("<a x=\"1\" y='2'>hi<b/></a>").unwrap();
+        assert_eq!(
+            evs,
+            vec![
+                XmlEvent::StartElement {
+                    name: "a".into(),
+                    attributes: vec![
+                        Attribute { name: "x".into(), value: "1".into() },
+                        Attribute { name: "y".into(), value: "2".into() },
+                    ],
+                    self_closing: false,
+                },
+                XmlEvent::Text("hi".into()),
+                XmlEvent::StartElement {
+                    name: "b".into(),
+                    attributes: vec![],
+                    self_closing: true,
+                },
+                XmlEvent::EndElement { name: "b".into() },
+                XmlEvent::EndElement { name: "a".into() },
+                XmlEvent::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn declaration_and_comment_and_pi() {
+        let evs =
+            events("<?xml version=\"1.0\" encoding=\"UTF-8\"?><!-- c --><?go now?><r/>").unwrap();
+        assert_eq!(
+            evs[0],
+            XmlEvent::Declaration {
+                version: "1.0".into(),
+                encoding: Some("UTF-8".into())
+            }
+        );
+        assert_eq!(evs[1], XmlEvent::Comment(" c ".into()));
+        assert_eq!(
+            evs[2],
+            XmlEvent::ProcessingInstruction {
+                target: "go".into(),
+                data: "now".into()
+            }
+        );
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let evs = events("<a t=\"&lt;&#65;&gt;\">x &amp; y</a>").unwrap();
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "<A>");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(evs[1], XmlEvent::Text("x & y".into()));
+    }
+
+    #[test]
+    fn cdata_is_verbatim() {
+        let evs = events("<a><![CDATA[<not & parsed>]]></a>").unwrap();
+        assert_eq!(evs[1], XmlEvent::CData("<not & parsed>".into()));
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let evs = events("<!DOCTYPE stations [<!ELEMENT s EMPTY>]><stations/>").unwrap();
+        assert!(matches!(evs[0], XmlEvent::StartElement { .. }));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = events("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unbalanced_close_error() {
+        let err = events("<a/></a>").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            XmlErrorKind::UnbalancedClose(_) | XmlErrorKind::BadDocumentStructure(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_error() {
+        let err = events("<a x=\"1\" x=\"2\"/>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn multiple_roots_error() {
+        let err = events("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::BadDocumentStructure(_)));
+    }
+
+    #[test]
+    fn truncated_document_error() {
+        let err = events("<a><b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::BadDocumentStructure(_)));
+    }
+
+    #[test]
+    fn empty_document_error() {
+        let err = events("   ").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::BadDocumentStructure(_)));
+    }
+
+    #[test]
+    fn text_outside_root_error() {
+        let err = events("junk<a/>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::BadDocumentStructure(_)));
+    }
+
+    #[test]
+    fn whitespace_between_markup_is_preserved_inside_root() {
+        let evs = events("<a> <b/> </a>").unwrap();
+        assert_eq!(evs[1], XmlEvent::Text(" ".into()));
+        assert_eq!(evs[4], XmlEvent::Text(" ".into()));
+    }
+
+    #[test]
+    fn error_positions_are_tracked() {
+        let err = events("<a>\n  <b x=1/>\n</a>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column > 1);
+    }
+
+    #[test]
+    fn byte_order_mark_is_skipped() {
+        let evs = events("\u{FEFF}<?xml version=\"1.0\"?><r/>").unwrap();
+        assert!(matches!(evs[0], XmlEvent::Declaration { .. }));
+        assert!(matches!(evs[1], XmlEvent::StartElement { .. }));
+    }
+
+    #[test]
+    fn deeply_nested_document() {
+        let mut doc = String::new();
+        for i in 0..200 {
+            doc.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..200).rev() {
+            doc.push_str(&format!("</n{i}>"));
+        }
+        assert!(events(&doc).is_ok());
+    }
+}

@@ -1,0 +1,193 @@
+//! Low-level character scanner with line/column tracking.
+
+use crate::error::{XmlError, XmlErrorKind};
+
+/// A cursor over the input text that tracks the current line and column and
+/// produces positioned errors.
+#[derive(Debug, Clone)]
+pub struct Scanner<'a> {
+    input: &'a str,
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Scanner<'a> {
+    /// Creates a scanner at the start of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            input,
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Byte offset of the cursor.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// 1-based line of the cursor.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based column of the cursor.
+    pub fn column(&self) -> u32 {
+        self.column
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// The next character without consuming it.
+    pub fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    /// The character after the next one, without consuming anything.
+    pub fn peek2(&self) -> Option<char> {
+        let mut it = self.input[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    /// Consumes and returns one character.
+    pub fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    /// Whether the remaining input starts with `s`.
+    pub fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    /// Consumes `s` if the input starts with it; returns whether it did.
+    pub fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in s.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes `s` or errors with `UnexpectedChar`/`UnexpectedEof`.
+    pub fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.error_here())
+        }
+    }
+
+    /// Skips XML whitespace (space, tab, CR, LF).
+    pub fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.bump();
+        }
+    }
+
+    /// Consumes characters while `pred` holds, returning the consumed slice.
+    pub fn take_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+        &self.input[start..self.pos]
+    }
+
+    /// Consumes input up to (not including) the first occurrence of `needle`,
+    /// returning the consumed slice, or `None` (consuming nothing extra) if
+    /// the needle never appears.
+    pub fn take_until(&mut self, needle: &str) -> Option<&'a str> {
+        let rest = &self.input[self.pos..];
+        let idx = rest.find(needle)?;
+        let out = &rest[..idx];
+        for _ in out.chars() {
+            self.bump();
+        }
+        Some(out)
+    }
+
+    /// Error for an unexpected character (or EOF) at the cursor.
+    pub fn error_here(&self) -> XmlError {
+        match self.peek() {
+            Some(c) => XmlError::new(XmlErrorKind::UnexpectedChar(c), self.line, self.column),
+            None => XmlError::new(XmlErrorKind::UnexpectedEof, self.line, self.column),
+        }
+    }
+
+    /// Error of an explicit kind at the cursor.
+    pub fn error(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.line, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let mut s = Scanner::new("ab\ncd");
+        assert_eq!((s.line(), s.column()), (1, 1));
+        s.bump();
+        s.bump();
+        assert_eq!((s.line(), s.column()), (1, 3));
+        s.bump(); // newline
+        assert_eq!((s.line(), s.column()), (2, 1));
+        s.bump();
+        assert_eq!((s.line(), s.column()), (2, 2));
+    }
+
+    #[test]
+    fn eat_and_expect() {
+        let mut s = Scanner::new("<?xml?>");
+        assert!(s.eat("<?xml"));
+        assert!(!s.eat("version"));
+        assert!(s.expect("?>").is_ok());
+        assert!(s.is_eof());
+        assert!(matches!(
+            s.expect(">").unwrap_err().kind,
+            XmlErrorKind::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn take_until_finds_needle() {
+        let mut s = Scanner::new("hello-->rest");
+        assert_eq!(s.take_until("-->"), Some("hello"));
+        assert!(s.starts_with("-->"));
+    }
+
+    #[test]
+    fn take_until_missing_needle() {
+        let mut s = Scanner::new("no terminator");
+        assert_eq!(s.take_until("-->"), None);
+        assert_eq!(s.pos(), 0);
+    }
+
+    #[test]
+    fn take_while_unicode() {
+        let mut s = Scanner::new("αβγ<");
+        assert_eq!(s.take_while(|c| c != '<'), "αβγ");
+        assert_eq!(s.peek(), Some('<'));
+    }
+}

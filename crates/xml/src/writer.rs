@@ -1,0 +1,221 @@
+//! Escaping XML writer used by the data generator and DOM serializer.
+
+use crate::dom::{Element, Node};
+use crate::entities::{escape_attr, escape_text};
+
+/// Builds XML text with correct escaping.
+///
+/// Two usage styles are supported: the structured [`write_element`]
+/// (serializing a DOM subtree) and the streaming `start`/`attr`/`text`/`end`
+/// API used by the high-volume feed generator, which avoids building a DOM.
+///
+/// [`write_element`]: XmlWriter::write_element
+#[derive(Debug, Default)]
+pub struct XmlWriter {
+    out: String,
+    /// Stack of open element names for the streaming API.
+    open: Vec<String>,
+    /// True while an open tag's attribute list has not yet been closed by
+    /// `>` — the next content write closes it.
+    in_open_tag: bool,
+}
+
+impl XmlWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with pre-allocated capacity (feeds are large).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            out: String::with_capacity(cap),
+            ..Self::default()
+        }
+    }
+
+    /// Finishes and returns the document text.
+    ///
+    /// Panics if streaming elements are still open — that is a programming
+    /// error in the caller, not a data error.
+    pub fn into_string(self) -> String {
+        assert!(
+            self.open.is_empty(),
+            "XmlWriter dropped with {} unclosed element(s): {:?}",
+            self.open.len(),
+            self.open
+        );
+        self.out
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Writes `<?xml version=".." encoding=".."?>`.
+    pub fn write_declaration(&mut self, version: &str, encoding: Option<&str>) {
+        self.out.push_str("<?xml version=\"");
+        self.out.push_str(version);
+        self.out.push('"');
+        if let Some(enc) = encoding {
+            self.out.push_str(" encoding=\"");
+            self.out.push_str(enc);
+            self.out.push('"');
+        }
+        self.out.push_str("?>\n");
+    }
+
+    fn close_open_tag(&mut self) {
+        if self.in_open_tag {
+            self.out.push('>');
+            self.in_open_tag = false;
+        }
+    }
+
+    /// Streaming: opens `<name`.
+    pub fn start(&mut self, name: &str) -> &mut Self {
+        self.close_open_tag();
+        self.out.push('<');
+        self.out.push_str(name);
+        self.open.push(name.to_string());
+        self.in_open_tag = true;
+        self
+    }
+
+    /// Streaming: writes one attribute on the currently opening tag.
+    ///
+    /// Panics if no tag is open for attributes (programming error).
+    pub fn attr(&mut self, name: &str, value: &str) -> &mut Self {
+        assert!(self.in_open_tag, "attr({name}) outside an open tag");
+        self.out.push(' ');
+        self.out.push_str(name);
+        self.out.push_str("=\"");
+        escape_attr(value, &mut self.out);
+        self.out.push('"');
+        self
+    }
+
+    /// Streaming: writes escaped character data.
+    pub fn text(&mut self, text: &str) -> &mut Self {
+        self.close_open_tag();
+        escape_text(text, &mut self.out);
+        self
+    }
+
+    /// Streaming: writes raw, pre-escaped content (used for newlines/indent).
+    pub fn raw(&mut self, raw: &str) -> &mut Self {
+        self.close_open_tag();
+        self.out.push_str(raw);
+        self
+    }
+
+    /// Streaming: closes the most recently opened element.
+    ///
+    /// Panics on underflow (programming error).
+    pub fn end(&mut self) -> &mut Self {
+        let name = self.open.pop().expect("end() with no open element");
+        if self.in_open_tag {
+            self.out.push_str("/>");
+            self.in_open_tag = false;
+        } else {
+            self.out.push_str("</");
+            self.out.push_str(&name);
+            self.out.push('>');
+        }
+        self
+    }
+
+    /// Streaming convenience: `<name>text</name>`.
+    pub fn leaf(&mut self, name: &str, text: &str) -> &mut Self {
+        self.start(name).text(text).end()
+    }
+
+    /// Serializes a DOM element and its subtree.
+    pub fn write_element(&mut self, element: &Element) {
+        self.start(&element.name);
+        for a in &element.attributes {
+            self.attr(&a.name, &a.value);
+        }
+        for child in &element.children {
+            match child {
+                Node::Element(e) => self.write_element(e),
+                Node::Text(t) => {
+                    self.text(t);
+                }
+            }
+        }
+        self.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+    use proptest::prelude::*;
+
+    #[test]
+    fn streaming_api_shapes_tags() {
+        let mut w = XmlWriter::new();
+        w.start("stations").attr("city", "Dublin");
+        w.start("station").attr("id", "1");
+        w.leaf("name", "Fenian St");
+        w.end();
+        w.start("empty").end();
+        w.end();
+        assert_eq!(
+            w.into_string(),
+            "<stations city=\"Dublin\"><station id=\"1\"><name>Fenian St</name></station><empty/></stations>"
+        );
+    }
+
+    #[test]
+    fn escaping_in_both_positions() {
+        let mut w = XmlWriter::new();
+        w.start("a").attr("q", "x<&\">y").text("1 < 2 & 3").end();
+        let s = w.into_string();
+        assert_eq!(s, "<a q=\"x&lt;&amp;&quot;&gt;y\">1 &lt; 2 &amp; 3</a>");
+        // And it must re-parse to the same logical values.
+        let doc = Document::parse(&s).unwrap();
+        assert_eq!(doc.root.attr("q"), Some("x<&\">y"));
+        assert_eq!(doc.root.text(), "1 < 2 & 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed element")]
+    fn unbalanced_writer_panics() {
+        let mut w = XmlWriter::new();
+        w.start("a");
+        let _ = w.into_string();
+    }
+
+    #[test]
+    fn declaration_format() {
+        let mut w = XmlWriter::new();
+        w.write_declaration("1.0", Some("UTF-8"));
+        w.start("r").end();
+        assert_eq!(
+            w.into_string(),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<r/>"
+        );
+    }
+
+    proptest! {
+        /// Any text/attribute payload must survive a write→parse roundtrip.
+        #[test]
+        fn escape_roundtrip(text in "[ -~]{0,48}", attr in "[ -~]{0,24}") {
+            let mut w = XmlWriter::new();
+            w.start("n").attr("a", &attr).text(&text).end();
+            let s = w.into_string();
+            let doc = Document::parse(&s).unwrap();
+            prop_assert_eq!(doc.root.attr("a").unwrap(), attr.as_str());
+            prop_assert_eq!(doc.root.text(), text);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Quickstart: the paper's Figure 1 → Figure 2 → Figure 3 story in one file.
+//!
+//! Builds a small DWARF cube from tuples, prints its structure (Figure 2),
+//! shows the generated CQL for a cell (Figure 3), stores it in the NoSQL
+//! model, queries it from the store, and rebuilds it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use smartcube::core::models::{NosqlDwarfModel, SchemaModel};
+use smartcube::core::transform::cell_to_cql;
+use smartcube::core::{MappedDwarf, StoreBackedCube};
+use smartcube::dwarf::{CubeSchema, Dwarf, Selection, TupleSet};
+
+fn main() {
+    // ---- Figure 1: input tuples (dimension_1, ..., dimension_n, measure).
+    let schema = CubeSchema::new(["country", "city", "station"], "bikes");
+    let mut tuples = TupleSet::new(&schema);
+    tuples.push(["Ireland", "Dublin", "Fenian St"], 3);
+    tuples.push(["Ireland", "Dublin", "Smithfield"], 5);
+    tuples.push(["Ireland", "Cork", "Patrick St"], 2);
+    tuples.push(["France", "Paris", "Bastille"], 7);
+
+    // ---- Build the DWARF (prefix + suffix coalescing).
+    let cube = Dwarf::build(schema, tuples);
+    let stats = cube.stats();
+    println!("== DWARF built ==");
+    println!(
+        "tuples: {}   nodes: {}   cells: {}   per level: {:?}",
+        stats.tuple_count, stats.node_count, stats.cell_count, stats.nodes_per_level
+    );
+
+    // ---- Figure 2: render the structure (paste into Graphviz to draw it).
+    println!("\n== Figure 2: the cube as Graphviz dot ==");
+    println!("{}", cube.to_dot());
+
+    // ---- Every group-by is materialized: point queries with ALLs.
+    let all = Selection::All;
+    let v = Selection::value;
+    println!("== Materialized group-bys ==");
+    println!(
+        "(Ireland, Dublin, Fenian St) = {:?}",
+        cube.point(&[v("Ireland"), v("Dublin"), v("Fenian St")])
+    );
+    println!(
+        "(Ireland, ALL, ALL)          = {:?}",
+        cube.point(&[v("Ireland"), all.clone(), all.clone()])
+    );
+    println!(
+        "(ALL, ALL, ALL)              = {:?}",
+        cube.point(&[all.clone(), all.clone(), all.clone()])
+    );
+
+    // ---- Figure 3: the transformation generates CQL INSERTs.
+    let mapped = MappedDwarf::new(&cube);
+    let fenian = mapped
+        .cells
+        .iter()
+        .find(|c| c.key == "Fenian St")
+        .expect("cell exists");
+    println!("\n== Figure 3: generated CQL for the 'Fenian St' cell ==");
+    println!("{};", cell_to_cql(fenian, "smartcity", 1));
+
+    // ---- Store in the NoSQL-DWARF model (Table 1 schema).
+    let mut model = NosqlDwarfModel::in_memory();
+    model.create_schema().expect("create schema");
+    let report = model.store(&mapped, &cube, false).expect("store cube");
+    println!("\n== Stored in NoSQL-DWARF ==");
+    println!(
+        "schema_id: {}   node rows: {}   cell rows: {}   statements: {}   size: {}   took: {:?}",
+        report.schema_id,
+        report.node_rows,
+        report.cell_rows,
+        report.statements,
+        report.size,
+        report.elapsed
+    );
+
+    // ---- Query directly off the stored rows (no rebuild).
+    let mut stored = StoreBackedCube::open(&mut model, report.schema_id).expect("open");
+    println!("\n== Store-backed queries ==");
+    println!(
+        "(Ireland, ALL, ALL) from store = {:?}",
+        stored
+            .point(&[v("Ireland"), all.clone(), all.clone()])
+            .expect("query")
+    );
+
+    // ---- And the reverse mapping: rebuild the full DWARF from the store.
+    let rebuilt = model.rebuild(report.schema_id).expect("rebuild");
+    assert_eq!(rebuilt.extract_tuples(), cube.extract_tuples());
+    println!("\nRebuilt cube matches the original: ✓");
+}

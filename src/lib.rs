@@ -1,0 +1,45 @@
+//! # smartcube
+//!
+//! A from-scratch Rust reproduction of Scriney & Roantree, *Efficient Cube
+//! Construction for Smart City Data* (EDBT/ICDT 2016 workshops): DWARF data
+//! cubes built from XML/JSON smart-city streams and stored bi-directionally
+//! in an embedded Cassandra-like NoSQL engine, evaluated against relational
+//! layouts.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`dwarf`] — the DWARF cube (construction, queries, merge, hierarchies)
+//! * [`ingest`] — XML/JSON feed → tuple extraction, windows, pipeline
+//! * [`nosql`] — the embedded columnar store with its CQL subset
+//! * [`relational`] — the embedded MySQL-like store with its SQL subset
+//! * [`core`] — the paper's contribution: the four schema models and the
+//!   bi-directional mapping
+//! * [`datagen`] — deterministic synthetic smart-city feeds
+//! * [`xml`], [`json`], [`encoding`], [`storage`] — the substrates
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the architecture and experiment index.
+
+pub use sc_core as core;
+pub use sc_datagen as datagen;
+pub use sc_dwarf as dwarf;
+pub use sc_encoding as encoding;
+pub use sc_ingest as ingest;
+pub use sc_json as json;
+pub use sc_nosql as nosql;
+pub use sc_relational as relational;
+pub use sc_storage as storage;
+pub use sc_xml as xml;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let schema = crate::dwarf::CubeSchema::new(["d"], "m");
+        let cube = crate::dwarf::Dwarf::build(
+            schema.clone(),
+            crate::dwarf::TupleSet::new(&schema),
+        );
+        assert!(cube.is_empty());
+    }
+}
