@@ -6,7 +6,11 @@ use sc_ingest::Window;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.02);
-    let windows = if args.len() > 1 { Window::ALL.to_vec() } else { vec![Window::Day, Window::Week] };
+    let windows = if args.len() > 1 {
+        Window::ALL.to_vec()
+    } else {
+        vec![Window::Day, Window::Week]
+    };
     for window in windows {
         let d = prepare_dataset(window, scale, false);
         eprintln!(

@@ -1,13 +1,17 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table2|table4|table5|fig2|fig3|fig4|all] [--scale F] [--full]
+//! repro [table2|table4|table5|fig2|fig3|fig4|stream|all] [--scale F] [--full] [--threads N]
 //! ```
 //!
 //! * `--scale F` runs each dataset at fraction `F` of the paper's tuple
 //!   count (default 0.1).
 //! * `--full` is shorthand for `--scale 1.0` (SMonth = 1 181 344 tuples;
 //!   expect minutes).
+//! * `stream` demonstrates the sharded streaming-ingestion runtime:
+//!   `--threads N` (default 4) workers parse the feed in parallel, and the
+//!   run reports per-stage counters plus equivalence against the
+//!   sequential pipeline.
 //!
 //! Absolute numbers differ from the paper (different hardware, embedded
 //! engines instead of server processes); the *shape* — who wins, by what
@@ -25,6 +29,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = "all".to_string();
     let mut scale = 0.1f64;
+    let mut threads = 4usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -36,7 +41,15 @@ fn main() {
                     .unwrap_or_else(|| usage("--scale needs a number in (0, 1]"));
             }
             "--full" => scale = 1.0,
-            c @ ("table2" | "table4" | "table5" | "fig2" | "fig3" | "fig4" | "all") => {
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
+            c @ ("table2" | "table4" | "table5" | "fig2" | "fig3" | "fig4" | "stream" | "all") => {
                 command = c.to_string();
             }
             other => usage(&format!("unknown argument {other:?}")),
@@ -53,12 +66,14 @@ fn main() {
         "fig2" => fig2(),
         "fig3" => fig3(),
         "fig4" => fig4(),
+        "stream" => stream(scale, threads),
         "all" => {
             fig2();
             fig3();
             fig4();
             table2(scale);
             tables45(scale, true, true);
+            stream(scale, threads);
         }
         _ => unreachable!(),
     }
@@ -67,7 +82,8 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table2|table4|table5|fig2|fig3|fig4|all] [--scale F] [--full]"
+        "usage: repro [table2|table4|table5|fig2|fig3|fig4|stream|all] [--scale F] [--full] \
+         [--threads N]"
     );
     std::process::exit(2);
 }
@@ -255,4 +271,71 @@ fn fig4() {
     for ddl in MysqlDwarfModel::ddl() {
         println!("{ddl};\n");
     }
+}
+
+/// Streaming ingestion: the sharded worker pool vs the sequential pipeline.
+fn stream(scale: f64, threads: usize) {
+    use sc_core::models::ModelKind;
+    use sc_core::StreamWarehouse;
+    use sc_datagen::{BikesGenerator, DatasetSpec};
+    use sc_ingest::StreamPipeline;
+    use sc_stream::StreamConfig;
+    use std::time::Instant;
+
+    header(&format!(
+        "Streaming ingestion: {threads} worker shard(s), Week feed at scale {scale}"
+    ));
+    let spec = DatasetSpec::for_window(Window::Week).scaled_spec(scale);
+    let docs: Vec<String> = BikesGenerator::new(spec).map(|s| s.xml).collect();
+    let def = BikesGenerator::cube_def();
+    eprintln!("generated {} feed documents...", docs.len());
+
+    let start = Instant::now();
+    let mut sequential = StreamPipeline::new(def.clone());
+    for doc in &docs {
+        sequential.ingest(doc).expect("well-formed generated feed");
+    }
+    let seq_cube = sequential.build_cube();
+    let seq_elapsed = start.elapsed();
+
+    let start = Instant::now();
+    let mut warehouse = StreamWarehouse::new(
+        def,
+        StreamConfig::with_shards(threads),
+        ModelKind::NosqlDwarf.build().expect("schema creation"),
+    );
+    for doc in &docs {
+        warehouse.ingest(doc.clone());
+    }
+    let (cube, report, metrics) = warehouse.close_window(true).expect("flush");
+    let par_elapsed = start.elapsed();
+
+    println!("per-stage counters ({threads} shards):");
+    println!("  events in            {:>10}", metrics.events_in);
+    println!("  events parsed        {:>10}", metrics.events_parsed);
+    println!("  events failed        {:>10}", metrics.events_failed);
+    println!("  tuples extracted     {:>10}", metrics.tuples_extracted);
+    println!("  micro-cubes sealed   {:>10}", metrics.seals);
+    println!("  micro-cubes merged   {:>10}", metrics.merges);
+    println!("  cubes flushed        {:>10}", metrics.flushes);
+    println!("  backpressure stalls  {:>10}", metrics.backpressure_stalls);
+    println!(
+        "flushed to NoSQL-DWARF: schema id {}, {} node rows, {} cell rows, {}",
+        report.schema_id, report.node_rows, report.cell_rows, report.size
+    );
+    println!(
+        "sequential {} ms, sharded-plus-flush {} ms",
+        seq_elapsed.as_millis(),
+        par_elapsed.as_millis()
+    );
+    let equivalent = cube.extract_tuples() == seq_cube.extract_tuples();
+    println!(
+        "equivalence vs sequential pipeline: {}",
+        if equivalent {
+            "identical facts ✓"
+        } else {
+            "MISMATCH ✗"
+        }
+    );
+    assert!(equivalent, "sharded ingestion diverged from sequential");
 }

@@ -27,7 +27,10 @@ impl fmt::Display for CoreError {
             CoreError::Inconsistent(m) => write!(f, "inconsistent store: {m}"),
             CoreError::UnknownSchema(id) => write!(f, "no stored DWARF schema with id {id}"),
             CoreError::ReservedKey(k) => {
-                write!(f, "dimension value {k:?} collides with the reserved ALL key")
+                write!(
+                    f,
+                    "dimension value {k:?} collides with the reserved ALL key"
+                )
             }
         }
     }

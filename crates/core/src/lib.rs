@@ -41,6 +41,7 @@ pub mod mapping;
 pub mod models;
 pub mod pipeline;
 pub mod store_query;
+pub mod stream_warehouse;
 pub mod transform;
 
 pub use error::CoreError;
@@ -51,3 +52,4 @@ pub use models::{
 };
 pub use pipeline::CubeWarehouse;
 pub use store_query::{MinStoreBackedCube, StoreBackedCube};
+pub use stream_warehouse::StreamWarehouse;

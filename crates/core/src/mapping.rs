@@ -131,8 +131,7 @@ impl MappedDwarf {
                 let pointer = if cell.child == NONE_NODE {
                     None
                 } else {
-                    let target_id =
-                        visit(&mut queue, &mut assigned, &mut order, cell.child);
+                    let target_id = visit(&mut queue, &mut assigned, &mut order, cell.child);
                     parents[cell.child as usize].push(next_cell_id);
                     Some(target_id)
                 };
@@ -258,9 +257,7 @@ pub fn rows_from_cells(
             path.push(cell.key.clone());
             match (cell.leaf, cell.pointer_node) {
                 (true, None) => rows.push((path.clone(), cell.measure)),
-                (false, Some(target)) => {
-                    walk(target, depth + 1, num_dims, by_parent, path, rows)?
-                }
+                (false, Some(target)) => walk(target, depth + 1, num_dims, by_parent, path, rows)?,
                 (true, Some(_)) => {
                     return Err(CoreError::Inconsistent(format!(
                         "leaf cell {:?} has a pointer node",
@@ -312,8 +309,8 @@ pub fn encode_schema_meta(schema: &CubeSchema) -> String {
 
 /// Inverse of [`encode_schema_meta`].
 pub fn decode_schema_meta(text: &str) -> Result<CubeSchema> {
-    let v = sc_json::parse(text)
-        .map_err(|e| CoreError::Inconsistent(format!("schema meta: {e}")))?;
+    let v =
+        sc_json::parse(text).map_err(|e| CoreError::Inconsistent(format!("schema meta: {e}")))?;
     let dims: Vec<String> = v
         .get("dimensions")
         .and_then(JsonValue::as_array)
@@ -322,7 +319,9 @@ pub fn decode_schema_meta(text: &str) -> Result<CubeSchema> {
         .filter_map(|d| d.as_str().map(str::to_string))
         .collect();
     if dims.is_empty() {
-        return Err(CoreError::Inconsistent("schema meta has no dimensions".into()));
+        return Err(CoreError::Inconsistent(
+            "schema meta has no dimensions".into(),
+        ));
     }
     let measure = v
         .get("measure")
@@ -385,7 +384,11 @@ mod tests {
         assert!(m.nodes.iter().skip(1).all(|n| !n.root));
         // Root has no parents; every other node has at least one.
         assert!(m.nodes[0].parent_cell_ids.is_empty());
-        assert!(m.nodes.iter().skip(1).all(|n| !n.parent_cell_ids.is_empty()));
+        assert!(m
+            .nodes
+            .iter()
+            .skip(1)
+            .all(|n| !n.parent_cell_ids.is_empty()));
     }
 
     #[test]

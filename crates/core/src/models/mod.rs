@@ -100,12 +100,7 @@ pub trait SchemaModel {
     ///
     /// `is_cube` is the paper's flag distinguishing a full DWARF schema from
     /// a sub-cube produced by querying one.
-    fn store(
-        &mut self,
-        mapped: &MappedDwarf,
-        cube: &Dwarf,
-        is_cube: bool,
-    ) -> Result<StoreReport>;
+    fn store(&mut self, mapped: &MappedDwarf, cube: &Dwarf, is_cube: bool) -> Result<StoreReport>;
 
     /// Rebuilds a stored cube (the reverse mapping).
     fn rebuild(&mut self, schema_id: i64) -> Result<Dwarf>;

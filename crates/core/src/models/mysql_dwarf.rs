@@ -206,12 +206,7 @@ impl SchemaModel for MysqlDwarfModel {
         Ok(())
     }
 
-    fn store(
-        &mut self,
-        mapped: &MappedDwarf,
-        cube: &Dwarf,
-        is_cube: bool,
-    ) -> Result<StoreReport> {
+    fn store(&mut self, mapped: &MappedDwarf, cube: &Dwarf, is_cube: bool) -> Result<StoreReport> {
         let schema_id = self.next_schema_id()?;
         let mut statements = 0usize;
         let start = Instant::now();
@@ -464,7 +459,13 @@ mod tests {
         let mut model = MysqlDwarfModel::in_memory();
         model.create_schema().unwrap();
         // Fig. 4's five tables exist.
-        for t in ["dwarf_schema", "node", "cell", "node_children", "cell_children"] {
+        for t in [
+            "dwarf_schema",
+            "node",
+            "cell",
+            "node_children",
+            "cell_children",
+        ] {
             let r = model
                 .db_mut()
                 .execute_sql(&format!("SELECT * FROM dwarf.{t}"))
@@ -504,7 +505,11 @@ mod tests {
             .db_mut()
             .execute_sql("SELECT * FROM dwarf.cell_children")
             .unwrap();
-        let expected = mapped.cells.iter().filter(|c| c.pointer_node.is_some()).count();
+        let expected = mapped
+            .cells
+            .iter()
+            .filter(|c| c.pointer_node.is_some())
+            .count();
         assert_eq!(pointers.rows.len(), expected);
     }
 

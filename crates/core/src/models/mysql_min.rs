@@ -118,7 +118,8 @@ impl SchemaModel for MysqlMinModel {
     }
 
     fn create_schema(&mut self) -> Result<()> {
-        self.db.execute_sql(&format!("CREATE DATABASE {DATABASE}"))?;
+        self.db
+            .execute_sql(&format!("CREATE DATABASE {DATABASE}"))?;
         self.db.execute_sql(&format!(
             "CREATE TABLE {DATABASE}.dwarf_cube (id INT NOT NULL, node_count INT, \
              cell_count INT, size_as_mb INT, entry_node_id INT, schema_meta TEXT, \
@@ -132,12 +133,7 @@ impl SchemaModel for MysqlMinModel {
         Ok(())
     }
 
-    fn store(
-        &mut self,
-        mapped: &MappedDwarf,
-        cube: &Dwarf,
-        _is_cube: bool,
-    ) -> Result<StoreReport> {
+    fn store(&mut self, mapped: &MappedDwarf, cube: &Dwarf, _is_cube: bool) -> Result<StoreReport> {
         let cube_id = self.next_cube_id()?;
         let entry = mapped.entry_node_id;
         let cell_rows: Vec<Vec<SqlValue>> = mapped

@@ -34,7 +34,9 @@ pub struct NosqlDwarfModel {
 impl NosqlDwarfModel {
     /// Creates a model over a fresh in-memory engine.
     pub fn in_memory() -> NosqlDwarfModel {
-        NosqlDwarfModel { db: Db::in_memory() }
+        NosqlDwarfModel {
+            db: Db::in_memory(),
+        }
     }
 
     /// Creates a model over an existing engine (shared keyspaces).
@@ -65,20 +67,14 @@ impl NosqlDwarfModel {
     fn schema_row(&mut self, schema_id: i64) -> Result<(i64, String)> {
         let r = self.db.execute(&Statement::Select {
             table: table("dwarf_schema"),
-            columns: SelectColumns::Named(vec![
-                "entry_node_id".into(),
-                "schema_meta".into(),
-            ]),
+            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
             where_clause: Some(WhereClause {
                 column: "id".into(),
                 value: CqlValue::Int(schema_id),
             }),
             limit: None,
         })?;
-        let row = r
-            .rows
-            .first()
-            .ok_or(CoreError::UnknownSchema(schema_id))?;
+        let row = r.rows.first().ok_or(CoreError::UnknownSchema(schema_id))?;
         let entry = row[0]
             .as_int()
             .ok_or_else(|| CoreError::Inconsistent("entry_node_id not an int".into()))?;
@@ -247,7 +243,8 @@ impl SchemaModel for NosqlDwarfModel {
     }
 
     fn create_schema(&mut self) -> Result<()> {
-        self.db.execute_cql(&format!("CREATE KEYSPACE {KEYSPACE}"))?;
+        self.db
+            .execute_cql(&format!("CREATE KEYSPACE {KEYSPACE}"))?;
         self.db.execute_cql(&format!(
             "CREATE TABLE {KEYSPACE}.dwarf_schema (id int, node_count int, \
              cell_count int, size_as_mb int, entry_node_id int, is_cube boolean, \
@@ -265,12 +262,7 @@ impl SchemaModel for NosqlDwarfModel {
         Ok(())
     }
 
-    fn store(
-        &mut self,
-        mapped: &MappedDwarf,
-        cube: &Dwarf,
-        is_cube: bool,
-    ) -> Result<StoreReport> {
+    fn store(&mut self, mapped: &MappedDwarf, cube: &Dwarf, is_cube: bool) -> Result<StoreReport> {
         let schema_id = self.next_schema_id()?;
         // Stream statements: one reusable Insert per table whose value
         // buffer is rebound per record (a prepared statement), so storing a
@@ -492,7 +484,9 @@ mod tests {
         let rp = prepared.store(&MappedDwarf::new(&c), &c, false).unwrap();
         let mut text = NosqlDwarfModel::in_memory();
         text.create_schema().unwrap();
-        let rt = text.store_via_text(&MappedDwarf::new(&c), &c, false).unwrap();
+        let rt = text
+            .store_via_text(&MappedDwarf::new(&c), &c, false)
+            .unwrap();
         assert_eq!(rp.statements, rt.statements);
         assert_eq!(
             prepared.rebuild(rp.schema_id).unwrap().extract_tuples(),

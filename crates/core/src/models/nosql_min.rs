@@ -40,7 +40,9 @@ pub struct NosqlMinModel {
 impl NosqlMinModel {
     /// Creates a model over a fresh in-memory engine.
     pub fn in_memory() -> NosqlMinModel {
-        NosqlMinModel { db: Db::in_memory() }
+        NosqlMinModel {
+            db: Db::in_memory(),
+        }
     }
 
     /// Access to the underlying engine.
@@ -66,10 +68,7 @@ impl NosqlMinModel {
     fn cube_row(&mut self, cube_id: i64) -> Result<(i64, String)> {
         let r = self.db.execute(&Statement::Select {
             table: table("dwarf_cube"),
-            columns: SelectColumns::Named(vec![
-                "entry_node_id".into(),
-                "schema_meta".into(),
-            ]),
+            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
             where_clause: Some(WhereClause {
                 column: "id".into(),
                 value: CqlValue::Int(cube_id),
@@ -94,7 +93,8 @@ impl SchemaModel for NosqlMinModel {
     }
 
     fn create_schema(&mut self) -> Result<()> {
-        self.db.execute_cql(&format!("CREATE KEYSPACE {KEYSPACE}"))?;
+        self.db
+            .execute_cql(&format!("CREATE KEYSPACE {KEYSPACE}"))?;
         self.db.execute_cql(&format!(
             "CREATE TABLE {KEYSPACE}.dwarf_cube (id int, node_count int, \
              cell_count int, size_as_mb int, entry_node_id int, schema_meta text, \
@@ -106,19 +106,16 @@ impl SchemaModel for NosqlMinModel {
              parentNodeId int, childNodeId int, PRIMARY KEY (id))"
         ))?;
         // The two secondary indexes §5's Storage Time discussion blames.
-        self.db
-            .execute_cql(&format!("CREATE INDEX ON {KEYSPACE}.dwarf_cell (parentNodeId)"))?;
-        self.db
-            .execute_cql(&format!("CREATE INDEX ON {KEYSPACE}.dwarf_cell (childNodeId)"))?;
+        self.db.execute_cql(&format!(
+            "CREATE INDEX ON {KEYSPACE}.dwarf_cell (parentNodeId)"
+        ))?;
+        self.db.execute_cql(&format!(
+            "CREATE INDEX ON {KEYSPACE}.dwarf_cell (childNodeId)"
+        ))?;
         Ok(())
     }
 
-    fn store(
-        &mut self,
-        mapped: &MappedDwarf,
-        cube: &Dwarf,
-        _is_cube: bool,
-    ) -> Result<StoreReport> {
+    fn store(&mut self, mapped: &MappedDwarf, cube: &Dwarf, _is_cube: bool) -> Result<StoreReport> {
         let cube_id = self.next_cube_id()?;
         let mut statements = 0usize;
         let start = Instant::now();

@@ -45,10 +45,7 @@ impl<'a> StoreBackedCube<'a> {
     pub fn open(model: &'a mut NosqlDwarfModel, schema_id: i64) -> Result<StoreBackedCube<'a>> {
         let r = model.db_mut().execute(&Statement::Select {
             table: table("dwarf_schema"),
-            columns: SelectColumns::Named(vec![
-                "entry_node_id".into(),
-                "schema_meta".into(),
-            ]),
+            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
             where_clause: Some(WhereClause {
                 column: "id".into(),
                 value: CqlValue::Int(schema_id),
@@ -92,9 +89,10 @@ impl<'a> StoreBackedCube<'a> {
             }),
             limit: None,
         })?;
-        let row = r.rows.first().ok_or_else(|| {
-            CoreError::Inconsistent(format!("node {node_id} missing from store"))
-        })?;
+        let row = r
+            .rows
+            .first()
+            .ok_or_else(|| CoreError::Inconsistent(format!("node {node_id} missing from store")))?;
         Ok(row[0]
             .as_int_set()
             .ok_or_else(|| CoreError::Inconsistent("childrenIds not a set".into()))?
@@ -118,9 +116,10 @@ impl<'a> StoreBackedCube<'a> {
             }),
             limit: None,
         })?;
-        let row = r.rows.first().ok_or_else(|| {
-            CoreError::Inconsistent(format!("cell {cell_id} missing from store"))
-        })?;
+        let row = r
+            .rows
+            .first()
+            .ok_or_else(|| CoreError::Inconsistent(format!("cell {cell_id} missing from store")))?;
         Ok(FetchedCell {
             key: row[0]
                 .as_text()
@@ -214,10 +213,7 @@ impl<'a> MinStoreBackedCube<'a> {
                 keyspace: MIN_KEYSPACE.into(),
                 table: "dwarf_cube".into(),
             },
-            columns: SelectColumns::Named(vec![
-                "entry_node_id".into(),
-                "schema_meta".into(),
-            ]),
+            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
             where_clause: Some(WhereClause {
                 column: "id".into(),
                 value: CqlValue::Int(cube_id),
@@ -361,11 +357,7 @@ mod tests {
             vec![v("Ireland"), v("Paris"), all.clone()],
         ];
         for sel in cases {
-            assert_eq!(
-                sbc.point(&sel).unwrap(),
-                c.point(&sel),
-                "selection {sel:?}"
-            );
+            assert_eq!(sbc.point(&sel).unwrap(), c.point(&sel), "selection {sel:?}");
         }
     }
 
@@ -386,11 +378,7 @@ mod tests {
             vec![v("Spain"), all.clone(), all.clone()],
         ];
         for sel in cases {
-            assert_eq!(
-                sbc.point(&sel).unwrap(),
-                c.point(&sel),
-                "selection {sel:?}"
-            );
+            assert_eq!(sbc.point(&sel).unwrap(), c.point(&sel), "selection {sel:?}");
         }
     }
 

@@ -1,0 +1,189 @@
+//! Parallel ingestion into a schema model: the streaming warehouse.
+//!
+//! [`CubeWarehouse`](crate::CubeWarehouse) feeds documents through the
+//! single-threaded `sc_ingest::StreamPipeline`. This module is its sharded
+//! sibling: documents go into an [`sc_stream::StreamIngestor`] worker pool,
+//! per-shard micro-cubes are merged on the ingestor's merger thread, and
+//! closing a window flushes the merged cube into the chosen schema model
+//! (for [`NosqlDwarfModel`](crate::models::NosqlDwarfModel), the paper's
+//! cube → column-family mapping). The result is bit-identical to the
+//! sequential warehouse; only wall-clock time differs.
+
+use crate::error::Result;
+use crate::mapping::MappedDwarf;
+use crate::models::{SchemaModel, StoreReport};
+use sc_dwarf::Dwarf;
+use sc_ingest::CubeDef;
+use sc_stream::{Metrics, MetricsSnapshot, StreamConfig, StreamIngestor};
+
+/// A warehouse: one sharded ingestion runtime feeding one schema model.
+pub struct StreamWarehouse {
+    def: CubeDef,
+    config: StreamConfig,
+    ingestor: StreamIngestor,
+    model: Box<dyn SchemaModel>,
+    stored: Vec<StoreReport>,
+}
+
+impl std::fmt::Debug for StreamWarehouse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamWarehouse")
+            .field("model", &self.model.kind())
+            .field("shards", &self.config.shards)
+            .field("stored_cubes", &self.stored.len())
+            .finish()
+    }
+}
+
+impl StreamWarehouse {
+    /// Creates a warehouse and spawns its worker pool.
+    ///
+    /// The model's schema must already be created (see
+    /// [`crate::models::ModelKind::build`]).
+    pub fn new(def: CubeDef, config: StreamConfig, model: Box<dyn SchemaModel>) -> StreamWarehouse {
+        let ingestor = StreamIngestor::new(def.clone(), config.clone());
+        StreamWarehouse {
+            def,
+            config,
+            ingestor,
+            model,
+            stored: Vec::new(),
+        }
+    }
+
+    /// Queues one feed document; parse errors surface in the metrics
+    /// (`events_failed`), not here — the pool never stops on bad input.
+    pub fn ingest(&self, text: String) {
+        self.ingestor.ingest(text);
+    }
+
+    /// Queues one feed document on the shard owned by `partition_key`.
+    pub fn ingest_keyed(&self, partition_key: &str, text: String) {
+        self.ingestor.ingest_keyed(partition_key, text);
+    }
+
+    /// Live counters for progress reporting.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.ingestor.metrics().snapshot()
+    }
+
+    /// Drains the pool, merges every micro-cube, flushes the result into
+    /// the schema model and restarts the pool for the next window.
+    ///
+    /// Returns the merged cube, the model's store report and the final
+    /// counter values for the closed window.
+    pub fn close_window(&mut self, is_cube: bool) -> Result<(Dwarf, StoreReport, MetricsSnapshot)> {
+        let fresh = StreamIngestor::new(self.def.clone(), self.config.clone());
+        let ingestor = std::mem::replace(&mut self.ingestor, fresh);
+        let metrics = std::sync::Arc::clone(ingestor.metrics());
+        let result = ingestor.finish();
+        let mapped = MappedDwarf::try_new(&result.cube)?;
+        let report = self.model.store(&mapped, &result.cube, is_cube)?;
+        Metrics::add(&metrics.flushes, 1);
+        self.stored.push(report.clone());
+        Ok((result.cube, report, metrics.snapshot()))
+    }
+
+    /// Reports of every cube stored so far.
+    pub fn stored(&self) -> &[StoreReport] {
+        &self.stored
+    }
+
+    /// Rebuilds a stored cube by schema id.
+    pub fn rebuild(&mut self, schema_id: i64) -> Result<Dwarf> {
+        self.model.rebuild(schema_id)
+    }
+
+    /// Current total store size.
+    pub fn store_size(&mut self) -> Result<sc_encoding::ByteSize> {
+        self.model.size()
+    }
+
+    /// The underlying model (e.g. to open a
+    /// [`crate::store_query::StoreBackedCube`]).
+    pub fn model_mut(&mut self) -> &mut dyn SchemaModel {
+        self.model.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelKind;
+    use crate::CubeWarehouse;
+    use sc_dwarf::Selection;
+    use sc_ingest::cube_def::TimeField;
+
+    fn def() -> CubeDef {
+        CubeDef::xml("/stations/station")
+            .timestamp("@updated")
+            .time_dimension("day", TimeField::Day)
+            .dimension("station", "name/text()")
+            .measure("bikes", "bikes/text()")
+            .build()
+            .unwrap()
+    }
+
+    fn feed(day: u8, a: i64, b: i64) -> String {
+        format!(
+            r#"<stations updated="2015-11-{day:02}T10:00:00">
+              <station><name>A</name><bikes>{a}</bikes></station>
+              <station><name>B</name><bikes>{b}</bikes></station>
+            </stations>"#
+        )
+    }
+
+    #[test]
+    fn streamed_store_matches_sequential_warehouse() {
+        let docs: Vec<String> = (1..=6)
+            .map(|d| feed(d, i64::from(d), 10 + i64::from(d)))
+            .collect();
+        // Sequential reference.
+        let mut seq = CubeWarehouse::new(def(), ModelKind::NosqlDwarf.build().unwrap());
+        for doc in &docs {
+            seq.ingest(doc).unwrap();
+        }
+        let (seq_cube, seq_report) = seq.close_window(true).unwrap();
+        // Sharded.
+        let mut wh = StreamWarehouse::new(
+            def(),
+            StreamConfig::with_shards(3),
+            ModelKind::NosqlDwarf.build().unwrap(),
+        );
+        for doc in &docs {
+            wh.ingest(doc.clone());
+        }
+        let (cube, report, metrics) = wh.close_window(true).unwrap();
+        assert_eq!(cube.extract_tuples(), seq_cube.extract_tuples());
+        assert_eq!(report.node_rows, seq_report.node_rows);
+        assert_eq!(report.cell_rows, seq_report.cell_rows);
+        assert_eq!(metrics.events_parsed, docs.len() as u64);
+        assert_eq!(metrics.flushes, 1);
+        // The stored cube rebuilds to the same facts.
+        let rebuilt = wh.rebuild(report.schema_id).unwrap();
+        assert_eq!(rebuilt.extract_tuples(), cube.extract_tuples());
+    }
+
+    #[test]
+    fn windows_are_independent() {
+        let mut wh = StreamWarehouse::new(
+            def(),
+            StreamConfig::with_shards(2),
+            ModelKind::NosqlDwarf.build().unwrap(),
+        );
+        wh.ingest(feed(1, 3, 5));
+        let (first, _, metrics) = wh.close_window(true).unwrap();
+        assert_eq!(metrics.events_in, 1);
+        // Second window starts empty.
+        wh.ingest(feed(2, 4, 6));
+        wh.ingest(feed(3, 7, 8));
+        let (second, _, metrics) = wh.close_window(true).unwrap();
+        assert_eq!(metrics.events_in, 2, "fresh pool must not inherit counters");
+        assert_eq!(first.tuple_count(), 2);
+        assert_eq!(second.tuple_count(), 4);
+        assert_eq!(wh.stored().len(), 2);
+        let v = Selection::value;
+        assert_eq!(first.point(&[v("01"), v("A")]), Some(3));
+        assert_eq!(second.point(&[v("03"), v("B")]), Some(8));
+    }
+}

@@ -1,0 +1,2 @@
+//! Empty library target; this package exists only for its `[[bench]]`
+//! targets (see Cargo.toml for why it sits outside the workspace).

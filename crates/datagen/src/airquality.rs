@@ -16,9 +16,7 @@ pub fn generate(
 ) -> Vec<String> {
     let mut rng = Rng::new(seed);
     let sensor_ids: Vec<String> = (0..sensors).map(|i| format!("AQ-{:02}", i + 1)).collect();
-    let sensor_areas: Vec<&'static str> = (0..sensors)
-        .map(|_| *rng.choice(names::AREAS))
-        .collect();
+    let sensor_areas: Vec<&'static str> = (0..sensors).map(|_| *rng.choice(names::AREAS)).collect();
     let mut out = Vec::with_capacity(snapshots);
     for i in 0..snapshots {
         let time = start.add_minutes(i as i64 * interval_minutes);

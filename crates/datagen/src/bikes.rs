@@ -180,7 +180,14 @@ impl BikesGenerator {
             w.leaf("name", &s.name);
             w.leaf("address", &format!("{}, {}", s.name, s.area));
             w.leaf("area", s.area);
-            w.leaf("banking", if s.id.is_multiple_of(3) { "true" } else { "false" });
+            w.leaf(
+                "banking",
+                if s.id.is_multiple_of(3) {
+                    "true"
+                } else {
+                    "false"
+                },
+            );
             w.leaf("status", self.status[i]);
             w.leaf("docks", &s.docks.to_string());
             w.leaf("bikes", &self.bikes[i].to_string());
@@ -307,9 +314,7 @@ mod tests {
         let cube = Dwarf::build(schema, tuples);
         assert_eq!(cube.num_dims(), 8);
         cube.validate();
-        assert!(cube
-            .point(&vec![Selection::All; 8])
-            .is_some());
+        assert!(cube.point(&vec![Selection::All; 8]).is_some());
     }
 
     #[test]

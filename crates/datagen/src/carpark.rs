@@ -8,13 +8,21 @@ use sc_xml::XmlWriter;
 
 /// Generates `snapshots` car-park documents starting at `start`, one every
 /// `interval_minutes`.
-pub fn generate(seed: u64, start: DateTime, snapshots: usize, interval_minutes: i64) -> Vec<String> {
+pub fn generate(
+    seed: u64,
+    start: DateTime,
+    snapshots: usize,
+    interval_minutes: i64,
+) -> Vec<String> {
     let mut rng = Rng::new(seed);
     let mut spaces: Vec<i64> = names::CARPARKS
         .iter()
         .map(|_| rng.gen_between(50, 400))
         .collect();
-    let capacities: Vec<i64> = spaces.iter().map(|s| s + rng.gen_between(50, 200)).collect();
+    let capacities: Vec<i64> = spaces
+        .iter()
+        .map(|s| s + rng.gen_between(50, 200))
+        .collect();
     let mut out = Vec::with_capacity(snapshots);
     for i in 0..snapshots {
         let time = start.add_minutes(i as i64 * interval_minutes);

@@ -46,7 +46,10 @@ impl DatasetSpec {
 
     /// All five rows, smallest first.
     pub fn all() -> Vec<DatasetSpec> {
-        Window::ALL.iter().map(|w| DatasetSpec::for_window(*w)).collect()
+        Window::ALL
+            .iter()
+            .map(|w| DatasetSpec::for_window(*w))
+            .collect()
     }
 
     /// The generator spec reproducing this dataset at full scale.

@@ -2,26 +2,65 @@
 
 /// Street-ish station name stems (Dublin flavoured, per the paper's city).
 pub const STATION_STEMS: &[&str] = &[
-    "Fenian St", "Smithfield", "Portobello", "Charlemont", "Dame St",
-    "Eccles St", "Grantham St", "Merrion Sq", "Pearse St", "Parnell Sq",
-    "Custom House", "Heuston", "Bolton St", "Talbot St", "Wilton Tce",
-    "Exchequer St", "Golden Ln", "Kevin St", "Mount St", "Herbert Pl",
-    "Ormond Quay", "Usher's Quay", "Francis St", "James St", "Newman House",
-    "Grand Canal", "Sir Patrick Dun's", "Denmark St", "Blessington St",
-    "North Circular", "Hardwicke St", "Mountjoy Sq", "Jervis St",
-    "Christchurch", "High St", "Winetavern St", "Greek St", "Blackhall Pl",
-    "Queen St", "Benburb St", "Rothe Abbey", "St James Hospital",
-    "Emmet Rd", "Brookfield Rd", "Parkgate St", "Collins Barracks",
-    "Clonmel St", "Harcourt Tce", "Adelaide Rd", "Leeson St",
+    "Fenian St",
+    "Smithfield",
+    "Portobello",
+    "Charlemont",
+    "Dame St",
+    "Eccles St",
+    "Grantham St",
+    "Merrion Sq",
+    "Pearse St",
+    "Parnell Sq",
+    "Custom House",
+    "Heuston",
+    "Bolton St",
+    "Talbot St",
+    "Wilton Tce",
+    "Exchequer St",
+    "Golden Ln",
+    "Kevin St",
+    "Mount St",
+    "Herbert Pl",
+    "Ormond Quay",
+    "Usher's Quay",
+    "Francis St",
+    "James St",
+    "Newman House",
+    "Grand Canal",
+    "Sir Patrick Dun's",
+    "Denmark St",
+    "Blessington St",
+    "North Circular",
+    "Hardwicke St",
+    "Mountjoy Sq",
+    "Jervis St",
+    "Christchurch",
+    "High St",
+    "Winetavern St",
+    "Greek St",
+    "Blackhall Pl",
+    "Queen St",
+    "Benburb St",
+    "Rothe Abbey",
+    "St James Hospital",
+    "Emmet Rd",
+    "Brookfield Rd",
+    "Parkgate St",
+    "Collins Barracks",
+    "Clonmel St",
+    "Harcourt Tce",
+    "Adelaide Rd",
+    "Leeson St",
 ];
 
 /// Directional suffixes used to inflate the pool past the stems.
-pub const STATION_SUFFIXES: &[&str] = &["", " North", " South", " East", " West", " Upper", " Lower"];
+pub const STATION_SUFFIXES: &[&str] =
+    &["", " North", " South", " East", " West", " Upper", " Lower"];
 
 /// Postal areas ("Dublin 1", ...) stations belong to.
 pub const AREAS: &[&str] = &[
-    "Dublin 1", "Dublin 2", "Dublin 3", "Dublin 4", "Dublin 6",
-    "Dublin 7", "Dublin 8", "Dublin 9",
+    "Dublin 1", "Dublin 2", "Dublin 3", "Dublin 4", "Dublin 6", "Dublin 7", "Dublin 8", "Dublin 9",
 ];
 
 /// Operational statuses a station can report.
@@ -29,9 +68,18 @@ pub const STATUSES: &[&str] = &["open", "closed", "maintenance"];
 
 /// Car-park names for the car-park feed.
 pub const CARPARKS: &[&str] = &[
-    "Arnotts", "Brown Thomas", "Christchurch", "Drury Street", "Fleet Street",
-    "Ilac Centre", "Jervis Street", "Marlborough Street", "Parnell Centre",
-    "Setanta Place", "Stephens Green", "Trinity Street",
+    "Arnotts",
+    "Brown Thomas",
+    "Christchurch",
+    "Drury Street",
+    "Fleet Street",
+    "Ilac Centre",
+    "Jervis Street",
+    "Marlborough Street",
+    "Parnell Centre",
+    "Setanta Place",
+    "Stephens Green",
+    "Trinity Street",
 ];
 
 /// City-centre zones for the car-park feed.
@@ -42,19 +90,40 @@ pub const POLLUTANTS: &[&str] = &["NO2", "PM10", "PM2.5", "O3", "SO2"];
 
 /// Auction categories.
 pub const AUCTION_CATEGORIES: &[&str] = &[
-    "antiques", "art", "books", "collectibles", "electronics", "furniture",
-    "jewellery", "vehicles",
+    "antiques",
+    "art",
+    "books",
+    "collectibles",
+    "electronics",
+    "furniture",
+    "jewellery",
+    "vehicles",
 ];
 
 /// Irish counties for auction listings.
 pub const COUNTIES: &[&str] = &[
-    "Dublin", "Cork", "Galway", "Limerick", "Waterford", "Kilkenny",
-    "Wexford", "Kerry", "Mayo", "Donegal", "Sligo", "Meath",
+    "Dublin",
+    "Cork",
+    "Galway",
+    "Limerick",
+    "Waterford",
+    "Kilkenny",
+    "Wexford",
+    "Kerry",
+    "Mayo",
+    "Donegal",
+    "Sligo",
+    "Meath",
 ];
 
 /// Retail product categories for the sales feed.
 pub const PRODUCT_CATEGORIES: &[&str] = &[
-    "grocery", "bakery", "dairy", "produce", "household", "beverages",
+    "grocery",
+    "bakery",
+    "dairy",
+    "produce",
+    "household",
+    "beverages",
 ];
 
 /// A station name for index `i`, unique for `i < STATION_STEMS.len() *
@@ -81,9 +150,6 @@ mod tests {
     #[test]
     fn first_names_are_bare_stems() {
         assert_eq!(station_name(0), "Fenian St");
-        assert_eq!(
-            station_name(STATION_STEMS.len()),
-            "Fenian St North"
-        );
+        assert_eq!(station_name(STATION_STEMS.len()), "Fenian St North");
     }
 }

@@ -84,11 +84,7 @@ pub fn build_with_options(schema: CubeSchema, tuples: TupleSet, options: BuildOp
                 slot.push(TempCell {
                     key: key[level],
                     child: NONE_NODE,
-                    measure: if level == d - 1 {
-                        sorted.measure(t)
-                    } else {
-                        0
-                    },
+                    measure: if level == d - 1 { sorted.measure(t) } else { 0 },
                 });
             }
         }
@@ -344,7 +340,11 @@ mod tests {
         ts.push(["Ireland", "Dublin", "Fenian St"], 3);
         let cube = Dwarf::build(schema(), ts);
         cube.validate();
-        assert_eq!(cube.node_count(), 3, "one node per level, all shared by ALL cells");
+        assert_eq!(
+            cube.node_count(),
+            3,
+            "one node per level, all shared by ALL cells"
+        );
         assert_eq!(cube.cell_count(), 3);
         assert_eq!(
             cube.point(&[Selection::All, Selection::All, Selection::All]),
@@ -385,11 +385,26 @@ mod tests {
         let cube = Dwarf::build(schema(), paper_like_tuples());
         let all = Selection::All;
         let v = Selection::value;
-        assert_eq!(cube.point(&[v("Ireland"), all.clone(), all.clone()]), Some(10));
-        assert_eq!(cube.point(&[v("France"), all.clone(), all.clone()]), Some(7));
-        assert_eq!(cube.point(&[all.clone(), v("Dublin"), all.clone()]), Some(8));
-        assert_eq!(cube.point(&[all.clone(), all.clone(), v("Bastille")]), Some(7));
-        assert_eq!(cube.point(&[all.clone(), all.clone(), all.clone()]), Some(17));
+        assert_eq!(
+            cube.point(&[v("Ireland"), all.clone(), all.clone()]),
+            Some(10)
+        );
+        assert_eq!(
+            cube.point(&[v("France"), all.clone(), all.clone()]),
+            Some(7)
+        );
+        assert_eq!(
+            cube.point(&[all.clone(), v("Dublin"), all.clone()]),
+            Some(8)
+        );
+        assert_eq!(
+            cube.point(&[all.clone(), all.clone(), v("Bastille")]),
+            Some(7)
+        );
+        assert_eq!(
+            cube.point(&[all.clone(), all.clone(), all.clone()]),
+            Some(17)
+        );
         assert_eq!(
             cube.point(&[v("Ireland"), v("Dublin"), v("Fenian St")]),
             Some(3)
@@ -455,9 +470,6 @@ mod tests {
         cube.validate();
         assert_eq!(cube.num_dims(), 8);
         let total: i64 = (0..200).sum();
-        assert_eq!(
-            cube.point(&vec![Selection::All; 8]),
-            Some(total)
-        );
+        assert_eq!(cube.point(&vec![Selection::All; 8]), Some(total));
     }
 }

@@ -245,7 +245,10 @@ impl Dwarf {
     pub fn validate(&self) {
         let d = self.num_dims();
         assert!(!self.nodes.is_empty(), "cube must have a root node");
-        assert_eq!(self.nodes[self.root as usize].level, 0, "root must be level 0");
+        assert_eq!(
+            self.nodes[self.root as usize].level, 0,
+            "root must be level 0"
+        );
         for id in self.node_ids() {
             let n = self.node(id);
             let level = n.node.level as usize;
@@ -263,7 +266,10 @@ impl Dwarf {
                 if leaf {
                     assert_eq!(c.child, NONE_NODE, "leaf cell with child in node {id}");
                 } else {
-                    assert_ne!(c.child, NONE_NODE, "non-leaf cell without child in node {id}");
+                    assert_ne!(
+                        c.child, NONE_NODE,
+                        "non-leaf cell without child in node {id}"
+                    );
                     let child = &self.nodes[c.child as usize];
                     assert_eq!(
                         child.level as usize,
@@ -287,7 +293,10 @@ impl Dwarf {
                 if leaf {
                     assert_eq!(n.node.all_child, NONE_NODE, "leaf node with ALL child");
                 } else {
-                    assert_ne!(n.node.all_child, NONE_NODE, "non-leaf node missing ALL child");
+                    assert_ne!(
+                        n.node.all_child, NONE_NODE,
+                        "non-leaf node missing ALL child"
+                    );
                     let all = &self.nodes[n.node.all_child as usize];
                     assert_eq!(
                         all.level as usize,
@@ -347,7 +356,10 @@ mod tests {
         let stats = cube.stats();
         assert_eq!(stats.tuple_count, 4);
         assert_eq!(stats.nodes_per_level.len(), 3);
-        assert_eq!(stats.nodes_per_level.iter().sum::<usize>(), stats.node_count);
+        assert_eq!(
+            stats.nodes_per_level.iter().sum::<usize>(),
+            stats.node_count
+        );
         assert!(stats.cell_count >= 4);
         assert!(stats.memory.as_bytes() > 0);
     }
@@ -390,11 +402,7 @@ mod tests {
             Some(10)
         );
         assert_eq!(
-            sub.point(&[
-                Selection::value("France"),
-                Selection::All,
-                Selection::All
-            ]),
+            sub.point(&[Selection::value("France"), Selection::All, Selection::All]),
             None
         );
     }

@@ -152,10 +152,7 @@ mod tests {
     fn empty_subset_is_grand_total() {
         let (cube, rows) = cube();
         let total: i64 = rows.iter().map(|(_, m)| m).sum();
-        assert_eq!(
-            cube.group_by::<&str>(&[]).unwrap(),
-            vec![(vec![], total)]
-        );
+        assert_eq!(cube.group_by::<&str>(&[]).unwrap(), vec![(vec![], total)]);
     }
 
     #[test]

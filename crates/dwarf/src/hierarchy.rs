@@ -90,11 +90,7 @@ impl HierarchicalBuilder {
         assert!(!hierarchies.is_empty(), "at least one dimension required");
         let physical: Vec<String> = hierarchies
             .iter()
-            .flat_map(|h| {
-                h.levels
-                    .iter()
-                    .map(move |l| format!("{}.{}", h.name, l))
-            })
+            .flat_map(|h| h.levels.iter().map(move |l| format!("{}.{}", h.name, l)))
             .collect();
         let schema = CubeSchema::new(physical, measure).with_agg(agg);
         let tuples = TupleSet::new(&schema);
@@ -320,21 +316,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "needs 3 level values")]
     fn push_requires_full_depth() {
-        let mut b = HierarchicalBuilder::new(
-            [Hierarchy::new("time", ["y", "m", "d"])],
-            "m",
-            AggFn::Sum,
-        );
+        let mut b =
+            HierarchicalBuilder::new([Hierarchy::new("time", ["y", "m", "d"])], "m", AggFn::Sum);
         b.push(&[vec!["2015", "11"]], 1);
     }
 
     #[test]
     fn flat_hierarchy_behaves_like_plain_dimension() {
-        let mut b = HierarchicalBuilder::new(
-            [Hierarchy::flat("station")],
-            "hires",
-            AggFn::Sum,
-        );
+        let mut b = HierarchicalBuilder::new([Hierarchy::flat("station")], "hires", AggFn::Sum);
         b.push(&[vec!["a"]], 1);
         b.push(&[vec!["b"]], 2);
         let c = b.build();

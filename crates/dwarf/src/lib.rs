@@ -65,7 +65,7 @@ pub mod tuple;
 pub use cube::{CellRef, CubeStats, Dwarf, NodeId, NodeRef, NONE_NODE};
 pub use hierarchy::{HierarchicalCube, Hierarchy};
 pub use intern::{Interner, ValueId};
-pub use merge::DeltaBuffer;
+pub use merge::{DeltaBuffer, MergeAccumulator};
 pub use query::{RangeSel, Selection};
 pub use schema::{AggFn, CubeSchema};
 pub use tuple::TupleSet;

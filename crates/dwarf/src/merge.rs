@@ -55,7 +55,10 @@ impl Dwarf {
         for (key, measure) in &delta.rows {
             // Delta rows are raw facts: apply the original tuple transform
             // (Count -> 1) before summing into the rebuild.
-            ts.push(key.iter().map(String::as_str), self.schema.agg().of_tuple(*measure));
+            ts.push(
+                key.iter().map(String::as_str),
+                self.schema.agg().of_tuple(*measure),
+            );
         }
         let mut merged = Dwarf::build(build_schema, ts);
         merged.schema = self.schema.clone();
@@ -82,6 +85,84 @@ impl Dwarf {
         let mut cube = Dwarf::build(build_schema, ts);
         cube.schema = schema;
         cube
+    }
+}
+
+/// Accumulates already-aggregated fact rows from many cubes and builds the
+/// union cube **once**.
+///
+/// [`Dwarf::merge`] is pairwise: merging `k` sealed micro-cubes by folding
+/// costs `k-1` full rebuilds, each re-extracting everything merged so far.
+/// The accumulator instead extracts each cube's rows as it arrives and sorts
+/// and builds a single time in [`MergeAccumulator::finish`] — the shape the
+/// streaming runtime needs, where sealed micro-cubes trickle in from worker
+/// shards.
+#[derive(Debug)]
+pub struct MergeAccumulator {
+    schema: CubeSchema,
+    rows: Vec<(Vec<String>, i64)>,
+    cubes_absorbed: usize,
+}
+
+impl MergeAccumulator {
+    /// Creates an empty accumulator for `schema`.
+    pub fn new(schema: CubeSchema) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+            cubes_absorbed: 0,
+        }
+    }
+
+    /// Absorbs one cube's facts.
+    ///
+    /// Panics if the cube's schema differs from the accumulator's — merging
+    /// unlike cubes is a programming error, as in [`Dwarf::merge`].
+    pub fn absorb(&mut self, cube: &Dwarf) {
+        assert_eq!(
+            &self.schema,
+            cube.schema(),
+            "cannot merge cubes with different schemas"
+        );
+        self.rows.extend(cube.extract_tuples());
+        self.cubes_absorbed += 1;
+    }
+
+    /// Number of cubes absorbed so far.
+    pub fn cubes_absorbed(&self) -> usize {
+        self.cubes_absorbed
+    }
+
+    /// Number of fact rows buffered (duplicates not yet folded).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no facts have been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Builds the union cube from everything absorbed.
+    ///
+    /// Rows are already aggregates, so Count cubes rebuild under Sum
+    /// semantics (see [`Dwarf::from_aggregated_rows`]).
+    pub fn finish(self) -> Dwarf {
+        Dwarf::from_aggregated_rows(self.schema, self.rows)
+    }
+}
+
+impl Dwarf {
+    /// Merges any number of same-schema cubes with a single rebuild.
+    ///
+    /// Equivalent to folding [`Dwarf::merge`] but linear in total fact count
+    /// instead of quadratic. Returns an empty cube for an empty iterator.
+    pub fn merge_many<'a>(schema: CubeSchema, cubes: impl IntoIterator<Item = &'a Dwarf>) -> Dwarf {
+        let mut acc = MergeAccumulator::new(schema);
+        for cube in cubes {
+            acc.absorb(cube);
+        }
+        acc.finish()
     }
 }
 

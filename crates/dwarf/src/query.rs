@@ -338,10 +338,7 @@ mod tests {
     #[test]
     fn range_on_second_dimension_uses_all_pointer() {
         let c = cube();
-        assert_eq!(
-            c.range(&[RangeSel::All, RangeSel::value("a")]),
-            Some(5)
-        );
+        assert_eq!(c.range(&[RangeSel::All, RangeSel::value("a")]), Some(5));
         assert_eq!(
             c.range(&[RangeSel::All, RangeSel::between("b", "c")]),
             Some(26)

@@ -91,7 +91,10 @@ impl CubeSchema {
         S: Into<String>,
     {
         let dimensions: Vec<String> = dimensions.into_iter().map(Into::into).collect();
-        assert!(!dimensions.is_empty(), "a cube needs at least one dimension");
+        assert!(
+            !dimensions.is_empty(),
+            "a cube needs at least one dimension"
+        );
         for (i, d) in dimensions.iter().enumerate() {
             assert!(
                 !dimensions[..i].contains(d),

@@ -72,6 +72,26 @@ impl TupleSet {
         self.interners[i].len()
     }
 
+    /// Approximate heap footprint of the collected tuples, in bytes.
+    ///
+    /// Counts key ids, measures and interned strings — close enough for
+    /// seal-watermark decisions (the streaming runtime seals a shard's
+    /// micro-cube when its tuple set crosses a byte budget); not an exact
+    /// allocator measurement.
+    pub fn approximate_bytes(&self) -> usize {
+        let strings: usize = self
+            .interners
+            .iter()
+            .flat_map(|i| {
+                i.iter()
+                    .map(|(_, v)| v.len() + std::mem::size_of::<String>())
+            })
+            .sum();
+        self.keys.len() * std::mem::size_of::<ValueId>()
+            + self.measures.len() * std::mem::size_of::<i64>()
+            + strings
+    }
+
     /// Finalizes the batch: re-ranks ids to string order, sorts tuples
     /// lexicographically and pre-aggregates duplicate keys.
     pub fn into_sorted(mut self) -> SortedTuples {

@@ -1,20 +1,30 @@
 //! Property tests: the DWARF must agree with a brute-force GROUP BY oracle
 //! on every query, for arbitrary inputs.
+//!
+//! These are deterministic randomized sweeps (seeded xorshift — the build is
+//! offline, so no proptest): each test draws a fixed number of random row
+//! sets from a tiny value alphabet and checks the cube against the oracle.
 
-use proptest::prelude::*;
 use sc_dwarf::{AggFn, CubeSchema, Dwarf, RangeSel, Selection, TupleSet};
+use sc_encoding::Rng;
 use std::collections::BTreeMap;
 
 /// A raw fact row for the generators.
 type Row = (Vec<String>, i64);
 
-fn arb_rows(dims: usize, max_rows: usize) -> impl Strategy<Value = Vec<Row>> {
-    let value = prop_oneof![Just("a"), Just("b"), Just("c"), Just("dd"), Just("e")];
-    let row = (
-        proptest::collection::vec(value.prop_map(str::to_string), dims),
-        -100i64..100,
-    );
-    proptest::collection::vec(row, 0..max_rows)
+/// Random rows over the alphabet {a, b, c, dd, e} — small enough that
+/// duplicates, misses and every group-by all get exercised.
+fn random_rows(rng: &mut Rng, dims: usize, max_rows: usize) -> Vec<Row> {
+    const VALUES: [&str; 5] = ["a", "b", "c", "dd", "e"];
+    let n = rng.gen_range(max_rows as u64) as usize;
+    (0..n)
+        .map(|_| {
+            let key: Vec<String> = (0..dims)
+                .map(|_| VALUES[rng.gen_range(VALUES.len() as u64) as usize].to_string())
+                .collect();
+            (key, rng.gen_between(-100, 99))
+        })
+        .collect()
 }
 
 fn build(schema: &CubeSchema, rows: &[Row]) -> Dwarf {
@@ -72,41 +82,49 @@ fn all_point_selections(dims: usize) -> Vec<Vec<Selection>> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn point_queries_match_oracle_3d(rows in arb_rows(3, 40)) {
+#[test]
+fn point_queries_match_oracle_3d() {
+    let mut rng = Rng::new(0xD01);
+    for _ in 0..64 {
+        let rows = random_rows(&mut rng, 3, 40);
         let schema = CubeSchema::new(["x", "y", "z"], "m");
         let cube = build(&schema, &rows);
         cube.validate();
         for sel in all_point_selections(3) {
-            prop_assert_eq!(
+            assert_eq!(
                 cube.point(&sel),
                 oracle_point(AggFn::Sum, &rows, &sel),
-                "selection {:?}", sel
+                "selection {sel:?} rows {rows:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn point_queries_match_oracle_all_aggs(rows in arb_rows(2, 30)) {
+#[test]
+fn point_queries_match_oracle_all_aggs() {
+    let mut rng = Rng::new(0xD02);
+    for _ in 0..64 {
+        let rows = random_rows(&mut rng, 2, 30);
         for agg in [AggFn::Sum, AggFn::Count, AggFn::Min, AggFn::Max] {
             let schema = CubeSchema::new(["x", "y"], "m").with_agg(agg);
             let cube = build(&schema, &rows);
             cube.validate();
             for sel in all_point_selections(2) {
-                prop_assert_eq!(
+                assert_eq!(
                     cube.point(&sel),
                     oracle_point(agg, &rows, &sel),
-                    "agg {:?} selection {:?}", agg, sel
+                    "agg {agg:?} selection {sel:?} rows {rows:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn range_queries_match_oracle(rows in arb_rows(3, 40)) {
+#[test]
+fn range_queries_match_oracle() {
+    let mut rng = Rng::new(0xD03);
+    for _ in 0..64 {
+        let rows = random_rows(&mut rng, 3, 40);
         let schema = CubeSchema::new(["x", "y", "z"], "m");
         let cube = build(&schema, &rows);
         let ranges = [
@@ -120,18 +138,22 @@ proptest! {
             for r1 in &ranges {
                 for r2 in &ranges {
                     let sel = vec![r0.clone(), r1.clone(), r2.clone()];
-                    prop_assert_eq!(
+                    assert_eq!(
                         cube.range(&sel),
                         oracle_range(AggFn::Sum, &rows, &sel),
-                        "selection {:?}", sel
+                        "selection {sel:?} rows {rows:?}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn extraction_equals_groupby_of_input(rows in arb_rows(3, 40)) {
+#[test]
+fn extraction_equals_groupby_of_input() {
+    let mut rng = Rng::new(0xD04);
+    for _ in 0..64 {
+        let rows = random_rows(&mut rng, 3, 40);
         let schema = CubeSchema::new(["x", "y", "z"], "m");
         let cube = build(&schema, &rows);
         // Oracle: SUM group-by on the full key.
@@ -141,14 +163,16 @@ proptest! {
         }
         let got: Vec<(Vec<String>, i64)> = cube.extract_tuples();
         let want: Vec<(Vec<String>, i64)> = expect.into_iter().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn merge_equals_build_of_concatenation(
-        rows_a in arb_rows(2, 25),
-        rows_b in arb_rows(2, 25),
-    ) {
+#[test]
+fn merge_equals_build_of_concatenation() {
+    let mut rng = Rng::new(0xD05);
+    for _ in 0..64 {
+        let rows_a = random_rows(&mut rng, 2, 25);
+        let rows_b = random_rows(&mut rng, 2, 25);
         let schema = CubeSchema::new(["x", "y"], "m");
         let a = build(&schema, &rows_a);
         let b = build(&schema, &rows_b);
@@ -156,12 +180,16 @@ proptest! {
         let mut both = rows_a.clone();
         both.extend(rows_b.clone());
         let direct = build(&schema, &both);
-        prop_assert_eq!(merged.extract_tuples(), direct.extract_tuples());
+        assert_eq!(merged.extract_tuples(), direct.extract_tuples());
         merged.validate();
     }
+}
 
-    #[test]
-    fn slice_rows_match_oracle(rows in arb_rows(2, 30)) {
+#[test]
+fn slice_rows_match_oracle() {
+    let mut rng = Rng::new(0xD06);
+    for _ in 0..64 {
+        let rows = random_rows(&mut rng, 2, 30);
         let schema = CubeSchema::new(["x", "y"], "m");
         let cube = build(&schema, &rows);
         let sel = vec![RangeSel::between("a", "c"), RangeSel::All];
@@ -173,11 +201,15 @@ proptest! {
             }
         }
         let want: Vec<(Vec<String>, i64)> = expect.into_iter().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn group_by_matches_oracle(rows in arb_rows(3, 40)) {
+#[test]
+fn group_by_matches_oracle() {
+    let mut rng = Rng::new(0xD07);
+    for _ in 0..64 {
+        let rows = random_rows(&mut rng, 3, 40);
         let schema = CubeSchema::new(["x", "y", "z"], "m");
         let cube = build(&schema, &rows);
         // Every subset of dimensions.
@@ -201,12 +233,16 @@ proptest! {
                 *expect.entry(group).or_insert(0) += m;
             }
             let want: Vec<(Vec<String>, i64)> = expect.into_iter().collect();
-            prop_assert_eq!(got, want, "mask {:03b}", mask);
+            assert_eq!(got, want, "mask {mask:03b}");
         }
     }
+}
 
-    #[test]
-    fn subcube_answers_like_parent_within_region(rows in arb_rows(2, 30)) {
+#[test]
+fn subcube_answers_like_parent_within_region() {
+    let mut rng = Rng::new(0xD08);
+    for _ in 0..64 {
+        let rows = random_rows(&mut rng, 2, 30);
         let schema = CubeSchema::new(["x", "y"], "m");
         let cube = build(&schema, &rows);
         let region = vec![RangeSel::value("a"), RangeSel::All];
@@ -214,7 +250,7 @@ proptest! {
         sub.validate();
         for s1 in [Selection::All, Selection::value("a"), Selection::value("b")] {
             let sel = vec![Selection::value("a"), s1.clone()];
-            prop_assert_eq!(cube.point(&sel), sub.point(&sel), "sel {:?}", s1);
+            assert_eq!(cube.point(&sel), sub.point(&sel), "sel {s1:?}");
         }
     }
 }

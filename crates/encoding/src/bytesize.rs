@@ -97,7 +97,10 @@ mod tests {
         assert_eq!(ByteSize::mib(182).paper_mb(), "182");
         assert_eq!(ByteSize::ZERO.paper_mb(), "0");
         // Rounds, does not truncate: 2.6 MiB -> "3".
-        assert_eq!(ByteSize::bytes(2 * 1024 * 1024 + 640 * 1024).paper_mb(), "3");
+        assert_eq!(
+            ByteSize::bytes(2 * 1024 * 1024 + 640 * 1024).paper_mb(),
+            "3"
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@ fn make_table() -> [u32; 256] {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         table[i] = crc;
@@ -71,14 +75,15 @@ impl Crc32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-
     #[test]
     fn known_vectors() {
         // Standard CRC-32/IEEE test vectors.
         assert_eq!(Crc32::of(b""), 0x0000_0000);
         assert_eq!(Crc32::of(b"123456789"), 0xCBF4_3926);
-        assert_eq!(Crc32::of(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            Crc32::of(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -100,13 +105,17 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn split_points_agree(data in proptest::collection::vec(any::<u8>(), 0..256), split in 0usize..256) {
-            let split = split.min(data.len());
+    #[test]
+    fn split_points_agree() {
+        // Deterministic randomized sweep (seeded xorshift, no proptest — the
+        // build is offline): any split of the input must checksum alike.
+        let mut rng = crate::Rng::new(0xC5C5);
+        for _ in 0..512 {
+            let data = rng.gen_bytes(255);
+            let split = (rng.gen_range(256) as usize).min(data.len());
             let mut c = Crc32::new();
             c.update(&data[..split]).update(&data[split..]);
-            prop_assert_eq!(c.finish(), Crc32::of(&data));
+            assert_eq!(c.finish(), Crc32::of(&data));
         }
     }
 }

@@ -219,8 +219,7 @@ impl<'a> Decoder<'a> {
 
     /// Reads an unsigned varint.
     pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
-        let (v, n) =
-            varint::read_u64(&self.buf[self.pos..]).ok_or(DecodeError::BadVarint)?;
+        let (v, n) = varint::read_u64(&self.buf[self.pos..]).ok_or(DecodeError::BadVarint)?;
         self.pos += n;
         Ok(v)
     }
@@ -233,8 +232,7 @@ impl<'a> Decoder<'a> {
 
     /// Reads a signed zig-zag varint.
     pub fn get_i64(&mut self) -> Result<i64, DecodeError> {
-        let (v, n) =
-            varint::read_i64(&self.buf[self.pos..]).ok_or(DecodeError::BadVarint)?;
+        let (v, n) = varint::read_i64(&self.buf[self.pos..]).ok_or(DecodeError::BadVarint)?;
         self.pos += n;
         Ok(v)
     }
@@ -268,8 +266,6 @@ impl<'a> Decoder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-
     #[test]
     fn mixed_roundtrip() {
         let mut enc = Encoder::new();
@@ -306,7 +302,10 @@ mod tests {
     #[test]
     fn bool_rejects_junk() {
         let mut dec = Decoder::new(&[2]);
-        assert!(matches!(dec.get_bool(), Err(DecodeError::BadTag { tag: 2, .. })));
+        assert!(matches!(
+            dec.get_bool(),
+            Err(DecodeError::BadTag { tag: 2, .. })
+        ));
     }
 
     #[test]
@@ -333,22 +332,43 @@ mod tests {
         enc.put_str("hello");
         let bytes = enc.into_bytes();
         let mut dec = Decoder::new(&bytes[..3]);
-        assert!(matches!(dec.get_str(), Err(DecodeError::UnexpectedEof { .. })));
+        assert!(matches!(
+            dec.get_str(),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
     }
 
-    proptest! {
-        #[test]
-        fn string_roundtrip(s in ".{0,64}") {
+    // Deterministic randomized sweeps (seeded xorshift, no proptest — the
+    // build is offline).
+
+    #[test]
+    fn string_roundtrip_random() {
+        let mut rng = crate::Rng::new(0xC0DE);
+        for _ in 0..1024 {
+            // Mix plain ASCII with multi-byte UTF-8 scalars.
+            let len = rng.gen_range(65) as usize;
+            let s: String = (0..len)
+                .map(|_| match rng.gen_range(4) {
+                    0 => 'é',
+                    1 => '€',
+                    2 => '🚲',
+                    _ => (b' ' + rng.gen_range(95) as u8) as char,
+                })
+                .collect();
             let mut enc = Encoder::new();
             enc.put_str(&s);
             let bytes = enc.into_bytes();
             let mut dec = Decoder::new(&bytes);
-            prop_assert_eq!(dec.get_str().unwrap(), s.as_str());
-            prop_assert!(dec.is_exhausted());
+            assert_eq!(dec.get_str().unwrap(), s.as_str());
+            assert!(dec.is_exhausted());
         }
+    }
 
-        #[test]
-        fn numeric_sequence_roundtrip(vals in proptest::collection::vec(any::<i64>(), 0..32)) {
+    #[test]
+    fn numeric_sequence_roundtrip_random() {
+        let mut rng = crate::Rng::new(0xC0DF);
+        for _ in 0..512 {
+            let vals: Vec<i64> = (0..rng.gen_range(32)).map(|_| rng.gen_i64()).collect();
             let mut enc = Encoder::new();
             enc.put_u64(vals.len() as u64);
             for &v in &vals {
@@ -361,8 +381,8 @@ mod tests {
             for _ in 0..n {
                 back.push(dec.get_i64().unwrap());
             }
-            prop_assert_eq!(back, vals);
-            prop_assert!(dec.is_exhausted());
+            assert_eq!(back, vals);
+            assert!(dec.is_exhausted());
         }
     }
 }

@@ -17,16 +17,20 @@
 //! * [`bytesize`] — human-readable byte quantities (the paper reports sizes
 //!   in MB),
 //! * [`overhead`] — the documented per-record overhead constants that model
-//!   InnoDB and Cassandra storage formats.
+//!   InnoDB and Cassandra storage formats,
+//! * [`rng`] — the workspace's deterministic xorshift64* PRNG (no `rand`
+//!   dependency; datasets and randomized tests are bit-identical per seed).
 
 pub mod bytesize;
 pub mod checksum;
 pub mod codec;
 pub mod hash;
 pub mod overhead;
+pub mod rng;
 pub mod varint;
 
 pub use bytesize::ByteSize;
 pub use checksum::Crc32;
 pub use codec::{DecodeError, Decoder, Encoder};
 pub use hash::{fnv1a_64, FnvBuildHasher, FnvHashMap, FnvHashSet};
+pub use rng::Rng;

@@ -82,8 +82,6 @@ pub fn len_u64(value: u64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-
     #[test]
     fn zero_is_one_byte() {
         let mut buf = Vec::new();
@@ -142,28 +140,41 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_u64(v in any::<u64>()) {
+    // Deterministic randomized sweeps (seeded xorshift, no proptest — the
+    // build is offline). Values are drawn across the full u64/i64 range.
+
+    #[test]
+    fn roundtrip_u64_random() {
+        let mut rng = crate::Rng::new(0x0A11);
+        for _ in 0..4096 {
+            let v = rng.next_u64();
             let mut buf = Vec::new();
             let n = write_u64(&mut buf, v);
-            prop_assert_eq!(n, len_u64(v));
-            prop_assert_eq!(read_u64(&buf), Some((v, n)));
+            assert_eq!(n, len_u64(v));
+            assert_eq!(read_u64(&buf), Some((v, n)));
         }
+    }
 
-        #[test]
-        fn roundtrip_i64(v in any::<i64>()) {
+    #[test]
+    fn roundtrip_i64_random() {
+        let mut rng = crate::Rng::new(0x0A12);
+        for _ in 0..4096 {
+            let v = rng.gen_i64();
             let mut buf = Vec::new();
             let n = write_i64(&mut buf, v);
-            prop_assert_eq!(read_i64(&buf), Some((v, n)));
+            assert_eq!(read_i64(&buf), Some((v, n)));
         }
+    }
 
-        #[test]
-        fn reads_ignore_trailing_bytes(v in any::<u64>(), tail in proptest::collection::vec(any::<u8>(), 0..8)) {
+    #[test]
+    fn reads_ignore_trailing_bytes() {
+        let mut rng = crate::Rng::new(0x0A13);
+        for _ in 0..1024 {
+            let v = rng.next_u64();
             let mut buf = Vec::new();
             let n = write_u64(&mut buf, v);
-            buf.extend_from_slice(&tail);
-            prop_assert_eq!(read_u64(&buf), Some((v, n)));
+            buf.extend_from_slice(&rng.gen_bytes(7));
+            assert_eq!(read_u64(&buf), Some((v, n)));
         }
     }
 }

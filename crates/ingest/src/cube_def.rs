@@ -74,9 +74,9 @@ impl TimeField {
             TimeField::Month => format!("{:02}", dt.month),
             TimeField::Day => format!("{:02}", dt.day),
             TimeField::Hour => format!("{:02}", dt.hour),
-            TimeField::Weekday => ["mon", "tue", "wed", "thu", "fri", "sat", "sun"]
-                [dt.weekday() as usize]
-                .to_string(),
+            TimeField::Weekday => {
+                ["mon", "tue", "wed", "thu", "fri", "sat", "sun"][dt.weekday() as usize].to_string()
+            }
         }
     }
 }
@@ -227,16 +227,20 @@ impl CubeDefBuilder {
 
     fn compile(&self, expr: &str) -> Result<ValuePath, CubeDefError> {
         match self.format {
-            SourceFormat::Xml => XmlPath::parse(expr).map(ValuePath::Xml).map_err(|e| {
-                CubeDefError {
-                    message: format!("{expr:?}: {e}"),
-                }
-            }),
-            SourceFormat::Json => JsonPath::parse(expr).map(ValuePath::Json).map_err(|e| {
-                CubeDefError {
-                    message: format!("{expr:?}: {e}"),
-                }
-            }),
+            SourceFormat::Xml => {
+                XmlPath::parse(expr)
+                    .map(ValuePath::Xml)
+                    .map_err(|e| CubeDefError {
+                        message: format!("{expr:?}: {e}"),
+                    })
+            }
+            SourceFormat::Json => {
+                JsonPath::parse(expr)
+                    .map(ValuePath::Json)
+                    .map_err(|e| CubeDefError {
+                        message: format!("{expr:?}: {e}"),
+                    })
+            }
         }
     }
 
@@ -349,7 +353,10 @@ mod tests {
 
     #[test]
     fn no_dimensions_rejected() {
-        assert!(CubeDef::xml("/a/b").measure("m", "v/text()").build().is_err());
+        assert!(CubeDef::xml("/a/b")
+            .measure("m", "v/text()")
+            .build()
+            .is_err());
     }
 
     #[test]

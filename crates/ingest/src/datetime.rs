@@ -59,11 +59,7 @@ fn civil_from_days(z: i64) -> (i32, u8, u8) {
     let mp = (5 * doy + 2) / 153;
     let d = doy - (153 * mp + 2) / 5 + 1;
     let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    (
-        (y + i64::from(m <= 2)) as i32,
-        m as u8,
-        d as u8,
-    )
+    ((y + i64::from(m <= 2)) as i32, m as u8, d as u8)
 }
 
 impl DateTime {
@@ -185,7 +181,7 @@ impl fmt::Display for DateTime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sc_encoding::Rng;
 
     #[test]
     fn parse_and_format() {
@@ -218,11 +214,15 @@ mod tests {
     #[test]
     fn epoch_known_values() {
         assert_eq!(
-            DateTime::parse("1970-01-01T00:00:00").unwrap().to_epoch_seconds(),
+            DateTime::parse("1970-01-01T00:00:00")
+                .unwrap()
+                .to_epoch_seconds(),
             0
         );
         assert_eq!(
-            DateTime::parse("2016-03-15T00:00:00").unwrap().to_epoch_seconds(),
+            DateTime::parse("2016-03-15T00:00:00")
+                .unwrap()
+                .to_epoch_seconds(),
             1_458_000_000
         );
     }
@@ -244,20 +244,31 @@ mod tests {
         assert_eq!(leap.add_days(1).date_string(), "2016-02-29");
     }
 
-    proptest! {
-        #[test]
-        fn epoch_roundtrip(secs in -4_000_000_000i64..10_000_000_000) {
-            let dt = DateTime::from_epoch_seconds(secs);
-            prop_assert_eq!(dt.to_epoch_seconds(), secs);
-        }
+    // Deterministic randomized sweeps (seeded xorshift, no proptest — the
+    // build is offline).
 
-        #[test]
-        fn parse_display_roundtrip(
-            y in 1900i32..2100, mo in 1u8..=12, d in 1u8..=28,
-            h in 0u8..24, mi in 0u8..60, s in 0u8..60,
-        ) {
+    #[test]
+    fn epoch_roundtrip_random() {
+        let mut rng = Rng::new(0xDA7E);
+        for _ in 0..2048 {
+            let secs = rng.gen_between(-4_000_000_000, 9_999_999_999);
+            let dt = DateTime::from_epoch_seconds(secs);
+            assert_eq!(dt.to_epoch_seconds(), secs);
+        }
+    }
+
+    #[test]
+    fn parse_display_roundtrip_random() {
+        let mut rng = Rng::new(0xDA7F);
+        for _ in 0..2048 {
+            let y = 1900 + rng.gen_range(200) as i32;
+            let mo = 1 + rng.gen_range(12) as u8;
+            let d = 1 + rng.gen_range(28) as u8;
+            let h = rng.gen_range(24) as u8;
+            let mi = rng.gen_range(60) as u8;
+            let s = rng.gen_range(60) as u8;
             let dt = DateTime::new(y, mo, d, h, mi, s).unwrap();
-            prop_assert_eq!(DateTime::parse(&dt.to_string()), Some(dt));
+            assert_eq!(DateTime::parse(&dt.to_string()), Some(dt));
         }
     }
 }

@@ -150,9 +150,7 @@ fn extract_xml(
         for spec in &def.dimensions {
             let value = match spec {
                 DimensionSpec::Path { path, .. } => first_value_xml(path, record),
-                DimensionSpec::TimeField { field, .. } => {
-                    ts.as_ref().map(|dt| field.render(dt))
-                }
+                DimensionSpec::TimeField { field, .. } => ts.as_ref().map(|dt| field.render(dt)),
             };
             match value {
                 Some(v) => dims.push(v),
@@ -162,18 +160,16 @@ fn extract_xml(
                         continue 'records;
                     }
                     MissingPolicy::Fail => {
-                        return Err(err(format!(
-                            "record missing dimension {:?}",
-                            spec.name()
-                        )))
+                        return Err(err(format!("record missing dimension {:?}", spec.name())))
                     }
                 },
             }
         }
         let measure = match &def.measure {
             MeasureSpec::One => Some(1),
-            MeasureSpec::Path(p) => first_value_xml(p, record)
-                .and_then(|raw| raw.trim().parse::<i64>().ok()),
+            MeasureSpec::Path(p) => {
+                first_value_xml(p, record).and_then(|raw| raw.trim().parse::<i64>().ok())
+            }
         };
         match measure {
             Some(m) => {
@@ -182,9 +178,7 @@ fn extract_xml(
             }
             None => match policy {
                 MissingPolicy::Skip => stats.skipped += 1,
-                MissingPolicy::Fail => {
-                    return Err(err("record missing or non-integer measure"))
-                }
+                MissingPolicy::Fail => return Err(err("record missing or non-integer measure")),
             },
         }
     }
@@ -203,8 +197,8 @@ fn extract_json(
     let ts = match &def.timestamp_path {
         None => None,
         Some(p) => {
-            let raw = first_value_json(p, root)
-                .ok_or_else(|| err("document timestamp not found"))?;
+            let raw =
+                first_value_json(p, root).ok_or_else(|| err("document timestamp not found"))?;
             Some(
                 DateTime::parse(&raw)
                     .ok_or_else(|| err(format!("unparseable timestamp {raw:?}")))?,
@@ -217,11 +211,10 @@ fn extract_json(
         dims.clear();
         for spec in &def.dimensions {
             let value = match spec {
-                DimensionSpec::Path { path, .. } => first_value_json(path, record)
-                    .filter(|v| v != "null"),
-                DimensionSpec::TimeField { field, .. } => {
-                    ts.as_ref().map(|dt| field.render(dt))
+                DimensionSpec::Path { path, .. } => {
+                    first_value_json(path, record).filter(|v| v != "null")
                 }
+                DimensionSpec::TimeField { field, .. } => ts.as_ref().map(|dt| field.render(dt)),
             };
             match value {
                 Some(v) => dims.push(v),
@@ -231,10 +224,7 @@ fn extract_json(
                         continue 'records;
                     }
                     MissingPolicy::Fail => {
-                        return Err(err(format!(
-                            "record missing dimension {:?}",
-                            spec.name()
-                        )))
+                        return Err(err(format!("record missing dimension {:?}", spec.name())))
                     }
                 },
             }
@@ -292,8 +282,7 @@ mod tests {
     fn xml_extraction_end_to_end() {
         let def = bikes_def();
         let mut tuples = TupleSet::new(&def.schema());
-        let stats =
-            extract_text(&def, FEED, &mut tuples, MissingPolicy::Skip).unwrap();
+        let stats = extract_text(&def, FEED, &mut tuples, MissingPolicy::Skip).unwrap();
         assert_eq!(stats.extracted, 2);
         assert_eq!(stats.skipped, 1, "the measureless station is skipped");
         let cube = Dwarf::build(def.schema(), tuples);
@@ -307,7 +296,12 @@ mod tests {
             Some(11)
         );
         assert_eq!(
-            cube.point(&[Selection::All, Selection::All, Selection::All, Selection::All]),
+            cube.point(&[
+                Selection::All,
+                Selection::All,
+                Selection::All,
+                Selection::All
+            ]),
             Some(14)
         );
     }
@@ -324,7 +318,8 @@ mod tests {
     fn missing_timestamp_is_an_error() {
         let def = bikes_def();
         let mut tuples = TupleSet::new(&def.schema());
-        let doc = "<stations><station><name>x</name><area>a</area><bikes>1</bikes></station></stations>";
+        let doc =
+            "<stations><station><name>x</name><area>a</area><bikes>1</bikes></station></stations>";
         assert!(extract_text(&def, doc, &mut tuples, MissingPolicy::Skip).is_err());
     }
 
@@ -347,8 +342,7 @@ mod tests {
           ]
         }"#;
         let mut tuples = TupleSet::new(&def.schema());
-        let stats =
-            extract_text(&def, feed, &mut tuples, MissingPolicy::Skip).unwrap();
+        let stats = extract_text(&def, feed, &mut tuples, MissingPolicy::Skip).unwrap();
         assert_eq!(stats.extracted, 2);
         assert_eq!(stats.skipped, 1);
         let cube = Dwarf::build(def.schema(), tuples);

@@ -26,7 +26,11 @@ impl JsonError {
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "JSON error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 

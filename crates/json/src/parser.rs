@@ -73,10 +73,7 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok(())
             }
-            Some(c) => Err(self.err(format!(
-                "expected {:?}, found {:?}",
-                b as char, c as char
-            ))),
+            Some(c) => Err(self.err(format!("expected {:?}, found {:?}", b as char, c as char))),
             None => Err(self.err(format!("expected {:?}, found end of input", b as char))),
         }
     }
@@ -230,8 +227,7 @@ impl<'a> Parser<'a> {
                     if !(0xDC00..0xE000).contains(&second) {
                         return Err(self.err("invalid low surrogate"));
                     }
-                    let code =
-                        0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                    let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
                     char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))?
                 } else if (0xDC00..0xE000).contains(&first) {
                     return Err(self.err("unexpected low surrogate"));
@@ -249,7 +245,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
@@ -310,7 +308,7 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sc_encoding::Rng;
 
     #[test]
     fn scalars() {
@@ -348,10 +346,7 @@ mod tests {
             JsonValue::string("a\"b\\c/d\u{8}\u{c}\n\r\t")
         );
         assert_eq!(parse(r#""A""#).unwrap(), JsonValue::string("A"));
-        assert_eq!(
-            parse(r#""🚲""#).unwrap(),
-            JsonValue::string("🚲")
-        );
+        assert_eq!(parse(r#""🚲""#).unwrap(), JsonValue::string("🚲"));
     }
 
     #[test]
@@ -378,8 +373,20 @@ mod tests {
     #[test]
     fn structural_errors() {
         for bad in [
-            "", "{", "[", "{\"a\"}", "{\"a\":1,}", "[1,]", "[1 2]", "\"open",
-            "{'a':1}", "nul", "truex", "[]]", "{\"a\":1}{", "\"\x01\"",
+            "",
+            "{",
+            "[",
+            "{\"a\"}",
+            "{\"a\":1,}",
+            "[1,]",
+            "[1 2]",
+            "\"open",
+            "{'a':1}",
+            "nul",
+            "truex",
+            "[]]",
+            "{\"a\":1}{",
+            "\"\x01\"",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
@@ -424,38 +431,57 @@ mod tests {
         assert_eq!(v.as_str(), Some("Baile Átha Cliath 🚲"));
     }
 
-    proptest! {
-        /// parse(value.to_json()) == value for arbitrary generated values.
-        #[test]
-        fn roundtrip(v in arb_json(3)) {
-            let text = v.to_json();
-            let back = parse(&text).unwrap();
-            prop_assert_eq!(back, v);
-        }
+    // Deterministic randomized sweeps (seeded xorshift, no proptest — the
+    // build is offline). `random_json` builds arbitrary values with bounded
+    // depth; numbers stay in an exactly-representable range so equality is
+    // exact after a text round-trip.
 
-        /// Pretty and compact forms parse to the same value.
-        #[test]
-        fn pretty_equals_compact(v in arb_json(3)) {
-            let pretty = v.to_json_pretty();
-            prop_assert_eq!(parse(&pretty).unwrap(), parse(&v.to_json()).unwrap());
+    fn random_json(rng: &mut Rng, depth: u32) -> JsonValue {
+        let leaf_only = depth == 0;
+        match rng.gen_range(if leaf_only { 4 } else { 6 }) {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(rng.gen_range(2) == 1),
+            2 => JsonValue::Number(rng.gen_between(-1_000_000, 999_999) as f64),
+            3 => JsonValue::String(rng.gen_ascii(16)),
+            4 => JsonValue::Array(
+                (0..rng.gen_range(6))
+                    .map(|_| random_json(rng, depth - 1))
+                    .collect(),
+            ),
+            _ => JsonValue::Object(
+                (0..rng.gen_range(6))
+                    .map(|_| {
+                        let klen = 1 + rng.gen_range(6) as usize;
+                        let key: String = (0..klen)
+                            .map(|_| (b'a' + rng.gen_range(26) as u8) as char)
+                            .collect();
+                        (key, random_json(rng, depth - 1))
+                    })
+                    .collect(),
+            ),
         }
     }
 
-    fn arb_json(depth: u32) -> impl Strategy<Value = JsonValue> {
-        let leaf = prop_oneof![
-            Just(JsonValue::Null),
-            any::<bool>().prop_map(JsonValue::Bool),
-            // Finite, exactly-representable numbers so equality is exact.
-            (-1_000_000i64..1_000_000).prop_map(|n| JsonValue::Number(n as f64)),
-            "[ -~]{0,16}".prop_map(JsonValue::String),
-        ];
-        leaf.prop_recursive(depth, 64, 8, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 0..6).prop_map(JsonValue::Array),
-                proptest::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(|members| {
-                    JsonValue::Object(members)
-                }),
-            ]
-        })
+    /// parse(value.to_json()) == value for arbitrary generated values.
+    #[test]
+    fn roundtrip_random() {
+        let mut rng = Rng::new(0x1502);
+        for _ in 0..512 {
+            let v = random_json(&mut rng, 3);
+            let text = v.to_json();
+            let back = parse(&text).unwrap();
+            assert_eq!(back, v, "source text: {text}");
+        }
+    }
+
+    /// Pretty and compact forms parse to the same value.
+    #[test]
+    fn pretty_equals_compact_random() {
+        let mut rng = Rng::new(0x1503);
+        for _ in 0..512 {
+            let v = random_json(&mut rng, 3);
+            let pretty = v.to_json_pretty();
+            assert_eq!(parse(&pretty).unwrap(), parse(&v.to_json()).unwrap());
+        }
     }
 }

@@ -90,17 +90,13 @@ impl JsonPath {
                 match seg {
                     Segment::Wildcard => match v {
                         JsonValue::Array(items) => next.extend(items.iter()),
-                        JsonValue::Object(members) => {
-                            next.extend(members.iter().map(|(_, v)| v))
-                        }
+                        JsonValue::Object(members) => next.extend(members.iter().map(|(_, v)| v)),
                         _ => {}
                     },
                     Segment::Key(k) => {
                         if let Some(found) = v.get(k) {
                             next.push(found);
-                        } else if let (JsonValue::Array(items), Ok(idx)) =
-                            (v, k.parse::<usize>())
-                        {
+                        } else if let (JsonValue::Array(items), Ok(idx)) = (v, k.parse::<usize>()) {
                             if let Some(found) = items.get(idx) {
                                 next.push(found);
                             }
@@ -189,7 +185,10 @@ mod tests {
     fn missing_paths_select_nothing() {
         let f = feed();
         assert!(JsonPath::parse("/nope").unwrap().select(&f).is_empty());
-        assert!(JsonPath::parse("/stations/9").unwrap().select(&f).is_empty());
+        assert!(JsonPath::parse("/stations/9")
+            .unwrap()
+            .select(&f)
+            .is_empty());
         assert!(JsonPath::parse("/updated/deeper")
             .unwrap()
             .select(&f)

@@ -25,9 +25,7 @@ impl JsonValue {
     /// Object member lookup (first match).
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Object(members) => {
-                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -59,9 +57,7 @@ impl JsonValue {
     /// The value as an integer if it is a number with an exact integral value.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
-            JsonValue::Number(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => {
-                Some(*n as i64)
-            }
+            JsonValue::Number(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
             _ => None,
         }
     }

@@ -115,10 +115,7 @@ impl Statement {
                 columns,
                 primary_key,
             } => {
-                let cols: Vec<String> = columns
-                    .iter()
-                    .map(|(n, t)| format!("{n} {t}"))
-                    .collect();
+                let cols: Vec<String> = columns.iter().map(|(n, t)| format!("{n} {t}")).collect();
                 format!(
                     "CREATE TABLE {}.{} ({}, PRIMARY KEY ({}))",
                     table.keyspace,
@@ -128,7 +125,10 @@ impl Statement {
                 )
             }
             Statement::CreateIndex { table, column } => {
-                format!("CREATE INDEX ON {}.{} ({})", table.keyspace, table.table, column)
+                format!(
+                    "CREATE INDEX ON {}.{} ({})",
+                    table.keyspace, table.table, column
+                )
             }
             Statement::Insert {
                 table,
@@ -157,7 +157,11 @@ impl Statement {
                 };
                 let mut s = format!("SELECT {cols} FROM {}.{}", table.keyspace, table.table);
                 if let Some(w) = where_clause {
-                    s.push_str(&format!(" WHERE {} = {}", w.column, w.value.to_cql_literal()));
+                    s.push_str(&format!(
+                        " WHERE {} = {}",
+                        w.column,
+                        w.value.to_cql_literal()
+                    ));
                 }
                 if let Some(n) = limit {
                     s.push_str(&format!(" LIMIT {n}"));

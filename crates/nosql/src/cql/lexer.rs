@@ -47,9 +47,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 loop {
                     match bytes.get(i) {
                         None => {
-                            return Err(NosqlError::Parse(
-                                "unterminated string literal".into(),
-                            ))
+                            return Err(NosqlError::Parse("unterminated string literal".into()))
                         }
                         Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
                             s.push('\'');
@@ -74,9 +72,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 if c == '-' {
                     i += 1;
                     if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
-                        return Err(NosqlError::Parse(format!(
-                            "stray '-' at byte {start}"
-                        )));
+                        return Err(NosqlError::Parse(format!("stray '-' at byte {start}")));
                     }
                 }
                 while matches!(bytes.get(i), Some(b'0'..=b'9')) {
@@ -116,10 +112,8 @@ mod tests {
 
     #[test]
     fn figure3_statement_tokenizes() {
-        let toks = tokenize(
-            "INSERT INTO DWARF_CELL (id,key,measure) VALUES (3,'Fenian St', 3);",
-        )
-        .unwrap();
+        let toks =
+            tokenize("INSERT INTO DWARF_CELL (id,key,measure) VALUES (3,'Fenian St', 3);").unwrap();
         assert!(toks[0].is_keyword("insert"));
         assert!(toks.contains(&Token::Str("Fenian St".into())));
         assert!(toks.contains(&Token::Number(3)));

@@ -46,9 +46,7 @@ impl Parser {
     fn expect_keyword(&mut self, kw: &str) -> Result<()> {
         match self.bump() {
             Some(t) if t.is_keyword(kw) => Ok(()),
-            other => Err(NosqlError::Parse(format!(
-                "expected {kw}, found {other:?}"
-            ))),
+            other => Err(NosqlError::Parse(format!("expected {kw}, found {other:?}"))),
         }
     }
 
@@ -155,8 +153,7 @@ impl Parser {
             }
             return Ok(CqlType::IntSet);
         }
-        CqlType::parse(&base)
-            .ok_or_else(|| NosqlError::Parse(format!("unknown type {base:?}")))
+        CqlType::parse(&base).ok_or_else(|| NosqlError::Parse(format!("unknown type {base:?}")))
     }
 
     fn where_clause(&mut self) -> Result<WhereClause> {
@@ -447,8 +444,7 @@ mod tests {
 
     #[test]
     fn set_literals() {
-        let stmt =
-            parse_statement("INSERT INTO ks.n (id, kids) VALUES (1, {3, 1, 2})").unwrap();
+        let stmt = parse_statement("INSERT INTO ks.n (id, kids) VALUES (1, {3, 1, 2})").unwrap();
         match stmt {
             Statement::Insert { values, .. } => {
                 assert_eq!(values[1], CqlValue::int_set([1, 2, 3]));
@@ -476,8 +472,7 @@ mod tests {
                 ..
             }
         ));
-        let stmt =
-            parse_statement("SELECT id, key FROM ks.t WHERE id = 7 LIMIT 10").unwrap();
+        let stmt = parse_statement("SELECT id, key FROM ks.t WHERE id = 7 LIMIT 10").unwrap();
         match stmt {
             Statement::Select {
                 columns: SelectColumns::Named(names),
@@ -535,7 +530,7 @@ mod tests {
             "INSERT INTO ks.t (id, key) VALUES (1)", // arity mismatch
             "CREATE TABLE ks.t (id int)",    // no primary key
             "CREATE TABLE ks.t (id int, PRIMARY KEY (id), PRIMARY KEY (id))",
-            "DELETE FROM ks.t",              // no WHERE
+            "DELETE FROM ks.t", // no WHERE
             "SELECT * FROM ks.t LIMIT -1",
             "CREATE TABLE ks.t (id set<text>, PRIMARY KEY (id))",
             "BEGIN BATCH SELECT * FROM ks.t APPLY BATCH",

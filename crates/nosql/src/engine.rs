@@ -293,12 +293,7 @@ impl Db {
             .expect("runtime exists for cataloged table")
     }
 
-    fn insert(
-        &mut self,
-        table: &TableRef,
-        columns: &[String],
-        values: &[CqlValue],
-    ) -> Result<()> {
+    fn insert(&mut self, table: &TableRef, columns: &[String], values: &[CqlValue]) -> Result<()> {
         let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
         if columns.len() != values.len() {
             return Err(NosqlError::Parse(format!(
@@ -570,11 +565,13 @@ impl Db {
                 .collect(),
             Some(w) if w.column == def.pk_column().name => {
                 let key = w.value.encode_key();
-                self.runtime_mut(&qualified).get(&key)?.into_iter().collect()
+                self.runtime_mut(&qualified)
+                    .get(&key)?
+                    .into_iter()
+                    .collect()
             }
             Some(w) if def.is_indexed(&w.column) => {
-                let idx_qualified =
-                    format!("{}.{}", def.keyspace, def.index_table_name(&w.column));
+                let idx_qualified = format!("{}.{}", def.keyspace, def.index_table_name(&w.column));
                 let prefix = Self::posting_prefix(&w.value);
                 let postings = self.runtime_mut(&idx_qualified).scan_prefix(&prefix)?;
                 let ids: Vec<i64> = postings
@@ -632,12 +629,13 @@ impl Db {
             SelectColumns::Named(names) => {
                 let mut idx = Vec::with_capacity(names.len());
                 for n in names {
-                    idx.push(def.column_index(n).ok_or_else(|| {
-                        NosqlError::UnknownColumn {
-                            table: def.name.clone(),
-                            column: n.clone(),
-                        }
-                    })?);
+                    idx.push(
+                        def.column_index(n)
+                            .ok_or_else(|| NosqlError::UnknownColumn {
+                                table: def.name.clone(),
+                                column: n.clone(),
+                            })?,
+                    );
                 }
                 (names.clone(), idx)
             }
@@ -752,7 +750,8 @@ mod tests {
     #[test]
     fn unbound_columns_are_null() {
         let mut db = setup();
-        db.execute_cql("INSERT INTO ks.cells (id) VALUES (9)").unwrap();
+        db.execute_cql("INSERT INTO ks.cells (id) VALUES (9)")
+            .unwrap();
         let r = db
             .execute_cql("SELECT key, leaf FROM ks.cells WHERE id = 9")
             .unwrap();
@@ -886,7 +885,11 @@ mod tests {
         db.execute_cql("INSERT INTO ks.cells (id, parent) VALUES (1, 2)")
             .unwrap();
         db.execute_cql("TRUNCATE ks.cells").unwrap();
-        assert!(db.execute_cql("SELECT * FROM ks.cells").unwrap().rows.is_empty());
+        assert!(db
+            .execute_cql("SELECT * FROM ks.cells")
+            .unwrap()
+            .rows
+            .is_empty());
         assert!(db
             .execute_cql("SELECT id FROM ks.cells WHERE parent = 2")
             .unwrap()
@@ -939,10 +942,8 @@ mod tests {
         {
             let mut db = Db::with_options(vfs.clone(), DbOptions::default());
             db.execute_cql("CREATE KEYSPACE ks").unwrap();
-            db.execute_cql(
-                "CREATE TABLE ks.t (id int, v text, PRIMARY KEY (id))",
-            )
-            .unwrap();
+            db.execute_cql("CREATE TABLE ks.t (id int, v text, PRIMARY KEY (id))")
+                .unwrap();
             db.execute_cql("INSERT INTO ks.t (id, v) VALUES (1, 'logged')")
                 .unwrap();
             // No flush: the row lives only in the commit log.
@@ -979,6 +980,9 @@ mod tests {
              APPLY BATCH",
         )
         .unwrap();
-        assert_eq!(db.execute_cql("SELECT * FROM ks.cells").unwrap().rows.len(), 2);
+        assert_eq!(
+            db.execute_cql("SELECT * FROM ks.cells").unwrap().rows.len(),
+            2
+        );
     }
 }

@@ -32,13 +32,23 @@ pub struct SstEntry {
 
 /// Writes a sorted run of entries as one SSTable file.
 ///
-/// Panics (debug) if entries are out of order — the flush path always hands
-/// over a sorted memtable drain.
+/// The reader's binary-searched index silently returns wrong rows over an
+/// unsorted or duplicated run, so malformed input is rejected up front with
+/// [`NosqlError::Corrupt`] — in release builds too, not just as a debug
+/// assertion (the flush path always hands over a sorted memtable drain, but
+/// recovery and compaction code evolve).
 pub fn write_sstable(vfs: &Vfs, file: &str, entries: &[SstEntry]) -> Result<()> {
-    debug_assert!(
-        entries.windows(2).all(|w| w[0].key < w[1].key),
-        "sstable entries must be strictly sorted"
-    );
+    if let Some(w) = entries.windows(2).find(|w| w[0].key >= w[1].key) {
+        let what = if w[0].key == w[1].key {
+            "duplicate"
+        } else {
+            "out-of-order"
+        };
+        return Err(NosqlError::Corrupt(format!(
+            "refusing to write {file}: {what} key {:02x?}",
+            w[1].key
+        )));
+    }
     let mut data = Encoder::new();
     let mut index = Encoder::new();
     index.put_u64(entries.len() as u64);
@@ -188,9 +198,7 @@ impl SsTable {
 
     /// Entries whose keys start with `prefix`, in key order.
     pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<SstEntry>> {
-        let start = self
-            .index
-            .partition_point(|(k, _)| k.as_slice() < prefix);
+        let start = self.index.partition_point(|(k, _)| k.as_slice() < prefix);
         let mut out = Vec::new();
         for (i, (key, _)) in self.index.iter().enumerate().skip(start) {
             if !key.starts_with(prefix) {
@@ -248,6 +256,32 @@ mod tests {
         assert!(sst.is_empty());
         assert!(sst.scan().unwrap().is_empty());
         assert!(sst.get(&[0]).unwrap().is_none());
+    }
+
+    #[test]
+    fn unsorted_entries_rejected_as_corrupt() {
+        let vfs = Vfs::memory();
+        let mut es = entries();
+        es.swap(0, 2);
+        let err = write_sstable(&vfs, "t/bad", &es).unwrap_err();
+        assert!(
+            matches!(&err, NosqlError::Corrupt(m) if m.contains("out-of-order")),
+            "{err:?}"
+        );
+        // Nothing was written.
+        assert!(vfs.list("t/bad").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_rejected_as_corrupt() {
+        let vfs = Vfs::memory();
+        let mut es = entries();
+        es[1].key = es[0].key.clone();
+        let err = write_sstable(&vfs, "t/dup", &es).unwrap_err();
+        assert!(
+            matches!(&err, NosqlError::Corrupt(m) if m.contains("duplicate")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -297,11 +297,7 @@ impl TableRuntime {
     pub fn attach_sstable(&mut self, file: &str) -> Result<()> {
         self.sstables.push(SsTable::open(self.vfs.clone(), file)?);
         // Keep new flushes numbered after anything already on disk.
-        if let Some(num) = file
-            .rsplit('-')
-            .next()
-            .and_then(|s| s.parse::<u64>().ok())
-        {
+        if let Some(num) = file.rsplit('-').next().and_then(|s| s.parse::<u64>().ok()) {
             self.next_sst_id = self.next_sst_id.max(num + 1);
         }
         Ok(())
@@ -480,6 +476,63 @@ mod tests {
         // Other keys show the last round's value.
         let (k0, r0) = row(0, "round 19");
         assert_eq!(t.get(&k0).unwrap(), Some(r0));
+    }
+
+    #[test]
+    fn tiered_merge_keeps_tombstones_full_compact_drops_them() {
+        // Regression for the tombstone-drop rule in `merge_run`: a tiered
+        // merge of a run that does NOT start at the oldest SSTable must keep
+        // tombstones physically (an older table may still hold a shadowed
+        // live version), while a full compaction may drop them.
+        let vfs = Vfs::memory();
+        let options = TableOptions {
+            memtable_flush_bytes: 64 * 1024, // manual flushes only
+            compaction_threshold: 3,
+        };
+        let mut t = TableRuntime::new(def(), vfs.clone(), options);
+        // Oldest SSTable: key 1 live, plus bulk so it is >4x larger than
+        // the later tables (keeps it out of their size tier).
+        for i in 1..=30 {
+            let (k, r) = row(i, "a long enough payload to fatten the oldest table");
+            t.put(Some(r), k, i as u64, None).unwrap();
+        }
+        t.flush().unwrap();
+        // Three small young SSTables; the first deletes key 1.
+        let (k1, _) = row(1, "");
+        t.put(None, k1.clone(), 100, None).unwrap();
+        t.flush().unwrap();
+        let (k41, r41) = row(41, "x");
+        t.put(Some(r41), k41, 101, None).unwrap();
+        t.flush().unwrap();
+        let (k42, r42) = row(42, "y");
+        t.put(Some(r42), k42, 102, None).unwrap();
+        t.flush().unwrap();
+        // The third young flush crossed the threshold, so flush() ran the
+        // tiered compaction itself: the three young tables merged while the
+        // oversized oldest stayed out of the run.
+        assert_eq!(t.sstable_count(), 2);
+        // The delete must still shadow the old live version...
+        assert_eq!(t.get(&k1).unwrap(), None);
+        // ...because the merged young table physically kept the tombstone.
+        let files = {
+            let mut f = vfs.list("ks/t/sst-").unwrap();
+            f.sort();
+            f
+        };
+        let young =
+            crate::sstable::SsTable::open(vfs.clone(), files.last().unwrap().clone()).unwrap();
+        let tombstone = young.get(&k1).unwrap().expect("tombstone entry present");
+        assert_eq!(tombstone.body, None);
+        // Full compaction covers the whole history, so the tombstone (and
+        // the key) disappear from disk while the delete stays effective.
+        t.compact().unwrap();
+        assert_eq!(t.sstable_count(), 1);
+        assert_eq!(t.get(&k1).unwrap(), None);
+        let files = vfs.list("ks/t/sst-").unwrap();
+        assert_eq!(files.len(), 1);
+        let merged = crate::sstable::SsTable::open(vfs, files[0].clone()).unwrap();
+        assert!(merged.get(&k1).unwrap().is_none(), "tombstone not dropped");
+        assert!(merged.scan().unwrap().iter().all(|e| e.body.is_some()));
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Model checking: random operation sequences against an in-memory oracle,
 //! across flushes, compactions and recovery.
+//!
+//! Deterministic randomized sweeps (seeded xorshift — the build is offline,
+//! so no proptest): each case draws a random op sequence and replays it
+//! against both the engine and a `HashMap` oracle.
 
-use proptest::prelude::*;
+use sc_encoding::Rng;
 use sc_nosql::table::TableOptions;
 use sc_nosql::{CqlValue, Db, DbOptions};
 use sc_storage::Vfs;
@@ -17,15 +21,25 @@ enum Op {
     Recover,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (0i64..40, any::<i64>()).prop_map(|(id, v)| Op::Insert { id, v }),
-        3 => (0i64..40, any::<i64>()).prop_map(|(id, v)| Op::Update { id, v }),
-        2 => (0i64..40).prop_map(|id| Op::Delete { id }),
-        1 => Just(Op::Flush),
-        1 => Just(Op::Compact),
-        1 => Just(Op::Recover),
-    ]
+/// Weighted random op: inserts 5, updates 3, deletes 2, flush/compact/recover
+/// 1 each (matching the old proptest weights).
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.gen_range(13) {
+        0..=4 => Op::Insert {
+            id: rng.gen_range(40) as i64,
+            v: rng.gen_i64(),
+        },
+        5..=7 => Op::Update {
+            id: rng.gen_range(40) as i64,
+            v: rng.gen_i64(),
+        },
+        8..=9 => Op::Delete {
+            id: rng.gen_range(40) as i64,
+        },
+        10 => Op::Flush,
+        11 => Op::Compact,
+        _ => Op::Recover,
+    }
 }
 
 fn tiny_options() -> DbOptions {
@@ -45,21 +59,21 @@ fn fresh(vfs: &Vfs) -> Db {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn engine_agrees_with_oracle(ops in proptest::collection::vec(arb_op(), 0..60)) {
+#[test]
+fn engine_agrees_with_oracle() {
+    let mut rng = Rng::new(0x4E0A);
+    for case in 0..48 {
+        let ops: Vec<Op> = (0..rng.gen_range(60))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let vfs = Vfs::memory();
         let mut db = fresh(&vfs);
         let mut oracle: HashMap<i64, i64> = HashMap::new();
         for op in ops {
             match op {
                 Op::Insert { id, v } | Op::Update { id, v } => {
-                    db.execute_cql(&format!(
-                        "INSERT INTO m.t (id, v) VALUES ({id}, {v})"
-                    ))
-                    .unwrap();
+                    db.execute_cql(&format!("INSERT INTO m.t (id, v) VALUES ({id}, {v})"))
+                        .unwrap();
                     oracle.insert(id, v);
                 }
                 Op::Delete { id } => {
@@ -82,7 +96,7 @@ proptest! {
                     .unwrap();
                 let got = r.rows.first().map(|row| row[0].clone());
                 let want = oracle.get(&probe).map(|v| CqlValue::Int(*v));
-                prop_assert_eq!(got, want, "probe {} diverged", probe);
+                assert_eq!(got, want, "case {case}: probe {probe} diverged");
             }
         }
         // Final full-scan equivalence.
@@ -95,14 +109,18 @@ proptest! {
         got.sort_unstable();
         let mut want: Vec<(i64, i64)> = oracle.into_iter().collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn indexed_queries_agree_with_oracle(
-        ops in proptest::collection::vec((0i64..30, 0i64..5), 0..60),
-        flush_every in 1usize..10,
-    ) {
+#[test]
+fn indexed_queries_agree_with_oracle() {
+    let mut rng = Rng::new(0x4E0B);
+    for case in 0..48 {
+        let ops: Vec<(i64, i64)> = (0..rng.gen_range(60))
+            .map(|_| (rng.gen_range(30) as i64, rng.gen_range(5) as i64))
+            .collect();
+        let flush_every = 1 + rng.gen_range(9) as usize;
         let vfs = Vfs::memory();
         let mut db = Db::with_options(vfs, tiny_options());
         db.execute_cql("CREATE KEYSPACE m").unwrap();
@@ -130,7 +148,7 @@ proptest! {
                 .map(|(id, _)| *id)
                 .collect();
             want.sort_unstable();
-            prop_assert_eq!(got, want, "tag {} diverged", tag);
+            assert_eq!(got, want, "case {case}: tag {tag} diverged");
         }
     }
 }

@@ -310,7 +310,7 @@ impl<'a, V> Iterator for BTreeIter<'a, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sc_encoding::Rng;
     use std::collections::BTreeMap;
 
     #[test]
@@ -383,42 +383,62 @@ mod tests {
         assert!(none.is_empty());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    // Deterministic randomized sweeps (seeded xorshift, no proptest — the
+    // build is offline): the tree is checked op-by-op against
+    // `std::collections::BTreeMap` as a reference model. Short keys (≤12
+    // bytes from a tiny alphabet) force plenty of collisions and overwrites.
 
-        #[test]
-        fn agrees_with_std_btreemap(ops in proptest::collection::vec(
-            (proptest::collection::vec(any::<u8>(), 0..12), any::<u32>(), any::<bool>()),
-            0..400,
-        )) {
+    #[test]
+    fn agrees_with_std_btreemap() {
+        let mut rng = Rng::new(0xB7EE);
+        for case in 0..64 {
             let mut tree: BPlusTree<u32> = BPlusTree::new();
             let mut model: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
-            for (key, value, is_insert) in ops {
-                if is_insert {
-                    prop_assert_eq!(tree.insert(key.clone(), value), model.insert(key, value));
+            for _ in 0..rng.gen_range(400) {
+                let klen = rng.gen_range(12) as usize;
+                let key: Vec<u8> = (0..klen).map(|_| rng.gen_range(4) as u8).collect();
+                let value = rng.next_u64() as u32;
+                if rng.gen_range(2) == 1 {
+                    assert_eq!(
+                        tree.insert(key.clone(), value),
+                        model.insert(key, value),
+                        "case {case}"
+                    );
                 } else {
-                    prop_assert_eq!(tree.remove(&key), model.remove(&key));
+                    assert_eq!(tree.remove(&key), model.remove(&key), "case {case}");
                 }
-                prop_assert_eq!(tree.len(), model.len());
+                assert_eq!(tree.len(), model.len(), "case {case}");
             }
             let tree_entries: Vec<(Vec<u8>, u32)> =
                 tree.iter().map(|(k, v)| (k.to_vec(), *v)).collect();
             let model_entries: Vec<(Vec<u8>, u32)> =
                 model.iter().map(|(k, v)| (k.clone(), *v)).collect();
-            prop_assert_eq!(tree_entries, model_entries);
+            assert_eq!(tree_entries, model_entries, "case {case}");
         }
+    }
 
-        #[test]
-        fn range_scans_agree(keys in proptest::collection::btree_set(
-            proptest::collection::vec(any::<u8>(), 0..8), 0..200,
-        ), start in proptest::collection::vec(any::<u8>(), 0..8)) {
+    #[test]
+    fn range_scans_agree() {
+        let mut rng = Rng::new(0xB7EF);
+        for case in 0..64 {
+            let mut keys: std::collections::BTreeSet<Vec<u8>> = std::collections::BTreeSet::new();
+            for _ in 0..rng.gen_range(200) {
+                let klen = rng.gen_range(8) as usize;
+                keys.insert((0..klen).map(|_| rng.gen_range(8) as u8).collect());
+            }
+            let slen = rng.gen_range(8) as usize;
+            let start: Vec<u8> = (0..slen).map(|_| rng.gen_range(8) as u8).collect();
             let mut tree: BPlusTree<u8> = BPlusTree::new();
             for k in &keys {
                 tree.insert(k.clone(), 0);
             }
             let got: Vec<Vec<u8>> = tree.iter_from(&start).map(|(k, _)| k.to_vec()).collect();
-            let want: Vec<Vec<u8>> = keys.iter().filter(|k| k.as_slice() >= start.as_slice()).cloned().collect();
-            prop_assert_eq!(got, want);
+            let want: Vec<Vec<u8>> = keys
+                .iter()
+                .filter(|k| k.as_slice() >= start.as_slice())
+                .cloned()
+                .collect();
+            assert_eq!(got, want, "case {case}");
         }
     }
 }

@@ -153,7 +153,10 @@ impl Db {
             .get(&name.database)
             .ok_or_else(|| SqlError::UnknownDatabase(name.database.clone()))?;
         if db.contains_key(&name.table) {
-            return Err(SqlError::AlreadyExists(format!("table {}", name.qualified())));
+            return Err(SqlError::AlreadyExists(format!(
+                "table {}",
+                name.qualified()
+            )));
         }
         if columns.is_empty() {
             return Err(SqlError::Parse(format!(
@@ -227,10 +230,13 @@ impl Db {
         // Map bound columns to positions and type-check once.
         let mut positions = Vec::with_capacity(columns.len());
         for c in columns {
-            positions.push(meta.column_index(c).ok_or_else(|| SqlError::UnknownColumn {
-                table: meta.name.clone(),
-                column: c.clone(),
-            })?);
+            positions.push(
+                meta.column_index(c)
+                    .ok_or_else(|| SqlError::UnknownColumn {
+                        table: meta.name.clone(),
+                        column: c.clone(),
+                    })?,
+            );
         }
         for row in rows {
             let mut values = vec![SqlValue::Null; meta.columns.len()];
@@ -417,8 +423,7 @@ impl Db {
         let mut from_preds: Vec<(usize, &SqlValue)> = Vec::new();
         let mut join_preds: Vec<(usize, &SqlValue)> = Vec::new();
         for p in predicates {
-            let (side, idx) =
-                Self::resolve_column(from, &from_meta, join_ctx, &p.column)?;
+            let (side, idx) = Self::resolve_column(from, &from_meta, join_ctx, &p.column)?;
             if side == 0 {
                 from_preds.push((idx, &p.value));
             } else {
@@ -464,25 +469,24 @@ impl Db {
         if let (Some(j), Some(jm)) = (join, join_meta.as_ref()) {
             let right_rows = fetch_side(self, &j.factor.name, jm, &join_preds)?;
             // Resolve ON sides.
-            let (l_side, l_idx) =
-                Self::resolve_column(from, &from_meta, join_ctx, &j.on_left)?;
-            let (r_side, r_idx) =
-                Self::resolve_column(from, &from_meta, join_ctx, &j.on_right)?;
+            let (l_side, l_idx) = Self::resolve_column(from, &from_meta, join_ctx, &j.on_left)?;
+            let (r_side, r_idx) = Self::resolve_column(from, &from_meta, join_ctx, &j.on_right)?;
             if l_side == r_side {
                 return Err(SqlError::Unsupported(
                     "JOIN ON must compare the two tables".into(),
                 ));
             }
-            let (from_on, join_on) = if l_side == 0 { (l_idx, r_idx) } else { (r_idx, l_idx) };
+            let (from_on, join_on) = if l_side == 0 {
+                (l_idx, r_idx)
+            } else {
+                (r_idx, l_idx)
+            };
             // Hash join: build on the right side.
             let mut built: std::collections::HashMap<Vec<u8>, Vec<&Vec<SqlValue>>> =
                 std::collections::HashMap::new();
             for r in &right_rows {
                 if !r[join_on].is_null() {
-                    built
-                        .entry(r[join_on].encode_key())
-                        .or_default()
-                        .push(r);
+                    built.entry(r[join_on].encode_key()).or_default().push(r);
                 }
             }
             for l in left_rows {
@@ -536,8 +540,7 @@ impl Db {
             }
             Projection::Columns(cols) => {
                 for c in cols {
-                    let (side, idx) =
-                        Self::resolve_column(from, &from_meta, join_ctx, c)?;
+                    let (side, idx) = Self::resolve_column(from, &from_meta, join_ctx, c)?;
                     let factor = if side == 0 {
                         from
                     } else {
@@ -628,10 +631,8 @@ mod tests {
     fn setup() -> Db {
         let mut db = Db::in_memory();
         db.execute_sql("CREATE DATABASE d").unwrap();
-        db.execute_sql(
-            "CREATE TABLE d.node (id INT NOT NULL, root BOOL, PRIMARY KEY (id))",
-        )
-        .unwrap();
+        db.execute_sql("CREATE TABLE d.node (id INT NOT NULL, root BOOL, PRIMARY KEY (id))")
+            .unwrap();
         db.execute_sql(
             "CREATE TABLE d.cell (id INT NOT NULL, name TEXT, node_id INT, \
              PRIMARY KEY (id), INDEX (node_id), \
@@ -655,7 +656,8 @@ mod tests {
     #[test]
     fn foreign_keys_validated() {
         let mut db = setup();
-        db.execute_sql("INSERT INTO d.node (id) VALUES (1)").unwrap();
+        db.execute_sql("INSERT INTO d.node (id) VALUES (1)")
+            .unwrap();
         db.execute_sql("INSERT INTO d.cell (id, node_id) VALUES (10, 1)")
             .unwrap();
         assert!(matches!(
@@ -663,7 +665,8 @@ mod tests {
             Err(SqlError::ForeignKeyViolation { .. })
         ));
         // NULL FK is allowed.
-        db.execute_sql("INSERT INTO d.cell (id) VALUES (12)").unwrap();
+        db.execute_sql("INSERT INTO d.cell (id) VALUES (12)")
+            .unwrap();
     }
 
     #[test]
@@ -681,7 +684,8 @@ mod tests {
     #[test]
     fn index_lookup_path() {
         let mut db = setup();
-        db.execute_sql("INSERT INTO d.node (id) VALUES (1), (2)").unwrap();
+        db.execute_sql("INSERT INTO d.node (id) VALUES (1), (2)")
+            .unwrap();
         for i in 0..10 {
             db.execute_sql(&format!(
                 "INSERT INTO d.cell (id, name, node_id) VALUES ({i}, 'c{i}', {})",
@@ -720,7 +724,8 @@ mod tests {
     #[test]
     fn join_select_star() {
         let mut db = setup();
-        db.execute_sql("INSERT INTO d.node (id) VALUES (1)").unwrap();
+        db.execute_sql("INSERT INTO d.node (id) VALUES (1)")
+            .unwrap();
         db.execute_sql("INSERT INTO d.cell (id, node_id) VALUES (10, 1)")
             .unwrap();
         let r = db
@@ -734,7 +739,8 @@ mod tests {
     #[test]
     fn ambiguous_column_is_rejected() {
         let mut db = setup();
-        db.execute_sql("INSERT INTO d.node (id) VALUES (1)").unwrap();
+        db.execute_sql("INSERT INTO d.node (id) VALUES (1)")
+            .unwrap();
         db.execute_sql("INSERT INTO d.cell (id, node_id) VALUES (10, 1)")
             .unwrap();
         assert!(matches!(
@@ -746,7 +752,8 @@ mod tests {
     #[test]
     fn delete_by_pk_only() {
         let mut db = setup();
-        db.execute_sql("INSERT INTO d.node (id) VALUES (1)").unwrap();
+        db.execute_sql("INSERT INTO d.node (id) VALUES (1)")
+            .unwrap();
         db.execute_sql("DELETE FROM d.node WHERE id = 1").unwrap();
         assert_eq!(db.row_count(&name("node")).unwrap(), 0);
         assert!(matches!(
@@ -772,7 +779,8 @@ mod tests {
     #[test]
     fn truncate() {
         let mut db = setup();
-        db.execute_sql("INSERT INTO d.node (id) VALUES (1)").unwrap();
+        db.execute_sql("INSERT INTO d.node (id) VALUES (1)")
+            .unwrap();
         db.execute_sql("TRUNCATE TABLE d.node").unwrap();
         assert_eq!(
             db.execute_sql("SELECT * FROM d.node").unwrap().rows.len(),

@@ -136,7 +136,12 @@ impl Heap {
     /// Bytes the heap occupies on disk, counting the open page at its full
     /// eventual size (a partially filled InnoDB page still owns 16 KiB).
     pub fn disk_size(&self) -> u64 {
-        self.flushed + if self.buffer.is_empty() { 0 } else { PAGE_SIZE as u64 }
+        self.flushed
+            + if self.buffer.is_empty() {
+                0
+            } else {
+                PAGE_SIZE as u64
+            }
     }
 
     /// Number of rows ever appended.
@@ -206,10 +211,7 @@ mod tests {
     fn oversized_rows_are_rejected() {
         let mut h = Heap::new(Vfs::memory(), "db/t.ibd");
         let huge = vec![0u8; PAGE_BODY + 1];
-        assert!(matches!(
-            h.append(&huge),
-            Err(SqlError::Unsupported(_))
-        ));
+        assert!(matches!(h.append(&huge), Err(SqlError::Unsupported(_))));
     }
 
     #[test]

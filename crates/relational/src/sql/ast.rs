@@ -220,8 +220,7 @@ impl SqlStatement {
                 let row_texts: Vec<String> = rows
                     .iter()
                     .map(|r| {
-                        let vals: Vec<String> =
-                            r.iter().map(SqlValue::to_sql_literal).collect();
+                        let vals: Vec<String> = r.iter().map(SqlValue::to_sql_literal).collect();
                         format!("({})", vals.join(", "))
                     })
                     .collect();
@@ -264,9 +263,7 @@ impl SqlStatement {
                 if !predicates.is_empty() {
                     let preds: Vec<String> = predicates
                         .iter()
-                        .map(|p| {
-                            format!("{} = {}", col_ref(&p.column), p.value.to_sql_literal())
-                        })
+                        .map(|p| format!("{} = {}", col_ref(&p.column), p.value.to_sql_literal()))
                         .collect();
                     s.push_str(&format!(" WHERE {}", preds.join(" AND ")));
                 }

@@ -85,9 +85,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 let text = &input[start..i];
-                out.push(Token::Number(text.parse().map_err(|_| {
-                    SqlError::Parse(format!("bad number {text:?}"))
-                })?));
+                out.push(Token::Number(
+                    text.parse()
+                        .map_err(|_| SqlError::Parse(format!("bad number {text:?}")))?,
+                ));
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
@@ -117,8 +118,7 @@ mod tests {
 
     #[test]
     fn multi_row_insert_tokenizes() {
-        let toks =
-            tokenize("INSERT INTO d.t (id) VALUES (1), (2), (3)").unwrap();
+        let toks = tokenize("INSERT INTO d.t (id) VALUES (1), (2), (3)").unwrap();
         assert_eq!(toks.iter().filter(|t| **t == Token::Symbol('(')).count(), 4);
     }
 

@@ -170,7 +170,9 @@ impl Parser {
     fn statement(&mut self) -> Result<SqlStatement> {
         if self.eat_keyword("create") {
             if self.eat_keyword("database") {
-                return Ok(SqlStatement::CreateDatabase { name: self.ident()? });
+                return Ok(SqlStatement::CreateDatabase {
+                    name: self.ident()?,
+                });
             }
             if self.eat_keyword("table") {
                 return self.create_table();
@@ -460,10 +462,8 @@ mod tests {
 
     #[test]
     fn multi_row_insert() {
-        let stmt = parse_sql(
-            "INSERT INTO d.cell (id, name) VALUES (1, 'a'), (2, 'b'), (3, NULL)",
-        )
-        .unwrap();
+        let stmt = parse_sql("INSERT INTO d.cell (id, name) VALUES (1, 'a'), (2, 'b'), (3, NULL)")
+            .unwrap();
         match stmt {
             SqlStatement::Insert { rows, .. } => {
                 assert_eq!(rows.len(), 3);
@@ -515,10 +515,7 @@ mod tests {
 
     #[test]
     fn varchar_length_is_accepted() {
-        let stmt = parse_sql(
-            "CREATE TABLE d.t (name VARCHAR(255), PRIMARY KEY (name))",
-        )
-        .unwrap();
+        let stmt = parse_sql("CREATE TABLE d.t (name VARCHAR(255), PRIMARY KEY (name))").unwrap();
         match stmt {
             SqlStatement::CreateTable { columns, .. } => {
                 assert_eq!(columns[0].ty, SqlType::Text);
@@ -547,11 +544,11 @@ mod tests {
     fn parse_errors() {
         for bad in [
             "",
-            "SELECT * FROM t",                          // unqualified
-            "INSERT INTO d.t (a, b) VALUES (1)",        // arity
-            "CREATE TABLE d.t (id INT)",                // no PK
-            "SELECT * FROM d.t WHERE a = 1 OR b = 2",   // OR unsupported
-            "DELETE FROM d.t",                          // no WHERE
+            "SELECT * FROM t",                        // unqualified
+            "INSERT INTO d.t (a, b) VALUES (1)",      // arity
+            "CREATE TABLE d.t (id INT)",              // no PK
+            "SELECT * FROM d.t WHERE a = 1 OR b = 2", // OR unsupported
+            "DELETE FROM d.t",                        // no WHERE
             "SELECT * FROM d.t LIMIT -2",
             "CREATE TABLE d.t (id BLOB, PRIMARY KEY (id))",
             "SELECT * FROM d.t; SELECT * FROM d.t",

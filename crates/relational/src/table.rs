@@ -77,10 +77,7 @@ pub struct TableData {
 impl TableData {
     /// Creates runtime state for a freshly created table.
     pub fn new(meta: TableMeta, vfs: Vfs) -> TableData {
-        let heap = Heap::new(
-            vfs.clone(),
-            format!("{}/{}.ibd", meta.database, meta.name),
-        );
+        let heap = Heap::new(vfs.clone(), format!("{}/{}.ibd", meta.database, meta.name));
         let secondary = meta
             .indexes
             .iter()
@@ -120,7 +117,9 @@ impl TableData {
                 table: self.meta.name.clone(),
                 column: column.to_string(),
             })?;
-        Arc::make_mut(&mut self.meta).indexes.push(column.to_string());
+        Arc::make_mut(&mut self.meta)
+            .indexes
+            .push(column.to_string());
         let mut tree = BPlusTree::new();
         for (pk_key, loc) in self.pk.iter() {
             let row = self.read_row(*loc)?;
@@ -219,7 +218,11 @@ impl TableData {
 
     /// Rows whose indexed `column` equals `value` (via the secondary index).
     /// Returns `None` if no index exists on the column.
-    pub fn find_by_index(&self, column: &str, value: &SqlValue) -> Result<Option<Vec<Vec<SqlValue>>>> {
+    pub fn find_by_index(
+        &self,
+        column: &str,
+        value: &SqlValue,
+    ) -> Result<Option<Vec<Vec<SqlValue>>>> {
         let Some((_, tree)) = self.secondary.iter().find(|(c, _)| c == column) else {
             return Ok(None);
         };
@@ -271,11 +274,7 @@ impl TableData {
             }
             Ok(())
         };
-        write_index(
-            &self.vfs,
-            &self.index_file("pk"),
-            &mut self.pk.iter(),
-        )?;
+        write_index(&self.vfs, &self.index_file("pk"), &mut self.pk.iter())?;
         for (column, tree) in &self.secondary {
             write_index(&self.vfs, &self.index_file(column), &mut tree.iter())?;
         }
@@ -354,7 +353,10 @@ mod tests {
         t.insert(row(2, "b", 10), 1).unwrap();
         t.insert(row(1, "a", 10), 2).unwrap();
         assert_eq!(t.row_count(), 2);
-        assert_eq!(t.get(&SqlValue::Int(1)).unwrap().unwrap()[1], SqlValue::Text("a".into()));
+        assert_eq!(
+            t.get(&SqlValue::Int(1)).unwrap().unwrap()[1],
+            SqlValue::Text("a".into())
+        );
         assert!(t.get(&SqlValue::Int(9)).unwrap().is_none());
         let rows = t.scan().unwrap();
         assert_eq!(rows[0][0], SqlValue::Int(1), "scan is pk-ordered");

@@ -176,7 +176,7 @@ impl fmt::Display for SqlValue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sc_encoding::Rng;
 
     #[test]
     fn type_parse() {
@@ -211,30 +211,39 @@ mod tests {
         assert!(text_a < text_b);
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip(v in arb_value()) {
+    // Deterministic randomized sweeps (seeded xorshift, no proptest — the
+    // build is offline).
+
+    fn random_value(rng: &mut Rng) -> SqlValue {
+        match rng.gen_range(4) {
+            0 => SqlValue::Null,
+            1 => SqlValue::Int(rng.gen_i64()),
+            2 => SqlValue::Text(rng.gen_ascii(20)),
+            _ => SqlValue::Bool(rng.gen_range(2) == 1),
+        }
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let mut rng = Rng::new(0x5A11);
+        for _ in 0..1024 {
+            let v = random_value(&mut rng);
             let mut enc = Encoder::new();
             v.encode(&mut enc);
             let bytes = enc.into_bytes();
             let mut dec = Decoder::new(&bytes);
-            prop_assert_eq!(SqlValue::decode(&mut dec).unwrap(), v);
-        }
-
-        #[test]
-        fn int_keys_order_numerically(a in any::<i64>(), b in any::<i64>()) {
-            let ka = SqlValue::Int(a).encode_key();
-            let kb = SqlValue::Int(b).encode_key();
-            prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+            assert_eq!(SqlValue::decode(&mut dec).unwrap(), v);
         }
     }
 
-    fn arb_value() -> impl Strategy<Value = SqlValue> {
-        prop_oneof![
-            Just(SqlValue::Null),
-            any::<i64>().prop_map(SqlValue::Int),
-            "[ -~]{0,20}".prop_map(SqlValue::Text),
-            any::<bool>().prop_map(SqlValue::Bool),
-        ]
+    #[test]
+    fn int_keys_order_numerically() {
+        let mut rng = Rng::new(0x5A12);
+        for _ in 0..2048 {
+            let (a, b) = (rng.gen_i64(), rng.gen_i64());
+            let ka = SqlValue::Int(a).encode_key();
+            let kb = SqlValue::Int(b).encode_key();
+            assert_eq!(a.cmp(&b), ka.cmp(&kb));
+        }
     }
 }

@@ -1,9 +1,13 @@
 //! Model checking the relational engine against an in-memory oracle,
 //! across checkpoints and index lookups.
+//!
+//! Deterministic randomized sweeps (seeded xorshift — the build is offline,
+//! so no proptest): each case draws a random op sequence and replays it
+//! against both the engine and a `HashMap` oracle.
 
-use proptest::prelude::*;
+use sc_encoding::Rng;
 use sc_relational::{Db, SqlValue};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,13 +17,23 @@ enum Op {
     Checkpoint,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (0i64..40, 0i64..6).prop_map(|(id, tag)| Op::Insert { id, tag }),
-        3 => (0i64..40, 0i64..6).prop_map(|(id, tag)| Op::Update { id, tag }),
-        2 => (0i64..40).prop_map(|id| Op::Delete { id }),
-        1 => Just(Op::Checkpoint),
-    ]
+/// Weighted random op: inserts 5, updates 3, deletes 2, checkpoint 1
+/// (matching the old proptest weights).
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.gen_range(11) {
+        0..=4 => Op::Insert {
+            id: rng.gen_range(40) as i64,
+            tag: rng.gen_range(6) as i64,
+        },
+        5..=7 => Op::Update {
+            id: rng.gen_range(40) as i64,
+            tag: rng.gen_range(6) as i64,
+        },
+        8..=9 => Op::Delete {
+            id: rng.gen_range(40) as i64,
+        },
+        _ => Op::Checkpoint,
+    }
 }
 
 fn fresh() -> Db {
@@ -30,24 +44,25 @@ fn fresh() -> Db {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn engine_agrees_with_oracle(ops in proptest::collection::vec(arb_op(), 0..60)) {
+#[test]
+fn engine_agrees_with_oracle() {
+    let mut rng = Rng::new(0x5E1A);
+    for case in 0..48 {
+        let ops: Vec<Op> = (0..rng.gen_range(60))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let mut db = fresh();
         let mut oracle: HashMap<i64, i64> = HashMap::new();
         for op in ops {
             match op {
                 Op::Insert { id, tag } => {
-                    let r = db.execute_sql(&format!(
-                        "INSERT INTO m.t (id, tag) VALUES ({id}, {tag})"
-                    ));
+                    let r =
+                        db.execute_sql(&format!("INSERT INTO m.t (id, tag) VALUES ({id}, {tag})"));
                     #[allow(clippy::map_entry)]
                     if oracle.contains_key(&id) {
-                        prop_assert!(r.is_err(), "duplicate pk must be rejected");
+                        assert!(r.is_err(), "case {case}: duplicate pk must be rejected");
                     } else {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok(), "case {case}");
                         oracle.insert(id, tag);
                     }
                 }
@@ -73,15 +88,14 @@ proptest! {
                 .unwrap();
             let got = r.rows.first().map(|row| row[0].clone());
             let want = oracle.get(&probe).map(|t| SqlValue::Int(*t));
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case {case}");
         }
         // Index lookups per tag.
         for tag in 0..6i64 {
             let r = db
                 .execute_sql(&format!("SELECT id FROM m.t WHERE tag = {tag}"))
                 .unwrap();
-            let mut got: Vec<i64> =
-                r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+            let mut got: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
             got.sort_unstable();
             let mut want: Vec<i64> = oracle
                 .iter()
@@ -89,26 +103,38 @@ proptest! {
                 .map(|(id, _)| *id)
                 .collect();
             want.sort_unstable();
-            prop_assert_eq!(got, want, "tag {}", tag);
+            assert_eq!(got, want, "case {case}: tag {tag}");
         }
         // COUNT agrees.
         let r = db.execute_sql("SELECT COUNT(*) FROM m.t").unwrap();
-        prop_assert_eq!(r.rows[0][0].as_int().unwrap() as usize, oracle.len());
+        assert_eq!(
+            r.rows[0][0].as_int().unwrap() as usize,
+            oracle.len(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn join_agrees_with_nested_loop_oracle(
-        nodes in proptest::collection::btree_set(0i64..15, 1..10),
-        cells in proptest::collection::vec((0i64..40, 0i64..20), 0..40),
-    ) {
+#[test]
+fn join_agrees_with_nested_loop_oracle() {
+    let mut rng = Rng::new(0x5E1B);
+    for case in 0..48 {
+        let mut nodes: BTreeSet<i64> = BTreeSet::new();
+        for _ in 0..1 + rng.gen_range(9) {
+            nodes.insert(rng.gen_range(15) as i64);
+        }
+        let cells: Vec<(i64, i64)> = (0..rng.gen_range(40))
+            .map(|_| (rng.gen_range(40) as i64, rng.gen_range(20) as i64))
+            .collect();
         let mut db = Db::in_memory();
         db.execute_sql("CREATE DATABASE m").unwrap();
-        db.execute_sql("CREATE TABLE m.n (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
-        db.execute_sql(
-            "CREATE TABLE m.c (id INT NOT NULL, nid INT, PRIMARY KEY (id))"
-        ).unwrap();
+        db.execute_sql("CREATE TABLE m.n (id INT NOT NULL, PRIMARY KEY (id))")
+            .unwrap();
+        db.execute_sql("CREATE TABLE m.c (id INT NOT NULL, nid INT, PRIMARY KEY (id))")
+            .unwrap();
         for id in &nodes {
-            db.execute_sql(&format!("INSERT INTO m.n (id) VALUES ({id})")).unwrap();
+            db.execute_sql(&format!("INSERT INTO m.n (id) VALUES ({id})"))
+                .unwrap();
         }
         let mut inserted: HashMap<i64, i64> = HashMap::new();
         for (id, nid) in cells {
@@ -134,6 +160,6 @@ proptest! {
             .map(|(id, nid)| (*id, *nid))
             .collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
 }

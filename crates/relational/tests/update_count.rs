@@ -18,8 +18,11 @@ fn update_modifies_only_assigned_columns() {
     let mut db = setup();
     db.execute_sql("INSERT INTO d.t (id, name, n) VALUES (1, 'keep', 10)")
         .unwrap();
-    db.execute_sql("UPDATE d.t SET n = 20 WHERE id = 1").unwrap();
-    let r = db.execute_sql("SELECT name, n FROM d.t WHERE id = 1").unwrap();
+    db.execute_sql("UPDATE d.t SET n = 20 WHERE id = 1")
+        .unwrap();
+    let r = db
+        .execute_sql("SELECT name, n FROM d.t WHERE id = 1")
+        .unwrap();
     assert_eq!(
         r.rows[0],
         vec![SqlValue::Text("keep".into()), SqlValue::Int(20)]
@@ -29,14 +32,16 @@ fn update_modifies_only_assigned_columns() {
 #[test]
 fn update_of_missing_row_is_a_noop() {
     let mut db = setup();
-    db.execute_sql("UPDATE d.t SET n = 1 WHERE id = 42").unwrap();
+    db.execute_sql("UPDATE d.t SET n = 1 WHERE id = 42")
+        .unwrap();
     assert_eq!(db.execute_sql("SELECT * FROM d.t").unwrap().rows.len(), 0);
 }
 
 #[test]
 fn update_maintains_secondary_indexes() {
     let mut db = setup();
-    db.execute_sql("INSERT INTO d.t (id, n) VALUES (1, 5)").unwrap();
+    db.execute_sql("INSERT INTO d.t (id, n) VALUES (1, 5)")
+        .unwrap();
     db.execute_sql("UPDATE d.t SET n = 6 WHERE id = 1").unwrap();
     assert!(db
         .execute_sql("SELECT id FROM d.t WHERE n = 5")
@@ -44,7 +49,10 @@ fn update_maintains_secondary_indexes() {
         .rows
         .is_empty());
     assert_eq!(
-        db.execute_sql("SELECT id FROM d.t WHERE n = 6").unwrap().rows.len(),
+        db.execute_sql("SELECT id FROM d.t WHERE n = 6")
+            .unwrap()
+            .rows
+            .len(),
         1
     );
 }
@@ -71,11 +79,8 @@ fn update_rejections() {
 fn count_star_variants() {
     let mut db = setup();
     for i in 0..9 {
-        db.execute_sql(&format!(
-            "INSERT INTO d.t (id, n) VALUES ({i}, {})",
-            i % 3
-        ))
-        .unwrap();
+        db.execute_sql(&format!("INSERT INTO d.t (id, n) VALUES ({i}, {})", i % 3))
+            .unwrap();
     }
     let r = db.execute_sql("SELECT COUNT(*) FROM d.t").unwrap();
     assert_eq!(r.columns, vec!["COUNT(*)"]);
@@ -91,21 +96,19 @@ fn count_star_over_join() {
     let mut db = setup();
     db.execute_sql("CREATE TABLE d.s (id INT NOT NULL, t_id INT, PRIMARY KEY (id))")
         .unwrap();
-    db.execute_sql("INSERT INTO d.t (id) VALUES (1), (2)").unwrap();
+    db.execute_sql("INSERT INTO d.t (id) VALUES (1), (2)")
+        .unwrap();
     db.execute_sql("INSERT INTO d.s (id, t_id) VALUES (10, 1), (11, 1), (12, 2)")
         .unwrap();
     let r = db
-        .execute_sql(
-            "SELECT COUNT(*) FROM d.s JOIN d.t ON s.t_id = t.id WHERE t.id = 1",
-        )
+        .execute_sql("SELECT COUNT(*) FROM d.s JOIN d.t ON s.t_id = t.id WHERE t.id = 1")
         .unwrap();
     assert_eq!(r.rows, vec![vec![SqlValue::Int(2)]]);
 }
 
 #[test]
 fn update_roundtrips_through_sql_text() {
-    let stmt =
-        sc_relational::parse_sql("UPDATE d.t SET name = 'x', n = 3 WHERE id = 1").unwrap();
+    let stmt = sc_relational::parse_sql("UPDATE d.t SET name = 'x', n = 3 WHERE id = 1").unwrap();
     assert_eq!(sc_relational::parse_sql(&stmt.to_sql()).unwrap(), stmt);
     let stmt = sc_relational::parse_sql("SELECT COUNT(*) FROM d.t").unwrap();
     assert_eq!(sc_relational::parse_sql(&stmt.to_sql()).unwrap(), stmt);

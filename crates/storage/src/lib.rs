@@ -15,13 +15,13 @@
 //! The API is deliberately tiny: append-only writes plus positioned reads,
 //! which is all a commit log, SSTable or heap file needs.
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Errors from the storage layer.
 #[derive(Debug)]
@@ -103,7 +103,7 @@ impl Vfs {
     pub fn append(&self, name: &str, data: &[u8]) -> Result<u64> {
         match &*self.backend {
             Backend::Memory(files) => {
-                let mut files = files.lock();
+                let mut files = files.lock().expect("vfs lock poisoned");
                 let file = files.entry(name.to_string()).or_default();
                 let offset = file.len() as u64;
                 file.extend_from_slice(data);
@@ -114,7 +114,10 @@ impl Vfs {
                 if let Some(parent) = path.parent() {
                     fs::create_dir_all(parent)?;
                 }
-                let mut f = fs::OpenOptions::new().create(true).append(true).open(&path)?;
+                let mut f = fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)?;
                 let offset = f.seek(SeekFrom::End(0))?;
                 f.write_all(data)?;
                 Ok(offset)
@@ -126,7 +129,7 @@ impl Vfs {
     pub fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         match &*self.backend {
             Backend::Memory(files) => {
-                let files = files.lock();
+                let files = files.lock().expect("vfs lock poisoned");
                 let file = files
                     .get(name)
                     .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
@@ -143,15 +146,16 @@ impl Vfs {
             }
             Backend::Disk(root) => {
                 let path = Self::disk_path(root, name);
-                let mut f = fs::File::open(&path)
-                    .map_err(|_| StorageError::NotFound(name.to_string()))?;
+                let mut f =
+                    fs::File::open(&path).map_err(|_| StorageError::NotFound(name.to_string()))?;
                 f.seek(SeekFrom::Start(offset))?;
                 let mut buf = vec![0u8; len];
-                f.read_exact(&mut buf).map_err(|_| StorageError::ShortRead {
-                    file: name.to_string(),
-                    offset,
-                    len,
-                })?;
+                f.read_exact(&mut buf)
+                    .map_err(|_| StorageError::ShortRead {
+                        file: name.to_string(),
+                        offset,
+                        len,
+                    })?;
                 Ok(buf)
             }
         }
@@ -168,6 +172,7 @@ impl Vfs {
         match &*self.backend {
             Backend::Memory(files) => files
                 .lock()
+                .expect("vfs lock poisoned")
                 .get(name)
                 .map(|f| f.len() as u64)
                 .ok_or_else(|| StorageError::NotFound(name.to_string())),
@@ -189,7 +194,7 @@ impl Vfs {
     pub fn delete(&self, name: &str) -> Result<()> {
         match &*self.backend {
             Backend::Memory(files) => {
-                files.lock().remove(name);
+                files.lock().expect("vfs lock poisoned").remove(name);
                 Ok(())
             }
             Backend::Disk(root) => {
@@ -208,6 +213,7 @@ impl Vfs {
         match &*self.backend {
             Backend::Memory(files) => Ok(files
                 .lock()
+                .expect("vfs lock poisoned")
                 .keys()
                 .filter(|k| k.starts_with(prefix))
                 .cloned()
@@ -290,10 +296,7 @@ mod tests {
 
     #[test]
     fn disk_backend() {
-        let dir = std::env::temp_dir().join(format!(
-            "sc-storage-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("sc-storage-test-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         exercise(Vfs::disk(&dir).unwrap());
         fs::remove_dir_all(&dir).unwrap();
@@ -302,10 +305,7 @@ mod tests {
     #[test]
     fn backends_agree_on_sizes() {
         let mem = Vfs::memory();
-        let dir = std::env::temp_dir().join(format!(
-            "sc-storage-size-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("sc-storage-size-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let disk = Vfs::disk(&dir).unwrap();
         for i in 0..10 {

@@ -1,0 +1,259 @@
+//! A bounded MPSC channel with blocking backpressure, from scratch.
+//!
+//! `std::sync::mpsc` channels are either unbounded (`channel`) or rendezvous
+//! at a fixed bound chosen per-`SyncSender` clone (`sync_channel`), and they
+//! report nothing about *whether* a send had to wait. The streaming runtime
+//! needs exactly that signal — a producer blocking on a full queue is the
+//! backpressure event its metrics count — so this module implements the
+//! queue directly on `Mutex` + `Condvar`.
+//!
+//! Shutdown semantics:
+//!
+//! * When every [`Sender`] is dropped, [`Receiver::recv`] drains what is
+//!   queued and then returns `None` — the natural end-of-stream signal.
+//! * When the [`Receiver`] is dropped (a worker died), blocked senders wake
+//!   immediately and [`Sender::send`] returns the rejected value in
+//!   [`SendError`] instead of deadlocking.
+//! * Lock poisoning (a thread panicking while holding the mutex) is treated
+//!   as ordinary disconnection: the queue state is a plain `VecDeque` whose
+//!   invariants hold at every await point, so the poisoned payload is safe
+//!   to reuse.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// The receiver disappeared; the value could not be delivered.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Whether a send had to wait for space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendStatus {
+    /// True if the queue was full and the sender blocked at least once.
+    pub stalled: bool,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Locks the state, recovering from poisoning (see module docs).
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Producer half; clonable across threads.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer half; exactly one per channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel holding at most `capacity` queued values.
+///
+/// Panics if `capacity` is zero — a zero-capacity rendezvous queue can
+/// never report "not stalled", which would make the backpressure metric
+/// meaningless.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "channel capacity must be at least 1");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        capacity,
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Delivers `value`, blocking while the queue is full.
+    ///
+    /// Returns how long the call had to wait (as a boolean stall flag), or
+    /// the rejected value if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<SendStatus, SendError<T>> {
+        let mut state = self.shared.lock();
+        let mut stalled = false;
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(value);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(SendStatus { stalled });
+            }
+            stalled = true;
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // The receiver may be blocked waiting for data that will never
+            // arrive; wake it so it can observe end-of-stream.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Takes the next value, blocking while the queue is empty.
+    ///
+    /// Returns `None` once every sender is gone and the queue is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                // Space freed: wake one blocked producer.
+                self.shared.not_full.notify_one();
+                return Some(value);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.receiver_alive = false;
+        // Anything still queued is lost; release the memory eagerly and
+        // wake every blocked producer so it can fail fast.
+        state.queue.clear();
+        drop(state);
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn values_arrive_in_order() {
+        let (tx, rx) = bounded(4);
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv()).collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_queue_stalls_and_reports_it() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        // The queue is now full; the next send must block until the
+        // receiver makes room, and must say so.
+        let handle = thread::spawn(move || tx.send(2).unwrap());
+        // Give the producer a moment to actually block.
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Some(1));
+        let status = handle.join().unwrap();
+        assert!(status.stalled);
+        assert_eq!(rx.recv(), Some(2));
+    }
+
+    #[test]
+    fn sender_drop_ends_the_stream() {
+        let (tx, rx) = bounded::<u8>(2);
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        // A clone still holds the channel open.
+        let blocked = thread::spawn(move || rx.recv());
+        drop(tx2);
+        assert_eq!(blocked.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn recv_none_after_drain() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn receiver_drop_unblocks_senders() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let blocked = thread::spawn(move || tx.send(2));
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(blocked.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn send_after_receiver_drop_fails_immediately() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = bounded::<u8>(0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Tuning knobs for the streaming runtime.
+
+/// Configuration of a [`StreamIngestor`](crate::StreamIngestor).
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of worker shards (parallel parse/extract pipelines).
+    pub shards: usize,
+    /// Queued payloads each shard buffers before senders block.
+    pub channel_capacity: usize,
+    /// Seal a shard's micro-cube once it holds this many tuples.
+    pub seal_tuple_watermark: usize,
+    /// Seal a shard's micro-cube once its tuple set holds roughly this many
+    /// bytes (see `TupleSet::approximate_bytes`).
+    pub seal_byte_watermark: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            shards: 4,
+            channel_capacity: 256,
+            seal_tuple_watermark: 16_384,
+            seal_byte_watermark: 4 << 20,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Default configuration with `shards` workers.
+    pub fn with_shards(shards: usize) -> Self {
+        StreamConfig {
+            shards,
+            ..StreamConfig::default()
+        }
+    }
+
+    /// Panics unless the configuration is usable.
+    pub(crate) fn validate(&self) {
+        assert!(self.shards > 0, "need at least one shard");
+        assert!(
+            self.channel_capacity > 0,
+            "channel capacity must be at least 1"
+        );
+        assert!(
+            self.seal_tuple_watermark > 0,
+            "tuple watermark must be at least 1"
+        );
+        assert!(
+            self.seal_byte_watermark > 0,
+            "byte watermark must be at least 1"
+        );
+    }
+}

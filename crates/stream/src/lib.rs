@@ -1,0 +1,51 @@
+//! # sc-stream
+//!
+//! Sharded parallel streaming ingestion for smart-city cube construction.
+//!
+//! The sequential path (`sc_ingest::StreamPipeline`) parses every feed
+//! document on one thread. This crate scales that out while keeping results
+//! bit-identical:
+//!
+//! 1. raw XML/JSON payloads are hash-sharded by partition key across a
+//!    fixed pool of worker threads (a from-scratch bounded MPSC channel —
+//!    [`channel`] — provides blocking backpressure per shard),
+//! 2. each worker parses and extracts into a private tuple set, sealing it
+//!    into a DWARF **micro-cube** whenever a tuple- or byte-watermark is
+//!    crossed,
+//! 3. a dedicated merger thread folds sealed micro-cubes into one
+//!    `MergeAccumulator` and builds the global cube once at the end,
+//! 4. the caller flushes the merged cube into a storage backend (see
+//!    `sc_core::stream_warehouse` for the NoSQL column-family path).
+//!
+//! Everything is `std`-only: threads are `std::thread`, the channel is
+//! `Mutex` + `Condvar`, counters are `AtomicU64` ([`metrics`]).
+//!
+//! ```
+//! use sc_stream::{StreamConfig, StreamIngestor};
+//! # use sc_ingest::cube_def::TimeField;
+//! # use sc_ingest::CubeDef;
+//! # let def = CubeDef::xml("/stations/station")
+//! #     .timestamp("@updated")
+//! #     .time_dimension("day", TimeField::Day)
+//! #     .dimension("station", "name/text()")
+//! #     .measure("bikes", "bikes/text()")
+//! #     .build()
+//! #     .unwrap();
+//! let ingestor = StreamIngestor::new(def, StreamConfig::with_shards(4));
+//! ingestor.ingest(r#"<stations updated="2015-11-01T10:00:00">
+//!     <station><name>A</name><bikes>3</bikes></station>
+//! </stations>"#.to_string());
+//! let result = ingestor.finish();
+//! assert_eq!(result.cube.tuple_count(), 1);
+//! assert_eq!(result.metrics.events_parsed, 1);
+//! ```
+
+pub mod channel;
+pub mod config;
+pub mod metrics;
+pub mod runtime;
+
+pub use channel::{bounded, Receiver, SendError, SendStatus, Sender};
+pub use config::StreamConfig;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use runtime::{StreamIngestor, StreamResult};

@@ -1,0 +1,97 @@
+//! Runtime counters for the streaming pipeline.
+//!
+//! Workers, the merger and the ingest front-end all share one [`Metrics`]
+//! registry through an `Arc`; every counter is a relaxed `AtomicU64`
+//! (counters are independent — no ordering is implied between them, and a
+//! snapshot is only ever taken after the threads it observes have quiesced
+//! or for advisory progress reporting).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters, incremented live by pipeline threads.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Raw payloads accepted by [`StreamIngestor::ingest`](crate::StreamIngestor::ingest).
+    pub events_in: AtomicU64,
+    /// Payloads successfully parsed and extracted by a worker.
+    pub events_parsed: AtomicU64,
+    /// Payloads rejected (malformed document or failed extraction).
+    pub events_failed: AtomicU64,
+    /// Fact tuples extracted across all shards.
+    pub tuples_extracted: AtomicU64,
+    /// Micro-cubes sealed by watermark or final drain.
+    pub seals: AtomicU64,
+    /// Sealed micro-cubes absorbed by the merger.
+    pub merges: AtomicU64,
+    /// Merged cubes flushed to a storage backend.
+    pub flushes: AtomicU64,
+    /// Sends that blocked on a full shard queue.
+    pub backpressure_stalls: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter (counters are public so downstream flush
+    /// stages — e.g. `sc-core`'s streaming warehouse — can record too).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copies every counter into a plain-value snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            events_in: self.events_in.load(Ordering::Relaxed),
+            events_parsed: self.events_parsed.load(Ordering::Relaxed),
+            events_failed: self.events_failed.load(Ordering::Relaxed),
+            tuples_extracted: self.tuples_extracted.load(Ordering::Relaxed),
+            seals: self.seals.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`], safe to compare and print.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Raw payloads accepted for ingestion.
+    pub events_in: u64,
+    /// Payloads successfully parsed and extracted.
+    pub events_parsed: u64,
+    /// Payloads rejected as malformed.
+    pub events_failed: u64,
+    /// Fact tuples extracted across all shards.
+    pub tuples_extracted: u64,
+    /// Micro-cubes sealed.
+    pub seals: u64,
+    /// Micro-cubes merged into the global cube.
+    pub merges: u64,
+    /// Merged cubes flushed to storage.
+    pub flushes: u64,
+    /// Sends that blocked on a full shard queue.
+    pub backpressure_stalls: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new();
+        Metrics::add(&m.events_in, 3);
+        Metrics::add(&m.tuples_extracted, 40);
+        Metrics::add(&m.backpressure_stalls, 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.events_in, 3);
+        assert_eq!(snap.tuples_extracted, 40);
+        assert_eq!(snap.backpressure_stalls, 1);
+        assert_eq!(snap.events_failed, 0);
+        assert_eq!(snap, m.snapshot());
+    }
+}

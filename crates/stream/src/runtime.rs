@@ -1,0 +1,294 @@
+//! The sharded streaming runtime: worker pool, micro-cubes, merger.
+//!
+//! ```text
+//!                    ingest(payload)
+//!                          │  fnv1a(partition key) % shards
+//!          ┌───────────────┼───────────────┐
+//!          ▼               ▼               ▼
+//!    [shard queue 0] [shard queue 1] [shard queue N-1]   bounded, blocking
+//!          │               │               │
+//!     worker thread   worker thread   worker thread      parse + extract
+//!          │ seal on watermark         │
+//!          └───────────────┼───────────────┘
+//!                          ▼
+//!                    [merge queue]                       sealed micro-cubes
+//!                          │
+//!                    merger thread                       MergeAccumulator
+//!                          │ finish()
+//!                          ▼
+//!                     global Dwarf
+//! ```
+//!
+//! Each worker owns a private `TupleSet` and seals it into a DWARF
+//! micro-cube whenever it crosses the configured tuple- or byte-watermark;
+//! sealed cubes flow to a dedicated merger thread that folds them into one
+//! [`MergeAccumulator`]. Because every cube aggregate (Sum/Count/Min/Max) is
+//! commutative and associative, the merged result is identical to feeding
+//! all documents through one sequential [`StreamPipeline`]
+//! (sc-stream's equivalence test asserts exactly that), no matter how
+//! payloads were sharded or interleaved.
+
+use crate::channel::{bounded, Receiver, Sender};
+use crate::config::StreamConfig;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use sc_dwarf::{Dwarf, MergeAccumulator, TupleSet};
+use sc_encoding::fnv1a_64;
+use sc_ingest::extract::extract_text;
+use sc_ingest::{CubeDef, MissingPolicy};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Everything the runtime hands back after a graceful drain.
+#[derive(Debug)]
+pub struct StreamResult {
+    /// The merged global cube over every ingested document.
+    pub cube: Dwarf,
+    /// Final counter values.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A running sharded ingestion pipeline.
+///
+/// Create with [`StreamIngestor::new`], feed payloads with
+/// [`ingest`](Self::ingest) (or [`ingest_keyed`](Self::ingest_keyed) to
+/// control placement), then call [`finish`](Self::finish) to drain every
+/// queue, seal the remainders and obtain the merged cube.
+pub struct StreamIngestor {
+    shards: Vec<Sender<String>>,
+    workers: Vec<JoinHandle<()>>,
+    merger: JoinHandle<Dwarf>,
+    metrics: Arc<Metrics>,
+}
+
+impl StreamIngestor {
+    /// Spawns the worker pool and merger for `def`.
+    pub fn new(def: CubeDef, config: StreamConfig) -> StreamIngestor {
+        config.validate();
+        let metrics = Arc::new(Metrics::new());
+        // The merge queue is sized to the shard count: at any moment each
+        // worker contributes at most one in-flight sealed cube plus one
+        // being built, so this never becomes the bottleneck.
+        let (merge_tx, merge_rx) = bounded::<Dwarf>(config.shards.max(2));
+        let merger = {
+            let metrics = Arc::clone(&metrics);
+            let schema = def.schema();
+            std::thread::Builder::new()
+                .name("sc-stream-merger".into())
+                .spawn(move || run_merger(schema, merge_rx, &metrics))
+                .expect("spawn merger thread")
+        };
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = bounded::<String>(config.channel_capacity);
+            let def = def.clone();
+            let config = config.clone();
+            let metrics = Arc::clone(&metrics);
+            let merge_tx = merge_tx.clone();
+            let worker = std::thread::Builder::new()
+                .name(format!("sc-stream-worker-{shard}"))
+                .spawn(move || run_worker(&def, &config, rx, merge_tx, &metrics))
+                .expect("spawn worker thread");
+            shards.push(tx);
+            workers.push(worker);
+        }
+        // Workers hold the only remaining merge senders; once they exit the
+        // merger sees end-of-stream.
+        drop(merge_tx);
+        StreamIngestor {
+            shards,
+            workers,
+            merger,
+            metrics,
+        }
+    }
+
+    /// Queues one raw payload, sharding by a hash of the payload itself.
+    pub fn ingest(&self, payload: String) {
+        let shard = (fnv1a_64(payload.as_bytes()) as usize) % self.shards.len();
+        self.dispatch(shard, payload);
+    }
+
+    /// Queues one raw payload, sharding by `partition_key` — payloads with
+    /// equal keys land on the same worker (useful to keep one sensor's
+    /// documents ordered within a shard).
+    pub fn ingest_keyed(&self, partition_key: &str, payload: String) {
+        let shard = (fnv1a_64(partition_key.as_bytes()) as usize) % self.shards.len();
+        self.dispatch(shard, payload);
+    }
+
+    fn dispatch(&self, shard: usize, payload: String) {
+        Metrics::add(&self.metrics.events_in, 1);
+        match self.shards[shard].send(payload) {
+            Ok(status) => {
+                if status.stalled {
+                    Metrics::add(&self.metrics.backpressure_stalls, 1);
+                }
+            }
+            // A dead worker means a panic in parse/extract code; surface it
+            // at the ingest site rather than deadlocking the producer.
+            Err(_) => panic!("stream worker for shard {shard} terminated"),
+        }
+    }
+
+    /// Live counters (shared with every pipeline thread).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Drains every queue, seals what remains, joins all threads and
+    /// returns the merged cube plus final metrics.
+    pub fn finish(self) -> StreamResult {
+        let StreamIngestor {
+            shards,
+            workers,
+            merger,
+            metrics,
+        } = self;
+        // Dropping the senders signals end-of-stream; each worker drains
+        // its queue, seals any partial micro-cube and exits.
+        drop(shards);
+        for worker in workers {
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        let cube = match merger.join() {
+            Ok(cube) => cube,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        StreamResult {
+            cube,
+            metrics: metrics.snapshot(),
+        }
+    }
+}
+
+/// Worker loop: parse, extract, accumulate, seal on watermark.
+fn run_worker(
+    def: &CubeDef,
+    config: &StreamConfig,
+    rx: Receiver<String>,
+    merge_tx: Sender<Dwarf>,
+    metrics: &Metrics,
+) {
+    let schema = def.schema();
+    let mut tuples = TupleSet::new(&schema);
+    while let Some(payload) = rx.recv() {
+        match extract_text(def, &payload, &mut tuples, MissingPolicy::Skip) {
+            Ok(stats) => {
+                Metrics::add(&metrics.events_parsed, 1);
+                Metrics::add(&metrics.tuples_extracted, stats.extracted as u64);
+            }
+            Err(_) => {
+                Metrics::add(&metrics.events_failed, 1);
+            }
+        }
+        if tuples.len() >= config.seal_tuple_watermark
+            || tuples.approximate_bytes() >= config.seal_byte_watermark
+        {
+            let sealed = std::mem::replace(&mut tuples, TupleSet::new(&schema));
+            seal(def, sealed, &merge_tx, metrics);
+        }
+    }
+    // End of stream: seal the partial remainder so nothing is lost.
+    if !tuples.is_empty() {
+        seal(def, tuples, &merge_tx, metrics);
+    }
+}
+
+fn seal(def: &CubeDef, tuples: TupleSet, merge_tx: &Sender<Dwarf>, metrics: &Metrics) {
+    let micro = Dwarf::build(def.schema(), tuples);
+    Metrics::add(&metrics.seals, 1);
+    if merge_tx.send(micro).is_err() {
+        // The merger died (panicked); the worker's own exit will surface it
+        // when the runtime joins the merger thread.
+    }
+}
+
+/// Merger loop: fold sealed micro-cubes, build the global cube once.
+fn run_merger(schema: sc_dwarf::CubeSchema, rx: Receiver<Dwarf>, metrics: &Metrics) -> Dwarf {
+    let mut acc = MergeAccumulator::new(schema);
+    while let Some(micro) = rx.recv() {
+        acc.absorb(&micro);
+        Metrics::add(&metrics.merges, 1);
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_ingest::cube_def::TimeField;
+
+    fn def() -> CubeDef {
+        CubeDef::xml("/stations/station")
+            .timestamp("@updated")
+            .time_dimension("day", TimeField::Day)
+            .dimension("station", "name/text()")
+            .measure("bikes", "bikes/text()")
+            .build()
+            .unwrap()
+    }
+
+    fn feed(day: u8, station: &str, bikes: i64) -> String {
+        format!(
+            r#"<stations updated="2015-11-{day:02}T10:00:00">
+              <station><name>{station}</name><bikes>{bikes}</bikes></station>
+            </stations>"#
+        )
+    }
+
+    #[test]
+    fn empty_stream_produces_empty_cube() {
+        let ingestor = StreamIngestor::new(def(), StreamConfig::with_shards(2));
+        let result = ingestor.finish();
+        assert_eq!(result.cube.tuple_count(), 0);
+        assert_eq!(result.metrics, MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn malformed_payloads_are_counted_not_fatal() {
+        let ingestor = StreamIngestor::new(def(), StreamConfig::with_shards(2));
+        ingestor.ingest(feed(1, "A", 5));
+        ingestor.ingest("<not-even".to_string());
+        ingestor.ingest(feed(2, "B", 7));
+        let result = ingestor.finish();
+        assert_eq!(result.metrics.events_in, 3);
+        assert_eq!(result.metrics.events_parsed, 2);
+        assert_eq!(result.metrics.events_failed, 1);
+        assert_eq!(result.cube.tuple_count(), 2);
+    }
+
+    #[test]
+    fn keyed_ingest_routes_consistently() {
+        // Same key → same shard; with one shard per key's hash the counts
+        // must still add up globally.
+        let ingestor = StreamIngestor::new(def(), StreamConfig::with_shards(3));
+        for day in 1..=9 {
+            ingestor.ingest_keyed("sensor-A", feed(day, "A", i64::from(day)));
+        }
+        let result = ingestor.finish();
+        assert_eq!(result.metrics.events_parsed, 9);
+        assert_eq!(result.cube.tuple_count(), 9);
+    }
+
+    #[test]
+    fn tuple_watermark_seals_micro_cubes() {
+        let config = StreamConfig {
+            shards: 1,
+            seal_tuple_watermark: 2,
+            ..StreamConfig::default()
+        };
+        let ingestor = StreamIngestor::new(def(), config);
+        for day in 1..=5 {
+            ingestor.ingest(feed(day, "A", 1));
+        }
+        let result = ingestor.finish();
+        // 5 tuples at watermark 2 → seals after docs 2 and 4, plus the
+        // final drain seal of the remaining 1.
+        assert_eq!(result.metrics.seals, 3);
+        assert_eq!(result.metrics.merges, 3);
+        assert_eq!(result.cube.tuple_count(), 5);
+    }
+}

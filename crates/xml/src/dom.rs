@@ -231,10 +231,7 @@ mod tests {
         assert_eq!(doc.root.attr("updated"), Some("2016-03-15T10:00:00"));
         let stations: Vec<_> = doc.root.children_named("station").collect();
         assert_eq!(stations.len(), 2);
-        assert_eq!(
-            stations[0].first_child("name").unwrap().text(),
-            "Fenian St"
-        );
+        assert_eq!(stations[0].first_child("name").unwrap().text(), "Fenian St");
         assert_eq!(stations[1].first_child("bikes").unwrap().text(), "11");
     }
 

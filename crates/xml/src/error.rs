@@ -55,7 +55,10 @@ impl fmt::Display for XmlError {
             XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
             XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
             XmlErrorKind::MismatchedTag { expected, found } => {
-                write!(f, "mismatched tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched tag: expected </{expected}>, found </{found}>"
+                )
             }
             XmlErrorKind::UnbalancedClose(name) => {
                 write!(f, "close tag </{name}> without matching open tag")

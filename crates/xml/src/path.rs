@@ -138,9 +138,7 @@ impl Path {
                 break;
             }
             // Element step: name, optional [predicate].
-            let name_end = rest
-                .find(['/', '['])
-                .unwrap_or(rest.len());
+            let name_end = rest.find(['/', '[']).unwrap_or(rest.len());
             let name = &rest[..name_end];
             if name.is_empty() || (name != "*" && !name.chars().all(is_name_char)) {
                 return Err(err(format!("bad step name {name:?}")));

@@ -86,11 +86,9 @@ impl<'a> XmlReader<'a> {
                         ))));
                 }
                 if !self.seen_root {
-                    return Err(self
-                        .scanner
-                        .error(XmlErrorKind::BadDocumentStructure(
-                            "document has no root element".into(),
-                        )));
+                    return Err(self.scanner.error(XmlErrorKind::BadDocumentStructure(
+                        "document has no root element".into(),
+                    )));
                 }
                 self.finished = true;
                 return Ok(XmlEvent::Eof);
@@ -356,8 +354,14 @@ mod tests {
                 XmlEvent::StartElement {
                     name: "a".into(),
                     attributes: vec![
-                        Attribute { name: "x".into(), value: "1".into() },
-                        Attribute { name: "y".into(), value: "2".into() },
+                        Attribute {
+                            name: "x".into(),
+                            value: "1".into()
+                        },
+                        Attribute {
+                            name: "y".into(),
+                            value: "2".into()
+                        },
                     ],
                     self_closing: false,
                 },

@@ -94,7 +94,10 @@ fn main() {
 
     let mut no2 = vec![Selection::All; 5];
     no2[4] = Selection::value("NO2");
-    println!("NO2 readings (sum µg/m³):                   {:?}", air_cube.point(&no2));
+    println!(
+        "NO2 readings (sum µg/m³):                   {:?}",
+        air_cube.point(&no2)
+    );
 
     let mut dublin_auctions = vec![Selection::All; 4];
     dublin_auctions[3] = Selection::value("Dublin");

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: formatting, offline release build, full test suite.
+# Runs with zero network access — the workspace has no external
+# dependencies (criterion benches live in the excluded
+# crates/criterion-benches package).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci.sh: all green"

@@ -14,6 +14,8 @@
 //! * [`relational`] — the embedded MySQL-like store with its SQL subset
 //! * [`core`] — the paper's contribution: the four schema models and the
 //!   bi-directional mapping
+//! * [`stream`] — sharded parallel streaming ingestion (worker pool,
+//!   per-shard micro-cubes, merge)
 //! * [`datagen`] — deterministic synthetic smart-city feeds
 //! * [`xml`], [`json`], [`encoding`], [`storage`] — the substrates
 //!
@@ -29,6 +31,7 @@ pub use sc_json as json;
 pub use sc_nosql as nosql;
 pub use sc_relational as relational;
 pub use sc_storage as storage;
+pub use sc_stream as stream;
 pub use sc_xml as xml;
 
 #[cfg(test)]
@@ -36,10 +39,7 @@ mod tests {
     #[test]
     fn facade_reexports_compile() {
         let schema = crate::dwarf::CubeSchema::new(["d"], "m");
-        let cube = crate::dwarf::Dwarf::build(
-            schema.clone(),
-            crate::dwarf::TupleSet::new(&schema),
-        );
+        let cube = crate::dwarf::Dwarf::build(schema.clone(), crate::dwarf::TupleSet::new(&schema));
         assert!(cube.is_empty());
     }
 }

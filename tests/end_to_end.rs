@@ -105,7 +105,14 @@ fn incremental_update_then_store() {
     let mut delta = smartcube::dwarf::DeltaBuffer::new(cube.schema().clone());
     delta.push(
         [
-            "2015", "11", "01", "09", "Dublin 2", "New Station", "open", "20",
+            "2015",
+            "11",
+            "01",
+            "09",
+            "Dublin 2",
+            "New Station",
+            "open",
+            "20",
         ],
         7,
     );

@@ -71,8 +71,7 @@ fn merged_daily_cubes_equal_one_big_cube() {
         target_tuples: 300,
     };
     // One cube over the whole stream...
-    let mut all_pipeline =
-        smartcube::ingest::StreamPipeline::new(BikesGenerator::cube_def());
+    let mut all_pipeline = smartcube::ingest::StreamPipeline::new(BikesGenerator::cube_def());
     for snap in BikesGenerator::new(make_spec()) {
         all_pipeline.ingest(&snap.xml).unwrap();
     }
