@@ -15,6 +15,8 @@ pub enum CoreError {
     Inconsistent(String),
     /// The requested schema id does not exist in the store.
     UnknownSchema(i64),
+    /// A query named a dimension the cube schema does not have.
+    UnknownDimension(String),
     /// A cube used the reserved ALL key as a real dimension value.
     ReservedKey(String),
 }
@@ -26,6 +28,9 @@ impl fmt::Display for CoreError {
             CoreError::Sql(e) => write!(f, "relational store: {e}"),
             CoreError::Inconsistent(m) => write!(f, "inconsistent store: {m}"),
             CoreError::UnknownSchema(id) => write!(f, "no stored DWARF schema with id {id}"),
+            CoreError::UnknownDimension(name) => {
+                write!(f, "cube schema has no dimension named {name:?}")
+            }
             CoreError::ReservedKey(k) => {
                 write!(
                     f,

@@ -51,5 +51,5 @@ pub use models::{
     StoreReport,
 };
 pub use pipeline::CubeWarehouse;
-pub use store_query::{MinStoreBackedCube, StoreBackedCube};
+pub use store_query::{CubeSelect, MinStoreBackedCube, StoreBackedCube};
 pub use stream_warehouse::StreamWarehouse;

@@ -13,7 +13,8 @@ use crate::mapping::{
 use sc_dwarf::Dwarf;
 use sc_encoding::ByteSize;
 use sc_nosql::cql::ast::{SelectColumns, Statement, TableRef, WhereClause};
-use sc_nosql::{CqlValue, Db};
+use sc_nosql::{CqlValue, Db, OpenOptions};
+use sc_storage::Vfs;
 use std::time::Instant;
 
 const KEYSPACE: &str = "smartcity";
@@ -35,8 +36,15 @@ impl NosqlDwarfModel {
     /// Creates a model over a fresh in-memory engine.
     pub fn in_memory() -> NosqlDwarfModel {
         NosqlDwarfModel {
-            db: Db::in_memory(),
+            db: Db::open(OpenOptions::default()).expect("in-memory open cannot fail"),
         }
+    }
+
+    /// Opens a model over `vfs`, replaying whatever an earlier engine
+    /// persisted there (schema journal, commit log, manifest, SSTables).
+    pub fn open(vfs: Vfs) -> Result<NosqlDwarfModel> {
+        let db = Db::open(OpenOptions::default().vfs(vfs).recover(true))?;
+        Ok(NosqlDwarfModel { db })
     }
 
     /// Creates a model over an existing engine (shared keyspaces).
@@ -56,9 +64,8 @@ impl NosqlDwarfModel {
             where_clause: None,
             limit: None,
         })?;
-        Ok(r.rows
-            .iter()
-            .filter_map(|row| row[0].as_int())
+        Ok(r.iter()
+            .filter_map(|row| row.get_int("id").ok())
             .max()
             .unwrap_or(0)
             + 1)
@@ -74,14 +81,9 @@ impl NosqlDwarfModel {
             }),
             limit: None,
         })?;
-        let row = r.rows.first().ok_or(CoreError::UnknownSchema(schema_id))?;
-        let entry = row[0]
-            .as_int()
-            .ok_or_else(|| CoreError::Inconsistent("entry_node_id not an int".into()))?;
-        let meta = row[1]
-            .as_text()
-            .ok_or_else(|| CoreError::Inconsistent("schema_meta not text".into()))?
-            .to_string();
+        let row = r.first().ok_or(CoreError::UnknownSchema(schema_id))?;
+        let entry = row.get_int("entry_node_id")?;
+        let meta = row.get_text("schema_meta")?.to_string();
         Ok((entry, meta))
     }
 
@@ -374,23 +376,14 @@ impl SchemaModel for NosqlDwarfModel {
             }),
             limit: None,
         })?;
-        let mut cells = Vec::with_capacity(r.rows.len());
-        for row in &r.rows {
+        let mut cells = Vec::with_capacity(r.len());
+        for row in r.rows() {
             cells.push(StoredCell {
-                key: row[0]
-                    .as_text()
-                    .ok_or_else(|| CoreError::Inconsistent("cell key not text".into()))?
-                    .to_string(),
-                measure: row[1]
-                    .as_int()
-                    .ok_or_else(|| CoreError::Inconsistent("cell measure not int".into()))?,
-                parent_node: row[2]
-                    .as_int()
-                    .ok_or_else(|| CoreError::Inconsistent("parentNode not int".into()))?,
-                pointer_node: row[3].as_int(),
-                leaf: row[4]
-                    .as_bool()
-                    .ok_or_else(|| CoreError::Inconsistent("leaf not boolean".into()))?,
+                key: row.get_text("key")?.to_string(),
+                measure: row.get_int("measure")?,
+                parent_node: row.get_int("parentNode")?,
+                pointer_node: row.get_opt_int("pointerNode")?,
+                leaf: row.get_bool("leaf")?,
             });
         }
         let rows = rows_from_cells(&cells, entry, schema.num_dims())?;
@@ -468,12 +461,13 @@ mod tests {
                 report.schema_id
             ))
             .unwrap();
+        let row = r.first().unwrap();
         assert_eq!(
-            r.rows[0][0],
-            CqlValue::Int(report.size.as_mb_rounded() as i64)
+            row.get_int("size_as_mb").unwrap(),
+            report.size.as_mb_rounded() as i64
         );
-        assert_eq!(r.rows[0][1], CqlValue::Int(report.node_rows as i64));
-        assert_eq!(r.rows[0][2], CqlValue::Int(report.cell_rows as i64));
+        assert_eq!(row.get_int("node_count").unwrap(), report.node_rows as i64);
+        assert_eq!(row.get_int("cell_count").unwrap(), report.cell_rows as i64);
     }
 
     #[test]
@@ -504,6 +498,9 @@ mod tests {
             .db_mut()
             .execute_cql("SELECT childrenIds FROM smartcity.dwarf_node LIMIT 1")
             .unwrap();
-        assert!(matches!(r.rows[0][0], CqlValue::IntSet(_)));
+        assert!(matches!(
+            r.rows()[0].get("childrenIds").unwrap(),
+            CqlValue::IntSet(_)
+        ));
     }
 }

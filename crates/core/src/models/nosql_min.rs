@@ -19,7 +19,7 @@ use crate::mapping::{
 use sc_dwarf::Dwarf;
 use sc_encoding::ByteSize;
 use sc_nosql::cql::ast::{SelectColumns, Statement, TableRef, WhereClause};
-use sc_nosql::{CqlValue, Db};
+use sc_nosql::{CqlValue, Db, OpenOptions};
 use std::time::Instant;
 
 const KEYSPACE: &str = "smartcity_min";
@@ -41,7 +41,7 @@ impl NosqlMinModel {
     /// Creates a model over a fresh in-memory engine.
     pub fn in_memory() -> NosqlMinModel {
         NosqlMinModel {
-            db: Db::in_memory(),
+            db: Db::open(OpenOptions::default()).expect("in-memory open cannot fail"),
         }
     }
 
@@ -57,9 +57,8 @@ impl NosqlMinModel {
             where_clause: None,
             limit: None,
         })?;
-        Ok(r.rows
-            .iter()
-            .filter_map(|row| row[0].as_int())
+        Ok(r.iter()
+            .filter_map(|row| row.get_int("id").ok())
             .max()
             .unwrap_or(0)
             + 1)
@@ -75,14 +74,9 @@ impl NosqlMinModel {
             }),
             limit: None,
         })?;
-        let row = r.rows.first().ok_or(CoreError::UnknownSchema(cube_id))?;
-        let entry = row[0]
-            .as_int()
-            .ok_or_else(|| CoreError::Inconsistent("entry_node_id not int".into()))?;
-        let meta = row[1]
-            .as_text()
-            .ok_or_else(|| CoreError::Inconsistent("schema_meta not text".into()))?
-            .to_string();
+        let row = r.first().ok_or(CoreError::UnknownSchema(cube_id))?;
+        let entry = row.get_int("entry_node_id")?;
+        let meta = row.get_text("schema_meta")?.to_string();
         Ok((entry, meta))
     }
 }
@@ -223,23 +217,14 @@ impl SchemaModel for NosqlMinModel {
             }),
             limit: None,
         })?;
-        let mut cells = Vec::with_capacity(r.rows.len());
-        for row in &r.rows {
+        let mut cells = Vec::with_capacity(r.len());
+        for row in r.rows() {
             cells.push(StoredCell {
-                key: row[0]
-                    .as_text()
-                    .ok_or_else(|| CoreError::Inconsistent("item_name not text".into()))?
-                    .to_string(),
-                measure: row[1]
-                    .as_int()
-                    .ok_or_else(|| CoreError::Inconsistent("measure not int".into()))?,
-                parent_node: row[2]
-                    .as_int()
-                    .ok_or_else(|| CoreError::Inconsistent("parentNodeId not int".into()))?,
-                pointer_node: row[3].as_int(),
-                leaf: row[4]
-                    .as_bool()
-                    .ok_or_else(|| CoreError::Inconsistent("leaf not boolean".into()))?,
+                key: row.get_text("item_name")?.to_string(),
+                measure: row.get_int("measure")?,
+                parent_node: row.get_int("parentNodeId")?,
+                pointer_node: row.get_opt_int("childNodeId")?,
+                leaf: row.get_bool("leaf")?,
             });
         }
         let rows = rows_from_cells(&cells, entry, schema.num_dims())?;
@@ -292,7 +277,7 @@ mod tests {
                 "SELECT item_name FROM smartcity_min.dwarf_cell WHERE parentNodeId = {entry}"
             ))
             .unwrap();
-        assert!(!r.rows.is_empty());
+        assert!(!r.is_empty());
     }
 
     #[test]

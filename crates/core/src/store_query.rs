@@ -52,15 +52,9 @@ impl<'a> StoreBackedCube<'a> {
             }),
             limit: None,
         })?;
-        let row = r.rows.first().ok_or(CoreError::UnknownSchema(schema_id))?;
-        let entry_node_id = row[0]
-            .as_int()
-            .ok_or_else(|| CoreError::Inconsistent("entry_node_id not int".into()))?;
-        let schema = decode_schema_meta(
-            row[1]
-                .as_text()
-                .ok_or_else(|| CoreError::Inconsistent("schema_meta not text".into()))?,
-        )?;
+        let row = r.first().ok_or(CoreError::UnknownSchema(schema_id))?;
+        let entry_node_id = row.get_int("entry_node_id")?;
+        let schema = decode_schema_meta(row.get_text("schema_meta")?)?;
         Ok(StoreBackedCube {
             model,
             schema_id,
@@ -90,15 +84,9 @@ impl<'a> StoreBackedCube<'a> {
             limit: None,
         })?;
         let row = r
-            .rows
             .first()
             .ok_or_else(|| CoreError::Inconsistent(format!("node {node_id} missing from store")))?;
-        Ok(row[0]
-            .as_int_set()
-            .ok_or_else(|| CoreError::Inconsistent("childrenIds not a set".into()))?
-            .iter()
-            .copied()
-            .collect())
+        Ok(row.get_int_set("childrenIds")?.iter().copied().collect())
     }
 
     fn fetch_cell(&mut self, cell_id: i64) -> Result<FetchedCell> {
@@ -117,22 +105,31 @@ impl<'a> StoreBackedCube<'a> {
             limit: None,
         })?;
         let row = r
-            .rows
             .first()
             .ok_or_else(|| CoreError::Inconsistent(format!("cell {cell_id} missing from store")))?;
         Ok(FetchedCell {
-            key: row[0]
-                .as_text()
-                .ok_or_else(|| CoreError::Inconsistent("cell key not text".into()))?
-                .to_string(),
-            measure: row[1]
-                .as_int()
-                .ok_or_else(|| CoreError::Inconsistent("cell measure not int".into()))?,
-            pointer_node: row[2].as_int(),
-            leaf: row[3]
-                .as_bool()
-                .ok_or_else(|| CoreError::Inconsistent("cell leaf not boolean".into()))?,
+            key: row.get_text("key")?.to_string(),
+            measure: row.get_int("measure")?,
+            pointer_node: row.get_opt_int("pointerNode")?,
+            leaf: row.get_bool("leaf")?,
         })
+    }
+
+    /// Starts a fluent selection over the stored cube. Dimensions left
+    /// unmentioned default to ALL, so a point query only names what it
+    /// constrains:
+    ///
+    /// ```ignore
+    /// let total = cube.select().dim("station", "Fenian St").run()?;
+    /// let by_city = cube.select().dim("city", "Dublin").all("station").run()?;
+    /// ```
+    pub fn select(&mut self) -> CubeSelect<'_, 'a> {
+        let sel = vec![Selection::All; self.schema.num_dims()];
+        CubeSelect {
+            cube: self,
+            sel,
+            err: None,
+        }
     }
 
     /// Point / group-by query straight off the store (same semantics as
@@ -184,6 +181,58 @@ impl<'a> StoreBackedCube<'a> {
     }
 }
 
+/// A fluent selection being built against a [`StoreBackedCube`].
+///
+/// Every dimension starts at [`Selection::All`]; [`CubeSelect::dim`] pins
+/// one to a value and [`CubeSelect::all`] re-opens it. Naming a dimension
+/// the schema doesn't have is remembered and reported by
+/// [`CubeSelect::run`], so call chains stay unconditional.
+#[derive(Debug)]
+pub struct CubeSelect<'c, 'a> {
+    cube: &'c mut StoreBackedCube<'a>,
+    sel: Vec<Selection>,
+    err: Option<CoreError>,
+}
+
+impl CubeSelect<'_, '_> {
+    fn slot(&mut self, name: &str) -> Option<usize> {
+        match self.cube.schema.dimension_index(name) {
+            Some(i) => Some(i),
+            None => {
+                if self.err.is_none() {
+                    self.err = Some(CoreError::UnknownDimension(name.to_string()));
+                }
+                None
+            }
+        }
+    }
+
+    /// Constrains dimension `name` to exactly `value`.
+    pub fn dim(mut self, name: &str, value: impl Into<String>) -> Self {
+        if let Some(i) = self.slot(name) {
+            self.sel[i] = Selection::Value(value.into());
+        }
+        self
+    }
+
+    /// Resets dimension `name` to ALL (the default), aggregating over it.
+    pub fn all(mut self, name: &str) -> Self {
+        if let Some(i) = self.slot(name) {
+            self.sel[i] = Selection::All;
+        }
+        self
+    }
+
+    /// Executes the traversal; `Ok(None)` means no tuple matched.
+    pub fn run(self) -> Result<Option<i64>> {
+        if let Some(err) = self.err {
+            return Err(err);
+        }
+        let sel = self.sel;
+        self.cube.point(&sel)
+    }
+}
+
 /// Store-backed traversal over the **NoSQL-Min** layout.
 ///
 /// The Min schema stores no node rows, so every traversal step must
@@ -220,15 +269,9 @@ impl<'a> MinStoreBackedCube<'a> {
             }),
             limit: None,
         })?;
-        let row = r.rows.first().ok_or(CoreError::UnknownSchema(cube_id))?;
-        let entry_node_id = row[0]
-            .as_int()
-            .ok_or_else(|| CoreError::Inconsistent("entry_node_id not int".into()))?;
-        let schema = decode_schema_meta(
-            row[1]
-                .as_text()
-                .ok_or_else(|| CoreError::Inconsistent("schema_meta not text".into()))?,
-        )?;
+        let row = r.first().ok_or(CoreError::UnknownSchema(cube_id))?;
+        let entry_node_id = row.get_int("entry_node_id")?;
+        let schema = decode_schema_meta(row.get_text("schema_meta")?)?;
         Ok(MinStoreBackedCube {
             model,
             schema,
@@ -261,20 +304,13 @@ impl<'a> MinStoreBackedCube<'a> {
             }),
             limit: None,
         })?;
-        let mut out = Vec::with_capacity(r.rows.len());
-        for row in &r.rows {
+        let mut out = Vec::with_capacity(r.len());
+        for row in r.rows() {
             out.push(FetchedCell {
-                key: row[0]
-                    .as_text()
-                    .ok_or_else(|| CoreError::Inconsistent("item_name not text".into()))?
-                    .to_string(),
-                measure: row[1]
-                    .as_int()
-                    .ok_or_else(|| CoreError::Inconsistent("measure not int".into()))?,
-                pointer_node: row[2].as_int(),
-                leaf: row[3]
-                    .as_bool()
-                    .ok_or_else(|| CoreError::Inconsistent("leaf not bool".into()))?,
+                key: row.get_text("item_name")?.to_string(),
+                measure: row.get_int("measure")?,
+                pointer_node: row.get_opt_int("childNodeId")?,
+                leaf: row.get_bool("leaf")?,
             });
         }
         Ok(out)
@@ -380,6 +416,38 @@ mod tests {
         for sel in cases {
             assert_eq!(sbc.point(&sel).unwrap(), c.point(&sel), "selection {sel:?}");
         }
+    }
+
+    #[test]
+    fn fluent_select_matches_point_queries() {
+        let c = cube();
+        let mut model = NosqlDwarfModel::in_memory();
+        model.create_schema().unwrap();
+        let report = model.store(&MappedDwarf::new(&c), &c, false).unwrap();
+        let mut sbc = StoreBackedCube::open(&mut model, report.schema_id).unwrap();
+
+        // Unmentioned dimensions default to ALL.
+        assert_eq!(sbc.select().run().unwrap(), Some(17));
+        assert_eq!(
+            sbc.select()
+                .dim("country", "Ireland")
+                .dim("city", "Dublin")
+                .dim("station", "Fenian St")
+                .run()
+                .unwrap(),
+            Some(3)
+        );
+        assert_eq!(sbc.select().dim("city", "Dublin").run().unwrap(), Some(8));
+        // `all` re-opens a previously pinned dimension.
+        assert_eq!(
+            sbc.select().dim("city", "Cork").all("city").run().unwrap(),
+            Some(17)
+        );
+        assert_eq!(sbc.select().dim("station", "Nowhere").run().unwrap(), None);
+        assert!(matches!(
+            sbc.select().dim("planet", "Earth").run(),
+            Err(CoreError::UnknownDimension(name)) if name == "planet"
+        ));
     }
 
     #[test]

@@ -89,13 +89,20 @@ impl CommitLog {
     /// Replays all intact records; a torn or corrupt tail ends the replay
     /// without error (standard commit-log semantics).
     pub fn replay(&self) -> Result<Vec<LogRecord>> {
+        Ok(self.replay_with_len()?.0)
+    }
+
+    /// [`CommitLog::replay`], also returning the byte length of the valid
+    /// prefix (where the torn tail, if any, begins).
+    pub fn replay_with_len(&self) -> Result<(Vec<LogRecord>, u64)> {
         let data = match self.vfs.read_all(&self.file) {
             Ok(d) => d,
-            Err(sc_storage::StorageError::NotFound(_)) => return Ok(Vec::new()),
+            Err(sc_storage::StorageError::NotFound(_)) => return Ok((Vec::new(), 0)),
             Err(e) => return Err(e.into()),
         };
         let mut out = Vec::new();
         let mut dec = Decoder::new(&data);
+        let mut good_len = 0u64;
         while dec.remaining() >= 8 {
             let len = dec.get_u32_fixed()? as usize;
             let crc = dec.get_u32_fixed()?;
@@ -117,8 +124,22 @@ impl CommitLog {
                 body,
                 timestamp,
             });
+            good_len = (data.len() - dec.remaining()) as u64;
         }
-        Ok(out)
+        Ok((out, good_len))
+    }
+
+    /// Replays the log and physically truncates any torn tail off the file.
+    ///
+    /// Replay alone is not enough: if the tear stayed on disk, the next
+    /// appended record would land *after* it and be unreachable on the next
+    /// replay — an acknowledged write silently lost one crash later.
+    pub fn repair(&self) -> Result<Vec<LogRecord>> {
+        let (records, good_len) = self.replay_with_len()?;
+        if self.size() > good_len {
+            self.vfs.truncate(&self.file, good_len)?;
+        }
+        Ok(records)
     }
 }
 
@@ -175,6 +196,22 @@ mod tests {
         vfs.delete("log").unwrap();
         vfs.append("log", &data).unwrap();
         assert!(log.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn repair_truncates_torn_tail_physically() {
+        let vfs = Vfs::memory();
+        let log = CommitLog::open(vfs.clone(), "log");
+        log.append(&rec(1)).unwrap();
+        let good = vfs.len("log").unwrap();
+        log.append(&rec(2)).unwrap();
+        vfs.truncate("log", vfs.len("log").unwrap() - 3).unwrap();
+        assert_eq!(log.repair().unwrap(), vec![rec(1)]);
+        assert_eq!(log.size(), good, "torn bytes removed from disk");
+        // Regression: without the physical truncation, this append would
+        // land beyond the tear and be unreachable on the next replay.
+        log.append(&rec(3)).unwrap();
+        assert_eq!(log.replay().unwrap(), vec![rec(1), rec(3)]);
     }
 
     #[test]

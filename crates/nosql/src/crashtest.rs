@@ -1,0 +1,374 @@
+//! Deterministic crash-matrix harness: simulated power loss at every
+//! mutating storage operation.
+//!
+//! A seeded workload drives an engine — puts, deletes, flushes, compactions
+//! — over a fault-injecting VFS ([`Vfs::with_faults`]). For each crash point
+//! the harness arms a crash at that mutating-op index, runs the workload
+//! until the injected failure, then "restarts" (disarm + recover) and checks
+//! the recovered state against an oracle of acknowledged writes:
+//!
+//! * every write acknowledged before the crash must be readable,
+//! * nothing else may appear — **except** the single in-flight statement,
+//!   which may or may not have become durable (its ack was lost; a real
+//!   client faces the same ambiguity),
+//! * a post-recovery flush + compaction must not change the state,
+//! * a second recovery must reproduce the state again.
+//!
+//! [`sweep`] runs the whole matrix; `repro crashtest` exposes it on the
+//! command line.
+
+use crate::engine::{Db, OpenOptions};
+use crate::error::{NosqlError, Result};
+use sc_encoding::Rng;
+use sc_storage::{StorageError, Vfs};
+use std::collections::BTreeMap;
+
+/// Statements per workload run (tuned so a run performs well over 100
+/// mutating storage ops at the tiny flush threshold the harness uses).
+pub const WORKLOAD_STEPS: usize = 140;
+
+/// Ids the workload writes over (small, so overwrites and deletes are
+/// frequent and compaction has real work).
+const KEY_SPACE: u64 = 40;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Put { id: i64, v: String },
+    Delete { id: i64 },
+    Flush,
+    Compact,
+}
+
+/// The seeded statement sequence. Identical for every crash point of a
+/// sweep — only the crash index varies — so op indices line up across runs.
+fn workload(seed: u64) -> Vec<Step> {
+    let mut rng = Rng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    (0..WORKLOAD_STEPS)
+        .map(|i| {
+            let roll = rng.gen_range(100);
+            let id = rng.gen_range(KEY_SPACE) as i64;
+            if roll < 76 {
+                Step::Put {
+                    id,
+                    v: format!("v{i}k{id}"),
+                }
+            } else if roll < 88 {
+                Step::Delete { id }
+            } else if roll < 95 {
+                Step::Flush
+            } else {
+                Step::Compact
+            }
+        })
+        .collect()
+}
+
+fn tiny_open(vfs: Vfs) -> OpenOptions {
+    OpenOptions::default()
+        .vfs(vfs)
+        .memtable_flush_bytes(512)
+        .compaction_threshold(3)
+}
+
+/// The statement that was executing when the crash fired.
+#[derive(Debug, Clone, PartialEq)]
+enum InFlight {
+    /// A put (`Some`) or delete (`None`) whose ack was lost; it may or may
+    /// not have reached the commit log intact.
+    Write { id: i64, row: Option<String> },
+    /// Flush or compaction — changes no logical state either way.
+    Neutral,
+    /// Schema DDL; the table may or may not exist after recovery.
+    Ddl,
+}
+
+struct RunResult {
+    /// Last acknowledged write per id (`None` = acknowledged delete).
+    acked: BTreeMap<i64, Option<String>>,
+    /// `Some` iff the crash fired mid-run.
+    in_flight: Option<InFlight>,
+}
+
+fn is_injected(e: &NosqlError) -> bool {
+    matches!(e, NosqlError::Storage(StorageError::Injected { .. }))
+}
+
+/// Runs the workload until completion or the first injected failure,
+/// tracking the acked-write oracle. Any non-injected error is a real bug.
+fn drive(db: &mut Db, seed: u64) -> Result<RunResult> {
+    let mut acked: BTreeMap<i64, Option<String>> = BTreeMap::new();
+    for ddl in [
+        "CREATE KEYSPACE m",
+        "CREATE TABLE m.t (id int, v text, PRIMARY KEY (id))",
+    ] {
+        if let Err(e) = db.execute_cql(ddl) {
+            if is_injected(&e) {
+                return Ok(RunResult {
+                    acked,
+                    in_flight: Some(InFlight::Ddl),
+                });
+            }
+            return Err(e);
+        }
+    }
+    for step in workload(seed) {
+        let (outcome, in_flight) = match &step {
+            Step::Put { id, v } => (
+                db.execute_cql(&format!("INSERT INTO m.t (id, v) VALUES ({id}, '{v}')"))
+                    .map(drop),
+                InFlight::Write {
+                    id: *id,
+                    row: Some(v.clone()),
+                },
+            ),
+            Step::Delete { id } => (
+                db.execute_cql(&format!("DELETE FROM m.t WHERE id = {id}"))
+                    .map(drop),
+                InFlight::Write { id: *id, row: None },
+            ),
+            Step::Flush => (db.flush_all(), InFlight::Neutral),
+            Step::Compact => (db.compact_all(), InFlight::Neutral),
+        };
+        match outcome {
+            Ok(()) => {
+                if let InFlight::Write { id, row } = in_flight {
+                    acked.insert(id, row);
+                }
+            }
+            Err(e) if is_injected(&e) => {
+                return Ok(RunResult {
+                    acked,
+                    in_flight: Some(in_flight),
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(RunResult {
+        acked,
+        in_flight: None,
+    })
+}
+
+/// Full table read; `None` when the table itself never became durable.
+/// Errors on duplicate ids — recovery must never resurrect two versions.
+fn read_state(db: &mut Db) -> Result<Option<BTreeMap<i64, String>>> {
+    let r = match db.execute_cql("SELECT id, v FROM m.t") {
+        Ok(r) => r,
+        Err(NosqlError::UnknownKeyspace(_)) | Err(NosqlError::UnknownTable(_)) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut map = BTreeMap::new();
+    let total = r.len();
+    for row in r.rows() {
+        let id = row.get_int("id")?;
+        let v = row.get_text("v")?.to_string();
+        map.insert(id, v);
+    }
+    if map.len() != total {
+        return Err(NosqlError::Corrupt(format!(
+            "duplicate row ids after recovery ({total} rows, {} distinct)",
+            map.len()
+        )));
+    }
+    Ok(Some(map))
+}
+
+fn materialize(acked: &BTreeMap<i64, Option<String>>) -> BTreeMap<i64, String> {
+    acked
+        .iter()
+        .filter_map(|(k, v)| v.clone().map(|v| (*k, v)))
+        .collect()
+}
+
+/// Asserts the recovered state is exactly the acked writes, or the acked
+/// writes plus the in-flight one. Returns whether the in-flight write
+/// turned out durable.
+fn check_state(
+    recovered: &Option<BTreeMap<i64, String>>,
+    run: &RunResult,
+    context: &str,
+) -> Result<bool> {
+    let Some(state) = recovered else {
+        // No table at all is legal only if not even the DDL was acked.
+        if run.acked.is_empty() && run.in_flight == Some(InFlight::Ddl) {
+            return Ok(false);
+        }
+        return Err(NosqlError::Corrupt(format!(
+            "{context}: table lost despite acknowledged writes"
+        )));
+    };
+    if *state == materialize(&run.acked) {
+        return Ok(false);
+    }
+    if let Some(InFlight::Write { id, row }) = &run.in_flight {
+        let mut with = run.acked.clone();
+        with.insert(*id, row.clone());
+        if *state == materialize(&with) {
+            return Ok(true);
+        }
+    }
+    Err(NosqlError::Corrupt(format!(
+        "{context}: recovered state diverges from the acknowledged writes"
+    )))
+}
+
+/// What one crash-matrix cell observed.
+#[derive(Debug, Clone, Copy)]
+pub struct PointOutcome {
+    /// Whether the armed crash actually fired (it always does for indices
+    /// below the workload's total op count).
+    pub fired: bool,
+    /// Whether the unacknowledged in-flight write turned out durable.
+    pub in_flight_survived: bool,
+}
+
+/// Runs one cell of the matrix: crash at mutating-op index `crash_at`,
+/// recover, verify, flush+compact, verify, recover again, verify.
+pub fn run_point(seed: u64, crash_at: u64) -> Result<PointOutcome> {
+    let fault_seed = seed ^ crash_at.wrapping_mul(0x6a09_e667_f3bc_c909);
+    let (vfs, handle) = Vfs::with_faults(Vfs::memory(), fault_seed);
+    // Arm before opening: even `Db::open`'s own manifest marker (op 0) is a
+    // valid crash point.
+    handle.crash_at(crash_at);
+    let run = match Db::open(tiny_open(vfs.clone())) {
+        Ok(mut db) => drive(&mut db, seed)?,
+        Err(e) if is_injected(&e) => RunResult {
+            acked: BTreeMap::new(),
+            in_flight: Some(InFlight::Ddl),
+        },
+        Err(e) => return Err(e),
+    };
+    let fired = handle.crashed_at().is_some();
+    handle.disarm();
+
+    // Restart 1: recover over the surviving bytes.
+    let mut db = Db::open(tiny_open(vfs.clone()).recover(true))?;
+    let recovered = read_state(&mut db)?;
+    let in_flight_survived = check_state(&recovered, &run, "after recovery")?;
+
+    // The recovered engine must keep working: a flush + full compaction
+    // round-trip may not change what is readable.
+    if recovered.is_some() {
+        db.flush_all()?;
+        db.compact_all()?;
+        let after = read_state(&mut db)?;
+        if after != recovered {
+            return Err(NosqlError::Corrupt(
+                "flush+compact changed the recovered state".into(),
+            ));
+        }
+    }
+    drop(db);
+
+    // Restart 2: recovery is idempotent.
+    let mut db = Db::open(tiny_open(vfs).recover(true))?;
+    if read_state(&mut db)? != recovered {
+        return Err(NosqlError::Corrupt("second recovery diverged".into()));
+    }
+    Ok(PointOutcome {
+        fired,
+        in_flight_survived,
+    })
+}
+
+/// Mutating storage ops the full (uninjected) workload performs.
+pub fn total_ops(seed: u64) -> Result<u64> {
+    let (vfs, handle) = Vfs::with_faults(Vfs::memory(), seed);
+    let mut db = Db::open(tiny_open(vfs))?;
+    drive(&mut db, seed)?;
+    Ok(handle.ops())
+}
+
+/// Sweep summary.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// Workload seed.
+    pub seed: u64,
+    /// Mutating ops the full workload performs.
+    pub total_ops: u64,
+    /// Distinct crash points exercised.
+    pub points_tested: usize,
+    /// Points where the armed crash actually fired.
+    pub crashes_fired: usize,
+    /// Points where the unacknowledged in-flight write turned out durable
+    /// (torn write that happened to complete).
+    pub in_flight_survived: usize,
+}
+
+/// Runs the crash matrix: every mutating-op index when `limit` is `None`,
+/// otherwise `limit` indices evenly spaced across the workload.
+pub fn sweep(seed: u64, limit: Option<usize>) -> Result<CrashReport> {
+    let total = total_ops(seed)?;
+    let points: Vec<u64> = match limit {
+        Some(n) if (n as u64) < total => (0..n as u64).map(|i| i * total / n as u64).collect(),
+        _ => (0..total).collect(),
+    };
+    let mut report = CrashReport {
+        seed,
+        total_ops: total,
+        points_tested: points.len(),
+        crashes_fired: 0,
+        in_flight_survived: 0,
+    };
+    for &point in &points {
+        let outcome = run_point(seed, point)
+            .map_err(|e| NosqlError::Corrupt(format!("crash point {point}: {e}")))?;
+        if outcome.fired {
+            report.crashes_fired += 1;
+        }
+        if outcome.in_flight_survived {
+            report.in_flight_survived += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_mixed() {
+        let a = workload(5);
+        let b = workload(5);
+        assert_eq!(a.len(), b.len());
+        let puts = a.iter().filter(|s| matches!(s, Step::Put { .. })).count();
+        let deletes = a
+            .iter()
+            .filter(|s| matches!(s, Step::Delete { .. }))
+            .count();
+        let flushes = a.iter().filter(|s| matches!(s, Step::Flush)).count();
+        assert!(puts > 50 && deletes > 5 && flushes > 2);
+    }
+
+    #[test]
+    fn workload_generates_enough_crash_points() {
+        assert!(
+            total_ops(1).unwrap() >= 100,
+            "ops {}",
+            total_ops(1).unwrap()
+        );
+    }
+
+    #[test]
+    fn early_and_late_points_pass() {
+        // The full matrix runs in tests/crash_matrix.rs; smoke a few cells
+        // here, including DDL-time crashes.
+        let total = total_ops(2).unwrap();
+        for point in [0, 1, 2, total / 2, total - 1] {
+            let outcome = run_point(2, point).unwrap();
+            assert!(outcome.fired, "crash at {point} must fire");
+        }
+    }
+
+    #[test]
+    fn uninjected_run_recovers_exactly() {
+        // Crash point beyond the op count: nothing fires, recovery must
+        // reproduce the full acked state.
+        let total = total_ops(3).unwrap();
+        let outcome = run_point(3, total + 10).unwrap();
+        assert!(!outcome.fired);
+        assert!(!outcome.in_flight_survived);
+    }
+}

@@ -4,36 +4,89 @@ use crate::commitlog::CommitLog;
 use crate::cql::ast::{SelectColumns, Statement, TableRef, WhereClause};
 use crate::cql::parse_statement;
 use crate::error::{NosqlError, Result};
+use crate::manifest::{Manifest, ManifestEdit};
+use crate::result::QueryResult;
 use crate::row::Row;
 use crate::schema::{Catalog, ColumnDef, TableDef};
 use crate::table::{TableOptions, TableRuntime};
 use crate::types::{CqlType, CqlValue};
 use sc_encoding::ByteSize;
 use sc_storage::Vfs;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// Engine construction options.
+/// Engine construction options (legacy shape, kept for the deprecated
+/// constructors; new code uses [`OpenOptions`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DbOptions {
     /// Per-table flush/compaction tuning.
     pub table: TableOptions,
 }
 
-/// Rows returned by a SELECT.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QueryResult {
-    /// Projected column names.
-    pub columns: Vec<String>,
-    /// Result rows aligned with `columns`.
-    pub rows: Vec<Vec<CqlValue>>,
+/// Builder for [`Db::open`], the single way to construct an engine.
+///
+/// ```
+/// use sc_nosql::{Db, OpenOptions};
+///
+/// let db = Db::open(OpenOptions::default()).unwrap(); // fresh, in-memory
+/// # drop(db);
+/// ```
+///
+/// Reopening an existing disk runs full crash recovery:
+///
+/// ```no_run
+/// # use sc_nosql::{Db, OpenOptions};
+/// # let vfs = sc_storage::Vfs::memory();
+/// let db = Db::open(OpenOptions::default().vfs(vfs).recover(true)).unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OpenOptions {
+    vfs: Option<Vfs>,
+    recover: bool,
+    table: TableOptions,
 }
 
-impl QueryResult {
-    fn empty() -> QueryResult {
-        QueryResult {
-            columns: Vec::new(),
-            rows: Vec::new(),
-        }
+impl OpenOptions {
+    /// Starts from the defaults: fresh in-memory VFS, no recovery, default
+    /// flush/compaction tuning.
+    pub fn new() -> OpenOptions {
+        OpenOptions::default()
+    }
+
+    /// Opens over an explicit VFS (defaults to a fresh in-memory one).
+    pub fn vfs(mut self, vfs: Vfs) -> OpenOptions {
+        self.vfs = Some(vfs);
+        self
+    }
+
+    /// Runs crash recovery on open: schema-journal replay (with torn-tail
+    /// repair), manifest-ordered SSTable attach, orphan-file sweep, and
+    /// commit-log replay (with torn-tail repair).
+    pub fn recover(mut self, recover: bool) -> OpenOptions {
+        self.recover = recover;
+        self
+    }
+
+    /// Memtable bytes that trigger a flush.
+    pub fn memtable_flush_bytes(mut self, bytes: usize) -> OpenOptions {
+        self.table.memtable_flush_bytes = bytes;
+        self
+    }
+
+    /// SSTable count that triggers compaction.
+    pub fn compaction_threshold(mut self, count: usize) -> OpenOptions {
+        self.table.compaction_threshold = count;
+        self
+    }
+
+    /// Sets the whole per-table tuning block at once.
+    pub fn table_options(mut self, table: TableOptions) -> OpenOptions {
+        self.table = table;
+        self
+    }
+
+    /// Builds the engine; sugar for [`Db::open`].
+    pub fn open(self) -> Result<Db> {
+        Db::open(self)
     }
 }
 
@@ -41,6 +94,7 @@ impl QueryResult {
 #[derive(Debug)]
 pub struct Db {
     vfs: Vfs,
+    manifest: Manifest,
     catalog: Catalog,
     tables: HashMap<String, TableRuntime>,
     log: CommitLog,
@@ -52,61 +106,144 @@ const SCHEMA_LOG: &str = "schema.log";
 const COMMIT_LOG: &str = "commitlog";
 
 impl Db {
-    /// Creates an engine over an in-memory VFS (tests, benchmarks).
-    pub fn in_memory() -> Db {
-        Db::with_options(Vfs::memory(), DbOptions::default())
-    }
-
-    /// Creates an engine over an explicit VFS.
-    pub fn with_options(vfs: Vfs, options: DbOptions) -> Db {
+    /// Opens an engine per `options`. Without `.recover(true)` the VFS is
+    /// assumed empty; with it, the on-disk state is replayed and repaired.
+    pub fn open(options: OpenOptions) -> Result<Db> {
+        let vfs = options.vfs.unwrap_or_else(Vfs::memory);
+        let manifest = Manifest::open(vfs.clone());
         let log = CommitLog::open(vfs.clone(), COMMIT_LOG);
-        Db {
+        let mut db = Db {
             vfs,
+            manifest,
             catalog: Catalog::new(),
             tables: HashMap::new(),
             log,
             clock: 0,
-            options,
+            options: DbOptions {
+                table: options.table,
+            },
+        };
+        if options.recover {
+            db.recover_state()?;
         }
+        // Mark the disk as manifest-managed from the very first open, so a
+        // crash during the first flush can never be mistaken for a
+        // pre-manifest layout.
+        db.manifest.ensure_exists()?;
+        Ok(db)
     }
 
-    /// Reopens an engine from an existing VFS: replays the schema journal,
-    /// reopens SSTables (via fresh flushes they were already on disk — the
-    /// catalog replay recreates runtimes) and replays the commit log into
-    /// memtables.
+    /// Creates an engine over an in-memory VFS (tests, benchmarks).
+    #[deprecated(note = "use `Db::open(OpenOptions::default())`")]
+    pub fn in_memory() -> Db {
+        Db::open(OpenOptions::default()).expect("opening a fresh in-memory engine cannot fail")
+    }
+
+    /// Creates an engine over an explicit VFS.
+    #[deprecated(note = "use `Db::open(OpenOptions::default().vfs(vfs))`")]
+    pub fn with_options(vfs: Vfs, options: DbOptions) -> Db {
+        Db::open(OpenOptions::default().vfs(vfs).table_options(options.table))
+            .expect("opening without recovery cannot fail")
+    }
+
+    /// Reopens an engine from an existing VFS.
+    #[deprecated(note = "use `Db::open(OpenOptions::default().vfs(vfs).recover(true))`")]
     pub fn recover(vfs: Vfs, options: DbOptions) -> Result<Db> {
-        let mut db = Db::with_options(vfs.clone(), options);
-        // Replay DDL.
-        if let Ok(schema) = vfs.read_all(SCHEMA_LOG) {
-            let text = String::from_utf8(schema)
-                .map_err(|_| NosqlError::Corrupt("schema journal is not UTF-8".into()))?;
-            for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                let stmt = parse_statement(line)?;
-                db.apply_ddl(&stmt, false)?;
+        Db::open(
+            OpenOptions::default()
+                .vfs(vfs)
+                .table_options(options.table)
+                .recover(true),
+        )
+    }
+
+    /// Crash recovery: rebuild catalog and runtimes from the journals,
+    /// repairing every torn tail and sweeping unpublished files, so that the
+    /// reopened engine contains exactly the acknowledged writes.
+    fn recover_state(&mut self) -> Result<()> {
+        self.replay_schema_journal()?;
+        // Disks written before the manifest existed have SSTables but no
+        // MANIFEST: adopt them in name order and publish that as the first
+        // manifest record.
+        if !self.manifest.exists() {
+            self.adopt_legacy_sstables()?;
+        }
+        let live = self.manifest.repair()?;
+        for (qualified, files) in &live {
+            if let Some(rt) = self.tables.get_mut(qualified) {
+                // Manifest order is age order — not name order, because a
+                // tiered merge's output sits mid-sequence in age.
+                for file in files {
+                    rt.attach_sstable(file)?;
+                }
             }
         }
-        // Reattach SSTables that already exist on disk.
-        for (qualified, rt) in &mut db.tables {
-            let prefix = {
-                let def = rt.def();
-                format!("{}/{}/sst-", def.keyspace, def.name)
-            };
-            for file in vfs.list(&prefix)? {
-                rt.attach_sstable(&file)?;
-            }
-            let _ = qualified;
-        }
-        // Replay surviving commit-log records.
-        let records = db.log.replay()?;
+        self.sweep_orphans(&live)?;
+        // Replay surviving commit-log records; `repair` truncates a torn
+        // final record so later appends stay reachable.
+        let records = self.log.repair()?;
         let mut max_ts = 0;
         for record in records {
             max_ts = max_ts.max(record.timestamp);
-            if let Some(rt) = db.tables.get_mut(&record.table) {
+            if let Some(rt) = self.tables.get_mut(&record.table) {
                 rt.apply_log_record(record)?;
             }
         }
-        db.clock = max_ts + 1;
-        Ok(db)
+        self.clock = max_ts + 1;
+        Ok(())
+    }
+
+    /// Replays DDL from the schema journal. The journal is line-framed; a
+    /// crash mid-append leaves a trailing segment without a terminating
+    /// newline, which is truncated away. A *complete* line that fails to
+    /// parse is genuine corruption and still errors.
+    fn replay_schema_journal(&mut self) -> Result<()> {
+        let data = match self.vfs.read_all(SCHEMA_LOG) {
+            Ok(d) => d,
+            Err(sc_storage::StorageError::NotFound(_)) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let good_len = data.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        if good_len < data.len() {
+            self.vfs.truncate(SCHEMA_LOG, good_len as u64)?;
+        }
+        let text = std::str::from_utf8(&data[..good_len])
+            .map_err(|_| NosqlError::Corrupt("schema journal is not UTF-8".into()))?;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let stmt = parse_statement(line)?;
+            self.apply_ddl(&stmt, false)?;
+        }
+        Ok(())
+    }
+
+    /// Adopts pre-manifest SSTables (best available order: file name).
+    fn adopt_legacy_sstables(&mut self) -> Result<()> {
+        let mut edit = ManifestEdit::default();
+        let qualified_names: Vec<String> = self.tables.keys().cloned().collect();
+        for qualified in qualified_names {
+            let prefix = {
+                let def = self.tables[&qualified].def();
+                format!("{}/{}/sst-", def.keyspace, def.name)
+            };
+            for file in self.vfs.list(&prefix)? {
+                edit.adds.push((qualified.clone(), file));
+            }
+        }
+        self.manifest.commit(&edit)?;
+        Ok(())
+    }
+
+    /// Deletes SSTable files the manifest does not consider live: leftovers
+    /// of flushes/compactions that crashed between writing data and
+    /// publishing it, or after publishing a swap but before deleting inputs.
+    fn sweep_orphans(&mut self, live: &BTreeMap<String, Vec<String>>) -> Result<()> {
+        let live_files: HashSet<&str> = live.values().flatten().map(String::as_str).collect();
+        for file in self.vfs.list("")? {
+            if file.contains("/sst-") && !live_files.contains(file.as_str()) {
+                self.vfs.delete(&file)?;
+            }
+        }
+        Ok(())
     }
 
     fn next_ts(&mut self) -> u64 {
@@ -205,7 +342,12 @@ impl Db {
                 self.catalog.create_table(def.clone())?;
                 self.tables.insert(
                     def.qualified_name(),
-                    TableRuntime::new(def, self.vfs.clone(), self.options.table),
+                    TableRuntime::new(
+                        def,
+                        self.vfs.clone(),
+                        self.manifest.clone(),
+                        self.options.table,
+                    ),
                 );
             }
             Statement::CreateIndex { table, column } => {
@@ -261,7 +403,12 @@ impl Db {
         )?;
         self.tables.insert(
             idx_def.qualified_name(),
-            TableRuntime::new(idx_def.clone(), self.vfs.clone(), self.options.table),
+            TableRuntime::new(
+                idx_def.clone(),
+                self.vfs.clone(),
+                self.manifest.clone(),
+                self.options.table,
+            ),
         );
         self.catalog.create_table(idx_def)?;
         self.catalog
@@ -530,13 +677,32 @@ impl Db {
         let rebuild = |db: &mut Db, name: &str| -> Result<()> {
             let qualified = format!("{}.{}", def.keyspace, name);
             let fresh_def = (**db.catalog.table(&def.keyspace, name)?).clone();
-            let prefix = format!("{}/{}/sst-", def.keyspace, name);
-            for f in db.vfs.list(&prefix)? {
-                db.vfs.delete(&f)?;
+            // Retire the files from the manifest first (one atomic record):
+            // a crash mid-delete then leaves orphans for recovery to sweep,
+            // never a manifest pointing at half-deleted tables.
+            let files = db
+                .tables
+                .get(&qualified)
+                .map(|rt| rt.sstable_files())
+                .unwrap_or_default();
+            db.manifest.commit(&ManifestEdit {
+                adds: Vec::new(),
+                removes: files
+                    .iter()
+                    .map(|f| (qualified.clone(), f.clone()))
+                    .collect(),
+            })?;
+            for f in &files {
+                db.vfs.delete(f)?;
             }
             db.tables.insert(
                 qualified,
-                TableRuntime::new(fresh_def, db.vfs.clone(), db.options.table),
+                TableRuntime::new(
+                    fresh_def,
+                    db.vfs.clone(),
+                    db.manifest.clone(),
+                    db.options.table,
+                ),
             );
             Ok(())
         };
@@ -615,10 +781,10 @@ impl Db {
             rows.truncate(n);
         }
         if matches!(columns, SelectColumns::Count) {
-            return Ok(QueryResult {
-                columns: vec!["count".to_string()],
-                rows: vec![vec![CqlValue::Int(rows.len() as i64)]],
-            });
+            return Ok(QueryResult::new(
+                vec!["count".to_string()],
+                vec![vec![CqlValue::Int(rows.len() as i64)]],
+            ));
         }
         let (names, indices): (Vec<String>, Vec<usize>) = match columns {
             SelectColumns::Count => unreachable!("handled above"),
@@ -644,10 +810,7 @@ impl Db {
             .into_iter()
             .map(|r| indices.iter().map(|&i| r.values[i].clone()).collect())
             .collect();
-        Ok(QueryResult {
-            columns: names,
-            rows: projected,
-        })
+        Ok(QueryResult::new(names, projected))
     }
 
     /// Flushes every memtable to disk and truncates the commit log (its
@@ -703,7 +866,7 @@ mod tests {
     use super::*;
 
     fn setup() -> Db {
-        let mut db = Db::in_memory();
+        let mut db = Db::open(OpenOptions::default()).unwrap();
         db.execute_cql("CREATE KEYSPACE ks").unwrap();
         db.execute_cql(
             "CREATE TABLE ks.cells (id int, key text, parent int, leaf boolean, \
@@ -724,9 +887,9 @@ mod tests {
         let r = db
             .execute_cql("SELECT key, kids FROM ks.cells WHERE id = 3")
             .unwrap();
-        assert_eq!(r.columns, vec!["key", "kids"]);
+        assert_eq!(r.columns(), vec!["key", "kids"]);
         assert_eq!(
-            r.rows,
+            r.rows(),
             vec![vec![
                 CqlValue::Text("Fenian St".into()),
                 CqlValue::int_set([4, 5])
@@ -744,7 +907,7 @@ mod tests {
         let r = db
             .execute_cql("SELECT key FROM ks.cells WHERE id = 1")
             .unwrap();
-        assert_eq!(r.rows, vec![vec![CqlValue::Text("new".into())]]);
+        assert_eq!(r.rows(), vec![vec![CqlValue::Text("new".into())]]);
     }
 
     #[test]
@@ -755,7 +918,7 @@ mod tests {
         let r = db
             .execute_cql("SELECT key, leaf FROM ks.cells WHERE id = 9")
             .unwrap();
-        assert_eq!(r.rows, vec![vec![CqlValue::Null, CqlValue::Null]]);
+        assert_eq!(r.rows(), vec![vec![CqlValue::Null, CqlValue::Null]]);
     }
 
     #[test]
@@ -789,7 +952,7 @@ mod tests {
         let r = db
             .execute_cql("SELECT id FROM ks.cells WHERE parent = 1")
             .unwrap();
-        let mut ids: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let mut ids: Vec<i64> = r.iter().map(|row| row.get_int("id").unwrap()).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 4, 7]);
     }
@@ -803,7 +966,7 @@ mod tests {
         let r = db
             .execute_cql("SELECT id FROM ks.cells WHERE parent = 42")
             .unwrap();
-        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.len(), 1);
     }
 
     #[test]
@@ -817,12 +980,10 @@ mod tests {
         assert!(db
             .execute_cql("SELECT id FROM ks.cells WHERE parent = 10")
             .unwrap()
-            .rows
             .is_empty());
         assert_eq!(
             db.execute_cql("SELECT id FROM ks.cells WHERE parent = 20")
                 .unwrap()
-                .rows
                 .len(),
             1
         );
@@ -830,7 +991,6 @@ mod tests {
         assert!(db
             .execute_cql("SELECT id FROM ks.cells WHERE parent = 20")
             .unwrap()
-            .rows
             .is_empty());
     }
 
@@ -847,7 +1007,6 @@ mod tests {
         assert!(db
             .execute_cql("SELECT id FROM ks.cells WHERE parent = 0")
             .unwrap()
-            .rows
             .is_empty());
     }
 
@@ -861,7 +1020,7 @@ mod tests {
         let r = db
             .execute_cql("SELECT id FROM ks.cells WHERE key = 'hit'")
             .unwrap();
-        assert_eq!(r.rows, vec![vec![CqlValue::Int(1)]]);
+        assert_eq!(r.rows(), vec![vec![CqlValue::Int(1)]]);
     }
 
     #[test]
@@ -872,10 +1031,10 @@ mod tests {
                 .unwrap();
         }
         let r = db.execute_cql("SELECT * FROM ks.cells").unwrap();
-        assert_eq!(r.rows.len(), 5);
-        assert_eq!(r.columns.len(), 5);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.columns().len(), 5);
         let r = db.execute_cql("SELECT id FROM ks.cells LIMIT 2").unwrap();
-        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.len(), 2);
     }
 
     #[test]
@@ -885,15 +1044,10 @@ mod tests {
         db.execute_cql("INSERT INTO ks.cells (id, parent) VALUES (1, 2)")
             .unwrap();
         db.execute_cql("TRUNCATE ks.cells").unwrap();
-        assert!(db
-            .execute_cql("SELECT * FROM ks.cells")
-            .unwrap()
-            .rows
-            .is_empty());
+        assert!(db.execute_cql("SELECT * FROM ks.cells").unwrap().is_empty());
         assert!(db
             .execute_cql("SELECT id FROM ks.cells WHERE parent = 2")
             .unwrap()
-            .rows
             .is_empty());
     }
 
@@ -940,7 +1094,7 @@ mod tests {
     fn recovery_from_schema_journal_and_commitlog() {
         let vfs = Vfs::memory();
         {
-            let mut db = Db::with_options(vfs.clone(), DbOptions::default());
+            let mut db = Db::open(OpenOptions::default().vfs(vfs.clone())).unwrap();
             db.execute_cql("CREATE KEYSPACE ks").unwrap();
             db.execute_cql("CREATE TABLE ks.t (id int, v text, PRIMARY KEY (id))")
                 .unwrap();
@@ -948,16 +1102,16 @@ mod tests {
                 .unwrap();
             // No flush: the row lives only in the commit log.
         }
-        let mut db = Db::recover(vfs, DbOptions::default()).unwrap();
+        let mut db = Db::open(OpenOptions::default().vfs(vfs).recover(true)).unwrap();
         let r = db.execute_cql("SELECT v FROM ks.t WHERE id = 1").unwrap();
-        assert_eq!(r.rows, vec![vec![CqlValue::Text("logged".into())]]);
+        assert_eq!(r.rows(), vec![vec![CqlValue::Text("logged".into())]]);
     }
 
     #[test]
     fn recovery_reattaches_sstables() {
         let vfs = Vfs::memory();
         {
-            let mut db = Db::with_options(vfs.clone(), DbOptions::default());
+            let mut db = Db::open(OpenOptions::default().vfs(vfs.clone())).unwrap();
             db.execute_cql("CREATE KEYSPACE ks").unwrap();
             db.execute_cql("CREATE TABLE ks.t (id int, v text, PRIMARY KEY (id))")
                 .unwrap();
@@ -965,9 +1119,9 @@ mod tests {
                 .unwrap();
             db.flush_all().unwrap();
         }
-        let mut db = Db::recover(vfs, DbOptions::default()).unwrap();
+        let mut db = Db::open(OpenOptions::default().vfs(vfs).recover(true)).unwrap();
         let r = db.execute_cql("SELECT v FROM ks.t WHERE id = 1").unwrap();
-        assert_eq!(r.rows, vec![vec![CqlValue::Text("flushed".into())]]);
+        assert_eq!(r.rows(), vec![vec![CqlValue::Text("flushed".into())]]);
     }
 
     #[test]
@@ -980,9 +1134,6 @@ mod tests {
              APPLY BATCH",
         )
         .unwrap();
-        assert_eq!(
-            db.execute_cql("SELECT * FROM ks.cells").unwrap().rows.len(),
-            2
-        );
+        assert_eq!(db.execute_cql("SELECT * FROM ks.cells").unwrap().len(), 2);
     }
 }

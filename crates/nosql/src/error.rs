@@ -83,5 +83,15 @@ impl From<DecodeError> for NosqlError {
     }
 }
 
+impl From<crate::types::CqlTypeError> for NosqlError {
+    fn from(e: crate::types::CqlTypeError) -> Self {
+        NosqlError::TypeMismatch {
+            column: "<value>".into(),
+            expected: e.expected.into(),
+            found: e.found.into(),
+        }
+    }
+}
+
 /// Result alias.
 pub type Result<T> = std::result::Result<T, NosqlError>;

@@ -21,9 +21,9 @@
 //!   via `sc-storage`, which is what Table 4 measures.
 //!
 //! ```
-//! use sc_nosql::{Db, CqlValue};
+//! use sc_nosql::{Db, OpenOptions};
 //!
-//! let mut db = Db::in_memory();
+//! let mut db = Db::open(OpenOptions::default()).unwrap();
 //! db.execute_cql("CREATE KEYSPACE smartcity").unwrap();
 //! db.execute_cql(
 //!     "CREATE TABLE smartcity.cells (id int, key text, measure int, PRIMARY KEY (id))",
@@ -32,14 +32,24 @@
 //!     "INSERT INTO smartcity.cells (id, key, measure) VALUES (3, 'Fenian St', 3)",
 //! ).unwrap();
 //! let rows = db.execute_cql("SELECT key, measure FROM smartcity.cells WHERE id = 3").unwrap();
-//! assert_eq!(rows.rows[0][0], CqlValue::Text("Fenian St".into()));
+//! let row = rows.first().unwrap();
+//! assert_eq!(row.get_text("key").unwrap(), "Fenian St");
+//! assert_eq!(row.get_int("measure").unwrap(), 3);
 //! ```
+//!
+//! Durability is crash-tested: `sc_storage::Vfs::with_faults` simulates
+//! power loss at every mutating storage operation, and the
+//! [`crashtest`] sweep asserts that recovery reproduces exactly the
+//! acknowledged writes.
 
 pub mod commitlog;
 pub mod cql;
+pub mod crashtest;
 pub mod engine;
 pub mod error;
+pub mod manifest;
 pub mod memtable;
+pub mod result;
 pub mod row;
 pub mod schema;
 pub mod sstable;
@@ -48,7 +58,9 @@ pub mod types;
 
 pub use cql::ast::{Statement, WhereClause};
 pub use cql::parse_statement;
-pub use engine::{Db, DbOptions, QueryResult};
+pub use engine::{Db, DbOptions, OpenOptions};
 pub use error::NosqlError;
+pub use manifest::{Manifest, ManifestEdit};
+pub use result::{QueryResult, QueryRow};
 pub use schema::{ColumnDef, TableDef};
-pub use types::{CqlType, CqlValue};
+pub use types::{CqlType, CqlTypeError, CqlValue};

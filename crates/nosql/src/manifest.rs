@@ -1,0 +1,295 @@
+//! The SSTable manifest: atomic publication of flush and compaction results.
+//!
+//! An SSTable file only *exists*, as far as the engine is concerned, once a
+//! manifest record names it. Flush writes the SSTable bytes first and
+//! appends the add record second, so a crash mid-flush leaves an orphan
+//! file that recovery deletes — never a half-table that recovery opens.
+//! Compaction commits its swap (one add + the replaced files' removes) as a
+//! single append before deleting anything, so the transition is atomic:
+//! recovery sees either the old run or the merged table, never both.
+//!
+//! Records use the commit log's framing — `[len: u32][crc: u32][payload]` —
+//! and the same torn-tail rule: replay stops at the first bad frame, and
+//! [`Manifest::repair`] physically truncates it away.
+//!
+//! The per-table file lists preserve **age order**, which is not id order:
+//! a tiered merge splices its output into the middle of the age sequence
+//! (the merged data is older than the tables after the run). Each edit
+//! therefore inserts its adds at the position of the first file it removes,
+//! reproducing the in-memory splice exactly across restarts.
+
+use crate::error::{NosqlError, Result};
+use sc_encoding::{Crc32, Decoder, Encoder};
+use sc_storage::Vfs;
+use std::collections::BTreeMap;
+
+/// The manifest's file name in the VFS namespace.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// One atomic change to the live SSTable set. Entries are
+/// `(qualified table name, file name)` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ManifestEdit {
+    /// Files published by this edit, in age order.
+    pub adds: Vec<(String, String)>,
+    /// Files retired by this edit.
+    pub removes: Vec<(String, String)>,
+}
+
+impl ManifestEdit {
+    /// An edit publishing one freshly flushed SSTable.
+    pub fn add(table: impl Into<String>, file: impl Into<String>) -> ManifestEdit {
+        ManifestEdit {
+            adds: vec![(table.into(), file.into())],
+            removes: Vec::new(),
+        }
+    }
+
+    /// Whether the edit changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.removes.is_empty()
+    }
+}
+
+/// Append/replay handle for one engine's manifest. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    vfs: Vfs,
+}
+
+impl Manifest {
+    /// Opens (or lazily creates) the manifest over `vfs`.
+    pub fn open(vfs: Vfs) -> Manifest {
+        Manifest { vfs }
+    }
+
+    /// Whether any manifest bytes exist yet.
+    pub fn exists(&self) -> bool {
+        self.vfs.exists(MANIFEST_FILE)
+    }
+
+    /// Creates an empty manifest (one empty record) if none exists. Fresh
+    /// engines call this at open so that recovery can tell "this disk never
+    /// had a manifest" (pre-manifest layout, adopt unlisted SSTables) apart
+    /// from "the first flush crashed before publishing" (orphan, delete).
+    pub fn ensure_exists(&self) -> Result<()> {
+        if self.exists() {
+            return Ok(());
+        }
+        self.commit_raw(&ManifestEdit::default())
+    }
+
+    /// Appends one edit as a single CRC-framed record (the atomic publish).
+    pub fn commit(&self, edit: &ManifestEdit) -> Result<()> {
+        if edit.is_empty() {
+            return Ok(());
+        }
+        self.commit_raw(edit)
+    }
+
+    fn commit_raw(&self, edit: &ManifestEdit) -> Result<()> {
+        let mut payload = Encoder::new();
+        payload.put_u64(edit.adds.len() as u64);
+        for (table, file) in &edit.adds {
+            payload.put_str(table).put_str(file);
+        }
+        payload.put_u64(edit.removes.len() as u64);
+        for (table, file) in &edit.removes {
+            payload.put_str(table).put_str(file);
+        }
+        let payload = payload.into_bytes();
+        let mut frame = Encoder::new();
+        frame.put_u32_fixed(payload.len() as u32);
+        frame.put_u32_fixed(Crc32::of(&payload));
+        frame.put_raw(&payload);
+        self.vfs.append(MANIFEST_FILE, frame.bytes())?;
+        Ok(())
+    }
+
+    /// Replays every intact record into the live per-table file lists (in
+    /// age order). Returns the lists plus the byte length of the valid
+    /// prefix; a torn or corrupt tail ends the replay without error.
+    pub fn load(&self) -> Result<(BTreeMap<String, Vec<String>>, u64)> {
+        let data = match self.vfs.read_all(MANIFEST_FILE) {
+            Ok(d) => d,
+            Err(sc_storage::StorageError::NotFound(_)) => return Ok((BTreeMap::new(), 0)),
+            Err(e) => return Err(e.into()),
+        };
+        let mut tables: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut dec = Decoder::new(&data);
+        let mut good_len = 0u64;
+        while dec.remaining() >= 8 {
+            let len = dec.get_u32_fixed()? as usize;
+            let crc = dec.get_u32_fixed()?;
+            if dec.remaining() < len {
+                break; // torn tail
+            }
+            let payload = dec.get_raw(len)?;
+            if Crc32::of(payload) != crc {
+                break; // corrupt tail
+            }
+            let edit = Self::decode_edit(payload)?;
+            Self::apply(&mut tables, &edit);
+            good_len = (data.len() - dec.remaining()) as u64;
+        }
+        Ok((tables, good_len))
+    }
+
+    /// [`Manifest::load`], then truncates the torn tail (if any) off the
+    /// file so post-recovery commits never land beyond a tear.
+    pub fn repair(&self) -> Result<BTreeMap<String, Vec<String>>> {
+        let (tables, good_len) = self.load()?;
+        if self.vfs.exists(MANIFEST_FILE) && self.vfs.len(MANIFEST_FILE)? > good_len {
+            self.vfs.truncate(MANIFEST_FILE, good_len)?;
+        }
+        Ok(tables)
+    }
+
+    fn decode_edit(payload: &[u8]) -> Result<ManifestEdit> {
+        let mut p = Decoder::new(payload);
+        let mut edit = ManifestEdit::default();
+        let n_adds = p.get_u64().map_err(NosqlError::from)?;
+        for _ in 0..n_adds {
+            let table = p.get_str()?.to_string();
+            let file = p.get_str()?.to_string();
+            edit.adds.push((table, file));
+        }
+        let n_removes = p.get_u64()?;
+        for _ in 0..n_removes {
+            let table = p.get_str()?.to_string();
+            let file = p.get_str()?.to_string();
+            edit.removes.push((table, file));
+        }
+        Ok(edit)
+    }
+
+    /// Applies one edit to the live lists, reproducing the engine's splice:
+    /// adds land at the position of the table's first removed file (at the
+    /// end when the edit removes nothing, i.e. a flush).
+    fn apply(tables: &mut BTreeMap<String, Vec<String>>, edit: &ManifestEdit) {
+        let mut touched: Vec<&str> = edit
+            .adds
+            .iter()
+            .chain(&edit.removes)
+            .map(|(t, _)| t.as_str())
+            .collect();
+        touched.dedup();
+        for table in touched {
+            let files = tables.entry(table.to_string()).or_default();
+            let removed: Vec<&str> = edit
+                .removes
+                .iter()
+                .filter(|(t, _)| t == table)
+                .map(|(_, f)| f.as_str())
+                .collect();
+            let pos = files
+                .iter()
+                .position(|f| removed.contains(&f.as_str()))
+                .unwrap_or(files.len());
+            files.retain(|f| !removed.contains(&f.as_str()));
+            let pos = pos.min(files.len());
+            let adds = edit
+                .adds
+                .iter()
+                .filter(|(t, _)| t == table)
+                .map(|(_, f)| f.clone());
+            files.splice(pos..pos, adds);
+        }
+        tables.retain(|_, files| !files.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live(m: &Manifest) -> BTreeMap<String, Vec<String>> {
+        m.load().unwrap().0
+    }
+
+    #[test]
+    fn flush_edits_append_in_age_order() {
+        let m = Manifest::open(Vfs::memory());
+        m.commit(&ManifestEdit::add("ks.t", "ks/t/sst-000000"))
+            .unwrap();
+        m.commit(&ManifestEdit::add("ks.t", "ks/t/sst-000001"))
+            .unwrap();
+        m.commit(&ManifestEdit::add("ks.u", "ks/u/sst-000000"))
+            .unwrap();
+        let tables = live(&m);
+        assert_eq!(tables["ks.t"], vec!["ks/t/sst-000000", "ks/t/sst-000001"]);
+        assert_eq!(tables["ks.u"], vec!["ks/u/sst-000000"]);
+    }
+
+    #[test]
+    fn swap_edit_splices_at_the_run_position() {
+        let m = Manifest::open(Vfs::memory());
+        for i in 0..4 {
+            m.commit(&ManifestEdit::add("ks.t", format!("ks/t/sst-{i:06}")))
+                .unwrap();
+        }
+        // Merge the middle run [1..=2] into sst-000004: the merged file
+        // must sit *between* sst-000000 and sst-000003 in age order.
+        m.commit(&ManifestEdit {
+            adds: vec![("ks.t".into(), "ks/t/sst-000004".into())],
+            removes: vec![
+                ("ks.t".into(), "ks/t/sst-000001".into()),
+                ("ks.t".into(), "ks/t/sst-000002".into()),
+            ],
+        })
+        .unwrap();
+        assert_eq!(
+            live(&m)["ks.t"],
+            vec!["ks/t/sst-000000", "ks/t/sst-000004", "ks/t/sst-000003"]
+        );
+    }
+
+    #[test]
+    fn remove_only_edit_can_empty_a_table() {
+        let m = Manifest::open(Vfs::memory());
+        m.commit(&ManifestEdit::add("ks.t", "ks/t/sst-000000"))
+            .unwrap();
+        m.commit(&ManifestEdit {
+            adds: vec![],
+            removes: vec![("ks.t".into(), "ks/t/sst-000000".into())],
+        })
+        .unwrap();
+        assert!(live(&m).is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_repaired_away() {
+        let vfs = Vfs::memory();
+        let m = Manifest::open(vfs.clone());
+        m.commit(&ManifestEdit::add("ks.t", "ks/t/sst-000000"))
+            .unwrap();
+        let good = vfs.len(MANIFEST_FILE).unwrap();
+        m.commit(&ManifestEdit::add("ks.t", "ks/t/sst-000001"))
+            .unwrap();
+        vfs.truncate(MANIFEST_FILE, vfs.len(MANIFEST_FILE).unwrap() - 2)
+            .unwrap();
+        let tables = m.repair().unwrap();
+        assert_eq!(tables["ks.t"], vec!["ks/t/sst-000000"]);
+        assert_eq!(vfs.len(MANIFEST_FILE).unwrap(), good, "tail truncated");
+        // A post-repair commit replays cleanly.
+        m.commit(&ManifestEdit::add("ks.t", "ks/t/sst-000002"))
+            .unwrap();
+        assert_eq!(live(&m)["ks.t"], vec!["ks/t/sst-000000", "ks/t/sst-000002"]);
+    }
+
+    #[test]
+    fn missing_manifest_is_empty() {
+        let m = Manifest::open(Vfs::memory());
+        assert!(!m.exists());
+        assert!(live(&m).is_empty());
+        assert!(m.repair().unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_edit_writes_nothing() {
+        let vfs = Vfs::memory();
+        let m = Manifest::open(vfs.clone());
+        m.commit(&ManifestEdit::default()).unwrap();
+        assert!(!vfs.exists(MANIFEST_FILE));
+    }
+}

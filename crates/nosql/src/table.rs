@@ -2,6 +2,7 @@
 
 use crate::commitlog::{CommitLog, LogRecord};
 use crate::error::Result;
+use crate::manifest::{Manifest, ManifestEdit};
 use crate::memtable::{Entry, Memtable};
 use crate::row::Row;
 use crate::schema::TableDef;
@@ -32,6 +33,7 @@ impl Default for TableOptions {
 pub struct TableRuntime {
     def: TableDef,
     vfs: Vfs,
+    manifest: Manifest,
     memtable: Memtable,
     sstables: Vec<SsTable>, // oldest first
     next_sst_id: u64,
@@ -39,11 +41,13 @@ pub struct TableRuntime {
 }
 
 impl TableRuntime {
-    /// Creates runtime state for a (new) table.
-    pub fn new(def: TableDef, vfs: Vfs, options: TableOptions) -> TableRuntime {
+    /// Creates runtime state for a (new) table. `manifest` is the engine-wide
+    /// SSTable manifest through which every flush and compaction publishes.
+    pub fn new(def: TableDef, vfs: Vfs, manifest: Manifest, options: TableOptions) -> TableRuntime {
         TableRuntime {
             def,
             vfs,
+            manifest,
             memtable: Memtable::new(),
             sstables: Vec::new(),
             next_sst_id: 0,
@@ -211,6 +215,11 @@ impl TableRuntime {
         let file = format!("{}{:06}", self.sst_prefix(), self.next_sst_id);
         self.next_sst_id += 1;
         write_sstable(&self.vfs, &file, &entries)?;
+        // Publish order matters for crash safety: data first, manifest
+        // second. A crash in between leaves an orphan file that recovery
+        // deletes, never a published name without its bytes.
+        self.manifest
+            .commit(&ManifestEdit::add(self.def.qualified_name(), &file))?;
         self.sstables.push(SsTable::open(self.vfs.clone(), &file)?);
         if self.sstables.len() >= self.options.compaction_threshold {
             self.compact_tiered()?;
@@ -272,6 +281,18 @@ impl TableRuntime {
         self.next_sst_id += 1;
         write_sstable(&self.vfs, &file, &entries)?;
         let new = SsTable::open(self.vfs.clone(), &file)?;
+        // One append swaps the whole run atomically; the edit's splice
+        // position records where the merged table sits in age order. Only
+        // after the swap is durable are the old files deleted — a crash in
+        // between leaves them as orphans for recovery to sweep.
+        let qualified = self.def.qualified_name();
+        self.manifest.commit(&ManifestEdit {
+            adds: vec![(qualified.clone(), file.clone())],
+            removes: self.sstables[start..=end]
+                .iter()
+                .map(|sst| (qualified.clone(), sst.file().to_string()))
+                .collect(),
+        })?;
         let removed: Vec<SsTable> = self
             .sstables
             .splice(start..=end, std::iter::once(new))
@@ -292,8 +313,9 @@ impl TableRuntime {
     }
 
     /// Reattaches an existing SSTable file (recovery). Files must be
-    /// attached oldest-first; `sc_storage::Vfs::list` returns them sorted,
-    /// which matches the monotonically numbered flush naming.
+    /// attached oldest-first — i.e. in the manifest's age order, which is
+    /// *not* always name order: a tiered merge's output carries the largest
+    /// id but sits mid-sequence in age.
     pub fn attach_sstable(&mut self, file: &str) -> Result<()> {
         self.sstables.push(SsTable::open(self.vfs.clone(), file)?);
         // Keep new flushes numbered after anything already on disk.
@@ -317,6 +339,14 @@ impl TableRuntime {
     /// Number of SSTables backing the table.
     pub fn sstable_count(&self) -> usize {
         self.sstables.len()
+    }
+
+    /// The backing SSTable file names, oldest first.
+    pub fn sstable_files(&self) -> Vec<String> {
+        self.sstables
+            .iter()
+            .map(|sst| sst.file().to_string())
+            .collect()
     }
 }
 
@@ -357,9 +387,13 @@ mod tests {
         }
     }
 
+    fn runtime(vfs: Vfs, options: TableOptions) -> TableRuntime {
+        TableRuntime::new(def(), vfs.clone(), Manifest::open(vfs), options)
+    }
+
     #[test]
     fn put_get_across_flushes() {
-        let mut t = TableRuntime::new(def(), Vfs::memory(), small_options());
+        let mut t = runtime(Vfs::memory(), small_options());
         for i in 0..50 {
             let (k, r) = row(i, &format!("v{i}"));
             t.put(Some(r), k, i as u64, None).unwrap();
@@ -374,7 +408,7 @@ mod tests {
 
     #[test]
     fn newest_version_wins_after_flush() {
-        let mut t = TableRuntime::new(def(), Vfs::memory(), small_options());
+        let mut t = runtime(Vfs::memory(), small_options());
         let (k, r1) = row(1, "old");
         t.put(Some(r1), k.clone(), 1, None).unwrap();
         t.flush().unwrap();
@@ -387,7 +421,7 @@ mod tests {
 
     #[test]
     fn tombstone_hides_older_versions() {
-        let mut t = TableRuntime::new(def(), Vfs::memory(), small_options());
+        let mut t = runtime(Vfs::memory(), small_options());
         let (k, r) = row(1, "x");
         t.put(Some(r), k.clone(), 1, None).unwrap();
         t.flush().unwrap();
@@ -398,7 +432,7 @@ mod tests {
 
     #[test]
     fn compaction_reclaims_overwrites_and_tombstones() {
-        let mut t = TableRuntime::new(def(), Vfs::memory(), small_options());
+        let mut t = runtime(Vfs::memory(), small_options());
         for round in 0..3 {
             for i in 0..10 {
                 let (k, r) = row(i, &format!("round{round}"));
@@ -420,7 +454,7 @@ mod tests {
 
     #[test]
     fn compaction_shrinks_disk() {
-        let mut t = TableRuntime::new(def(), Vfs::memory(), small_options());
+        let mut t = runtime(Vfs::memory(), small_options());
         // Write the same keys repeatedly across flushes.
         for round in 0..2 {
             for i in 0..20 {
@@ -437,7 +471,7 @@ mod tests {
 
     #[test]
     fn tiered_compaction_bounds_sstable_count() {
-        let mut t = TableRuntime::new(def(), Vfs::memory(), small_options());
+        let mut t = runtime(Vfs::memory(), small_options());
         for i in 0..2000 {
             let (k, r) = row(i, &format!("value number {i}"));
             t.put(Some(r), k, i as u64, None).unwrap();
@@ -459,7 +493,7 @@ mod tests {
 
     #[test]
     fn tiered_compaction_preserves_newest_version_and_tombstones() {
-        let mut t = TableRuntime::new(def(), Vfs::memory(), small_options());
+        let mut t = runtime(Vfs::memory(), small_options());
         // Interleave overwrites and deletes across many flush cycles.
         for round in 0..20 {
             for i in 0..10 {
@@ -489,7 +523,7 @@ mod tests {
             memtable_flush_bytes: 64 * 1024, // manual flushes only
             compaction_threshold: 3,
         };
-        let mut t = TableRuntime::new(def(), vfs.clone(), options);
+        let mut t = runtime(vfs.clone(), options);
         // Oldest SSTable: key 1 live, plus bulk so it is >4x larger than
         // the later tables (keeps it out of their size tier).
         for i in 1..=30 {
@@ -537,7 +571,7 @@ mod tests {
 
     #[test]
     fn scan_merges_memtable_and_sstables_in_key_order() {
-        let mut t = TableRuntime::new(def(), Vfs::memory(), small_options());
+        let mut t = runtime(Vfs::memory(), small_options());
         let (k2, r2) = row(2, "b");
         t.put(Some(r2), k2, 1, None).unwrap();
         t.flush().unwrap();

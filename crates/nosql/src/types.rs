@@ -226,6 +226,96 @@ impl fmt::Display for CqlValue {
     }
 }
 
+/// A failed typed extraction from a [`CqlValue`] (the `TryFrom` impls
+/// below). [`crate::QueryRow`] attaches the column name and converts this
+/// into [`crate::NosqlError::TypeMismatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CqlTypeError {
+    /// The Rust-side type that was requested.
+    pub expected: &'static str,
+    /// The CQL type actually held.
+    pub found: &'static str,
+}
+
+impl fmt::Display for CqlTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected {}, found {}", self.expected, self.found)
+    }
+}
+
+impl std::error::Error for CqlTypeError {}
+
+impl CqlTypeError {
+    fn new(expected: &'static str, found: &CqlValue) -> CqlTypeError {
+        CqlTypeError {
+            expected,
+            found: found.type_name(),
+        }
+    }
+}
+
+impl TryFrom<&CqlValue> for i64 {
+    type Error = CqlTypeError;
+
+    fn try_from(v: &CqlValue) -> Result<i64, CqlTypeError> {
+        v.as_int().ok_or_else(|| CqlTypeError::new("int", v))
+    }
+}
+
+/// `Null` maps to `None`; any non-null, non-int value is an error (this is
+/// the nullable-int extraction, not a lenient one).
+impl TryFrom<&CqlValue> for Option<i64> {
+    type Error = CqlTypeError;
+
+    fn try_from(v: &CqlValue) -> Result<Option<i64>, CqlTypeError> {
+        match v {
+            CqlValue::Null => Ok(None),
+            other => i64::try_from(other).map(Some),
+        }
+    }
+}
+
+impl<'a> TryFrom<&'a CqlValue> for &'a str {
+    type Error = CqlTypeError;
+
+    fn try_from(v: &'a CqlValue) -> Result<&'a str, CqlTypeError> {
+        v.as_text().ok_or_else(|| CqlTypeError::new("text", v))
+    }
+}
+
+impl TryFrom<&CqlValue> for String {
+    type Error = CqlTypeError;
+
+    fn try_from(v: &CqlValue) -> Result<String, CqlTypeError> {
+        <&str>::try_from(v).map(str::to_string)
+    }
+}
+
+impl TryFrom<&CqlValue> for bool {
+    type Error = CqlTypeError;
+
+    fn try_from(v: &CqlValue) -> Result<bool, CqlTypeError> {
+        v.as_bool().ok_or_else(|| CqlTypeError::new("boolean", v))
+    }
+}
+
+impl<'a> TryFrom<&'a CqlValue> for &'a BTreeSet<i64> {
+    type Error = CqlTypeError;
+
+    fn try_from(v: &'a CqlValue) -> Result<&'a BTreeSet<i64>, CqlTypeError> {
+        v.as_int_set()
+            .ok_or_else(|| CqlTypeError::new("set<int>", v))
+    }
+}
+
+impl TryFrom<&CqlValue> for BTreeSet<i64> {
+    type Error = CqlTypeError;
+
+    fn try_from(v: &CqlValue) -> Result<BTreeSet<i64>, CqlTypeError> {
+        <&BTreeSet<i64>>::try_from(v).cloned()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@
 
 use sc_encoding::Rng;
 use sc_nosql::table::TableOptions;
-use sc_nosql::{CqlValue, Db, DbOptions};
+use sc_nosql::{CqlValue, Db, OpenOptions};
 use sc_storage::Vfs;
 use std::collections::HashMap;
 
@@ -42,17 +42,20 @@ fn random_op(rng: &mut Rng) -> Op {
     }
 }
 
-fn tiny_options() -> DbOptions {
-    DbOptions {
-        table: TableOptions {
-            memtable_flush_bytes: 512, // force frequent flushes
-            compaction_threshold: 3,
-        },
+fn tiny_options() -> TableOptions {
+    TableOptions {
+        memtable_flush_bytes: 512, // force frequent flushes
+        compaction_threshold: 3,
     }
 }
 
 fn fresh(vfs: &Vfs) -> Db {
-    let mut db = Db::with_options(vfs.clone(), tiny_options());
+    let mut db = Db::open(
+        OpenOptions::default()
+            .vfs(vfs.clone())
+            .table_options(tiny_options()),
+    )
+    .unwrap();
     db.execute_cql("CREATE KEYSPACE m").unwrap();
     db.execute_cql("CREATE TABLE m.t (id int, v int, PRIMARY KEY (id))")
         .unwrap();
@@ -86,7 +89,13 @@ fn engine_agrees_with_oracle() {
                 Op::Recover => {
                     // Drop the engine and rebuild it from disk state.
                     drop(db);
-                    db = Db::recover(vfs.clone(), tiny_options()).unwrap();
+                    db = Db::open(
+                        OpenOptions::default()
+                            .vfs(vfs.clone())
+                            .table_options(tiny_options())
+                            .recover(true),
+                    )
+                    .unwrap();
                 }
             }
             // Spot-check a couple of keys each step.
@@ -94,7 +103,7 @@ fn engine_agrees_with_oracle() {
                 let r = db
                     .execute_cql(&format!("SELECT v FROM m.t WHERE id = {probe}"))
                     .unwrap();
-                let got = r.rows.first().map(|row| row[0].clone());
+                let got = r.first().map(|row| row[0].clone());
                 let want = oracle.get(&probe).map(|v| CqlValue::Int(*v));
                 assert_eq!(got, want, "case {case}: probe {probe} diverged");
             }
@@ -102,9 +111,8 @@ fn engine_agrees_with_oracle() {
         // Final full-scan equivalence.
         let r = db.execute_cql("SELECT id, v FROM m.t").unwrap();
         let mut got: Vec<(i64, i64)> = r
-            .rows
             .iter()
-            .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+            .map(|row| (row.get_int("id").unwrap(), row.get_int("v").unwrap()))
             .collect();
         got.sort_unstable();
         let mut want: Vec<(i64, i64)> = oracle.into_iter().collect();
@@ -122,7 +130,12 @@ fn indexed_queries_agree_with_oracle() {
             .collect();
         let flush_every = 1 + rng.gen_range(9) as usize;
         let vfs = Vfs::memory();
-        let mut db = Db::with_options(vfs, tiny_options());
+        let mut db = Db::open(
+            OpenOptions::default()
+                .vfs(vfs)
+                .table_options(tiny_options()),
+        )
+        .unwrap();
         db.execute_cql("CREATE KEYSPACE m").unwrap();
         db.execute_cql("CREATE TABLE m.t (id int, tag int, PRIMARY KEY (id))")
             .unwrap();
@@ -140,7 +153,7 @@ fn indexed_queries_agree_with_oracle() {
             let r = db
                 .execute_cql(&format!("SELECT id FROM m.t WHERE tag = {tag}"))
                 .unwrap();
-            let mut got: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+            let mut got: Vec<i64> = r.iter().map(|row| row.get_int("id").unwrap()).collect();
             got.sort_unstable();
             let mut want: Vec<i64> = oracle
                 .iter()

@@ -1,9 +1,9 @@
 //! UPDATE and COUNT(*) semantics.
 
-use sc_nosql::{CqlValue, Db, NosqlError};
+use sc_nosql::{CqlValue, Db, NosqlError, OpenOptions};
 
 fn setup() -> Db {
-    let mut db = Db::in_memory();
+    let mut db = Db::open(OpenOptions::default()).unwrap();
     db.execute_cql("CREATE KEYSPACE k").unwrap();
     db.execute_cql("CREATE TABLE k.t (id int, name text, n int, PRIMARY KEY (id))")
         .unwrap();
@@ -21,7 +21,7 @@ fn update_modifies_only_assigned_columns() {
         .execute_cql("SELECT name, n FROM k.t WHERE id = 1")
         .unwrap();
     assert_eq!(
-        r.rows[0],
+        r.rows()[0],
         vec![CqlValue::Text("keep".into()), CqlValue::Int(20)]
     );
 }
@@ -32,7 +32,7 @@ fn update_is_an_upsert() {
     db.execute_cql("UPDATE k.t SET name = 'fresh', n = 1 WHERE id = 9")
         .unwrap();
     let r = db.execute_cql("SELECT name FROM k.t WHERE id = 9").unwrap();
-    assert_eq!(r.rows[0][0], CqlValue::Text("fresh".into()));
+    assert_eq!(r.rows()[0][0], CqlValue::Text("fresh".into()));
 }
 
 #[test]
@@ -45,12 +45,10 @@ fn update_maintains_secondary_indexes() {
     assert!(db
         .execute_cql("SELECT id FROM k.t WHERE n = 5")
         .unwrap()
-        .rows
         .is_empty());
     assert_eq!(
         db.execute_cql("SELECT id FROM k.t WHERE n = 6")
             .unwrap()
-            .rows
             .len(),
         1
     );
@@ -85,15 +83,15 @@ fn count_star() {
             .unwrap();
     }
     let r = db.execute_cql("SELECT COUNT(*) FROM k.t").unwrap();
-    assert_eq!(r.columns, vec!["count"]);
-    assert_eq!(r.rows, vec![vec![CqlValue::Int(7)]]);
+    assert_eq!(r.columns(), vec!["count"]);
+    assert_eq!(r.rows(), vec![vec![CqlValue::Int(7)]]);
     // With a filter (scan fallback) and a limit.
     let r = db
         .execute_cql("SELECT COUNT(*) FROM k.t WHERE n = 0")
         .unwrap();
-    assert_eq!(r.rows, vec![vec![CqlValue::Int(4)]]);
+    assert_eq!(r.rows(), vec![vec![CqlValue::Int(4)]]);
     let r = db.execute_cql("SELECT COUNT(*) FROM k.t LIMIT 3").unwrap();
-    assert_eq!(r.rows, vec![vec![CqlValue::Int(3)]]);
+    assert_eq!(r.rows(), vec![vec![CqlValue::Int(3)]]);
 }
 
 #[test]

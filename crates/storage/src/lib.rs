@@ -14,6 +14,14 @@
 //!
 //! The API is deliberately tiny: append-only writes plus positioned reads,
 //! which is all a commit log, SSTable or heap file needs.
+//!
+//! A third backend, [`Vfs::with_faults`], wraps any other VFS with
+//! deterministic fault injection (torn appends, lost deletes) for
+//! crash-recovery testing; see the [`fault`] module.
+
+pub mod fault;
+
+pub use fault::{FaultHandle, FaultOp};
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -39,6 +47,15 @@ pub enum StorageError {
     },
     /// An underlying I/O error (disk backend).
     Io(std::io::Error),
+    /// A fault injected by [`Vfs::with_faults`]: the simulated process
+    /// "crashed" at mutating operation `op` (power loss). Every later
+    /// mutating operation on the same VFS also fails with this error.
+    Injected {
+        /// Index of the mutating operation the crash was injected at.
+        op: u64,
+        /// File the failed operation targeted.
+        file: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -49,6 +66,9 @@ impl fmt::Display for StorageError {
                 write!(f, "short read: {file} at {offset} (+{len})")
             }
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Injected { op, file } => {
+                write!(f, "injected crash at op {op} ({file})")
+            }
         }
     }
 }
@@ -68,6 +88,7 @@ pub type Result<T> = std::result::Result<T, StorageError>;
 enum Backend {
     Memory(Mutex<BTreeMap<String, Vec<u8>>>),
     Disk(PathBuf),
+    Fault(fault::FaultState),
 }
 
 /// A handle to a file namespace. Cheap to clone (shared).
@@ -91,6 +112,22 @@ impl Vfs {
         Ok(Vfs {
             backend: Arc::new(Backend::Disk(root)),
         })
+    }
+
+    /// Wraps `inner` with deterministic fault injection seeded by `seed`.
+    ///
+    /// Returns the wrapping VFS plus a [`FaultHandle`] used to arm a crash
+    /// point and inspect the op trace. Reads pass through; mutating
+    /// operations (`append`, `delete`, `truncate`) are counted and can be
+    /// made to fail. See the [`fault`] module docs for the fault model.
+    pub fn with_faults(inner: Vfs, seed: u64) -> (Vfs, FaultHandle) {
+        let (state, handle) = fault::FaultState::new(inner, seed);
+        (
+            Vfs {
+                backend: Arc::new(Backend::Fault(state)),
+            },
+            handle,
+        )
     }
 
     fn disk_path(root: &Path, name: &str) -> PathBuf {
@@ -122,6 +159,7 @@ impl Vfs {
                 f.write_all(data)?;
                 Ok(offset)
             }
+            Backend::Fault(state) => state.append(name, data),
         }
     }
 
@@ -158,6 +196,7 @@ impl Vfs {
                     })?;
                 Ok(buf)
             }
+            Backend::Fault(state) => state.inner().read_at(name, offset, len),
         }
     }
 
@@ -182,6 +221,7 @@ impl Vfs {
                     .map_err(|_| StorageError::NotFound(name.to_string()))?
                     .len())
             }
+            Backend::Fault(state) => state.inner().len(name),
         }
     }
 
@@ -205,6 +245,36 @@ impl Vfs {
                     Err(e) => Err(e.into()),
                 }
             }
+            Backend::Fault(state) => state.delete(name),
+        }
+    }
+
+    /// Truncates `name` to `len` bytes. A `len` at or past the current end
+    /// is a no-op; a missing file is `NotFound`.
+    pub fn truncate(&self, name: &str, len: u64) -> Result<()> {
+        match &*self.backend {
+            Backend::Memory(files) => {
+                let mut files = files.lock().expect("vfs lock poisoned");
+                let file = files
+                    .get_mut(name)
+                    .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
+                if (len as usize) < file.len() {
+                    file.truncate(len as usize);
+                }
+                Ok(())
+            }
+            Backend::Disk(root) => {
+                let path = Self::disk_path(root, name);
+                let f = fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|_| StorageError::NotFound(name.to_string()))?;
+                if f.metadata()?.len() > len {
+                    f.set_len(len)?;
+                }
+                Ok(())
+            }
+            Backend::Fault(state) => state.truncate(name, len),
         }
     }
 
@@ -247,6 +317,7 @@ impl Vfs {
                 out.sort();
                 Ok(out)
             }
+            Backend::Fault(state) => state.inner().list(prefix),
         }
     }
 

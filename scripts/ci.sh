@@ -15,4 +15,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> crash-matrix smoke (64 points)"
+cargo run --release -p sc-bench --bin repro -- crashtest --points 64
+
 echo "ci.sh: all green"

@@ -43,7 +43,7 @@ fn disk_and_memory_backends_agree_on_stored_bytes() {
     let dir = temp_dir("size");
     let vfs = Vfs::disk(&dir).unwrap();
     let mut disk_model =
-        NosqlDwarfModel::with_db(nosql::Db::with_options(vfs, nosql::DbOptions::default()));
+        NosqlDwarfModel::with_db(nosql::Db::open(nosql::OpenOptions::default().vfs(vfs)).unwrap());
     disk_model.create_schema().unwrap();
     let disk_report = disk_model.store(&mapped, &c, false).unwrap();
 
@@ -65,16 +65,16 @@ fn nosql_recovers_from_a_real_directory() {
     let c = cube();
     let schema_id = {
         let vfs = Vfs::disk(&dir).unwrap();
-        let mut model =
-            NosqlDwarfModel::with_db(nosql::Db::with_options(vfs, nosql::DbOptions::default()));
+        let mut model = NosqlDwarfModel::with_db(
+            nosql::Db::open(nosql::OpenOptions::default().vfs(vfs)).unwrap(),
+        );
         model.create_schema().unwrap();
         let report = model.store(&MappedDwarf::new(&c), &c, false).unwrap();
         report.schema_id
         // Engine dropped here; state lives only on disk.
     };
     let vfs = Vfs::disk(&dir).unwrap();
-    let db = nosql::Db::recover(vfs, nosql::DbOptions::default()).unwrap();
-    let mut model = NosqlDwarfModel::with_db(db);
+    let mut model = NosqlDwarfModel::open(vfs).unwrap();
     let rebuilt = model.rebuild(schema_id).unwrap();
     assert_eq!(rebuilt.extract_tuples(), c.extract_tuples());
     std::fs::remove_dir_all(&dir).unwrap();

@@ -7,7 +7,7 @@ use smartcube::relational;
 
 #[test]
 fn same_rows_through_both_query_languages() {
-    let mut ndb = nosql::Db::in_memory();
+    let mut ndb = nosql::Db::open(nosql::OpenOptions::default()).unwrap();
     ndb.execute_cql("CREATE KEYSPACE k").unwrap();
     ndb.execute_cql("CREATE TABLE k.t (id int, name text, ok boolean, PRIMARY KEY (id))")
         .unwrap();
@@ -34,25 +34,26 @@ fn same_rows_through_both_query_languages() {
         let r = rdb
             .execute_sql(&format!("SELECT name, ok FROM k.t WHERE id = {i}"))
             .unwrap();
+        let nrow = n.first().unwrap();
         assert_eq!(
-            n.rows[0][0].as_text().unwrap(),
+            nrow.get_text("name").unwrap(),
             r.rows[0][0].as_text().unwrap()
         );
         assert_eq!(
-            n.rows[0][1].as_bool().unwrap(),
+            nrow.get_bool("ok").unwrap(),
             r.rows[0][1].as_bool().unwrap()
         );
     }
     // Full scans agree on cardinality.
     assert_eq!(
-        ndb.execute_cql("SELECT * FROM k.t").unwrap().rows.len(),
+        ndb.execute_cql("SELECT * FROM k.t").unwrap().len(),
         rdb.execute_sql("SELECT * FROM k.t").unwrap().rows.len(),
     );
 }
 
 #[test]
 fn size_accounting_is_monotone_and_flush_stable() {
-    let mut ndb = nosql::Db::in_memory();
+    let mut ndb = nosql::Db::open(nosql::OpenOptions::default()).unwrap();
     ndb.execute_cql("CREATE KEYSPACE k").unwrap();
     ndb.execute_cql("CREATE TABLE k.t (id int, v text, PRIMARY KEY (id))")
         .unwrap();
@@ -96,16 +97,16 @@ fn nosql_durability_roundtrip() {
     // Insert without flushing, recover from the commit log, data survives.
     let vfs = smartcube::storage::Vfs::memory();
     {
-        let mut db = nosql::Db::with_options(vfs.clone(), nosql::DbOptions::default());
+        let mut db = nosql::Db::open(nosql::OpenOptions::default().vfs(vfs.clone())).unwrap();
         db.execute_cql("CREATE KEYSPACE k").unwrap();
         db.execute_cql("CREATE TABLE k.t (id int, v text, PRIMARY KEY (id))")
             .unwrap();
         db.execute_cql("INSERT INTO k.t (id, v) VALUES (1, 'survives')")
             .unwrap();
     }
-    let mut db = nosql::Db::recover(vfs, nosql::DbOptions::default()).unwrap();
+    let mut db = nosql::Db::open(nosql::OpenOptions::default().vfs(vfs).recover(true)).unwrap();
     let r = db.execute_cql("SELECT v FROM k.t WHERE id = 1").unwrap();
-    assert_eq!(r.rows[0][0].as_text(), Some("survives"));
+    assert_eq!(r.first().unwrap().get_text("v").unwrap(), "survives");
 }
 
 #[test]
