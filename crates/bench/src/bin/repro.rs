@@ -1,8 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|all]
-//!       [--scale F] [--full] [--threads N] [--points N] [--seed S]
+//! repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|all]
+//!       [--scale F] [--full] [--threads N] [--points N] [--seed S] [--stats]
 //! ```
 //!
 //! * `--scale F` runs each dataset at fraction `F` of the paper's tuple
@@ -17,6 +17,10 @@
 //!   workload is killed at `--points N` (default 64) evenly spaced storage
 //!   operations (`--points 0` = every operation), recovered, and checked
 //!   against the acknowledged writes. `--seed S` varies the workload.
+//! * `obs` runs a small end-to-end workload (streaming ingest → NoSQL
+//!   flush → cube queries → crash/recovery) and emits the full `sc-obs`
+//!   metric registry as a text report, Prometheus exposition and JSON.
+//! * `--stats` appends the registry text report after any subcommand.
 //!
 //! Absolute numbers differ from the paper (different hardware, embedded
 //! engines instead of server processes); the *shape* — who wins, by what
@@ -37,6 +41,7 @@ fn main() {
     let mut threads = 4usize;
     let mut points = 64usize;
     let mut seed = 0xC0FFEEu64;
+    let mut stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -62,6 +67,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--scale needs a number in (0, 1]"));
             }
             "--full" => scale = 1.0,
+            "--stats" => stats = true,
             "--threads" => {
                 i += 1;
                 threads = args
@@ -71,7 +77,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--threads needs a positive integer"));
             }
             c @ ("table2" | "table4" | "table5" | "fig2" | "fig3" | "fig4" | "stream"
-            | "crashtest" | "all") => {
+            | "crashtest" | "obs" | "all") => {
                 command = c.to_string();
             }
             other => usage(&format!("unknown argument {other:?}")),
@@ -90,6 +96,7 @@ fn main() {
         "fig4" => fig4(),
         "stream" => stream(scale, threads),
         "crashtest" => crashtest(seed, points),
+        "obs" => obs(threads, seed),
         "all" => {
             fig2();
             fig3();
@@ -100,13 +107,17 @@ fn main() {
         }
         _ => unreachable!(),
     }
+    if stats {
+        header("Observability: registry report (--stats)");
+        print!("{}", sc_obs::Registry::global().snapshot().to_text_report());
+    }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|all] [--scale F] \
-         [--full] [--threads N] [--points N] [--seed S]"
+        "usage: repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|all] [--scale F] \
+         [--full] [--threads N] [--points N] [--seed S] [--stats]"
     );
     std::process::exit(2);
 }
@@ -388,4 +399,58 @@ fn stream(scale: f64, threads: usize) {
         }
     );
     assert!(equivalent, "sharded ingestion diverged from sequential");
+}
+
+/// Observability demo: run a workload that exercises every instrumented
+/// crate (stream → dwarf → nosql → storage, plus the fault injector), then
+/// emit the global registry in all three exposition formats.
+fn obs(threads: usize, seed: u64) {
+    use sc_core::models::ModelKind;
+    use sc_core::StreamWarehouse;
+    use sc_datagen::{BikesGenerator, DatasetSpec};
+    use sc_dwarf::{RangeSel, Selection};
+    use sc_stream::StreamConfig;
+
+    header(&format!(
+        "repro obs: end-to-end ingest with {threads} shard(s), then registry exposition"
+    ));
+
+    // Streaming ingest of a small feed into the NoSQL-DWARF model: covers
+    // stream.* (sharded pipeline), dwarf.build (micro-cubes + window cube),
+    // nosql.* (CQL inserts, commit log, flush) and storage.vfs.*.
+    let spec = DatasetSpec::for_window(Window::Day).scaled_spec(0.05);
+    let docs: Vec<String> = BikesGenerator::new(spec).map(|s| s.xml).collect();
+    let def = BikesGenerator::cube_def();
+    let mut warehouse = StreamWarehouse::new(
+        def,
+        StreamConfig::with_shards(threads),
+        ModelKind::NosqlDwarf.build().expect("schema creation"),
+    );
+    for doc in &docs {
+        warehouse.ingest(doc.clone());
+    }
+    let (cube, report, _metrics) = warehouse.close_window(true).expect("flush");
+    eprintln!(
+        "ingested {} documents -> cube with {} facts -> {} node rows, {} cell rows",
+        docs.len(),
+        cube.tuple_count(),
+        report.node_rows,
+        report.cell_rows
+    );
+
+    // A few cube queries so the dwarf.query.* histograms have samples.
+    let d = cube.num_dims();
+    cube.point(&vec![Selection::All; d]);
+    cube.range(&vec![RangeSel::All; d]);
+
+    // A 4-point crash matrix: trips the fault injector and times recovery.
+    sc_nosql::crashtest::sweep(seed, Some(4)).expect("crash matrix must pass");
+
+    let snap = sc_obs::Registry::global().snapshot();
+    println!("\n---- text report ----");
+    print!("{}", snap.to_text_report());
+    println!("\n---- prometheus text exposition ----");
+    print!("{}", snap.to_prometheus_text());
+    println!("\n---- json exposition ----");
+    print!("{}", snap.to_json());
 }

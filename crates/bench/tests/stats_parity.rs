@@ -1,0 +1,62 @@
+//! Observability must be a pure observer: the Table 4 / Table 5 pipeline
+//! (cube build → model store → size report) must produce identical numbers
+//! with stats on and off.
+//!
+//! Runs as its own integration-test binary because it flips the
+//! process-global `sc_obs` toggle, which would race with other tests in a
+//! shared process.
+
+use sc_bench::{prepare_dataset, run_model};
+use sc_core::models::ModelKind;
+use sc_ingest::Window;
+
+#[derive(Debug, PartialEq, Eq)]
+struct TableNumbers {
+    /// Table 2/4 inputs: the cube itself.
+    tuples: usize,
+    nodes: usize,
+    cells: usize,
+    /// Table 4's number per model: stored size in bytes.
+    sizes: Vec<(ModelKind, u64)>,
+    /// Table 5 sanity per model: the stored row counts that the timed
+    /// insert produced (the elapsed time itself is nondeterministic, so
+    /// parity is asserted on everything the timer measures the work of).
+    rows: Vec<(ModelKind, usize, usize)>,
+}
+
+fn table_numbers() -> TableNumbers {
+    let d = prepare_dataset(Window::Day, 0.02, false);
+    let mut sizes = Vec::new();
+    let mut rows = Vec::new();
+    for kind in ModelKind::ALL {
+        let report = run_model(kind, &d.cube);
+        assert!(
+            report.elapsed.as_nanos() > 0,
+            "insert time must be measured"
+        );
+        sizes.push((kind, report.size.as_bytes()));
+        rows.push((kind, report.node_rows, report.cell_rows));
+    }
+    TableNumbers {
+        tuples: d.cube.tuple_count(),
+        nodes: d.cube.node_count(),
+        cells: d.cube.cell_count(),
+        sizes,
+        rows,
+    }
+}
+
+#[test]
+fn table4_and_table5_numbers_are_identical_with_stats_on_and_off() {
+    assert!(sc_obs::enabled(), "stats are on by default");
+    let with_stats = table_numbers();
+    sc_obs::set_enabled(false);
+    let without_stats = table_numbers();
+    sc_obs::set_enabled(true);
+    let with_stats_again = table_numbers();
+    assert_eq!(with_stats, without_stats, "stats off changed the numbers");
+    assert_eq!(
+        with_stats, with_stats_again,
+        "re-enabling changed the numbers"
+    );
+}

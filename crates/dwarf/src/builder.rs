@@ -43,6 +43,7 @@ pub(crate) fn build(schema: CubeSchema, tuples: TupleSet) -> Dwarf {
 
 /// Builds a cube with explicit [`BuildOptions`].
 pub fn build_with_options(schema: CubeSchema, tuples: TupleSet, options: BuildOptions) -> Dwarf {
+    let _span = crate::obs::dwarf().build.start();
     let mut sorted = tuples.into_sorted();
     sorted.check_invariants();
     let interners = sorted.take_interners();
@@ -53,6 +54,7 @@ pub fn build_with_options(schema: CubeSchema, tuples: TupleSet, options: BuildOp
         cells: Vec::new(),
         nodes: Vec::new(),
         cache: FnvHashMap::default(),
+        cache_hits: 0,
         options,
     };
 
@@ -99,6 +101,13 @@ pub fn build_with_options(schema: CubeSchema, tuples: TupleSet, options: BuildOp
         b.seal(std::mem::take(&mut open[0]), 0)
     };
 
+    if sc_obs::enabled() {
+        let o = crate::obs::dwarf();
+        o.nodes.add(b.nodes.len() as u64);
+        o.cells.add(b.cells.len() as u64);
+        o.tuples.add(n as u64);
+        o.coalesce_cache_hits.add(b.cache_hits);
+    }
     Dwarf {
         schema,
         interners,
@@ -124,6 +133,7 @@ struct Builder {
     nodes: Vec<Node>,
     /// Memo: canonical (sorted, deduped) coalesce inputs -> result node.
     cache: FnvHashMap<Box<[NodeId]>, NodeId>,
+    cache_hits: u64,
     options: BuildOptions,
 }
 
@@ -209,6 +219,7 @@ impl Builder {
         }
         if self.options.suffix_coalescing {
             if let Some(&hit) = self.cache.get(canon.as_slice()) {
+                self.cache_hits += 1;
                 return hit;
             }
         }

@@ -58,6 +58,7 @@ pub mod groupby;
 pub mod hierarchy;
 pub mod intern;
 pub mod merge;
+mod obs;
 pub mod query;
 pub mod schema;
 pub mod tuple;

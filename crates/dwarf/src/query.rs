@@ -65,6 +65,18 @@ impl Dwarf {
     ///
     /// Panics if `sel.len()` differs from the number of dimensions.
     pub fn point(&self, sel: &[Selection]) -> Option<i64> {
+        if !sc_obs::enabled() {
+            return self.point_inner(sel);
+        }
+        let started = std::time::Instant::now();
+        let out = self.point_inner(sel);
+        crate::obs::dwarf()
+            .point_ns
+            .record_duration(started.elapsed());
+        out
+    }
+
+    fn point_inner(&self, sel: &[Selection]) -> Option<i64> {
         assert_eq!(
             sel.len(),
             self.num_dims(),
@@ -103,6 +115,18 @@ impl Dwarf {
     ///
     /// Panics if `sel.len()` differs from the number of dimensions.
     pub fn range(&self, sel: &[RangeSel]) -> Option<i64> {
+        if !sc_obs::enabled() {
+            return self.range_inner(sel);
+        }
+        let started = std::time::Instant::now();
+        let out = self.range_inner(sel);
+        crate::obs::dwarf()
+            .range_ns
+            .record_duration(started.elapsed());
+        out
+    }
+
+    fn range_inner(&self, sel: &[RangeSel]) -> Option<i64> {
         let ranges = self.resolve_ranges(sel)?;
         if self.is_empty() {
             return None;

@@ -58,6 +58,7 @@ impl CommitLog {
     pub fn append(&self, record: &LogRecord) -> Result<()> {
         let mut enc = Encoder::new();
         Self::frame(record, &mut enc);
+        self.record_append(enc.bytes().len());
         self.vfs.append(&self.file, enc.bytes())?;
         Ok(())
     }
@@ -71,8 +72,17 @@ impl CommitLog {
         for r in records {
             Self::frame(r, &mut enc);
         }
+        self.record_append(enc.bytes().len());
         self.vfs.append(&self.file, enc.bytes())?;
         Ok(())
+    }
+
+    fn record_append(&self, framed_len: usize) {
+        if sc_obs::enabled() {
+            let o = crate::obs::nosql();
+            o.commitlog_appends.inc();
+            o.commitlog_append_bytes.add(framed_len as u64);
+        }
     }
 
     /// Bytes currently in the log.

@@ -161,6 +161,7 @@ impl Db {
     /// repairing every torn tail and sweeping unpublished files, so that the
     /// reopened engine contains exactly the acknowledged writes.
     fn recover_state(&mut self) -> Result<()> {
+        let _span = crate::obs::nosql().recovery.start();
         self.replay_schema_journal()?;
         // Disks written before the manifest existed have SSTables but no
         // MANIFEST: adopt them in name order and publish that as the first
@@ -182,6 +183,11 @@ impl Db {
         // Replay surviving commit-log records; `repair` truncates a torn
         // final record so later appends stay reachable.
         let records = self.log.repair()?;
+        if sc_obs::enabled() {
+            crate::obs::nosql()
+                .replayed_records
+                .add(records.len() as u64);
+        }
         let mut max_ts = 0;
         for record in records {
             max_ts = max_ts.max(record.timestamp);

@@ -49,6 +49,7 @@ pub mod engine;
 pub mod error;
 pub mod manifest;
 pub mod memtable;
+mod obs;
 pub mod result;
 pub mod row;
 pub mod schema;

@@ -1,0 +1,58 @@
+//! Engine instrumentation handles (`nosql.*`).
+//!
+//! One `OnceLock` registers every handle on the global registry; hot paths
+//! gate on [`sc_obs::enabled`] before touching them, so the disabled cost
+//! is a single relaxed load per call site.
+//!
+//! Metric map:
+//!
+//! | name                           | kind      | meaning                                  |
+//! |--------------------------------|-----------|------------------------------------------|
+//! | `nosql.memtable.puts`          | counter   | rows applied to a memtable               |
+//! | `nosql.commitlog.appends`      | counter   | commit-log append calls (batch = 1)      |
+//! | `nosql.commitlog.append_bytes` | counter   | framed bytes appended to the commit log  |
+//! | `nosql.flush.*`                | span      | memtable → SSTable flush (bytes = SSTable size) |
+//! | `nosql.compaction.*`           | span      | one merge run (bytes = bytes written)    |
+//! | `nosql.compaction.bytes_in`    | counter   | bytes read by merges (input amplification) |
+//! | `nosql.compaction.bytes_out`   | counter   | bytes written by merges                  |
+//! | `nosql.read.point_queries`     | counter   | `get` calls                              |
+//! | `nosql.read.sstables_per_get`  | histogram | SSTables probed per `get`                |
+//! | `nosql.recovery.*`             | span      | `Db` recovery (replay + manifest load)   |
+//! | `nosql.recovery.replayed_records` | counter | commit-log records re-applied           |
+
+use sc_obs::{Counter, Histogram, Registry, SpanHandle};
+use std::sync::OnceLock;
+
+pub(crate) struct NosqlObs {
+    pub memtable_puts: Counter,
+    pub commitlog_appends: Counter,
+    pub commitlog_append_bytes: Counter,
+    pub flush: SpanHandle,
+    pub compaction: SpanHandle,
+    pub compaction_bytes_in: Counter,
+    pub compaction_bytes_out: Counter,
+    pub point_queries: Counter,
+    pub sstables_per_get: Histogram,
+    pub recovery: SpanHandle,
+    pub replayed_records: Counter,
+}
+
+pub(crate) fn nosql() -> &'static NosqlObs {
+    static OBS: OnceLock<NosqlObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = Registry::global();
+        NosqlObs {
+            memtable_puts: r.counter("nosql.memtable.puts"),
+            commitlog_appends: r.counter("nosql.commitlog.appends"),
+            commitlog_append_bytes: r.counter("nosql.commitlog.append_bytes"),
+            flush: r.span("nosql.flush"),
+            compaction: r.span("nosql.compaction"),
+            compaction_bytes_in: r.counter("nosql.compaction.bytes_in"),
+            compaction_bytes_out: r.counter("nosql.compaction.bytes_out"),
+            point_queries: r.counter("nosql.read.point_queries"),
+            sstables_per_get: r.histogram("nosql.read.sstables_per_get"),
+            recovery: r.span("nosql.recovery"),
+            replayed_records: r.counter("nosql.recovery.replayed_records"),
+        }
+    })
+}

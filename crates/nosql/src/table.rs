@@ -93,6 +93,9 @@ impl TableRuntime {
             })?;
         }
         let size = key.len() + body.len();
+        if sc_obs::enabled() {
+            crate::obs::nosql().memtable_puts.inc();
+        }
         self.memtable.put(key, Entry { row, timestamp }, size);
         if self.memtable.approximate_bytes() >= self.options.memtable_flush_bytes {
             self.flush()?;
@@ -123,11 +126,23 @@ impl TableRuntime {
 
     /// Point read through memtable then SSTables (newest first).
     pub fn get(&self, key: &[u8]) -> Result<Option<Row>> {
+        let stats = sc_obs::enabled();
+        if stats {
+            crate::obs::nosql().point_queries.inc();
+        }
         if let Some(entry) = self.memtable.get(key) {
+            if stats {
+                crate::obs::nosql().sstables_per_get.record(0);
+            }
             return Ok(entry.row.clone());
         }
+        let mut probed = 0u64;
         for sst in self.sstables.iter().rev() {
+            probed += 1;
             if let Some(e) = sst.get(key)? {
+                if stats {
+                    crate::obs::nosql().sstables_per_get.record(probed);
+                }
                 return Ok(match e.body {
                     Some(body) => {
                         let mut dec = Decoder::new(&body);
@@ -136,6 +151,9 @@ impl TableRuntime {
                     None => None,
                 });
             }
+        }
+        if stats {
+            crate::obs::nosql().sstables_per_get.record(probed);
         }
         Ok(None)
     }
@@ -198,6 +216,7 @@ impl TableRuntime {
         if self.memtable.is_empty() {
             return Ok(());
         }
+        let mut span = crate::obs::nosql().flush.start();
         let drained = self.memtable.drain();
         let mut entries = Vec::with_capacity(drained.len());
         for (key, entry) in drained {
@@ -221,6 +240,8 @@ impl TableRuntime {
         self.manifest
             .commit(&ManifestEdit::add(self.def.qualified_name(), &file))?;
         self.sstables.push(SsTable::open(self.vfs.clone(), &file)?);
+        span.add_bytes(self.sstables.last().map(SsTable::size).unwrap_or(0));
+        drop(span);
         if self.sstables.len() >= self.options.compaction_threshold {
             self.compact_tiered()?;
         }
@@ -263,6 +284,11 @@ impl TableRuntime {
     /// Merges the age-contiguous run `[start..=end]` of SSTables into one,
     /// preserving the run's position in the age order.
     fn merge_run(&mut self, start: usize, end: usize) -> Result<()> {
+        let mut span = crate::obs::nosql().compaction.start();
+        if sc_obs::enabled() {
+            let bytes_in: u64 = self.sstables[start..=end].iter().map(SsTable::size).sum();
+            crate::obs::nosql().compaction_bytes_in.add(bytes_in);
+        }
         let mut merged: std::collections::BTreeMap<Vec<u8>, SstEntry> =
             std::collections::BTreeMap::new();
         for sst in &self.sstables[start..=end] {
@@ -281,6 +307,10 @@ impl TableRuntime {
         self.next_sst_id += 1;
         write_sstable(&self.vfs, &file, &entries)?;
         let new = SsTable::open(self.vfs.clone(), &file)?;
+        span.add_bytes(new.size());
+        if sc_obs::enabled() {
+            crate::obs::nosql().compaction_bytes_out.add(new.size());
+        }
         // One append swaps the whole run atomically; the edit's splice
         // position records where the merged table sits in age order. Only
         // after the swap is durable are the old files deleted — a crash in

@@ -1,0 +1,204 @@
+//! Exposition: render a [`RegistrySnapshot`] as Prometheus-style text or
+//! JSON. Both are hand-rolled over the snapshot (no serializer dependency;
+//! metric names are dotted identifiers, so escaping reduces to numbers and
+//! fixed name characters).
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::RegistrySnapshot;
+use std::fmt::Write;
+
+fn prom_name(name: &str) -> String {
+    name.replace(['.', '-'], "_")
+}
+
+impl RegistrySnapshot {
+    /// Prometheus text format: counters and gauges as single samples,
+    /// histograms as `_count` / `_sum` / cumulative `_bucket{le="..."}`
+    /// series ending in `le="+Inf"`. Only non-empty buckets (plus `+Inf`)
+    /// are emitted.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for &(bound, count) in &h.buckets {
+                cumulative += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum, h.count);
+        }
+        out
+    }
+
+    /// JSON object `{"counters": {...}, "gauges": {...}, "histograms":
+    /// {...}}`; each histogram carries count/sum/min/max/mean/p50/p99 and
+    /// its non-empty buckets as `[{"le": bound, "n": count}, ...]`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(&mut out, &self.counters, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, &self.gauges, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(&mut out, &self.histograms, |out, h| {
+            push_histogram_json(out, h);
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Human-oriented report: aligned name/value lines for counters and
+    /// gauges, one summary line per histogram. This is what `repro --stats`
+    /// prints.
+    pub fn to_text_report(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {value}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<width$}  {value}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  count={} sum={} min={} max={} mean={} p50~{} p99~{}",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+fn push_entries<T>(
+    out: &mut String,
+    entries: &[(String, T)],
+    mut value: impl FnMut(&mut String, &T),
+) {
+    for (i, (name, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        out.push_str(name);
+        out.push_str("\": ");
+        value(out, v);
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn push_histogram_json(out: &mut String, h: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.99),
+    );
+    for (i, &(bound, n)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{{\"le\": {bound}, \"n\": {n}}}");
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    fn sample() -> crate::RegistrySnapshot {
+        let registry = Registry::new();
+        registry.counter("x.ops.total").add(3);
+        registry.gauge("x.queue.depth").set(-2);
+        let h = registry.histogram("x.put.ns");
+        h.record(1);
+        h.record(3);
+        h.record(900);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = sample().to_prometheus_text();
+        assert!(text.contains("# TYPE x_ops_total counter"));
+        assert!(text.contains("x_ops_total 3"));
+        assert!(text.contains("x_queue_depth -2"));
+        // Cumulative buckets: le=1 → 1, le=3 → 2, le=1023 → 3, +Inf → 3.
+        assert!(text.contains("x_put_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("x_put_ns_bucket{le=\"3\"} 2"));
+        assert!(text.contains("x_put_ns_bucket{le=\"1023\"} 3"));
+        assert!(text.contains("x_put_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("x_put_ns_sum 904"));
+        assert!(text.contains("x_put_ns_count 3"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = sample().to_json();
+        assert!(json.contains("\"x.ops.total\": 3"));
+        assert!(json.contains("\"x.queue.depth\": -2"));
+        assert!(json.contains("\"count\": 3"));
+        assert!(json.contains("{\"le\": 1, \"n\": 1}"));
+        // Crude structural sanity: balanced braces/brackets.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn text_report_lists_everything() {
+        let report = sample().to_text_report();
+        assert!(report.contains("x.ops.total"));
+        assert!(report.contains("x.queue.depth"));
+        assert!(report.contains("count=3"));
+        let empty = Registry::new().snapshot().to_text_report();
+        assert!(empty.contains("no metrics recorded"));
+    }
+}

@@ -1,0 +1,85 @@
+//! # sc-obs
+//!
+//! Workspace-wide observability: a zero-dependency metric registry plus a
+//! lightweight structured-tracing facility. Every crate in the data path
+//! (`sc-storage`, `sc-nosql`, `sc-dwarf`, `sc-stream`) records into one
+//! process-global [`Registry`]; `repro obs` / `repro ... --stats` render it.
+//!
+//! ## Model
+//!
+//! * **Counters** — monotonic `u64`s (`nosql.commitlog.append_bytes`).
+//! * **Gauges** — signed instantaneous values (`nosql.memtable.bytes`).
+//! * **Histograms** — log-bucketed (powers of two) latency/size
+//!   distributions with count/sum/min/max and quantile estimates.
+//! * **Spans** — RAII guards ([`SpanHandle::start`], or the [`span!`]
+//!   macro) that time a region, feed a `<name>.duration_ns` histogram (plus
+//!   `<name>.bytes` when bytes are attached) and push a [`SpanEvent`] into
+//!   a bounded ring buffer that tests and the CLI can [`drain_events`].
+//!
+//! Metric names follow the convention **`crate.component.metric`**
+//! (e.g. `storage.vfs.append_bytes`, `dwarf.build.nodes`).
+//!
+//! ## Hot-path cost
+//!
+//! Recording is lock-free: every metric cell is a relaxed `AtomicU64`.
+//! A process-wide toggle ([`set_enabled`]) turns all recording off; the
+//! disabled path of [`Counter::add`], [`Histogram::record`] and
+//! [`SpanHandle::start`] is a **single relaxed atomic load** and never
+//! allocates (proven by `tests/no_alloc.rs`). The registry lock is touched
+//! only at handle registration time — instrumented code caches handles in
+//! `OnceLock` statics or struct fields, never looks them up per operation.
+//!
+//! ## Scoped views
+//!
+//! [`Registry::child`] creates a registry whose metrics *chain* to their
+//! same-named parents: one `add` increments both the local cell and the
+//! global one. `sc_stream::Metrics` uses this to keep per-pipeline
+//! snapshots (windows are independent) while the global registry still
+//! accumulates process totals.
+//!
+//! ```
+//! use sc_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let puts = registry.counter("demo.engine.puts");
+//! let latency = registry.histogram("demo.engine.put_ns");
+//! puts.inc();
+//! latency.record(850);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("demo.engine.puts"), Some(1));
+//! assert!(snap.to_json().contains("demo.engine.puts"));
+//! ```
+
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use span::{
+    drain_events, events_dropped, set_event_capacity, SpanEvent, SpanGuard, SpanHandle,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide recording switch. `true` at startup.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether recording is enabled (one relaxed load — this is the entire
+/// disabled fast path of every recording primitive).
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns all metric recording and span tracing on or off at runtime.
+///
+/// Already-recorded values are kept; use [`Registry::reset`] to zero them.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+// The global on/off toggle is tested in `tests/no_alloc.rs`, which runs in
+// its own process: unit tests here share one binary and assume recording
+// stays enabled, so flipping the process-wide switch mid-run would race.

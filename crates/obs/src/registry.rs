@@ -1,0 +1,420 @@
+//! Named-metric registry: get-or-register counters, gauges and histograms,
+//! snapshot/reset, and parent-chained child registries for scoped views.
+
+use crate::enabled;
+use crate::histogram::{Histogram, HistogramCore, HistogramSnapshot};
+use crate::span::SpanHandle;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonic counter handle. Cloning is cheap; all clones (and the parent
+/// chain's same-named counters) share storage.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cells: Arc<[Arc<AtomicU64>]>,
+}
+
+impl Counter {
+    /// Adds `n`. No-op (a single relaxed load) while observability is
+    /// disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        for cell in self.cells.iter() {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value of the local (first) cell.
+    pub fn get(&self) -> u64 {
+        self.cells[0].load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous-value handle.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cells: Arc<[Arc<AtomicI64>]>,
+}
+
+impl Gauge {
+    /// Adds `delta` (may be negative). No-op while observability is
+    /// disabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if !enabled() {
+            return;
+        }
+        for cell in self.cells.iter() {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets every cell in the chain to `value`. No-op while disabled.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if !enabled() {
+            return;
+        }
+        for cell in self.cells.iter() {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of the local (first) cell.
+    pub fn get(&self) -> i64 {
+        self.cells[0].load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+enum Entry {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Entry {
+    fn kind(&self) -> &'static str {
+        match self {
+            Entry::Counter(_) => "counter",
+            Entry::Gauge(_) => "gauge",
+            Entry::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    parent: Option<Registry>,
+    metrics: Mutex<BTreeMap<String, Entry>>,
+}
+
+/// A registry of named metrics.
+///
+/// [`Registry::global`] is the process-wide instance every instrumented
+/// crate records into. [`Registry::child`] builds a scoped view whose
+/// metrics also feed their same-named parents, so per-pipeline snapshots
+/// and process totals coexist (see `sc_stream::Metrics`).
+///
+/// Registration takes a lock and may allocate; recording through the
+/// returned handles is lock-free. Callers therefore register once (e.g. in
+/// a `OnceLock` static or a struct field) and record through the handle.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry with no parent.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Arc::new(Inner {
+                parent: None,
+                metrics: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The process-global registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// A child registry: metrics registered on it keep their own local
+    /// cells *and* chain every update into the same-named metric of this
+    /// registry (and its ancestors).
+    pub fn child(&self) -> Registry {
+        Registry {
+            inner: Arc::new(Inner {
+                parent: Some(self.clone()),
+                metrics: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    fn local_counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut metrics = self.inner.metrics.lock().expect("registry lock poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Counter(Arc::new(AtomicU64::new(0))))
+        {
+            Entry::Counter(cell) => Arc::clone(cell),
+            other => panic!(
+                "metric {name:?} already registered as a {}, not a counter",
+                other.kind()
+            ),
+        }
+    }
+
+    fn local_gauge_cell(&self, name: &str) -> Arc<AtomicI64> {
+        let mut metrics = self.inner.metrics.lock().expect("registry lock poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Gauge(Arc::new(AtomicI64::new(0))))
+        {
+            Entry::Gauge(cell) => Arc::clone(cell),
+            other => panic!(
+                "metric {name:?} already registered as a {}, not a gauge",
+                other.kind()
+            ),
+        }
+    }
+
+    fn local_histogram_core(&self, name: &str) -> Arc<HistogramCore> {
+        let mut metrics = self.inner.metrics.lock().expect("registry lock poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Histogram(Arc::new(HistogramCore::new())))
+        {
+            Entry::Histogram(core) => Arc::clone(core),
+            other => panic!(
+                "metric {name:?} already registered as a {}, not a histogram",
+                other.kind()
+            ),
+        }
+    }
+
+    fn chain<T>(&self, mut local: impl FnMut(&Registry) -> T) -> Vec<T> {
+        let mut cells = Vec::new();
+        let mut registry = Some(self);
+        while let Some(r) = registry {
+            cells.push(local(r));
+            registry = r.inner.parent.as_ref();
+        }
+        cells
+    }
+
+    /// Gets or registers the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter {
+            cells: self.chain(|r| r.local_counter_cell(name)).into(),
+        }
+    }
+
+    /// Gets or registers the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge {
+            cells: self.chain(|r| r.local_gauge_cell(name)).into(),
+        }
+    }
+
+    /// Gets or registers the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram {
+            cores: self.chain(|r| r.local_histogram_core(name)).into(),
+        }
+    }
+
+    /// Gets or registers the pair of histograms backing span `name`
+    /// (`{name}.duration_ns` and `{name}.bytes`) and returns the reusable
+    /// handle. See [`SpanHandle`].
+    pub fn span(&self, name: &'static str) -> SpanHandle {
+        SpanHandle::new(
+            name,
+            self.histogram(&format!("{name}.duration_ns")),
+            self.histogram(&format!("{name}.bytes")),
+        )
+    }
+
+    /// A point-in-time copy of all *local* metrics, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = self.inner.metrics.lock().expect("registry lock poisoned");
+        let mut snap = RegistrySnapshot::default();
+        for (name, entry) in metrics.iter() {
+            match entry {
+                Entry::Counter(cell) => snap
+                    .counters
+                    .push((name.clone(), cell.load(Ordering::Relaxed))),
+                Entry::Gauge(cell) => snap
+                    .gauges
+                    .push((name.clone(), cell.load(Ordering::Relaxed))),
+                Entry::Histogram(core) => snap.histograms.push((name.clone(), core.snapshot())),
+            }
+        }
+        snap
+    }
+
+    /// Zeroes every *local* metric (parents are untouched). Registered
+    /// handles stay valid.
+    pub fn reset(&self) {
+        let metrics = self.inner.metrics.lock().expect("registry lock poisoned");
+        for entry in metrics.values() {
+            match entry {
+                Entry::Counter(cell) => cell.store(0, Ordering::Relaxed),
+                Entry::Gauge(cell) => cell.store(0, Ordering::Relaxed),
+                Entry::Histogram(core) => core.reset(),
+            }
+        }
+    }
+}
+
+/// A point-in-time copy of a registry's metrics, each list sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// The value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The snapshot of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// True when no metric has recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn get_or_register_returns_shared_storage() {
+        let registry = Registry::new();
+        let a = registry.counter("r.a.hits");
+        let b = registry.counter("r.a.hits");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(registry.snapshot().counter("r.a.hits"), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("r.kind.clash");
+        registry.histogram("r.kind.clash");
+    }
+
+    #[test]
+    fn child_chains_to_parent() {
+        let parent = Registry::new();
+        let child = parent.child();
+        let c = child.counter("r.chain.n");
+        c.add(5);
+        assert_eq!(child.snapshot().counter("r.chain.n"), Some(5));
+        assert_eq!(parent.snapshot().counter("r.chain.n"), Some(5));
+        // A second child keeps its own local view; the parent accumulates.
+        let c2 = parent.child().counter("r.chain.n");
+        c2.add(7);
+        assert_eq!(c2.get(), 7);
+        assert_eq!(parent.snapshot().counter("r.chain.n"), Some(12));
+        assert_eq!(child.snapshot().counter("r.chain.n"), Some(5));
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let registry = Registry::new();
+        let g = registry.gauge("r.g.level");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        assert_eq!(registry.snapshot().gauge("r.g.level"), Some(7));
+    }
+
+    #[test]
+    fn reset_zeroes_local_only() {
+        let parent = Registry::new();
+        let child = parent.child();
+        let c = child.counter("r.reset.n");
+        let h = child.histogram("r.reset.h");
+        c.add(4);
+        h.record(9);
+        child.reset();
+        assert_eq!(child.snapshot().counter("r.reset.n"), Some(0));
+        assert_eq!(child.snapshot().histogram("r.reset.h").unwrap().count, 0);
+        assert_eq!(parent.snapshot().counter("r.reset.n"), Some(4));
+        assert_eq!(c.get(), 0, "handle stays valid after reset");
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_under_concurrent_increment_is_coherent() {
+        let registry = Registry::new();
+        let c = registry.counter("r.conc.n");
+        let h = registry.histogram("r.conc.h");
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 10_000;
+        thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.record(i % 7);
+                    }
+                });
+            }
+            // Snapshots taken mid-flight must be internally sane: counts
+            // monotone, histogram bucket total == histogram count is NOT
+            // guaranteed mid-update, but nothing may exceed the final total
+            // and nothing may go backwards.
+            let mut last = 0u64;
+            for _ in 0..100 {
+                let snap = registry.snapshot();
+                let n = snap.counter("r.conc.n").unwrap();
+                assert!(n >= last, "counter went backwards: {n} < {last}");
+                assert!(n <= THREADS as u64 * PER_THREAD);
+                last = n;
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("r.conc.n"), Some(THREADS as u64 * PER_THREAD));
+        let hs = snap.histogram("r.conc.h").unwrap();
+        assert_eq!(hs.count, THREADS as u64 * PER_THREAD);
+        assert_eq!(hs.buckets.iter().map(|&(_, n)| n).sum::<u64>(), hs.count);
+    }
+}

@@ -1,0 +1,269 @@
+//! RAII span tracing.
+//!
+//! A [`SpanHandle`] names a region of code and owns the two histograms the
+//! region feeds (`{name}.duration_ns`, `{name}.bytes`). [`SpanHandle::start`]
+//! returns a [`SpanGuard`] that, on drop, records the elapsed monotonic time
+//! (always), the attached byte count (when non-zero), and pushes a
+//! [`SpanEvent`] into a process-global bounded ring buffer that tests and
+//! the CLI drain with [`drain_events`].
+//!
+//! Nesting depth is tracked per thread, so a drained event stream can be
+//! re-indented into a trace. The ring buffer drops the *oldest* event when
+//! full and never reallocates after creation; [`events_dropped`] counts the
+//! losses.
+//!
+//! The [`span!`](crate::span!) macro caches the handle lookup in a
+//! per-call-site static, making the steady-state cost of an instrumented
+//! region one atomic load (disabled) or one `Instant::now` pair plus a few
+//! relaxed RMWs (enabled).
+
+use crate::enabled;
+use crate::histogram::Histogram;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+/// One completed span occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (the `span!`/[`Registry::span`](crate::Registry::span) argument).
+    pub name: &'static str,
+    /// Nesting depth at entry (0 = outermost) on the recording thread.
+    pub depth: u16,
+    /// Elapsed wall time, monotonic, in nanoseconds.
+    pub duration_ns: u64,
+    /// Bytes attached via [`SpanGuard::add_bytes`] (0 if none).
+    pub bytes: u64,
+}
+
+#[derive(Debug)]
+struct Sink {
+    buf: VecDeque<SpanEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Sink {
+    fn push(&mut self, event: SpanEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+}
+
+const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        Mutex::new(Sink {
+            buf: VecDeque::with_capacity(DEFAULT_EVENT_CAPACITY),
+            cap: DEFAULT_EVENT_CAPACITY,
+            dropped: 0,
+        })
+    })
+}
+
+/// Removes and returns all buffered span events, oldest first.
+pub fn drain_events() -> Vec<SpanEvent> {
+    sink()
+        .lock()
+        .expect("span sink poisoned")
+        .buf
+        .drain(..)
+        .collect()
+}
+
+/// Events discarded because the ring buffer was full, since process start.
+pub fn events_dropped() -> u64 {
+    sink().lock().expect("span sink poisoned").dropped
+}
+
+/// Resizes the ring buffer (oldest events are discarded if shrinking).
+/// Capacity 0 disables event buffering without disabling the histograms.
+pub fn set_event_capacity(cap: usize) {
+    let mut s = sink().lock().expect("span sink poisoned");
+    s.cap = cap;
+    while s.buf.len() > cap {
+        s.buf.pop_front();
+        s.dropped += 1;
+    }
+    let additional = cap.saturating_sub(s.buf.capacity());
+    s.buf.reserve_exact(additional);
+}
+
+/// A named, reusable span. Obtain one from [`Registry::span`](crate::Registry::span) (or the
+/// [`span!`](crate::span!) macro, which caches the lookup per call site).
+#[derive(Debug, Clone)]
+pub struct SpanHandle {
+    name: &'static str,
+    duration_ns: Histogram,
+    bytes: Histogram,
+}
+
+impl SpanHandle {
+    pub(crate) fn new(name: &'static str, duration_ns: Histogram, bytes: Histogram) -> SpanHandle {
+        SpanHandle {
+            name,
+            duration_ns,
+            bytes,
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Enters the span. While observability is disabled this is a single
+    /// relaxed load and the returned guard is inert.
+    #[inline]
+    pub fn start(&self) -> SpanGuard<'_> {
+        if !enabled() {
+            return SpanGuard { active: None };
+        }
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth.saturating_add(1));
+            depth
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                handle: self,
+                started: Instant::now(),
+                depth,
+                bytes: 0,
+            }),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan<'a> {
+    handle: &'a SpanHandle,
+    started: Instant,
+    depth: u16,
+    bytes: u64,
+}
+
+/// RAII guard for an entered span; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    active: Option<ActiveSpan<'a>>,
+}
+
+impl SpanGuard<'_> {
+    /// Attributes `n` bytes to this span occurrence (e.g. bytes flushed).
+    #[inline]
+    pub fn add_bytes(&mut self, n: u64) {
+        if let Some(active) = &mut self.active {
+            active.bytes = active.bytes.saturating_add(n);
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let duration_ns = u64::try_from(active.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        active.handle.duration_ns.record(duration_ns);
+        if active.bytes > 0 {
+            active.handle.bytes.record(active.bytes);
+        }
+        let event = SpanEvent {
+            name: active.handle.name,
+            depth: active.depth,
+            duration_ns,
+            bytes: active.bytes,
+        };
+        let mut s = sink().lock().expect("span sink poisoned");
+        if s.cap > 0 {
+            s.push(event);
+        }
+    }
+}
+
+/// Enters a named span on the global registry, caching the handle in a
+/// per-call-site static. Returns a [`SpanGuard`].
+///
+/// ```
+/// let mut guard = sc_obs::span!("doc.demo.work");
+/// guard.add_bytes(128);
+/// drop(guard);
+/// let snap = sc_obs::Registry::global().snapshot();
+/// assert_eq!(snap.histogram("doc.demo.work.bytes").unwrap().count, 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static __SC_OBS_SPAN: ::std::sync::OnceLock<$crate::SpanHandle> =
+            ::std::sync::OnceLock::new();
+        __SC_OBS_SPAN
+            .get_or_init(|| $crate::Registry::global().span($name))
+            .start()
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn span_records_duration_bytes_depth_and_event() {
+        let registry = Registry::new();
+        let outer = registry.span("t.span.outer");
+        let inner = registry.span("t.span.inner");
+        {
+            let mut outer_guard = outer.start();
+            outer_guard.add_bytes(100);
+            outer_guard.add_bytes(28);
+            {
+                let _inner_guard = inner.start();
+                std::hint::black_box(());
+            }
+        }
+        let snap = registry.snapshot();
+        let outer_ns = snap.histogram("t.span.outer.duration_ns").unwrap();
+        assert_eq!(outer_ns.count, 1);
+        assert!(outer_ns.sum > 0, "monotonic duration must be non-zero ns");
+        let outer_bytes = snap.histogram("t.span.outer.bytes").unwrap();
+        assert_eq!(outer_bytes.sum, 128);
+        // Inner span recorded no bytes → bytes histogram stays empty.
+        assert_eq!(snap.histogram("t.span.inner.bytes").unwrap().count, 0);
+        // Both events are in the global sink with correct relative depth
+        // (other tests may interleave events, so filter by name).
+        let events = drain_events();
+        let outer_ev = events.iter().find(|e| e.name == "t.span.outer").unwrap();
+        let inner_ev = events.iter().find(|e| e.name == "t.span.inner").unwrap();
+        assert_eq!(inner_ev.depth, outer_ev.depth + 1);
+        assert_eq!(outer_ev.bytes, 128);
+        assert!(outer_ev.duration_ns >= inner_ev.duration_ns);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        // Use a private registry but the shared global sink; serialise with
+        // a big enough burst that ordering among our own events is certain.
+        let registry = Registry::new();
+        let handle = registry.span("t.span.ring");
+        drain_events();
+        let before_dropped = events_dropped();
+        for _ in 0..DEFAULT_EVENT_CAPACITY + 10 {
+            let _g = handle.start();
+        }
+        let events = drain_events();
+        assert!(events.len() <= DEFAULT_EVENT_CAPACITY);
+        assert!(events_dropped() >= before_dropped + 10);
+    }
+}

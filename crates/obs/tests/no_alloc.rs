@@ -1,0 +1,79 @@
+//! Proves the disabled-observability fast path performs **zero heap
+//! allocations** (and drops all recording), and that re-enabling works.
+//!
+//! Runs as an integration test so it owns the process-global toggle —
+//! flipping it inside the unit-test binary would race with tests that
+//! assume recording is on.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_path_records_nothing_and_never_allocates() {
+    let registry = sc_obs::Registry::new();
+    // Registration (allowed to allocate) happens once, up front — exactly
+    // how instrumented code caches handles in statics or struct fields.
+    let counter = registry.counter("na.fast.ops");
+    let gauge = registry.gauge("na.fast.depth");
+    let histogram = registry.histogram("na.fast.ns");
+    let span = registry.span("na.fast.work");
+
+    // Warm every code path once while enabled (first `Instant::now`, TLS
+    // init, ring-buffer `OnceLock` init all happen here).
+    counter.inc();
+    gauge.set(1);
+    histogram.record(42);
+    drop(span.start());
+
+    sc_obs::set_enabled(false);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        counter.add(i);
+        gauge.add(1);
+        histogram.record(i);
+        let mut guard = span.start();
+        guard.add_bytes(i);
+    }
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    sc_obs::set_enabled(true);
+    assert_eq!(allocated, 0, "disabled hot path must not allocate");
+
+    // Nothing was recorded while disabled…
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("na.fast.ops"), Some(1));
+    assert_eq!(snap.gauge("na.fast.depth"), Some(1));
+    assert_eq!(snap.histogram("na.fast.ns").unwrap().count, 1);
+    assert_eq!(snap.histogram("na.fast.work.duration_ns").unwrap().count, 1);
+
+    // …and recording resumes after re-enabling.
+    counter.inc();
+    histogram.record(7);
+    drop(span.start());
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("na.fast.ops"), Some(2));
+    assert_eq!(snap.histogram("na.fast.ns").unwrap().count, 2);
+    assert_eq!(snap.histogram("na.fast.work.duration_ns").unwrap().count, 2);
+}

@@ -116,6 +116,9 @@ impl FaultState {
         });
         if s.crash_at == Some(index) {
             s.crashed_at = Some(index);
+            if sc_obs::enabled() {
+                crate::obs::vfs().injected_crashes.inc();
+            }
             return Ok(false);
         }
         Ok(true)

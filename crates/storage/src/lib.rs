@@ -20,6 +20,7 @@
 //! crash-recovery testing; see the [`fault`] module.
 
 pub mod fault;
+mod obs;
 
 pub use fault::{FaultHandle, FaultOp};
 
@@ -138,8 +139,12 @@ impl Vfs {
     /// Appends `data` to `name`, creating it if missing. Returns the offset
     /// the data was written at.
     pub fn append(&self, name: &str, data: &[u8]) -> Result<u64> {
+        // Only the Memory/Disk leaf arms record I/O metrics: the fault
+        // backend re-enters this method on its wrapped VFS, whose leaf arm
+        // then counts the operation exactly once.
         match &*self.backend {
             Backend::Memory(files) => {
+                self.record_append(data.len());
                 let mut files = files.lock().expect("vfs lock poisoned");
                 let file = files.entry(name.to_string()).or_default();
                 let offset = file.len() as u64;
@@ -147,6 +152,7 @@ impl Vfs {
                 Ok(offset)
             }
             Backend::Disk(root) => {
+                self.record_append(data.len());
                 let path = Self::disk_path(root, name);
                 if let Some(parent) = path.parent() {
                     fs::create_dir_all(parent)?;
@@ -163,10 +169,27 @@ impl Vfs {
         }
     }
 
+    fn record_append(&self, len: usize) {
+        if sc_obs::enabled() {
+            let o = obs::vfs();
+            o.append_ops.inc();
+            o.append_bytes.add(len as u64);
+        }
+    }
+
+    fn record_read(&self, len: usize) {
+        if sc_obs::enabled() {
+            let o = obs::vfs();
+            o.read_ops.inc();
+            o.read_bytes.add(len as u64);
+        }
+    }
+
     /// Reads `len` bytes at `offset` from `name`.
     pub fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         match &*self.backend {
             Backend::Memory(files) => {
+                self.record_read(len);
                 let files = files.lock().expect("vfs lock poisoned");
                 let file = files
                     .get(name)
@@ -183,6 +206,7 @@ impl Vfs {
                 }
             }
             Backend::Disk(root) => {
+                self.record_read(len);
                 let path = Self::disk_path(root, name);
                 let mut f =
                     fs::File::open(&path).map_err(|_| StorageError::NotFound(name.to_string()))?;
@@ -234,10 +258,16 @@ impl Vfs {
     pub fn delete(&self, name: &str) -> Result<()> {
         match &*self.backend {
             Backend::Memory(files) => {
+                if sc_obs::enabled() {
+                    obs::vfs().delete_ops.inc();
+                }
                 files.lock().expect("vfs lock poisoned").remove(name);
                 Ok(())
             }
             Backend::Disk(root) => {
+                if sc_obs::enabled() {
+                    obs::vfs().delete_ops.inc();
+                }
                 let path = Self::disk_path(root, name);
                 match fs::remove_file(path) {
                     Ok(()) => Ok(()),
@@ -254,6 +284,9 @@ impl Vfs {
     pub fn truncate(&self, name: &str, len: u64) -> Result<()> {
         match &*self.backend {
             Backend::Memory(files) => {
+                if sc_obs::enabled() {
+                    obs::vfs().truncate_ops.inc();
+                }
                 let mut files = files.lock().expect("vfs lock poisoned");
                 let file = files
                     .get_mut(name)
@@ -264,6 +297,9 @@ impl Vfs {
                 Ok(())
             }
             Backend::Disk(root) => {
+                if sc_obs::enabled() {
+                    obs::vfs().truncate_ops.inc();
+                }
                 let path = Self::disk_path(root, name);
                 let f = fs::OpenOptions::new()
                     .write(true)

@@ -1,0 +1,38 @@
+//! VFS instrumentation handles (`storage.vfs.*`, `storage.fault.*`).
+//!
+//! Handles are registered once on the global registry and cached in a
+//! `OnceLock`; hot paths gate on [`sc_obs::enabled`] *before* touching the
+//! lock-free counters, so the disabled cost is a single relaxed load.
+//!
+//! Only the Memory/Disk leaf arms of [`Vfs`](crate::Vfs) record: the fault
+//! backend delegates to its wrapped VFS, whose leaf arm then counts the
+//! operation exactly once.
+
+use sc_obs::{Counter, Registry};
+use std::sync::OnceLock;
+
+pub(crate) struct VfsObs {
+    pub append_ops: Counter,
+    pub append_bytes: Counter,
+    pub read_ops: Counter,
+    pub read_bytes: Counter,
+    pub delete_ops: Counter,
+    pub truncate_ops: Counter,
+    pub injected_crashes: Counter,
+}
+
+pub(crate) fn vfs() -> &'static VfsObs {
+    static OBS: OnceLock<VfsObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = Registry::global();
+        VfsObs {
+            append_ops: r.counter("storage.vfs.append_ops"),
+            append_bytes: r.counter("storage.vfs.append_bytes"),
+            read_ops: r.counter("storage.vfs.read_ops"),
+            read_bytes: r.counter("storage.vfs.read_bytes"),
+            delete_ops: r.counter("storage.vfs.delete_ops"),
+            truncate_ops: r.counter("storage.vfs.truncate_ops"),
+            injected_crashes: r.counter("storage.fault.injected_crashes"),
+        }
+    })
+}

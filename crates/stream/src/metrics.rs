@@ -1,57 +1,78 @@
-//! Runtime counters for the streaming pipeline.
+//! Runtime counters for the streaming pipeline, backed by `sc-obs`.
 //!
 //! Workers, the merger and the ingest front-end all share one [`Metrics`]
-//! registry through an `Arc`; every counter is a relaxed `AtomicU64`
-//! (counters are independent — no ordering is implied between them, and a
-//! snapshot is only ever taken after the threads it observes have quiesced
-//! or for advisory progress reporting).
+//! view through an `Arc`. Each `Metrics` is a *child* of the global
+//! [`sc_obs::Registry`]: the handles below keep per-pipeline local cells
+//! (so concurrent pipelines — and tests — see only their own traffic)
+//! while every increment also feeds the process-wide `stream.*` totals
+//! that `repro obs` / `--stats` report.
+//!
+//! Counters are independent relaxed atomics — no ordering is implied
+//! between them, and a snapshot is only ever taken after the threads it
+//! observes have quiesced or for advisory progress reporting.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use sc_obs::{Counter, Registry};
 
-/// Shared atomic counters, incremented live by pipeline threads.
-#[derive(Debug, Default)]
+/// Shared counters, incremented live by pipeline threads.
+#[derive(Debug)]
 pub struct Metrics {
     /// Raw payloads accepted by [`StreamIngestor::ingest`](crate::StreamIngestor::ingest).
-    pub events_in: AtomicU64,
+    pub events_in: Counter,
     /// Payloads successfully parsed and extracted by a worker.
-    pub events_parsed: AtomicU64,
+    pub events_parsed: Counter,
     /// Payloads rejected (malformed document or failed extraction).
-    pub events_failed: AtomicU64,
+    pub events_failed: Counter,
     /// Fact tuples extracted across all shards.
-    pub tuples_extracted: AtomicU64,
+    pub tuples_extracted: Counter,
     /// Micro-cubes sealed by watermark or final drain.
-    pub seals: AtomicU64,
+    pub seals: Counter,
     /// Sealed micro-cubes absorbed by the merger.
-    pub merges: AtomicU64,
+    pub merges: Counter,
     /// Merged cubes flushed to a storage backend.
-    pub flushes: AtomicU64,
+    pub flushes: Counter,
     /// Sends that blocked on a full shard queue.
-    pub backpressure_stalls: AtomicU64,
+    pub backpressure_stalls: Counter,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
-    /// Creates a zeroed registry.
+    /// Creates a zeroed per-pipeline view chained to the global registry.
     pub fn new() -> Self {
-        Self::default()
+        let r = Registry::global().child();
+        Metrics {
+            events_in: r.counter("stream.ingest.events_in"),
+            events_parsed: r.counter("stream.worker.events_parsed"),
+            events_failed: r.counter("stream.worker.events_failed"),
+            tuples_extracted: r.counter("stream.worker.tuples_extracted"),
+            seals: r.counter("stream.worker.seals"),
+            merges: r.counter("stream.merger.merges"),
+            flushes: r.counter("stream.warehouse.flushes"),
+            backpressure_stalls: r.counter("stream.ingest.backpressure_stalls"),
+        }
     }
 
     /// Adds `n` to a counter (counters are public so downstream flush
     /// stages — e.g. `sc-core`'s streaming warehouse — can record too).
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    pub fn add(counter: &Counter, n: u64) {
+        counter.add(n);
     }
 
-    /// Copies every counter into a plain-value snapshot.
+    /// Copies every counter's per-pipeline value into a plain snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            events_in: self.events_in.load(Ordering::Relaxed),
-            events_parsed: self.events_parsed.load(Ordering::Relaxed),
-            events_failed: self.events_failed.load(Ordering::Relaxed),
-            tuples_extracted: self.tuples_extracted.load(Ordering::Relaxed),
-            seals: self.seals.load(Ordering::Relaxed),
-            merges: self.merges.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
+            events_in: self.events_in.get(),
+            events_parsed: self.events_parsed.get(),
+            events_failed: self.events_failed.get(),
+            tuples_extracted: self.tuples_extracted.get(),
+            seals: self.seals.get(),
+            merges: self.merges.get(),
+            flushes: self.flushes.get(),
+            backpressure_stalls: self.backpressure_stalls.get(),
         }
     }
 }
@@ -93,5 +114,32 @@ mod tests {
         assert_eq!(snap.backpressure_stalls, 1);
         assert_eq!(snap.events_failed, 0);
         assert_eq!(snap, m.snapshot());
+    }
+
+    #[test]
+    fn pipelines_do_not_see_each_other() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        Metrics::add(&a.events_in, 5);
+        assert_eq!(a.snapshot().events_in, 5);
+        assert_eq!(b.snapshot().events_in, 0);
+    }
+
+    #[test]
+    fn global_registry_accumulates_across_pipelines() {
+        let before = sc_obs::Registry::global()
+            .snapshot()
+            .counter("stream.worker.seals")
+            .unwrap_or(0);
+        let a = Metrics::new();
+        let b = Metrics::new();
+        Metrics::add(&a.seals, 2);
+        Metrics::add(&b.seals, 3);
+        let after = sc_obs::Registry::global()
+            .snapshot()
+            .counter("stream.worker.seals")
+            .unwrap_or(0);
+        // Other tests may run concurrently and seal too, so >= not ==.
+        assert!(after >= before + 5, "global total {after} < {before} + 5");
     }
 }

@@ -6,6 +6,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Deprecated APIs (Db::in_memory / with_options / recover) are build errors:
+# call sites must stay on the typed OpenOptions path.
+export RUSTFLAGS="${RUSTFLAGS:-} -D deprecated"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -17,5 +21,12 @@ cargo test -q
 
 echo "==> crash-matrix smoke (64 points)"
 cargo run --release -p sc-bench --bin repro -- crashtest --points 64
+
+echo "==> observability smoke (repro obs emits a JSON exposition)"
+obs_out="$(cargo run --release -p sc-bench --bin repro -- obs)"
+echo "$obs_out" | grep -q '"histograms"' || {
+    echo "ci.sh: repro obs produced no JSON exposition" >&2
+    exit 1
+}
 
 echo "ci.sh: all green"

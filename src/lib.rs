@@ -17,6 +17,7 @@
 //! * [`stream`] — sharded parallel streaming ingestion (worker pool,
 //!   per-shard micro-cubes, merge)
 //! * [`datagen`] — deterministic synthetic smart-city feeds
+//! * [`obs`] — workspace-wide metrics registry, spans and histograms
 //! * [`xml`], [`json`], [`encoding`], [`storage`] — the substrates
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
@@ -29,6 +30,7 @@ pub use sc_encoding as encoding;
 pub use sc_ingest as ingest;
 pub use sc_json as json;
 pub use sc_nosql as nosql;
+pub use sc_obs as obs;
 pub use sc_relational as relational;
 pub use sc_storage as storage;
 pub use sc_stream as stream;
