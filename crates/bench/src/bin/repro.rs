@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|all]
+//! repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|query|all]
 //!       [--scale F] [--full] [--threads N] [--points N] [--seed S] [--stats]
 //! ```
 //!
@@ -20,6 +20,10 @@
 //! * `obs` runs a small end-to-end workload (streaming ingest → NoSQL
 //!   flush → cube queries → crash/recovery) and emits the full `sc-obs`
 //!   metric registry as a text report, Prometheus exposition and JSON.
+//! * `query` stores a cube in the NoSQL-DWARF model and answers point and
+//!   range queries straight from the stored rows through the cached,
+//!   batched store cursor, reporting per-query read counters (rows
+//!   fetched, batched SELECTs, cache hit ratio) cold and warm.
 //! * `--stats` appends the registry text report after any subcommand.
 //!
 //! Absolute numbers differ from the paper (different hardware, embedded
@@ -77,7 +81,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--threads needs a positive integer"));
             }
             c @ ("table2" | "table4" | "table5" | "fig2" | "fig3" | "fig4" | "stream"
-            | "crashtest" | "obs" | "all") => {
+            | "crashtest" | "obs" | "query" | "all") => {
                 command = c.to_string();
             }
             other => usage(&format!("unknown argument {other:?}")),
@@ -97,6 +101,7 @@ fn main() {
         "stream" => stream(scale, threads),
         "crashtest" => crashtest(seed, points),
         "obs" => obs(threads, seed),
+        "query" => query(scale),
         "all" => {
             fig2();
             fig3();
@@ -104,6 +109,7 @@ fn main() {
             table2(scale);
             tables45(scale, true, true);
             stream(scale, threads);
+            query(scale);
         }
         _ => unreachable!(),
     }
@@ -116,8 +122,8 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|all] [--scale F] \
-         [--full] [--threads N] [--points N] [--seed S] [--stats]"
+        "usage: repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|query|all] \
+         [--scale F] [--full] [--threads N] [--points N] [--seed S] [--stats]"
     );
     std::process::exit(2);
 }
@@ -453,4 +459,92 @@ fn obs(threads: usize, seed: u64) {
     print!("{}", snap.to_prometheus_text());
     println!("\n---- json exposition ----");
     print!("{}", snap.to_json());
+}
+
+/// Store-backed querying: point and range answered straight from stored
+/// NoSQL rows through the cached, batched node cursor.
+fn query(scale: f64) {
+    use sc_core::StoreBackedCube;
+    use sc_dwarf::{RangeSel, Selection};
+
+    header(&format!(
+        "repro query: store-backed point + range through the cached cursor \
+         (Day, scale {scale})"
+    ));
+    let d = prepare_dataset(Window::Day, scale, false);
+    let cube = &d.cube;
+    let mut model = NosqlDwarfModel::in_memory();
+    model.create_schema().expect("schema creation");
+    let report = model
+        .store(&MappedDwarf::new(cube), cube, false)
+        .expect("store");
+    println!(
+        "stored: schema id {}, {} node rows, {} cell rows",
+        report.schema_id, report.node_rows, report.cell_rows
+    );
+    let mut sbc = StoreBackedCube::open(&mut model, report.schema_id).expect("open stored schema");
+
+    // A real fact to query for: the first extracted tuple.
+    let tuples = cube.extract_tuples();
+    let (path, _) = tuples.first().expect("dataset is non-empty");
+    let sel: Vec<Selection> = path.iter().map(|v| Selection::value(v.as_str())).collect();
+    let got = sbc.point(&sel).expect("store-backed point");
+    assert_eq!(got, cube.point(&sel), "store disagrees with in-memory cube");
+    println!("\npoint {path:?} = {got:?} (matches in-memory: ✓)");
+    let cold = sbc.stats();
+    println!(
+        "cold point query: store rows fetched {}, SELECTs {} ({} batched), \
+         cache hit ratio {:.2}",
+        cold.rows_fetched,
+        cold.store_selects,
+        cold.batched_selects,
+        cold.hit_ratio()
+    );
+
+    // Range over the last dimension, everything above aggregated out.
+    let dims = cube.num_dims();
+    let last_keys: Vec<&String> = tuples.iter().map(|(p, _)| &p[dims - 1]).collect();
+    let lo = last_keys.iter().min().expect("non-empty");
+    let hi = last_keys.iter().max().expect("non-empty");
+    let mut rsel = vec![RangeSel::All; dims];
+    rsel[dims - 1] = RangeSel::between(lo.as_str(), hi.as_str());
+    sbc.reset_stats();
+    let rv = sbc.range(&rsel).expect("store-backed range");
+    assert_eq!(rv, cube.range(&rsel), "store disagrees with in-memory cube");
+    let rstats = sbc.stats();
+    println!(
+        "\nrange [{lo} .. {hi}] over {:?} = {rv:?} (matches in-memory: ✓)",
+        cube.schema().dimension(dims - 1)
+    );
+    println!(
+        "cold range query: store rows fetched {}, batched SELECTs {} for {} \
+         node misses (at most one batched SELECT per distinct node: {})",
+        rstats.rows_fetched,
+        rstats.batched_selects,
+        rstats.node_cache_misses,
+        if rstats.batched_selects <= rstats.node_cache_misses {
+            "✓"
+        } else {
+            "✗"
+        }
+    );
+    assert!(
+        rstats.batched_selects <= rstats.node_cache_misses,
+        "batching regressed: more cell SELECTs than node misses"
+    );
+
+    // The same point query again: the node cache answers it entirely.
+    sbc.reset_stats();
+    let warm_got = sbc.point(&sel).expect("warm point");
+    assert_eq!(warm_got, got, "warm answer diverged");
+    let warm = sbc.stats();
+    println!(
+        "\nwarm point query: store rows fetched {}, cache hit ratio {:.2}",
+        warm.rows_fetched,
+        warm.hit_ratio()
+    );
+    assert_eq!(
+        warm.rows_fetched, 0,
+        "warm identical query touched the store"
+    );
 }

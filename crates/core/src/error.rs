@@ -55,5 +55,14 @@ impl From<SqlError> for CoreError {
     }
 }
 
+impl From<sc_dwarf::TraverseError<CoreError>> for CoreError {
+    fn from(e: sc_dwarf::TraverseError<CoreError>) -> Self {
+        match e {
+            sc_dwarf::TraverseError::Source(inner) => inner,
+            sc_dwarf::TraverseError::Inconsistent(msg) => CoreError::Inconsistent(msg),
+        }
+    }
+}
+
 /// Result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -17,7 +17,11 @@
 //! insert statements executed in bulk. The reverse direction (`rebuild`)
 //! reads the records back and reconstructs a [`sc_dwarf::Dwarf`] that is
 //! *identical* to the original (property-tested). [`store_query`] answers
-//! point queries directly from stored rows without a full rebuild.
+//! point, range, slice and group-by queries directly from stored rows —
+//! no full rebuild — through the shared [`sc_dwarf::source::NodeSource`]
+//! traversal core, with [`node_source::StoreNodeSource`] batching each
+//! node's cell fetch into one `WHERE id IN (...)` round-trip behind a
+//! bounded LRU node cache.
 //!
 //! ```
 //! use sc_core::models::{NosqlDwarfModel, SchemaModel};
@@ -39,6 +43,8 @@
 pub mod error;
 pub mod mapping;
 pub mod models;
+pub mod node_source;
+mod obs;
 pub mod pipeline;
 pub mod store_query;
 pub mod stream_warehouse;
@@ -49,6 +55,9 @@ pub use mapping::{MappedDwarf, ALL_KEY};
 pub use models::{
     ModelKind, MysqlDwarfModel, MysqlMinModel, NosqlDwarfModel, NosqlMinModel, SchemaModel,
     StoreReport,
+};
+pub use node_source::{
+    MinStoreNodeSource, ReadStats, StoreNodeSource, StoredCellSource, DEFAULT_NODE_CACHE_CAPACITY,
 };
 pub use pipeline::CubeWarehouse;
 pub use store_query::{CubeSelect, MinStoreBackedCube, StoreBackedCube};

@@ -217,66 +217,29 @@ pub struct StoredCell {
 
 /// Reconstructs the base fact rows from stored cells.
 ///
-/// Walks value cells (ALL cells skipped) from the entry node down; each
-/// root-to-leaf path of keys is one fact. This is the reverse mapping that
-/// makes the model bi-directional.
+/// A full slice (ALL on every dimension) over a
+/// [`crate::node_source::StoredCellSource`]: value cells are walked from
+/// the entry node down through the same generic traversal the live store
+/// cursors use, and each root-to-leaf path of keys is one fact. This is
+/// the reverse mapping that makes the model bi-directional.
 pub fn rows_from_cells(
     cells: &[StoredCell],
     entry_node_id: i64,
     num_dims: usize,
 ) -> Result<Vec<(Vec<String>, i64)>> {
-    use std::collections::HashMap;
-    let mut by_parent: HashMap<i64, Vec<&StoredCell>> = HashMap::new();
-    for c in cells {
-        by_parent.entry(c.parent_node).or_default().push(c);
-    }
-    let mut rows = Vec::new();
-    let mut path: Vec<String> = Vec::with_capacity(num_dims);
-    fn walk(
-        node: i64,
-        depth: usize,
-        num_dims: usize,
-        by_parent: &std::collections::HashMap<i64, Vec<&StoredCell>>,
-        path: &mut Vec<String>,
-        rows: &mut Vec<(Vec<String>, i64)>,
-    ) -> Result<()> {
-        if depth >= num_dims {
-            return Err(CoreError::Inconsistent(format!(
-                "path deeper than {num_dims} dimensions at node {node}"
-            )));
-        }
-        let Some(cells) = by_parent.get(&node) else {
-            return Err(CoreError::Inconsistent(format!(
-                "node {node} has no stored cells"
-            )));
-        };
-        for cell in cells {
-            if cell.is_all() {
-                continue;
-            }
-            path.push(cell.key.clone());
-            match (cell.leaf, cell.pointer_node) {
-                (true, None) => rows.push((path.clone(), cell.measure)),
-                (false, Some(target)) => walk(target, depth + 1, num_dims, by_parent, path, rows)?,
-                (true, Some(_)) => {
-                    return Err(CoreError::Inconsistent(format!(
-                        "leaf cell {:?} has a pointer node",
-                        cell.key
-                    )))
-                }
-                (false, None) => {
-                    return Err(CoreError::Inconsistent(format!(
-                        "non-leaf cell {:?} lacks a pointer node",
-                        cell.key
-                    )))
-                }
-            }
-            path.pop();
-        }
-        Ok(())
-    }
-    walk(entry_node_id, 0, num_dims, &by_parent, &mut path, &mut rows)?;
-    Ok(rows)
+    // The aggregate never matters for a slice; leaf measures are copied.
+    let mut src =
+        crate::node_source::StoredCellSource::new(cells, entry_node_id, num_dims, AggFn::Sum);
+    let sel = vec![sc_dwarf::RangeSel::All; num_dims];
+    sc_dwarf::slice_over(&mut src, &sel).map_err(CoreError::from)
+}
+
+/// Rebuilds a full in-memory [`Dwarf`] from stored cells: the shared tail
+/// of every model's `rebuild()` — reverse-map the rows through the
+/// [`crate::node_source::StoredCellSource`] traversal, then reconstruct.
+pub fn rebuild_cube(schema: CubeSchema, entry_node_id: i64, cells: &[StoredCell]) -> Result<Dwarf> {
+    let rows = rows_from_cells(cells, entry_node_id, schema.num_dims())?;
+    Ok(Dwarf::from_aggregated_rows(schema, rows))
 }
 
 impl StoredCell {

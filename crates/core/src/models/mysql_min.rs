@@ -10,7 +10,7 @@
 use super::{offset_id, ModelKind, SchemaModel, StoreReport};
 use crate::error::{CoreError, Result};
 use crate::mapping::{
-    decode_schema_meta, encode_schema_meta, rows_from_cells, MappedDwarf, StoredCell,
+    decode_schema_meta, encode_schema_meta, rebuild_cube, MappedDwarf, StoredCell,
 };
 use sc_dwarf::Dwarf;
 use sc_encoding::ByteSize;
@@ -280,8 +280,7 @@ impl SchemaModel for MysqlMinModel {
                     .ok_or_else(|| CoreError::Inconsistent("leaf not bool".into()))?,
             });
         }
-        let rows = rows_from_cells(&cells, entry, schema.num_dims())?;
-        Ok(Dwarf::from_aggregated_rows(schema, rows))
+        rebuild_cube(schema, entry, &cells)
     }
 
     fn size(&mut self) -> Result<ByteSize> {

@@ -8,7 +8,7 @@
 use super::{offset_id, ModelKind, SchemaModel, StoreReport};
 use crate::error::{CoreError, Result};
 use crate::mapping::{
-    decode_schema_meta, encode_schema_meta, rows_from_cells, MappedDwarf, StoredCell,
+    decode_schema_meta, encode_schema_meta, rebuild_cube, MappedDwarf, StoredCell,
 };
 use sc_dwarf::Dwarf;
 use sc_encoding::ByteSize;
@@ -75,10 +75,7 @@ impl NosqlDwarfModel {
         let r = self.db.execute(&Statement::Select {
             table: table("dwarf_schema"),
             columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
-            where_clause: Some(WhereClause {
-                column: "id".into(),
-                value: CqlValue::Int(schema_id),
-            }),
+            where_clause: Some(WhereClause::eq("id", CqlValue::Int(schema_id))),
             limit: None,
         })?;
         let row = r.first().ok_or(CoreError::UnknownSchema(schema_id))?;
@@ -370,10 +367,7 @@ impl SchemaModel for NosqlDwarfModel {
                 "pointerNode".into(),
                 "leaf".into(),
             ]),
-            where_clause: Some(WhereClause {
-                column: "schema_id".into(),
-                value: CqlValue::Int(schema_id),
-            }),
+            where_clause: Some(WhereClause::eq("schema_id", CqlValue::Int(schema_id))),
             limit: None,
         })?;
         let mut cells = Vec::with_capacity(r.len());
@@ -386,8 +380,7 @@ impl SchemaModel for NosqlDwarfModel {
                 leaf: row.get_bool("leaf")?,
             });
         }
-        let rows = rows_from_cells(&cells, entry, schema.num_dims())?;
-        Ok(Dwarf::from_aggregated_rows(schema, rows))
+        rebuild_cube(schema, entry, &cells)
     }
 
     fn size(&mut self) -> Result<ByteSize> {

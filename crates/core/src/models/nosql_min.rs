@@ -14,7 +14,7 @@
 use super::{offset_id, ModelKind, SchemaModel, StoreReport};
 use crate::error::{CoreError, Result};
 use crate::mapping::{
-    decode_schema_meta, encode_schema_meta, rows_from_cells, MappedDwarf, StoredCell,
+    decode_schema_meta, encode_schema_meta, rebuild_cube, MappedDwarf, StoredCell,
 };
 use sc_dwarf::Dwarf;
 use sc_encoding::ByteSize;
@@ -68,10 +68,7 @@ impl NosqlMinModel {
         let r = self.db.execute(&Statement::Select {
             table: table("dwarf_cube"),
             columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
-            where_clause: Some(WhereClause {
-                column: "id".into(),
-                value: CqlValue::Int(cube_id),
-            }),
+            where_clause: Some(WhereClause::eq("id", CqlValue::Int(cube_id))),
             limit: None,
         })?;
         let row = r.first().ok_or(CoreError::UnknownSchema(cube_id))?;
@@ -211,10 +208,7 @@ impl SchemaModel for NosqlMinModel {
                 "childNodeId".into(),
                 "leaf".into(),
             ]),
-            where_clause: Some(WhereClause {
-                column: "cubeid".into(),
-                value: CqlValue::Int(cube_id),
-            }),
+            where_clause: Some(WhereClause::eq("cubeid", CqlValue::Int(cube_id))),
             limit: None,
         })?;
         let mut cells = Vec::with_capacity(r.len());
@@ -227,8 +221,7 @@ impl SchemaModel for NosqlMinModel {
                 leaf: row.get_bool("leaf")?,
             });
         }
-        let rows = rows_from_cells(&cells, entry, schema.num_dims())?;
-        Ok(Dwarf::from_aggregated_rows(schema, rows))
+        rebuild_cube(schema, entry, &cells)
     }
 
     fn size(&mut self) -> Result<ByteSize> {

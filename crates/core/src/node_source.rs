@@ -1,0 +1,552 @@
+//! Store-backed [`NodeSource`] implementations: the cursor layer of the
+//! unified read path.
+//!
+//! [`StoreNodeSource`] answers node lookups from the Table-1 NoSQL layout
+//! with one node-row read plus **one batched cell fetch**
+//! (`WHERE id IN (...)`) per cold node, and keeps a bounded LRU cache of
+//! materialized nodes so warm traversals never touch the store.
+//! [`MinStoreNodeSource`] reconstructs nodes from the Min layout's
+//! `parentNodeId` secondary index (deliberately uncached — the absence of
+//! a node construct is the cost §5.1 measures). [`StoredCellSource`] wraps
+//! an already-fetched row set, which is how the models' `rebuild()` routes
+//! through the same traversal core.
+
+use crate::error::{CoreError, Result};
+use crate::mapping::{decode_schema_meta, StoredCell, ALL_KEY};
+use crate::models::{NosqlDwarfModel, NosqlMinModel};
+use sc_dwarf::source::{CowNode, NodeSource, OwnedCell, OwnedNode, SourceNodeId};
+use sc_dwarf::{AggFn, CubeSchema};
+use sc_nosql::cql::ast::{SelectColumns, Statement, TableRef, WhereClause};
+use sc_nosql::CqlValue;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Default capacity (in nodes) of the [`StoreNodeSource`] LRU cache. Tune
+/// per cube with [`StoreNodeSource::open_with_cache`] /
+/// [`crate::StoreBackedCube::open_with_cache`].
+pub const DEFAULT_NODE_CACHE_CAPACITY: usize = 1024;
+
+/// Per-source read counters, exposed so callers (CLI `--stats`, parity
+/// tests) can observe cache behaviour without the global registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Node views answered from the LRU cache.
+    pub node_cache_hits: u64,
+    /// Node views that had to touch the store.
+    pub node_cache_misses: u64,
+    /// SELECT statements issued (node rows + cell batches).
+    pub store_selects: u64,
+    /// Batched `WHERE id IN (...)` cell fetches issued.
+    pub batched_selects: u64,
+    /// Rows read from the store (node rows + cell rows).
+    pub rows_fetched: u64,
+}
+
+impl ReadStats {
+    /// Fraction of node lookups served from the cache (0 when none ran).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.node_cache_hits + self.node_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.node_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &ReadStats) -> ReadStats {
+        ReadStats {
+            node_cache_hits: self.node_cache_hits - earlier.node_cache_hits,
+            node_cache_misses: self.node_cache_misses - earlier.node_cache_misses,
+            store_selects: self.store_selects - earlier.store_selects,
+            batched_selects: self.batched_selects - earlier.batched_selects,
+            rows_fetched: self.rows_fetched - earlier.rows_fetched,
+        }
+    }
+}
+
+/// Bounded LRU map of materialized nodes. Eviction scans for the least
+/// recently used entry, which is fine at the intended capacities (a few
+/// thousand nodes).
+#[derive(Debug)]
+struct NodeCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<SourceNodeId, (Rc<OwnedNode>, u64)>,
+}
+
+impl NodeCache {
+    fn new(cap: usize) -> NodeCache {
+        NodeCache {
+            cap,
+            tick: 0,
+            map: HashMap::with_capacity(cap.min(1024)),
+        }
+    }
+
+    fn get(&mut self, id: SourceNodeId) -> Option<Rc<OwnedNode>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&id).map(|(node, stamp)| {
+            *stamp = tick;
+            node.clone()
+        })
+    }
+
+    fn put(&mut self, id: SourceNodeId, node: Rc<OwnedNode>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.len() >= self.cap && !self.map.contains_key(&id) {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(&id, _)| id)
+            {
+                self.map.remove(&lru);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(id, (node, self.tick));
+    }
+}
+
+const KEYSPACE: &str = "smartcity";
+const MIN_KEYSPACE: &str = "smartcity_min";
+
+fn table(keyspace: &str, name: &str) -> TableRef {
+    TableRef {
+        keyspace: keyspace.into(),
+        table: name.into(),
+    }
+}
+
+/// A cached, batched cursor over the Table-1 NoSQL layout
+/// (`dwarf_node` / `dwarf_cell` in the `smartcity` keyspace).
+#[derive(Debug)]
+pub struct StoreNodeSource<'a> {
+    model: &'a mut NosqlDwarfModel,
+    schema_id: i64,
+    schema: CubeSchema,
+    entry_node_id: i64,
+    cache: NodeCache,
+    stats: ReadStats,
+}
+
+impl<'a> StoreNodeSource<'a> {
+    /// Opens a stored schema with the default node-cache capacity.
+    pub fn open(model: &'a mut NosqlDwarfModel, schema_id: i64) -> Result<StoreNodeSource<'a>> {
+        Self::open_with_cache(model, schema_id, DEFAULT_NODE_CACHE_CAPACITY)
+    }
+
+    /// Opens a stored schema with an explicit node-cache capacity
+    /// (`0` disables caching).
+    pub fn open_with_cache(
+        model: &'a mut NosqlDwarfModel,
+        schema_id: i64,
+        cache_capacity: usize,
+    ) -> Result<StoreNodeSource<'a>> {
+        let r = model.db_mut().execute(&Statement::Select {
+            table: table(KEYSPACE, "dwarf_schema"),
+            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
+            where_clause: Some(WhereClause::eq("id", CqlValue::Int(schema_id))),
+            limit: None,
+        })?;
+        let row = r.first().ok_or(CoreError::UnknownSchema(schema_id))?;
+        let entry_node_id = row.get_int("entry_node_id")?;
+        let schema = decode_schema_meta(row.get_text("schema_meta")?)?;
+        Ok(StoreNodeSource {
+            model,
+            schema_id,
+            schema,
+            entry_node_id,
+            cache: NodeCache::new(cache_capacity),
+            stats: ReadStats::default(),
+        })
+    }
+
+    /// The stored schema's cube schema.
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// The stored schema id.
+    pub fn schema_id(&self) -> i64 {
+        self.schema_id
+    }
+
+    /// Snapshot of this source's read counters.
+    pub fn stats(&self) -> ReadStats {
+        self.stats
+    }
+
+    /// Zeroes this source's read counters (the cache keeps its contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = ReadStats::default();
+    }
+
+    /// Materializes one node from the store: the node row's `childrenIds`
+    /// set, then every cell of the node in **one** batched
+    /// `SELECT ... WHERE id IN (...)` round-trip.
+    fn fetch_node(&mut self, id: SourceNodeId) -> Result<OwnedNode> {
+        self.stats.store_selects += 1;
+        let r = self.model.db_mut().execute(&Statement::Select {
+            table: table(KEYSPACE, "dwarf_node"),
+            columns: SelectColumns::Named(vec!["childrenIds".into()]),
+            where_clause: Some(WhereClause::eq("id", CqlValue::Int(id))),
+            limit: None,
+        })?;
+        let row = r
+            .first()
+            .ok_or_else(|| CoreError::Inconsistent(format!("node {id} missing from store")))?;
+        self.stats.rows_fetched += 1;
+        let children: Vec<i64> = row.get_int_set("childrenIds")?.iter().copied().collect();
+        if children.is_empty() {
+            // Only the empty cube's entry node stores no cells.
+            return Ok(OwnedNode::from_cells(Vec::new(), None, 0));
+        }
+        self.stats.store_selects += 1;
+        self.stats.batched_selects += 1;
+        let values: Vec<CqlValue> = children.iter().map(|&c| CqlValue::Int(c)).collect();
+        let r = self.model.db_mut().execute(&Statement::Select {
+            table: table(KEYSPACE, "dwarf_cell"),
+            columns: SelectColumns::Named(vec![
+                "key".into(),
+                "measure".into(),
+                "pointerNode".into(),
+            ]),
+            where_clause: Some(WhereClause::any_of("id", values)),
+            limit: None,
+        })?;
+        if r.len() != children.len() {
+            return Err(CoreError::Inconsistent(format!(
+                "node {id}: fetched {} of {} cells",
+                r.len(),
+                children.len()
+            )));
+        }
+        self.stats.rows_fetched += r.len() as u64;
+        if sc_obs::enabled() {
+            let obs = crate::obs::store_query();
+            obs.rows_fetched.add(r.len() as u64 + 1);
+            obs.batch_size.record(r.len() as u64);
+        }
+        let mut cells = Vec::with_capacity(r.len().saturating_sub(1));
+        let mut all: Option<(Option<i64>, i64)> = None;
+        for row in r.rows() {
+            let key = row.get_text("key")?;
+            let measure = row.get_int("measure")?;
+            let pointer = row.get_opt_int("pointerNode")?;
+            if key == ALL_KEY {
+                all = Some((pointer, measure));
+            } else {
+                cells.push(OwnedCell {
+                    key: key.to_string(),
+                    measure,
+                    child: pointer,
+                });
+            }
+        }
+        let Some((all_child, total)) = all else {
+            return Err(CoreError::Inconsistent(format!(
+                "node {id} has no ALL cell"
+            )));
+        };
+        Ok(OwnedNode::from_cells(cells, all_child, total))
+    }
+}
+
+impl NodeSource<'static> for StoreNodeSource<'_> {
+    type Err = CoreError;
+
+    fn num_dims(&self) -> usize {
+        self.schema.num_dims()
+    }
+
+    fn agg(&self) -> AggFn {
+        self.schema.agg()
+    }
+
+    fn root(&self) -> Option<SourceNodeId> {
+        Some(self.entry_node_id)
+    }
+
+    fn node(&mut self, id: SourceNodeId) -> std::result::Result<CowNode<'static>, CoreError> {
+        let enabled = sc_obs::enabled();
+        if let Some(node) = self.cache.get(id) {
+            self.stats.node_cache_hits += 1;
+            if enabled {
+                crate::obs::store_query().node_cache_hits.add(1);
+            }
+            return Ok(CowNode::Owned(node));
+        }
+        self.stats.node_cache_misses += 1;
+        if enabled {
+            crate::obs::store_query().node_cache_misses.add(1);
+        }
+        let started = enabled.then(std::time::Instant::now);
+        let node = Rc::new(self.fetch_node(id)?);
+        if let Some(started) = started {
+            crate::obs::store_query()
+                .fetch_ns
+                .record_duration(started.elapsed());
+        }
+        self.cache.put(id, node.clone());
+        Ok(CowNode::Owned(node))
+    }
+}
+
+/// A cursor over the **NoSQL-Min** layout (`smartcity_min.dwarf_cell`).
+///
+/// The Min schema stores no node rows, so every lookup must *reconstruct*
+/// the node by querying the cell table's `parentNodeId` secondary index —
+/// the cost §5.1 anticipates: "the absence of a DWARF Node construct will
+/// have a significant impact on query times as DWARF Node reconstruction
+/// is required". It is deliberately left uncached so that contrast stays
+/// measurable; compare [`StoreNodeSource`].
+#[derive(Debug)]
+pub struct MinStoreNodeSource<'a> {
+    model: &'a mut NosqlMinModel,
+    schema: CubeSchema,
+    entry_node_id: i64,
+    stats: ReadStats,
+}
+
+impl<'a> MinStoreNodeSource<'a> {
+    /// Opens a stored cube for querying.
+    pub fn open(model: &'a mut NosqlMinModel, cube_id: i64) -> Result<MinStoreNodeSource<'a>> {
+        let r = model.db_mut().execute(&Statement::Select {
+            table: table(MIN_KEYSPACE, "dwarf_cube"),
+            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
+            where_clause: Some(WhereClause::eq("id", CqlValue::Int(cube_id))),
+            limit: None,
+        })?;
+        let row = r.first().ok_or(CoreError::UnknownSchema(cube_id))?;
+        let entry_node_id = row.get_int("entry_node_id")?;
+        let schema = decode_schema_meta(row.get_text("schema_meta")?)?;
+        Ok(MinStoreNodeSource {
+            model,
+            schema,
+            entry_node_id,
+            stats: ReadStats::default(),
+        })
+    }
+
+    /// The stored cube's schema.
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// Snapshot of this source's read counters.
+    pub fn stats(&self) -> ReadStats {
+        self.stats
+    }
+}
+
+impl NodeSource<'static> for MinStoreNodeSource<'_> {
+    type Err = CoreError;
+
+    fn num_dims(&self) -> usize {
+        self.schema.num_dims()
+    }
+
+    fn agg(&self) -> AggFn {
+        self.schema.agg()
+    }
+
+    fn root(&self) -> Option<SourceNodeId> {
+        Some(self.entry_node_id)
+    }
+
+    fn node(&mut self, id: SourceNodeId) -> std::result::Result<CowNode<'static>, CoreError> {
+        self.stats.node_cache_misses += 1;
+        self.stats.store_selects += 1;
+        let r = self.model.db_mut().execute(&Statement::Select {
+            table: table(MIN_KEYSPACE, "dwarf_cell"),
+            columns: SelectColumns::Named(vec![
+                "item_name".into(),
+                "measure".into(),
+                "childNodeId".into(),
+            ]),
+            where_clause: Some(WhereClause::eq("parentNodeId", CqlValue::Int(id))),
+            limit: None,
+        })?;
+        self.stats.rows_fetched += r.len() as u64;
+        if r.len() == 0 {
+            // No stored cells: the empty cube's entry node (or an unknown
+            // id, which the Min layout cannot distinguish).
+            return Ok(CowNode::Owned(Rc::new(OwnedNode::from_cells(
+                Vec::new(),
+                None,
+                0,
+            ))));
+        }
+        let mut cells = Vec::with_capacity(r.len() - 1);
+        let mut all: Option<(Option<i64>, i64)> = None;
+        for row in r.rows() {
+            let key = row.get_text("item_name")?;
+            let measure = row.get_int("measure")?;
+            let pointer = row.get_opt_int("childNodeId")?;
+            if key == ALL_KEY {
+                all = Some((pointer, measure));
+            } else {
+                cells.push(OwnedCell {
+                    key: key.to_string(),
+                    measure,
+                    child: pointer,
+                });
+            }
+        }
+        let Some((all_child, total)) = all else {
+            return Err(CoreError::Inconsistent(format!(
+                "node {id} has no ALL cell"
+            )));
+        };
+        Ok(CowNode::Owned(Rc::new(OwnedNode::from_cells(
+            cells, all_child, total,
+        ))))
+    }
+}
+
+/// A [`NodeSource`] over an already-fetched row set.
+///
+/// This is what routes the models' `rebuild()` through the shared
+/// traversal core: each model scans its cells into [`StoredCell`]s once,
+/// and the reverse mapping walks them with the same generic algorithms the
+/// live cursors use.
+#[derive(Debug)]
+pub struct StoredCellSource {
+    nodes: HashMap<SourceNodeId, Rc<OwnedNode>>,
+    entry_node_id: i64,
+    num_dims: usize,
+    agg: AggFn,
+}
+
+impl StoredCellSource {
+    /// Groups fetched cells by their containing node.
+    pub fn new(
+        cells: &[StoredCell],
+        entry_node_id: i64,
+        num_dims: usize,
+        agg: AggFn,
+    ) -> StoredCellSource {
+        struct PendingNode {
+            cells: Vec<OwnedCell>,
+            all: Option<(Option<i64>, i64)>,
+        }
+        let mut grouped: HashMap<SourceNodeId, PendingNode> = HashMap::new();
+        for c in cells {
+            let entry = grouped.entry(c.parent_node).or_insert_with(|| PendingNode {
+                cells: Vec::new(),
+                all: None,
+            });
+            if c.is_all() {
+                entry.all = Some((c.pointer_node, c.measure));
+            } else {
+                entry.cells.push(OwnedCell {
+                    key: c.key.clone(),
+                    measure: c.measure,
+                    child: c.pointer_node,
+                });
+            }
+        }
+        let nodes = grouped
+            .into_iter()
+            .map(|(id, pending)| {
+                let (all_child, total) = pending.all.unwrap_or((None, 0));
+                (
+                    id,
+                    Rc::new(OwnedNode::from_cells(pending.cells, all_child, total)),
+                )
+            })
+            .collect();
+        StoredCellSource {
+            nodes,
+            entry_node_id,
+            num_dims,
+            agg,
+        }
+    }
+}
+
+impl NodeSource<'static> for StoredCellSource {
+    type Err = CoreError;
+
+    fn num_dims(&self) -> usize {
+        self.num_dims
+    }
+
+    fn agg(&self) -> AggFn {
+        self.agg
+    }
+
+    fn root(&self) -> Option<SourceNodeId> {
+        Some(self.entry_node_id)
+    }
+
+    fn node(&mut self, id: SourceNodeId) -> std::result::Result<CowNode<'static>, CoreError> {
+        self.nodes
+            .get(&id)
+            .cloned()
+            .map(CowNode::Owned)
+            .ok_or_else(|| CoreError::Inconsistent(format!("node {id} has no stored cells")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(n: u64) -> Rc<OwnedNode> {
+        Rc::new(OwnedNode::from_cells(Vec::new(), None, n as i64))
+    }
+
+    #[test]
+    fn lru_cache_evicts_least_recently_used() {
+        let mut cache = NodeCache::new(2);
+        cache.put(1, node(1));
+        cache.put(2, node(2));
+        assert!(cache.get(1).is_some()); // 1 is now more recent than 2
+        cache.put(3, node(3)); // evicts 2
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = NodeCache::new(0);
+        cache.put(1, node(1));
+        assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn reinserting_a_cached_id_does_not_evict() {
+        let mut cache = NodeCache::new(2);
+        cache.put(1, node(1));
+        cache.put(2, node(2));
+        cache.put(2, node(22));
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.get(2).unwrap().total, 22);
+    }
+
+    #[test]
+    fn read_stats_deltas_and_ratio() {
+        let a = ReadStats {
+            node_cache_hits: 3,
+            node_cache_misses: 1,
+            store_selects: 2,
+            batched_selects: 1,
+            rows_fetched: 9,
+        };
+        assert!((a.hit_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(ReadStats::default().hit_ratio(), 0.0);
+        let later = ReadStats {
+            node_cache_hits: 5,
+            ..a
+        };
+        assert_eq!(later.since(&a).node_cache_hits, 2);
+        assert_eq!(later.since(&a).rows_fetched, 0);
+    }
+}

@@ -1,118 +1,69 @@
-//! Store-backed traversal: answering cube queries directly from NoSQL rows.
+//! Store-backed querying: answering cube queries directly from NoSQL rows.
 //!
 //! The paper stores cubes "for future retrieval and querying"; this module
-//! implements the designed access path — start at `entry_node_id`, read the
-//! node row's `childrenIds` set, fetch those cells by primary key, match
-//! the wanted key (or the ALL cell), follow `pointerNode` — without
-//! rebuilding the whole DWARF in memory.
+//! implements the designed access path without rebuilding the whole DWARF
+//! in memory. [`StoreBackedCube`] wraps a
+//! [`StoreNodeSource`](crate::node_source::StoreNodeSource) — a cached,
+//! batched cursor over the Table-1 layout — and runs the *same* generic
+//! traversal algorithms (`point_over`, `range_over`, `slice_over`,
+//! `group_by_over`) the in-memory [`sc_dwarf::Dwarf`] uses, so the store
+//! path answers point, range, slice and group-by queries with identical
+//! semantics. [`MinStoreBackedCube`] does the same over the Min layout's
+//! reconstruct-per-node cursor.
 
 use crate::error::{CoreError, Result};
-use crate::mapping::{decode_schema_meta, ALL_KEY};
-use crate::models::NosqlDwarfModel;
-use sc_dwarf::{CubeSchema, Selection};
-use sc_nosql::cql::ast::{SelectColumns, Statement, TableRef, WhereClause};
-use sc_nosql::CqlValue;
-
-const KEYSPACE: &str = "smartcity";
-
-fn table(name: &str) -> TableRef {
-    TableRef {
-        keyspace: KEYSPACE.into(),
-        table: name.into(),
-    }
-}
+use crate::models::{NosqlDwarfModel, NosqlMinModel};
+use crate::node_source::{MinStoreNodeSource, ReadStats, StoreNodeSource};
+use sc_dwarf::source::{group_by_over, point_over, range_over, slice_over};
+use sc_dwarf::{CubeSchema, RangeSel, Selection};
 
 /// A cube addressed by its stored rows.
 #[derive(Debug)]
 pub struct StoreBackedCube<'a> {
-    model: &'a mut NosqlDwarfModel,
-    schema_id: i64,
-    schema: CubeSchema,
-    entry_node_id: i64,
-}
-
-/// A fetched cell row (subset of Table 1-C).
-#[derive(Debug, Clone)]
-struct FetchedCell {
-    key: String,
-    measure: i64,
-    pointer_node: Option<i64>,
-    leaf: bool,
+    source: StoreNodeSource<'a>,
 }
 
 impl<'a> StoreBackedCube<'a> {
-    /// Opens a stored schema for querying.
+    /// Opens a stored schema for querying with the default node-cache
+    /// capacity ([`crate::node_source::DEFAULT_NODE_CACHE_CAPACITY`]).
     pub fn open(model: &'a mut NosqlDwarfModel, schema_id: i64) -> Result<StoreBackedCube<'a>> {
-        let r = model.db_mut().execute(&Statement::Select {
-            table: table("dwarf_schema"),
-            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
-            where_clause: Some(WhereClause {
-                column: "id".into(),
-                value: CqlValue::Int(schema_id),
-            }),
-            limit: None,
-        })?;
-        let row = r.first().ok_or(CoreError::UnknownSchema(schema_id))?;
-        let entry_node_id = row.get_int("entry_node_id")?;
-        let schema = decode_schema_meta(row.get_text("schema_meta")?)?;
         Ok(StoreBackedCube {
-            model,
-            schema_id,
-            schema,
-            entry_node_id,
+            source: StoreNodeSource::open(model, schema_id)?,
+        })
+    }
+
+    /// Opens a stored schema with an explicit node-cache capacity in nodes
+    /// (`0` disables caching; every traversal step then hits the store).
+    pub fn open_with_cache(
+        model: &'a mut NosqlDwarfModel,
+        schema_id: i64,
+        cache_capacity: usize,
+    ) -> Result<StoreBackedCube<'a>> {
+        Ok(StoreBackedCube {
+            source: StoreNodeSource::open_with_cache(model, schema_id, cache_capacity)?,
         })
     }
 
     /// The stored schema's cube schema.
     pub fn schema(&self) -> &CubeSchema {
-        &self.schema
+        self.source.schema()
     }
 
     /// The stored schema id.
     pub fn schema_id(&self) -> i64 {
-        self.schema_id
+        self.source.schema_id()
     }
 
-    fn node_children(&mut self, node_id: i64) -> Result<Vec<i64>> {
-        let r = self.model.db_mut().execute(&Statement::Select {
-            table: table("dwarf_node"),
-            columns: SelectColumns::Named(vec!["childrenIds".into()]),
-            where_clause: Some(WhereClause {
-                column: "id".into(),
-                value: CqlValue::Int(node_id),
-            }),
-            limit: None,
-        })?;
-        let row = r
-            .first()
-            .ok_or_else(|| CoreError::Inconsistent(format!("node {node_id} missing from store")))?;
-        Ok(row.get_int_set("childrenIds")?.iter().copied().collect())
+    /// Read counters accumulated so far (cache hits/misses, SELECTs
+    /// issued, rows fetched).
+    pub fn stats(&self) -> ReadStats {
+        self.source.stats()
     }
 
-    fn fetch_cell(&mut self, cell_id: i64) -> Result<FetchedCell> {
-        let r = self.model.db_mut().execute(&Statement::Select {
-            table: table("dwarf_cell"),
-            columns: SelectColumns::Named(vec![
-                "key".into(),
-                "measure".into(),
-                "pointerNode".into(),
-                "leaf".into(),
-            ]),
-            where_clause: Some(WhereClause {
-                column: "id".into(),
-                value: CqlValue::Int(cell_id),
-            }),
-            limit: None,
-        })?;
-        let row = r
-            .first()
-            .ok_or_else(|| CoreError::Inconsistent(format!("cell {cell_id} missing from store")))?;
-        Ok(FetchedCell {
-            key: row.get_text("key")?.to_string(),
-            measure: row.get_int("measure")?,
-            pointer_node: row.get_opt_int("pointerNode")?,
-            leaf: row.get_bool("leaf")?,
-        })
+    /// Zeroes the read counters; the node cache keeps its contents, so
+    /// deltas after a reset measure warm-cache behaviour.
+    pub fn reset_stats(&mut self) {
+        self.source.reset_stats()
     }
 
     /// Starts a fluent selection over the stored cube. Dimensions left
@@ -124,7 +75,7 @@ impl<'a> StoreBackedCube<'a> {
     /// let by_city = cube.select().dim("city", "Dublin").all("station").run()?;
     /// ```
     pub fn select(&mut self) -> CubeSelect<'_, 'a> {
-        let sel = vec![Selection::All; self.schema.num_dims()];
+        let sel = vec![Selection::All; self.schema().num_dims()];
         CubeSelect {
             cube: self,
             sel,
@@ -135,49 +86,35 @@ impl<'a> StoreBackedCube<'a> {
     /// Point / group-by query straight off the store (same semantics as
     /// [`sc_dwarf::Dwarf::point`]).
     pub fn point(&mut self, sel: &[Selection]) -> Result<Option<i64>> {
-        assert_eq!(
-            sel.len(),
-            self.schema.num_dims(),
-            "selection arity must match dimensions"
-        );
-        let mut node_id = self.entry_node_id;
-        for s in sel {
-            let children = self.node_children(node_id)?;
-            if children.is_empty() {
-                return Ok(None);
-            }
-            let wanted = match s {
-                Selection::All => None,
-                Selection::Value(v) => Some(v.as_str()),
+        point_over(&mut self.source, sel).map_err(CoreError::from)
+    }
+
+    /// Range aggregate straight off the store (same semantics as
+    /// [`sc_dwarf::Dwarf::range`]).
+    pub fn range(&mut self, sel: &[RangeSel]) -> Result<Option<i64>> {
+        range_over(&mut self.source, sel).map_err(CoreError::from)
+    }
+
+    /// Slice straight off the store (same semantics as
+    /// [`sc_dwarf::Dwarf::slice`]): the matching base fact rows in sorted
+    /// key order.
+    pub fn slice(&mut self, sel: &[RangeSel]) -> Result<Vec<(Vec<String>, i64)>> {
+        slice_over(&mut self.source, sel).map_err(CoreError::from)
+    }
+
+    /// GROUP BY straight off the store (same semantics as
+    /// [`sc_dwarf::Dwarf::group_by`], except an unknown dimension name is
+    /// reported as [`CoreError::UnknownDimension`]).
+    pub fn group_by<S: AsRef<str>>(&mut self, dims: &[S]) -> Result<Vec<(Vec<String>, i64)>> {
+        let schema = self.schema();
+        let mut mask = vec![false; schema.num_dims()];
+        for d in dims {
+            let Some(i) = schema.dimension_index(d.as_ref()) else {
+                return Err(CoreError::UnknownDimension(d.as_ref().to_string()));
             };
-            let mut matched: Option<FetchedCell> = None;
-            for cell_id in children {
-                let cell = self.fetch_cell(cell_id)?;
-                let hit = match wanted {
-                    None => cell.key == ALL_KEY,
-                    Some(v) => cell.key == v,
-                };
-                if hit {
-                    matched = Some(cell);
-                    break;
-                }
-            }
-            let Some(cell) = matched else {
-                return Ok(None);
-            };
-            match (cell.leaf, cell.pointer_node) {
-                (true, _) => return Ok(Some(cell.measure)),
-                (false, Some(next)) => node_id = next,
-                (false, None) => {
-                    return Err(CoreError::Inconsistent(
-                        "non-leaf cell without pointer".into(),
-                    ))
-                }
-            }
+            mask[i] = true;
         }
-        Err(CoreError::Inconsistent(
-            "traversal exhausted selections before the leaf level".into(),
-        ))
+        group_by_over(&mut self.source, &mask).map_err(CoreError::from)
     }
 }
 
@@ -196,7 +133,7 @@ pub struct CubeSelect<'c, 'a> {
 
 impl CubeSelect<'_, '_> {
     fn slot(&mut self, name: &str) -> Option<usize> {
-        match self.cube.schema.dimension_index(name) {
+        match self.cube.schema().dimension_index(name) {
             Some(i) => Some(i),
             None => {
                 if self.err.is_none() {
@@ -233,126 +170,47 @@ impl CubeSelect<'_, '_> {
     }
 }
 
-/// Store-backed traversal over the **NoSQL-Min** layout.
+/// Store-backed querying over the **NoSQL-Min** layout.
 ///
 /// The Min schema stores no node rows, so every traversal step must
 /// *reconstruct* the current node by querying the cell table's
 /// `parentNodeId` secondary index — the cost §5.1 anticipates: "the absence
 /// of a DWARF Node construct will have a significant impact on query times
 /// as DWARF Node reconstruction is required". Compare with
-/// [`StoreBackedCube`], which reads the node row's `childrenIds` set and
-/// fetches cells by primary key.
+/// [`StoreBackedCube`], which reads the node row's `childrenIds` set,
+/// fetches all its cells in one batched round-trip, and caches the result.
 #[derive(Debug)]
 pub struct MinStoreBackedCube<'a> {
-    model: &'a mut crate::models::NosqlMinModel,
-    schema: CubeSchema,
-    entry_node_id: i64,
+    source: MinStoreNodeSource<'a>,
 }
-
-const MIN_KEYSPACE: &str = "smartcity_min";
 
 impl<'a> MinStoreBackedCube<'a> {
     /// Opens a stored cube for querying.
-    pub fn open(
-        model: &'a mut crate::models::NosqlMinModel,
-        cube_id: i64,
-    ) -> Result<MinStoreBackedCube<'a>> {
-        let r = model.db_mut().execute(&Statement::Select {
-            table: TableRef {
-                keyspace: MIN_KEYSPACE.into(),
-                table: "dwarf_cube".into(),
-            },
-            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
-            where_clause: Some(WhereClause {
-                column: "id".into(),
-                value: CqlValue::Int(cube_id),
-            }),
-            limit: None,
-        })?;
-        let row = r.first().ok_or(CoreError::UnknownSchema(cube_id))?;
-        let entry_node_id = row.get_int("entry_node_id")?;
-        let schema = decode_schema_meta(row.get_text("schema_meta")?)?;
+    pub fn open(model: &'a mut NosqlMinModel, cube_id: i64) -> Result<MinStoreBackedCube<'a>> {
         Ok(MinStoreBackedCube {
-            model,
-            schema,
-            entry_node_id,
+            source: MinStoreNodeSource::open(model, cube_id)?,
         })
     }
 
     /// The stored cube's schema.
     pub fn schema(&self) -> &CubeSchema {
-        &self.schema
+        self.source.schema()
     }
 
-    /// Reconstructs a node: every cell whose `parentNodeId` equals
-    /// `node_id`, via the secondary index.
-    fn node_cells(&mut self, node_id: i64) -> Result<Vec<FetchedCell>> {
-        let r = self.model.db_mut().execute(&Statement::Select {
-            table: TableRef {
-                keyspace: MIN_KEYSPACE.into(),
-                table: "dwarf_cell".into(),
-            },
-            columns: SelectColumns::Named(vec![
-                "item_name".into(),
-                "measure".into(),
-                "childNodeId".into(),
-                "leaf".into(),
-            ]),
-            where_clause: Some(WhereClause {
-                column: "parentNodeId".into(),
-                value: CqlValue::Int(node_id),
-            }),
-            limit: None,
-        })?;
-        let mut out = Vec::with_capacity(r.len());
-        for row in r.rows() {
-            out.push(FetchedCell {
-                key: row.get_text("item_name")?.to_string(),
-                measure: row.get_int("measure")?,
-                pointer_node: row.get_opt_int("childNodeId")?,
-                leaf: row.get_bool("leaf")?,
-            });
-        }
-        Ok(out)
+    /// Read counters accumulated so far (every node lookup is a miss —
+    /// the Min layout reconstructs nodes on every visit).
+    pub fn stats(&self) -> ReadStats {
+        self.source.stats()
     }
 
     /// Point / group-by query with node reconstruction at every level.
     pub fn point(&mut self, sel: &[Selection]) -> Result<Option<i64>> {
-        assert_eq!(
-            sel.len(),
-            self.schema.num_dims(),
-            "selection arity must match dimensions"
-        );
-        let mut node_id = self.entry_node_id;
-        for s in sel {
-            let cells = self.node_cells(node_id)?;
-            if cells.is_empty() {
-                return Ok(None);
-            }
-            let wanted = match s {
-                Selection::All => None,
-                Selection::Value(v) => Some(v.as_str()),
-            };
-            let matched = cells.into_iter().find(|c| match wanted {
-                None => c.key == ALL_KEY,
-                Some(v) => c.key == v,
-            });
-            let Some(cell) = matched else {
-                return Ok(None);
-            };
-            match (cell.leaf, cell.pointer_node) {
-                (true, _) => return Ok(Some(cell.measure)),
-                (false, Some(next)) => node_id = next,
-                (false, None) => {
-                    return Err(CoreError::Inconsistent(
-                        "non-leaf cell without pointer".into(),
-                    ))
-                }
-            }
-        }
-        Err(CoreError::Inconsistent(
-            "traversal exhausted selections before the leaf level".into(),
-        ))
+        point_over(&mut self.source, sel).map_err(CoreError::from)
+    }
+
+    /// Range aggregate with node reconstruction at every visited node.
+    pub fn range(&mut self, sel: &[RangeSel]) -> Result<Option<i64>> {
+        range_over(&mut self.source, sel).map_err(CoreError::from)
     }
 }
 
@@ -373,13 +231,19 @@ mod tests {
         Dwarf::build(schema, ts)
     }
 
+    fn stored(model: &mut NosqlDwarfModel) -> i64 {
+        let c = cube();
+        model.create_schema().unwrap();
+        let report = model.store(&MappedDwarf::new(&c), &c, false).unwrap();
+        report.schema_id
+    }
+
     #[test]
     fn store_backed_point_queries_match_in_memory() {
         let c = cube();
         let mut model = NosqlDwarfModel::in_memory();
-        model.create_schema().unwrap();
-        let report = model.store(&MappedDwarf::new(&c), &c, false).unwrap();
-        let mut sbc = StoreBackedCube::open(&mut model, report.schema_id).unwrap();
+        let schema_id = stored(&mut model);
+        let mut sbc = StoreBackedCube::open(&mut model, schema_id).unwrap();
         assert_eq!(sbc.schema().num_dims(), 3);
         let all = Selection::All;
         let v = Selection::value;
@@ -398,9 +262,90 @@ mod tests {
     }
 
     #[test]
+    fn store_backed_range_slice_and_group_by_match_in_memory() {
+        let c = cube();
+        let mut model = NosqlDwarfModel::in_memory();
+        let schema_id = stored(&mut model);
+        let mut sbc = StoreBackedCube::open(&mut model, schema_id).unwrap();
+        let ra = RangeSel::All;
+        let rv = RangeSel::value;
+        let rb = RangeSel::between;
+        let range_cases: Vec<Vec<RangeSel>> = vec![
+            vec![ra.clone(), ra.clone(), ra.clone()],
+            vec![rv("Ireland"), rb("Cork", "Dublin"), ra.clone()],
+            vec![ra.clone(), ra.clone(), rb("Bastille", "Patrick St")],
+            vec![rb("France", "Ireland"), ra.clone(), ra.clone()],
+            vec![ra.clone(), rb("Z", "A"), ra.clone()], // inverted interval
+        ];
+        for sel in range_cases {
+            assert_eq!(sbc.range(&sel).unwrap(), c.range(&sel), "range {sel:?}");
+            assert_eq!(sbc.slice(&sel).unwrap(), c.slice(&sel), "slice {sel:?}");
+        }
+        for dims in [
+            vec![],
+            vec!["country"],
+            vec!["city"],
+            vec!["country", "station"],
+            vec!["country", "city", "station"],
+        ] {
+            assert_eq!(
+                sbc.group_by(&dims).unwrap(),
+                c.group_by(&dims).unwrap(),
+                "group by {dims:?}"
+            );
+        }
+        assert!(matches!(
+            sbc.group_by(&["planet"]),
+            Err(CoreError::UnknownDimension(name)) if name == "planet"
+        ));
+    }
+
+    #[test]
+    fn warm_cache_answers_identical_queries_without_the_store() {
+        let mut model = NosqlDwarfModel::in_memory();
+        let schema_id = stored(&mut model);
+        let mut sbc = StoreBackedCube::open(&mut model, schema_id).unwrap();
+        let sel = vec![
+            Selection::value("Ireland"),
+            Selection::value("Dublin"),
+            Selection::value("Fenian St"),
+        ];
+        assert_eq!(sbc.point(&sel).unwrap(), Some(3));
+        let cold = sbc.stats();
+        assert!(cold.rows_fetched > 0);
+        assert!(cold.batched_selects > 0);
+        // One batched cell SELECT per distinct node visited, never more.
+        assert!(cold.batched_selects <= cold.node_cache_misses);
+
+        sbc.reset_stats();
+        assert_eq!(sbc.point(&sel).unwrap(), Some(3));
+        let warm = sbc.stats();
+        assert_eq!(warm.rows_fetched, 0, "warm traversal must not touch rows");
+        assert_eq!(warm.store_selects, 0);
+        assert_eq!(warm.node_cache_misses, 0);
+        assert!(warm.node_cache_hits > 0);
+        assert!((warm.hit_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_cache_refetches_every_node() {
+        let mut model = NosqlDwarfModel::in_memory();
+        let schema_id = stored(&mut model);
+        let mut sbc = StoreBackedCube::open_with_cache(&mut model, schema_id, 0).unwrap();
+        let sel = vec![Selection::All, Selection::All, Selection::All];
+        assert_eq!(sbc.point(&sel).unwrap(), Some(17));
+        let first = sbc.stats();
+        sbc.reset_stats();
+        assert_eq!(sbc.point(&sel).unwrap(), Some(17));
+        let second = sbc.stats();
+        assert_eq!(second.rows_fetched, first.rows_fetched);
+        assert_eq!(second.node_cache_hits, 0);
+    }
+
+    #[test]
     fn min_store_backed_queries_match_in_memory() {
         let c = cube();
-        let mut model = crate::models::NosqlMinModel::in_memory();
+        let mut model = NosqlMinModel::in_memory();
         model.create_schema().unwrap();
         let report = model.store(&MappedDwarf::new(&c), &c, false).unwrap();
         let mut sbc = MinStoreBackedCube::open(&mut model, report.schema_id).unwrap();
@@ -416,15 +361,26 @@ mod tests {
         for sel in cases {
             assert_eq!(sbc.point(&sel).unwrap(), c.point(&sel), "selection {sel:?}");
         }
+        // Range rides the same traversal; every node lookup reconstructs.
+        let rsel = vec![
+            RangeSel::value("Ireland"),
+            RangeSel::between("Cork", "Dublin"),
+            RangeSel::All,
+        ];
+        assert_eq!(sbc.range(&rsel).unwrap(), c.range(&rsel));
+        let s = sbc.stats();
+        assert_eq!(
+            s.node_cache_hits, 0,
+            "the Min path is deliberately uncached"
+        );
+        assert!(s.rows_fetched > 0);
     }
 
     #[test]
     fn fluent_select_matches_point_queries() {
-        let c = cube();
         let mut model = NosqlDwarfModel::in_memory();
-        model.create_schema().unwrap();
-        let report = model.store(&MappedDwarf::new(&c), &c, false).unwrap();
-        let mut sbc = StoreBackedCube::open(&mut model, report.schema_id).unwrap();
+        let schema_id = stored(&mut model);
+        let mut sbc = StoreBackedCube::open(&mut model, schema_id).unwrap();
 
         // Unmentioned dimensions default to ALL.
         assert_eq!(sbc.select().run().unwrap(), Some(17));

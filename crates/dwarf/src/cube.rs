@@ -54,6 +54,8 @@ pub struct NodeRef<'a> {
     pub node: &'a Node,
     /// The node's cells, sorted by `key`.
     pub cells: &'a [Cell],
+    /// Dimension count of the owning cube (for leaf-level checks).
+    pub num_dims: usize,
 }
 
 impl<'a> NodeRef<'a> {
@@ -66,8 +68,11 @@ impl<'a> NodeRef<'a> {
     }
 
     /// Whether this node is at the leaf (last) level of the cube.
+    ///
+    /// Derived from the node's level so traversal loops don't pay a cell
+    /// scan; [`Dwarf::validate`] cross-checks the scan-based definition.
     pub fn is_leaf(&self) -> bool {
-        self.node.all_child == NONE_NODE && self.cells.iter().all(|c| c.child == NONE_NODE)
+        self.node.level as usize + 1 == self.num_dims
     }
 }
 
@@ -157,6 +162,7 @@ impl Dwarf {
             id,
             node,
             cells: &self.cells[start..end],
+            num_dims: self.num_dims(),
         }
     }
 
@@ -207,37 +213,13 @@ impl Dwarf {
     /// it is the inverse of construction and the backbone of the
     /// round-trip property tests and [`crate::merge`].
     pub fn extract_tuples(&self) -> Vec<(Vec<String>, i64)> {
-        let mut out = Vec::with_capacity(self.tuple_count);
-        if self.is_empty() {
-            return out;
-        }
-        let mut path: Vec<ValueId> = Vec::with_capacity(self.num_dims());
-        self.extract_rec(self.root, &mut path, &mut out);
-        out
-    }
-
-    fn extract_rec(
-        &self,
-        node_id: NodeId,
-        path: &mut Vec<ValueId>,
-        out: &mut Vec<(Vec<String>, i64)>,
-    ) {
-        let node = self.node(node_id);
-        let leaf = node.node.level as usize == self.num_dims() - 1;
-        for cell in node.cells {
-            path.push(cell.key);
-            if leaf {
-                let key = path
-                    .iter()
-                    .enumerate()
-                    .map(|(d, &v)| self.interners[d].resolve(v).to_string())
-                    .collect();
-                out.push((key, cell.measure));
-            } else {
-                self.extract_rec(cell.child, path, out);
-            }
-            path.pop();
-        }
+        // An unconstrained slice through the shared traversal core visits
+        // value cells only, so each fact key appears exactly once.
+        let region = vec![crate::query::RangeSel::All; self.num_dims()];
+        crate::source::unwrap_infallible(crate::source::slice_over(
+            &mut crate::source::ArenaSource::new(self),
+            &region,
+        ))
     }
 
     /// Exhaustively checks structural invariants; panics with a description
@@ -284,6 +266,11 @@ impl Dwarf {
                 }
             }
             if !n.cells.is_empty() {
+                // Level-derived leafness must agree with the scan-based
+                // definition (no ALL pointer, no cell children).
+                let scanned_leaf =
+                    n.node.all_child == NONE_NODE && n.cells.iter().all(|c| c.child == NONE_NODE);
+                assert_eq!(n.is_leaf(), scanned_leaf, "node {id} leafness mismatch");
                 // The node's total equals the aggregate of its cells.
                 let agg = self.schema.agg();
                 let combined = agg

@@ -3,10 +3,11 @@
 //! A DWARF answers a `GROUP BY dims ⊆ D` without recomputation: descend
 //! value cells at grouped levels and ALL cells at aggregated-out levels.
 //! This module enumerates the full result table for any dimension subset —
-//! the operation OLAP front-ends issue constantly.
+//! the operation OLAP front-ends issue constantly. The walk itself is
+//! [`crate::source::group_by_over`], shared with the store-backed path.
 
-use crate::cube::{Dwarf, NodeId};
-use crate::intern::ValueId;
+use crate::cube::Dwarf;
+use crate::source::{self, ArenaSource};
 
 impl Dwarf {
     /// Enumerates `GROUP BY` over the named dimensions, returning
@@ -21,57 +22,10 @@ impl Dwarf {
             let idx = self.schema().dimension_index(d.as_ref())?;
             mask[idx] = true;
         }
-        let mut out = Vec::new();
-        if self.is_empty() {
-            return Some(out);
-        }
-        let mut key: Vec<ValueId> = Vec::new();
-        self.group_by_rec(self.root(), 0, &mask, &mut key, &mut out);
-        Some(out)
-    }
-
-    fn group_by_rec(
-        &self,
-        node_id: NodeId,
-        level: usize,
-        mask: &[bool],
-        key: &mut Vec<ValueId>,
-        out: &mut Vec<(Vec<String>, i64)>,
-    ) {
-        let node = self.node(node_id);
-        let leaf = level == self.num_dims() - 1;
-        let grouped = mask[level];
-        if grouped {
-            for cell in node.cells {
-                key.push(cell.key);
-                if leaf || mask[level + 1..].iter().all(|g| !g) {
-                    // Every remaining level is aggregated out: the cell's
-                    // measure IS the group's aggregate (child totals are
-                    // cached on cells).
-                    out.push((self.render_key(mask, key), cell.measure));
-                } else {
-                    self.group_by_rec(cell.child, level + 1, mask, key, out);
-                }
-                key.pop();
-            }
-        } else if leaf {
-            // Fully aggregated leaf: node total closes the group.
-            out.push((self.render_key(mask, key), node.node.total));
-        } else {
-            self.group_by_rec(node.node.all_child, level + 1, mask, key, out);
-        }
-    }
-
-    fn render_key(&self, mask: &[bool], key: &[ValueId]) -> Vec<String> {
-        let mut out = Vec::with_capacity(key.len());
-        let mut ki = 0;
-        for (dim, &grouped) in mask.iter().enumerate() {
-            if grouped && ki < key.len() {
-                out.push(self.interner(dim).resolve(key[ki]).to_string());
-                ki += 1;
-            }
-        }
-        out
+        Some(source::unwrap_infallible(source::group_by_over(
+            &mut ArenaSource::new(self),
+            &mask,
+        )))
     }
 }
 

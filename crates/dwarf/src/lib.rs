@@ -47,6 +47,8 @@
 //! * [`builder`] — the one-pass construction algorithm + `SuffixCoalesce`
 //! * [`cube`] — the built structure, stats, validation, tuple re-extraction
 //! * [`query`] — point, range and slice queries
+//! * [`source`] — the `NodeSource` trait and the generic traversal core
+//!   shared by the in-memory and store-backed read paths
 //! * [`merge`] — cube merging and the delta buffer for incremental updates
 //! * [`hierarchy`] — the Hierarchical-DWARF extension (rollup / drilldown)
 //! * [`dot`] — Graphviz rendering (the paper's Figure 2)
@@ -61,6 +63,7 @@ pub mod merge;
 mod obs;
 pub mod query;
 pub mod schema;
+pub mod source;
 pub mod tuple;
 
 pub use cube::{CellRef, CubeStats, Dwarf, NodeId, NodeRef, NONE_NODE};
@@ -69,4 +72,8 @@ pub use intern::{Interner, ValueId};
 pub use merge::{DeltaBuffer, MergeAccumulator};
 pub use query::{RangeSel, Selection};
 pub use schema::{AggFn, CubeSchema};
+pub use source::{
+    group_by_over, point_over, range_over, slice_over, ArenaSource, CowNode, NodeSource, OwnedCell,
+    OwnedNode, SourceNodeId, TraverseError,
+};
 pub use tuple::TupleSet;

@@ -5,9 +5,13 @@
 //! happens at query time for point lookups. Range queries descend only the
 //! cells whose keys fall in range, combining partial aggregates with the
 //! cube's aggregate function.
+//!
+//! The algorithms themselves live in [`crate::source`] and are generic over
+//! any [`crate::source::NodeSource`]; this module is the thin in-memory
+//! front door ([`crate::source::ArenaSource`] is the zero-cost source).
 
-use crate::cube::{Dwarf, NodeId, NONE_NODE};
-use crate::intern::ValueId;
+use crate::cube::Dwarf;
+use crate::source::{self, ArenaSource};
 
 /// Per-dimension coordinate of a point query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,15 +52,6 @@ impl RangeSel {
     }
 }
 
-/// A resolved per-dimension id interval, `None` when nothing can match.
-#[derive(Debug, Clone, Copy)]
-enum IdRange {
-    All,
-    Exact(ValueId),
-    Span(ValueId, ValueId),
-    Empty,
-}
-
 impl Dwarf {
     /// Point / group-by query: one [`Selection`] per dimension.
     ///
@@ -77,37 +72,7 @@ impl Dwarf {
     }
 
     fn point_inner(&self, sel: &[Selection]) -> Option<i64> {
-        assert_eq!(
-            sel.len(),
-            self.num_dims(),
-            "selection arity must match dimensions"
-        );
-        if self.is_empty() {
-            return None;
-        }
-        let d = self.num_dims();
-        let mut node = self.node(self.root);
-        for (level, s) in sel.iter().enumerate() {
-            let leaf = level == d - 1;
-            match s {
-                Selection::All => {
-                    if leaf {
-                        return Some(node.node.total);
-                    }
-                    debug_assert_ne!(node.node.all_child, NONE_NODE);
-                    node = self.node(node.node.all_child);
-                }
-                Selection::Value(v) => {
-                    let id = self.interners[level].get(v)?;
-                    let cell = node.find(id)?;
-                    if leaf {
-                        return Some(cell.measure);
-                    }
-                    node = self.node(cell.child);
-                }
-            }
-        }
-        unreachable!("loop returns at the leaf level")
+        source::unwrap_infallible(source::point_over(&mut ArenaSource::new(self), sel))
     }
 
     /// Range aggregate: one [`RangeSel`] per dimension. Returns `None` when
@@ -127,183 +92,14 @@ impl Dwarf {
     }
 
     fn range_inner(&self, sel: &[RangeSel]) -> Option<i64> {
-        let ranges = self.resolve_ranges(sel)?;
-        if self.is_empty() {
-            return None;
-        }
-        self.range_rec(self.root, 0, &ranges)
-    }
-
-    fn resolve_ranges(&self, sel: &[RangeSel]) -> Option<Vec<IdRange>> {
-        assert_eq!(
-            sel.len(),
-            self.num_dims(),
-            "selection arity must match dimensions"
-        );
-        let mut out = Vec::with_capacity(sel.len());
-        for (level, s) in sel.iter().enumerate() {
-            let interner = &self.interners[level];
-            let r = match s {
-                RangeSel::All => IdRange::All,
-                RangeSel::Value(v) => match interner.get(v) {
-                    Some(id) => IdRange::Exact(id),
-                    None => IdRange::Empty,
-                },
-                RangeSel::Between(lo, hi) => {
-                    if lo > hi {
-                        IdRange::Empty
-                    } else {
-                        // Ids are ranked lexicographically, so the matching
-                        // ids form a contiguous span even when the exact
-                        // bound strings are absent from the dictionary.
-                        let lo_id = first_id_at_or_after(interner, lo);
-                        let hi_id = last_id_at_or_before(interner, hi);
-                        match (lo_id, hi_id) {
-                            (Some(l), Some(h)) if l <= h => IdRange::Span(l, h),
-                            _ => IdRange::Empty,
-                        }
-                    }
-                }
-            };
-            out.push(r);
-        }
-        Some(out)
-    }
-
-    fn range_rec(&self, node_id: NodeId, level: usize, ranges: &[IdRange]) -> Option<i64> {
-        let node = self.node(node_id);
-        let leaf = level == self.num_dims() - 1;
-        let agg = self.schema.agg();
-        match ranges[level] {
-            IdRange::Empty => None,
-            IdRange::All => {
-                if leaf {
-                    Some(node.node.total)
-                } else if trailing_all(ranges, level + 1) {
-                    // Everything below is unconstrained: the ALL pointer
-                    // already materializes this aggregate.
-                    Some(self.node(node.node.all_child).node.total)
-                } else {
-                    self.range_rec(node.node.all_child, level + 1, ranges)
-                }
-            }
-            IdRange::Exact(id) => {
-                let cell = node.find(id)?;
-                if leaf {
-                    Some(cell.measure)
-                } else {
-                    self.range_rec(cell.child, level + 1, ranges)
-                }
-            }
-            IdRange::Span(lo, hi) => {
-                let start = node.cells.partition_point(|c| c.key < lo);
-                let mut acc: Option<i64> = None;
-                for cell in &node.cells[start..] {
-                    if cell.key > hi {
-                        break;
-                    }
-                    let part = if leaf {
-                        Some(cell.measure)
-                    } else {
-                        self.range_rec(cell.child, level + 1, ranges)
-                    };
-                    if let Some(p) = part {
-                        acc = Some(match acc {
-                            Some(a) => agg.combine(a, p),
-                            None => p,
-                        });
-                    }
-                }
-                acc
-            }
-        }
+        source::unwrap_infallible(source::range_over(&mut ArenaSource::new(self), sel))
     }
 
     /// Slice: the base fact rows (string keys + aggregated measures) that
     /// fall inside `sel`, in sorted key order.
     pub fn slice(&self, sel: &[RangeSel]) -> Vec<(Vec<String>, i64)> {
-        let Some(ranges) = self.resolve_ranges(sel) else {
-            return Vec::new();
-        };
-        let mut out = Vec::new();
-        if self.is_empty() || ranges.iter().any(|r| matches!(r, IdRange::Empty)) {
-            return out;
-        }
-        let mut path = Vec::with_capacity(self.num_dims());
-        self.slice_rec(self.root, 0, &ranges, &mut path, &mut out);
-        out
+        source::unwrap_infallible(source::slice_over(&mut ArenaSource::new(self), sel))
     }
-
-    fn slice_rec(
-        &self,
-        node_id: NodeId,
-        level: usize,
-        ranges: &[IdRange],
-        path: &mut Vec<ValueId>,
-        out: &mut Vec<(Vec<String>, i64)>,
-    ) {
-        let node = self.node(node_id);
-        let leaf = level == self.num_dims() - 1;
-        let (lo, hi) = match ranges[level] {
-            IdRange::All => (0u32, u32::MAX),
-            IdRange::Exact(id) => (id, id),
-            IdRange::Span(l, h) => (l, h),
-            IdRange::Empty => return,
-        };
-        let start = node.cells.partition_point(|c| c.key < lo);
-        for cell in &node.cells[start..] {
-            if cell.key > hi {
-                break;
-            }
-            path.push(cell.key);
-            if leaf {
-                let key = path
-                    .iter()
-                    .enumerate()
-                    .map(|(d, &v)| self.interners[d].resolve(v).to_string())
-                    .collect();
-                out.push((key, cell.measure));
-            } else {
-                self.slice_rec(cell.child, level + 1, ranges, path, out);
-            }
-            path.pop();
-        }
-    }
-}
-
-fn trailing_all(ranges: &[IdRange], from: usize) -> bool {
-    ranges[from..].iter().all(|r| matches!(r, IdRange::All))
-}
-
-fn first_id_at_or_after(interner: &crate::intern::Interner, bound: &str) -> Option<ValueId> {
-    // Ids are in string order, so binary search over ids works.
-    let n = interner.len() as u32;
-    let mut lo = 0u32;
-    let mut hi = n;
-    while lo < hi {
-        let mid = (lo + hi) / 2;
-        if interner.resolve(mid) < bound {
-            lo = mid + 1;
-        } else {
-            hi = mid;
-        }
-    }
-    (lo < n).then_some(lo)
-}
-
-fn last_id_at_or_before(interner: &crate::intern::Interner, bound: &str) -> Option<ValueId> {
-    let n = interner.len() as u32;
-    let mut lo = 0u32;
-    let mut hi = n;
-    while lo < hi {
-        let mid = (lo + hi) / 2;
-        if interner.resolve(mid) <= bound {
-            lo = mid + 1;
-        } else {
-            hi = mid;
-        }
-    }
-    (lo > 0).then(|| lo - 1)
 }
 
 #[cfg(test)]

@@ -1,0 +1,699 @@
+//! The unified read path: one traversal core over any node storage.
+//!
+//! Every cube query — point, range, slice, group-by — is the same walk over
+//! a levelled DAG of nodes. Historically the workspace had three divergent
+//! copies of that walk (the arena walk here in `sc-dwarf`, a point-only
+//! re-implementation over NoSQL rows in `sc-core`, and a per-model rebuild
+//! walk). This module extracts the walk into generic algorithms over a
+//! [`NodeSource`] trait so there is exactly one traversal core:
+//!
+//! * [`ArenaSource`] — the trivial, zero-copy implementation over a built
+//!   [`Dwarf`]; the existing `Dwarf::point/range/slice/group_by` API
+//!   delegates here.
+//! * `StoreNodeSource` (in `sc-core`) — answers from NoSQL rows with a
+//!   batched `WHERE id IN (...)` fetch per node and a bounded LRU cache.
+//!
+//! Keys are compared as strings. This is sound for the arena because value
+//! ids are ranked lexicographically (id order == string order), and it is
+//! what lets a store that kept only the strings share the algorithms.
+
+use std::convert::Infallible;
+use std::rc::Rc;
+
+use crate::cube::{Cell, Dwarf, NodeId, NONE_NODE};
+use crate::intern::Interner;
+use crate::query::{RangeSel, Selection};
+use crate::schema::AggFn;
+
+/// Node identifier as seen by a [`NodeSource`]. Wide enough for both arena
+/// ids (`u32`) and store row ids (schema-offset `i64`).
+pub type SourceNodeId = i64;
+
+/// An owned cell of an [`OwnedNode`] (store-backed sources materialize
+/// these from fetched rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedCell {
+    /// The dimension value this cell is keyed by.
+    pub key: String,
+    /// Aggregate measure (meaningful at the leaf level).
+    pub measure: i64,
+    /// Child node, `None` at the leaf level.
+    pub child: Option<SourceNodeId>,
+}
+
+/// An owned node: value cells sorted by key, plus the ALL pointer and the
+/// node total (the ALL cell's measure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedNode {
+    /// Value cells, sorted by `key` (the ALL cell is *not* included here).
+    pub cells: Vec<OwnedCell>,
+    /// The ALL cell's target, `None` at the leaf level.
+    pub all_child: Option<SourceNodeId>,
+    /// Aggregate of everything below this node.
+    pub total: i64,
+}
+
+impl OwnedNode {
+    /// Builds a node from unsorted value cells (sorts them by key).
+    pub fn from_cells(
+        mut cells: Vec<OwnedCell>,
+        all_child: Option<SourceNodeId>,
+        total: i64,
+    ) -> OwnedNode {
+        cells.sort_by(|a, b| a.key.cmp(&b.key));
+        OwnedNode {
+            cells,
+            all_child,
+            total,
+        }
+    }
+}
+
+/// A node view handed out by a [`NodeSource`]: borrowed straight from the
+/// arena, or an owned (cache-shared) reconstruction from store rows.
+#[derive(Debug, Clone)]
+pub enum CowNode<'s> {
+    /// Zero-copy view into a [`Dwarf`] arena.
+    Arena {
+        /// The node's cells (sorted by interned key, which is string order).
+        cells: &'s [Cell],
+        /// The dictionary of this node's level, for key resolution.
+        interner: &'s Interner,
+        /// ALL pointer, `None` at the leaf level.
+        all_child: Option<SourceNodeId>,
+        /// Aggregate of everything below this node.
+        total: i64,
+    },
+    /// Shared owned node (store-backed sources).
+    Owned(Rc<OwnedNode>),
+}
+
+impl CowNode<'_> {
+    /// Number of value cells (the ALL cell is not counted).
+    pub fn len(&self) -> usize {
+        match self {
+            CowNode::Arena { cells, .. } => cells.len(),
+            CowNode::Owned(n) => n.cells.len(),
+        }
+    }
+
+    /// Whether the node has no value cells (only the empty cube's root).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th cell's key, as a string.
+    pub fn key(&self, i: usize) -> &str {
+        match self {
+            CowNode::Arena {
+                cells, interner, ..
+            } => interner.resolve(cells[i].key),
+            CowNode::Owned(n) => &n.cells[i].key,
+        }
+    }
+
+    /// The `i`-th cell's measure.
+    pub fn measure(&self, i: usize) -> i64 {
+        match self {
+            CowNode::Arena { cells, .. } => cells[i].measure,
+            CowNode::Owned(n) => n.cells[i].measure,
+        }
+    }
+
+    /// The `i`-th cell's child pointer, `None` at the leaf level.
+    pub fn child(&self, i: usize) -> Option<SourceNodeId> {
+        match self {
+            CowNode::Arena { cells, .. } => {
+                (cells[i].child != NONE_NODE).then(|| cells[i].child as SourceNodeId)
+            }
+            CowNode::Owned(n) => n.cells[i].child,
+        }
+    }
+
+    /// The ALL pointer, `None` at the leaf level.
+    pub fn all_child(&self) -> Option<SourceNodeId> {
+        match self {
+            CowNode::Arena { all_child, .. } => *all_child,
+            CowNode::Owned(n) => n.all_child,
+        }
+    }
+
+    /// Aggregate of everything below this node (the ALL cell's value).
+    pub fn total(&self) -> i64 {
+        match self {
+            CowNode::Arena { total, .. } => *total,
+            CowNode::Owned(n) => n.total,
+        }
+    }
+
+    /// Binary-searches for a cell index by key.
+    pub fn find(&self, key: &str) -> Option<usize> {
+        match self {
+            CowNode::Arena {
+                cells, interner, ..
+            } => cells
+                .binary_search_by(|c| interner.resolve(c.key).cmp(key))
+                .ok(),
+            CowNode::Owned(n) => n.cells.binary_search_by(|c| c.key.as_str().cmp(key)).ok(),
+        }
+    }
+
+    /// First cell index whose key is `>= bound`.
+    pub fn lower_bound(&self, bound: &str) -> usize {
+        match self {
+            CowNode::Arena {
+                cells, interner, ..
+            } => cells.partition_point(|c| interner.resolve(c.key) < bound),
+            CowNode::Owned(n) => n.cells.partition_point(|c| c.key.as_str() < bound),
+        }
+    }
+}
+
+/// Failure of a generic traversal: either the source failed to produce a
+/// node, or the produced nodes violate the DWARF shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraverseError<E> {
+    /// The node source itself failed (store I/O, missing row, ...).
+    Source(E),
+    /// The node graph is structurally inconsistent with the schema.
+    Inconsistent(String),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for TraverseError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraverseError::Source(e) => write!(f, "node source error: {e}"),
+            TraverseError::Inconsistent(msg) => write!(f, "inconsistent cube: {msg}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for TraverseError<E> {}
+
+/// Anything that can resolve node ids to node views.
+///
+/// The lifetime `'s` is the lifetime of the *underlying data*, not of the
+/// `&mut self` borrow: implementations either hand out views borrowing
+/// longer-lived storage (the arena) or `'static` owned nodes (store
+/// caches). That decoupling is what lets the traversal keep a parent view
+/// while fetching children.
+pub trait NodeSource<'s> {
+    /// Source failure type ([`Infallible`] for the arena).
+    type Err;
+
+    /// Number of dimensions of the cube being traversed.
+    fn num_dims(&self) -> usize;
+
+    /// The cube's aggregate function (used to combine range partials).
+    fn agg(&self) -> AggFn;
+
+    /// The root node, or `None` for an empty cube.
+    fn root(&self) -> Option<SourceNodeId>;
+
+    /// Resolves a node id to a view of its cells, ALL pointer and total.
+    fn node(&mut self, id: SourceNodeId) -> Result<CowNode<'s>, Self::Err>;
+}
+
+/// The trivial [`NodeSource`]: a borrowed in-memory [`Dwarf`] arena.
+#[derive(Debug, Clone, Copy)]
+pub struct ArenaSource<'c> {
+    cube: &'c Dwarf,
+}
+
+impl<'c> ArenaSource<'c> {
+    /// Wraps a built cube.
+    pub fn new(cube: &'c Dwarf) -> ArenaSource<'c> {
+        ArenaSource { cube }
+    }
+}
+
+impl<'c> NodeSource<'c> for ArenaSource<'c> {
+    type Err = Infallible;
+
+    fn num_dims(&self) -> usize {
+        self.cube.num_dims()
+    }
+
+    fn agg(&self) -> AggFn {
+        self.cube.schema().agg()
+    }
+
+    fn root(&self) -> Option<SourceNodeId> {
+        (!self.cube.is_empty()).then(|| self.cube.root() as SourceNodeId)
+    }
+
+    fn node(&mut self, id: SourceNodeId) -> Result<CowNode<'c>, Infallible> {
+        let nr = self.cube.node(id as NodeId);
+        Ok(CowNode::Arena {
+            cells: nr.cells,
+            interner: self.cube.interner(nr.node.level as usize),
+            all_child: (nr.node.all_child != NONE_NODE).then(|| nr.node.all_child as SourceNodeId),
+            total: nr.node.total,
+        })
+    }
+}
+
+/// Unwraps a traversal result over an infallible source. The in-memory
+/// arena upholds the DWARF invariants by construction, so both error arms
+/// are unreachable.
+pub(crate) fn unwrap_infallible<T>(r: Result<T, TraverseError<Infallible>>) -> T {
+    match r {
+        Ok(t) => t,
+        Err(TraverseError::Source(never)) => match never {},
+        Err(TraverseError::Inconsistent(msg)) => {
+            unreachable!("in-memory cube violated traversal invariants: {msg}")
+        }
+    }
+}
+
+fn source_err<E>(e: E) -> TraverseError<E> {
+    TraverseError::Source(e)
+}
+
+fn missing_all<E>(level: usize) -> TraverseError<E> {
+    TraverseError::Inconsistent(format!("non-leaf node at level {level} has no ALL pointer"))
+}
+
+fn missing_child<E>(level: usize) -> TraverseError<E> {
+    TraverseError::Inconsistent(format!(
+        "non-leaf cell at level {level} lacks a pointer node"
+    ))
+}
+
+/// Point / group-by query over any source: one [`Selection`] per dimension.
+///
+/// Panics if `sel.len()` differs from the source's dimension count.
+pub fn point_over<'s, S: NodeSource<'s>>(
+    src: &mut S,
+    sel: &[Selection],
+) -> Result<Option<i64>, TraverseError<S::Err>> {
+    let d = src.num_dims();
+    assert_eq!(sel.len(), d, "selection arity must match dimensions");
+    let Some(mut id) = src.root() else {
+        return Ok(None);
+    };
+    for (level, s) in sel.iter().enumerate() {
+        let node = src.node(id).map_err(source_err)?;
+        if node.is_empty() {
+            return Ok(None);
+        }
+        let leaf = level == d - 1;
+        match s {
+            Selection::All => {
+                if leaf {
+                    return Ok(Some(node.total()));
+                }
+                id = node.all_child().ok_or_else(|| missing_all(level))?;
+            }
+            Selection::Value(v) => {
+                let Some(i) = node.find(v) else {
+                    return Ok(None);
+                };
+                if leaf {
+                    return Ok(Some(node.measure(i)));
+                }
+                id = node.child(i).ok_or_else(|| missing_child(level))?;
+            }
+        }
+    }
+    unreachable!("loop returns at the leaf level")
+}
+
+/// Range aggregate over any source: one [`RangeSel`] per dimension.
+///
+/// Panics if `sel.len()` differs from the source's dimension count.
+pub fn range_over<'s, S: NodeSource<'s>>(
+    src: &mut S,
+    sel: &[RangeSel],
+) -> Result<Option<i64>, TraverseError<S::Err>> {
+    let d = src.num_dims();
+    assert_eq!(sel.len(), d, "selection arity must match dimensions");
+    if has_empty_interval(sel) {
+        return Ok(None);
+    }
+    let Some(root) = src.root() else {
+        return Ok(None);
+    };
+    let agg = src.agg();
+    range_rec(src, root, 0, sel, agg, d)
+}
+
+fn range_rec<'s, S: NodeSource<'s>>(
+    src: &mut S,
+    id: SourceNodeId,
+    level: usize,
+    sel: &[RangeSel],
+    agg: AggFn,
+    d: usize,
+) -> Result<Option<i64>, TraverseError<S::Err>> {
+    let node = src.node(id).map_err(source_err)?;
+    if node.is_empty() {
+        return Ok(None);
+    }
+    let leaf = level == d - 1;
+    match &sel[level] {
+        RangeSel::All => {
+            if leaf {
+                Ok(Some(node.total()))
+            } else {
+                let all = node.all_child().ok_or_else(|| missing_all(level))?;
+                if trailing_all(sel, level + 1) {
+                    // Everything below is unconstrained: the ALL pointer
+                    // already materializes this aggregate.
+                    let all_node = src.node(all).map_err(source_err)?;
+                    Ok(Some(all_node.total()))
+                } else {
+                    range_rec(src, all, level + 1, sel, agg, d)
+                }
+            }
+        }
+        RangeSel::Value(v) => {
+            let Some(i) = node.find(v) else {
+                return Ok(None);
+            };
+            if leaf {
+                Ok(Some(node.measure(i)))
+            } else {
+                let child = node.child(i).ok_or_else(|| missing_child(level))?;
+                range_rec(src, child, level + 1, sel, agg, d)
+            }
+        }
+        RangeSel::Between(lo, hi) => {
+            let start = node.lower_bound(lo);
+            let mut acc: Option<i64> = None;
+            for i in start..node.len() {
+                if node.key(i) > hi.as_str() {
+                    break;
+                }
+                let part = if leaf {
+                    Some(node.measure(i))
+                } else {
+                    let child = node.child(i).ok_or_else(|| missing_child(level))?;
+                    range_rec(src, child, level + 1, sel, agg, d)?
+                };
+                if let Some(p) = part {
+                    acc = Some(match acc {
+                        Some(a) => agg.combine(a, p),
+                        None => p,
+                    });
+                }
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// Slice over any source: the base fact rows (string keys + aggregated
+/// measures) falling inside `sel`, in sorted key order.
+///
+/// Panics if `sel.len()` differs from the source's dimension count.
+pub fn slice_over<'s, S: NodeSource<'s>>(
+    src: &mut S,
+    sel: &[RangeSel],
+) -> Result<Vec<(Vec<String>, i64)>, TraverseError<S::Err>> {
+    let d = src.num_dims();
+    assert_eq!(sel.len(), d, "selection arity must match dimensions");
+    let mut out = Vec::new();
+    if has_empty_interval(sel) {
+        return Ok(out);
+    }
+    let Some(root) = src.root() else {
+        return Ok(out);
+    };
+    let mut path = Vec::with_capacity(d);
+    slice_rec(src, root, 0, sel, d, &mut path, &mut out)?;
+    Ok(out)
+}
+
+fn slice_rec<'s, S: NodeSource<'s>>(
+    src: &mut S,
+    id: SourceNodeId,
+    level: usize,
+    sel: &[RangeSel],
+    d: usize,
+    path: &mut Vec<String>,
+    out: &mut Vec<(Vec<String>, i64)>,
+) -> Result<(), TraverseError<S::Err>> {
+    let node = src.node(id).map_err(source_err)?;
+    let leaf = level == d - 1;
+    let (lo, hi) = match &sel[level] {
+        RangeSel::All => (None, None),
+        RangeSel::Value(v) => (Some(v.as_str()), Some(v.as_str())),
+        RangeSel::Between(l, h) => (Some(l.as_str()), Some(h.as_str())),
+    };
+    let start = lo.map_or(0, |l| node.lower_bound(l));
+    for i in start..node.len() {
+        if hi.is_some_and(|h| node.key(i) > h) {
+            break;
+        }
+        path.push(node.key(i).to_string());
+        if leaf {
+            if node.child(i).is_some() {
+                return Err(TraverseError::Inconsistent(
+                    "leaf cell has a pointer node".into(),
+                ));
+            }
+            out.push((path.clone(), node.measure(i)));
+        } else {
+            let child = node.child(i).ok_or_else(|| missing_child(level))?;
+            slice_rec(src, child, level + 1, sel, d, path, out)?;
+        }
+        path.pop();
+    }
+    Ok(())
+}
+
+/// GROUP BY over any source. `mask[level]` says whether that dimension is
+/// grouped (descend value cells) or aggregated out (descend the ALL cell).
+/// Returns `(group key, aggregate)` rows sorted by group key.
+///
+/// Panics if `mask.len()` differs from the source's dimension count.
+pub fn group_by_over<'s, S: NodeSource<'s>>(
+    src: &mut S,
+    mask: &[bool],
+) -> Result<Vec<(Vec<String>, i64)>, TraverseError<S::Err>> {
+    let d = src.num_dims();
+    assert_eq!(mask.len(), d, "mask arity must match dimensions");
+    let mut out = Vec::new();
+    let Some(root) = src.root() else {
+        return Ok(out);
+    };
+    let mut key = Vec::new();
+    group_rec(src, root, 0, mask, d, &mut key, &mut out)?;
+    Ok(out)
+}
+
+fn group_rec<'s, S: NodeSource<'s>>(
+    src: &mut S,
+    id: SourceNodeId,
+    level: usize,
+    mask: &[bool],
+    d: usize,
+    key: &mut Vec<String>,
+    out: &mut Vec<(Vec<String>, i64)>,
+) -> Result<(), TraverseError<S::Err>> {
+    let node = src.node(id).map_err(source_err)?;
+    if node.is_empty() {
+        return Ok(());
+    }
+    let leaf = level == d - 1;
+    if mask[level] {
+        for i in 0..node.len() {
+            key.push(node.key(i).to_string());
+            if leaf || mask[level + 1..].iter().all(|g| !g) {
+                // Every remaining level is aggregated out: the cell's
+                // measure IS the group's aggregate (child totals are
+                // cached on cells).
+                out.push((key.clone(), node.measure(i)));
+            } else {
+                let child = node.child(i).ok_or_else(|| missing_child(level))?;
+                group_rec(src, child, level + 1, mask, d, key, out)?;
+            }
+            key.pop();
+        }
+    } else if leaf {
+        // Fully aggregated leaf: node total closes the group.
+        out.push((key.clone(), node.total()));
+    } else {
+        let all = node.all_child().ok_or_else(|| missing_all(level))?;
+        group_rec(src, all, level + 1, mask, d, key, out)?;
+    }
+    Ok(())
+}
+
+fn has_empty_interval(sel: &[RangeSel]) -> bool {
+    sel.iter()
+        .any(|s| matches!(s, RangeSel::Between(lo, hi) if lo > hi))
+}
+
+fn trailing_all(sel: &[RangeSel], from: usize) -> bool {
+    sel[from..].iter().all(|r| matches!(r, RangeSel::All))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CubeSchema, TupleSet};
+
+    fn cube() -> Dwarf {
+        let schema = CubeSchema::new(["day", "station"], "hires");
+        let mut ts = TupleSet::new(&schema);
+        ts.push(["mon", "a"], 1);
+        ts.push(["mon", "b"], 2);
+        ts.push(["tue", "a"], 4);
+        ts.push(["tue", "c"], 8);
+        Dwarf::build(schema, ts)
+    }
+
+    /// An owned mirror of a cube, exercising the `CowNode::Owned` arm the
+    /// way store-backed sources do.
+    struct OwnedMirror {
+        nodes: std::collections::HashMap<SourceNodeId, Rc<OwnedNode>>,
+        root: Option<SourceNodeId>,
+        num_dims: usize,
+        agg: AggFn,
+    }
+
+    impl OwnedMirror {
+        fn of(cube: &Dwarf) -> OwnedMirror {
+            let mut nodes = std::collections::HashMap::new();
+            for id in cube.node_ids() {
+                let nr = cube.node(id);
+                let level = nr.node.level as usize;
+                let cells = nr
+                    .cells
+                    .iter()
+                    .map(|c| OwnedCell {
+                        key: cube.interner(level).resolve(c.key).to_string(),
+                        measure: c.measure,
+                        child: (c.child != NONE_NODE).then(|| c.child as SourceNodeId),
+                    })
+                    .collect();
+                let all_child =
+                    (nr.node.all_child != NONE_NODE).then(|| nr.node.all_child as SourceNodeId);
+                nodes.insert(
+                    id as SourceNodeId,
+                    Rc::new(OwnedNode::from_cells(cells, all_child, nr.node.total)),
+                );
+            }
+            OwnedMirror {
+                nodes,
+                root: (!cube.is_empty()).then(|| cube.root() as SourceNodeId),
+                num_dims: cube.num_dims(),
+                agg: cube.schema().agg(),
+            }
+        }
+    }
+
+    impl NodeSource<'static> for OwnedMirror {
+        type Err = String;
+
+        fn num_dims(&self) -> usize {
+            self.num_dims
+        }
+
+        fn agg(&self) -> AggFn {
+            self.agg
+        }
+
+        fn root(&self) -> Option<SourceNodeId> {
+            self.root
+        }
+
+        fn node(&mut self, id: SourceNodeId) -> Result<CowNode<'static>, String> {
+            self.nodes
+                .get(&id)
+                .cloned()
+                .map(CowNode::Owned)
+                .ok_or_else(|| format!("no node {id}"))
+        }
+    }
+
+    #[test]
+    fn owned_mirror_matches_arena_queries() {
+        let c = cube();
+        let mut mirror = OwnedMirror::of(&c);
+        let sels = [
+            vec![Selection::All, Selection::All],
+            vec![Selection::value("mon"), Selection::All],
+            vec![Selection::value("mon"), Selection::value("b")],
+            vec![Selection::All, Selection::value("a")],
+            vec![Selection::value("fri"), Selection::All],
+        ];
+        for sel in &sels {
+            assert_eq!(point_over(&mut mirror, sel).unwrap(), c.point(sel));
+        }
+        let ranges = [
+            vec![RangeSel::All, RangeSel::All],
+            vec![RangeSel::between("mon", "tue"), RangeSel::All],
+            vec![RangeSel::All, RangeSel::between("b", "c")],
+            vec![RangeSel::between("z", "a"), RangeSel::All],
+            vec![RangeSel::value("tue"), RangeSel::value("b")],
+        ];
+        for sel in &ranges {
+            assert_eq!(range_over(&mut mirror, sel).unwrap(), c.range(sel));
+            assert_eq!(slice_over(&mut mirror, sel).unwrap(), c.slice(sel));
+        }
+        for mask in [[false, false], [true, false], [false, true], [true, true]] {
+            let dims: Vec<&str> = ["day", "station"]
+                .iter()
+                .zip(mask)
+                .filter_map(|(d, g)| g.then_some(*d))
+                .collect();
+            assert_eq!(
+                group_by_over(&mut mirror, &mask).unwrap(),
+                c.group_by(&dims).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn source_errors_surface() {
+        let c = cube();
+        let mut mirror = OwnedMirror::of(&c);
+        mirror.nodes.remove(&mirror.root.unwrap());
+        let r = point_over(&mut mirror, &[Selection::All, Selection::All]);
+        assert!(matches!(r, Err(TraverseError::Source(_))));
+    }
+
+    #[test]
+    fn inconsistent_graphs_are_detected() {
+        let c = cube();
+        let mut mirror = OwnedMirror::of(&c);
+        let root = mirror.root.unwrap();
+        let broken = {
+            let n = mirror.nodes[&root].as_ref().clone();
+            let cells = n
+                .cells
+                .iter()
+                .map(|c| OwnedCell {
+                    child: None,
+                    ..c.clone()
+                })
+                .collect();
+            Rc::new(OwnedNode::from_cells(cells, n.all_child, n.total))
+        };
+        mirror.nodes.insert(root, broken);
+        let r = point_over(&mut mirror, &[Selection::value("mon"), Selection::All]);
+        assert!(matches!(r, Err(TraverseError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn empty_cube_is_none_everywhere() {
+        let schema = CubeSchema::new(["a", "b"], "m");
+        let c = Dwarf::build(schema.clone(), TupleSet::new(&schema));
+        let mut src = ArenaSource::new(&c);
+        assert_eq!(
+            point_over(&mut src, &[Selection::All, Selection::All]).unwrap(),
+            None
+        );
+        assert_eq!(
+            range_over(&mut src, &[RangeSel::All, RangeSel::All]).unwrap(),
+            None
+        );
+        assert!(slice_over(&mut src, &[RangeSel::All, RangeSel::All])
+            .unwrap()
+            .is_empty());
+        assert!(group_by_over(&mut src, &[true, false]).unwrap().is_empty());
+    }
+}

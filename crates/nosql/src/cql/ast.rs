@@ -11,13 +11,64 @@ pub struct TableRef {
     pub table: String,
 }
 
-/// `WHERE <column> = <value>`.
+/// A row filter: `WHERE <column> = <value>` or
+/// `WHERE <column> IN (<v1>, <v2>, ...)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WhereClause {
-    /// Column constrained.
-    pub column: String,
-    /// Required value.
-    pub value: CqlValue,
+pub enum WhereClause {
+    /// `WHERE column = value`.
+    Eq {
+        /// Column constrained.
+        column: String,
+        /// Required value.
+        value: CqlValue,
+    },
+    /// `WHERE column IN (v1, v2, ...)` — a multi-point read. On the
+    /// primary key this probes the memtable/SSTables once per key instead
+    /// of issuing one statement per value.
+    In {
+        /// Column constrained.
+        column: String,
+        /// Accepted values, in statement order.
+        values: Vec<CqlValue>,
+    },
+}
+
+impl WhereClause {
+    /// Convenience constructor for [`WhereClause::Eq`].
+    pub fn eq(column: impl Into<String>, value: CqlValue) -> WhereClause {
+        WhereClause::Eq {
+            column: column.into(),
+            value,
+        }
+    }
+
+    /// Convenience constructor for [`WhereClause::In`].
+    pub fn any_of(column: impl Into<String>, values: Vec<CqlValue>) -> WhereClause {
+        WhereClause::In {
+            column: column.into(),
+            values,
+        }
+    }
+
+    /// The constrained column's name.
+    pub fn column(&self) -> &str {
+        match self {
+            WhereClause::Eq { column, .. } | WhereClause::In { column, .. } => column,
+        }
+    }
+
+    /// Renders the filter as CQL (without the `WHERE` keyword).
+    pub fn to_cql(&self) -> String {
+        match self {
+            WhereClause::Eq { column, value } => {
+                format!("{column} = {}", value.to_cql_literal())
+            }
+            WhereClause::In { column, values } => {
+                let vals: Vec<String> = values.iter().map(CqlValue::to_cql_literal).collect();
+                format!("{column} IN ({})", vals.join(", "))
+            }
+        }
+    }
 }
 
 /// The column list of a SELECT.
@@ -157,11 +208,7 @@ impl Statement {
                 };
                 let mut s = format!("SELECT {cols} FROM {}.{}", table.keyspace, table.table);
                 if let Some(w) = where_clause {
-                    s.push_str(&format!(
-                        " WHERE {} = {}",
-                        w.column,
-                        w.value.to_cql_literal()
-                    ));
+                    s.push_str(&format!(" WHERE {}", w.to_cql()));
                 }
                 if let Some(n) = limit {
                     s.push_str(&format!(" LIMIT {n}"));
@@ -178,23 +225,21 @@ impl Statement {
                     .map(|(c, v)| format!("{c} = {}", v.to_cql_literal()))
                     .collect();
                 format!(
-                    "UPDATE {}.{} SET {} WHERE {} = {}",
+                    "UPDATE {}.{} SET {} WHERE {}",
                     table.keyspace,
                     table.table,
                     sets.join(", "),
-                    where_clause.column,
-                    where_clause.value.to_cql_literal()
+                    where_clause.to_cql()
                 )
             }
             Statement::Delete {
                 table,
                 where_clause,
             } => format!(
-                "DELETE FROM {}.{} WHERE {} = {}",
+                "DELETE FROM {}.{} WHERE {}",
                 table.keyspace,
                 table.table,
-                where_clause.column,
-                where_clause.value.to_cql_literal()
+                where_clause.to_cql()
             ),
             Statement::Truncate { table } => {
                 format!("TRUNCATE {}.{}", table.keyspace, table.table)

@@ -158,9 +158,24 @@ impl Parser {
 
     fn where_clause(&mut self) -> Result<WhereClause> {
         let column = self.ident()?;
+        if self.eat_keyword("in") {
+            self.expect_symbol('(')?;
+            let mut values = Vec::new();
+            // `IN ()` is legal CQL and matches no rows.
+            if !self.eat_symbol(')') {
+                loop {
+                    values.push(self.literal()?);
+                    if self.eat_symbol(')') {
+                        break;
+                    }
+                    self.expect_symbol(',')?;
+                }
+            }
+            return Ok(WhereClause::In { column, values });
+        }
         self.expect_symbol('=')?;
         let value = self.literal()?;
-        Ok(WhereClause { column, value })
+        Ok(WhereClause::Eq { column, value })
     }
 
     fn statement(&mut self) -> Result<Statement> {
@@ -481,10 +496,38 @@ mod tests {
                 ..
             } => {
                 assert_eq!(names, vec!["id", "key"]);
-                assert_eq!(w.value, CqlValue::Int(7));
+                assert_eq!(w, WhereClause::eq("id", CqlValue::Int(7)));
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn select_with_in_list() {
+        let stmt = parse_statement("SELECT * FROM ks.t WHERE id IN (1, 2, 3)").unwrap();
+        match &stmt {
+            Statement::Select {
+                where_clause: Some(w),
+                ..
+            } => {
+                assert_eq!(
+                    *w,
+                    WhereClause::any_of(
+                        "id",
+                        vec![CqlValue::Int(1), CqlValue::Int(2), CqlValue::Int(3)]
+                    )
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Round-trips through to_cql.
+        assert_eq!(stmt.to_cql(), "SELECT * FROM ks.t WHERE id IN (1, 2, 3)");
+        // Text values and the empty list parse too.
+        assert!(parse_statement("SELECT * FROM ks.t WHERE k IN ('a', 'b')").is_ok());
+        assert!(parse_statement("SELECT * FROM ks.t WHERE id IN ()").is_ok());
+        // Malformed lists fail.
+        assert!(parse_statement("SELECT * FROM ks.t WHERE id IN (1,").is_err());
+        assert!(parse_statement("SELECT * FROM ks.t WHERE id IN 1").is_err());
     }
 
     #[test]

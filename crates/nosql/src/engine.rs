@@ -602,26 +602,35 @@ impl Db {
         where_clause: &WhereClause,
     ) -> Result<()> {
         let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
-        if where_clause.column != def.pk_column().name {
+        let WhereClause::Eq {
+            column: w_column,
+            value: w_value,
+        } = where_clause
+        else {
+            return Err(NosqlError::Unsupported(
+                "UPDATE requires an equality WHERE on the primary key".into(),
+            ));
+        };
+        if w_column != &def.pk_column().name {
             return Err(NosqlError::Unsupported(format!(
                 "UPDATE is by primary key ({})",
                 def.pk_column().name
             )));
         }
-        if !where_clause.value.matches(def.pk_column().ty) {
+        if !w_value.matches(def.pk_column().ty) {
             return Err(NosqlError::TypeMismatch {
-                column: where_clause.column.clone(),
+                column: w_column.clone(),
                 expected: def.pk_column().ty.name().to_string(),
-                found: where_clause.value.type_name().to_string(),
+                found: w_value.type_name().to_string(),
             });
         }
-        let key = where_clause.value.encode_key();
+        let key = w_value.encode_key();
         let qualified = def.qualified_name();
         let existing = self.runtime_mut(&qualified).get(&key)?;
         let mut values = existing
             .map(|r| r.values)
             .unwrap_or_else(|| vec![CqlValue::Null; def.columns.len()]);
-        values[def.primary_key] = where_clause.value.clone();
+        values[def.primary_key] = w_value.clone();
         for (column, value) in assignments {
             let idx = def
                 .column_index(column)
@@ -648,13 +657,22 @@ impl Db {
 
     fn delete(&mut self, table: &TableRef, where_clause: &WhereClause) -> Result<()> {
         let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
-        if where_clause.column != def.pk_column().name {
+        let WhereClause::Eq {
+            column: w_column,
+            value: w_value,
+        } = where_clause
+        else {
+            return Err(NosqlError::Unsupported(
+                "DELETE requires an equality WHERE on the primary key".into(),
+            ));
+        };
+        if w_column != &def.pk_column().name {
             return Err(NosqlError::Unsupported(format!(
                 "DELETE is by primary key ({})",
                 def.pk_column().name
             )));
         }
-        let key = where_clause.value.encode_key();
+        let key = w_value.encode_key();
         let qualified = def.qualified_name();
         let old_row = self.runtime_mut(&qualified).get(&key)?;
         let ts = self.next_ts();
@@ -719,6 +737,79 @@ impl Db {
         Ok(())
     }
 
+    /// Executes `WHERE column IN (...)`.
+    ///
+    /// On the primary key this is a multi-point read: one memtable/SSTable
+    /// probe per distinct key, no scan — the primitive batched store
+    /// fetches ride on. On an indexed column it unions the per-value
+    /// posting scans; otherwise it degrades to a scan with a membership
+    /// filter.
+    fn select_in(
+        &mut self,
+        def: &TableDef,
+        qualified: &str,
+        column: &str,
+        values: &[CqlValue],
+    ) -> Result<Vec<Row>> {
+        if column == def.pk_column().name {
+            let mut seen: HashSet<Vec<u8>> = HashSet::with_capacity(values.len());
+            let mut out = Vec::with_capacity(values.len());
+            for v in values {
+                let key = v.encode_key();
+                if !seen.insert(key.clone()) {
+                    continue;
+                }
+                if let Some(row) = self.runtime_mut(qualified).get(&key)? {
+                    out.push(row);
+                }
+            }
+            return Ok(out);
+        }
+        if def.is_indexed(column) {
+            let idx_qualified = format!("{}.{}", def.keyspace, def.index_table_name(column));
+            let col_idx = def.column_index(column).expect("indexed column exists");
+            let mut ids = Vec::new();
+            let mut seen_ids: HashSet<i64> = HashSet::new();
+            for v in values {
+                let prefix = Self::posting_prefix(v);
+                for (_, r) in self.runtime_mut(&idx_qualified).scan_prefix(&prefix)? {
+                    if let Some(id) = r.values[1].as_int() {
+                        if seen_ids.insert(id) {
+                            ids.push(id);
+                        }
+                    }
+                }
+            }
+            let mut out = Vec::with_capacity(ids.len());
+            for id in ids {
+                if let Some(row) = self
+                    .runtime_mut(qualified)
+                    .get(&CqlValue::Int(id).encode_key())?
+                {
+                    // Re-check: postings may be stale relative to
+                    // overwrites racing the index update.
+                    if values.contains(&row.values[col_idx]) {
+                        out.push(row);
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        let col_idx = def
+            .column_index(column)
+            .ok_or_else(|| NosqlError::UnknownColumn {
+                table: def.name.clone(),
+                column: column.to_string(),
+            })?;
+        Ok(self
+            .runtime_mut(qualified)
+            .scan()?
+            .into_iter()
+            .map(|(_, r)| r)
+            .filter(|r| values.contains(&r.values[col_idx]))
+            .collect())
+    }
+
     fn select(
         &mut self,
         table: &TableRef,
@@ -735,22 +826,22 @@ impl Db {
                 .into_iter()
                 .map(|(_, r)| r)
                 .collect(),
-            Some(w) if w.column == def.pk_column().name => {
-                let key = w.value.encode_key();
+            Some(WhereClause::Eq { column, value }) if *column == def.pk_column().name => {
+                let key = value.encode_key();
                 self.runtime_mut(&qualified)
                     .get(&key)?
                     .into_iter()
                     .collect()
             }
-            Some(w) if def.is_indexed(&w.column) => {
-                let idx_qualified = format!("{}.{}", def.keyspace, def.index_table_name(&w.column));
-                let prefix = Self::posting_prefix(&w.value);
+            Some(WhereClause::Eq { column, value }) if def.is_indexed(column) => {
+                let idx_qualified = format!("{}.{}", def.keyspace, def.index_table_name(column));
+                let prefix = Self::posting_prefix(value);
                 let postings = self.runtime_mut(&idx_qualified).scan_prefix(&prefix)?;
                 let ids: Vec<i64> = postings
                     .iter()
                     .filter_map(|(_, r)| r.values[1].as_int())
                     .collect();
-                let col_idx = def.column_index(&w.column).expect("indexed column exists");
+                let col_idx = def.column_index(column).expect("indexed column exists");
                 let mut out = Vec::with_capacity(ids.len());
                 for id in ids {
                     if let Some(row) = self
@@ -759,28 +850,31 @@ impl Db {
                     {
                         // Re-check: postings may be stale relative to
                         // overwrites racing the index update.
-                        if row.values[col_idx] == w.value {
+                        if row.values[col_idx] == *value {
                             out.push(row);
                         }
                     }
                 }
                 out
             }
-            Some(w) => {
+            Some(WhereClause::Eq { column, value }) => {
                 // Unindexed filter: full scan (CQL would demand ALLOW
                 // FILTERING; we accept it for diagnostics and tests).
                 let col_idx =
-                    def.column_index(&w.column)
+                    def.column_index(column)
                         .ok_or_else(|| NosqlError::UnknownColumn {
                             table: def.name.clone(),
-                            column: w.column.clone(),
+                            column: column.clone(),
                         })?;
                 self.runtime_mut(&qualified)
                     .scan()?
                     .into_iter()
                     .map(|(_, r)| r)
-                    .filter(|r| r.values[col_idx] == w.value)
+                    .filter(|r| r.values[col_idx] == *value)
                     .collect()
+            }
+            Some(WhereClause::In { column, values }) => {
+                self.select_in(&def, &qualified, column, values)?
             }
         };
         if let Some(n) = limit {
@@ -941,6 +1035,69 @@ mod tests {
         assert!(matches!(
             db.execute_cql("INSERT INTO ks.cells (id, nope) VALUES (1, 2)"),
             Err(NosqlError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn in_list_on_primary_key_is_multi_point() {
+        let mut db = setup();
+        for i in 0..10 {
+            db.execute_cql(&format!(
+                "INSERT INTO ks.cells (id, key) VALUES ({i}, 'k{i}')"
+            ))
+            .unwrap();
+        }
+        // Survives a flush (keys come back from SSTables too).
+        db.flush_all().unwrap();
+        let r = db
+            .execute_cql("SELECT id, key FROM ks.cells WHERE id IN (7, 2, 2, 99)")
+            .unwrap();
+        // Statement order, duplicates collapsed, missing keys skipped.
+        let ids: Vec<i64> = r.iter().map(|row| row.get_int("id").unwrap()).collect();
+        assert_eq!(ids, vec![7, 2]);
+        // The empty list matches nothing.
+        let r = db
+            .execute_cql("SELECT id FROM ks.cells WHERE id IN ()")
+            .unwrap();
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn in_list_on_indexed_and_plain_columns() {
+        let mut db = setup();
+        db.execute_cql("CREATE INDEX ON ks.cells (parent)").unwrap();
+        for i in 0..9 {
+            db.execute_cql(&format!(
+                "INSERT INTO ks.cells (id, key, parent) VALUES ({i}, 'k{}', {})",
+                i % 2,
+                i % 3
+            ))
+            .unwrap();
+        }
+        // Indexed column: union of postings.
+        let r = db
+            .execute_cql("SELECT id FROM ks.cells WHERE parent IN (0, 2)")
+            .unwrap();
+        let mut ids: Vec<i64> = r.iter().map(|row| row.get_int("id").unwrap()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 2, 3, 5, 6, 8]);
+        // Unindexed column: scan + membership filter.
+        let r = db
+            .execute_cql("SELECT id FROM ks.cells WHERE key IN ('k1')")
+            .unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn update_and_delete_reject_in_lists() {
+        let mut db = setup();
+        assert!(matches!(
+            db.execute_cql("UPDATE ks.cells SET key = 'x' WHERE id IN (1, 2)"),
+            Err(NosqlError::Unsupported(_))
+        ));
+        assert!(matches!(
+            db.execute_cql("DELETE FROM ks.cells WHERE id IN (1, 2)"),
+            Err(NosqlError::Unsupported(_))
         ));
     }
 

@@ -29,4 +29,11 @@ echo "$obs_out" | grep -q '"histograms"' || {
     exit 1
 }
 
+echo "==> store-backed query smoke (warm identical query fetches zero rows)"
+query_out="$(cargo run --release -p sc-bench --bin repro -- query --scale 0.02)"
+echo "$query_out" | grep -q 'warm point query: store rows fetched 0' || {
+    echo "ci.sh: repro query did not report a zero-fetch warm query" >&2
+    exit 1
+}
+
 echo "ci.sh: all green"
