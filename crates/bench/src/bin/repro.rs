@@ -547,4 +547,32 @@ fn query(scale: f64) {
         warm.rows_fetched, 0,
         "warm identical query touched the store"
     );
+    drop(sbc);
+
+    // Absent-key point lookups with ids beyond every SSTable's min/max key
+    // fences: the v2 read path must answer them without consulting a bloom
+    // filter or reading a single data block. (In-range absent keys are
+    // probabilistic — a bloom false positive may read one block — so the
+    // deterministic smoke uses fence-rejected keys only.)
+    let db = model.db_mut();
+    db.flush_all().expect("flush before fence probes");
+    let before = sc_obs::Registry::global().snapshot();
+    for id in [i64::MAX - 7, i64::MAX / 2, -1, -12345] {
+        let r = db
+            .execute_cql(&format!(
+                "SELECT id FROM smartcity.dwarf_node WHERE id = {id}"
+            ))
+            .expect("fence-probe select");
+        assert!(r.is_empty(), "id {id} must not exist");
+    }
+    let after = sc_obs::Registry::global().snapshot();
+    let hist_sum = |snap: &sc_obs::RegistrySnapshot| {
+        snap.histogram("nosql.read.blocks_per_get")
+            .cloned()
+            .unwrap_or_default()
+            .sum
+    };
+    let blocks = hist_sum(&after) - hist_sum(&before);
+    println!("\nabsent point lookups beyond the key fences: data blocks read {blocks}");
+    assert_eq!(blocks, 0, "fence-rejected lookups read data blocks");
 }

@@ -1,0 +1,172 @@
+//! Fixed-target data-block codec for block-based tables (SSTable v2).
+//!
+//! A block is a run of `(key, payload)` records, each length-prefixed,
+//! packed until the block reaches a target size (~4 KiB by default). The
+//! builder reports the block's first key and record count so the caller can
+//! maintain a sparse index — one index entry per *block* instead of per
+//! *record*, which is what shrinks the resident index by orders of
+//! magnitude on large tables.
+//!
+//! The codec does not frame or checksum the block itself; the table format
+//! owns placement (offset/len) and integrity (per-block CRC in its meta
+//! region).
+
+use crate::codec::{DecodeError, Decoder, Encoder};
+
+/// Default block target: the classic 4 KiB data-block size.
+pub const BLOCK_TARGET_BYTES: usize = 4096;
+
+/// Accumulates `(key, payload)` records into one block.
+#[derive(Debug)]
+pub struct BlockBuilder {
+    enc: Encoder,
+    first_key: Vec<u8>,
+    count: u64,
+    target: usize,
+}
+
+/// A closed block ready to be written, plus the metadata the sparse index
+/// needs.
+#[derive(Debug)]
+pub struct FinishedBlock {
+    /// The packed record bytes.
+    pub bytes: Vec<u8>,
+    /// Key of the first record.
+    pub first_key: Vec<u8>,
+    /// Number of records in the block.
+    pub count: u64,
+}
+
+impl BlockBuilder {
+    /// Creates a builder that reports itself full once `target` bytes are
+    /// packed (records are never split; a block may exceed the target by
+    /// one record).
+    pub fn new(target: usize) -> BlockBuilder {
+        BlockBuilder {
+            enc: Encoder::new(),
+            first_key: Vec::new(),
+            count: 0,
+            target: target.max(1),
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, key: &[u8], payload: &[u8]) {
+        if self.count == 0 {
+            self.first_key = key.to_vec();
+        }
+        self.enc.put_bytes(key);
+        self.enc.put_bytes(payload);
+        self.count += 1;
+    }
+
+    /// Whether the block reached its target size.
+    pub fn is_full(&self) -> bool {
+        self.enc.len() >= self.target
+    }
+
+    /// Whether no record has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Packed bytes so far.
+    pub fn len(&self) -> usize {
+        self.enc.len()
+    }
+
+    /// Closes the block.
+    pub fn finish(self) -> FinishedBlock {
+        FinishedBlock {
+            bytes: self.enc.into_bytes(),
+            first_key: self.first_key,
+            count: self.count,
+        }
+    }
+}
+
+/// Iterates the `(key, payload)` records of one block.
+///
+/// Yields `Err` once (then stops) if the block bytes are truncated or
+/// malformed — callers verify the block CRC first, so an error here means a
+/// logic bug or an unchecked read.
+#[derive(Debug)]
+pub struct BlockIter<'a> {
+    dec: Decoder<'a>,
+    failed: bool,
+}
+
+impl<'a> BlockIter<'a> {
+    /// Creates an iterator over packed block bytes.
+    pub fn new(bytes: &'a [u8]) -> BlockIter<'a> {
+        BlockIter {
+            dec: Decoder::new(bytes),
+            failed: false,
+        }
+    }
+}
+
+impl<'a> Iterator for BlockIter<'a> {
+    type Item = Result<(&'a [u8], &'a [u8]), DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.dec.is_exhausted() {
+            return None;
+        }
+        let record = (|| {
+            let key = self.dec.get_bytes()?;
+            let payload = self.dec.get_bytes()?;
+            Ok((key, payload))
+        })();
+        if record.is_err() {
+            self.failed = true;
+        }
+        Some(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_iterate() {
+        let mut b = BlockBuilder::new(BLOCK_TARGET_BYTES);
+        assert!(b.is_empty());
+        for i in 0..10u8 {
+            b.push(&[i], &[i, i, i]);
+        }
+        let fin = b.finish();
+        assert_eq!(fin.first_key, vec![0]);
+        assert_eq!(fin.count, 10);
+        let records: Vec<_> = BlockIter::new(&fin.bytes)
+            .map(|r| r.unwrap())
+            .map(|(k, p)| (k.to_vec(), p.to_vec()))
+            .collect();
+        assert_eq!(records.len(), 10);
+        assert_eq!(records[3], (vec![3], vec![3, 3, 3]));
+    }
+
+    #[test]
+    fn fills_at_target() {
+        let mut b = BlockBuilder::new(64);
+        let payload = vec![7u8; 30];
+        b.push(b"a", &payload);
+        assert!(!b.is_full());
+        b.push(b"b", &payload);
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn truncated_block_yields_one_error() {
+        let mut b = BlockBuilder::new(BLOCK_TARGET_BYTES);
+        b.push(b"key", b"payload");
+        b.push(b"key2", b"payload2");
+        let fin = b.finish();
+        let cut = &fin.bytes[..fin.bytes.len() - 3];
+        let mut iter = BlockIter::new(cut);
+        assert!(iter.next().unwrap().is_ok());
+        assert!(iter.next().unwrap().is_err());
+        assert!(iter.next().is_none());
+    }
+}

@@ -10,6 +10,10 @@
 //! * [`varint`] — LEB128-style unsigned varints and zig-zag signed varints,
 //! * [`codec`] — a small [`codec::Encoder`]/[`codec::Decoder`]
 //!   pair with length-prefixed strings and byte slices,
+//! * [`block`] — the fixed-target data-block codec SSTable v2 packs
+//!   records into,
+//! * [`bloom`] — Bloom filters answering SSTable v2 point misses without
+//!   touching data blocks,
 //! * [`checksum`] — a from-scratch CRC-32 (IEEE) used by commit logs and
 //!   SSTable footers,
 //! * [`hash`] — FNV-1a hashing and a [`BuildHasher`](std::hash::BuildHasher)
@@ -21,6 +25,8 @@
 //! * [`rng`] — the workspace's deterministic xorshift64* PRNG (no `rand`
 //!   dependency; datasets and randomized tests are bit-identical per seed).
 
+pub mod block;
+pub mod bloom;
 pub mod bytesize;
 pub mod checksum;
 pub mod codec;
@@ -29,6 +35,8 @@ pub mod overhead;
 pub mod rng;
 pub mod varint;
 
+pub use block::{BlockBuilder, BlockIter, FinishedBlock, BLOCK_TARGET_BYTES};
+pub use bloom::Bloom;
 pub use bytesize::ByteSize;
 pub use checksum::Crc32;
 pub use codec::{DecodeError, Decoder, Encoder};

@@ -247,6 +247,21 @@ pub fn run_point(seed: u64, crash_at: u64) -> Result<PointOutcome> {
     let recovered = read_state(&mut db)?;
     let in_flight_survived = check_state(&recovered, &run, "after recovery")?;
 
+    // Absent-key point reads over the recovered tables must come back
+    // empty — this drives the v2 fence/bloom miss path (and any torn
+    // SSTable the recovery sweep should have removed would surface here
+    // as a phantom row or a Corrupt error).
+    if recovered.is_some() {
+        for id in [KEY_SPACE as i64 + 1, KEY_SPACE as i64 + 17, -3] {
+            let r = db.execute_cql(&format!("SELECT v FROM m.t WHERE id = {id}"))?;
+            if !r.is_empty() {
+                return Err(NosqlError::Corrupt(format!(
+                    "phantom row for never-written id {id}"
+                )));
+            }
+        }
+    }
+
     // The recovered engine must keep working: a flush + full compaction
     // round-trip may not change what is readable.
     if recovered.is_some() {

@@ -1,5 +1,6 @@
 //! The database engine: catalog + table runtimes + write/read paths.
 
+use crate::cache::{BlockCache, CacheStats, DEFAULT_BLOCK_CACHE_BYTES};
 use crate::commitlog::CommitLog;
 use crate::cql::ast::{SelectColumns, Statement, TableRef, WhereClause};
 use crate::cql::parse_statement;
@@ -43,6 +44,7 @@ pub struct OpenOptions {
     vfs: Option<Vfs>,
     recover: bool,
     table: TableOptions,
+    block_cache_bytes: Option<usize>,
 }
 
 impl OpenOptions {
@@ -84,6 +86,13 @@ impl OpenOptions {
         self
     }
 
+    /// Byte budget of the engine-wide shared SSTable block cache (default
+    /// 4 MiB; 0 disables caching).
+    pub fn block_cache_bytes(mut self, bytes: usize) -> OpenOptions {
+        self.block_cache_bytes = Some(bytes);
+        self
+    }
+
     /// Builds the engine; sugar for [`Db::open`].
     pub fn open(self) -> Result<Db> {
         Db::open(self)
@@ -100,6 +109,8 @@ pub struct Db {
     log: CommitLog,
     clock: u64,
     options: DbOptions,
+    /// Shared across every table's SSTables; see [`BlockCache`].
+    cache: BlockCache,
 }
 
 const SCHEMA_LOG: &str = "schema.log";
@@ -122,6 +133,11 @@ impl Db {
             options: DbOptions {
                 table: options.table,
             },
+            cache: BlockCache::new(
+                options
+                    .block_cache_bytes
+                    .unwrap_or(DEFAULT_BLOCK_CACHE_BYTES),
+            ),
         };
         if options.recover {
             db.recover_state()?;
@@ -353,6 +369,7 @@ impl Db {
                         self.vfs.clone(),
                         self.manifest.clone(),
                         self.options.table,
+                        self.cache.clone(),
                     ),
                 );
             }
@@ -414,6 +431,7 @@ impl Db {
                 self.vfs.clone(),
                 self.manifest.clone(),
                 self.options.table,
+                self.cache.clone(),
             ),
         );
         self.catalog.create_table(idx_def)?;
@@ -717,6 +735,7 @@ impl Db {
                     .collect(),
             })?;
             for f in &files {
+                db.cache.evict_file(f);
                 db.vfs.delete(f)?;
             }
             db.tables.insert(
@@ -726,6 +745,7 @@ impl Db {
                     db.vfs.clone(),
                     db.manifest.clone(),
                     db.options.table,
+                    db.cache.clone(),
                 ),
             );
             Ok(())
@@ -958,6 +978,11 @@ impl Db {
     /// Commit-log bytes currently on disk.
     pub fn commitlog_size(&self) -> ByteSize {
         ByteSize::bytes(self.log.size())
+    }
+
+    /// Point-in-time counters of the engine's shared block cache.
+    pub fn block_cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 }
 

@@ -42,6 +42,7 @@
 //! [`crashtest`] sweep asserts that recovery reproduces exactly the
 //! acknowledged writes.
 
+pub mod cache;
 pub mod commitlog;
 pub mod cql;
 pub mod crashtest;
@@ -57,6 +58,7 @@ pub mod sstable;
 pub mod table;
 pub mod types;
 
+pub use cache::{BlockCache, CacheStats, DEFAULT_BLOCK_CACHE_BYTES};
 pub use cql::ast::{Statement, WhereClause};
 pub use cql::parse_statement;
 pub use engine::{Db, DbOptions, OpenOptions};

@@ -17,6 +17,13 @@
 //! | `nosql.compaction.bytes_out`   | counter   | bytes written by merges                  |
 //! | `nosql.read.point_queries`     | counter   | `get` calls                              |
 //! | `nosql.read.sstables_per_get`  | histogram | SSTables probed per `get`                |
+//! | `nosql.read.blocks_per_get`    | histogram | data blocks read per `get`               |
+//! | `nosql.bloom.hit`              | counter   | filter said maybe and the key was there  |
+//! | `nosql.bloom.miss`             | counter   | filter ruled the key out (no block read) |
+//! | `nosql.bloom.false_positive`   | counter   | filter said maybe but the key was absent |
+//! | `nosql.block_cache.hit`        | counter   | block served from the shared cache       |
+//! | `nosql.block_cache.miss`       | counter   | block read from the VFS                  |
+//! | `nosql.block_cache.evict`      | counter   | block evicted to stay within budget      |
 //! | `nosql.recovery.*`             | span      | `Db` recovery (replay + manifest load)   |
 //! | `nosql.recovery.replayed_records` | counter | commit-log records re-applied           |
 
@@ -33,6 +40,13 @@ pub(crate) struct NosqlObs {
     pub compaction_bytes_out: Counter,
     pub point_queries: Counter,
     pub sstables_per_get: Histogram,
+    pub blocks_per_get: Histogram,
+    pub bloom_hit: Counter,
+    pub bloom_miss: Counter,
+    pub bloom_false_positive: Counter,
+    pub block_cache_hit: Counter,
+    pub block_cache_miss: Counter,
+    pub block_cache_evict: Counter,
     pub recovery: SpanHandle,
     pub replayed_records: Counter,
 }
@@ -51,6 +65,13 @@ pub(crate) fn nosql() -> &'static NosqlObs {
             compaction_bytes_out: r.counter("nosql.compaction.bytes_out"),
             point_queries: r.counter("nosql.read.point_queries"),
             sstables_per_get: r.histogram("nosql.read.sstables_per_get"),
+            blocks_per_get: r.histogram("nosql.read.blocks_per_get"),
+            bloom_hit: r.counter("nosql.bloom.hit"),
+            bloom_miss: r.counter("nosql.bloom.miss"),
+            bloom_false_positive: r.counter("nosql.bloom.false_positive"),
+            block_cache_hit: r.counter("nosql.block_cache.hit"),
+            block_cache_miss: r.counter("nosql.block_cache.miss"),
+            block_cache_evict: r.counter("nosql.block_cache.evict"),
             recovery: r.span("nosql.recovery"),
             replayed_records: r.counter("nosql.recovery.replayed_records"),
         }

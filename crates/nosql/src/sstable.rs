@@ -1,23 +1,43 @@
 //! SSTables: immutable sorted string tables flushed from memtables.
 //!
-//! Layout:
+//! Two on-disk formats share one reader:
+//!
+//! **v2 (written by [`write_sstable`], magic `STB2`)** — block-based, the
+//! layout real LSM engines use:
 //!
 //! ```text
-//! [ entries... ][ index ][ footer ]
-//! entry : key(len-prefixed) flag(u8: 1 live / 0 tombstone) ts(u64)
-//!         body(len-prefixed; empty for tombstones)
-//! index : count, then per entry key(len-prefixed) + entry offset
-//! footer: index_offset(u64) index_len(u64) index_crc(u32) magic(u32)
+//! [ data blocks... ][ meta ][ footer ]
+//! block : ~4 KiB of (key, payload) records; payload = flag(u8: 1 live /
+//!         0 tombstone) ts(u64 LE) body(raw)
+//! meta  : entry count, min/max key fences, bloom filter, then per block:
+//!         first key, offset, len, crc32, record count
+//! footer: meta_offset(u64) meta_len(u64) meta_crc(u32) magic(u32)
 //! ```
 //!
-//! The index is loaded into memory on open (these are cube-sized tables,
-//! not petabytes); entry bodies are read on demand.
+//! Only the meta region is resident after open — a sparse index entry per
+//! *block* plus ~10 filter bits per key, instead of v1's full per-key
+//! index. Point misses are answered by the key fences and the bloom filter
+//! without touching a data block; hits read exactly one CRC-verified block,
+//! optionally through the engine's shared [`BlockCache`].
+//!
+//! **v1 (written by [`write_sstable_v1`], magic `STB1`)** — the legacy
+//! dense-index layout: `[ entries ][ index ][ footer ]` with one resident
+//! `(key, offset)` pair per entry. Still fully readable; new tables are
+//! always written as v2.
+//!
+//! Every decoded geometry field is validated at open (checked arithmetic,
+//! monotone offsets, bounded allocations), so a corrupt or truncated file
+//! of either version surfaces as [`NosqlError::Corrupt`], never a panic.
 
+use crate::cache::BlockCache;
 use crate::error::{NosqlError, Result};
-use sc_encoding::{Crc32, Decoder, Encoder};
+use sc_encoding::{BlockBuilder, BlockIter, Bloom, Crc32, Decoder, Encoder, BLOCK_TARGET_BYTES};
 use sc_storage::Vfs;
+use std::sync::Arc;
 
-const MAGIC: u32 = 0x5354_4231; // "STB1"
+const MAGIC_V1: u32 = 0x5354_4231; // "STB1"
+const MAGIC_V2: u32 = 0x5354_4232; // "STB2"
+const FOOTER_LEN: u64 = 24;
 
 /// One record offered to the writer / returned by readers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,14 +50,38 @@ pub struct SstEntry {
     pub timestamp: u64,
 }
 
-/// Writes a sorted run of entries as one SSTable file.
-///
+/// What one point lookup did: the entry (if any) plus which read-path tier
+/// answered it. Feeds the `nosql.bloom.*` metrics, the blocks-per-get
+/// histogram and the filter-effectiveness tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Probe {
+    /// The entry, if the key is present (tombstones included).
+    pub entry: Option<SstEntry>,
+    /// Data blocks (v2) or entry records (v1) read to answer.
+    pub blocks_read: u64,
+    /// The min/max key fences ruled the key out (v2 only).
+    pub fence_rejected: bool,
+    /// The bloom filter ruled the key out (v2 only).
+    pub filter_rejected: bool,
+}
+
+impl Probe {
+    fn absent(fence: bool, filter: bool) -> Probe {
+        Probe {
+            entry: None,
+            blocks_read: 0,
+            fence_rejected: fence,
+            filter_rejected: filter,
+        }
+    }
+}
+
 /// The reader's binary-searched index silently returns wrong rows over an
 /// unsorted or duplicated run, so malformed input is rejected up front with
 /// [`NosqlError::Corrupt`] — in release builds too, not just as a debug
 /// assertion (the flush path always hands over a sorted memtable drain, but
 /// recovery and compaction code evolve).
-pub fn write_sstable(vfs: &Vfs, file: &str, entries: &[SstEntry]) -> Result<()> {
+fn ensure_sorted(file: &str, entries: &[SstEntry]) -> Result<()> {
     if let Some(w) = entries.windows(2).find(|w| w[0].key >= w[1].key) {
         let what = if w[0].key == w[1].key {
             "duplicate"
@@ -49,6 +93,119 @@ pub fn write_sstable(vfs: &Vfs, file: &str, entries: &[SstEntry]) -> Result<()> 
             w[1].key
         )));
     }
+    Ok(())
+}
+
+fn encode_payload(e: &SstEntry) -> Vec<u8> {
+    let mut payload = Encoder::with_capacity(9 + e.body.as_ref().map_or(0, Vec::len));
+    match &e.body {
+        Some(body) => {
+            payload.put_u8(1);
+            payload.put_u64_fixed(e.timestamp);
+            payload.put_raw(body);
+        }
+        None => {
+            payload.put_u8(0);
+            payload.put_u64_fixed(e.timestamp);
+        }
+    }
+    payload.into_bytes()
+}
+
+fn decode_payload(file: &str, key: &[u8], payload: &[u8]) -> Result<SstEntry> {
+    if payload.len() < 9 {
+        return Err(NosqlError::Corrupt(format!(
+            "{file}: record payload shorter than its fixed header"
+        )));
+    }
+    let flag = payload[0];
+    let timestamp = u64::from_le_bytes(payload[1..9].try_into().expect("9-byte prefix checked"));
+    let body = &payload[9..];
+    let body = match flag {
+        1 => Some(body.to_vec()),
+        0 if body.is_empty() => None,
+        0 => {
+            return Err(NosqlError::Corrupt(format!(
+                "{file}: tombstone record carries a body"
+            )))
+        }
+        _ => {
+            return Err(NosqlError::Corrupt(format!(
+                "{file}: bad record flag {flag}"
+            )))
+        }
+    };
+    Ok(SstEntry {
+        key: key.to_vec(),
+        body,
+        timestamp,
+    })
+}
+
+/// Writes a sorted run of entries as one block-based (v2) SSTable file.
+pub fn write_sstable(vfs: &Vfs, file: &str, entries: &[SstEntry]) -> Result<()> {
+    ensure_sorted(file, entries)?;
+    let mut data = Encoder::new();
+    let mut blocks: Vec<BlockMeta> = Vec::new();
+    let mut filter = Bloom::with_capacity(entries.len(), sc_encoding::bloom::DEFAULT_BITS_PER_KEY);
+    let mut builder = BlockBuilder::new(BLOCK_TARGET_BYTES);
+    let mut close_block = |data: &mut Encoder, builder: BlockBuilder| {
+        let fin = builder.finish();
+        blocks.push(BlockMeta {
+            first_key: fin.first_key,
+            offset: data.len() as u64,
+            len: fin.bytes.len() as u64,
+            crc: Crc32::of(&fin.bytes),
+            count: fin.count,
+        });
+        data.put_raw(&fin.bytes);
+    };
+    for e in entries {
+        filter.insert(&e.key);
+        builder.push(&e.key, &encode_payload(e));
+        if builder.is_full() {
+            let full = std::mem::replace(&mut builder, BlockBuilder::new(BLOCK_TARGET_BYTES));
+            close_block(&mut data, full);
+        }
+    }
+    if !builder.is_empty() {
+        close_block(&mut data, builder);
+    }
+
+    let mut meta = Encoder::new();
+    meta.put_u64(entries.len() as u64);
+    if let (Some(first), Some(last)) = (entries.first(), entries.last()) {
+        meta.put_bytes(&first.key);
+        meta.put_bytes(&last.key);
+    }
+    filter.encode(&mut meta);
+    meta.put_u64(blocks.len() as u64);
+    for b in &blocks {
+        meta.put_bytes(&b.first_key);
+        meta.put_u64(b.offset);
+        meta.put_u64(b.len);
+        meta.put_u32_fixed(b.crc);
+        meta.put_u64(b.count);
+    }
+    let meta_bytes = meta.into_bytes();
+    let meta_offset = data.len() as u64;
+    let meta_crc = Crc32::of(&meta_bytes);
+    let mut out = data;
+    out.put_raw(&meta_bytes);
+    out.put_u64_fixed(meta_offset);
+    out.put_u64_fixed(meta_bytes.len() as u64);
+    out.put_u32_fixed(meta_crc);
+    out.put_u32_fixed(MAGIC_V2);
+    vfs.append(file, out.bytes())?;
+    Ok(())
+}
+
+/// Writes a sorted run of entries in the legacy dense-index (v1) layout.
+///
+/// Kept so compatibility tests can produce v1 files; the engine itself
+/// always writes v2. [`SsTable::open`] reads both.
+pub fn write_sstable_v1(vfs: &Vfs, file: &str, entries: &[SstEntry]) -> Result<()> {
+    ensure_sorted(file, entries)?;
     let mut data = Encoder::new();
     let mut index = Encoder::new();
     index.put_u64(entries.len() as u64);
@@ -77,63 +234,240 @@ pub fn write_sstable(vfs: &Vfs, file: &str, entries: &[SstEntry]) -> Result<()> 
     out.put_u64_fixed(index_offset);
     out.put_u64_fixed(index_bytes.len() as u64);
     out.put_u32_fixed(index_crc);
-    out.put_u32_fixed(MAGIC);
+    out.put_u32_fixed(MAGIC_V1);
     vfs.append(file, out.bytes())?;
     Ok(())
 }
 
-/// An open SSTable with its index resident.
+/// Sparse-index entry for one data block (v2).
+#[derive(Debug)]
+struct BlockMeta {
+    first_key: Vec<u8>,
+    offset: u64,
+    len: u64,
+    crc: u32,
+    count: u64,
+}
+
+/// The resident v2 table metadata.
+#[derive(Debug)]
+struct V2Meta {
+    entry_count: u64,
+    min_key: Vec<u8>,
+    max_key: Vec<u8>,
+    filter: Bloom,
+    blocks: Vec<BlockMeta>,
+}
+
+#[derive(Debug)]
+enum Rep {
+    V1 {
+        /// `(key, offset)` pairs in key order; offsets validated strictly
+        /// increasing and bounded by `data_end` at open.
+        index: Vec<(Vec<u8>, u64)>,
+        /// End of the data region (== index offset).
+        data_end: u64,
+    },
+    V2(V2Meta),
+}
+
+/// An open SSTable with its (sparse, for v2) index resident.
 #[derive(Debug)]
 pub struct SsTable {
     vfs: Vfs,
     file: String,
-    /// `(key, offset)` pairs in key order. Entries are written in key
-    /// order, so offsets increase with index position.
-    index: Vec<(Vec<u8>, u64)>,
-    /// End of the data region (== index offset).
-    data_end: u64,
     size: u64,
+    cache: Option<BlockCache>,
+    rep: Rep,
 }
 
 impl SsTable {
-    /// Opens and validates an SSTable file.
+    /// Opens and validates an SSTable file of either format, uncached.
     pub fn open(vfs: Vfs, file: impl Into<String>) -> Result<SsTable> {
-        let file = file.into();
+        Self::open_impl(vfs, file.into(), None)
+    }
+
+    /// Opens with data-block reads going through `cache` (v2 only; v1 has
+    /// no blocks to cache).
+    pub fn open_with_cache(
+        vfs: Vfs,
+        file: impl Into<String>,
+        cache: BlockCache,
+    ) -> Result<SsTable> {
+        Self::open_impl(vfs, file.into(), Some(cache))
+    }
+
+    fn open_impl(vfs: Vfs, file: String, cache: Option<BlockCache>) -> Result<SsTable> {
         let size = vfs.len(&file)?;
-        if size < 24 {
+        if size < FOOTER_LEN {
             return Err(NosqlError::Corrupt(format!("{file}: too small")));
         }
-        let footer = vfs.read_at(&file, size - 24, 24)?;
+        let footer = vfs.read_at(&file, size - FOOTER_LEN, FOOTER_LEN as usize)?;
         let mut f = Decoder::new(&footer);
-        let index_offset = f.get_u64_fixed()?;
-        let index_len = f.get_u64_fixed()? as usize;
-        let index_crc = f.get_u32_fixed()?;
-        let magic = f.get_u32_fixed()?;
-        if magic != MAGIC {
+        let meta_offset = f.get_u64_fixed().map_err(NosqlError::from)?;
+        let meta_len = f.get_u64_fixed().map_err(NosqlError::from)?;
+        let meta_crc = f.get_u32_fixed().map_err(NosqlError::from)?;
+        let magic = f.get_u32_fixed().map_err(NosqlError::from)?;
+        if magic != MAGIC_V1 && magic != MAGIC_V2 {
             return Err(NosqlError::Corrupt(format!("{file}: bad magic")));
         }
-        if index_offset + index_len as u64 + 24 != size {
+        // Checked geometry: garbage footer values must not overflow into a
+        // wrapped-around sum that happens to match `size`.
+        let expected = meta_offset
+            .checked_add(meta_len)
+            .and_then(|v| v.checked_add(FOOTER_LEN));
+        if expected != Some(size) {
             return Err(NosqlError::Corrupt(format!("{file}: bad footer geometry")));
         }
-        let index_bytes = vfs.read_at(&file, index_offset, index_len)?;
-        if Crc32::of(&index_bytes) != index_crc {
-            return Err(NosqlError::Corrupt(format!("{file}: index checksum")));
+        let meta_bytes = vfs.read_at(&file, meta_offset, meta_len as usize)?;
+        if Crc32::of(&meta_bytes) != meta_crc {
+            return Err(NosqlError::Corrupt(format!("{file}: meta checksum")));
         }
-        let mut d = Decoder::new(&index_bytes);
-        let n = d.get_u64()? as usize;
-        let mut index = Vec::with_capacity(n);
-        for _ in 0..n {
-            let key = d.get_bytes()?.to_vec();
-            let offset = d.get_u64()?;
-            index.push((key, offset));
-        }
+        let rep = if magic == MAGIC_V1 {
+            Self::parse_v1(&file, &meta_bytes, meta_offset)?
+        } else {
+            Self::parse_v2(&file, &meta_bytes, meta_offset)?
+        };
         Ok(SsTable {
             vfs,
             file,
-            index,
-            data_end: index_offset,
             size,
+            cache,
+            rep,
         })
+    }
+
+    fn parse_v1(file: &str, index_bytes: &[u8], data_end: u64) -> Result<Rep> {
+        let mut d = Decoder::new(index_bytes);
+        let n = d.get_u64().map_err(NosqlError::from)? as usize;
+        // Each index entry occupies at least 2 bytes (key length prefix +
+        // offset varint); a corrupt count must not drive an unbounded
+        // allocation.
+        if n > index_bytes.len() / 2 {
+            return Err(NosqlError::Corrupt(format!(
+                "{file}: implausible index entry count {n}"
+            )));
+        }
+        let mut index = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = d.get_bytes().map_err(NosqlError::from)?.to_vec();
+            let offset = d.get_u64().map_err(NosqlError::from)?;
+            // Offsets must be strictly increasing and stay inside the data
+            // region, or the entry-extent arithmetic in `read_entry`
+            // underflows on a corrupt index.
+            if offset >= data_end {
+                return Err(NosqlError::Corrupt(format!(
+                    "{file}: index offset {offset} beyond data region ({data_end})"
+                )));
+            }
+            if let Some((prev_key, prev_off)) = index.last() {
+                if *prev_off >= offset || *prev_key >= key {
+                    return Err(NosqlError::Corrupt(format!(
+                        "{file}: index not strictly increasing at offset {offset}"
+                    )));
+                }
+            }
+            index.push((key, offset));
+        }
+        if !d.is_exhausted() {
+            return Err(NosqlError::Corrupt(format!(
+                "{file}: trailing bytes after index"
+            )));
+        }
+        if n == 0 && data_end != 0 {
+            return Err(NosqlError::Corrupt(format!(
+                "{file}: data region without index entries"
+            )));
+        }
+        Ok(Rep::V1 { index, data_end })
+    }
+
+    fn parse_v2(file: &str, meta_bytes: &[u8], data_end: u64) -> Result<Rep> {
+        let corrupt = |what: &str| NosqlError::Corrupt(format!("{file}: {what}"));
+        let mut d = Decoder::new(meta_bytes);
+        let entry_count = d.get_u64().map_err(NosqlError::from)?;
+        let (min_key, max_key) = if entry_count > 0 {
+            let min = d.get_bytes().map_err(NosqlError::from)?.to_vec();
+            let max = d.get_bytes().map_err(NosqlError::from)?.to_vec();
+            if min > max {
+                return Err(corrupt("inverted key fences"));
+            }
+            (min, max)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let filter = Bloom::decode(&mut d).map_err(NosqlError::from)?;
+        let block_count = d.get_u64().map_err(NosqlError::from)? as usize;
+        // A block-meta record is at least 8 bytes; bound the count by what
+        // the region can physically hold before reserving.
+        if block_count > meta_bytes.len() / 8 {
+            return Err(corrupt(&format!("implausible block count {block_count}")));
+        }
+        let mut blocks = Vec::with_capacity(block_count);
+        let mut covered = 0u64;
+        let mut entries_seen = 0u64;
+        for _ in 0..block_count {
+            let first_key = d.get_bytes().map_err(NosqlError::from)?.to_vec();
+            let offset = d.get_u64().map_err(NosqlError::from)?;
+            let len = d.get_u64().map_err(NosqlError::from)?;
+            let crc = d.get_u32_fixed().map_err(NosqlError::from)?;
+            let count = d.get_u64().map_err(NosqlError::from)?;
+            // Blocks are written back-to-back: each must start where the
+            // previous ended, which also proves offsets are monotone and
+            // in-bounds.
+            if offset != covered {
+                return Err(corrupt(&format!("block offset {offset} not contiguous")));
+            }
+            if count == 0 || len == 0 {
+                return Err(corrupt("empty data block"));
+            }
+            covered = offset
+                .checked_add(len)
+                .ok_or_else(|| corrupt("block extent overflows"))?;
+            if covered > data_end {
+                return Err(corrupt("block extends beyond data region"));
+            }
+            if let Some(prev) = blocks.last() {
+                let prev: &BlockMeta = prev;
+                if prev.first_key >= first_key {
+                    return Err(corrupt("block first keys not strictly increasing"));
+                }
+            }
+            entries_seen = entries_seen
+                .checked_add(count)
+                .ok_or_else(|| corrupt("entry count overflows"))?;
+            blocks.push(BlockMeta {
+                first_key,
+                offset,
+                len,
+                crc,
+                count,
+            });
+        }
+        if !d.is_exhausted() {
+            return Err(corrupt("trailing bytes after block index"));
+        }
+        if covered != data_end {
+            return Err(corrupt("blocks do not cover the data region"));
+        }
+        if entries_seen != entry_count {
+            return Err(corrupt("block counts disagree with entry count"));
+        }
+        if entry_count > 0 {
+            if blocks.is_empty() {
+                return Err(corrupt("entries without data blocks"));
+            }
+            if blocks[0].first_key != min_key {
+                return Err(corrupt("min fence disagrees with first block"));
+            }
+        }
+        Ok(Rep::V2(V2Meta {
+            entry_count,
+            min_key,
+            max_key,
+            filter,
+            blocks,
+        }))
     }
 
     /// File name.
@@ -146,25 +480,32 @@ impl SsTable {
         self.size
     }
 
+    /// On-disk format version (1 or 2).
+    pub fn format_version(&self) -> u32 {
+        match self.rep {
+            Rep::V1 { .. } => 1,
+            Rep::V2(_) => 2,
+        }
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.index.len()
+        match &self.rep {
+            Rep::V1 { index, .. } => index.len(),
+            Rep::V2(meta) => meta.entry_count as usize,
+        }
     }
 
     /// Whether the table holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len() == 0
     }
 
-    /// Reads the entry at index position `i`; its extent ends at the next
-    /// entry's offset (entries are written in key order).
-    fn read_entry(&self, i: usize) -> Result<SstEntry> {
-        let offset = self.index[i].1;
-        let end = self
-            .index
-            .get(i + 1)
-            .map(|(_, o)| *o)
-            .unwrap_or(self.data_end);
+    /// Reads the v1 entry at index position `i`; its extent ends at the
+    /// next entry's offset (offsets were validated monotone at open).
+    fn read_entry_v1(&self, index: &[(Vec<u8>, u64)], data_end: u64, i: usize) -> Result<SstEntry> {
+        let offset = index[i].1;
+        let end = index.get(i + 1).map(|(_, o)| *o).unwrap_or(data_end);
         let len = (end - offset) as usize;
         let buf = self.vfs.read_at(&self.file, offset, len)?;
         let mut d = Decoder::new(&buf);
@@ -172,6 +513,12 @@ impl SsTable {
         let flag = d.get_u8()?;
         let timestamp = d.get_u64_fixed()?;
         let body = d.get_bytes()?.to_vec();
+        if flag > 1 {
+            return Err(NosqlError::Corrupt(format!(
+                "{}: bad record flag {flag}",
+                self.file
+            )));
+        }
         Ok(SstEntry {
             key,
             body: (flag == 1).then_some(body),
@@ -179,34 +526,165 @@ impl SsTable {
         })
     }
 
-    /// Point lookup.
-    pub fn get(&self, key: &[u8]) -> Result<Option<SstEntry>> {
-        match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
-            Ok(i) => Ok(Some(self.read_entry(i)?)),
-            Err(_) => Ok(None),
+    /// Fetches one v2 data block: shared cache first, then a CRC-verified
+    /// VFS read.
+    fn read_block(&self, block: &BlockMeta) -> Result<Arc<Vec<u8>>> {
+        if let Some(cache) = &self.cache {
+            if let Some(bytes) = cache.get(&self.file, block.offset) {
+                return Ok(bytes);
+            }
+        }
+        let raw = self
+            .vfs
+            .read_at(&self.file, block.offset, block.len as usize)?;
+        if Crc32::of(&raw) != block.crc {
+            return Err(NosqlError::Corrupt(format!(
+                "{}: data block checksum at offset {}",
+                self.file, block.offset
+            )));
+        }
+        let raw = Arc::new(raw);
+        if let Some(cache) = &self.cache {
+            cache.insert(&self.file, block.offset, Arc::clone(&raw));
+        }
+        Ok(raw)
+    }
+
+    /// Point lookup with read-path telemetry; [`SsTable::get`] is the
+    /// entry-only shorthand.
+    pub fn probe(&self, key: &[u8]) -> Result<Probe> {
+        match &self.rep {
+            Rep::V1 { index, data_end } => {
+                match index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => Ok(Probe {
+                        entry: Some(self.read_entry_v1(index, *data_end, i)?),
+                        blocks_read: 1,
+                        fence_rejected: false,
+                        filter_rejected: false,
+                    }),
+                    Err(_) => Ok(Probe::absent(false, false)),
+                }
+            }
+            Rep::V2(meta) => {
+                let stats = sc_obs::enabled();
+                if meta.blocks.is_empty()
+                    || key < meta.min_key.as_slice()
+                    || key > meta.max_key.as_slice()
+                {
+                    return Ok(Probe::absent(true, false));
+                }
+                if !meta.filter.may_contain(key) {
+                    if stats {
+                        crate::obs::nosql().bloom_miss.inc();
+                    }
+                    return Ok(Probe::absent(false, true));
+                }
+                // Last block whose first key is <= key; the fence check
+                // guarantees at least one candidate.
+                let pos = meta
+                    .blocks
+                    .partition_point(|b| b.first_key.as_slice() <= key);
+                let Some(block) = pos.checked_sub(1).map(|i| &meta.blocks[i]) else {
+                    return Ok(Probe::absent(true, false));
+                };
+                let bytes = self.read_block(block)?;
+                for record in BlockIter::new(&bytes) {
+                    let (k, payload) = record.map_err(NosqlError::from)?;
+                    if k == key {
+                        if stats {
+                            crate::obs::nosql().bloom_hit.inc();
+                        }
+                        return Ok(Probe {
+                            entry: Some(decode_payload(&self.file, k, payload)?),
+                            blocks_read: 1,
+                            fence_rejected: false,
+                            filter_rejected: false,
+                        });
+                    }
+                    if k > key.to_vec().as_slice() {
+                        break;
+                    }
+                }
+                if stats {
+                    crate::obs::nosql().bloom_false_positive.inc();
+                }
+                Ok(Probe {
+                    entry: None,
+                    blocks_read: 1,
+                    fence_rejected: false,
+                    filter_rejected: false,
+                })
+            }
         }
     }
 
-    /// Full scan in key order.
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<SstEntry>> {
+        Ok(self.probe(key)?.entry)
+    }
+
+    /// Full scan in key order (tombstones included).
     pub fn scan(&self) -> Result<Vec<SstEntry>> {
-        let mut out = Vec::with_capacity(self.index.len());
-        for i in 0..self.index.len() {
-            out.push(self.read_entry(i)?);
+        match &self.rep {
+            Rep::V1 { index, data_end } => {
+                let mut out = Vec::with_capacity(index.len());
+                for i in 0..index.len() {
+                    out.push(self.read_entry_v1(index, *data_end, i)?);
+                }
+                Ok(out)
+            }
+            Rep::V2(meta) => {
+                let mut out = Vec::with_capacity(meta.entry_count as usize);
+                for block in &meta.blocks {
+                    let bytes = self.read_block(block)?;
+                    for record in BlockIter::new(&bytes) {
+                        let (k, payload) = record.map_err(NosqlError::from)?;
+                        out.push(decode_payload(&self.file, k, payload)?);
+                    }
+                }
+                Ok(out)
+            }
         }
-        Ok(out)
     }
 
     /// Entries whose keys start with `prefix`, in key order.
     pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<SstEntry>> {
-        let start = self.index.partition_point(|(k, _)| k.as_slice() < prefix);
-        let mut out = Vec::new();
-        for (i, (key, _)) in self.index.iter().enumerate().skip(start) {
-            if !key.starts_with(prefix) {
-                break;
+        match &self.rep {
+            Rep::V1 { index, data_end } => {
+                let start = index.partition_point(|(k, _)| k.as_slice() < prefix);
+                let mut out = Vec::new();
+                for (i, (key, _)) in index.iter().enumerate().skip(start) {
+                    if !key.starts_with(prefix) {
+                        break;
+                    }
+                    out.push(self.read_entry_v1(index, *data_end, i)?);
+                }
+                Ok(out)
             }
-            out.push(self.read_entry(i)?);
+            Rep::V2(meta) => {
+                // Matching entries can start inside the block before the
+                // first block whose first key is >= prefix.
+                let start = meta
+                    .blocks
+                    .partition_point(|b| b.first_key.as_slice() < prefix)
+                    .saturating_sub(1);
+                let mut out = Vec::new();
+                'blocks: for block in &meta.blocks[start.min(meta.blocks.len())..] {
+                    let bytes = self.read_block(block)?;
+                    for record in BlockIter::new(&bytes) {
+                        let (k, payload) = record.map_err(NosqlError::from)?;
+                        if k < prefix {
+                            continue;
+                        }
+                        if !k.starts_with(prefix) {
+                            break 'blocks;
+                        }
+                        out.push(decode_payload(&self.file, k, payload)?);
+                    }
+                }
+                Ok(out)
+            }
         }
-        Ok(out)
     }
 }
 
@@ -234,11 +712,27 @@ mod tests {
         ]
     }
 
+    /// Enough entries to span several 4 KiB blocks.
+    fn many_entries(n: u64) -> Vec<SstEntry> {
+        (0..n)
+            .map(|i| SstEntry {
+                key: format!("key-{i:08}").into_bytes(),
+                body: if i % 7 == 0 {
+                    None
+                } else {
+                    Some(format!("value-{i}-{}", "x".repeat(80)).into_bytes())
+                },
+                timestamp: i,
+            })
+            .collect()
+    }
+
     #[test]
     fn write_open_get_scan() {
         let vfs = Vfs::memory();
         write_sstable(&vfs, "t/sst-1", &entries()).unwrap();
         let sst = SsTable::open(vfs, "t/sst-1").unwrap();
+        assert_eq!(sst.format_version(), 2);
         assert_eq!(sst.len(), 3);
         assert_eq!(sst.get(&[1]).unwrap().unwrap().body, Some(vec![10, 11]));
         assert_eq!(sst.get(&[2]).unwrap().unwrap().body, None);
@@ -246,6 +740,104 @@ mod tests {
         assert!(sst.get(&[9]).unwrap().is_none());
         assert_eq!(sst.scan().unwrap(), entries());
         assert_eq!(sst.size(), sst.vfs.len("t/sst-1").unwrap());
+    }
+
+    #[test]
+    fn v1_files_remain_readable() {
+        let vfs = Vfs::memory();
+        write_sstable_v1(&vfs, "t/legacy", &entries()).unwrap();
+        let sst = SsTable::open(vfs, "t/legacy").unwrap();
+        assert_eq!(sst.format_version(), 1);
+        assert_eq!(sst.len(), 3);
+        assert_eq!(sst.get(&[1]).unwrap().unwrap().body, Some(vec![10, 11]));
+        assert_eq!(sst.get(&[2]).unwrap().unwrap().body, None);
+        assert!(sst.get(&[9]).unwrap().is_none());
+        assert_eq!(sst.scan().unwrap(), entries());
+        assert_eq!(sst.scan_prefix(&[3]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn multi_block_table_reads_every_key() {
+        let vfs = Vfs::memory();
+        let es = many_entries(400);
+        write_sstable(&vfs, "t/big", &es).unwrap();
+        let sst = SsTable::open(vfs, "t/big").unwrap();
+        let Rep::V2(meta) = &sst.rep else {
+            panic!("expected v2")
+        };
+        assert!(
+            meta.blocks.len() >= 4,
+            "400 ~100-byte entries must span several 4 KiB blocks, got {}",
+            meta.blocks.len()
+        );
+        for e in &es {
+            assert_eq!(sst.get(&e.key).unwrap().as_ref(), Some(e));
+        }
+        assert_eq!(sst.scan().unwrap(), es);
+        // Prefix scans cross block boundaries.
+        let with_prefix = sst.scan_prefix(b"key-0000003").unwrap();
+        assert_eq!(with_prefix.len(), 10);
+        assert_eq!(sst.scan_prefix(b"key-").unwrap().len(), es.len());
+        assert!(sst.scan_prefix(b"zzz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn fences_and_filter_answer_misses_without_block_reads() {
+        let vfs = Vfs::memory();
+        let es = many_entries(300);
+        write_sstable(&vfs, "t/probe", &es).unwrap();
+        let sst = SsTable::open(vfs, "t/probe").unwrap();
+        // Outside the fences: zero blocks, no filter consulted.
+        let below = sst.probe(b"aaa").unwrap();
+        assert!(below.fence_rejected && below.blocks_read == 0);
+        let above = sst.probe(b"zzz").unwrap();
+        assert!(above.fence_rejected && above.blocks_read == 0);
+        // In-range absent keys (appending `x` keeps them under the max key
+        // for i < 299): almost all are filter-rejected; any false positive
+        // reads exactly one block and still returns nothing.
+        let mut fp = 0u64;
+        let probes = 299u64;
+        for i in 0..probes {
+            let probe = sst.probe(format!("key-{i:08}x").as_bytes()).unwrap();
+            assert!(probe.entry.is_none() && !probe.fence_rejected);
+            if probe.filter_rejected {
+                assert_eq!(probe.blocks_read, 0);
+            } else {
+                assert_eq!(probe.blocks_read, 1);
+                fp += 1;
+            }
+        }
+        assert!(
+            (fp as f64) / (probes as f64) < 0.02,
+            "false-positive rate {fp}/{probes} >= 2%"
+        );
+        // Present keys read exactly one block.
+        let hit = sst.probe(&es[123].key).unwrap();
+        assert_eq!(hit.entry.as_ref(), Some(&es[123]));
+        assert_eq!(hit.blocks_read, 1);
+    }
+
+    #[test]
+    fn shared_cache_serves_warm_reads() {
+        let vfs = Vfs::memory();
+        let es = many_entries(200);
+        write_sstable(&vfs, "t/cached", &es).unwrap();
+        let cache = BlockCache::new(1024 * 1024);
+        let sst = SsTable::open_with_cache(vfs, "t/cached", cache.clone()).unwrap();
+        sst.scan().unwrap(); // cold: populates the cache
+        let after_cold = cache.stats();
+        assert!(after_cold.misses > 0 && after_cold.blocks > 0);
+        sst.scan().unwrap(); // warm: every block from cache
+        let after_warm = cache.stats();
+        assert_eq!(
+            after_warm.misses, after_cold.misses,
+            "warm scan hit the VFS"
+        );
+        assert!(after_warm.hits >= after_cold.hits + after_cold.blocks as u64);
+        // Point reads are warm too.
+        let before = cache.stats();
+        assert!(sst.get(&es[57].key).unwrap().is_some());
+        assert_eq!(cache.stats().misses, before.misses);
     }
 
     #[test]
@@ -277,11 +869,13 @@ mod tests {
         let vfs = Vfs::memory();
         let mut es = entries();
         es[1].key = es[0].key.clone();
-        let err = write_sstable(&vfs, "t/dup", &es).unwrap_err();
-        assert!(
-            matches!(&err, NosqlError::Corrupt(m) if m.contains("duplicate")),
-            "{err:?}"
-        );
+        for writer in [write_sstable, write_sstable_v1] {
+            let err = writer(&vfs, "t/dup", &es).unwrap_err();
+            assert!(
+                matches!(&err, NosqlError::Corrupt(m) if m.contains("duplicate")),
+                "{err:?}"
+            );
+        }
     }
 
     #[test]
@@ -300,18 +894,34 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_index_rejected() {
+    fn corrupt_meta_rejected() {
         let vfs = Vfs::memory();
         write_sstable(&vfs, "t/x", &entries()).unwrap();
         let mut data = vfs.read_all("t/x").unwrap();
         let n = data.len();
-        data[n - 30] ^= 0xff; // somewhere in the index
+        data[n - 30] ^= 0xff; // somewhere in the meta region
         vfs.delete("t/x").unwrap();
         vfs.append("t/x", &data).unwrap();
         assert!(matches!(
             SsTable::open(vfs, "t/x"),
             Err(NosqlError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn corrupt_data_block_rejected_at_read() {
+        let vfs = Vfs::memory();
+        let es = many_entries(100);
+        write_sstable(&vfs, "t/x", &es).unwrap();
+        let mut data = vfs.read_all("t/x").unwrap();
+        data[40] ^= 0x01; // inside the first data block
+        vfs.delete("t/x").unwrap();
+        vfs.append("t/x", &data).unwrap();
+        // Meta is intact, so open succeeds; the block CRC catches the flip
+        // the moment the block is read.
+        let sst = SsTable::open(vfs, "t/x").unwrap();
+        assert!(matches!(sst.scan(), Err(NosqlError::Corrupt(_))));
+        assert!(matches!(sst.get(&es[0].key), Err(NosqlError::Corrupt(_))));
     }
 
     #[test]

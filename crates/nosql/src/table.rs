@@ -1,5 +1,6 @@
 //! Per-column-family runtime: memtable + SSTables, flush and compaction.
 
+use crate::cache::BlockCache;
 use crate::commitlog::{CommitLog, LogRecord};
 use crate::error::Result;
 use crate::manifest::{Manifest, ManifestEdit};
@@ -38,12 +39,21 @@ pub struct TableRuntime {
     sstables: Vec<SsTable>, // oldest first
     next_sst_id: u64,
     options: TableOptions,
+    /// The engine-wide shared block cache every SSTable reads through.
+    cache: BlockCache,
 }
 
 impl TableRuntime {
     /// Creates runtime state for a (new) table. `manifest` is the engine-wide
-    /// SSTable manifest through which every flush and compaction publishes.
-    pub fn new(def: TableDef, vfs: Vfs, manifest: Manifest, options: TableOptions) -> TableRuntime {
+    /// SSTable manifest through which every flush and compaction publishes;
+    /// `cache` is the engine-wide shared block cache.
+    pub fn new(
+        def: TableDef,
+        vfs: Vfs,
+        manifest: Manifest,
+        options: TableOptions,
+        cache: BlockCache,
+    ) -> TableRuntime {
         TableRuntime {
             def,
             vfs,
@@ -52,6 +62,7 @@ impl TableRuntime {
             sstables: Vec::new(),
             next_sst_id: 0,
             options,
+            cache,
         }
     }
 
@@ -133,15 +144,20 @@ impl TableRuntime {
         if let Some(entry) = self.memtable.get(key) {
             if stats {
                 crate::obs::nosql().sstables_per_get.record(0);
+                crate::obs::nosql().blocks_per_get.record(0);
             }
             return Ok(entry.row.clone());
         }
         let mut probed = 0u64;
+        let mut blocks = 0u64;
         for sst in self.sstables.iter().rev() {
             probed += 1;
-            if let Some(e) = sst.get(key)? {
+            let probe = sst.probe(key)?;
+            blocks += probe.blocks_read;
+            if let Some(e) = probe.entry {
                 if stats {
                     crate::obs::nosql().sstables_per_get.record(probed);
+                    crate::obs::nosql().blocks_per_get.record(blocks);
                 }
                 return Ok(match e.body {
                     Some(body) => {
@@ -154,6 +170,7 @@ impl TableRuntime {
         }
         if stats {
             crate::obs::nosql().sstables_per_get.record(probed);
+            crate::obs::nosql().blocks_per_get.record(blocks);
         }
         Ok(None)
     }
@@ -239,7 +256,11 @@ impl TableRuntime {
         // deletes, never a published name without its bytes.
         self.manifest
             .commit(&ManifestEdit::add(self.def.qualified_name(), &file))?;
-        self.sstables.push(SsTable::open(self.vfs.clone(), &file)?);
+        self.sstables.push(SsTable::open_with_cache(
+            self.vfs.clone(),
+            &file,
+            self.cache.clone(),
+        )?);
         span.add_bytes(self.sstables.last().map(SsTable::size).unwrap_or(0));
         drop(span);
         if self.sstables.len() >= self.options.compaction_threshold {
@@ -306,7 +327,7 @@ impl TableRuntime {
         let file = format!("{}{:06}", self.sst_prefix(), self.next_sst_id);
         self.next_sst_id += 1;
         write_sstable(&self.vfs, &file, &entries)?;
-        let new = SsTable::open(self.vfs.clone(), &file)?;
+        let new = SsTable::open_with_cache(self.vfs.clone(), &file, self.cache.clone())?;
         span.add_bytes(new.size());
         if sc_obs::enabled() {
             crate::obs::nosql().compaction_bytes_out.add(new.size());
@@ -328,6 +349,7 @@ impl TableRuntime {
             .splice(start..=end, std::iter::once(new))
             .collect();
         for old in removed {
+            self.cache.evict_file(old.file());
             self.vfs.delete(old.file())?;
         }
         Ok(())
@@ -347,7 +369,11 @@ impl TableRuntime {
     /// *not* always name order: a tiered merge's output carries the largest
     /// id but sits mid-sequence in age.
     pub fn attach_sstable(&mut self, file: &str) -> Result<()> {
-        self.sstables.push(SsTable::open(self.vfs.clone(), file)?);
+        self.sstables.push(SsTable::open_with_cache(
+            self.vfs.clone(),
+            file,
+            self.cache.clone(),
+        )?);
         // Keep new flushes numbered after anything already on disk.
         if let Some(num) = file.rsplit('-').next().and_then(|s| s.parse::<u64>().ok()) {
             self.next_sst_id = self.next_sst_id.max(num + 1);
@@ -418,7 +444,13 @@ mod tests {
     }
 
     fn runtime(vfs: Vfs, options: TableOptions) -> TableRuntime {
-        TableRuntime::new(def(), vfs.clone(), Manifest::open(vfs), options)
+        TableRuntime::new(
+            def(),
+            vfs.clone(),
+            Manifest::open(vfs),
+            options,
+            BlockCache::new(crate::cache::DEFAULT_BLOCK_CACHE_BYTES),
+        )
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Exhaustive byte-corruption sweep over small SSTables of both formats.
+//!
+//! For every byte position of a freshly written table, three mutations are
+//! tried — flip one bit, overwrite with 0xFF, truncate the file at that
+//! position — and for each mutant the full read surface (`open`, `get` on
+//! present and absent keys, `scan`, `scan_prefix`) is driven. The invariant
+//! under test is the ISSUE's hardening goal: a corrupt or truncated file
+//! must surface as `Err(NosqlError::Corrupt)` or behave correctly — it may
+//! never panic, never allocate unboundedly, and (for v2, whose data blocks
+//! are CRC-framed) never silently return wrong rows.
+
+use sc_nosql::error::NosqlError;
+use sc_nosql::sstable::{write_sstable, write_sstable_v1, SsTable, SstEntry};
+use sc_storage::Vfs;
+
+fn entries() -> Vec<SstEntry> {
+    (0..12u8)
+        .map(|i| SstEntry {
+            key: vec![b'k', i],
+            body: if i % 5 == 0 {
+                None
+            } else {
+                Some(format!("payload-{i}").into_bytes())
+            },
+            timestamp: i as u64,
+        })
+        .collect()
+}
+
+/// Drives every read path of one (possibly corrupt) file. Returns `Ok` with
+/// the scan result when every operation succeeded, `Err` when any surfaced
+/// an error. Panics and wrong-size allocations abort the test run itself.
+fn exercise(vfs: &Vfs, file: &str) -> Result<Vec<SstEntry>, NosqlError> {
+    let sst = SsTable::open(vfs.clone(), file)?;
+    for e in entries() {
+        sst.get(&e.key)?;
+    }
+    sst.get(b"absent-key")?;
+    sst.scan_prefix(b"k")?;
+    sst.scan()
+}
+
+fn mutants(original: &[u8], pos: usize) -> Vec<Vec<u8>> {
+    let mut flipped = original.to_vec();
+    flipped[pos] ^= 0x01;
+    let mut smashed = original.to_vec();
+    smashed[pos] = 0xFF;
+    vec![flipped, smashed, original[..pos].to_vec()]
+}
+
+fn sweep(writer: fn(&Vfs, &str, &[SstEntry]) -> Result<(), NosqlError>, crc_covers_data: bool) {
+    let vfs = Vfs::memory();
+    let es = entries();
+    writer(&vfs, "sweep/base", &es).unwrap();
+    let original = vfs.read_all("sweep/base").unwrap();
+    let baseline = exercise(&vfs, "sweep/base").unwrap();
+    assert_eq!(baseline, es, "uncorrupted table must read back exactly");
+
+    let mut rejected = 0usize;
+    let mut survived = 0usize;
+    for pos in 0..original.len() {
+        for (kind, mutant) in mutants(&original, pos).into_iter().enumerate() {
+            let file = format!("sweep/mut-{pos}-{kind}");
+            vfs.append(&file, &mutant).unwrap();
+            match exercise(&vfs, &file) {
+                Err(_) => rejected += 1,
+                Ok(result) => {
+                    survived += 1;
+                    if crc_covers_data {
+                        // Every v2 region is CRC- or geometry-checked, so a
+                        // mutation that goes unnoticed must be byte-neutral
+                        // in effect: the reads still return the exact data.
+                        assert_eq!(
+                            result, es,
+                            "undetected v2 mutation at byte {pos} (kind {kind}) \
+                             changed the read result"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Sanity on the sweep itself: corruption was overwhelmingly detected.
+    assert!(
+        rejected > original.len(),
+        "only {rejected} of {} mutants rejected",
+        3 * original.len()
+    );
+    if !crc_covers_data {
+        // v1's data region carries no CRC, so flips there go unnoticed
+        // (they alter what reads return without erroring) — the sweep must
+        // have seen some of those to prove it covered that region.
+        assert!(survived > 0, "sweep produced no undetected v1 mutants");
+    }
+}
+
+#[test]
+fn v2_sweep_never_panics_and_never_lies() {
+    sweep(write_sstable, true);
+}
+
+#[test]
+fn v1_sweep_never_panics() {
+    // v1 has no CRC over its data region, so a data-byte flip can alter
+    // what reads return; the guarantee is only no-panic + checked errors.
+    sweep(write_sstable_v1, false);
+}

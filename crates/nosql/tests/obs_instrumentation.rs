@@ -108,6 +108,40 @@ fn disk_backed_flush_and_compaction_spans_record_time_and_bytes() {
 }
 
 #[test]
+fn block_cache_counters_track_cold_and_warm_reads() {
+    let before = Registry::global().snapshot();
+    let (mut db, dir) = disk_db("cache");
+    workload(&mut db, 300);
+    db.flush_all().expect("flush");
+    // Cold pass: every queried block misses the cache once, then warm
+    // passes are served from it.
+    for _pass in 0..3 {
+        for i in (0..300).step_by(5) {
+            db.execute_cql(&format!("SELECT v FROM obsks.t WHERE id = {i}"))
+                .expect("select");
+        }
+    }
+    let stats = db.block_cache_stats();
+    let after = Registry::global().snapshot();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+    // The engine-level stats and the global counters tell the same story:
+    // cold misses happened, warm hits dominate.
+    assert!(stats.misses > 0, "cold pass must miss");
+    assert!(stats.hits > stats.misses, "two warm passes must out-hit");
+    assert!(delta("nosql.block_cache.miss") >= stats.misses);
+    assert!(delta("nosql.block_cache.hit") >= stats.hits);
+    // Present-key reads found their rows through the filters.
+    assert!(delta("nosql.bloom.hit") > 0);
+    let blocks = after
+        .histogram("nosql.read.blocks_per_get")
+        .cloned()
+        .unwrap_or_default();
+    assert!(blocks.count > 0, "blocks-per-get histogram recorded");
+}
+
+#[test]
 fn recovery_span_and_replay_counter_record_a_reopen() {
     let before = Registry::global().snapshot();
     let (mut db, dir) = disk_db("recovery");

@@ -35,5 +35,9 @@ echo "$query_out" | grep -q 'warm point query: store rows fetched 0' || {
     echo "ci.sh: repro query did not report a zero-fetch warm query" >&2
     exit 1
 }
+echo "$query_out" | grep -q 'absent point lookups beyond the key fences: data blocks read 0' || {
+    echo "ci.sh: absent-key point lookups read data blocks (fence/filter regression)" >&2
+    exit 1
+}
 
 echo "ci.sh: all green"
