@@ -1,8 +1,10 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|query|all]
+//! repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|query|serve|netbench|all]
 //!       [--scale F] [--full] [--threads N] [--points N] [--seed S] [--stats]
+//!       [--port N] [--metrics-port N] [--token TENANT=TOKEN] [--slow-ms N] [--smoke]
+//!       [--clients N] [--rows N] [--out PATH]
 //! ```
 //!
 //! * `--scale F` runs each dataset at fraction `F` of the paper's tuple
@@ -24,6 +26,16 @@
 //!   range queries straight from the stored rows through the cached,
 //!   batched store cursor, reporting per-query read counters (rows
 //!   fetched, batched SELECTs, cache hit ratio) cold and warm.
+//! * `serve` starts the sc-server network front door: `--port`/
+//!   `--metrics-port` (default 0 = ephemeral), `--token TENANT=TOKEN`
+//!   (repeatable; default `demo=demo-token`), `--slow-ms N` slow-query
+//!   threshold. `--smoke` runs a self-contained round trip (connect,
+//!   INSERT/SELECT, scrape `/metrics`, drained shutdown) and exits.
+//! * `netbench` drives a loopback server with `--clients N` concurrent
+//!   connections across two tenants, ingesting `--rows N` total rows and
+//!   then timing point SELECTs cold (after a flush) and warm, reporting
+//!   ingest rows/sec and p50/p99 query latency; `--out PATH` writes the
+//!   numbers as JSON (the committed `BENCH_6.json`).
 //! * `--stats` appends the registry text report after any subcommand.
 //!
 //! Absolute numbers differ from the paper (different hardware, embedded
@@ -46,9 +58,71 @@ fn main() {
     let mut points = 64usize;
     let mut seed = 0xC0FFEEu64;
     let mut stats = false;
+    let mut port = 0u16;
+    let mut metrics_port = 0u16;
+    let mut tokens: Vec<(String, String)> = Vec::new();
+    let mut slow_ms = 100u64;
+    let mut smoke = false;
+    let mut clients = 8usize;
+    let mut rows = 4000usize;
+    let mut out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--port" => {
+                i += 1;
+                port = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--port needs a port number"));
+            }
+            "--metrics-port" => {
+                i += 1;
+                metrics_port = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--metrics-port needs a port number"));
+            }
+            "--token" => {
+                i += 1;
+                let pair = args
+                    .get(i)
+                    .and_then(|s| s.split_once('='))
+                    .unwrap_or_else(|| usage("--token needs TENANT=TOKEN"));
+                tokens.push((pair.0.to_string(), pair.1.to_string()));
+            }
+            "--slow-ms" => {
+                i += 1;
+                slow_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--slow-ms needs a non-negative integer"));
+            }
+            "--smoke" => smoke = true,
+            "--clients" => {
+                i += 1;
+                clients = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--clients needs a positive integer"));
+            }
+            "--rows" => {
+                i += 1;
+                rows = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--rows needs a positive integer"));
+            }
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--out needs a path")),
+                );
+            }
             "--points" => {
                 i += 1;
                 points = args
@@ -81,7 +155,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--threads needs a positive integer"));
             }
             c @ ("table2" | "table4" | "table5" | "fig2" | "fig3" | "fig4" | "stream"
-            | "crashtest" | "obs" | "query" | "all") => {
+            | "crashtest" | "obs" | "query" | "serve" | "netbench" | "all") => {
                 command = c.to_string();
             }
             other => usage(&format!("unknown argument {other:?}")),
@@ -102,6 +176,8 @@ fn main() {
         "crashtest" => crashtest(seed, points),
         "obs" => obs(threads, seed),
         "query" => query(scale),
+        "serve" => serve(port, metrics_port, tokens, slow_ms, smoke),
+        "netbench" => netbench(clients, rows, out.as_deref()),
         "all" => {
             fig2();
             fig3();
@@ -122,8 +198,10 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|query|all] \
-         [--scale F] [--full] [--threads N] [--points N] [--seed S] [--stats]"
+        "usage: repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|query|serve|netbench|all] \
+         [--scale F] [--full] [--threads N] [--points N] [--seed S] [--stats] \
+         [--port N] [--metrics-port N] [--token TENANT=TOKEN] [--slow-ms N] [--smoke] \
+         [--clients N] [--rows N] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -575,4 +653,228 @@ fn query(scale: f64) {
     let blocks = hist_sum(&after) - hist_sum(&before);
     println!("\nabsent point lookups beyond the key fences: data blocks read {blocks}");
     assert_eq!(blocks, 0, "fence-rejected lookups read data blocks");
+}
+
+/// Raw HTTP GET against the metrics port (the bench carries no HTTP
+/// client; 60 lines of socket code is the whole dependency).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics port");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("send request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+/// The sc-server network front door: serve until interrupted, or run the
+/// `--smoke` self-check used by CI.
+fn serve(port: u16, metrics_port: u16, tokens: Vec<(String, String)>, slow_ms: u64, smoke: bool) {
+    use sc_server::client::Client;
+    use sc_server::{Server, ServerConfig};
+    use std::time::Duration;
+
+    let tokens = if tokens.is_empty() {
+        vec![("demo".to_string(), "demo-token".to_string())]
+    } else {
+        tokens
+    };
+    let mut config = ServerConfig::default().slow_query_threshold(Duration::from_millis(slow_ms));
+    config.addr = format!("127.0.0.1:{port}");
+    config.metrics_addr = format!("127.0.0.1:{metrics_port}");
+    for (tenant, token) in &tokens {
+        config = config.tenant(tenant, token);
+    }
+
+    let db = sc_nosql::OpenOptions::default()
+        .open_shared()
+        .expect("open engine");
+    let server = Server::start(config, db).expect("start server");
+    header(&format!(
+        "repro serve: CQL protocol on {}, metrics on {}",
+        server.addr(),
+        server.metrics_addr()
+    ));
+    for (tenant, _) in &tokens {
+        println!("tenant registered: {tenant}");
+    }
+
+    if !smoke {
+        println!("serving; interrupt (Ctrl-C) to stop");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
+    // Smoke: one full client round trip over loopback.
+    let (_, token) = &tokens[0];
+    let mut client = Client::connect(server.addr()).expect("client connect");
+    let tenant = client.hello(token).expect("hello");
+    client
+        .query("CREATE KEYSPACE smoke")
+        .expect("create keyspace");
+    client
+        .query("CREATE TABLE smoke.t (id int, v text, PRIMARY KEY (id))")
+        .expect("create table");
+    client
+        .query("INSERT INTO smoke.t (id, v) VALUES (1, 'round-trip')")
+        .expect("insert");
+    let rows = client
+        .query("SELECT v FROM smoke.t WHERE id = 1")
+        .expect("select");
+    assert_eq!(
+        rows.first().expect("one row").get_text("v").expect("text"),
+        "round-trip"
+    );
+    println!("server smoke: round-trip ok (tenant {tenant}, INSERT + SELECT verified)");
+
+    // Smoke: the metrics port serves Prometheus text with server.* series.
+    let scrape = http_get(server.metrics_addr(), "/metrics");
+    assert!(
+        scrape.starts_with("HTTP/1.1 200"),
+        "metrics scrape failed:\n{scrape}"
+    );
+    assert!(
+        scrape.contains("server_requests"),
+        "server_requests series missing from scrape:\n{scrape}"
+    );
+    let health = http_get(server.metrics_addr(), "/healthz");
+    assert!(health.contains("ok"), "healthz failed:\n{health}");
+    println!("server smoke: metrics ok (server_requests present, healthz ok)");
+
+    // Smoke: drained shutdown joins every thread.
+    server.shutdown();
+    println!("server smoke: shutdown ok (drained)");
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Loopback network benchmark: concurrent clients over two tenants,
+/// ingest throughput plus cold/warm point-query latency.
+fn netbench(clients: usize, rows: usize, out: Option<&str>) {
+    use sc_server::client::Client;
+    use sc_server::{Server, ServerConfig};
+    use std::time::Instant;
+
+    header(&format!(
+        "repro netbench: {clients} loopback clients, {rows} rows across 2 tenants"
+    ));
+    let tenants = ["t1", "t2"];
+    let db = sc_nosql::OpenOptions::default()
+        .open_shared()
+        .expect("open engine");
+    let server = Server::start(
+        ServerConfig::default()
+            .tenant("t1", "tok-t1")
+            .tenant("t2", "tok-t2"),
+        db,
+    )
+    .expect("start server");
+    let addr = server.addr();
+    let token_for = |client_idx: usize| format!("tok-{}", tenants[client_idx % tenants.len()]);
+
+    for t in tenants {
+        let mut c = Client::connect(addr).expect("connect");
+        c.hello(&format!("tok-{t}")).expect("hello");
+        c.query("CREATE KEYSPACE bench").expect("keyspace");
+        c.query("CREATE TABLE bench.readings (id int, station text, bikes int, PRIMARY KEY (id))")
+            .expect("table");
+    }
+
+    // Ingest: `clients` concurrent connections, `rows` INSERTs total.
+    let per_client = rows.div_ceil(clients);
+    let total_rows = per_client * clients;
+    let ingest_start = Instant::now();
+    std::thread::scope(|scope| {
+        for client_idx in 0..clients {
+            let token = token_for(client_idx);
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.hello(&token).expect("hello");
+                for i in 0..per_client {
+                    let id = client_idx * per_client + i;
+                    c.query(&format!(
+                        "INSERT INTO bench.readings (id, station, bikes) VALUES ({id}, 'station {id}', {})",
+                        id % 40
+                    ))
+                    .expect("insert");
+                }
+            });
+        }
+    });
+    let ingest_elapsed = ingest_start.elapsed();
+    let rows_per_sec = total_rows as f64 / ingest_elapsed.as_secs_f64();
+    println!(
+        "ingest: {total_rows} rows in {} ms over loopback = {rows_per_sec:.0} rows/sec",
+        ingest_elapsed.as_millis()
+    );
+
+    // Query latency: each client re-reads its own rows point-by-point.
+    // Cold = right after a full flush (reads served from SSTables);
+    // warm = the same queries again with caches populated.
+    let queries_per_client = per_client.min(200);
+    let run_pass = |label: &str| -> Vec<u64> {
+        let all: std::sync::Mutex<Vec<u64>> = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for client_idx in 0..clients {
+                let token = token_for(client_idx);
+                let all = &all;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    c.hello(&token).expect("hello");
+                    let mut lat = Vec::with_capacity(queries_per_client);
+                    for i in 0..queries_per_client {
+                        let id = client_idx * per_client + i;
+                        let t = Instant::now();
+                        let r = c
+                            .query(&format!(
+                                "SELECT station, bikes FROM bench.readings WHERE id = {id}"
+                            ))
+                            .expect("point select");
+                        lat.push(t.elapsed().as_micros() as u64);
+                        assert_eq!(r.len(), 1, "{label}: point read missed id {id}");
+                    }
+                    all.lock().unwrap().extend(lat);
+                });
+            }
+        });
+        let mut v = all.into_inner().unwrap();
+        v.sort_unstable();
+        v
+    };
+
+    {
+        let mut engine = server.db().lock().unwrap_or_else(|e| e.into_inner());
+        engine.flush_all().expect("flush before cold pass");
+    }
+    let cold = run_pass("cold");
+    let warm = run_pass("warm");
+    let (cold_p50, cold_p99) = (percentile_us(&cold, 0.50), percentile_us(&cold, 0.99));
+    let (warm_p50, warm_p99) = (percentile_us(&warm, 0.50), percentile_us(&warm, 0.99));
+    println!(
+        "query latency over loopback ({} point SELECTs per pass):",
+        cold.len()
+    );
+    println!("  cold (post-flush)  p50 {cold_p50:>6} us   p99 {cold_p99:>6} us");
+    println!("  warm (cached)      p50 {warm_p50:>6} us   p99 {warm_p99:>6} us");
+    println!(
+        "slow queries recorded: {} (threshold {:?})",
+        server.slow_queries_recorded(),
+        std::time::Duration::from_millis(100)
+    );
+    server.shutdown();
+    println!("netbench: server drained and joined");
+
+    if let Some(path) = out {
+        let json = format!(
+            "{{\n  \"bench\": \"netbench\",\n  \"pr\": 6,\n  \"config\": {{ \"clients\": {clients}, \"tenants\": {}, \"rows\": {total_rows}, \"queries_per_pass\": {} }},\n  \"ingest\": {{ \"rows\": {total_rows}, \"elapsed_ms\": {}, \"rows_per_sec\": {rows_per_sec:.0} }},\n  \"query_latency_us\": {{\n    \"cold\": {{ \"p50\": {cold_p50}, \"p99\": {cold_p99} }},\n    \"warm\": {{ \"p50\": {warm_p50}, \"p99\": {warm_p99} }}\n  }}\n}}\n",
+            tenants.len(),
+            cold.len(),
+            ingest_elapsed.as_millis(),
+        );
+        std::fs::write(path, json).expect("write --out file");
+        println!("wrote {path}");
+    }
 }

@@ -14,6 +14,16 @@ use crate::types::{CqlType, CqlValue};
 use sc_encoding::ByteSize;
 use sc_storage::Vfs;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+/// A thread-shared engine handle: one coarse mutex over the whole engine.
+///
+/// This is the unit `sc-server` sessions serialize on — every network
+/// session clones the `Arc` and locks around each statement. Reads and
+/// writes are fully serialized for now; lock-free snapshot reads (MVCC)
+/// are the roadmap's next engine milestone and will replace this alias
+/// without changing callers' cloning pattern.
+pub type SharedDb = Arc<Mutex<Db>>;
 
 /// Engine construction options (legacy shape, kept for the deprecated
 /// constructors; new code uses [`OpenOptions`]).
@@ -96,6 +106,12 @@ impl OpenOptions {
     /// Builds the engine; sugar for [`Db::open`].
     pub fn open(self) -> Result<Db> {
         Db::open(self)
+    }
+
+    /// Builds the engine and wraps it in a [`SharedDb`] handle; sugar for
+    /// `Db::open(..).map(Db::into_shared)`.
+    pub fn open_shared(self) -> Result<SharedDb> {
+        Db::open(self).map(Db::into_shared)
     }
 }
 
@@ -984,6 +1000,12 @@ impl Db {
     pub fn block_cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
+
+    /// Wraps the engine in the coarse-mutex [`SharedDb`] handle that
+    /// multi-session callers (the network server) clone per session.
+    pub fn into_shared(self) -> SharedDb {
+        Arc::new(Mutex::new(self))
+    }
 }
 
 #[cfg(test)]
@@ -1310,6 +1332,51 @@ mod tests {
         let mut db = Db::open(OpenOptions::default().vfs(vfs).recover(true)).unwrap();
         let r = db.execute_cql("SELECT v FROM ks.t WHERE id = 1").unwrap();
         assert_eq!(r.rows(), vec![vec![CqlValue::Text("flushed".into())]]);
+    }
+
+    #[test]
+    fn shared_handle_is_send_across_threads() {
+        // Compile-time: the coarse-mutex handle must be shareable between
+        // session threads (Mutex<Db> is Sync iff Db is Send).
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Db>();
+        assert_sync::<SharedDb>();
+
+        let shared = OpenOptions::default().open_shared().unwrap();
+        shared
+            .lock()
+            .unwrap()
+            .execute_cql("CREATE KEYSPACE ks")
+            .unwrap();
+        shared
+            .lock()
+            .unwrap()
+            .execute_cql("CREATE TABLE ks.t (id int, v int, PRIMARY KEY (id))")
+            .unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4i64 {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    for i in 0..16i64 {
+                        shared
+                            .lock()
+                            .unwrap()
+                            .execute_cql(&format!(
+                                "INSERT INTO ks.t (id, v) VALUES ({}, {t})",
+                                t * 100 + i
+                            ))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let n = shared
+            .lock()
+            .unwrap()
+            .execute_cql("SELECT COUNT(*) FROM ks.t")
+            .unwrap();
+        assert_eq!(n.first().unwrap().get_int("count").unwrap(), 64);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod types;
 pub use cache::{BlockCache, CacheStats, DEFAULT_BLOCK_CACHE_BYTES};
 pub use cql::ast::{Statement, WhereClause};
 pub use cql::parse_statement;
-pub use engine::{Db, DbOptions, OpenOptions};
+pub use engine::{Db, DbOptions, OpenOptions, SharedDb};
 pub use error::NosqlError;
 pub use manifest::{Manifest, ManifestEdit};
 pub use result::{QueryResult, QueryRow};

@@ -1,0 +1,191 @@
+//! Shape validation for the Prometheus text exposition: every sample line
+//! must parse, every metric family must be announced by exactly one
+//! preceding `# TYPE` line of the right kind, and histogram bucket series
+//! must be cumulative and end in `le="+Inf"` equal to `_count`. This is
+//! what a real scraper's parser enforces; the server's `/metrics` port
+//! serves this text verbatim.
+
+use sc_obs::Registry;
+use std::collections::HashMap;
+
+fn sample_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("server.requests").add(42);
+    r.counter("nosql.read.point-gets").add(7); // dash must sanitize too
+    r.gauge("server.active_sessions").set(3);
+    r.gauge("stream.backlog").set(-2); // negative gauges are legal
+    let h = r.histogram("server.request.duration_ns");
+    for v in [5, 90, 1_500, 1_500_000, 80_000_000] {
+        h.record(v);
+    }
+    r.histogram("dwarf.empty"); // declared but never observed
+    r
+}
+
+/// One parsed `# TYPE` line.
+#[derive(Debug, PartialEq)]
+struct TypeLine {
+    name: String,
+    kind: String,
+}
+
+fn parse_type_line(line: &str) -> TypeLine {
+    let rest = line.strip_prefix("# TYPE ").expect("well-formed TYPE line");
+    let mut parts = rest.split_whitespace();
+    let name = parts.next().expect("metric name").to_string();
+    let kind = parts.next().expect("metric kind").to_string();
+    assert_eq!(parts.next(), None, "trailing junk on TYPE line: {line:?}");
+    TypeLine { name, kind }
+}
+
+/// Splits a sample line into (series_name, labels, value-parses-as-f64).
+fn parse_sample_line(line: &str) -> (String, Option<String>, f64) {
+    let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+    let value: f64 = value
+        .parse()
+        .unwrap_or_else(|_| panic!("unparseable sample value in {line:?}"));
+    match series.split_once('{') {
+        Some((name, labels)) => {
+            let labels = labels.strip_suffix('}').expect("closed label set");
+            (name.to_string(), Some(labels.to_string()), value)
+        }
+        None => (series.to_string(), None, value),
+    }
+}
+
+/// Maps a sample series name back to its family: `x_bucket`/`x_sum`/
+/// `x_count` belong to histogram family `x`.
+fn family_of(series: &str, types: &HashMap<String, String>) -> Option<String> {
+    if types.contains_key(series) {
+        return Some(series.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = series.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some(base.to_string());
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn every_family_has_one_type_line_and_every_sample_parses() {
+    let text = sample_registry().snapshot().to_prometheus_text();
+
+    let mut types: HashMap<String, String> = HashMap::new();
+    for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+        let t = parse_type_line(line);
+        assert!(
+            matches!(t.kind.as_str(), "counter" | "gauge" | "histogram"),
+            "unknown metric kind {:?}",
+            t.kind
+        );
+        assert!(
+            types.insert(t.name.clone(), t.kind).is_none(),
+            "duplicate # TYPE for {}",
+            t.name
+        );
+    }
+    assert_eq!(
+        types.get("server_requests").map(String::as_str),
+        Some("counter")
+    );
+    assert_eq!(
+        types.get("server_active_sessions").map(String::as_str),
+        Some("gauge")
+    );
+    assert_eq!(
+        types.get("server_request_duration_ns").map(String::as_str),
+        Some("histogram")
+    );
+
+    let mut samples_per_family: HashMap<String, usize> = HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, labels, _value) = parse_sample_line(line);
+        // Names must already be sanitized — a scraper rejects dots/dashes.
+        assert!(
+            series
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "unsanitized series name {series:?}"
+        );
+        let family = family_of(&series, &types)
+            .unwrap_or_else(|| panic!("sample {series:?} has no # TYPE announcement"));
+        if series.ends_with("_bucket") && types[&family] == "histogram" {
+            let labels = labels.expect("bucket series carries le label");
+            assert!(labels.starts_with("le=\""), "bucket labels: {labels:?}");
+        } else {
+            assert_eq!(labels, None, "unexpected labels on {series:?}");
+        }
+        *samples_per_family.entry(family).or_insert(0) += 1;
+    }
+    // Every announced family emitted at least one sample (counters/gauges
+    // one, histograms bucket+sum+count).
+    for (family, kind) in &types {
+        let n = samples_per_family.get(family).copied().unwrap_or(0);
+        match kind.as_str() {
+            "counter" | "gauge" => assert_eq!(n, 1, "{family}: expected 1 sample"),
+            _ => assert!(
+                n >= 3,
+                "{family}: histogram needs bucket+sum+count, got {n}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_end_at_inf_equal_to_count() {
+    let text = sample_registry().snapshot().to_prometheus_text();
+
+    for family in ["server_request_duration_ns", "dwarf_empty"] {
+        let buckets: Vec<(String, u64)> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix(&format!("{family}_bucket{{le=\"")))
+            .map(|rest| {
+                let (bound, value) = rest.split_once("\"} ").expect("bucket line shape");
+                (bound.to_string(), value.parse().expect("bucket count"))
+            })
+            .collect();
+        assert!(!buckets.is_empty(), "{family}: no bucket series");
+        assert_eq!(
+            buckets.last().unwrap().0,
+            "+Inf",
+            "{family}: bucket series must end at +Inf"
+        );
+        // Cumulative: counts never decrease, finite bounds strictly increase.
+        let mut prev_count = 0u64;
+        let mut prev_bound = f64::NEG_INFINITY;
+        for (bound, count) in &buckets {
+            assert!(
+                *count >= prev_count,
+                "{family}: bucket le={bound} went backwards ({count} < {prev_count})"
+            );
+            prev_count = *count;
+            if bound != "+Inf" {
+                let b: f64 = bound.parse().expect("finite bucket bound");
+                assert!(b > prev_bound, "{family}: bounds not increasing at {bound}");
+                prev_bound = b;
+            }
+        }
+        let count: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{family}_count ")))
+            .expect("count series")
+            .parse()
+            .expect("count value");
+        assert_eq!(
+            buckets.last().unwrap().1,
+            count,
+            "{family}: +Inf bucket must equal _count"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with(&format!("{family}_sum "))),
+            "{family}: missing _sum series"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Blocking client for the framed CQL protocol.
+//!
+//! ```no_run
+//! use sc_server::client::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:9042").unwrap();
+//! client.hello("my-token").unwrap();
+//! let rows = client.query("SELECT * FROM app.t").unwrap();
+//! for row in &rows {
+//!     println!("{:?}", row.get("id"));
+//! }
+//! ```
+//!
+//! One connection is one session: a single in-flight request at a time,
+//! strictly request → response. The client is what the integration tests
+//! and `repro serve --smoke` / `repro netbench` drive.
+
+use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_BYTES};
+use crate::protocol::{ErrorCode, Request, Response};
+use sc_nosql::QueryResult;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure (includes the server closing the connection).
+    Io(io::Error),
+    /// The server sent bytes the client could not decode, or an
+    /// unexpected response kind.
+    Protocol(String),
+    /// The server answered with a typed error.
+    Server {
+        /// Wire error code.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Protocol(m) => write!(f, "client protocol error: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A blocking protocol client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects to a server's CQL protocol address.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream, self.max_frame_bytes)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Authenticates the connection; returns the tenant name the token
+    /// maps to. Must precede [`Client::query`].
+    pub fn hello(&mut self, token: &str) -> Result<String, ClientError> {
+        match self.call(&Request::Hello {
+            token: token.to_string(),
+        })? {
+            Response::HelloOk { tenant } => Ok(tenant),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to Hello: {other:?}"
+            ))),
+        }
+    }
+
+    /// Executes one CQL statement in the tenant's namespace. Mutations
+    /// and DDL return an empty result.
+    pub fn query(&mut self, cql: &str) -> Result<QueryResult, ClientError> {
+        match self.call(&Request::Query {
+            cql: cql.to_string(),
+        })? {
+            Response::Rows { columns, rows } => Ok(QueryResult::new(columns, rows)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to Query: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to Ping: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Length-framed wire transport.
+//!
+//! Every message travels as one frame: a 4-byte big-endian payload length
+//! followed by exactly that many payload bytes. The length prefix is the
+//! *only* fixed-width, byte-order-sensitive part of the protocol; the
+//! payload itself is encoded with `sc-encoding` varints (see
+//! [`crate::protocol`]).
+//!
+//! The server side reads through [`FrameReader`], which tolerates read
+//! timeouts: a session thread sets a short socket read timeout, and each
+//! timeout returns [`FrameEvent::TimedOut`] so the session can check the
+//! shutdown flag and resume without losing partially received bytes.
+
+use std::io::{self, Read, Write};
+
+/// Default ceiling on a frame's declared payload length (4 MiB). A peer
+/// declaring more is a protocol error, not an allocation request.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// Transport-level failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer declared a payload longer than the configured ceiling.
+    TooLarge {
+        /// Length the prefix declared.
+        declared: usize,
+        /// Configured ceiling.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "declared frame length {declared} exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Blocking single-frame read (the client side). Returns `Ok(None)` on a
+/// clean EOF *between* frames; EOF mid-frame is an `UnexpectedEof` error.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    match r.read(&mut prefix) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut prefix[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut prefix)?;
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let declared = u32::from_be_bytes(prefix) as usize;
+    if declared > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    let mut payload = vec![0u8; declared];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// One step of a [`FrameReader`].
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete frame's payload.
+    Frame(Vec<u8>),
+    /// The socket read timed out; any partial frame is retained and the
+    /// caller may poll again (after checking its shutdown flag).
+    TimedOut,
+    /// The peer closed the connection. If bytes of an unfinished frame had
+    /// already arrived this is a mid-frame disconnect; either way the
+    /// session is over.
+    Eof,
+}
+
+/// Incremental frame reader that survives socket read timeouts.
+///
+/// Bytes received before a timeout stay buffered, so a slow sender never
+/// corrupts framing — the declared length is honoured across however many
+/// reads it takes to arrive.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    max: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a stream with a frame-length ceiling.
+    pub fn new(inner: R, max: usize) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            max,
+        }
+    }
+
+    /// Whether an unfinished frame is currently buffered.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads until one of: a complete frame, a timeout, EOF, or an error.
+    pub fn next_event(&mut self) -> Result<FrameEvent, FrameError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.buf.len() >= 4 {
+                let declared =
+                    u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                        as usize;
+                if declared > self.max {
+                    return Err(FrameError::TooLarge {
+                        declared,
+                        max: self.max,
+                    });
+                }
+                if self.buf.len() >= 4 + declared {
+                    let payload = self.buf[4..4 + declared].to_vec();
+                    self.buf.drain(..4 + declared);
+                    return Ok(FrameEvent::Frame(payload));
+                }
+            }
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return Ok(FrameEvent::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(FrameEvent::TimedOut)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn framed(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in payloads {
+            write_frame(&mut out, p).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let bytes = framed(&[b"hello", b"", b"world"]);
+        let mut cur = Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cur, 64).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur, 64).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cur, 64).unwrap().unwrap(), b"world");
+        assert!(read_frame(&mut cur, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_without_allocating() {
+        let mut bytes = (u32::MAX).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"junk");
+        let mut cur = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(FrameError::TooLarge {
+                declared,
+                max: 1024
+            }) if declared == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn truncated_prefix_is_unexpected_eof() {
+        let mut cur = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cur, 64),
+            Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_unexpected_eof() {
+        let mut bytes = 100u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let mut cur = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof
+        ));
+    }
+
+    /// A reader that feeds bytes in dribbles with interleaved timeouts, to
+    /// prove FrameReader keeps partial frames across WouldBlock.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        step: usize,
+        timeouts: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.timeouts {
+                self.timeouts = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+            }
+            self.timeouts = true;
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            let n = self.step.min(self.data.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let bytes = framed(&[b"split across many reads", b"second"]);
+        let mut reader = FrameReader::new(
+            Dribble {
+                data: bytes,
+                pos: 0,
+                step: 3,
+                timeouts: false,
+            },
+            1024,
+        );
+        let mut frames = Vec::new();
+        loop {
+            match reader.next_event().unwrap() {
+                FrameEvent::Frame(f) => frames.push(f),
+                FrameEvent::TimedOut => continue,
+                FrameEvent::Eof => break,
+            }
+        }
+        assert_eq!(
+            frames,
+            vec![b"split across many reads".to_vec(), b"second".to_vec()]
+        );
+    }
+
+    #[test]
+    fn frame_reader_reports_mid_frame_eof() {
+        let mut bytes = 100u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[9; 10]);
+        let mut reader = FrameReader::new(Cursor::new(bytes), 1024);
+        loop {
+            match reader.next_event().unwrap() {
+                FrameEvent::Eof => break,
+                FrameEvent::TimedOut => continue,
+                FrameEvent::Frame(_) => panic!("no complete frame was sent"),
+            }
+        }
+        assert!(reader.mid_frame());
+    }
+}

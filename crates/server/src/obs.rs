@@ -1,0 +1,54 @@
+//! Server instrumentation handles (`server.*`).
+//!
+//! Metric map:
+//!
+//! | name                         | kind      | meaning                                   |
+//! |------------------------------|-----------|-------------------------------------------|
+//! | `server.connections`         | counter   | TCP connections accepted                  |
+//! | `server.active_sessions`     | gauge     | session threads currently alive           |
+//! | `server.requests`            | counter   | decoded requests handled (any outcome)    |
+//! | `server.auth_failures`       | counter   | Hello frames with an unknown token        |
+//! | `server.protocol_errors`     | counter   | malformed frames/messages (conn dropped)  |
+//! | `server.statement_errors`    | counter   | statements the engine rejected            |
+//! | `server.slow_queries`        | counter   | statements over the slow-query threshold  |
+//! | `server.bytes_in`            | counter   | frame bytes received (prefix included)    |
+//! | `server.bytes_out`           | counter   | frame bytes sent (prefix included)        |
+//! | `server.request.duration_ns` | histogram | end-to-end request handling latency       |
+//! | `server.metrics_scrapes`     | counter   | HTTP `GET /metrics` requests served       |
+
+use sc_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::OnceLock;
+
+pub(crate) struct ServerObs {
+    pub connections: Counter,
+    pub active_sessions: Gauge,
+    pub requests: Counter,
+    pub auth_failures: Counter,
+    pub protocol_errors: Counter,
+    pub statement_errors: Counter,
+    pub slow_queries: Counter,
+    pub bytes_in: Counter,
+    pub bytes_out: Counter,
+    pub request_duration_ns: Histogram,
+    pub metrics_scrapes: Counter,
+}
+
+pub(crate) fn server() -> &'static ServerObs {
+    static OBS: OnceLock<ServerObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = Registry::global();
+        ServerObs {
+            connections: r.counter("server.connections"),
+            active_sessions: r.gauge("server.active_sessions"),
+            requests: r.counter("server.requests"),
+            auth_failures: r.counter("server.auth_failures"),
+            protocol_errors: r.counter("server.protocol_errors"),
+            statement_errors: r.counter("server.statement_errors"),
+            slow_queries: r.counter("server.slow_queries"),
+            bytes_in: r.counter("server.bytes_in"),
+            bytes_out: r.counter("server.bytes_out"),
+            request_duration_ns: r.histogram("server.request.duration_ns"),
+            metrics_scrapes: r.counter("server.metrics_scrapes"),
+        }
+    })
+}

@@ -1,0 +1,335 @@
+//! Wire messages carried inside [`crate::frame`] frames.
+//!
+//! Payload layout: one tag byte, then `sc-encoding` varint-prefixed
+//! fields. Requests use tags `0x01..=0x03`, responses `0x81..=0x83` plus
+//! `0xFF` for errors, so a stray response byte can never decode as a
+//! request. Result rows reuse [`CqlValue::encode`] — the same tagged value
+//! encoding the storage engine itself uses — so the wire format inherits
+//! the engine's tested value codec.
+
+use sc_encoding::{DecodeError, Decoder, Encoder};
+use sc_nosql::CqlValue;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Auth handshake; must be the first request on a connection.
+    Hello {
+        /// The tenant's secret token.
+        token: String,
+    },
+    /// One CQL statement, executed inside the tenant's keyspace namespace.
+    Query {
+        /// CQL text.
+        cql: String,
+    },
+    /// Liveness probe (allowed before authentication).
+    Ping,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful handshake.
+    HelloOk {
+        /// The tenant name the token mapped to.
+        tenant: String,
+    },
+    /// A statement's result. Mutations and DDL return zero columns and
+    /// zero rows.
+    Rows {
+        /// Column names, in order.
+        columns: Vec<String>,
+        /// Positional rows, aligned with `columns`.
+        rows: Vec<Vec<CqlValue>>,
+    },
+    /// Liveness reply.
+    Pong,
+    /// Anything that went wrong. The connection stays open after
+    /// statement-level errors; protocol-level errors are followed by a
+    /// server-side close.
+    Error {
+        /// Machine-readable classification.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Classification of a server-reported failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Bad token, or a query before the handshake.
+    Auth,
+    /// Malformed frame or undecodable message; the server closes the
+    /// connection after sending this.
+    Protocol,
+    /// The CQL text did not parse.
+    Parse,
+    /// The statement referenced a keyspace/table/column that does not
+    /// exist in the tenant's namespace.
+    NotFound,
+    /// The engine cannot serve the statement (unsupported WHERE shape,
+    /// type mismatch, ...).
+    Invalid,
+    /// Engine-internal failure (storage, corruption).
+    Internal,
+    /// The server is draining connections for shutdown.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::Auth => 1,
+            ErrorCode::Protocol => 2,
+            ErrorCode::Parse => 3,
+            ErrorCode::NotFound => 4,
+            ErrorCode::Invalid => 5,
+            ErrorCode::Internal => 6,
+            ErrorCode::ShuttingDown => 7,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<ErrorCode, DecodeError> {
+        Ok(match b {
+            1 => ErrorCode::Auth,
+            2 => ErrorCode::Protocol,
+            3 => ErrorCode::Parse,
+            4 => ErrorCode::NotFound,
+            5 => ErrorCode::Invalid,
+            6 => ErrorCode::Internal,
+            7 => ErrorCode::ShuttingDown,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    tag,
+                    context: "ErrorCode",
+                })
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Auth => "auth",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Parse => "parse",
+            ErrorCode::NotFound => "not-found",
+            ErrorCode::Invalid => "invalid",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting-down",
+        };
+        f.write_str(s)
+    }
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_QUERY: u8 = 0x02;
+const TAG_PING: u8 = 0x03;
+const TAG_HELLO_OK: u8 = 0x81;
+const TAG_ROWS: u8 = 0x82;
+const TAG_PONG: u8 = 0x83;
+const TAG_ERROR: u8 = 0xFF;
+
+impl Request {
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Request::Hello { token } => {
+                enc.put_u8(TAG_HELLO).put_str(token);
+            }
+            Request::Query { cql } => {
+                enc.put_u8(TAG_QUERY).put_str(cql);
+            }
+            Request::Ping => {
+                enc.put_u8(TAG_PING);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decodes a frame payload. Trailing garbage after a well-formed
+    /// message is rejected — a frame carries exactly one message.
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        let mut dec = Decoder::new(payload);
+        let req = match dec.get_u8()? {
+            TAG_HELLO => Request::Hello {
+                token: dec.get_str()?.to_string(),
+            },
+            TAG_QUERY => Request::Query {
+                cql: dec.get_str()?.to_string(),
+            },
+            TAG_PING => Request::Ping,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    tag,
+                    context: "Request",
+                })
+            }
+        };
+        if !dec.is_exhausted() {
+            return Err(DecodeError::BadTag {
+                tag: 0,
+                context: "Request trailing bytes",
+            });
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Response::HelloOk { tenant } => {
+                enc.put_u8(TAG_HELLO_OK).put_str(tenant);
+            }
+            Response::Rows { columns, rows } => {
+                enc.put_u8(TAG_ROWS).put_u64(columns.len() as u64);
+                for c in columns {
+                    enc.put_str(c);
+                }
+                enc.put_u64(rows.len() as u64);
+                for row in rows {
+                    for v in row {
+                        v.encode(&mut enc);
+                    }
+                }
+            }
+            Response::Pong => {
+                enc.put_u8(TAG_PONG);
+            }
+            Response::Error { code, message } => {
+                enc.put_u8(TAG_ERROR)
+                    .put_u8(code.to_byte())
+                    .put_str(message);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
+        let mut dec = Decoder::new(payload);
+        let resp = match dec.get_u8()? {
+            TAG_HELLO_OK => Response::HelloOk {
+                tenant: dec.get_str()?.to_string(),
+            },
+            TAG_ROWS => {
+                let ncols = dec.get_u64()? as usize;
+                let mut columns = Vec::with_capacity(ncols.min(1024));
+                for _ in 0..ncols {
+                    columns.push(dec.get_str()?.to_string());
+                }
+                let nrows = dec.get_u64()? as usize;
+                let mut rows = Vec::with_capacity(nrows.min(1024));
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(ncols);
+                    for _ in 0..ncols {
+                        row.push(CqlValue::decode(&mut dec)?);
+                    }
+                    rows.push(row);
+                }
+                Response::Rows { columns, rows }
+            }
+            TAG_PONG => Response::Pong,
+            TAG_ERROR => Response::Error {
+                code: ErrorCode::from_byte(dec.get_u8()?)?,
+                message: dec.get_str()?.to_string(),
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    tag,
+                    context: "Response",
+                })
+            }
+        };
+        if !dec.is_exhausted() {
+            return Err(DecodeError::BadTag {
+                tag: 0,
+                context: "Response trailing bytes",
+            });
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Hello {
+                token: "s3cret".into(),
+            },
+            Request::Query {
+                cql: "SELECT * FROM ks.t".into(),
+            },
+            Request::Ping,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response::HelloOk {
+                tenant: "city".into(),
+            },
+            Response::Rows {
+                columns: vec!["id".into(), "key".into()],
+                rows: vec![
+                    vec![CqlValue::Int(1), CqlValue::Text("Fenian St".into())],
+                    vec![CqlValue::Int(2), CqlValue::Null],
+                ],
+            },
+            Response::Rows {
+                columns: Vec::new(),
+                rows: Vec::new(),
+            },
+            Response::Pong,
+            Response::Error {
+                code: ErrorCode::Parse,
+                message: "nope".into(),
+            },
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn garbage_and_trailing_bytes_are_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0x77, 1, 2, 3]).is_err());
+        assert!(Response::decode(&[0x42]).is_err());
+        let mut ok = Request::Ping.encode();
+        ok.push(0);
+        assert!(Request::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn every_error_code_roundtrips() {
+        for code in [
+            ErrorCode::Auth,
+            ErrorCode::Protocol,
+            ErrorCode::Parse,
+            ErrorCode::NotFound,
+            ErrorCode::Invalid,
+            ErrorCode::Internal,
+            ErrorCode::ShuttingDown,
+        ] {
+            let resp = Response::Error {
+                code,
+                message: code.to_string(),
+            };
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-connection session loop.
+//!
+//! Each accepted TCP connection gets one session thread running
+//! [`run_session`]: an auth handshake (the first non-`Ping` request must
+//! be a `Hello` carrying a registered token), then a request/response
+//! loop over the shared engine. Statement-level failures are reported as
+//! typed [`Response::Error`]s and the connection stays open;
+//! protocol-level failures (undecodable frame, oversized length) get one
+//! final `Error { code: Protocol }` frame and the connection is dropped.
+//!
+//! The loop polls with a short socket read timeout so the server's
+//! shutdown flag is observed promptly: on drain, an in-flight request is
+//! finished and answered, then the connection closes.
+
+use crate::frame::{write_frame, FrameError, FrameEvent, FrameReader};
+use crate::obs::server as obs;
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::slowlog::SlowQueryLog;
+use crate::tenant::{confine_statement, scrub_message, TenantMap};
+use sc_nosql::{parse_statement, NosqlError, SharedDb};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything a session needs, shared by reference from the server.
+pub(crate) struct SessionContext {
+    pub db: SharedDb,
+    pub tenants: Arc<TenantMap>,
+    pub slowlog: Arc<SlowQueryLog>,
+    pub shutdown: Arc<AtomicBool>,
+    pub max_frame_bytes: usize,
+}
+
+/// Maps an engine error to a wire error code.
+fn error_code(e: &NosqlError) -> ErrorCode {
+    match e {
+        NosqlError::Parse(_) => ErrorCode::Parse,
+        NosqlError::UnknownKeyspace(_)
+        | NosqlError::UnknownTable(_)
+        | NosqlError::UnknownColumn { .. } => ErrorCode::NotFound,
+        NosqlError::TypeMismatch { .. }
+        | NosqlError::MissingPrimaryKey(_)
+        | NosqlError::AlreadyExists(_)
+        | NosqlError::Unsupported(_) => ErrorCode::Invalid,
+        NosqlError::Storage(_) | NosqlError::Corrupt(_) => ErrorCode::Internal,
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let payload = resp.encode();
+    obs().bytes_out.add(payload.len() as u64 + 4);
+    write_frame(stream, &payload)
+}
+
+/// Runs one connection to completion. Never panics on peer input: every
+/// malformed byte sequence ends in a typed error and/or a closed socket.
+pub(crate) fn run_session(mut stream: TcpStream, ctx: &SessionContext) {
+    obs().connections.inc();
+    obs().active_sessions.add(1);
+    // The gauge must drop on *every* exit path, including an engine panic
+    // unwinding through the loop.
+    struct ActiveGuard;
+    impl Drop for ActiveGuard {
+        fn drop(&mut self) {
+            obs().active_sessions.add(-1);
+        }
+    }
+    let _guard = ActiveGuard;
+
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(reader_stream, ctx.max_frame_bytes);
+    let mut tenant: Option<String> = None;
+
+    loop {
+        let payload = match reader.next_event() {
+            Ok(FrameEvent::Frame(p)) => p,
+            Ok(FrameEvent::TimedOut) => {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    // Drain: nothing in flight, close. A client mid-send
+                    // gets a clean shutdown notice only if its frame
+                    // completed; a half-sent frame is simply dropped.
+                    if !reader.mid_frame() {
+                        let _ = send(
+                            &mut stream,
+                            &Response::Error {
+                                code: ErrorCode::ShuttingDown,
+                                message: "server is shutting down".into(),
+                            },
+                        );
+                    }
+                    return;
+                }
+                continue;
+            }
+            Ok(FrameEvent::Eof) => return,
+            Err(FrameError::TooLarge { declared, max }) => {
+                obs().protocol_errors.inc();
+                let _ = send(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: format!("declared frame length {declared} exceeds maximum {max}"),
+                    },
+                );
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        obs().bytes_in.add(payload.len() as u64 + 4);
+        let started = Instant::now();
+        obs().requests.inc();
+
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                obs().protocol_errors.inc();
+                let _ = send(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: format!("undecodable request: {e}"),
+                    },
+                );
+                return;
+            }
+        };
+
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Hello { token } => match ctx.tenants.authenticate(&token) {
+                Some(name) => {
+                    tenant = Some(name.to_string());
+                    Response::HelloOk {
+                        tenant: name.to_string(),
+                    }
+                }
+                None => {
+                    obs().auth_failures.inc();
+                    let _ = send(
+                        &mut stream,
+                        &Response::Error {
+                            code: ErrorCode::Auth,
+                            message: "unknown auth token".into(),
+                        },
+                    );
+                    // Failed handshakes close the connection: a client
+                    // cannot sit and enumerate tokens on one socket.
+                    return;
+                }
+            },
+            Request::Query { cql } => match &tenant {
+                None => {
+                    obs().auth_failures.inc();
+                    Response::Error {
+                        code: ErrorCode::Auth,
+                        message: "handshake required before queries (send Hello)".into(),
+                    }
+                }
+                Some(tenant) => execute_query(ctx, tenant, &cql),
+            },
+        };
+        obs()
+            .request_duration_ns
+            .record(started.elapsed().as_nanos() as u64);
+        if send(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Parses, confines, and executes one statement for `tenant`.
+fn execute_query(ctx: &SessionContext, tenant: &str, cql: &str) -> Response {
+    let mut stmt = match parse_statement(cql) {
+        Ok(s) => s,
+        Err(e) => {
+            obs().statement_errors.inc();
+            return Response::Error {
+                code: ErrorCode::Parse,
+                message: e.to_string(),
+            };
+        }
+    };
+    confine_statement(&mut stmt, tenant);
+    let started = Instant::now();
+    let result = {
+        // A session that panicked while holding the engine lock must not
+        // wedge every other session; the coarse mutex recovers the guard.
+        let mut db = ctx.db.lock().unwrap_or_else(|e| e.into_inner());
+        db.execute(&stmt)
+    };
+    let elapsed = started.elapsed();
+    if ctx.slowlog.observe(tenant, cql, elapsed) {
+        obs().slow_queries.inc();
+    }
+    match result {
+        Ok(rows) => {
+            let columns = rows.columns().to_vec();
+            let rows = rows
+                .into_rows()
+                .into_iter()
+                .map(|row| row.into_values())
+                .collect();
+            Response::Rows { columns, rows }
+        }
+        Err(e) => {
+            obs().statement_errors.inc();
+            Response::Error {
+                code: error_code(&e),
+                message: scrub_message(&e.to_string(), tenant),
+            }
+        }
+    }
+}

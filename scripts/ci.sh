@@ -40,4 +40,19 @@ echo "$query_out" | grep -q 'absent point lookups beyond the key fences: data bl
     exit 1
 }
 
+echo "==> server smoke (loopback round trip + metrics scrape + drained shutdown)"
+serve_out="$(cargo run --release -p sc-bench --bin repro -- serve --smoke)"
+echo "$serve_out" | grep -q 'server smoke: round-trip ok' || {
+    echo "ci.sh: repro serve --smoke failed its INSERT/SELECT round trip" >&2
+    exit 1
+}
+echo "$serve_out" | grep -q 'server smoke: metrics ok (server_requests present' || {
+    echo "ci.sh: /metrics scrape missing the server_requests series" >&2
+    exit 1
+}
+echo "$serve_out" | grep -q 'server smoke: shutdown ok' || {
+    echo "ci.sh: server did not shut down cleanly" >&2
+    exit 1
+}
+
 echo "ci.sh: all green"

@@ -16,6 +16,8 @@
 //!   bi-directional mapping
 //! * [`stream`] — sharded parallel streaming ingestion (worker pool,
 //!   per-shard micro-cubes, merge)
+//! * [`server`] — the multi-tenant network front door (framed CQL
+//!   protocol, token auth, slow-query log, Prometheus metrics port)
 //! * [`datagen`] — deterministic synthetic smart-city feeds
 //! * [`obs`] — workspace-wide metrics registry, spans and histograms
 //! * [`xml`], [`json`], [`encoding`], [`storage`] — the substrates
@@ -32,6 +34,7 @@ pub use sc_json as json;
 pub use sc_nosql as nosql;
 pub use sc_obs as obs;
 pub use sc_relational as relational;
+pub use sc_server as server;
 pub use sc_storage as storage;
 pub use sc_stream as stream;
 pub use sc_xml as xml;
