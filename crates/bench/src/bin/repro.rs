@@ -416,6 +416,30 @@ fn crashtest(seed: u64, points: usize) {
         "\nevery recovery reproduced exactly the acknowledged writes \
          (in-flight statement allowed to persist): ✓"
     );
+
+    // Concurrent variant: writer sessions share group-commit batches, so
+    // the crash tears multi-session batches mid-write.
+    let conc_points = if points == 0 {
+        None
+    } else {
+        Some(points.min(32))
+    };
+    let start = Instant::now();
+    let report =
+        ct::sweep_concurrent(seed, conc_points).expect("concurrent crash matrix must pass");
+    let elapsed = start.elapsed();
+    println!(
+        "\nconcurrent matrix ({} writer sessions, group commit):",
+        ct::CONCURRENT_WRITERS
+    );
+    println!("crash points tested           {:>8}", report.points_tested);
+    println!("crashes fired                 {:>8}", report.crashes_fired);
+    println!(
+        "lost-ack inserts found durable{:>8}",
+        report.in_flight_survived
+    );
+    println!("elapsed                       {:>7}ms", elapsed.as_millis());
+    println!("\nevery concurrent recovery satisfied acked ⊆ recovered ⊆ acked ∪ in-flight: ✓");
 }
 
 /// Streaming ingestion: the sharded worker pool vs the sequential pipeline.
@@ -685,9 +709,7 @@ fn serve(port: u16, metrics_port: u16, tokens: Vec<(String, String)>, slow_ms: u
         config = config.tenant(tenant, token);
     }
 
-    let db = sc_nosql::OpenOptions::default()
-        .open_shared()
-        .expect("open engine");
+    let db = sc_nosql::SharedDb::open(sc_nosql::OpenOptions::default()).expect("open engine");
     let server = Server::start(config, db).expect("start server");
     header(&format!(
         "repro serve: CQL protocol on {}, metrics on {}",
@@ -762,9 +784,7 @@ fn netbench(clients: usize, rows: usize, out: Option<&str>) {
         "repro netbench: {clients} loopback clients, {rows} rows across 2 tenants"
     ));
     let tenants = ["t1", "t2"];
-    let db = sc_nosql::OpenOptions::default()
-        .open_shared()
-        .expect("open engine");
+    let db = sc_nosql::SharedDb::open(sc_nosql::OpenOptions::default()).expect("open engine");
     let server = Server::start(
         ServerConfig::default()
             .tenant("t1", "tok-t1")
@@ -845,10 +865,7 @@ fn netbench(clients: usize, rows: usize, out: Option<&str>) {
         v
     };
 
-    {
-        let mut engine = server.db().lock().unwrap_or_else(|e| e.into_inner());
-        engine.flush_all().expect("flush before cold pass");
-    }
+    server.db().flush_all().expect("flush before cold pass");
     let cold = run_pass("cold");
     let warm = run_pass("warm");
     let (cold_p50, cold_p99) = (percentile_us(&cold, 0.50), percentile_us(&cold, 0.99));
@@ -859,6 +876,67 @@ fn netbench(clients: usize, rows: usize, out: Option<&str>) {
     );
     println!("  cold (post-flush)  p50 {cold_p50:>6} us   p99 {cold_p99:>6} us");
     println!("  warm (cached)      p50 {warm_p50:>6} us   p99 {warm_p99:>6} us");
+
+    // Contended phase: `clients` writers and `clients` readers at once.
+    // Writers append fresh ids; readers point-SELECT the existing rows.
+    // Under the old coarse engine mutex every reader queued behind every
+    // writer's fsync; with snapshot-isolated reads and group commit the
+    // two populations mostly don't collide.
+    let contended_writes = per_client;
+    let contended_start = Instant::now();
+    let read_lat: std::sync::Mutex<Vec<u64>> = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for client_idx in 0..clients {
+            let token = token_for(client_idx);
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.hello(&token).expect("hello");
+                for i in 0..contended_writes {
+                    let id = 1_000_000 + client_idx * contended_writes + i;
+                    c.query(&format!(
+                        "INSERT INTO bench.readings (id, station, bikes) VALUES ({id}, 'contended {id}', {})",
+                        id % 40
+                    ))
+                    .expect("contended insert");
+                }
+            });
+        }
+        for client_idx in 0..clients {
+            let token = token_for(client_idx);
+            let read_lat = &read_lat;
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.hello(&token).expect("hello");
+                let mut lat = Vec::with_capacity(queries_per_client);
+                for i in 0..queries_per_client {
+                    let id = client_idx * per_client + i;
+                    let t = Instant::now();
+                    let r = c
+                        .query(&format!(
+                            "SELECT station, bikes FROM bench.readings WHERE id = {id}"
+                        ))
+                        .expect("contended point select");
+                    lat.push(t.elapsed().as_micros() as u64);
+                    assert_eq!(r.len(), 1, "contended: point read missed id {id}");
+                }
+                read_lat.lock().unwrap().extend(lat);
+            });
+        }
+    });
+    let contended_elapsed = contended_start.elapsed();
+    let contended_rows = contended_writes * clients;
+    let contended_rows_per_sec = contended_rows as f64 / contended_elapsed.as_secs_f64();
+    let mut contended_reads = read_lat.into_inner().unwrap();
+    contended_reads.sort_unstable();
+    let (cont_p50, cont_p99) = (
+        percentile_us(&contended_reads, 0.50),
+        percentile_us(&contended_reads, 0.99),
+    );
+    println!(
+        "contended ({clients} writers + {clients} readers): \
+         {contended_rows} rows ingested at {contended_rows_per_sec:.0} rows/sec, \
+         reads p50 {cont_p50} us p99 {cont_p99} us"
+    );
     println!(
         "slow queries recorded: {} (threshold {:?})",
         server.slow_queries_recorded(),
@@ -869,7 +947,7 @@ fn netbench(clients: usize, rows: usize, out: Option<&str>) {
 
     if let Some(path) = out {
         let json = format!(
-            "{{\n  \"bench\": \"netbench\",\n  \"pr\": 6,\n  \"config\": {{ \"clients\": {clients}, \"tenants\": {}, \"rows\": {total_rows}, \"queries_per_pass\": {} }},\n  \"ingest\": {{ \"rows\": {total_rows}, \"elapsed_ms\": {}, \"rows_per_sec\": {rows_per_sec:.0} }},\n  \"query_latency_us\": {{\n    \"cold\": {{ \"p50\": {cold_p50}, \"p99\": {cold_p99} }},\n    \"warm\": {{ \"p50\": {warm_p50}, \"p99\": {warm_p99} }}\n  }}\n}}\n",
+            "{{\n  \"bench\": \"netbench\",\n  \"pr\": 7,\n  \"config\": {{ \"clients\": {clients}, \"tenants\": {}, \"rows\": {total_rows}, \"queries_per_pass\": {} }},\n  \"ingest\": {{ \"rows\": {total_rows}, \"elapsed_ms\": {}, \"rows_per_sec\": {rows_per_sec:.0} }},\n  \"query_latency_us\": {{\n    \"cold\": {{ \"p50\": {cold_p50}, \"p99\": {cold_p99} }},\n    \"warm\": {{ \"p50\": {warm_p50}, \"p99\": {warm_p99} }}\n  }},\n  \"contended\": {{ \"writers\": {clients}, \"readers\": {clients}, \"rows\": {contended_rows}, \"rows_per_sec\": {contended_rows_per_sec:.0}, \"read_p50\": {cont_p50}, \"read_p99\": {cont_p99} }}\n}}\n",
             tenants.len(),
             cold.len(),
             ingest_elapsed.as_millis(),

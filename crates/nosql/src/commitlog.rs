@@ -10,7 +10,10 @@
 
 use crate::error::{NosqlError, Result};
 use sc_encoding::{Crc32, Decoder, Encoder};
-use sc_storage::Vfs;
+use sc_storage::{StorageError, Vfs};
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A mutation record as stored in the log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,6 +156,225 @@ impl CommitLog {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------------
+
+/// Cloneable image of a WAL append failure, so one leader's error can be
+/// delivered to every session in its batch. [`StorageError`] itself is not
+/// `Clone` (it can wrap an `io::Error`), so the two cases the crash matrix
+/// distinguishes are preserved exactly and everything else keeps its
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WalError {
+    /// Round-trips [`StorageError::Injected`] losslessly: fault-injection
+    /// tests still see the crash op they armed.
+    Injected { op: u64, file: String },
+    /// Any other failure, flattened to its message.
+    Other(String),
+}
+
+impl WalError {
+    fn of(e: &NosqlError) -> WalError {
+        match e {
+            NosqlError::Storage(StorageError::Injected { op, file }) => WalError::Injected {
+                op: *op,
+                file: file.clone(),
+            },
+            other => WalError::Other(other.to_string()),
+        }
+    }
+
+    pub fn into_nosql(self) -> NosqlError {
+        match self {
+            WalError::Injected { op, file } => {
+                NosqlError::Storage(StorageError::Injected { op, file })
+            }
+            WalError::Other(msg) => NosqlError::Storage(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                msg,
+            ))),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Outcome {
+    result: Option<WalError>,
+    /// Followers still due to read this outcome; the last one removes it.
+    readers_left: usize,
+}
+
+#[derive(Debug)]
+struct GcState {
+    /// Records accumulated for the batch generation `buf_gen`.
+    buf: Vec<LogRecord>,
+    /// Sessions with records in `buf`.
+    waiters: usize,
+    /// Generation currently accepting joiners.
+    buf_gen: u64,
+    /// Highest generation whose append has finished (ok or failed).
+    completed_gen: u64,
+    /// A leader is between taking a batch and publishing its outcome.
+    leader_active: bool,
+    /// Outcomes awaiting follower pickup, keyed by generation.
+    outcomes: HashMap<u64, Outcome>,
+}
+
+/// Group-commit front end over [`CommitLog`]: concurrent sessions' appends
+/// are coalesced into one storage write using a leader/follower protocol.
+///
+/// The first session to find no leader running becomes the leader for the
+/// current batch generation: it may linger `max_delay` to let followers
+/// pile in, then takes the buffer, bumps the generation (late joiners
+/// start the next batch), appends every record in **one** VFS write, and
+/// publishes the shared outcome. Followers just enqueue their records and
+/// wait for their generation to complete. Because a batch is a single
+/// append, a crash preserves a prefix of whole batches: every acked write
+/// is in a completed batch (durable), and an un-acked batch is at worst a
+/// torn tail that replay drops cleanly.
+#[derive(Debug)]
+pub(crate) struct GroupCommitLog {
+    log: CommitLog,
+    state: Mutex<GcState>,
+    cond: Condvar,
+    max_delay: Duration,
+}
+
+impl GroupCommitLog {
+    /// Wraps `log`; `max_delay` is the latency the leader may add while
+    /// waiting for followers (zero = commit immediately, batches still
+    /// form naturally while a leader's append is in flight).
+    pub fn new(log: CommitLog, max_delay: Duration) -> GroupCommitLog {
+        GroupCommitLog {
+            log,
+            // Generation 1 is the first batch; completed_gen starts below
+            // it so no waiter can observe its batch as already done.
+            state: Mutex::new(GcState {
+                buf: Vec::new(),
+                waiters: 0,
+                buf_gen: 1,
+                completed_gen: 0,
+                leader_active: false,
+                outcomes: HashMap::new(),
+            }),
+            cond: Condvar::new(),
+            max_delay,
+        }
+    }
+
+    /// The wrapped log, for replay/repair/size/truncate during recovery
+    /// and flush (single-caller phases).
+    pub fn plain(&self) -> &CommitLog {
+        &self.log
+    }
+
+    /// Durably appends `records` (one session's mutation, possibly a
+    /// multi-record batch statement), sharing the storage write with every
+    /// concurrent session. Returns only after the carrying batch's append
+    /// has completed; on failure every session of the batch gets the same
+    /// error.
+    pub fn append_group(&self, records: Vec<LogRecord>) -> std::result::Result<(), WalError> {
+        let enter = Instant::now();
+        crate::mvcc::perturb(21);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let my_gen = st.buf_gen;
+        st.buf.extend(records);
+        st.waiters += 1;
+        loop {
+            if st.completed_gen >= my_gen {
+                // A leader finished our generation: pick up the outcome.
+                let result = match st.outcomes.get_mut(&my_gen) {
+                    Some(o) => {
+                        o.readers_left -= 1;
+                        let r = o.result.clone();
+                        if o.readers_left == 0 {
+                            st.outcomes.remove(&my_gen);
+                        }
+                        r
+                    }
+                    None => None,
+                };
+                drop(st);
+                let waited = enter.elapsed();
+                crate::mvcc::add_queue_wait(waited);
+                if sc_obs::enabled() {
+                    crate::obs::nosql()
+                        .group_commit_wait_ns
+                        .record_duration(waited);
+                }
+                return match result {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                };
+            }
+            if !st.leader_active && st.buf_gen == my_gen {
+                return self.lead(st, my_gen, enter);
+            }
+            crate::mvcc::perturb(22);
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn lead(
+        &self,
+        mut st: std::sync::MutexGuard<'_, GcState>,
+        my_gen: u64,
+        enter: Instant,
+    ) -> std::result::Result<(), WalError> {
+        st.leader_active = true;
+        if !self.max_delay.is_zero() && st.waiters == 1 {
+            // Alone so far: linger briefly so concurrent sessions can join
+            // this batch. The wait is deliberate queueing, not execution.
+            let delay_start = Instant::now();
+            let (s, _) = self
+                .cond
+                .wait_timeout(st, self.max_delay)
+                .unwrap_or_else(|e| e.into_inner());
+            st = s;
+            crate::mvcc::add_queue_wait(delay_start.elapsed());
+        }
+        let batch = std::mem::take(&mut st.buf);
+        let batch_waiters = std::mem::take(&mut st.waiters);
+        // Late joiners from here on belong to the next generation.
+        st.buf_gen += 1;
+        drop(st);
+
+        crate::mvcc::perturb(23);
+        let result = self
+            .log
+            .append_batch(&batch)
+            .err()
+            .map(|e| WalError::of(&e));
+        if sc_obs::enabled() {
+            let o = crate::obs::nosql();
+            o.group_commit_batches.inc();
+            o.group_commit_records.add(batch.len() as u64);
+            o.group_commit_records_per_batch.record(batch.len() as u64);
+            o.group_commit_wait_ns.record_duration(enter.elapsed());
+        }
+
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.completed_gen = my_gen;
+        if batch_waiters > 1 {
+            st.outcomes.insert(
+                my_gen,
+                Outcome {
+                    result: result.clone(),
+                    readers_left: batch_waiters - 1,
+                },
+            );
+        }
+        st.leader_active = false;
+        drop(st);
+        self.cond.notify_all();
+        match result {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +454,61 @@ mod tests {
         log.truncate().unwrap();
         assert_eq!(log.size(), 0);
         assert!(log.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn group_commit_single_caller_appends_immediately() {
+        let vfs = Vfs::memory();
+        let gc = GroupCommitLog::new(CommitLog::open(vfs, "log"), Duration::ZERO);
+        gc.append_group(vec![rec(1)]).unwrap();
+        gc.append_group(vec![rec(2), rec(3)]).unwrap();
+        assert_eq!(gc.plain().replay().unwrap(), vec![rec(1), rec(2), rec(3)]);
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_sessions() {
+        let vfs = Vfs::memory();
+        let gc = std::sync::Arc::new(GroupCommitLog::new(
+            CommitLog::open(vfs, "log"),
+            Duration::from_millis(2),
+        ));
+        let threads: Vec<_> = (0..8u8)
+            .map(|i| {
+                let gc = std::sync::Arc::clone(&gc);
+                std::thread::spawn(move || gc.append_group(vec![rec(i + 1)]).unwrap())
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut replayed = gc.plain().replay().unwrap();
+        replayed.sort_by_key(|r| r.timestamp);
+        assert_eq!(replayed, (1..=8).map(rec).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_commit_failure_reaches_every_waiter() {
+        // Crash on the first mutating operation: every session's append
+        // fails, and the error stays an injected-crash error end to end.
+        let (vfs, faults) = Vfs::with_faults(Vfs::memory(), 7);
+        faults.crash_at(0);
+        let gc = std::sync::Arc::new(GroupCommitLog::new(
+            CommitLog::open(vfs, "log"),
+            Duration::from_millis(2),
+        ));
+        let threads: Vec<_> = (0..4u8)
+            .map(|i| {
+                let gc = std::sync::Arc::clone(&gc);
+                std::thread::spawn(move || gc.append_group(vec![rec(i + 1)]))
+            })
+            .collect();
+        for t in threads {
+            let err = t.join().unwrap().unwrap_err();
+            assert!(
+                matches!(err, WalError::Injected { .. }),
+                "expected injected-crash error, got {err:?}"
+            );
+        }
     }
 
     #[test]

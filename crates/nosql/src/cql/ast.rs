@@ -2,13 +2,22 @@
 
 use crate::types::{CqlType, CqlValue};
 
-/// A fully-qualified table reference.
+/// A table reference. `keyspace` is empty for an unqualified reference
+/// (`FROM t`), which a [`crate::Session`] resolves against its current
+/// `USE` keyspace before execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableRef {
-    /// Keyspace name.
+    /// Keyspace name; empty when the statement left the table unqualified.
     pub keyspace: String,
     /// Table name.
     pub table: String,
+}
+
+impl TableRef {
+    /// Whether the reference names its keyspace explicitly.
+    pub fn is_qualified(&self) -> bool {
+        !self.keyspace.is_empty()
+    }
 }
 
 /// A row filter: `WHERE <column> = <value>` or
@@ -153,6 +162,13 @@ pub enum Statement {
         /// The batched statements.
         statements: Vec<Statement>,
     },
+    /// `USE keyspace` — sets a session's default keyspace for resolving
+    /// unqualified table references. Only meaningful on a
+    /// [`crate::Session`]; the bare engine rejects it.
+    Use {
+        /// Keyspace name.
+        keyspace: String,
+    },
 }
 
 impl Statement {
@@ -253,6 +269,65 @@ impl Statement {
                 s.push_str("APPLY BATCH");
                 s
             }
+            Statement::Use { keyspace } => format!("USE {keyspace}"),
         }
+    }
+
+    /// Every table reference in the statement (recursing into batches).
+    pub fn table_refs(&self) -> Vec<&TableRef> {
+        let mut refs = Vec::new();
+        self.collect_refs(&mut refs);
+        refs
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<&'a TableRef>) {
+        match self {
+            Statement::CreateKeyspace { .. } | Statement::Use { .. } => {}
+            Statement::CreateTable { table, .. }
+            | Statement::CreateIndex { table, .. }
+            | Statement::Insert { table, .. }
+            | Statement::Select { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. }
+            | Statement::Truncate { table } => out.push(table),
+            Statement::Batch { statements } => {
+                for st in statements {
+                    st.collect_refs(out);
+                }
+            }
+        }
+    }
+
+    /// Returns a copy with every unqualified table reference resolved
+    /// against `keyspace`. Qualified references are left untouched.
+    pub fn with_default_keyspace(&self, keyspace: &str) -> Statement {
+        let fix = |t: &TableRef| -> TableRef {
+            if t.is_qualified() {
+                t.clone()
+            } else {
+                TableRef {
+                    keyspace: keyspace.to_string(),
+                    table: t.table.clone(),
+                }
+            }
+        };
+        let mut stmt = self.clone();
+        match &mut stmt {
+            Statement::CreateKeyspace { .. } | Statement::Use { .. } => {}
+            Statement::CreateTable { table, .. }
+            | Statement::CreateIndex { table, .. }
+            | Statement::Insert { table, .. }
+            | Statement::Select { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. }
+            | Statement::Truncate { table } => *table = fix(table),
+            Statement::Batch { statements } => {
+                *statements = statements
+                    .iter()
+                    .map(|st| st.with_default_keyspace(keyspace))
+                    .collect();
+            }
+        }
+        stmt
     }
 }

@@ -99,9 +99,11 @@ impl Parser {
                 table,
             })
         } else {
-            Err(NosqlError::Parse(format!(
-                "table references must be qualified as keyspace.table (got {first:?})"
-            )))
+            // Unqualified: a session resolves the keyspace via USE.
+            Ok(TableRef {
+                keyspace: String::new(),
+                table: first,
+            })
         }
     }
 
@@ -244,6 +246,10 @@ impl Parser {
         if self.eat_keyword("truncate") {
             let table = self.table_ref()?;
             return Ok(Statement::Truncate { table });
+        }
+        if self.eat_keyword("use") {
+            let keyspace = self.ident()?;
+            return Ok(Statement::Use { keyspace });
         }
         if self.eat_keyword("begin") {
             self.expect_keyword("batch")?;
@@ -569,9 +575,8 @@ mod tests {
         for bad in [
             "",
             "SELECT",
-            "INSERT INTO t (id) VALUES (1)", // unqualified table
             "INSERT INTO ks.t (id, key) VALUES (1)", // arity mismatch
-            "CREATE TABLE ks.t (id int)",    // no primary key
+            "CREATE TABLE ks.t (id int)",            // no primary key
             "CREATE TABLE ks.t (id int, PRIMARY KEY (id), PRIMARY KEY (id))",
             "DELETE FROM ks.t", // no WHERE
             "SELECT * FROM ks.t LIMIT -1",
@@ -581,5 +586,51 @@ mod tests {
         ] {
             assert!(parse_statement(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn use_statement_and_unqualified_refs() {
+        let stmt = parse_statement("USE smartcity").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Use {
+                keyspace: "smartcity".into()
+            }
+        );
+        assert_eq!(stmt.to_cql(), "USE smartcity");
+
+        // Unqualified references parse with an empty keyspace...
+        let stmt = parse_statement("SELECT * FROM t WHERE id = 1").unwrap();
+        match &stmt {
+            Statement::Select { table, .. } => {
+                assert!(!table.is_qualified());
+                assert_eq!(table.table, "t");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // ...and resolve against a default keyspace.
+        let resolved = stmt.with_default_keyspace("ks");
+        match &resolved {
+            Statement::Select { table, .. } => {
+                assert_eq!(table.keyspace, "ks");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Already-qualified references are untouched.
+        let qualified = parse_statement("SELECT * FROM other.t").unwrap();
+        assert_eq!(qualified.with_default_keyspace("ks"), qualified);
+        // Batches resolve recursively.
+        let batch = parse_statement(
+            "BEGIN BATCH INSERT INTO t (id) VALUES (1); \
+             INSERT INTO ks2.t (id) VALUES (2); APPLY BATCH",
+        )
+        .unwrap();
+        let refs: Vec<String> = batch
+            .with_default_keyspace("ks")
+            .table_refs()
+            .iter()
+            .map(|r| r.keyspace.clone())
+            .collect();
+        assert_eq!(refs, vec!["ks", "ks2"]);
     }
 }

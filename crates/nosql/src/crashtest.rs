@@ -17,11 +17,12 @@
 //! [`sweep`] runs the whole matrix; `repro crashtest` exposes it on the
 //! command line.
 
-use crate::engine::{Db, OpenOptions};
+use crate::engine::{Db, OpenOptions, SharedDb};
 use crate::error::{NosqlError, Result};
 use sc_encoding::Rng;
 use sc_storage::{StorageError, Vfs};
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// Statements per workload run (tuned so a run performs well over 100
 /// mutating storage ops at the tiny flush threshold the harness uses).
@@ -339,6 +340,256 @@ pub fn sweep(seed: u64, limit: Option<usize>) -> Result<CrashReport> {
     Ok(report)
 }
 
+// ---------------------------------------------------------------------------
+// Concurrent variant: writer sessions crashing mid-group-commit
+// ---------------------------------------------------------------------------
+
+/// Writer sessions racing in one concurrent crash cell.
+pub const CONCURRENT_WRITERS: usize = 4;
+
+/// Inserts each writer session attempts.
+const WRITES_PER_WRITER: usize = 24;
+
+/// A non-zero linger makes leaders wait for followers, so crash points
+/// reliably land inside multi-session group-commit batches.
+fn concurrent_open(vfs: Vfs) -> OpenOptions {
+    tiny_open(vfs).group_commit_delay(Duration::from_micros(150))
+}
+
+struct ConcurrentRun {
+    /// Acknowledged inserts, across all writer sessions (disjoint id
+    /// ranges, so the union is well-defined).
+    acked: BTreeMap<i64, String>,
+    /// Inserts whose ack the crash swallowed. A torn multi-frame batch may
+    /// leave *several* of these durable: the torn prefix can contain any
+    /// number of complete frames from the batch the crash interrupted.
+    in_flight: BTreeMap<i64, String>,
+    /// Whether both DDL statements were acknowledged.
+    ddl_acked: bool,
+}
+
+/// Runs the concurrent workload: DDL, then [`CONCURRENT_WRITERS`] writer
+/// sessions inserting disjoint id ranges until completion or the first
+/// injected failure. The fault VFS fails every mutating op after the crash
+/// point, so each writer stops deterministically at its first error.
+fn drive_concurrent(db: &SharedDb, seed: u64) -> Result<ConcurrentRun> {
+    let mut run = ConcurrentRun {
+        acked: BTreeMap::new(),
+        in_flight: BTreeMap::new(),
+        ddl_acked: false,
+    };
+    for ddl in [
+        "CREATE KEYSPACE m",
+        "CREATE TABLE m.t (id int, v text, PRIMARY KEY (id))",
+    ] {
+        match db.execute_cql(ddl) {
+            Ok(_) => {}
+            Err(e) if is_injected(&e) => return Ok(run),
+            Err(e) => return Err(e),
+        }
+    }
+    run.ddl_acked = true;
+    let results: Vec<Result<(Vec<(i64, String)>, Option<(i64, String)>)>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CONCURRENT_WRITERS)
+                .map(|w| {
+                    s.spawn(move || {
+                        let mut session = db.session();
+                        session.execute_cql("USE m")?;
+                        let mut acked = Vec::new();
+                        for i in 0..WRITES_PER_WRITER {
+                            let id = (w * WRITES_PER_WRITER + i) as i64;
+                            let v = format!("s{seed}w{w}i{i}");
+                            match session
+                                .execute_cql(&format!("INSERT INTO t (id, v) VALUES ({id}, '{v}')"))
+                            {
+                                Ok(_) => acked.push((id, v)),
+                                Err(e) if is_injected(&e) => {
+                                    // Lost ack: the frame may sit in the
+                                    // torn batch's durable prefix.
+                                    return Ok((acked, Some((id, v))));
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        Ok((acked, None))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("writer session panicked"))
+                .collect()
+        });
+    for result in results {
+        let (acked, in_flight) = result?;
+        run.acked.extend(acked);
+        run.in_flight.extend(in_flight);
+    }
+    Ok(run)
+}
+
+/// Asserts `acked ⊆ recovered ⊆ acked ∪ in-flight`, values included.
+/// Returns how many lost-ack inserts turned out durable.
+fn check_concurrent(
+    recovered: &Option<BTreeMap<i64, String>>,
+    run: &ConcurrentRun,
+    context: &str,
+) -> Result<usize> {
+    let Some(state) = recovered else {
+        if run.acked.is_empty() && !run.ddl_acked {
+            return Ok(0);
+        }
+        return Err(NosqlError::Corrupt(format!(
+            "{context}: table lost despite acknowledged statements"
+        )));
+    };
+    for (id, v) in &run.acked {
+        match state.get(id) {
+            Some(got) if got == v => {}
+            Some(got) => {
+                return Err(NosqlError::Corrupt(format!(
+                    "{context}: acked insert id {id} recovered wrong value {got:?} (want {v:?})"
+                )))
+            }
+            None => {
+                return Err(NosqlError::Corrupt(format!(
+                    "{context}: acked insert id {id} lost"
+                )))
+            }
+        }
+    }
+    let mut survived = 0;
+    for (id, got) in state {
+        if run.acked.contains_key(id) {
+            continue;
+        }
+        match run.in_flight.get(id) {
+            Some(v) if v == got => survived += 1,
+            _ => {
+                return Err(NosqlError::Corrupt(format!(
+                    "{context}: phantom row id {id} = {got:?} was never acked nor in flight"
+                )))
+            }
+        }
+    }
+    Ok(survived)
+}
+
+/// What one concurrent crash cell observed.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentOutcome {
+    /// Whether the armed crash actually fired.
+    pub fired: bool,
+    /// Acknowledged inserts across all writer sessions.
+    pub acked: usize,
+    /// Lost-ack inserts that turned out durable.
+    pub in_flight_survived: usize,
+}
+
+/// One cell of the concurrent matrix: [`CONCURRENT_WRITERS`] writer
+/// sessions race over a fault VFS armed to crash at mutating-op index
+/// `crash_at` — with group commit coalescing their appends, the crash
+/// typically tears a multi-session batch. After recovery the state must
+/// satisfy `acked ⊆ recovered ⊆ acked ∪ in-flight` exactly, a post-recovery
+/// flush + compaction must not change it, and a second recovery must
+/// reproduce it.
+pub fn run_concurrent_point(seed: u64, crash_at: u64) -> Result<ConcurrentOutcome> {
+    let fault_seed = seed ^ crash_at.wrapping_mul(0x6a09_e667_f3bc_c909);
+    let (vfs, handle) = Vfs::with_faults(Vfs::memory(), fault_seed);
+    handle.crash_at(crash_at);
+    let run = match SharedDb::open(concurrent_open(vfs.clone())) {
+        Ok(db) => drive_concurrent(&db, seed)?,
+        Err(e) if is_injected(&e) => ConcurrentRun {
+            acked: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
+            ddl_acked: false,
+        },
+        Err(e) => return Err(e),
+    };
+    let fired = handle.crashed_at().is_some();
+    handle.disarm();
+
+    let mut db = Db::open(tiny_open(vfs.clone()).recover(true))?;
+    let recovered = read_state(&mut db)?;
+    let in_flight_survived = check_concurrent(&recovered, &run, "after recovery")?;
+    if recovered.is_some() {
+        db.flush_all()?;
+        db.compact_all()?;
+        if read_state(&mut db)? != recovered {
+            return Err(NosqlError::Corrupt(
+                "flush+compact changed the recovered state".into(),
+            ));
+        }
+    }
+    drop(db);
+
+    let mut db = Db::open(tiny_open(vfs).recover(true))?;
+    if read_state(&mut db)? != recovered {
+        return Err(NosqlError::Corrupt("second recovery diverged".into()));
+    }
+    Ok(ConcurrentOutcome {
+        fired,
+        acked: run.acked.len(),
+        in_flight_survived,
+    })
+}
+
+/// Mutating storage ops a full uninjected concurrent run performs. Thread
+/// scheduling makes the count approximate across runs (batch boundaries and
+/// flush timing shift with the interleaving) — crash points past a given
+/// run's actual count simply never fire.
+pub fn concurrent_total_ops(seed: u64) -> Result<u64> {
+    let (vfs, handle) = Vfs::with_faults(Vfs::memory(), seed);
+    let db = SharedDb::open(concurrent_open(vfs))?;
+    drive_concurrent(&db, seed)?;
+    Ok(handle.ops())
+}
+
+/// Concurrent sweep summary.
+#[derive(Debug, Clone)]
+pub struct ConcurrentReport {
+    /// Workload seed.
+    pub seed: u64,
+    /// Mutating ops the uninjected calibration run performed.
+    pub total_ops: u64,
+    /// Distinct crash points exercised.
+    pub points_tested: usize,
+    /// Points where the armed crash actually fired.
+    pub crashes_fired: usize,
+    /// Lost-ack inserts that turned out durable, summed over all cells.
+    pub in_flight_survived: usize,
+}
+
+/// Runs the concurrent crash matrix: `limit` crash indices evenly spaced
+/// across the calibration run's op count (every index when `None`). Unlike
+/// the single-threaded matrix, an op index does not map to a fixed
+/// statement — scheduling decides which sessions share the batch that
+/// tears — but every interleaving must satisfy the acked-write oracle.
+pub fn sweep_concurrent(seed: u64, limit: Option<usize>) -> Result<ConcurrentReport> {
+    let total = concurrent_total_ops(seed)?;
+    let points: Vec<u64> = match limit {
+        Some(n) if (n as u64) < total => (0..n as u64).map(|i| i * total / n as u64).collect(),
+        _ => (0..total).collect(),
+    };
+    let mut report = ConcurrentReport {
+        seed,
+        total_ops: total,
+        points_tested: points.len(),
+        crashes_fired: 0,
+        in_flight_survived: 0,
+    };
+    for &point in &points {
+        let outcome = run_concurrent_point(seed, point)
+            .map_err(|e| NosqlError::Corrupt(format!("concurrent crash point {point}: {e}")))?;
+        if outcome.fired {
+            report.crashes_fired += 1;
+        }
+        report.in_flight_survived += outcome.in_flight_survived;
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,5 +636,26 @@ mod tests {
         let outcome = run_point(3, total + 10).unwrap();
         assert!(!outcome.fired);
         assert!(!outcome.in_flight_survived);
+    }
+
+    #[test]
+    fn concurrent_cells_pass_early_mid_late() {
+        // The fuller concurrent sweep runs in tests/crash_matrix.rs; smoke
+        // a few cells here, including a DDL-time crash (point 0) and an
+        // uninjected run (point far past the op count).
+        let total = concurrent_total_ops(4).unwrap();
+        assert!(total >= 20, "concurrent workload too small: {total} ops");
+        for point in [0, 2, total / 2, total - 2, total + 100] {
+            run_concurrent_point(4, point).unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_uninjected_run_acks_every_insert() {
+        let total = concurrent_total_ops(5).unwrap();
+        let outcome = run_concurrent_point(5, total + 50).unwrap();
+        assert!(!outcome.fired);
+        assert_eq!(outcome.acked, CONCURRENT_WRITERS * WRITES_PER_WRITER);
+        assert_eq!(outcome.in_flight_survived, 0);
     }
 }

@@ -1,29 +1,48 @@
 //! The database engine: catalog + table runtimes + write/read paths.
+//!
+//! # Concurrency model (see DESIGN.md §5g)
+//!
+//! The engine core ([`DbCore`]) is `Send + Sync` and shared by every
+//! session through an `Arc` — there is no global statement mutex.
+//!
+//! - **Reads** never block writers. A `SELECT` pins the MVCC watermark
+//!   ([`crate::mvcc::ReadPin`]) and resolves each key to the newest
+//!   version at or below that bound, across memtable shards, the frozen
+//!   flush run, and immutable SSTables (probed under a read guard so
+//!   compaction can never delete a file mid-lookup). Concurrent writers
+//!   can never tear a read: versions above the pin are invisible.
+//! - **Writes** append to the group-commit WAL
+//!   ([`crate::commitlog::GroupCommitLog`]) — concurrent sessions share
+//!   one fsync via a leader/follower protocol — then insert into the
+//!   FNV-sharded memtable under per-shard mutexes.
+//! - **Read-modify-write statements** (UPDATE, and any write to a table
+//!   with secondary indexes) serialize on a per-table RMW mutex so the
+//!   read half always observes the previous RMW's write.
+//! - **DDL and TRUNCATE** take the engine state's write lock, which also
+//!   guarantees `flush_all` sees no in-flight statements.
+//!
+//! Lock order (outermost first): engine state → per-table RMW → WAL
+//! group → per-table maintenance → memtable shard / SSTable list.
 
 use crate::cache::{BlockCache, CacheStats, DEFAULT_BLOCK_CACHE_BYTES};
-use crate::commitlog::CommitLog;
+use crate::commitlog::{CommitLog, GroupCommitLog, LogRecord, WalError};
 use crate::cql::ast::{SelectColumns, Statement, TableRef, WhereClause};
 use crate::cql::parse_statement;
 use crate::error::{NosqlError, Result};
 use crate::manifest::{Manifest, ManifestEdit};
+use crate::mvcc::{ReadPin, SeqGuard, SeqTracker, SnapshotRegistry};
 use crate::result::QueryResult;
 use crate::row::Row;
 use crate::schema::{Catalog, ColumnDef, TableDef};
-use crate::table::{TableOptions, TableRuntime};
+use crate::session::Session;
+use crate::snapshot::Snapshot;
+use crate::table::{TableCore, TableOptions};
 use crate::types::{CqlType, CqlValue};
 use sc_encoding::ByteSize;
 use sc_storage::Vfs;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::{Arc, Mutex};
-
-/// A thread-shared engine handle: one coarse mutex over the whole engine.
-///
-/// This is the unit `sc-server` sessions serialize on — every network
-/// session clones the `Arc` and locks around each statement. Reads and
-/// writes are fully serialized for now; lock-free snapshot reads (MVCC)
-/// are the roadmap's next engine milestone and will replace this alias
-/// without changing callers' cloning pattern.
-pub type SharedDb = Arc<Mutex<Db>>;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 
 /// Engine construction options (legacy shape, kept for the deprecated
 /// constructors; new code uses [`OpenOptions`]).
@@ -33,7 +52,7 @@ pub struct DbOptions {
     pub table: TableOptions,
 }
 
-/// Builder for [`Db::open`], the single way to construct an engine.
+/// Builder for [`Db::open`] / [`SharedDb::open`].
 ///
 /// ```
 /// use sc_nosql::{Db, OpenOptions};
@@ -55,11 +74,12 @@ pub struct OpenOptions {
     recover: bool,
     table: TableOptions,
     block_cache_bytes: Option<usize>,
+    group_commit_delay: Duration,
 }
 
 impl OpenOptions {
     /// Starts from the defaults: fresh in-memory VFS, no recovery, default
-    /// flush/compaction tuning.
+    /// flush/compaction tuning, zero group-commit delay.
     pub fn new() -> OpenOptions {
         OpenOptions::default()
     }
@@ -103,49 +123,91 @@ impl OpenOptions {
         self
     }
 
+    /// How long a group-commit leader lingers for followers to join its
+    /// WAL batch when it would otherwise commit alone. Zero (the default)
+    /// commits immediately — concurrent sessions still coalesce, because
+    /// whoever arrives while a leader's write is in flight joins the next
+    /// batch. A small delay (tens of microseconds) trades single-session
+    /// latency for larger batches under contention.
+    pub fn group_commit_delay(mut self, delay: Duration) -> OpenOptions {
+        self.group_commit_delay = delay;
+        self
+    }
+
     /// Builds the engine; sugar for [`Db::open`].
     pub fn open(self) -> Result<Db> {
         Db::open(self)
     }
 
-    /// Builds the engine and wraps it in a [`SharedDb`] handle; sugar for
-    /// `Db::open(..).map(Db::into_shared)`.
+    /// Builds the engine behind a [`SharedDb`] handle.
+    #[deprecated(note = "use `SharedDb::open(options)`")]
     pub fn open_shared(self) -> Result<SharedDb> {
-        Db::open(self).map(Db::into_shared)
+        SharedDb::open(self)
     }
-}
-
-/// An embedded Cassandra-like database.
-#[derive(Debug)]
-pub struct Db {
-    vfs: Vfs,
-    manifest: Manifest,
-    catalog: Catalog,
-    tables: HashMap<String, TableRuntime>,
-    log: CommitLog,
-    clock: u64,
-    options: DbOptions,
-    /// Shared across every table's SSTables; see [`BlockCache`].
-    cache: BlockCache,
 }
 
 const SCHEMA_LOG: &str = "schema.log";
 const COMMIT_LOG: &str = "commitlog";
 
-impl Db {
-    /// Opens an engine per `options`. Without `.recover(true)` the VFS is
-    /// assumed empty; with it, the on-disk state is replayed and repaired.
-    pub fn open(options: OpenOptions) -> Result<Db> {
+/// Estimated memtable overhead per version beyond key and body bytes.
+const VERSION_COST: usize = 48;
+
+/// Catalog + table runtimes, swapped atomically under one lock. DML and
+/// SELECT hold the read side; DDL, TRUNCATE and `flush_all` the write
+/// side.
+#[derive(Debug)]
+struct EngineState {
+    catalog: Catalog,
+    tables: HashMap<String, Arc<TableCore>>,
+}
+
+impl EngineState {
+    fn core(&self, qualified: &str) -> &Arc<TableCore> {
+        self.tables
+            .get(qualified)
+            .expect("runtime exists for cataloged table")
+    }
+}
+
+/// One pending row mutation, bound for the WAL and a memtable.
+struct PendingWrite {
+    table: Arc<TableCore>,
+    qualified: String,
+    key: Vec<u8>,
+    /// `None` writes a tombstone.
+    row: Option<Row>,
+}
+
+/// The engine core shared by every [`Db`], [`SharedDb`], [`Session`] and
+/// [`Snapshot`] handle. All methods take `&self`.
+#[derive(Debug)]
+pub(crate) struct DbCore {
+    vfs: Vfs,
+    manifest: Manifest,
+    state: RwLock<EngineState>,
+    wal: GroupCommitLog,
+    pub(crate) tracker: SeqTracker,
+    pub(crate) registry: SnapshotRegistry,
+    options: DbOptions,
+    /// Shared across every table's SSTables; see [`BlockCache`].
+    cache: BlockCache,
+}
+
+impl DbCore {
+    fn open(options: OpenOptions) -> Result<DbCore> {
         let vfs = options.vfs.unwrap_or_else(Vfs::memory);
         let manifest = Manifest::open(vfs.clone());
         let log = CommitLog::open(vfs.clone(), COMMIT_LOG);
-        let mut db = Db {
+        let core = DbCore {
             vfs,
             manifest,
-            catalog: Catalog::new(),
-            tables: HashMap::new(),
-            log,
-            clock: 0,
+            state: RwLock::new(EngineState {
+                catalog: Catalog::new(),
+                tables: HashMap::new(),
+            }),
+            wal: GroupCommitLog::new(log, options.group_commit_delay),
+            tracker: SeqTracker::new(),
+            registry: SnapshotRegistry::new(),
             options: DbOptions {
                 table: options.table,
             },
@@ -156,78 +218,79 @@ impl Db {
             ),
         };
         if options.recover {
-            db.recover_state()?;
+            core.recover_state()?;
         }
         // Mark the disk as manifest-managed from the very first open, so a
         // crash during the first flush can never be mistaken for a
         // pre-manifest layout.
-        db.manifest.ensure_exists()?;
-        Ok(db)
+        core.manifest.ensure_exists()?;
+        Ok(core)
     }
 
-    /// Creates an engine over an in-memory VFS (tests, benchmarks).
-    #[deprecated(note = "use `Db::open(OpenOptions::default())`")]
-    pub fn in_memory() -> Db {
-        Db::open(OpenOptions::default()).expect("opening a fresh in-memory engine cannot fail")
+    fn read_state(&self) -> RwLockReadGuard<'_, EngineState> {
+        self.state.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Creates an engine over an explicit VFS.
-    #[deprecated(note = "use `Db::open(OpenOptions::default().vfs(vfs))`")]
-    pub fn with_options(vfs: Vfs, options: DbOptions) -> Db {
-        Db::open(OpenOptions::default().vfs(vfs).table_options(options.table))
-            .expect("opening without recovery cannot fail")
-    }
-
-    /// Reopens an engine from an existing VFS.
-    #[deprecated(note = "use `Db::open(OpenOptions::default().vfs(vfs).recover(true))`")]
-    pub fn recover(vfs: Vfs, options: DbOptions) -> Result<Db> {
-        Db::open(
-            OpenOptions::default()
-                .vfs(vfs)
-                .table_options(options.table)
-                .recover(true),
-        )
+    fn write_state(&self) -> RwLockWriteGuard<'_, EngineState> {
+        self.state.write().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Crash recovery: rebuild catalog and runtimes from the journals,
     /// repairing every torn tail and sweeping unpublished files, so that the
-    /// reopened engine contains exactly the acknowledged writes.
-    fn recover_state(&mut self) -> Result<()> {
+    /// reopened engine contains exactly the acknowledged writes (plus,
+    /// possibly, the one in-flight write the crash interrupted after its
+    /// WAL frame became durable).
+    fn recover_state(&self) -> Result<()> {
         let _span = crate::obs::nosql().recovery.start();
-        self.replay_schema_journal()?;
+        let mut state = self.write_state();
+        self.replay_schema_journal(&mut state)?;
         // Disks written before the manifest existed have SSTables but no
         // MANIFEST: adopt them in name order and publish that as the first
         // manifest record.
         if !self.manifest.exists() {
-            self.adopt_legacy_sstables()?;
+            self.adopt_legacy_sstables(&state)?;
         }
         let live = self.manifest.repair()?;
         for (qualified, files) in &live {
-            if let Some(rt) = self.tables.get_mut(qualified) {
+            if let Some(table) = state.tables.get(qualified) {
                 // Manifest order is age order — not name order, because a
                 // tiered merge's output sits mid-sequence in age.
                 for file in files {
-                    rt.attach_sstable(file)?;
+                    table.attach_sstable(file)?;
                 }
             }
         }
         self.sweep_orphans(&live)?;
         // Replay surviving commit-log records; `repair` truncates a torn
         // final record so later appends stay reachable.
-        let records = self.log.repair()?;
+        let records = self.wal.plain().repair()?;
         if sc_obs::enabled() {
             crate::obs::nosql()
                 .replayed_records
                 .add(records.len() as u64);
         }
-        let mut max_ts = 0;
+        let mut max_seq = 0;
         for record in records {
-            max_ts = max_ts.max(record.timestamp);
-            if let Some(rt) = self.tables.get_mut(&record.table) {
-                rt.apply_log_record(record)?;
+            max_seq = max_seq.max(record.timestamp);
+            if let Some(table) = state.tables.get(&record.table) {
+                let row = if record.body.is_empty() {
+                    None
+                } else {
+                    let mut dec = sc_encoding::Decoder::new(&record.body);
+                    Some(Row::decode(&mut dec)?.0)
+                };
+                let cost = record.key.len() + record.body.len() + VERSION_COST;
+                table.apply(record.key, row, record.timestamp, cost, 0);
             }
         }
-        self.clock = max_ts + 1;
+        // The sequence floor must clear everything durable — WAL *and*
+        // SSTables (the WAL may have been truncated after a flush). Reads
+        // compare sequences, so a fresh write allocated below an on-disk
+        // sequence would be invisibly shadowed.
+        for table in state.tables.values() {
+            max_seq = max_seq.max(table.max_disk_seq()?);
+        }
+        self.tracker.set_floor(max_seq);
         Ok(())
     }
 
@@ -235,7 +298,7 @@ impl Db {
     /// crash mid-append leaves a trailing segment without a terminating
     /// newline, which is truncated away. A *complete* line that fails to
     /// parse is genuine corruption and still errors.
-    fn replay_schema_journal(&mut self) -> Result<()> {
+    fn replay_schema_journal(&self, state: &mut EngineState) -> Result<()> {
         let data = match self.vfs.read_all(SCHEMA_LOG) {
             Ok(d) => d,
             Err(sc_storage::StorageError::NotFound(_)) => return Ok(()),
@@ -249,20 +312,17 @@ impl Db {
             .map_err(|_| NosqlError::Corrupt("schema journal is not UTF-8".into()))?;
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             let stmt = parse_statement(line)?;
-            self.apply_ddl(&stmt, false)?;
+            self.apply_ddl(state, &stmt, false)?;
         }
         Ok(())
     }
 
     /// Adopts pre-manifest SSTables (best available order: file name).
-    fn adopt_legacy_sstables(&mut self) -> Result<()> {
+    fn adopt_legacy_sstables(&self, state: &EngineState) -> Result<()> {
         let mut edit = ManifestEdit::default();
-        let qualified_names: Vec<String> = self.tables.keys().cloned().collect();
-        for qualified in qualified_names {
-            let prefix = {
-                let def = self.tables[&qualified].def();
-                format!("{}/{}/sst-", def.keyspace, def.name)
-            };
+        for (qualified, table) in &state.tables {
+            let def = table.def();
+            let prefix = format!("{}/{}/sst-", def.keyspace, def.name);
             for file in self.vfs.list(&prefix)? {
                 edit.adds.push((qualified.clone(), file));
             }
@@ -274,7 +334,7 @@ impl Db {
     /// Deletes SSTable files the manifest does not consider live: leftovers
     /// of flushes/compactions that crashed between writing data and
     /// publishing it, or after publishing a swap but before deleting inputs.
-    fn sweep_orphans(&mut self, live: &BTreeMap<String, Vec<String>>) -> Result<()> {
+    fn sweep_orphans(&self, live: &BTreeMap<String, Vec<String>>) -> Result<()> {
         let live_files: HashSet<&str> = live.values().flatten().map(String::as_str).collect();
         for file in self.vfs.list("")? {
             if file.contains("/sst-") && !live_files.contains(file.as_str()) {
@@ -284,30 +344,39 @@ impl Db {
         Ok(())
     }
 
-    fn next_ts(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+    pub(crate) fn has_keyspace(&self, name: &str) -> bool {
+        self.read_state().catalog.has_keyspace(name)
     }
 
-    /// The schema catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    fn catalog_snapshot(&self) -> Catalog {
+        self.read_state().catalog.clone()
     }
 
-    /// Parses and executes one CQL statement.
-    pub fn execute_cql(&mut self, cql: &str) -> Result<QueryResult> {
-        let stmt = parse_statement(cql)?;
-        self.execute(&stmt)
+    /// Rejects statements whose table references never got a keyspace —
+    /// only a [`Session`] with a `USE` keyspace can resolve those.
+    fn check_qualified(stmt: &Statement) -> Result<()> {
+        for r in stmt.table_refs() {
+            if !r.is_qualified() {
+                return Err(NosqlError::Parse(format!(
+                    "unqualified table {:?} requires a session keyspace (USE)",
+                    r.table
+                )));
+            }
+        }
+        Ok(())
     }
 
-    /// Executes a pre-parsed statement (the "prepared" fast path the bulk
-    /// loader uses).
-    pub fn execute(&mut self, stmt: &Statement) -> Result<QueryResult> {
+    pub(crate) fn execute(&self, stmt: &Statement) -> Result<QueryResult> {
+        Self::check_qualified(stmt)?;
         match stmt {
+            Statement::Use { .. } => Err(NosqlError::Unsupported(
+                "USE needs session state; execute it on a `Session`".into(),
+            )),
             Statement::CreateKeyspace { .. }
             | Statement::CreateTable { .. }
             | Statement::CreateIndex { .. } => {
-                self.apply_ddl(stmt, true)?;
+                let mut state = self.write_state();
+                self.apply_ddl(&mut state, stmt, true)?;
                 Ok(QueryResult::empty())
             }
             Statement::Insert {
@@ -315,7 +384,8 @@ impl Db {
                 columns,
                 values,
             } => {
-                self.insert(table, columns, values)?;
+                let state = self.read_state();
+                self.insert(&state, table, columns, values)?;
                 Ok(QueryResult::empty())
             }
             Statement::Select {
@@ -323,32 +393,67 @@ impl Db {
                 columns,
                 where_clause,
                 limit,
-            } => self.select(table, columns, where_clause.as_ref(), *limit),
+            } => {
+                let state = self.read_state();
+                let pin = ReadPin::new(&self.registry, &self.tracker);
+                self.select(
+                    &state,
+                    table,
+                    columns,
+                    where_clause.as_ref(),
+                    *limit,
+                    pin.seq(),
+                )
+            }
             Statement::Update {
                 table,
                 assignments,
                 where_clause,
             } => {
-                self.update(table, assignments, where_clause)?;
+                let state = self.read_state();
+                self.update(&state, table, assignments, where_clause)?;
                 Ok(QueryResult::empty())
             }
             Statement::Delete {
                 table,
                 where_clause,
             } => {
-                self.delete(table, where_clause)?;
+                let state = self.read_state();
+                self.delete(&state, table, where_clause)?;
                 Ok(QueryResult::empty())
             }
             Statement::Truncate { table } => {
-                self.truncate(table)?;
+                let mut state = self.write_state();
+                self.truncate(&mut state, table)?;
                 Ok(QueryResult::empty())
             }
             Statement::Batch { statements } => {
+                // Statements commit individually; under concurrency their
+                // WAL frames still coalesce through the group commit.
                 for s in statements {
                     self.execute(s)?;
                 }
                 Ok(QueryResult::empty())
             }
+        }
+    }
+
+    /// SELECT at a fixed MVCC bound (a [`Snapshot`]'s view).
+    pub(crate) fn execute_read(&self, stmt: &Statement, bound: u64) -> Result<QueryResult> {
+        Self::check_qualified(stmt)?;
+        match stmt {
+            Statement::Select {
+                table,
+                columns,
+                where_clause,
+                limit,
+            } => {
+                let state = self.read_state();
+                self.select(&state, table, columns, where_clause.as_ref(), *limit, bound)
+            }
+            _ => Err(NosqlError::Unsupported(
+                "snapshots are read-only: only SELECT is allowed".into(),
+            )),
         }
     }
 
@@ -359,10 +464,20 @@ impl Db {
         Ok(())
     }
 
-    fn apply_ddl(&mut self, stmt: &Statement, journal: bool) -> Result<()> {
+    fn new_table_core(&self, def: TableDef) -> Arc<TableCore> {
+        Arc::new(TableCore::new(
+            def,
+            self.vfs.clone(),
+            self.manifest.clone(),
+            self.options.table,
+            self.cache.clone(),
+        ))
+    }
+
+    fn apply_ddl(&self, state: &mut EngineState, stmt: &Statement, journal: bool) -> Result<()> {
         match stmt {
             Statement::CreateKeyspace { name } => {
-                self.catalog.create_keyspace(name)?;
+                state.catalog.create_keyspace(name)?;
             }
             Statement::CreateTable {
                 table,
@@ -377,20 +492,13 @@ impl Db {
                     })
                     .collect();
                 let def = TableDef::new(&table.keyspace, &table.table, defs, primary_key)?;
-                self.catalog.create_table(def.clone())?;
-                self.tables.insert(
-                    def.qualified_name(),
-                    TableRuntime::new(
-                        def,
-                        self.vfs.clone(),
-                        self.manifest.clone(),
-                        self.options.table,
-                        self.cache.clone(),
-                    ),
-                );
+                state.catalog.create_table(def.clone())?;
+                state
+                    .tables
+                    .insert(def.qualified_name(), self.new_table_core(def));
             }
             Statement::CreateIndex { table, column } => {
-                self.create_index(table, column)?;
+                self.create_index(state, table, column)?;
             }
             _ => unreachable!("apply_ddl called on non-DDL"),
         }
@@ -400,8 +508,8 @@ impl Db {
         Ok(())
     }
 
-    fn create_index(&mut self, table: &TableRef, column: &str) -> Result<()> {
-        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+    fn create_index(&self, state: &mut EngineState, table: &TableRef, column: &str) -> Result<()> {
+        let def = Arc::clone(state.catalog.table(&table.keyspace, &table.table)?);
         let col_idx = def
             .column_index(column)
             .ok_or_else(|| NosqlError::UnknownColumn {
@@ -440,48 +548,93 @@ impl Db {
             ],
             "k",
         )?;
-        self.tables.insert(
+        state.tables.insert(
             idx_def.qualified_name(),
-            TableRuntime::new(
-                idx_def.clone(),
-                self.vfs.clone(),
-                self.manifest.clone(),
-                self.options.table,
-                self.cache.clone(),
-            ),
+            self.new_table_core(idx_def.clone()),
         );
-        self.catalog.create_table(idx_def)?;
-        self.catalog
+        state.catalog.create_table(idx_def)?;
+        state
+            .catalog
             .table_mut(&table.keyspace, &table.table)?
             .indexed_columns
             .push(column.to_string());
-        self.tables
-            .get_mut(&format!("{}.{}", table.keyspace, table.table))
-            .expect("runtime exists for cataloged table")
+        state
+            .core(&format!("{}.{}", table.keyspace, table.table))
             .add_index(column);
-        // Backfill for rows already present.
-        let existing = self
-            .tables
-            .get(&format!("{}.{}", table.keyspace, table.table))
-            .expect("runtime exists")
-            .scan()?;
-        let base_def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+        // Backfill for rows already present. The state write lock excludes
+        // every concurrent statement, so reading at the top bound is exact.
+        let base_def = Arc::clone(state.catalog.table(&table.keyspace, &table.table)?);
+        let existing = state.core(&base_def.qualified_name()).scan(u64::MAX)?;
+        let mut writes = Vec::new();
         for (_, row) in existing {
-            let pk = row.pk(&base_def).clone();
             let value = row.values[col_idx].clone();
-            self.index_add(&base_def, column, &value, &pk)?;
+            if value.is_null() {
+                continue;
+            }
+            let pk = row.pk(&base_def).clone();
+            writes.push(self.posting_write(state, &base_def, column, &value, &pk, true));
+        }
+        self.commit_writes(writes)
+    }
+
+    /// Commits a set of row mutations: one sequence per record, one WAL
+    /// group append (durable before anything becomes visible), then the
+    /// memtable inserts. On a WAL error nothing was applied and every
+    /// allocated sequence completes unused, so the watermark never stalls.
+    fn commit_writes(&self, writes: Vec<PendingWrite>) -> Result<()> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let guards: Vec<SeqGuard> = writes
+            .iter()
+            .map(|_| SeqGuard::new(&self.tracker))
+            .collect();
+        let mut records = Vec::with_capacity(writes.len());
+        for (w, g) in writes.iter().zip(&guards) {
+            let body = match &w.row {
+                Some(row) => {
+                    let mut enc = sc_encoding::Encoder::new();
+                    row.encode(&mut enc, g.seq());
+                    enc.into_bytes()
+                }
+                None => Vec::new(),
+            };
+            records.push(LogRecord {
+                table: w.qualified.clone(),
+                key: w.key.clone(),
+                body,
+                timestamp: g.seq(),
+            });
+        }
+        let body_lens: Vec<usize> = records.iter().map(|r| r.body.len()).collect();
+        self.wal
+            .append_group(records)
+            .map_err(WalError::into_nosql)?;
+        let gc_floor = self.registry.gc_floor(&self.tracker);
+        let mut touched: Vec<Arc<TableCore>> = Vec::new();
+        for ((w, g), body_len) in writes.into_iter().zip(&guards).zip(body_lens) {
+            let cost = w.key.len() + body_len + VERSION_COST;
+            w.table.apply(w.key, w.row, g.seq(), cost, gc_floor);
+            if !touched.iter().any(|t| Arc::ptr_eq(t, &w.table)) {
+                touched.push(w.table);
+            }
+        }
+        // Completing the sequences publishes the writes to the watermark.
+        drop(guards);
+        for table in touched {
+            table.maybe_flush(&self.tracker, &self.registry)?;
         }
         Ok(())
     }
 
-    fn runtime_mut(&mut self, qualified: &str) -> &mut TableRuntime {
-        self.tables
-            .get_mut(qualified)
-            .expect("runtime exists for cataloged table")
-    }
-
-    fn insert(&mut self, table: &TableRef, columns: &[String], values: &[CqlValue]) -> Result<()> {
-        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+    fn insert(
+        &self,
+        state: &EngineState,
+        table: &TableRef,
+        columns: &[String],
+        values: &[CqlValue],
+    ) -> Result<()> {
+        let def = Arc::clone(state.catalog.table(&table.keyspace, &table.table)?);
         if columns.len() != values.len() {
             return Err(NosqlError::Parse(format!(
                 "INSERT binds {} columns but {} values",
@@ -510,25 +663,45 @@ impl Db {
         if row_values[def.primary_key].is_null() {
             return Err(NosqlError::MissingPrimaryKey(def.pk_column().name.clone()));
         }
-        let row = Row::new(row_values);
-        self.put_row(&def, row)
+        self.put_row(state, &def, Row::new(row_values))
     }
 
-    /// Full write path for one row: secondary-index read-before-write,
-    /// commit-log append, memtable insert, posting updates.
-    fn put_row(&mut self, def: &TableDef, row: Row) -> Result<()> {
+    /// Full write path for one row. Index-free tables take the blind,
+    /// lock-free path; indexed tables serialize on the table's RMW mutex
+    /// for the read-before-write that keeps postings consistent (a real
+    /// cost of Cassandra-style secondary indexes).
+    fn put_row(&self, state: &EngineState, def: &TableDef, row: Row) -> Result<()> {
+        let qualified = def.qualified_name();
+        let table = Arc::clone(state.core(&qualified));
+        if def.indexed_columns.is_empty() {
+            let key = row.pk_bytes(def);
+            return self.commit_writes(vec![PendingWrite {
+                table,
+                qualified,
+                key,
+                row: Some(row),
+            }]);
+        }
+        let _rmw = table.rmw_lock();
+        self.put_row_rmw_locked(state, def, &table, row)
+    }
+
+    /// The indexed-table write path; the caller holds the table's RMW lock.
+    fn put_row_rmw_locked(
+        &self,
+        state: &EngineState,
+        def: &TableDef,
+        table: &Arc<TableCore>,
+        row: Row,
+    ) -> Result<()> {
         let qualified = def.qualified_name();
         let key = row.pk_bytes(def);
-        // Gather index work up front so the row can move into the memtable
-        // without a clone (the common, index-free path pays nothing here).
-        let mut index_ops: Vec<(String, Option<CqlValue>, Option<CqlValue>)> = Vec::new();
-        let pk = if def.indexed_columns.is_empty() {
-            CqlValue::Null
-        } else {
-            // Read-before-write: indexed tables must look up the previous
-            // row version to keep postings consistent (a real cost of
-            // Cassandra-style secondary indexes).
-            let old_row = self.runtime_mut(&qualified).get(&key)?;
+        let mut writes = Vec::new();
+        if !def.indexed_columns.is_empty() {
+            // Read-before-write at the top bound: the RMW lock guarantees
+            // every previous write to this table is already applied.
+            let old_row = table.get(&key, u64::MAX)?;
+            let pk = row.pk(def).clone();
             for column in &def.indexed_columns {
                 let idx = def.column_index(column).expect("index on known column");
                 let new_value = row.values[idx].clone();
@@ -536,32 +709,23 @@ impl Db {
                 if old_value.as_ref() == Some(&new_value) {
                     continue;
                 }
-                index_ops.push((column.clone(), old_value, Some(new_value)));
-            }
-            row.pk(def).clone()
-        };
-        let ts = self.next_ts();
-        {
-            let log = &self.log;
-            let rt = self
-                .tables
-                .get_mut(&qualified)
-                .expect("runtime exists for cataloged table");
-            rt.put(Some(row), key, ts, Some(log))?;
-        }
-        for (column, old_value, new_value) in index_ops {
-            if let Some(old) = old_value {
-                if !old.is_null() {
-                    self.index_remove(def, &column, &old, &pk)?;
+                if let Some(old) = old_value {
+                    if !old.is_null() {
+                        writes.push(self.posting_write(state, def, column, &old, &pk, false));
+                    }
                 }
-            }
-            if let Some(new) = new_value {
-                if !new.is_null() {
-                    self.index_add(def, &column, &new, &pk)?;
+                if !new_value.is_null() {
+                    writes.push(self.posting_write(state, def, column, &new_value, &pk, true));
                 }
             }
         }
-        Ok(())
+        writes.push(PendingWrite {
+            table: Arc::clone(table),
+            qualified,
+            key,
+            row: Some(row),
+        });
+        self.commit_writes(writes)
     }
 
     /// Posting-row key: `len-prefixed(value key) ++ order-preserving id`.
@@ -582,60 +746,42 @@ impl Db {
         enc.into_bytes()
     }
 
-    fn index_write(
-        &mut self,
+    fn posting_write(
+        &self,
+        state: &EngineState,
         def: &TableDef,
         column: &str,
         value: &CqlValue,
         pk: &CqlValue,
         add: bool,
-    ) -> Result<()> {
+    ) -> PendingWrite {
         let idx_qualified = format!("{}.{}", def.keyspace, def.index_table_name(column));
         let id = pk
             .as_int()
             .expect("index creation enforced int primary keys");
         let key = Self::posting_key(value, id);
-        let ts = self.next_ts();
         // Minimal body: the indexed value lives in the key only.
         let row = add.then(|| Row::new(vec![CqlValue::Null, CqlValue::Int(id)]));
-        let log = &self.log;
-        let rt = self
-            .tables
-            .get_mut(&idx_qualified)
-            .expect("runtime exists for index table");
-        rt.put(row, key, ts, Some(log))?;
-        Ok(())
-    }
-
-    fn index_add(
-        &mut self,
-        def: &TableDef,
-        column: &str,
-        value: &CqlValue,
-        pk: &CqlValue,
-    ) -> Result<()> {
-        self.index_write(def, column, value, pk, true)
-    }
-
-    fn index_remove(
-        &mut self,
-        def: &TableDef,
-        column: &str,
-        value: &CqlValue,
-        pk: &CqlValue,
-    ) -> Result<()> {
-        self.index_write(def, column, value, pk, false)
+        PendingWrite {
+            table: Arc::clone(state.core(&idx_qualified)),
+            qualified: idx_qualified,
+            key,
+            row,
+        }
     }
 
     /// Cassandra UPDATE semantics: an upsert — unassigned columns keep
-    /// their existing values (or null for a fresh row).
+    /// their existing values (or null for a fresh row). Serializes on the
+    /// table's RMW mutex: concurrent UPDATEs to the same table never lose
+    /// each other's column writes.
     fn update(
-        &mut self,
+        &self,
+        state: &EngineState,
         table: &TableRef,
         assignments: &[(String, CqlValue)],
         where_clause: &WhereClause,
     ) -> Result<()> {
-        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+        let def = Arc::clone(state.catalog.table(&table.keyspace, &table.table)?);
         let WhereClause::Eq {
             column: w_column,
             value: w_value,
@@ -659,8 +805,9 @@ impl Db {
             });
         }
         let key = w_value.encode_key();
-        let qualified = def.qualified_name();
-        let existing = self.runtime_mut(&qualified).get(&key)?;
+        let core = Arc::clone(state.core(&def.qualified_name()));
+        let _rmw = core.rmw_lock();
+        let existing = core.get(&key, u64::MAX)?;
         let mut values = existing
             .map(|r| r.values)
             .unwrap_or_else(|| vec![CqlValue::Null; def.columns.len()]);
@@ -686,11 +833,16 @@ impl Db {
             }
             values[idx] = value.clone();
         }
-        self.put_row(&def, Row::new(values))
+        self.put_row_rmw_locked(state, &def, &core, Row::new(values))
     }
 
-    fn delete(&mut self, table: &TableRef, where_clause: &WhereClause) -> Result<()> {
-        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+    fn delete(
+        &self,
+        state: &EngineState,
+        table: &TableRef,
+        where_clause: &WhereClause,
+    ) -> Result<()> {
+        let def = Arc::clone(state.catalog.table(&table.keyspace, &table.table)?);
         let WhereClause::Eq {
             column: w_column,
             value: w_value,
@@ -708,42 +860,57 @@ impl Db {
         }
         let key = w_value.encode_key();
         let qualified = def.qualified_name();
-        let old_row = self.runtime_mut(&qualified).get(&key)?;
-        let ts = self.next_ts();
-        {
-            let log = &self.log;
-            let rt = self
-                .tables
-                .get_mut(&qualified)
-                .expect("runtime exists for cataloged table");
-            rt.put(None, key, ts, Some(log))?;
+        let core = Arc::clone(state.core(&qualified));
+        if def.indexed_columns.is_empty() {
+            // Blind tombstone: no read, no RMW lock.
+            return self.commit_writes(vec![PendingWrite {
+                table: core,
+                qualified,
+                key,
+                row: None,
+            }]);
         }
+        let _rmw = core.rmw_lock();
+        let old_row = core.get(&key, u64::MAX)?;
+        let mut writes = vec![PendingWrite {
+            table: Arc::clone(&core),
+            qualified,
+            key,
+            row: None,
+        }];
         if let Some(old) = old_row {
-            for column in def.indexed_columns.clone() {
-                let idx = def.column_index(&column).expect("index on known column");
+            for column in &def.indexed_columns {
+                let idx = def.column_index(column).expect("index on known column");
                 let value = old.values[idx].clone();
                 if !value.is_null() {
-                    self.index_remove(&def, &column, &value, old.pk(&def))?;
+                    writes.push(self.posting_write(
+                        state,
+                        &def,
+                        column,
+                        &value,
+                        old.pk(&def),
+                        false,
+                    ));
                 }
             }
         }
-        Ok(())
+        self.commit_writes(writes)
     }
 
-    fn truncate(&mut self, table: &TableRef) -> Result<()> {
-        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
-        let rebuild = |db: &mut Db, name: &str| -> Result<()> {
+    fn truncate(&self, state: &mut EngineState, table: &TableRef) -> Result<()> {
+        let def = Arc::clone(state.catalog.table(&table.keyspace, &table.table)?);
+        let rebuild = |state: &mut EngineState, name: &str| -> Result<()> {
             let qualified = format!("{}.{}", def.keyspace, name);
-            let fresh_def = (**db.catalog.table(&def.keyspace, name)?).clone();
+            let fresh_def = (**state.catalog.table(&def.keyspace, name)?).clone();
             // Retire the files from the manifest first (one atomic record):
             // a crash mid-delete then leaves orphans for recovery to sweep,
             // never a manifest pointing at half-deleted tables.
-            let files = db
+            let files = state
                 .tables
                 .get(&qualified)
-                .map(|rt| rt.sstable_files())
+                .map(|t| t.sstable_files())
                 .unwrap_or_default();
-            db.manifest.commit(&ManifestEdit {
+            self.manifest.commit(&ManifestEdit {
                 adds: Vec::new(),
                 removes: files
                     .iter()
@@ -751,29 +918,22 @@ impl Db {
                     .collect(),
             })?;
             for f in &files {
-                db.cache.evict_file(f);
-                db.vfs.delete(f)?;
+                self.cache.evict_file(f);
+                self.vfs.delete(f)?;
             }
-            db.tables.insert(
-                qualified,
-                TableRuntime::new(
-                    fresh_def,
-                    db.vfs.clone(),
-                    db.manifest.clone(),
-                    db.options.table,
-                    db.cache.clone(),
-                ),
-            );
+            state
+                .tables
+                .insert(qualified, self.new_table_core(fresh_def));
             Ok(())
         };
-        rebuild(self, &def.name)?;
+        rebuild(state, &def.name)?;
         for column in &def.indexed_columns {
-            rebuild(self, &def.index_table_name(column))?;
+            rebuild(state, &def.index_table_name(column))?;
         }
         Ok(())
     }
 
-    /// Executes `WHERE column IN (...)`.
+    /// Executes `WHERE column IN (...)` at MVCC bound `bound`.
     ///
     /// On the primary key this is a multi-point read: one memtable/SSTable
     /// probe per distinct key, no scan — the primitive batched store
@@ -781,12 +941,15 @@ impl Db {
     /// posting scans; otherwise it degrades to a scan with a membership
     /// filter.
     fn select_in(
-        &mut self,
+        &self,
+        state: &EngineState,
         def: &TableDef,
         qualified: &str,
         column: &str,
         values: &[CqlValue],
+        bound: u64,
     ) -> Result<Vec<Row>> {
+        let core = state.core(qualified);
         if column == def.pk_column().name {
             let mut seen: HashSet<Vec<u8>> = HashSet::with_capacity(values.len());
             let mut out = Vec::with_capacity(values.len());
@@ -795,7 +958,7 @@ impl Db {
                 if !seen.insert(key.clone()) {
                     continue;
                 }
-                if let Some(row) = self.runtime_mut(qualified).get(&key)? {
+                if let Some(row) = core.get(&key, bound)? {
                     out.push(row);
                 }
             }
@@ -803,12 +966,13 @@ impl Db {
         }
         if def.is_indexed(column) {
             let idx_qualified = format!("{}.{}", def.keyspace, def.index_table_name(column));
+            let idx_core = state.core(&idx_qualified);
             let col_idx = def.column_index(column).expect("indexed column exists");
             let mut ids = Vec::new();
             let mut seen_ids: HashSet<i64> = HashSet::new();
             for v in values {
                 let prefix = Self::posting_prefix(v);
-                for (_, r) in self.runtime_mut(&idx_qualified).scan_prefix(&prefix)? {
+                for (_, r) in idx_core.scan_prefix(&prefix, bound)? {
                     if let Some(id) = r.values[1].as_int() {
                         if seen_ids.insert(id) {
                             ids.push(id);
@@ -818,10 +982,7 @@ impl Db {
             }
             let mut out = Vec::with_capacity(ids.len());
             for id in ids {
-                if let Some(row) = self
-                    .runtime_mut(qualified)
-                    .get(&CqlValue::Int(id).encode_key())?
-                {
+                if let Some(row) = core.get(&CqlValue::Int(id).encode_key(), bound)? {
                     // Re-check: postings may be stale relative to
                     // overwrites racing the index update.
                     if values.contains(&row.values[col_idx]) {
@@ -837,9 +998,8 @@ impl Db {
                 table: def.name.clone(),
                 column: column.to_string(),
             })?;
-        Ok(self
-            .runtime_mut(qualified)
-            .scan()?
+        Ok(core
+            .scan(bound)?
             .into_iter()
             .map(|(_, r)| r)
             .filter(|r| values.contains(&r.values[col_idx]))
@@ -847,32 +1007,27 @@ impl Db {
     }
 
     fn select(
-        &mut self,
+        &self,
+        state: &EngineState,
         table: &TableRef,
         columns: &SelectColumns,
         where_clause: Option<&WhereClause>,
         limit: Option<usize>,
+        bound: u64,
     ) -> Result<QueryResult> {
-        let def = self.catalog.table(&table.keyspace, &table.table)?.clone();
+        let def = Arc::clone(state.catalog.table(&table.keyspace, &table.table)?);
         let qualified = def.qualified_name();
+        let core = state.core(&qualified);
         let mut rows: Vec<Row> = match where_clause {
-            None => self
-                .runtime_mut(&qualified)
-                .scan()?
-                .into_iter()
-                .map(|(_, r)| r)
-                .collect(),
+            None => core.scan(bound)?.into_iter().map(|(_, r)| r).collect(),
             Some(WhereClause::Eq { column, value }) if *column == def.pk_column().name => {
                 let key = value.encode_key();
-                self.runtime_mut(&qualified)
-                    .get(&key)?
-                    .into_iter()
-                    .collect()
+                core.get(&key, bound)?.into_iter().collect()
             }
             Some(WhereClause::Eq { column, value }) if def.is_indexed(column) => {
                 let idx_qualified = format!("{}.{}", def.keyspace, def.index_table_name(column));
                 let prefix = Self::posting_prefix(value);
-                let postings = self.runtime_mut(&idx_qualified).scan_prefix(&prefix)?;
+                let postings = state.core(&idx_qualified).scan_prefix(&prefix, bound)?;
                 let ids: Vec<i64> = postings
                     .iter()
                     .filter_map(|(_, r)| r.values[1].as_int())
@@ -880,10 +1035,7 @@ impl Db {
                 let col_idx = def.column_index(column).expect("indexed column exists");
                 let mut out = Vec::with_capacity(ids.len());
                 for id in ids {
-                    if let Some(row) = self
-                        .runtime_mut(&qualified)
-                        .get(&CqlValue::Int(id).encode_key())?
-                    {
+                    if let Some(row) = core.get(&CqlValue::Int(id).encode_key(), bound)? {
                         // Re-check: postings may be stale relative to
                         // overwrites racing the index update.
                         if row.values[col_idx] == *value {
@@ -902,15 +1054,14 @@ impl Db {
                             table: def.name.clone(),
                             column: column.clone(),
                         })?;
-                self.runtime_mut(&qualified)
-                    .scan()?
+                core.scan(bound)?
                     .into_iter()
                     .map(|(_, r)| r)
                     .filter(|r| r.values[col_idx] == *value)
                     .collect()
             }
             Some(WhereClause::In { column, values }) => {
-                self.select_in(&def, &qualified, column, values)?
+                self.select_in(state, &def, &qualified, column, values, bound)?
             }
         };
         if let Some(n) = limit {
@@ -950,61 +1101,242 @@ impl Db {
     }
 
     /// Flushes every memtable to disk and truncates the commit log (its
-    /// contents are now redundant). Call before measuring sizes.
-    pub fn flush_all(&mut self) -> Result<()> {
-        for rt in self.tables.values_mut() {
-            rt.flush()?;
+    /// contents are now redundant). Takes the state write lock, so no
+    /// statement is in flight: the watermark covers every write and the
+    /// truncated WAL loses nothing.
+    pub(crate) fn flush_all(&self) -> Result<()> {
+        let state = self.write_state();
+        for table in state.tables.values() {
+            table.flush(&self.tracker, &self.registry)?;
         }
-        self.log.truncate()?;
+        self.wal.plain().truncate()?;
         Ok(())
     }
 
     /// Compacts every table fully.
-    pub fn compact_all(&mut self) -> Result<()> {
-        for rt in self.tables.values_mut() {
-            rt.compact()?;
+    pub(crate) fn compact_all(&self) -> Result<()> {
+        let state = self.read_state();
+        for table in state.tables.values() {
+            table.compact(&self.registry)?;
         }
         Ok(())
     }
 
     /// On-disk size of one table's SSTables (hidden index tables *not*
-    /// included; see [`Db::keyspace_size`]).
-    pub fn table_size(&self, keyspace: &str, table: &str) -> Result<ByteSize> {
-        self.catalog.table(keyspace, table)?;
-        let rt = self
-            .tables
-            .get(&format!("{keyspace}.{table}"))
-            .expect("runtime exists");
-        Ok(ByteSize::bytes(rt.disk_size()))
+    /// included; see [`DbCore::keyspace_size`]).
+    pub(crate) fn table_size(&self, keyspace: &str, table: &str) -> Result<ByteSize> {
+        let state = self.read_state();
+        state.catalog.table(keyspace, table)?;
+        Ok(ByteSize::bytes(
+            state.core(&format!("{keyspace}.{table}")).disk_size(),
+        ))
     }
 
     /// Total on-disk size of a keyspace: all tables including hidden index
     /// column families. This is the paper's `size_as_mb` measurement.
-    pub fn keyspace_size(&self, keyspace: &str) -> Result<ByteSize> {
-        self.catalog.tables_in(keyspace)?; // validates the keyspace
+    pub(crate) fn keyspace_size(&self, keyspace: &str) -> Result<ByteSize> {
+        let state = self.read_state();
+        state.catalog.tables_in(keyspace)?; // validates the keyspace
         let mut total = 0;
-        for (qualified, rt) in &self.tables {
+        for (qualified, table) in &state.tables {
             if qualified.starts_with(&format!("{keyspace}.")) {
-                total += rt.disk_size();
+                total += table.disk_size();
             }
         }
         Ok(ByteSize::bytes(total))
     }
 
+    pub(crate) fn commitlog_size(&self) -> ByteSize {
+        ByteSize::bytes(self.wal.plain().size())
+    }
+
+    pub(crate) fn block_cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// An embedded Cassandra-like database handle.
+///
+/// `Db` keeps the historical single-owner, `&mut self` API; it is a thin
+/// wrapper over the shared engine core, so converting to the concurrent
+/// [`SharedDb`] handle is free.
+#[derive(Debug)]
+pub struct Db {
+    core: Arc<DbCore>,
+}
+
+impl Db {
+    /// Opens an engine per `options`. Without `.recover(true)` the VFS is
+    /// assumed empty; with it, the on-disk state is replayed and repaired.
+    pub fn open(options: OpenOptions) -> Result<Db> {
+        Ok(Db {
+            core: Arc::new(DbCore::open(options)?),
+        })
+    }
+
+    /// Creates an engine over an in-memory VFS (tests, benchmarks).
+    #[deprecated(note = "use `Db::open(OpenOptions::default())`")]
+    pub fn in_memory() -> Db {
+        Db::open(OpenOptions::default()).expect("opening a fresh in-memory engine cannot fail")
+    }
+
+    /// Creates an engine over an explicit VFS.
+    #[deprecated(note = "use `Db::open(OpenOptions::default().vfs(vfs))`")]
+    pub fn with_options(vfs: Vfs, options: DbOptions) -> Db {
+        Db::open(OpenOptions::default().vfs(vfs).table_options(options.table))
+            .expect("opening without recovery cannot fail")
+    }
+
+    /// Reopens an engine from an existing VFS.
+    #[deprecated(note = "use `Db::open(OpenOptions::default().vfs(vfs).recover(true))`")]
+    pub fn recover(vfs: Vfs, options: DbOptions) -> Result<Db> {
+        Db::open(
+            OpenOptions::default()
+                .vfs(vfs)
+                .table_options(options.table)
+                .recover(true),
+        )
+    }
+
+    /// A point-in-time copy of the schema catalog.
+    pub fn catalog(&self) -> Catalog {
+        self.core.catalog_snapshot()
+    }
+
+    /// Parses and executes one CQL statement.
+    pub fn execute_cql(&mut self, cql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(cql)?;
+        self.execute(&stmt)
+    }
+
+    /// Executes a pre-parsed statement (the "prepared" fast path the bulk
+    /// loader uses).
+    pub fn execute(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        self.core.execute(stmt)
+    }
+
+    /// Flushes every memtable and truncates the commit log. Call before
+    /// measuring sizes.
+    pub fn flush_all(&mut self) -> Result<()> {
+        self.core.flush_all()
+    }
+
+    /// Compacts every table fully.
+    pub fn compact_all(&mut self) -> Result<()> {
+        self.core.compact_all()
+    }
+
+    /// On-disk size of one table's SSTables (hidden index tables *not*
+    /// included; see [`Db::keyspace_size`]).
+    pub fn table_size(&self, keyspace: &str, table: &str) -> Result<ByteSize> {
+        self.core.table_size(keyspace, table)
+    }
+
+    /// Total on-disk size of a keyspace: all tables including hidden index
+    /// column families. This is the paper's `size_as_mb` measurement.
+    pub fn keyspace_size(&self, keyspace: &str) -> Result<ByteSize> {
+        self.core.keyspace_size(keyspace)
+    }
+
     /// Commit-log bytes currently on disk.
     pub fn commitlog_size(&self) -> ByteSize {
-        ByteSize::bytes(self.log.size())
+        self.core.commitlog_size()
     }
 
     /// Point-in-time counters of the engine's shared block cache.
     pub fn block_cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.core.block_cache_stats()
     }
 
-    /// Wraps the engine in the coarse-mutex [`SharedDb`] handle that
-    /// multi-session callers (the network server) clone per session.
+    /// Converts this handle into the concurrent [`SharedDb`] handle.
+    #[deprecated(note = "open the engine with `SharedDb::open(options)` instead")]
     pub fn into_shared(self) -> SharedDb {
-        Arc::new(Mutex::new(self))
+        SharedDb { core: self.core }
+    }
+}
+
+/// A cloneable, thread-shared engine handle.
+///
+/// `SharedDb` replaced the old `Arc<Mutex<Db>>` alias: the engine core is
+/// internally synchronized, so clones execute statements **concurrently**
+/// — snapshot-isolated reads never block behind writers, and concurrent
+/// writers share WAL fsyncs through the group commit. Per-connection
+/// state (the `USE` keyspace, slow-query attribution) lives on
+/// [`Session`]; point-in-time reads on [`Snapshot`].
+///
+/// ```
+/// use sc_nosql::{OpenOptions, SharedDb};
+///
+/// let db = SharedDb::open(OpenOptions::default()).unwrap();
+/// let mut session = db.session();
+/// session.execute_cql("CREATE KEYSPACE ks").unwrap();
+/// session.execute_cql("CREATE TABLE ks.t (id int, PRIMARY KEY (id))").unwrap();
+/// session.execute_cql("USE ks").unwrap();
+/// session.execute_cql("INSERT INTO t (id) VALUES (1)").unwrap();
+/// let snap = db.snapshot();
+/// session.execute_cql("INSERT INTO t (id) VALUES (2)").unwrap();
+/// // The snapshot still sees exactly one row.
+/// assert_eq!(snap.execute_cql("SELECT * FROM ks.t").unwrap().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedDb {
+    core: Arc<DbCore>,
+}
+
+impl SharedDb {
+    /// Opens an engine per `options` behind a shared handle.
+    pub fn open(options: OpenOptions) -> Result<SharedDb> {
+        Ok(SharedDb {
+            core: Arc::new(DbCore::open(options)?),
+        })
+    }
+
+    /// Opens a new session: the unit of per-connection statement state.
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.core))
+    }
+
+    /// Pins a point-in-time, read-only view of the database.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::new(Arc::clone(&self.core))
+    }
+
+    /// Parses and executes one statement without session state (no `USE`
+    /// resolution). Convenience for administrative one-shots.
+    pub fn execute_cql(&self, cql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(cql)?;
+        self.core.execute(&stmt)
+    }
+
+    /// Flushes every memtable and truncates the commit log. Waits for all
+    /// in-flight statements (state write lock).
+    pub fn flush_all(&self) -> Result<()> {
+        self.core.flush_all()
+    }
+
+    /// Compacts every table fully.
+    pub fn compact_all(&self) -> Result<()> {
+        self.core.compact_all()
+    }
+
+    /// On-disk size of one table's SSTables.
+    pub fn table_size(&self, keyspace: &str, table: &str) -> Result<ByteSize> {
+        self.core.table_size(keyspace, table)
+    }
+
+    /// Total on-disk size of a keyspace including hidden index tables.
+    pub fn keyspace_size(&self, keyspace: &str) -> Result<ByteSize> {
+        self.core.keyspace_size(keyspace)
+    }
+
+    /// Commit-log bytes currently on disk.
+    pub fn commitlog_size(&self) -> ByteSize {
+        self.core.commitlog_size()
+    }
+
+    /// Point-in-time counters of the engine's shared block cache.
+    pub fn block_cache_stats(&self) -> CacheStats {
+        self.core.block_cache_stats()
     }
 }
 
@@ -1335,35 +1667,52 @@ mod tests {
     }
 
     #[test]
-    fn shared_handle_is_send_across_threads() {
-        // Compile-time: the coarse-mutex handle must be shareable between
-        // session threads (Mutex<Db> is Sync iff Db is Send).
+    fn recovery_keeps_sequences_above_flushed_writes() {
+        // Regression: after flush_all the WAL is empty, so the sequence
+        // floor must come from the SSTables. A fresh write allocated below
+        // the flushed sequences would be invisibly shadowed by old data.
+        let vfs = Vfs::memory();
+        {
+            let mut db = Db::open(OpenOptions::default().vfs(vfs.clone())).unwrap();
+            db.execute_cql("CREATE KEYSPACE ks").unwrap();
+            db.execute_cql("CREATE TABLE ks.t (id int, v text, PRIMARY KEY (id))")
+                .unwrap();
+            db.execute_cql("INSERT INTO ks.t (id, v) VALUES (1, 'old')")
+                .unwrap();
+            db.flush_all().unwrap();
+        }
+        let mut db = Db::open(OpenOptions::default().vfs(vfs).recover(true)).unwrap();
+        db.execute_cql("INSERT INTO ks.t (id, v) VALUES (1, 'new')")
+            .unwrap();
+        let r = db.execute_cql("SELECT v FROM ks.t WHERE id = 1").unwrap();
+        assert_eq!(r.rows(), vec![vec![CqlValue::Text("new".into())]]);
+    }
+
+    #[test]
+    fn shared_handle_runs_sessions_concurrently() {
         fn assert_send<T: Send>() {}
         fn assert_sync<T: Sync>() {}
         assert_send::<Db>();
+        assert_send::<SharedDb>();
         assert_sync::<SharedDb>();
+        assert_send::<Session>();
 
-        let shared = OpenOptions::default().open_shared().unwrap();
-        shared
-            .lock()
-            .unwrap()
-            .execute_cql("CREATE KEYSPACE ks")
-            .unwrap();
-        shared
-            .lock()
-            .unwrap()
+        let shared = SharedDb::open(OpenOptions::default()).unwrap();
+        let mut admin = shared.session();
+        admin.execute_cql("CREATE KEYSPACE ks").unwrap();
+        admin
             .execute_cql("CREATE TABLE ks.t (id int, v int, PRIMARY KEY (id))")
             .unwrap();
         std::thread::scope(|scope| {
             for t in 0..4i64 {
-                let shared = Arc::clone(&shared);
+                let shared = shared.clone();
                 scope.spawn(move || {
+                    let mut session = shared.session();
+                    session.execute_cql("USE ks").unwrap();
                     for i in 0..16i64 {
-                        shared
-                            .lock()
-                            .unwrap()
+                        session
                             .execute_cql(&format!(
-                                "INSERT INTO ks.t (id, v) VALUES ({}, {t})",
+                                "INSERT INTO t (id, v) VALUES ({}, {t})",
                                 t * 100 + i
                             ))
                             .unwrap();
@@ -1371,11 +1720,147 @@ mod tests {
                 });
             }
         });
-        let n = shared
-            .lock()
-            .unwrap()
-            .execute_cql("SELECT COUNT(*) FROM ks.t")
+        let n = admin.execute_cql("SELECT COUNT(*) FROM ks.t").unwrap();
+        assert_eq!(n.first().unwrap().get_int("count").unwrap(), 64);
+    }
+
+    #[test]
+    fn session_use_resolves_unqualified_tables() {
+        let shared = SharedDb::open(OpenOptions::default()).unwrap();
+        let mut s = shared.session();
+        s.execute_cql("CREATE KEYSPACE ks").unwrap();
+        s.execute_cql("CREATE TABLE ks.t (id int, PRIMARY KEY (id))")
             .unwrap();
+        // Unqualified without USE fails...
+        assert!(s.execute_cql("INSERT INTO t (id) VALUES (1)").is_err());
+        // ...USE of a missing keyspace fails...
+        assert!(matches!(
+            s.execute_cql("USE nope"),
+            Err(NosqlError::UnknownKeyspace(_))
+        ));
+        assert_eq!(s.keyspace(), None);
+        // ...and after USE the same statement lands in ks.t.
+        s.execute_cql("USE ks").unwrap();
+        assert_eq!(s.keyspace(), Some("ks"));
+        s.execute_cql("INSERT INTO t (id) VALUES (1)").unwrap();
+        assert_eq!(s.execute_cql("SELECT * FROM t").unwrap().len(), 1);
+        // Qualified statements ignore the session keyspace.
+        assert_eq!(s.execute_cql("SELECT * FROM ks.t").unwrap().len(), 1);
+        // A second session has its own (empty) state.
+        let mut other = shared.session();
+        assert!(other.execute_cql("SELECT * FROM t").is_err());
+        // The bare engine core rejects USE outright.
+        let mut db = Db::open(OpenOptions::default()).unwrap();
+        assert!(matches!(
+            db.execute_cql("USE ks"),
+            Err(NosqlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn snapshots_are_stable_and_read_only() {
+        let shared = SharedDb::open(OpenOptions::default()).unwrap();
+        let mut s = shared.session();
+        s.execute_cql("CREATE KEYSPACE ks").unwrap();
+        s.execute_cql("CREATE TABLE ks.t (id int, v text, PRIMARY KEY (id))")
+            .unwrap();
+        s.execute_cql("INSERT INTO ks.t (id, v) VALUES (1, 'before')")
+            .unwrap();
+        let snap = shared.snapshot();
+        s.execute_cql("INSERT INTO ks.t (id, v) VALUES (1, 'after')")
+            .unwrap();
+        s.execute_cql("INSERT INTO ks.t (id, v) VALUES (2, 'new-row')")
+            .unwrap();
+        // The snapshot's view is frozen at its creation point...
+        let r = snap.execute_cql("SELECT v FROM ks.t WHERE id = 1").unwrap();
+        assert_eq!(r.rows(), vec![vec![CqlValue::Text("before".into())]]);
+        assert_eq!(snap.execute_cql("SELECT * FROM ks.t").unwrap().len(), 1);
+        // ...even across a flush of the newer data.
+        shared.flush_all().unwrap();
+        let r = snap.execute_cql("SELECT v FROM ks.t WHERE id = 1").unwrap();
+        assert_eq!(r.rows(), vec![vec![CqlValue::Text("before".into())]]);
+        // Live reads see everything.
+        assert_eq!(s.execute_cql("SELECT * FROM ks.t").unwrap().len(), 2);
+        // Writes through a snapshot are rejected.
+        assert!(matches!(
+            snap.execute_cql("INSERT INTO ks.t (id) VALUES (9)"),
+            Err(NosqlError::Unsupported(_))
+        ));
+        drop(snap);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_columns() {
+        // UPDATE is a read-modify-write; the per-table RMW lock must keep
+        // two concurrent single-column UPDATEs from erasing each other.
+        let shared = SharedDb::open(OpenOptions::default()).unwrap();
+        let mut s = shared.session();
+        s.execute_cql("CREATE KEYSPACE ks").unwrap();
+        s.execute_cql("CREATE TABLE ks.t (id int, a int, b int, PRIMARY KEY (id))")
+            .unwrap();
+        s.execute_cql("INSERT INTO ks.t (id, a, b) VALUES (1, 0, 0)")
+            .unwrap();
+        std::thread::scope(|scope| {
+            for col in ["a", "b"] {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let mut session = shared.session();
+                    for i in 1..=50i64 {
+                        session
+                            .execute_cql(&format!("UPDATE ks.t SET {col} = {i} WHERE id = 1"))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let r = s.execute_cql("SELECT a, b FROM ks.t WHERE id = 1").unwrap();
+        assert_eq!(
+            r.rows(),
+            vec![vec![CqlValue::Int(50), CqlValue::Int(50)]],
+            "a concurrent UPDATE erased the other column's writes"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shared_shims_still_work() {
+        // Compatibility shims for the pre-MVCC API shape.
+        let shared = OpenOptions::default().open_shared().unwrap();
+        let mut s = shared.session();
+        s.execute_cql("CREATE KEYSPACE ks").unwrap();
+        let db = Db::open(OpenOptions::default()).unwrap();
+        let shared2 = db.into_shared();
+        let mut s2 = shared2.session();
+        s2.execute_cql("CREATE KEYSPACE ks2").unwrap();
+        assert!(shared2.clone().session().execute_cql("USE ks2").is_ok());
+    }
+
+    #[test]
+    fn group_commit_delay_coalesces_writers() {
+        let shared =
+            SharedDb::open(OpenOptions::default().group_commit_delay(Duration::from_micros(200)))
+                .unwrap();
+        let mut s = shared.session();
+        s.execute_cql("CREATE KEYSPACE ks").unwrap();
+        s.execute_cql("CREATE TABLE ks.t (id int, PRIMARY KEY (id))")
+            .unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8i64 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let mut session = shared.session();
+                    for i in 0..8i64 {
+                        session
+                            .execute_cql(&format!(
+                                "INSERT INTO ks.t (id) VALUES ({})",
+                                t * 1000 + i
+                            ))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let n = s.execute_cql("SELECT COUNT(*) FROM ks.t").unwrap();
         assert_eq!(n.first().unwrap().get_int("count").unwrap(), 64);
     }
 

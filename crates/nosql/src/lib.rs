@@ -50,10 +50,13 @@ pub mod engine;
 pub mod error;
 pub mod manifest;
 pub mod memtable;
+pub(crate) mod mvcc;
 mod obs;
 pub mod result;
 pub mod row;
 pub mod schema;
+pub mod session;
+pub mod snapshot;
 pub mod sstable;
 pub mod table;
 pub mod types;
@@ -66,4 +69,6 @@ pub use error::NosqlError;
 pub use manifest::{Manifest, ManifestEdit};
 pub use result::{QueryResult, QueryRow};
 pub use schema::{ColumnDef, TableDef};
+pub use session::Session;
+pub use snapshot::Snapshot;
 pub use types::{CqlType, CqlTypeError, CqlValue};

@@ -1,78 +1,302 @@
-//! In-memory write buffer, sorted by partition key.
+//! FNV-sharded, multi-versioned in-memory write buffer.
+//!
+//! The memtable is split into [`SHARD_COUNT`] shards, each guarded by its
+//! own mutex; a key's shard is chosen by FNV-1a hash, so concurrent writers
+//! to different keys almost never contend. Within a shard each key maps to
+//! a **version chain**: a vector of [`Version`]s sorted newest-first by
+//! MVCC sequence number.
+//!
+//! Every version records the sequence of the version that *shadowed* it
+//! (`u64::MAX` while it is the key's newest write anywhere in the engine).
+//! The shadow sequence drives two decisions:
+//!
+//! - **Garbage collection.** A shadowed version may be dropped once its
+//!   shadow is at or below the engine's GC floor — the minimum of the
+//!   visible watermark and the oldest pinned read bound — because every
+//!   current and future reader will then see the newer version instead.
+//! - **Read short-circuiting.** A point read that lands on a version whose
+//!   chain is intact above it (every newer link present in the shard, the
+//!   newest unshadowed) knows no frozen run or SSTable can hold anything
+//!   newer, and skips the disk entirely. This keeps the warm-read
+//!   "0 SSTables consulted" property of the single-threaded engine.
+//!
+//! Flushing is two-phase: [`ShardedMemtable::drain_up_to`] removes, per
+//! key, the newest version at or below the flush boundary (always a fully
+//! committed sequence) and returns the drained entries for the caller to
+//! publish as a frozen run while the SSTable is written. Older versions
+//! that a pinned snapshot might still need stay behind in the shard.
 
 use crate::row::Row;
+use sc_encoding::Encoder;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// A memtable entry: a live row or a tombstone, with its write timestamp.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Entry {
-    /// `None` = tombstone (row deleted at `timestamp`).
+/// Number of memtable shards. A small power of two: enough to make
+/// same-shard collisions rare for the session counts the server sees,
+/// small enough that draining every shard for a flush stays cheap.
+pub(crate) const SHARD_COUNT: usize = 16;
+
+/// One MVCC version of a row. `row == None` is a tombstone.
+#[derive(Debug, Clone)]
+pub(crate) struct Version {
+    /// MVCC sequence number of the write that produced this version.
+    pub seq: u64,
+    /// The row body, or `None` for a delete.
     pub row: Option<Row>,
-    /// Logical write timestamp (last-write-wins).
-    pub timestamp: u64,
+    /// Sequence of the next-newer version of this key anywhere in the
+    /// engine, or `u64::MAX` while this is the newest.
+    pub shadow: u64,
+    /// Approximate heap cost charged against the flush threshold.
+    pub cost: usize,
 }
 
-/// The in-memory, sorted write buffer of one column family.
+/// A point-read hit from the memtable.
+#[derive(Debug)]
+pub(crate) struct MemHit {
+    pub row: Option<Row>,
+    pub seq: u64,
+    /// True when the chain above the hit is complete in the shard: no
+    /// frozen run or SSTable can hold a newer version, so the caller may
+    /// skip them.
+    pub definitive: bool,
+}
+
 #[derive(Debug, Default)]
-pub struct Memtable {
-    entries: BTreeMap<Vec<u8>, Entry>,
-    /// Approximate bytes held (drives flush decisions).
-    bytes: usize,
+struct Shard {
+    entries: BTreeMap<Vec<u8>, Vec<Version>>,
 }
 
-impl Memtable {
-    /// Creates an empty memtable.
-    pub fn new() -> Memtable {
-        Memtable::default()
+/// The sharded memtable. All methods take `&self`; synchronization is one
+/// mutex per shard plus a relaxed byte counter.
+#[derive(Debug)]
+pub(crate) struct ShardedMemtable {
+    shards: Box<[Mutex<Shard>]>,
+    bytes: AtomicUsize,
+}
+
+fn fnv1a(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl ShardedMemtable {
+    pub fn new() -> ShardedMemtable {
+        let shards = (0..SHARD_COUNT)
+            .map(|_| Mutex::new(Shard::default()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedMemtable {
+            shards,
+            bytes: AtomicUsize::new(0),
+        }
     }
 
-    /// Upserts a row (or tombstone) under an encoded partition key.
-    pub fn put(&mut self, key: Vec<u8>, entry: Entry, encoded_size: usize) {
-        self.bytes += key.len() + encoded_size;
-        self.entries.insert(key, entry);
+    fn shard_for(&self, key: &[u8]) -> &Mutex<Shard> {
+        &self.shards[(fnv1a(key) % self.shards.len() as u64) as usize]
     }
 
-    /// Latest entry for a key, if buffered.
-    pub fn get(&self, key: &[u8]) -> Option<&Entry> {
-        self.entries.get(key)
+    /// Inserts a version and garbage-collects the key's chain.
+    ///
+    /// `gc_floor` must be `min(visible watermark, oldest pinned bound)` at
+    /// call time; versions whose shadow is at or below it are unreachable
+    /// by every current and future reader and are dropped.
+    pub fn put(&self, key: Vec<u8>, row: Option<Row>, seq: u64, cost: usize, gc_floor: u64) {
+        let mut shard = self
+            .shard_for(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let versions = shard.entries.entry(key).or_default();
+        insert_version(
+            versions,
+            Version {
+                seq,
+                row,
+                shadow: u64::MAX,
+                cost,
+            },
+        );
+        self.bytes.fetch_add(cost, Ordering::Relaxed);
+        let freed = gc_chain(versions, gc_floor);
+        if freed > 0 {
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
     }
 
-    /// Number of buffered keys.
-    pub fn len(&self) -> usize {
-        self.entries.len()
+    /// Newest version of `key` at or below `bound`, if the shard holds one.
+    pub fn get(&self, key: &[u8], bound: u64) -> Option<MemHit> {
+        let shard = self
+            .shard_for(key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let versions = shard.entries.get(key)?;
+        let mut chained = true;
+        let mut expected_shadow = u64::MAX;
+        for v in versions {
+            if v.shadow != expected_shadow {
+                // A newer version of this key was flushed out of the shard.
+                chained = false;
+            }
+            if v.seq <= bound {
+                return Some(MemHit {
+                    row: v.row.clone(),
+                    seq: v.seq,
+                    definitive: chained,
+                });
+            }
+            expected_shadow = v.seq;
+        }
+        None
     }
 
-    /// Whether nothing is buffered.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+    /// Newest version at or below `bound` for every key (tombstones
+    /// included), for scan merging.
+    pub fn visible_entries(&self, bound: u64) -> Vec<(Vec<u8>, Option<Row>, u64)> {
+        self.collect(bound, |_| true)
     }
 
-    /// Approximate buffered bytes (monotone until clear; overwrites keep
-    /// counting, like Cassandra's allocator accounting).
-    pub fn approximate_bytes(&self) -> usize {
-        self.bytes
+    /// Like [`ShardedMemtable::visible_entries`] but restricted to keys
+    /// starting with `prefix`.
+    pub fn visible_prefix(&self, prefix: &[u8], bound: u64) -> Vec<(Vec<u8>, Option<Row>, u64)> {
+        self.collect(bound, |k| k.starts_with(prefix))
     }
 
-    /// Iterates entries in key order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &Entry)> {
-        self.entries.iter()
+    fn collect(
+        &self,
+        bound: u64,
+        keep: impl Fn(&[u8]) -> bool,
+    ) -> Vec<(Vec<u8>, Option<Row>, u64)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (key, versions) in &shard.entries {
+                if !keep(key) {
+                    continue;
+                }
+                if let Some(v) = versions.iter().find(|v| v.seq <= bound) {
+                    out.push((key.clone(), v.row.clone(), v.seq));
+                }
+            }
+        }
+        out
     }
 
-    /// Iterates entries whose keys start with `prefix`, in key order.
-    pub fn iter_prefix<'a>(
-        &'a self,
-        prefix: &'a [u8],
-    ) -> impl Iterator<Item = (&'a Vec<u8>, &'a Entry)> + 'a {
-        self.entries
-            .range(prefix.to_vec()..)
-            .take_while(move |(k, _)| k.starts_with(prefix))
+    /// Approximate bytes buffered across all shards.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
     }
 
-    /// Drains the memtable for a flush, leaving it empty.
-    pub fn drain(&mut self) -> Vec<(Vec<u8>, Entry)> {
-        self.bytes = 0;
-        std::mem::take(&mut self.entries).into_iter().collect()
+    /// Number of keys with at least one buffered version (test
+    /// observability).
+    #[cfg(test)]
+    pub fn key_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).entries.len())
+            .sum()
     }
+
+    /// Flush phase one: removes, per key, the newest version at or below
+    /// `boundary` (the visible watermark at flush start, so every drained
+    /// sequence is fully committed) — but only when that version is the
+    /// key's **globally newest** (`shadow == u64::MAX`). Returns the
+    /// drained entries sorted by key.
+    ///
+    /// The globally-newest restriction is what keeps per-key sequence
+    /// order monotone across SSTable age order: a shadowed version never
+    /// reaches disk (its shadow already has, or will first), so a
+    /// newest-SSTable-first read can stop at its first hit. Shadowed
+    /// versions exist only to serve pinned readers and die in memory when
+    /// the GC floor passes their shadow; the WAL, not the SSTable, is
+    /// their durability story. Older retained versions are GC'd against
+    /// `gc_floor` on the way through; empty chains are dropped.
+    pub fn drain_up_to(
+        &self,
+        boundary: u64,
+        gc_floor: u64,
+    ) -> BTreeMap<Vec<u8>, (Option<Row>, u64)> {
+        let mut drained = BTreeMap::new();
+        let mut freed = 0usize;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            shard.entries.retain(|key, versions| {
+                if let Some(pos) = versions.iter().position(|v| v.seq <= boundary) {
+                    if versions[pos].shadow == u64::MAX {
+                        let v = versions.remove(pos);
+                        freed += v.cost;
+                        drained.insert(key.clone(), (v.row, v.seq));
+                    }
+                }
+                freed += gc_chain(versions, gc_floor);
+                !versions.is_empty()
+            });
+        }
+        if freed > 0 {
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+        drained
+    }
+
+    /// Flush undo: re-inserts entries drained by
+    /// [`ShardedMemtable::drain_up_to`] after a failed SSTable write, so
+    /// the data stays readable and a later flush can retry. Shadow links
+    /// are recomputed from the chain neighbors.
+    pub fn reinsert(&self, entries: BTreeMap<Vec<u8>, (Option<Row>, u64)>) {
+        let mut scratch = Encoder::new();
+        for (key, (row, seq)) in entries {
+            let cost = key.len() + row.as_ref().map_or(1, |r| r.encoded_size(&mut scratch));
+            self.put(key, row, seq, cost, 0);
+        }
+    }
+}
+
+/// Inserts `v` into a newest-first chain, fixing up the shadow links of
+/// the inserted version and its older neighbor. Replaces in place when the
+/// sequence is already present (idempotent WAL replay).
+fn insert_version(versions: &mut Vec<Version>, mut v: Version) {
+    let pos = versions.partition_point(|existing| existing.seq > v.seq);
+    if let Some(existing) = versions.get_mut(pos) {
+        if existing.seq == v.seq {
+            v.shadow = existing.shadow;
+            v.cost = existing.cost;
+            *existing = v;
+            return;
+        }
+    }
+    v.shadow = if pos == 0 {
+        u64::MAX
+    } else {
+        versions[pos - 1].seq
+    };
+    if let Some(older) = versions.get_mut(pos) {
+        // Only claim the older neighbor if it was unshadowed: a non-MAX
+        // shadow means a version between the two already exists elsewhere
+        // (flushed), and repointing it would make a bound below that
+        // flushed sequence wrongly treat the chain as complete.
+        if older.shadow == u64::MAX {
+            older.shadow = v.seq;
+        }
+    }
+    versions.insert(pos, v);
+}
+
+/// Drops chain versions unreachable by every current and future reader:
+/// those shadowed at or below `gc_floor`. Returns the freed cost.
+fn gc_chain(versions: &mut Vec<Version>, gc_floor: u64) -> usize {
+    let mut freed = 0;
+    versions.retain(|v| {
+        if v.shadow != u64::MAX && v.shadow <= gc_floor {
+            freed += v.cost;
+            false
+        } else {
+            true
+        }
+    });
+    freed
 }
 
 #[cfg(test)]
@@ -84,70 +308,137 @@ mod tests {
         Row::new(vec![CqlValue::Int(v)])
     }
 
-    #[test]
-    fn put_get_overwrite() {
-        let mut m = Memtable::new();
-        m.put(
-            vec![1],
-            Entry {
-                row: Some(row(10)),
-                timestamp: 1,
-            },
-            16,
-        );
-        m.put(
-            vec![1],
-            Entry {
-                row: Some(row(20)),
-                timestamp: 2,
-            },
-            16,
-        );
-        assert_eq!(m.len(), 1);
-        assert_eq!(m.get(&[1]).unwrap().row.as_ref().unwrap(), &row(20));
-        assert_eq!(m.get(&[1]).unwrap().timestamp, 2);
-        assert!(m.get(&[2]).is_none());
-        assert!(m.approximate_bytes() >= 32, "overwrites keep counting");
+    fn put(m: &ShardedMemtable, key: &[u8], v: i64, seq: u64, gc_floor: u64) {
+        m.put(key.to_vec(), Some(row(v)), seq, 8, gc_floor);
     }
 
     #[test]
-    fn tombstones_are_entries() {
-        let mut m = Memtable::new();
-        m.put(
-            vec![9],
-            Entry {
-                row: None,
-                timestamp: 5,
-            },
-            1,
-        );
-        assert!(m.get(&[9]).unwrap().row.is_none());
+    fn reads_respect_the_bound() {
+        let m = ShardedMemtable::new();
+        put(&m, b"k", 1, 5, 0);
+        put(&m, b"k", 2, 9, 0);
+        assert!(m.get(b"k", 4).is_none(), "nothing visible below seq 5");
+        let hit = m.get(b"k", 5).unwrap();
+        assert_eq!(hit.seq, 5);
+        assert_eq!(hit.row.unwrap(), row(1));
+        let hit = m.get(b"k", u64::MAX).unwrap();
+        assert_eq!(hit.seq, 9);
+        assert!(hit.definitive, "intact chain short-circuits");
     }
 
     #[test]
-    fn drain_empties_in_key_order() {
-        let mut m = Memtable::new();
-        m.put(
-            vec![2],
-            Entry {
-                row: Some(row(2)),
-                timestamp: 1,
-            },
-            8,
+    fn out_of_order_insert_fixes_shadow_links() {
+        let m = ShardedMemtable::new();
+        // Two writers race: the higher sequence reaches the shard first.
+        put(&m, b"k", 2, 9, 0);
+        put(&m, b"k", 1, 5, 0);
+        let hit = m.get(b"k", 5).unwrap();
+        assert_eq!(hit.seq, 5);
+        assert!(
+            hit.definitive,
+            "chain 9→5 is intact, nothing can be newer elsewhere"
         );
-        m.put(
-            vec![1],
-            Entry {
-                row: Some(row(1)),
-                timestamp: 2,
-            },
-            8,
+    }
+
+    #[test]
+    fn gc_drops_versions_below_the_floor() {
+        let m = ShardedMemtable::new();
+        put(&m, b"k", 1, 5, 0);
+        // Floor 9 ≥ shadow (9) of the old version: it is unreachable.
+        put(&m, b"k", 2, 9, 9);
+        assert!(m.get(b"k", 5).is_none(), "seq-5 version was GC'd");
+        assert!(m.get(b"k", u64::MAX).is_some());
+    }
+
+    #[test]
+    fn gc_keeps_versions_a_pinned_reader_needs() {
+        let m = ShardedMemtable::new();
+        put(&m, b"k", 1, 5, 0);
+        // A reader is pinned at bound 7 (< shadow 9): keep the old version.
+        put(&m, b"k", 2, 9, 7);
+        let hit = m.get(b"k", 7).unwrap();
+        assert_eq!(hit.seq, 5);
+        assert_eq!(hit.row.unwrap(), row(1));
+    }
+
+    #[test]
+    fn drain_takes_committed_versions_and_leaves_the_rest() {
+        let m = ShardedMemtable::new();
+        put(&m, b"a", 1, 3, 0);
+        put(&m, b"a", 2, 8, 0);
+        put(&m, b"b", 3, 4, 0);
+        // Boundary 5: b@4 flushes. a@3 is at or below the boundary too,
+        // but it is shadowed by the in-memory a@8 — flushing it would put
+        // an older sequence in a younger SSTable, so it must stay.
+        let drained = m.drain_up_to(5, 0);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[&b"b".to_vec()].1, 4);
+        assert!(m.get(b"b", u64::MAX).is_none());
+        let hit = m.get(b"a", u64::MAX).unwrap();
+        assert_eq!(hit.seq, 8);
+        assert!(hit.definitive);
+        let hit = m.get(b"a", 3).unwrap();
+        assert_eq!(hit.seq, 3, "the shadowed version still serves its bound");
+        // A later flush with an advanced boundary takes a@8 and GC's a@3.
+        let drained = m.drain_up_to(8, 8);
+        assert_eq!(drained[&b"a".to_vec()].1, 8);
+        assert!(m.get(b"a", u64::MAX).is_none());
+        assert_eq!(m.key_count(), 0);
+    }
+
+    #[test]
+    fn hole_above_a_version_defeats_short_circuiting() {
+        let m = ShardedMemtable::new();
+        put(&m, b"k", 1, 3, 0);
+        put(&m, b"k", 2, 8, 0);
+        // Flush the newest committed version (8); the snapshot-retained
+        // version 3 stays with shadow 8 — a hole above it.
+        let drained = m.drain_up_to(8, 0);
+        assert_eq!(drained[&b"k".to_vec()].1, 8);
+        let hit = m.get(b"k", u64::MAX).unwrap();
+        assert_eq!(hit.seq, 3);
+        assert!(
+            !hit.definitive,
+            "a flushed newer version exists; SSTables must be consulted"
         );
-        let drained = m.drain();
-        assert_eq!(drained.len(), 2);
-        assert_eq!(drained[0].0, vec![1]);
-        assert_eq!(drained[1].0, vec![2]);
-        assert!(m.is_empty());
-        assert_eq!(m.approximate_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_restores_drained_entries() {
+        let m = ShardedMemtable::new();
+        put(&m, b"k", 1, 3, 0);
+        let drained = m.drain_up_to(5, 0);
+        assert!(m.get(b"k", u64::MAX).is_none());
+        m.reinsert(drained);
+        let hit = m.get(b"k", u64::MAX).unwrap();
+        assert_eq!(hit.seq, 3);
+        assert!(hit.definitive);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_live_versions() {
+        let m = ShardedMemtable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        put(&m, b"k", 1, 1, 0);
+        put(&m, b"j", 2, 2, 0);
+        assert!(m.approx_bytes() >= 16);
+        m.drain_up_to(2, 0);
+        assert_eq!(m.approx_bytes(), 0);
+        assert_eq!(m.key_count(), 0);
+    }
+
+    #[test]
+    fn visible_entries_pick_newest_at_or_below_bound() {
+        let m = ShardedMemtable::new();
+        put(&m, b"a", 1, 2, 0);
+        put(&m, b"a", 2, 6, 0);
+        put(&m, b"b", 3, 4, 0);
+        m.put(b"c".to_vec(), None, 5, 8, 0); // tombstone
+        let mut vis = m.visible_entries(5);
+        vis.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(vis.len(), 3);
+        assert_eq!(vis[0].2, 2, "a@6 is above the bound");
+        assert_eq!(vis[1].2, 4);
+        assert!(vis[2].1.is_none(), "tombstones are reported to the merger");
     }
 }

@@ -26,8 +26,15 @@
 //! | `nosql.block_cache.evict`      | counter   | block evicted to stay within budget      |
 //! | `nosql.recovery.*`             | span      | `Db` recovery (replay + manifest load)   |
 //! | `nosql.recovery.replayed_records` | counter | commit-log records re-applied           |
+//! | `nosql.group_commit.batches`   | counter   | WAL batches written (one append each)    |
+//! | `nosql.group_commit.records`   | counter   | records carried by those batches         |
+//! | `nosql.group_commit.records_per_batch` | histogram | batch size distribution          |
+//! | `nosql.group_commit.wait_ns`   | histogram | follower wait for its leader, in ns      |
+//! | `nosql.snapshot.opened`        | counter   | `Snapshot` handles opened                |
+//! | `nosql.snapshot.closed`        | counter   | `Snapshot` handles dropped               |
+//! | `nosql.snapshot.live`          | gauge     | currently live `Snapshot` handles        |
 
-use sc_obs::{Counter, Histogram, Registry, SpanHandle};
+use sc_obs::{Counter, Gauge, Histogram, Registry, SpanHandle};
 use std::sync::OnceLock;
 
 pub(crate) struct NosqlObs {
@@ -49,6 +56,13 @@ pub(crate) struct NosqlObs {
     pub block_cache_evict: Counter,
     pub recovery: SpanHandle,
     pub replayed_records: Counter,
+    pub group_commit_batches: Counter,
+    pub group_commit_records: Counter,
+    pub group_commit_records_per_batch: Histogram,
+    pub group_commit_wait_ns: Histogram,
+    pub snapshot_opened: Counter,
+    pub snapshot_closed: Counter,
+    pub snapshot_live: Gauge,
 }
 
 pub(crate) fn nosql() -> &'static NosqlObs {
@@ -74,6 +88,13 @@ pub(crate) fn nosql() -> &'static NosqlObs {
             block_cache_evict: r.counter("nosql.block_cache.evict"),
             recovery: r.span("nosql.recovery"),
             replayed_records: r.counter("nosql.recovery.replayed_records"),
+            group_commit_batches: r.counter("nosql.group_commit.batches"),
+            group_commit_records: r.counter("nosql.group_commit.records"),
+            group_commit_records_per_batch: r.histogram("nosql.group_commit.records_per_batch"),
+            group_commit_wait_ns: r.histogram("nosql.group_commit.wait_ns"),
+            snapshot_opened: r.counter("nosql.snapshot.opened"),
+            snapshot_closed: r.counter("nosql.snapshot.closed"),
+            snapshot_live: r.gauge("nosql.snapshot.live"),
         }
     })
 }

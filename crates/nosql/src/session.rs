@@ -1,0 +1,107 @@
+//! Per-connection statement state over the shared engine core.
+
+use crate::cql::ast::Statement;
+use crate::cql::parse_statement;
+use crate::engine::DbCore;
+use crate::error::{NosqlError, Result};
+use crate::mvcc;
+use crate::result::QueryResult;
+use crate::snapshot::Snapshot;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A statement-execution session: the unit of per-connection state over a
+/// [`crate::SharedDb`].
+///
+/// Sessions are cheap (an `Arc` clone plus a few fields) and independent:
+/// each carries its own `USE` keyspace and its own commit-wait accounting,
+/// while every statement executes against the same shared, internally
+/// synchronized engine core — two sessions on different threads proceed
+/// concurrently.
+///
+/// [`Session::last_commit_wait`] reports how long the previous statement
+/// spent queueing in the group-commit WAL rather than executing; servers
+/// subtract it from wall-clock latency so slow-query logs and latency
+/// metrics attribute time to the statement, not to its neighbors' fsyncs.
+#[derive(Debug)]
+pub struct Session {
+    core: Arc<DbCore>,
+    keyspace: Option<String>,
+    tag: Option<String>,
+    last_commit_wait: Duration,
+}
+
+impl Session {
+    pub(crate) fn new(core: Arc<DbCore>) -> Session {
+        Session {
+            core,
+            keyspace: None,
+            tag: None,
+            last_commit_wait: Duration::ZERO,
+        }
+    }
+
+    /// Labels this session for diagnostics (slow-query attribution). The
+    /// tag is free-form — servers use the authenticated tenant/connection.
+    pub fn set_tag(&mut self, tag: impl Into<String>) {
+        self.tag = Some(tag.into());
+    }
+
+    /// The diagnostic label, if one was set.
+    pub fn tag(&self) -> Option<&str> {
+        self.tag.as_deref()
+    }
+
+    /// The session's current `USE` keyspace, if any.
+    pub fn keyspace(&self) -> Option<&str> {
+        self.keyspace.as_deref()
+    }
+
+    /// Parses and executes one CQL statement.
+    pub fn execute_cql(&mut self, cql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(cql)?;
+        self.execute(&stmt)
+    }
+
+    /// Executes a pre-parsed statement. `USE` is handled here (it mutates
+    /// session state); everything else resolves unqualified table
+    /// references against the session keyspace and runs on the shared
+    /// core.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        mvcc::reset_queue_wait();
+        let result = match stmt {
+            Statement::Use { keyspace } => {
+                if !self.core.has_keyspace(keyspace) {
+                    return Err(NosqlError::UnknownKeyspace(keyspace.clone()));
+                }
+                self.keyspace = Some(keyspace.clone());
+                Ok(QueryResult::empty())
+            }
+            // Rewriting clones the whole statement; skip it when every ref
+            // is already qualified (the common case for server traffic,
+            // where tenant confinement qualifies refs up front).
+            _ => match &self.keyspace {
+                Some(ks) if stmt.table_refs().iter().any(|t| !t.is_qualified()) => {
+                    self.core.execute(&stmt.with_default_keyspace(ks))
+                }
+                _ => self.core.execute(stmt),
+            },
+        };
+        self.last_commit_wait = mvcc::queue_wait();
+        result
+    }
+
+    /// How long the most recent statement spent waiting on the
+    /// group-commit queue (leader's linger + follower's wait for the
+    /// leader's fsync). Subtract from wall-clock time to get execution
+    /// time.
+    pub fn last_commit_wait(&self) -> Duration {
+        self.last_commit_wait
+    }
+
+    /// Pins a point-in-time, read-only view of the database (same as
+    /// [`crate::SharedDb::snapshot`]).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::new(Arc::clone(&self.core))
+    }
+}

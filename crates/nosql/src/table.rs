@@ -1,15 +1,34 @@
-//! Per-column-family runtime: memtable + SSTables, flush and compaction.
+//! Per-column-family runtime: sharded memtable + SSTables, flush and
+//! compaction, all behind `&self`.
+//!
+//! `TableCore` is the concurrent successor of the old `TableRuntime`.
+//! Writers insert into the FNV-sharded memtable (per-shard mutexes);
+//! readers run lock-free against the memtable shards and take only a
+//! read guard on the SSTable list, which they hold across every probe so
+//! a concurrent compaction can never delete a file out from under them.
+//! Flush and compaction serialize on a per-table maintenance mutex and
+//! never block reads except for the instant they swap the SSTable list.
+//!
+//! A flush is two-phase: drained entries are published as a **frozen
+//! run** (readable, immutable) while the SSTable is written, then the
+//! SSTable is attached and the frozen run retired. Readers therefore see
+//! every committed write at all times; a brief overlap where a write is
+//! visible both frozen and on disk is harmless because point reads
+//! resolve by max sequence.
 
 use crate::cache::BlockCache;
-use crate::commitlog::{CommitLog, LogRecord};
 use crate::error::Result;
 use crate::manifest::{Manifest, ManifestEdit};
-use crate::memtable::{Entry, Memtable};
+use crate::memtable::ShardedMemtable;
+use crate::mvcc::{SeqTracker, SnapshotRegistry};
 use crate::row::Row;
 use crate::schema::TableDef;
 use crate::sstable::{write_sstable, SsTable, SstEntry};
 use sc_encoding::{Decoder, Encoder};
 use sc_storage::Vfs;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Flush/compaction tuning.
 #[derive(Debug, Clone, Copy)]
@@ -29,293 +48,414 @@ impl Default for TableOptions {
     }
 }
 
-/// Runtime state of one column family.
+/// Entries drained from the memtable, readable while their SSTable is
+/// being written.
 #[derive(Debug)]
-pub struct TableRuntime {
-    def: TableDef,
+struct FrozenRun {
+    entries: BTreeMap<Vec<u8>, (Option<Row>, u64)>,
+}
+
+/// Runtime state of one column family. All methods take `&self`; the type
+/// is `Send + Sync` and shared via `Arc` between sessions.
+#[derive(Debug)]
+pub(crate) struct TableCore {
+    def: RwLock<Arc<TableDef>>,
     vfs: Vfs,
     manifest: Manifest,
-    memtable: Memtable,
-    sstables: Vec<SsTable>, // oldest first
-    next_sst_id: u64,
+    mem: ShardedMemtable,
+    /// At most one frozen run exists at a time (flushes serialize on
+    /// `maint`); `None` outside a flush's write window.
+    flushing: RwLock<Option<Arc<FrozenRun>>>,
+    /// Open SSTables, oldest first.
+    ssts: RwLock<Vec<Arc<SsTable>>>,
+    next_sst_id: AtomicU64,
+    /// Serializes flush and compaction for this table.
+    maint: Mutex<()>,
+    /// Serializes read-modify-write statements (UPDATE, and any write to an
+    /// indexed table): the read half must observe every prior RMW's write.
+    rmw: Mutex<()>,
     options: TableOptions,
     /// The engine-wide shared block cache every SSTable reads through.
     cache: BlockCache,
 }
 
-impl TableRuntime {
-    /// Creates runtime state for a (new) table. `manifest` is the engine-wide
-    /// SSTable manifest through which every flush and compaction publishes;
-    /// `cache` is the engine-wide shared block cache.
+fn decode_body(body: &[u8]) -> Result<Row> {
+    let mut dec = Decoder::new(body);
+    Ok(Row::decode(&mut dec)?.0)
+}
+
+impl TableCore {
+    /// Creates runtime state for a (new) table. `manifest` is the
+    /// engine-wide SSTable manifest through which every flush and
+    /// compaction publishes; `cache` is the engine-wide shared block cache.
     pub fn new(
         def: TableDef,
         vfs: Vfs,
         manifest: Manifest,
         options: TableOptions,
         cache: BlockCache,
-    ) -> TableRuntime {
-        TableRuntime {
-            def,
+    ) -> TableCore {
+        TableCore {
+            def: RwLock::new(Arc::new(def)),
             vfs,
             manifest,
-            memtable: Memtable::new(),
-            sstables: Vec::new(),
-            next_sst_id: 0,
+            mem: ShardedMemtable::new(),
+            flushing: RwLock::new(None),
+            ssts: RwLock::new(Vec::new()),
+            next_sst_id: AtomicU64::new(0),
+            maint: Mutex::new(()),
+            rmw: Mutex::new(()),
             options,
             cache,
         }
     }
 
-    /// The table definition.
-    pub fn def(&self) -> &TableDef {
-        &self.def
+    /// The table definition (cheap `Arc` clone).
+    pub fn def(&self) -> Arc<TableDef> {
+        Arc::clone(&self.def.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Takes this table's read-modify-write lock. Statements that read the
+    /// current row before writing (UPDATE, index maintenance) hold it across
+    /// the read *and* the commit so concurrent RMWs serialize.
+    pub fn rmw_lock(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.rmw.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Registers a new secondary index name on the definition.
-    pub fn add_index(&mut self, column: &str) {
-        self.def.indexed_columns.push(column.to_string());
+    pub fn add_index(&self, column: &str) {
+        let mut def = self.def.write().unwrap_or_else(|e| e.into_inner());
+        let mut updated = (**def).clone();
+        updated.indexed_columns.push(column.to_string());
+        *def = Arc::new(updated);
     }
 
     fn sst_prefix(&self) -> String {
-        format!("{}/{}/sst-", self.def.keyspace, self.def.name)
+        let def = self.def();
+        format!("{}/{}/sst-", def.keyspace, def.name)
     }
 
-    /// Applies a write: logs it, buffers it, maybe flushes.
-    ///
-    /// `log` is the engine-wide commit log (may be `None` during replay).
-    pub fn put(
-        &mut self,
-        row: Option<Row>,
-        key: Vec<u8>,
-        timestamp: u64,
-        log: Option<&CommitLog>,
-    ) -> Result<()> {
-        let mut body_enc = Encoder::new();
-        if let Some(r) = &row {
-            r.encode(&mut body_enc, timestamp);
-        }
-        let body = body_enc.into_bytes();
-        if let Some(log) = log {
-            log.append(&LogRecord {
-                table: self.def.qualified_name(),
-                key: key.clone(),
-                body: body.clone(),
-                timestamp,
-            })?;
-        }
-        let size = key.len() + body.len();
+    /// Applies a write to the memtable. The caller has already made the
+    /// mutation durable (group-commit WAL) or is replaying the log.
+    /// `gc_floor` gates version-chain pruning (see
+    /// [`SnapshotRegistry::gc_floor`]).
+    pub fn apply(&self, key: Vec<u8>, row: Option<Row>, seq: u64, cost: usize, gc_floor: u64) {
         if sc_obs::enabled() {
             crate::obs::nosql().memtable_puts.inc();
         }
-        self.memtable.put(key, Entry { row, timestamp }, size);
-        if self.memtable.approximate_bytes() >= self.options.memtable_flush_bytes {
-            self.flush()?;
-        }
-        Ok(())
+        crate::mvcc::perturb(31);
+        self.mem.put(key, row, seq, cost, gc_floor);
     }
 
-    /// Applies a replayed log record (no re-logging).
-    pub fn apply_log_record(&mut self, record: LogRecord) -> Result<()> {
-        let row = if record.body.is_empty() {
-            None
-        } else {
-            let mut dec = Decoder::new(&record.body);
-            let (row, _) = Row::decode(&mut dec)?;
-            Some(row)
-        };
-        let size = record.key.len() + record.body.len();
-        self.memtable.put(
-            record.key,
-            Entry {
-                row,
-                timestamp: record.timestamp,
-            },
-            size,
-        );
-        Ok(())
-    }
-
-    /// Point read through memtable then SSTables (newest first).
-    pub fn get(&self, key: &[u8]) -> Result<Option<Row>> {
+    /// Point read at MVCC bound `bound`: the newest version with
+    /// `seq <= bound` wins, wherever it lives.
+    pub fn get(&self, key: &[u8], bound: u64) -> Result<Option<Row>> {
         let stats = sc_obs::enabled();
         if stats {
             crate::obs::nosql().point_queries.inc();
         }
-        if let Some(entry) = self.memtable.get(key) {
-            if stats {
-                crate::obs::nosql().sstables_per_get.record(0);
-                crate::obs::nosql().blocks_per_get.record(0);
+        crate::mvcc::perturb(32);
+        let mut best: Option<(Option<Row>, u64)> = None;
+        if let Some(hit) = self.mem.get(key, bound) {
+            if hit.definitive {
+                // Chain complete above the hit: nothing newer can exist in
+                // a frozen run or SSTable. Warm reads stay disk-free.
+                if stats {
+                    crate::obs::nosql().sstables_per_get.record(0);
+                    crate::obs::nosql().blocks_per_get.record(0);
+                }
+                return Ok(hit.row);
             }
-            return Ok(entry.row.clone());
+            best = Some((hit.row, hit.seq));
         }
+        if let Some(frozen) = self
+            .flushing
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            if let Some((row, seq)) = frozen.entries.get(key) {
+                if *seq <= bound && best.as_ref().is_none_or(|(_, b)| seq > b) {
+                    best = Some((row.clone(), *seq));
+                }
+            }
+        }
+        // Hold the read guard across every probe so compaction cannot
+        // delete a file mid-lookup.
+        let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
         let mut probed = 0u64;
         let mut blocks = 0u64;
-        for sst in self.sstables.iter().rev() {
+        for sst in ssts.iter().rev() {
             probed += 1;
             let probe = sst.probe(key)?;
             blocks += probe.blocks_read;
             if let Some(e) = probe.entry {
-                if stats {
-                    crate::obs::nosql().sstables_per_get.record(probed);
-                    crate::obs::nosql().blocks_per_get.record(blocks);
+                if e.timestamp > bound {
+                    // Not yet visible at this bound; per-key sequences are
+                    // monotone across age order, so an older SSTable may
+                    // still hold the visible version.
+                    continue;
                 }
-                return Ok(match e.body {
-                    Some(body) => {
-                        let mut dec = Decoder::new(&body);
-                        Some(Row::decode(&mut dec)?.0)
-                    }
-                    None => None,
-                });
+                if best.as_ref().is_none_or(|(_, b)| e.timestamp > *b) {
+                    let row = match &e.body {
+                        Some(body) => Some(decode_body(body)?),
+                        None => None,
+                    };
+                    best = Some((row, e.timestamp));
+                }
+                // First visible on-disk hit is the newest on disk.
+                break;
             }
         }
         if stats {
             crate::obs::nosql().sstables_per_get.record(probed);
             crate::obs::nosql().blocks_per_get.record(blocks);
         }
-        Ok(None)
+        Ok(best.and_then(|(row, _)| row))
     }
 
-    /// Full scan: newest version per key, tombstones elided, key order.
-    pub fn scan(&self) -> Result<Vec<(Vec<u8>, Row)>> {
-        // Collect newest-first sources: memtable, then sstables newest->oldest.
-        let mut seen: std::collections::BTreeMap<Vec<u8>, Option<Row>> =
-            std::collections::BTreeMap::new();
-        // Oldest first so newer sources overwrite.
-        for sst in &self.sstables {
-            for e in sst.scan()? {
-                let row = match e.body {
-                    Some(body) => {
-                        let mut dec = Decoder::new(&body);
-                        Some(Row::decode(&mut dec)?.0)
-                    }
-                    None => None,
+    /// Full scan at `bound`: newest visible version per key, tombstones
+    /// elided, key order.
+    pub fn scan(&self, bound: u64) -> Result<Vec<(Vec<u8>, Row)>> {
+        self.scan_merge(bound, None)
+    }
+
+    /// Bounded scan at `bound`: like [`TableCore::scan`] but restricted to
+    /// keys starting with `prefix`.
+    pub fn scan_prefix(&self, prefix: &[u8], bound: u64) -> Result<Vec<(Vec<u8>, Row)>> {
+        self.scan_merge(bound, Some(prefix))
+    }
+
+    fn scan_merge(&self, bound: u64, prefix: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Row)>> {
+        // Layers ordered oldest → newest: SSTables (age order), frozen
+        // run, memtable. Within the on-disk layers, later always means a
+        // newer per-key sequence, so plain overwrite is correct; the
+        // memtable layer can hold *older* snapshot-retained versions, so
+        // it must compare sequences.
+        let mut seen: BTreeMap<Vec<u8>, (Option<Row>, u64)> = BTreeMap::new();
+        {
+            let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
+            for sst in ssts.iter() {
+                let entries = match prefix {
+                    Some(p) => sst.scan_prefix(p)?,
+                    None => sst.scan()?,
                 };
-                seen.insert(e.key, row);
+                for e in entries {
+                    if e.timestamp > bound {
+                        continue;
+                    }
+                    let row = match &e.body {
+                        Some(body) => Some(decode_body(body)?),
+                        None => None,
+                    };
+                    seen.insert(e.key, (row, e.timestamp));
+                }
             }
         }
-        for (key, entry) in self.memtable.iter() {
-            seen.insert(key.clone(), entry.row.clone());
+        if let Some(frozen) = self
+            .flushing
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            for (key, (row, seq)) in &frozen.entries {
+                if *seq > bound || prefix.is_some_and(|p| !key.starts_with(p)) {
+                    continue;
+                }
+                seen.insert(key.clone(), (row.clone(), *seq));
+            }
+        }
+        let mem_entries = match prefix {
+            Some(p) => self.mem.visible_prefix(p, bound),
+            None => self.mem.visible_entries(bound),
+        };
+        for (key, row, seq) in mem_entries {
+            match seen.get(&key) {
+                Some((_, existing)) if *existing >= seq => {}
+                _ => {
+                    seen.insert(key, (row, seq));
+                }
+            }
         }
         Ok(seen
             .into_iter()
-            .filter_map(|(k, v)| v.map(|row| (k, row)))
+            .filter_map(|(k, (row, _))| row.map(|r| (k, r)))
             .collect())
     }
 
-    /// Bounded scan: newest version per key among keys starting with
-    /// `prefix`, tombstones elided, key order.
-    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Row)>> {
-        let mut seen: std::collections::BTreeMap<Vec<u8>, Option<Row>> =
-            std::collections::BTreeMap::new();
-        for sst in &self.sstables {
-            for e in sst.scan_prefix(prefix)? {
-                let row = match e.body {
-                    Some(body) => {
-                        let mut dec = Decoder::new(&body);
-                        Some(Row::decode(&mut dec)?.0)
-                    }
-                    None => None,
-                };
-                seen.insert(e.key, row);
-            }
-        }
-        for (key, entry) in self.memtable.iter_prefix(prefix) {
-            seen.insert(key.clone(), entry.row.clone());
-        }
-        Ok(seen
-            .into_iter()
-            .filter_map(|(k, v)| v.map(|row| (k, row)))
-            .collect())
+    /// Flushes committed memtable versions to a new SSTable. Blocks on the
+    /// maintenance mutex (explicit flush).
+    pub fn flush(&self, tracker: &SeqTracker, registry: &SnapshotRegistry) -> Result<()> {
+        let guard = self.maint.lock().unwrap_or_else(|e| e.into_inner());
+        self.flush_locked(&guard, tracker, registry)
     }
 
-    /// Flushes the memtable to a new SSTable.
-    pub fn flush(&mut self) -> Result<()> {
-        if self.memtable.is_empty() {
+    /// Threshold-triggered flush: skips silently when another flush or
+    /// compaction is already running (that one will cover the data, or the
+    /// next put re-triggers).
+    pub fn maybe_flush(&self, tracker: &SeqTracker, registry: &SnapshotRegistry) -> Result<()> {
+        if self.mem.approx_bytes() < self.options.memtable_flush_bytes {
+            return Ok(());
+        }
+        let Ok(guard) = self.maint.try_lock() else {
+            return Ok(());
+        };
+        if self.mem.approx_bytes() < self.options.memtable_flush_bytes {
+            return Ok(());
+        }
+        self.flush_locked(&guard, tracker, registry)
+    }
+
+    fn flush_locked(
+        &self,
+        _maint: &std::sync::MutexGuard<'_, ()>,
+        tracker: &SeqTracker,
+        registry: &SnapshotRegistry,
+    ) -> Result<()> {
+        let boundary = tracker.visible();
+        let gc_floor = registry.gc_floor(tracker);
+        crate::mvcc::perturb(33);
+        let drained = self.mem.drain_up_to(boundary, gc_floor);
+        if drained.is_empty() {
             return Ok(());
         }
         let mut span = crate::obs::nosql().flush.start();
-        let drained = self.memtable.drain();
-        let mut entries = Vec::with_capacity(drained.len());
-        for (key, entry) in drained {
-            let body = entry.row.map(|row| {
+        // Publish the frozen run before the (slow) SSTable write so the
+        // drained entries never stop being readable.
+        let frozen = Arc::new(FrozenRun { entries: drained });
+        *self.flushing.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&frozen));
+        let undo = |this: &TableCore| {
+            let entries = frozen.entries.clone();
+            this.mem.reinsert(entries);
+            *this.flushing.write().unwrap_or_else(|e| e.into_inner()) = None;
+        };
+
+        let mut entries = Vec::with_capacity(frozen.entries.len());
+        for (key, (row, seq)) in &frozen.entries {
+            let body = row.as_ref().map(|row| {
                 let mut enc = Encoder::new();
-                row.encode(&mut enc, entry.timestamp);
+                row.encode(&mut enc, *seq);
                 enc.into_bytes()
             });
             entries.push(SstEntry {
-                key,
+                key: key.clone(),
                 body,
-                timestamp: entry.timestamp,
+                timestamp: *seq,
             });
         }
-        let file = format!("{}{:06}", self.sst_prefix(), self.next_sst_id);
-        self.next_sst_id += 1;
-        write_sstable(&self.vfs, &file, &entries)?;
+        let file = format!(
+            "{}{:06}",
+            self.sst_prefix(),
+            self.next_sst_id.fetch_add(1, Ordering::Relaxed)
+        );
+        if let Err(e) = write_sstable(&self.vfs, &file, &entries) {
+            undo(self);
+            return Err(e);
+        }
         // Publish order matters for crash safety: data first, manifest
         // second. A crash in between leaves an orphan file that recovery
         // deletes, never a published name without its bytes.
-        self.manifest
-            .commit(&ManifestEdit::add(self.def.qualified_name(), &file))?;
-        self.sstables.push(SsTable::open_with_cache(
-            self.vfs.clone(),
-            &file,
-            self.cache.clone(),
-        )?);
-        span.add_bytes(self.sstables.last().map(SsTable::size).unwrap_or(0));
+        let qualified = self.def().qualified_name();
+        if let Err(e) = self.manifest.commit(&ManifestEdit::add(&qualified, &file)) {
+            undo(self);
+            let _ = self.vfs.delete(&file);
+            return Err(e);
+        }
+        let sst = match SsTable::open_with_cache(self.vfs.clone(), &file, self.cache.clone()) {
+            Ok(sst) => Arc::new(sst),
+            Err(e) => {
+                // Published but unreadable — surface the error; recovery
+                // would face the same file.
+                undo(self);
+                return Err(e);
+            }
+        };
+        span.add_bytes(sst.size());
+        {
+            // Attach before retiring the frozen run: readers must always
+            // find the data in at least one layer.
+            let mut ssts = self.ssts.write().unwrap_or_else(|e| e.into_inner());
+            ssts.push(sst);
+        }
+        crate::mvcc::perturb(34);
+        *self.flushing.write().unwrap_or_else(|e| e.into_inner()) = None;
         drop(span);
-        if self.sstables.len() >= self.options.compaction_threshold {
-            self.compact_tiered()?;
+        let should_compact = {
+            let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
+            ssts.len() >= self.options.compaction_threshold
+        };
+        if should_compact {
+            self.compact_tiered_locked(registry)?;
         }
         Ok(())
     }
 
     /// Size-tiered compaction (Cassandra's default strategy): merge an
     /// age-contiguous run of at least `compaction_threshold` SSTables whose
-    /// sizes are within 4x of each other. Unlike a full compaction this
-    /// bounds write amplification to O(log n) rewrites per byte, which keeps
-    /// big bulk loads linear.
-    pub fn compact_tiered(&mut self) -> Result<()> {
+    /// sizes are within 4x of each other. Bounds write amplification to
+    /// O(log n) rewrites per byte. Caller holds the maintenance lock.
+    fn compact_tiered_locked(&self, registry: &SnapshotRegistry) -> Result<()> {
         loop {
-            let n = self.sstables.len();
-            let threshold = self.options.compaction_threshold.max(2);
-            let mut pick: Option<(usize, usize)> = None;
-            'outer: for start in 0..n {
-                let mut min = u64::MAX;
-                let mut max = 0u64;
-                for end in start..n {
-                    let size = self.sstables[end].size().max(1);
-                    min = min.min(size);
-                    max = max.max(size);
-                    if max > min.saturating_mul(4) {
-                        break;
-                    }
-                    if end - start + 1 >= threshold {
-                        pick = Some((start, end));
-                        break 'outer;
+            let pick = {
+                let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
+                let n = ssts.len();
+                let threshold = self.options.compaction_threshold.max(2);
+                let mut pick: Option<(usize, usize)> = None;
+                'outer: for start in 0..n {
+                    let mut min = u64::MAX;
+                    let mut max = 0u64;
+                    for (end, sst) in ssts.iter().enumerate().skip(start) {
+                        let size = sst.size().max(1);
+                        min = min.min(size);
+                        max = max.max(size);
+                        if max > min.saturating_mul(4) {
+                            break;
+                        }
+                        if end - start + 1 >= threshold {
+                            pick = Some((start, end));
+                            break 'outer;
+                        }
                     }
                 }
-            }
+                pick
+            };
             let Some((start, end)) = pick else {
                 return Ok(());
             };
-            self.merge_run(start, end)?;
+            if !self.merge_run(start, end, registry)? {
+                // Deferred for a pinned snapshot; retry on a later flush.
+                return Ok(());
+            }
         }
     }
 
     /// Merges the age-contiguous run `[start..=end]` of SSTables into one,
-    /// preserving the run's position in the age order.
-    fn merge_run(&mut self, start: usize, end: usize) -> Result<()> {
+    /// preserving the run's position in the age order. Returns `false`
+    /// (without merging) when a pinned snapshot still reads below the
+    /// run's newest sequence: merging keeps only the newest version per
+    /// key, which would destroy the older versions that snapshot needs.
+    /// Pins taken *after* this check are safe — a new pin's bound is the
+    /// current visible watermark, which no flushed sequence exceeds.
+    fn merge_run(&self, start: usize, end: usize, registry: &SnapshotRegistry) -> Result<bool> {
+        let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
+        let run: Vec<Arc<SsTable>> = ssts[start..=end].iter().map(Arc::clone).collect();
+        drop(ssts);
+
         let mut span = crate::obs::nosql().compaction.start();
         if sc_obs::enabled() {
-            let bytes_in: u64 = self.sstables[start..=end].iter().map(SsTable::size).sum();
+            let bytes_in: u64 = run.iter().map(|s| s.size()).sum();
             crate::obs::nosql().compaction_bytes_in.add(bytes_in);
         }
-        let mut merged: std::collections::BTreeMap<Vec<u8>, SstEntry> =
-            std::collections::BTreeMap::new();
-        for sst in &self.sstables[start..=end] {
+        let mut merged: BTreeMap<Vec<u8>, SstEntry> = BTreeMap::new();
+        let mut max_ts = 0u64;
+        for sst in &run {
             for e in sst.scan()? {
+                max_ts = max_ts.max(e.timestamp);
                 merged.insert(e.key.clone(), e);
             }
+        }
+        if registry.min_pinned() < max_ts {
+            return Ok(false);
         }
         // Tombstones can only be dropped when no older SSTable might hold a
         // shadowed live version.
@@ -324,10 +464,17 @@ impl TableRuntime {
             .into_values()
             .filter(|e| !drop_tombstones || e.body.is_some())
             .collect();
-        let file = format!("{}{:06}", self.sst_prefix(), self.next_sst_id);
-        self.next_sst_id += 1;
+        let file = format!(
+            "{}{:06}",
+            self.sst_prefix(),
+            self.next_sst_id.fetch_add(1, Ordering::Relaxed)
+        );
         write_sstable(&self.vfs, &file, &entries)?;
-        let new = SsTable::open_with_cache(self.vfs.clone(), &file, self.cache.clone())?;
+        let new = Arc::new(SsTable::open_with_cache(
+            self.vfs.clone(),
+            &file,
+            self.cache.clone(),
+        )?);
         span.add_bytes(new.size());
         if sc_obs::enabled() {
             crate::obs::nosql().compaction_bytes_out.add(new.size());
@@ -336,73 +483,92 @@ impl TableRuntime {
         // position records where the merged table sits in age order. Only
         // after the swap is durable are the old files deleted — a crash in
         // between leaves them as orphans for recovery to sweep.
-        let qualified = self.def.qualified_name();
+        let qualified = self.def().qualified_name();
         self.manifest.commit(&ManifestEdit {
             adds: vec![(qualified.clone(), file.clone())],
-            removes: self.sstables[start..=end]
+            removes: run
                 .iter()
                 .map(|sst| (qualified.clone(), sst.file().to_string()))
                 .collect(),
         })?;
-        let removed: Vec<SsTable> = self
-            .sstables
-            .splice(start..=end, std::iter::once(new))
-            .collect();
+        let removed: Vec<Arc<SsTable>> = {
+            let mut ssts = self.ssts.write().unwrap_or_else(|e| e.into_inner());
+            ssts.splice(start..=end, std::iter::once(new)).collect()
+        };
+        // No reader can be probing these now: point reads and scans hold
+        // the list's read guard across all their probes, and the write
+        // guard above waited those out.
         for old in removed {
             self.cache.evict_file(old.file());
             self.vfs.delete(old.file())?;
         }
-        Ok(())
+        Ok(true)
     }
 
     /// Full compaction: merge every SSTable into one, newest version wins,
     /// tombstones dropped (full compaction may do so safely).
-    pub fn compact(&mut self) -> Result<()> {
-        if self.sstables.len() <= 1 {
+    pub fn compact(&self, registry: &SnapshotRegistry) -> Result<()> {
+        let _maint = self.maint.lock().unwrap_or_else(|e| e.into_inner());
+        let n = {
+            let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
+            ssts.len()
+        };
+        if n <= 1 {
             return Ok(());
         }
-        self.merge_run(0, self.sstables.len() - 1)
+        self.merge_run(0, n - 1, registry)?;
+        Ok(())
     }
 
     /// Reattaches an existing SSTable file (recovery). Files must be
     /// attached oldest-first — i.e. in the manifest's age order, which is
     /// *not* always name order: a tiered merge's output carries the largest
     /// id but sits mid-sequence in age.
-    pub fn attach_sstable(&mut self, file: &str) -> Result<()> {
-        self.sstables.push(SsTable::open_with_cache(
+    pub fn attach_sstable(&self, file: &str) -> Result<()> {
+        let sst = Arc::new(SsTable::open_with_cache(
             self.vfs.clone(),
             file,
             self.cache.clone(),
         )?);
+        let mut ssts = self.ssts.write().unwrap_or_else(|e| e.into_inner());
+        ssts.push(sst);
         // Keep new flushes numbered after anything already on disk.
         if let Some(num) = file.rsplit('-').next().and_then(|s| s.parse::<u64>().ok()) {
-            self.next_sst_id = self.next_sst_id.max(num + 1);
+            self.next_sst_id.fetch_max(num + 1, Ordering::Relaxed);
         }
         Ok(())
+    }
+
+    /// Largest sequence stored in this table's SSTables (recovery sets the
+    /// tracker floor above it).
+    pub fn max_disk_seq(&self) -> Result<u64> {
+        let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
+        let mut max = 0u64;
+        for sst in ssts.iter() {
+            for e in sst.scan()? {
+                max = max.max(e.timestamp);
+            }
+        }
+        Ok(max)
     }
 
     /// On-disk bytes of this table's SSTables (flush first for an accurate
     /// total — the engine's size API does).
     pub fn disk_size(&self) -> u64 {
-        self.sstables.iter().map(SsTable::size).sum()
+        let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
+        ssts.iter().map(|s| s.size()).sum()
     }
 
-    /// Rows buffered in the memtable (not yet on disk).
-    pub fn memtable_len(&self) -> usize {
-        self.memtable.len()
-    }
-
-    /// Number of SSTables backing the table.
+    /// Number of SSTables backing the table (test observability).
+    #[cfg(test)]
     pub fn sstable_count(&self) -> usize {
-        self.sstables.len()
+        self.ssts.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// The backing SSTable file names, oldest first.
     pub fn sstable_files(&self) -> Vec<String> {
-        self.sstables
-            .iter()
-            .map(|sst| sst.file().to_string())
-            .collect()
+        let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
+        ssts.iter().map(|sst| sst.file().to_string()).collect()
     }
 }
 
@@ -443,71 +609,107 @@ mod tests {
         }
     }
 
-    fn runtime(vfs: Vfs, options: TableOptions) -> TableRuntime {
-        TableRuntime::new(
-            def(),
-            vfs.clone(),
-            Manifest::open(vfs),
-            options,
-            BlockCache::new(crate::cache::DEFAULT_BLOCK_CACHE_BYTES),
-        )
+    struct Harness {
+        table: TableCore,
+        tracker: SeqTracker,
+        registry: SnapshotRegistry,
+    }
+
+    impl Harness {
+        fn new(vfs: Vfs, options: TableOptions) -> Harness {
+            Harness {
+                table: TableCore::new(
+                    def(),
+                    vfs.clone(),
+                    Manifest::open(vfs),
+                    options,
+                    BlockCache::new(crate::cache::DEFAULT_BLOCK_CACHE_BYTES),
+                ),
+                tracker: SeqTracker::new(),
+                registry: SnapshotRegistry::new(),
+            }
+        }
+
+        /// Write-path shape of the engine: alloc, apply, complete, then the
+        /// threshold check.
+        fn put(&self, key: Vec<u8>, row: Option<Row>) {
+            let seq = self.tracker.alloc();
+            let cost = key.len() + 40;
+            let gc_floor = self.registry.gc_floor(&self.tracker);
+            self.table.apply(key, row, seq, cost, gc_floor);
+            self.tracker.complete(seq);
+            self.table
+                .maybe_flush(&self.tracker, &self.registry)
+                .unwrap();
+        }
+
+        fn get(&self, key: &[u8]) -> Option<Row> {
+            self.table.get(key, u64::MAX).unwrap()
+        }
+
+        fn flush(&self) {
+            self.table.flush(&self.tracker, &self.registry).unwrap();
+        }
     }
 
     #[test]
     fn put_get_across_flushes() {
-        let mut t = runtime(Vfs::memory(), small_options());
+        let h = Harness::new(Vfs::memory(), small_options());
         for i in 0..50 {
             let (k, r) = row(i, &format!("v{i}"));
-            t.put(Some(r), k, i as u64, None).unwrap();
+            h.put(k, Some(r));
         }
-        assert!(t.sstable_count() >= 1, "small threshold must have flushed");
+        assert!(
+            h.table.sstable_count() >= 1,
+            "small threshold must have flushed"
+        );
         for i in 0..50 {
             let (k, r) = row(i, &format!("v{i}"));
-            assert_eq!(t.get(&k).unwrap(), Some(r));
+            assert_eq!(h.get(&k), Some(r));
         }
-        assert!(t.get(&CqlValue::Int(999).encode_key()).unwrap().is_none());
+        assert!(h.get(&CqlValue::Int(999).encode_key()).is_none());
     }
 
     #[test]
     fn newest_version_wins_after_flush() {
-        let mut t = runtime(Vfs::memory(), small_options());
+        let h = Harness::new(Vfs::memory(), small_options());
         let (k, r1) = row(1, "old");
-        t.put(Some(r1), k.clone(), 1, None).unwrap();
-        t.flush().unwrap();
+        h.put(k.clone(), Some(r1));
+        h.flush();
         let (_, r2) = row(1, "new");
-        t.put(Some(r2.clone()), k.clone(), 2, None).unwrap();
-        assert_eq!(t.get(&k).unwrap(), Some(r2.clone()));
-        t.flush().unwrap();
-        assert_eq!(t.get(&k).unwrap(), Some(r2));
+        h.put(k.clone(), Some(r2.clone()));
+        assert_eq!(h.get(&k), Some(r2.clone()));
+        h.flush();
+        assert_eq!(h.get(&k), Some(r2));
     }
 
     #[test]
     fn tombstone_hides_older_versions() {
-        let mut t = runtime(Vfs::memory(), small_options());
+        let h = Harness::new(Vfs::memory(), small_options());
         let (k, r) = row(1, "x");
-        t.put(Some(r), k.clone(), 1, None).unwrap();
-        t.flush().unwrap();
-        t.put(None, k.clone(), 2, None).unwrap();
-        assert_eq!(t.get(&k).unwrap(), None);
-        assert!(t.scan().unwrap().is_empty());
+        h.put(k.clone(), Some(r));
+        h.flush();
+        h.put(k.clone(), None);
+        assert_eq!(h.get(&k), None);
+        assert!(h.table.scan(u64::MAX).unwrap().is_empty());
     }
 
     #[test]
     fn compaction_reclaims_overwrites_and_tombstones() {
-        let mut t = runtime(Vfs::memory(), small_options());
+        let h = Harness::new(Vfs::memory(), small_options());
         for round in 0..3 {
             for i in 0..10 {
                 let (k, r) = row(i, &format!("round{round}"));
-                t.put(Some(r), k, round * 100 + i as u64, None).unwrap();
+                h.put(k, Some(r));
             }
-            t.flush().unwrap();
+            h.flush();
         }
         let (k_del, _) = row(0, "");
-        t.put(None, k_del.clone(), 999, None).unwrap();
-        t.flush().unwrap();
-        t.compact().unwrap();
-        assert_eq!(t.sstable_count(), 1);
-        let rows = t.scan().unwrap();
+        h.put(k_del, None);
+        h.flush();
+        h.table.compact(&h.registry).unwrap();
+        assert_eq!(h.table.sstable_count(), 1);
+        let rows = h.table.scan(u64::MAX).unwrap();
         assert_eq!(rows.len(), 9, "id 0 deleted, 1..9 live");
         for (_, r) in rows {
             assert_eq!(r.values[1], CqlValue::Text("round2".into()));
@@ -516,62 +718,61 @@ mod tests {
 
     #[test]
     fn compaction_shrinks_disk() {
-        let mut t = runtime(Vfs::memory(), small_options());
-        // Write the same keys repeatedly across flushes.
-        for round in 0..2 {
+        let h = Harness::new(Vfs::memory(), small_options());
+        for _round in 0..2 {
             for i in 0..20 {
                 let (k, r) = row(i, "payload-payload-payload");
-                t.put(Some(r), k, round * 100 + i as u64, None).unwrap();
+                h.put(k, Some(r));
             }
-            t.flush().unwrap();
+            h.flush();
         }
-        let before = t.disk_size();
-        t.compact().unwrap();
-        let after = t.disk_size();
+        let before = h.table.disk_size();
+        h.table.compact(&h.registry).unwrap();
+        let after = h.table.disk_size();
         assert!(after < before, "{after} !< {before}");
     }
 
     #[test]
     fn tiered_compaction_bounds_sstable_count() {
-        let mut t = runtime(Vfs::memory(), small_options());
+        let h = Harness::new(Vfs::memory(), small_options());
         for i in 0..2000 {
             let (k, r) = row(i, &format!("value number {i}"));
-            t.put(Some(r), k, i as u64, None).unwrap();
+            h.put(k, Some(r));
         }
-        t.flush().unwrap();
+        h.flush();
         // With ~50-byte rows and a 256-byte flush threshold this produced
         // hundreds of flushes; tiering must keep the live set logarithmic.
         assert!(
-            t.sstable_count() <= 16,
+            h.table.sstable_count() <= 16,
             "tiering failed: {} sstables",
-            t.sstable_count()
+            h.table.sstable_count()
         );
         // And the data is intact.
         for i in (0..2000).step_by(97) {
             let (k, r) = row(i, &format!("value number {i}"));
-            assert_eq!(t.get(&k).unwrap(), Some(r));
+            assert_eq!(h.get(&k), Some(r));
         }
     }
 
     #[test]
     fn tiered_compaction_preserves_newest_version_and_tombstones() {
-        let mut t = runtime(Vfs::memory(), small_options());
+        let h = Harness::new(Vfs::memory(), small_options());
         // Interleave overwrites and deletes across many flush cycles.
         for round in 0..20 {
             for i in 0..10 {
                 let (k, r) = row(i, &format!("round {round}"));
-                t.put(Some(r), k, (round * 100 + i) as u64, None).unwrap();
+                h.put(k, Some(r));
             }
             let (k_del, _) = row(round % 10, "");
-            t.put(None, k_del, (round * 100 + 50) as u64, None).unwrap();
-            t.flush().unwrap();
+            h.put(k_del, None);
+            h.flush();
         }
         // Key (19 % 10)=9 was deleted in the final round, after its write.
         let (k9, _) = row(9, "");
-        assert_eq!(t.get(&k9).unwrap(), None);
+        assert_eq!(h.get(&k9), None);
         // Other keys show the last round's value.
         let (k0, r0) = row(0, "round 19");
-        assert_eq!(t.get(&k0).unwrap(), Some(r0));
+        assert_eq!(h.get(&k0), Some(r0));
     }
 
     #[test]
@@ -585,30 +786,30 @@ mod tests {
             memtable_flush_bytes: 64 * 1024, // manual flushes only
             compaction_threshold: 3,
         };
-        let mut t = runtime(vfs.clone(), options);
+        let h = Harness::new(vfs.clone(), options);
         // Oldest SSTable: key 1 live, plus bulk so it is >4x larger than
         // the later tables (keeps it out of their size tier).
         for i in 1..=30 {
             let (k, r) = row(i, "a long enough payload to fatten the oldest table");
-            t.put(Some(r), k, i as u64, None).unwrap();
+            h.put(k, Some(r));
         }
-        t.flush().unwrap();
+        h.flush();
         // Three small young SSTables; the first deletes key 1.
         let (k1, _) = row(1, "");
-        t.put(None, k1.clone(), 100, None).unwrap();
-        t.flush().unwrap();
+        h.put(k1.clone(), None);
+        h.flush();
         let (k41, r41) = row(41, "x");
-        t.put(Some(r41), k41, 101, None).unwrap();
-        t.flush().unwrap();
+        h.put(k41, Some(r41));
+        h.flush();
         let (k42, r42) = row(42, "y");
-        t.put(Some(r42), k42, 102, None).unwrap();
-        t.flush().unwrap();
+        h.put(k42, Some(r42));
+        h.flush();
         // The third young flush crossed the threshold, so flush() ran the
         // tiered compaction itself: the three young tables merged while the
         // oversized oldest stayed out of the run.
-        assert_eq!(t.sstable_count(), 2);
+        assert_eq!(h.table.sstable_count(), 2);
         // The delete must still shadow the old live version...
-        assert_eq!(t.get(&k1).unwrap(), None);
+        assert_eq!(h.get(&k1), None);
         // ...because the merged young table physically kept the tombstone.
         let files = {
             let mut f = vfs.list("ks/t/sst-").unwrap();
@@ -621,9 +822,9 @@ mod tests {
         assert_eq!(tombstone.body, None);
         // Full compaction covers the whole history, so the tombstone (and
         // the key) disappear from disk while the delete stays effective.
-        t.compact().unwrap();
-        assert_eq!(t.sstable_count(), 1);
-        assert_eq!(t.get(&k1).unwrap(), None);
+        h.table.compact(&h.registry).unwrap();
+        assert_eq!(h.table.sstable_count(), 1);
+        assert_eq!(h.get(&k1), None);
         let files = vfs.list("ks/t/sst-").unwrap();
         assert_eq!(files.len(), 1);
         let merged = crate::sstable::SsTable::open(vfs, files[0].clone()).unwrap();
@@ -633,15 +834,68 @@ mod tests {
 
     #[test]
     fn scan_merges_memtable_and_sstables_in_key_order() {
-        let mut t = runtime(Vfs::memory(), small_options());
+        let h = Harness::new(Vfs::memory(), small_options());
         let (k2, r2) = row(2, "b");
-        t.put(Some(r2), k2, 1, None).unwrap();
-        t.flush().unwrap();
+        h.put(k2, Some(r2));
+        h.flush();
         let (k1, r1) = row(1, "a");
-        t.put(Some(r1), k1, 2, None).unwrap();
-        let rows = t.scan().unwrap();
+        h.put(k1, Some(r1));
+        let rows = h.table.scan(u64::MAX).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].1.values[0], CqlValue::Int(1));
         assert_eq!(rows[1].1.values[0], CqlValue::Int(2));
+    }
+
+    #[test]
+    fn snapshot_bound_reads_see_the_past_across_a_flush() {
+        let h = Harness::new(
+            Vfs::memory(),
+            TableOptions {
+                memtable_flush_bytes: 64 * 1024,
+                compaction_threshold: 8,
+            },
+        );
+        let (k, r1) = row(1, "v1");
+        h.put(k.clone(), Some(r1.clone()));
+        // Pin the current watermark like a Snapshot handle would.
+        let pin = h.registry.pin_current(&h.tracker);
+        let (_, r2) = row(1, "v2");
+        h.put(k.clone(), Some(r2.clone()));
+        h.flush();
+        assert_eq!(h.get(&k), Some(r2), "unpinned reads see the new version");
+        assert_eq!(
+            h.table.get(&k, pin).unwrap(),
+            Some(r1),
+            "the pinned bound still reads the old version after the flush"
+        );
+        h.registry.unpin(pin);
+    }
+
+    #[test]
+    fn compaction_defers_while_a_snapshot_reads_below_it() {
+        let vfs = Vfs::memory();
+        let h = Harness::new(
+            vfs,
+            TableOptions {
+                memtable_flush_bytes: 64 * 1024,
+                compaction_threshold: 8,
+            },
+        );
+        let (k, r1) = row(1, "old");
+        h.put(k.clone(), Some(r1.clone()));
+        h.flush();
+        let pin = h.registry.pin_current(&h.tracker);
+        let (_, r2) = row(1, "new");
+        h.put(k.clone(), Some(r2.clone()));
+        h.flush();
+        assert_eq!(h.table.sstable_count(), 2);
+        // The merge would keep only "new"; the pin still needs "old".
+        h.table.compact(&h.registry).unwrap();
+        assert_eq!(h.table.sstable_count(), 2, "merge deferred for the pin");
+        assert_eq!(h.table.get(&k, pin).unwrap(), Some(r1));
+        h.registry.unpin(pin);
+        h.table.compact(&h.registry).unwrap();
+        assert_eq!(h.table.sstable_count(), 1, "merge proceeds once released");
+        assert_eq!(h.get(&k), Some(r2));
     }
 }

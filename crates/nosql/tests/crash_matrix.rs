@@ -23,6 +23,21 @@ fn full_crash_matrix_covers_every_op() {
     );
 }
 
+/// The concurrent variant: writer sessions share group-commit batches, so
+/// crash points tear multi-session batches. Every cell must recover exactly
+/// the acked writes (plus, at most, the exact lost-ack in-flight inserts).
+#[test]
+fn concurrent_crash_matrix_subset() {
+    let report = crashtest::sweep_concurrent(0xD1CE, Some(32)).unwrap();
+    assert_eq!(report.points_tested, 32);
+    // Op counts shift a little with thread scheduling, so late points may
+    // land past a given run's actual op count — but the bulk must fire.
+    assert!(
+        report.crashes_fired >= report.points_tested / 2,
+        "too few crashes fired: {report:?}"
+    );
+}
+
 fn tiny(vfs: Vfs) -> OpenOptions {
     OpenOptions::default()
         .vfs(vfs)

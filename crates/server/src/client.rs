@@ -15,7 +15,7 @@
 //! strictly request → response. The client is what the integration tests
 //! and `repro serve --smoke` / `repro netbench` drive.
 
-use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_BYTES};
+use crate::frame::{write_frame, FrameError, FrameEvent, FrameReader, DEFAULT_MAX_FRAME_BYTES};
 use crate::protocol::{ErrorCode, Request, Response};
 use sc_nosql::QueryResult;
 use std::io;
@@ -71,7 +71,10 @@ impl From<FrameError> for ClientError {
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
-    max_frame_bytes: usize,
+    /// Buffered reader over a clone of `stream`: a whole response usually
+    /// arrives in one packet, so one `read` syscall replaces the separate
+    /// prefix + payload reads.
+    reader: FrameReader<TcpStream>,
 }
 
 impl Client {
@@ -79,20 +82,26 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client {
-            stream,
-            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
-        })
+        let reader = FrameReader::new(stream.try_clone()?, DEFAULT_MAX_FRAME_BYTES);
+        Ok(Client { stream, reader })
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.stream, &request.encode())?;
-        let payload = read_frame(&mut self.stream, self.max_frame_bytes)?.ok_or_else(|| {
-            ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ))
-        })?;
+        let payload = loop {
+            match self.reader.next_event()? {
+                FrameEvent::Frame(p) => break p,
+                // The client sets no read timeout; a spurious WouldBlock is
+                // retried rather than surfaced.
+                FrameEvent::TimedOut => continue,
+                FrameEvent::Eof => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+            }
+        };
         Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 

@@ -26,11 +26,11 @@
 //! session and listener thread is joined.
 //!
 //! ```no_run
-//! use sc_nosql::OpenOptions;
+//! use sc_nosql::{OpenOptions, SharedDb};
 //! use sc_server::{Server, ServerConfig};
 //! use sc_server::client::Client;
 //!
-//! let db = OpenOptions::default().open_shared().unwrap();
+//! let db = SharedDb::open(OpenOptions::default()).unwrap();
 //! let config = ServerConfig::default().tenant("city1", "tok-city1");
 //! let server = Server::start(config, db).unwrap();
 //!

@@ -14,6 +14,8 @@
 //! | `server.bytes_in`            | counter   | frame bytes received (prefix included)    |
 //! | `server.bytes_out`           | counter   | frame bytes sent (prefix included)        |
 //! | `server.request.duration_ns` | histogram | end-to-end request handling latency       |
+//! | `server.statement.exec_ns`   | histogram | statement execution time, group-commit queueing excluded |
+//! | `server.statement.commit_wait_ns` | histogram | time queued in the group-commit WAL  |
 //! | `server.metrics_scrapes`     | counter   | HTTP `GET /metrics` requests served       |
 
 use sc_obs::{Counter, Gauge, Histogram, Registry};
@@ -30,6 +32,8 @@ pub(crate) struct ServerObs {
     pub bytes_in: Counter,
     pub bytes_out: Counter,
     pub request_duration_ns: Histogram,
+    pub statement_exec_ns: Histogram,
+    pub commit_wait_ns: Histogram,
     pub metrics_scrapes: Counter,
 }
 
@@ -48,6 +52,8 @@ pub(crate) fn server() -> &'static ServerObs {
             bytes_in: r.counter("server.bytes_in"),
             bytes_out: r.counter("server.bytes_out"),
             request_duration_ns: r.histogram("server.request.duration_ns"),
+            statement_exec_ns: r.histogram("server.statement.exec_ns"),
+            commit_wait_ns: r.histogram("server.statement.commit_wait_ns"),
             metrics_scrapes: r.counter("server.metrics_scrapes"),
         }
     })

@@ -131,7 +131,7 @@ impl Server {
         let accept_handle = {
             let shutdown = Arc::clone(&shutdown);
             let sessions = Arc::clone(&sessions);
-            let db = Arc::clone(&db);
+            let db = db.clone();
             let idle_poll = config.idle_poll;
             let max_frame_bytes = config.max_frame_bytes;
             let tenants = Arc::clone(&tenants);
@@ -144,7 +144,7 @@ impl Server {
                         shutdown,
                         sessions,
                         move |shutdown| SessionContext {
-                            db: Arc::clone(&db),
+                            db: db.clone(),
                             tenants: Arc::clone(&tenants),
                             slowlog: Arc::clone(&slowlog),
                             shutdown,

@@ -25,8 +25,12 @@ pub struct SlowQuery {
     /// The statement text as the tenant wrote it (logical keyspace names,
     /// truncated to [`MAX_LOGGED_CQL`] bytes on a char boundary).
     pub cql: String,
-    /// Engine execution time (excludes network and queueing).
+    /// Engine execution time — excludes network and group-commit queueing,
+    /// so the entry blames the statement, not its neighbors' fsyncs.
     pub duration: Duration,
+    /// Time spent queued in the group-commit WAL (informational; not part
+    /// of the threshold comparison).
+    pub queue_wait: Duration,
 }
 
 #[derive(Debug)]
@@ -62,10 +66,16 @@ impl SlowQueryLog {
         self.threshold
     }
 
-    /// Records the statement if it was slow enough. Returns whether it
-    /// was recorded (callers bump the `server.slow_queries` counter on
-    /// `true`).
-    pub fn observe(&self, tenant: &str, cql: &str, duration: Duration) -> bool {
+    /// Records the statement if its *execution* time (queueing excluded)
+    /// was slow enough. Returns whether it was recorded (callers bump the
+    /// `server.slow_queries` counter on `true`).
+    pub fn observe(
+        &self,
+        tenant: &str,
+        cql: &str,
+        duration: Duration,
+        queue_wait: Duration,
+    ) -> bool {
         if duration < self.threshold {
             return false;
         }
@@ -89,6 +99,7 @@ impl SlowQueryLog {
             tenant: tenant.to_string(),
             cql: text,
             duration,
+            queue_wait,
         });
         true
     }
@@ -114,9 +125,21 @@ mod tests {
     #[test]
     fn threshold_filters_and_ring_drops_oldest() {
         let log = SlowQueryLog::new(Duration::from_millis(10), 3);
-        assert!(!log.observe("t", "fast", Duration::from_millis(9)));
+        assert!(!log.observe("t", "fast", Duration::from_millis(9), Duration::ZERO));
+        // Queue wait does not count toward the threshold...
+        assert!(!log.observe(
+            "t",
+            "queued",
+            Duration::from_millis(9),
+            Duration::from_millis(100)
+        ));
         for i in 0..5 {
-            assert!(log.observe("t", &format!("q{i}"), Duration::from_millis(10 + i)));
+            assert!(log.observe(
+                "t",
+                &format!("q{i}"),
+                Duration::from_millis(10 + i),
+                Duration::from_micros(i)
+            ));
         }
         let entries = log.entries();
         assert_eq!(entries.len(), 3, "capacity bounds the ring");
@@ -126,20 +149,21 @@ mod tests {
         );
         // Sequence numbers expose the dropped prefix.
         assert_eq!(entries[0].seq, 3);
+        assert_eq!(entries[2].queue_wait, Duration::from_micros(4));
         assert_eq!(log.total_recorded(), 5);
     }
 
     #[test]
     fn zero_threshold_records_everything() {
         let log = SlowQueryLog::new(Duration::ZERO, 8);
-        assert!(log.observe("t", "any", Duration::ZERO));
+        assert!(log.observe("t", "any", Duration::ZERO, Duration::ZERO));
     }
 
     #[test]
     fn long_statements_are_truncated_on_char_boundaries() {
         let log = SlowQueryLog::new(Duration::ZERO, 2);
         let long = "é".repeat(MAX_LOGGED_CQL); // 2 bytes per char
-        log.observe("t", &long, Duration::from_secs(1));
+        log.observe("t", &long, Duration::from_secs(1), Duration::ZERO);
         let entry = &log.entries()[0];
         assert!(entry.cql.len() <= MAX_LOGGED_CQL + '…'.len_utf8());
         assert!(entry.cql.ends_with('…'));

@@ -103,6 +103,9 @@ pub fn confine_statement(stmt: &mut Statement, tenant: &str) {
         Statement::CreateKeyspace { name } => {
             *name = physical_keyspace(tenant, name);
         }
+        Statement::Use { keyspace } => {
+            *keyspace = physical_keyspace(tenant, keyspace);
+        }
         Statement::CreateTable { table, .. }
         | Statement::CreateIndex { table, .. }
         | Statement::Insert { table, .. }
@@ -110,7 +113,12 @@ pub fn confine_statement(stmt: &mut Statement, tenant: &str) {
         | Statement::Update { table, .. }
         | Statement::Delete { table, .. }
         | Statement::Truncate { table } => {
-            table.keyspace = physical_keyspace(tenant, &table.keyspace);
+            // Unqualified references stay unqualified: the engine session
+            // resolves them against the tenant's (already confined) USE
+            // keyspace, so they can never escape the namespace either.
+            if table.is_qualified() {
+                table.keyspace = physical_keyspace(tenant, &table.keyspace);
+            }
         }
         Statement::Batch { statements } => {
             for s in statements {
@@ -187,6 +195,7 @@ mod tests {
                 "DELETE FROM t1__app.t WHERE id = 1",
             ),
             ("TRUNCATE app.t", "TRUNCATE t1__app.t"),
+            ("USE app", "USE t1__app"),
         ];
         for (input, expected) in cases {
             let mut stmt = parse_statement(input).unwrap();
@@ -194,6 +203,13 @@ mod tests {
             let expected_stmt = parse_statement(expected).unwrap();
             assert_eq!(stmt, expected_stmt, "confining {input:?}");
         }
+    }
+
+    #[test]
+    fn confinement_leaves_unqualified_references_to_the_session() {
+        let mut stmt = parse_statement("SELECT * FROM t").unwrap();
+        confine_statement(&mut stmt, "t1");
+        assert_eq!(stmt, parse_statement("SELECT * FROM t").unwrap());
     }
 
     #[test]

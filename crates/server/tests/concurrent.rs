@@ -2,7 +2,7 @@
 //! against one server, interleaved across two tenants, checked against an
 //! embedded-`Db` oracle, with tenant isolation asserted both ways.
 
-use sc_nosql::{CqlValue, Db, OpenOptions};
+use sc_nosql::{CqlValue, Db, OpenOptions, SharedDb};
 use sc_server::client::Client;
 use sc_server::{ErrorCode, Server, ServerConfig};
 use std::io::{Read, Write};
@@ -36,7 +36,7 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
 
 #[test]
 fn eight_clients_two_tenants_match_embedded_oracle() {
-    let db = OpenOptions::default().open_shared().unwrap();
+    let db = SharedDb::open(OpenOptions::default()).unwrap();
     let server = Server::start(
         ServerConfig::default()
             .tenant("city1", "tok-city1")

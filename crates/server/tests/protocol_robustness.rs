@@ -12,7 +12,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 fn start_server() -> Server {
-    let db = sc_nosql::OpenOptions::default().open_shared().unwrap();
+    let db = sc_nosql::SharedDb::open(sc_nosql::OpenOptions::default()).unwrap();
     Server::start(ServerConfig::default().tenant("t1", "tok-1"), db).unwrap()
 }
 
@@ -190,7 +190,7 @@ fn shutdown_drains_idle_sessions_and_joins_all_threads() {
 
 #[test]
 fn slow_query_log_records_over_threshold_statements() {
-    let db = sc_nosql::OpenOptions::default().open_shared().unwrap();
+    let db = sc_nosql::SharedDb::open(sc_nosql::OpenOptions::default()).unwrap();
     let server = Server::start(
         ServerConfig::default()
             .tenant("t1", "tok-1")

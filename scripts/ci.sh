@@ -19,7 +19,17 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> crash-matrix smoke (64 points)"
+echo "==> concurrency tier (release, seeded yield injector)"
+# Release mode frees the real interleavings; SC_NOSQL_YIELD arms the
+# deterministic schedule perturber at engine synchronization points so the
+# writer/reader races and the concurrent crash matrix explore far more
+# schedules than free-running threads would.
+for yield_seed in 7 1311; do
+    SC_NOSQL_YIELD="$yield_seed" \
+        cargo test -q --release -p sc-nosql --test concurrent --test crash_matrix
+done
+
+echo "==> crash-matrix smoke (64 points, sequential + concurrent sweeps)"
 cargo run --release -p sc-bench --bin repro -- crashtest --points 64
 
 echo "==> observability smoke (repro obs emits a JSON exposition)"
