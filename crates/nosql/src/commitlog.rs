@@ -7,6 +7,14 @@
 //!
 //! Frame format: `[len: u32][crc: u32][payload]` where `crc` covers the
 //! payload. Replay stops cleanly at a torn tail.
+//!
+//! The log is **segmented**: appends go to an active segment file which is
+//! rotated out once it reaches [`DEFAULT_SEGMENT_BYTES`]
+//! (`OpenOptions::wal_segment_bytes`). Closed segments are immutable and
+//! record the highest sequence they contain, so a checkpoint after a
+//! memtable flush can delete exactly the segments made redundant —
+//! without segmentation the log would only ever shrink at an explicit
+//! `flush_all`, growing without bound under sustained writes.
 
 use crate::error::{NosqlError, Result};
 use sc_encoding::{Crc32, Decoder, Encoder};
@@ -14,6 +22,9 @@ use sc_storage::{StorageError, Vfs};
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Default byte size at which the active segment is rotated out.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 512 * 1024;
 
 /// A mutation record as stored in the log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,20 +39,103 @@ pub struct LogRecord {
     pub timestamp: u64,
 }
 
+/// A closed (rotated-out) segment: immutable on disk, checkpointable once
+/// every record at or below `max_seq` is covered by SSTables.
+#[derive(Debug)]
+struct Segment {
+    name: String,
+    /// Highest record sequence in the segment; `u64::MAX` when unknown
+    /// (pre-existing file opened without repair — conservatively never
+    /// checkpointed).
+    max_seq: u64,
+}
+
+/// Mutable segment bookkeeping, behind one mutex. The group commit admits
+/// a single appender at a time, so the lock is uncontended on the write
+/// path; checkpoints and truncation serialize against it.
+#[derive(Debug)]
+struct SegState {
+    /// Closed segments, oldest first.
+    closed: Vec<Segment>,
+    /// Active segment file name (the unsuffixed base for a fresh log).
+    active: String,
+    active_bytes: u64,
+    active_max_seq: u64,
+    /// Suffix index the next rotation will use.
+    next_index: u64,
+}
+
 /// Append handle for one engine's commit log.
 #[derive(Debug)]
 pub struct CommitLog {
     vfs: Vfs,
-    file: String,
+    base: String,
+    segment_bytes: u64,
+    segs: Mutex<SegState>,
 }
 
 impl CommitLog {
-    /// Opens (or creates) the log at `file`.
-    pub fn open(vfs: Vfs, file: impl Into<String>) -> CommitLog {
+    /// Opens (or creates) the log at `base`. Pre-existing segments
+    /// (`base`, `base.000002`, ...) are adopted in index order; the
+    /// highest becomes the active segment.
+    pub fn open(vfs: Vfs, base: impl Into<String>) -> CommitLog {
+        let base = base.into();
+        let mut names: Vec<(u64, String)> = vfs
+            .list(&base)
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|n| Self::segment_index(&base, &n).map(|i| (i, n)))
+            .collect();
+        names.sort_unstable();
+        let (active, next_index) = match names.last() {
+            Some((i, n)) => (n.clone(), i + 1),
+            None => (base.clone(), 2),
+        };
+        let active_bytes = vfs.len(&active).unwrap_or(0);
+        let segs = SegState {
+            closed: names[..names.len().saturating_sub(1)]
+                .iter()
+                .map(|(_, n)| Segment {
+                    name: n.clone(),
+                    max_seq: u64::MAX,
+                })
+                .collect(),
+            active,
+            active_bytes,
+            // Unknown contents must never be checkpointed away; `repair`
+            // (run before any engine append) computes the real values.
+            active_max_seq: if active_bytes > 0 { u64::MAX } else { 0 },
+            next_index: next_index.max(2),
+        };
         CommitLog {
             vfs,
-            file: file.into(),
+            base,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            segs: Mutex::new(segs),
         }
+    }
+
+    /// Sets the rotation threshold (builder-style, before first use).
+    pub fn with_segment_bytes(mut self, bytes: u64) -> CommitLog {
+        self.segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// `base` → 1, `base.NNN` (all digits) → NNN; anything else is not a
+    /// segment of this log.
+    fn segment_index(base: &str, name: &str) -> Option<u64> {
+        if name == base {
+            return Some(1);
+        }
+        let suffix = name.strip_prefix(base)?.strip_prefix('.')?;
+        if suffix.is_empty() || !suffix.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        suffix.parse().ok()
+    }
+
+    fn lock_segs(&self) -> std::sync::MutexGuard<'_, SegState> {
+        self.segs.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn frame(record: &LogRecord, out: &mut Encoder) {
@@ -59,24 +153,39 @@ impl CommitLog {
 
     /// Appends one mutation.
     pub fn append(&self, record: &LogRecord) -> Result<()> {
-        let mut enc = Encoder::new();
-        Self::frame(record, &mut enc);
-        self.record_append(enc.bytes().len());
-        self.vfs.append(&self.file, enc.bytes())?;
-        Ok(())
+        self.append_batch(std::slice::from_ref(record))
     }
 
-    /// Appends a group of mutations in one write (batch commit).
+    /// Appends a group of mutations in one write (batch commit), rotating
+    /// the active segment first when it is full. Rotation is pure
+    /// bookkeeping — the new segment file is created by this very append —
+    /// so a batch is still exactly one storage write.
     pub fn append_batch(&self, records: &[LogRecord]) -> Result<()> {
         if records.is_empty() {
             return Ok(());
         }
         let mut enc = Encoder::new();
+        let mut max_seq = 0;
         for r in records {
             Self::frame(r, &mut enc);
+            max_seq = max_seq.max(r.timestamp);
+        }
+        let mut segs = self.lock_segs();
+        if segs.active_bytes >= self.segment_bytes {
+            let closed = Segment {
+                name: segs.active.clone(),
+                max_seq: segs.active_max_seq,
+            };
+            segs.closed.push(closed);
+            segs.active = format!("{}.{:06}", self.base, segs.next_index);
+            segs.next_index += 1;
+            segs.active_bytes = 0;
+            segs.active_max_seq = 0;
         }
         self.record_append(enc.bytes().len());
-        self.vfs.append(&self.file, enc.bytes())?;
+        self.vfs.append(&segs.active, enc.bytes())?;
+        segs.active_bytes += enc.bytes().len() as u64;
+        segs.active_max_seq = segs.active_max_seq.max(max_seq);
         Ok(())
     }
 
@@ -88,34 +197,87 @@ impl CommitLog {
         }
     }
 
-    /// Bytes currently in the log.
+    /// Bytes currently in the log, across every segment.
     pub fn size(&self) -> u64 {
-        self.vfs.len(&self.file).unwrap_or(0)
+        let segs = self.lock_segs();
+        segs.closed
+            .iter()
+            .map(|s| self.vfs.len(&s.name).unwrap_or(0))
+            .sum::<u64>()
+            + self.vfs.len(&segs.active).unwrap_or(0)
     }
 
-    /// Truncates the log (after a flush makes it redundant).
+    /// Number of live segments including the active one (observability).
+    pub fn segment_count(&self) -> usize {
+        self.lock_segs().closed.len() + 1
+    }
+
+    /// Deletes every segment and resets to a fresh log (after a full
+    /// checkpoint makes the whole log redundant).
     pub fn truncate(&self) -> Result<()> {
-        self.vfs.delete(&self.file)?;
+        let mut segs = self.lock_segs();
+        for seg in &segs.closed {
+            self.vfs.delete(&seg.name)?;
+        }
+        self.vfs.delete(&segs.active)?;
+        *segs = SegState {
+            closed: Vec::new(),
+            active: self.base.clone(),
+            active_bytes: 0,
+            active_max_seq: 0,
+            next_index: 2,
+        };
         Ok(())
     }
 
-    /// Replays all intact records; a torn or corrupt tail ends the replay
-    /// without error (standard commit-log semantics).
-    pub fn replay(&self) -> Result<Vec<LogRecord>> {
-        Ok(self.replay_with_len()?.0)
+    /// Deletes closed segments whose every record is at or below `floor`
+    /// (redundant once flushed to SSTables). The active segment is never
+    /// deleted. Returns the number of segments removed.
+    pub fn checkpoint(&self, floor: u64) -> Result<usize> {
+        let mut segs = self.lock_segs();
+        let mut deleted = 0usize;
+        let mut err = None;
+        segs.closed.retain(|seg| {
+            if err.is_some() || seg.max_seq > floor {
+                return true;
+            }
+            match self.vfs.delete(&seg.name) {
+                Ok(()) => {
+                    deleted += 1;
+                    false
+                }
+                Err(e) => {
+                    // Keep the segment listed: its records must stay
+                    // replayable until the file is actually gone.
+                    err = Some(e);
+                    true
+                }
+            }
+        });
+        drop(segs);
+        if sc_obs::enabled() {
+            let o = crate::obs::nosql();
+            o.commitlog_checkpoints.inc();
+            o.commitlog_segments_deleted.add(deleted as u64);
+        }
+        match err {
+            Some(e) => Err(e.into()),
+            None => Ok(deleted),
+        }
     }
 
-    /// [`CommitLog::replay`], also returning the byte length of the valid
-    /// prefix (where the torn tail, if any, begins).
-    pub fn replay_with_len(&self) -> Result<(Vec<LogRecord>, u64)> {
-        let data = match self.vfs.read_all(&self.file) {
+    /// Decodes one segment: intact records, the byte length of the valid
+    /// prefix, and the highest sequence seen.
+    fn replay_segment(&self, name: &str) -> Result<(Vec<LogRecord>, u64, u64)> {
+        let data = match self.vfs.read_all(name) {
             Ok(d) => d,
-            Err(sc_storage::StorageError::NotFound(_)) => return Ok((Vec::new(), 0)),
+            Err(sc_storage::StorageError::NotFound(_)) => return Ok((Vec::new(), 0, 0)),
             Err(e) => return Err(e.into()),
         };
         let mut out = Vec::new();
         let mut dec = Decoder::new(&data);
         let mut good_len = 0u64;
+        let mut max_seq = 0u64;
         while dec.remaining() >= 8 {
             let len = dec.get_u32_fixed()? as usize;
             let crc = dec.get_u32_fixed()?;
@@ -131,6 +293,7 @@ impl CommitLog {
             let key = p.get_bytes()?.to_vec();
             let body = p.get_bytes()?.to_vec();
             let timestamp = p.get_u64_fixed()?;
+            max_seq = max_seq.max(timestamp);
             out.push(LogRecord {
                 table,
                 key,
@@ -139,20 +302,93 @@ impl CommitLog {
             });
             good_len = (data.len() - dec.remaining()) as u64;
         }
-        Ok((out, good_len))
+        Ok((out, good_len, max_seq))
     }
 
-    /// Replays the log and physically truncates any torn tail off the file.
+    /// Segment names in age order (closed oldest-first, then active).
+    fn segment_names(&self) -> Vec<String> {
+        let segs = self.lock_segs();
+        let mut names: Vec<String> = segs.closed.iter().map(|s| s.name.clone()).collect();
+        names.push(segs.active.clone());
+        names
+    }
+
+    /// Replays all intact records across every segment, in age order. A
+    /// torn or corrupt frame ends the replay without error (standard
+    /// commit-log semantics); anything after it — including later
+    /// segments — is ignored.
+    pub fn replay(&self) -> Result<Vec<LogRecord>> {
+        let mut out = Vec::new();
+        for name in self.segment_names() {
+            let (records, good_len, _) = self.replay_segment(&name)?;
+            out.extend(records);
+            if good_len < self.vfs.len(&name).unwrap_or(0) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Replays the log and physically removes any torn tail: the damaged
+    /// segment is truncated to its valid prefix and every later segment is
+    /// deleted, then the segment bookkeeping (per-segment max sequences,
+    /// active segment) is rebuilt from what survived.
     ///
     /// Replay alone is not enough: if the tear stayed on disk, the next
     /// appended record would land *after* it and be unreachable on the next
     /// replay — an acknowledged write silently lost one crash later.
     pub fn repair(&self) -> Result<Vec<LogRecord>> {
-        let (records, good_len) = self.replay_with_len()?;
-        if self.size() > good_len {
-            self.vfs.truncate(&self.file, good_len)?;
+        let names = self.segment_names();
+        let mut out = Vec::new();
+        let mut survivors: Vec<Segment> = Vec::new();
+        let mut torn_at = None;
+        for (i, name) in names.iter().enumerate() {
+            let (records, good_len, max_seq) = self.replay_segment(name)?;
+            let file_len = self.vfs.len(name).unwrap_or(0);
+            out.extend(records);
+            survivors.push(Segment {
+                name: name.clone(),
+                max_seq,
+            });
+            if good_len < file_len {
+                self.vfs.truncate(name, good_len)?;
+                torn_at = Some(i);
+                break;
+            }
         }
-        Ok(records)
+        if let Some(i) = torn_at {
+            // A tear can only be the end of the log; later segments (a
+            // corruption case, never a clean crash) are unreachable by
+            // replay and must not outlive it.
+            for name in &names[i + 1..] {
+                self.vfs.delete(name)?;
+            }
+        }
+        let mut segs = self.lock_segs();
+        let active = survivors.pop();
+        match active {
+            Some(active) => {
+                *segs = SegState {
+                    next_index: Self::segment_index(&self.base, &active.name)
+                        .map_or(2, |i| i + 1)
+                        .max(2),
+                    active_bytes: self.vfs.len(&active.name).unwrap_or(0),
+                    active_max_seq: active.max_seq,
+                    active: active.name,
+                    closed: survivors,
+                };
+            }
+            None => {
+                *segs = SegState {
+                    closed: Vec::new(),
+                    active: self.base.clone(),
+                    active_bytes: 0,
+                    active_max_seq: 0,
+                    next_index: 2,
+                };
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -267,6 +503,14 @@ impl GroupCommitLog {
     /// and flush (single-caller phases).
     pub fn plain(&self) -> &CommitLog {
         &self.log
+    }
+
+    /// Deletes closed segments fully covered by `floor` (see
+    /// [`CommitLog::checkpoint`]). Safe concurrently with appends: the
+    /// segment bookkeeping serializes internally and the active segment is
+    /// never touched.
+    pub fn checkpoint(&self, floor: u64) -> Result<usize> {
+        self.log.checkpoint(floor)
     }
 
     /// Durably appends `records` (one session's mutation, possibly a
@@ -454,6 +698,83 @@ mod tests {
         log.truncate().unwrap();
         assert_eq!(log.size(), 0);
         assert!(log.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn appends_rotate_into_segments_and_replay_in_order() {
+        let vfs = Vfs::memory();
+        let log = CommitLog::open(vfs.clone(), "log").with_segment_bytes(64);
+        for i in 1..=12 {
+            log.append(&rec(i)).unwrap();
+        }
+        assert!(log.segment_count() > 1, "64-byte segments must rotate");
+        assert_eq!(log.replay().unwrap(), (1..=12).map(rec).collect::<Vec<_>>());
+        let files = vfs.list("log").unwrap();
+        assert_eq!(files.len(), log.segment_count());
+        assert!(files.contains(&"log".to_string()), "base is segment one");
+        // A reopened handle adopts the same segments.
+        let reopened = CommitLog::open(vfs, "log");
+        assert_eq!(
+            reopened.replay().unwrap(),
+            (1..=12).map(rec).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn checkpoint_deletes_only_fully_covered_closed_segments() {
+        let vfs = Vfs::memory();
+        // 1-byte threshold: every append rotates, one record per segment.
+        let log = CommitLog::open(vfs.clone(), "log").with_segment_bytes(1);
+        for i in 1..=5 {
+            log.append(&rec(i)).unwrap();
+        }
+        assert_eq!(log.segment_count(), 5);
+        assert_eq!(log.checkpoint(3).unwrap(), 3);
+        assert_eq!(log.replay().unwrap(), vec![rec(4), rec(5)]);
+        // The active segment survives even a floor above everything.
+        assert_eq!(log.checkpoint(u64::MAX).unwrap(), 1);
+        assert_eq!(log.replay().unwrap(), vec![rec(5)]);
+        assert!(log.size() > 0);
+        // And appends continue on it.
+        log.append(&rec(6)).unwrap();
+        assert_eq!(log.replay().unwrap(), vec![rec(5), rec(6)]);
+    }
+
+    #[test]
+    fn repair_rebuilds_segment_state_after_a_torn_active_segment() {
+        let vfs = Vfs::memory();
+        {
+            let log = CommitLog::open(vfs.clone(), "log").with_segment_bytes(1);
+            for i in 1..=3 {
+                log.append(&rec(i)).unwrap();
+            }
+        }
+        // Tear the active (newest) segment mid-frame, as a power cut would.
+        vfs.truncate("log.000003", vfs.len("log.000003").unwrap() - 2)
+            .unwrap();
+        let log = CommitLog::open(vfs.clone(), "log").with_segment_bytes(1);
+        assert_eq!(log.repair().unwrap(), vec![rec(1), rec(2)]);
+        // Post-repair appends stay reachable, and checkpoints work off the
+        // per-segment sequences repair computed.
+        log.append(&rec(4)).unwrap();
+        assert_eq!(log.replay().unwrap(), vec![rec(1), rec(2), rec(4)]);
+        assert_eq!(log.checkpoint(2).unwrap(), 2);
+        assert_eq!(log.replay().unwrap(), vec![rec(4)]);
+    }
+
+    #[test]
+    fn truncate_removes_every_segment() {
+        let vfs = Vfs::memory();
+        let log = CommitLog::open(vfs.clone(), "log").with_segment_bytes(1);
+        for i in 1..=4 {
+            log.append(&rec(i)).unwrap();
+        }
+        log.truncate().unwrap();
+        assert_eq!(log.size(), 0);
+        assert!(log.replay().unwrap().is_empty());
+        assert!(vfs.list("log").unwrap().is_empty(), "all segments deleted");
+        log.append(&rec(9)).unwrap();
+        assert_eq!(log.replay().unwrap(), vec![rec(9)]);
     }
 
     #[test]

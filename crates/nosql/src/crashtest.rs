@@ -69,6 +69,9 @@ fn tiny_open(vfs: Vfs) -> OpenOptions {
         .vfs(vfs)
         .memtable_flush_bytes(512)
         .compaction_threshold(3)
+        // Small segments so the matrix crosses WAL rotation and post-flush
+        // checkpoint deletion, not just single-file append.
+        .wal_segment_bytes(1024)
 }
 
 /// The statement that was executing when the crash fired.

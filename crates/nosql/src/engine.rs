@@ -75,6 +75,7 @@ pub struct OpenOptions {
     table: TableOptions,
     block_cache_bytes: Option<usize>,
     group_commit_delay: Duration,
+    wal_segment_bytes: Option<u64>,
 }
 
 impl OpenOptions {
@@ -131,6 +132,16 @@ impl OpenOptions {
     /// latency for larger batches under contention.
     pub fn group_commit_delay(mut self, delay: Duration) -> OpenOptions {
         self.group_commit_delay = delay;
+        self
+    }
+
+    /// Bytes an active commit-log segment may reach before the next append
+    /// rotates to a fresh segment (default
+    /// [`crate::commitlog::DEFAULT_SEGMENT_BYTES`]). Smaller segments let
+    /// post-flush checkpoints reclaim WAL space sooner; larger ones mean
+    /// fewer files.
+    pub fn wal_segment_bytes(mut self, bytes: u64) -> OpenOptions {
+        self.wal_segment_bytes = Some(bytes);
         self
     }
 
@@ -197,7 +208,10 @@ impl DbCore {
     fn open(options: OpenOptions) -> Result<DbCore> {
         let vfs = options.vfs.unwrap_or_else(Vfs::memory);
         let manifest = Manifest::open(vfs.clone());
-        let log = CommitLog::open(vfs.clone(), COMMIT_LOG);
+        let mut log = CommitLog::open(vfs.clone(), COMMIT_LOG);
+        if let Some(bytes) = options.wal_segment_bytes {
+            log = log.with_segment_bytes(bytes);
+        }
         let core = DbCore {
             vfs,
             manifest,
@@ -273,6 +287,20 @@ impl DbCore {
         for record in records {
             max_seq = max_seq.max(record.timestamp);
             if let Some(table) = state.tables.get(&record.table) {
+                // Segment checkpointing deletes a segment only when *all*
+                // of it is flushed, so a surviving segment may hold records
+                // older than a flushed version of the same key (group
+                // commit interleaves sequence allocation with append
+                // order). Re-applying such a record would sit at the head
+                // of its memtable chain and shadow the newer on-disk
+                // version for definitive reads — skip anything a flushed
+                // sequence already covers.
+                if table
+                    .newest_disk_seq(&record.key)?
+                    .is_some_and(|d| d >= record.timestamp)
+                {
+                    continue;
+                }
                 let row = if record.body.is_empty() {
                     None
                 } else {
@@ -574,14 +602,14 @@ impl DbCore {
             let pk = row.pk(&base_def).clone();
             writes.push(self.posting_write(state, &base_def, column, &value, &pk, true));
         }
-        self.commit_writes(writes)
+        self.commit_writes(state, writes)
     }
 
     /// Commits a set of row mutations: one sequence per record, one WAL
     /// group append (durable before anything becomes visible), then the
     /// memtable inserts. On a WAL error nothing was applied and every
     /// allocated sequence completes unused, so the watermark never stalls.
-    fn commit_writes(&self, writes: Vec<PendingWrite>) -> Result<()> {
+    fn commit_writes(&self, state: &EngineState, writes: Vec<PendingWrite>) -> Result<()> {
         if writes.is_empty() {
             return Ok(());
         }
@@ -621,8 +649,22 @@ impl DbCore {
         }
         // Completing the sequences publishes the writes to the watermark.
         drop(guards);
+        let mut flushed = false;
         for table in touched {
-            table.maybe_flush(&self.tracker, &self.registry)?;
+            flushed |= table.maybe_flush(&self.tracker, &self.registry)?;
+        }
+        if flushed {
+            // A flush just made a WAL prefix redundant; drop any commit-log
+            // segment every table has flushed past. This is what bounds the
+            // log (and recovery replay) under sustained writes — without it
+            // only an explicit `flush_all` ever reclaims WAL space.
+            let floor = state
+                .tables
+                .values()
+                .map(|t| t.wal_floor(&self.tracker))
+                .min()
+                .unwrap_or(0);
+            self.wal.checkpoint(floor)?;
         }
         Ok(())
     }
@@ -675,12 +717,15 @@ impl DbCore {
         let table = Arc::clone(state.core(&qualified));
         if def.indexed_columns.is_empty() {
             let key = row.pk_bytes(def);
-            return self.commit_writes(vec![PendingWrite {
-                table,
-                qualified,
-                key,
-                row: Some(row),
-            }]);
+            return self.commit_writes(
+                state,
+                vec![PendingWrite {
+                    table,
+                    qualified,
+                    key,
+                    row: Some(row),
+                }],
+            );
         }
         let _rmw = table.rmw_lock();
         self.put_row_rmw_locked(state, def, &table, row)
@@ -725,7 +770,7 @@ impl DbCore {
             key,
             row: Some(row),
         });
-        self.commit_writes(writes)
+        self.commit_writes(state, writes)
     }
 
     /// Posting-row key: `len-prefixed(value key) ++ order-preserving id`.
@@ -863,12 +908,15 @@ impl DbCore {
         let core = Arc::clone(state.core(&qualified));
         if def.indexed_columns.is_empty() {
             // Blind tombstone: no read, no RMW lock.
-            return self.commit_writes(vec![PendingWrite {
-                table: core,
-                qualified,
-                key,
-                row: None,
-            }]);
+            return self.commit_writes(
+                state,
+                vec![PendingWrite {
+                    table: core,
+                    qualified,
+                    key,
+                    row: None,
+                }],
+            );
         }
         let _rmw = core.rmw_lock();
         let old_row = core.get(&key, u64::MAX)?;
@@ -894,11 +942,20 @@ impl DbCore {
                 }
             }
         }
-        self.commit_writes(writes)
+        self.commit_writes(state, writes)
     }
 
     fn truncate(&self, state: &mut EngineState, table: &TableRef) -> Result<()> {
         let def = Arc::clone(state.catalog.table(&table.keyspace, &table.table)?);
+        // Checkpoint before touching the manifest: the WAL still holds this
+        // table's pre-truncate mutations, and recovery would replay them
+        // into the rebuilt (empty) runtime, resurrecting truncated data.
+        // Flushing everything and truncating the log removes them; the
+        // caller holds the state write lock, so no statement is in flight
+        // and the truncated WAL loses nothing. A crash anywhere inside the
+        // truncate is safe — the TRUNCATE was not yet acknowledged, so both
+        // "applied" and "not applied" are legal recovery outcomes.
+        self.checkpoint_all_locked(state)?;
         let rebuild = |state: &mut EngineState, name: &str| -> Result<()> {
             let qualified = format!("{}.{}", def.keyspace, name);
             let fresh_def = (**state.catalog.table(&def.keyspace, name)?).clone();
@@ -1106,6 +1163,12 @@ impl DbCore {
     /// truncated WAL loses nothing.
     pub(crate) fn flush_all(&self) -> Result<()> {
         let state = self.write_state();
+        self.checkpoint_all_locked(&state)
+    }
+
+    /// Flush every table, then truncate the (now fully redundant) commit
+    /// log. The caller holds the state write lock.
+    fn checkpoint_all_locked(&self, state: &EngineState) -> Result<()> {
         for table in state.tables.values() {
             table.flush(&self.tracker, &self.registry)?;
         }
@@ -1686,6 +1749,106 @@ mod tests {
             .unwrap();
         let r = db.execute_cql("SELECT v FROM ks.t WHERE id = 1").unwrap();
         assert_eq!(r.rows(), vec![vec![CqlValue::Text("new".into())]]);
+    }
+
+    #[test]
+    fn compaction_does_not_resurrect_deletes_kept_for_snapshots() {
+        // End-to-end run of the review scenario: a snapshot keeps the
+        // pre-delete version buffered across the flush (the memtable "hole"
+        // case); after the snapshot drops, a full compaction drops the
+        // tombstone from disk and must purge that stale buffered version
+        // too, or the deleted row comes back.
+        let shared = SharedDb::open(OpenOptions::default()).unwrap();
+        let mut s = shared.session();
+        s.execute_cql("CREATE KEYSPACE ks").unwrap();
+        s.execute_cql("CREATE TABLE ks.t (id int, v text, PRIMARY KEY (id))")
+            .unwrap();
+        s.execute_cql("INSERT INTO ks.t (id, v) VALUES (1, 'doomed')")
+            .unwrap();
+        let snap = shared.snapshot();
+        s.execute_cql("DELETE FROM ks.t WHERE id = 1").unwrap();
+        shared.flush_all().unwrap();
+        s.execute_cql("INSERT INTO ks.t (id, v) VALUES (2, 'other')")
+            .unwrap();
+        shared.flush_all().unwrap();
+        drop(snap);
+        shared.compact_all().unwrap();
+        assert!(
+            s.execute_cql("SELECT v FROM ks.t WHERE id = 1")
+                .unwrap()
+                .is_empty(),
+            "compaction resurrected a deleted row"
+        );
+        assert_eq!(s.execute_cql("SELECT * FROM ks.t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn truncate_survives_crash_recovery() {
+        // An acknowledged TRUNCATE must stay effective after a crash: the
+        // WAL records written before it must not be replayed into the
+        // rebuilt table. The sibling table keeps its unflushed row, proving
+        // recovery still replays what it should.
+        let vfs = Vfs::memory();
+        {
+            let mut db = Db::open(OpenOptions::default().vfs(vfs.clone())).unwrap();
+            db.execute_cql("CREATE KEYSPACE ks").unwrap();
+            db.execute_cql("CREATE TABLE ks.a (id int, v text, PRIMARY KEY (id))")
+                .unwrap();
+            db.execute_cql("CREATE TABLE ks.b (id int, v text, PRIMARY KEY (id))")
+                .unwrap();
+            db.execute_cql("INSERT INTO ks.a (id, v) VALUES (1, 'pre')")
+                .unwrap();
+            db.execute_cql("INSERT INTO ks.a (id, v) VALUES (2, 'pre')")
+                .unwrap();
+            db.execute_cql("INSERT INTO ks.b (id, v) VALUES (7, 'keep')")
+                .unwrap();
+            db.execute_cql("TRUNCATE ks.a").unwrap();
+            db.execute_cql("INSERT INTO ks.a (id, v) VALUES (3, 'post')")
+                .unwrap();
+            // Crash: drop without flushing.
+        }
+        let mut db = Db::open(OpenOptions::default().vfs(vfs).recover(true)).unwrap();
+        let r = db.execute_cql("SELECT id FROM ks.a").unwrap();
+        let ids: Vec<i64> = r.iter().map(|row| row.get_int("id").unwrap()).collect();
+        assert_eq!(ids, vec![3], "pre-truncate rows resurrected by replay");
+        let r = db.execute_cql("SELECT v FROM ks.b WHERE id = 7").unwrap();
+        assert_eq!(r.rows(), vec![vec![CqlValue::Text("keep".into())]]);
+    }
+
+    #[test]
+    fn threshold_flushes_checkpoint_the_commit_log() {
+        // Under sustained writes with no explicit flush_all, post-flush
+        // checkpoints must keep deleting flushed-past WAL segments: the log
+        // stays bounded and recovery replays a suffix, not the whole
+        // history.
+        let vfs = Vfs::memory();
+        {
+            let mut db = Db::open(
+                OpenOptions::default()
+                    .vfs(vfs.clone())
+                    .memtable_flush_bytes(512)
+                    .wal_segment_bytes(1024),
+            )
+            .unwrap();
+            db.execute_cql("CREATE KEYSPACE ks").unwrap();
+            db.execute_cql("CREATE TABLE ks.t (id int, v text, PRIMARY KEY (id))")
+                .unwrap();
+            for i in 0..400 {
+                db.execute_cql(&format!(
+                    "INSERT INTO ks.t (id, v) VALUES ({i}, 'payload number {i}')"
+                ))
+                .unwrap();
+            }
+            let wal = db.commitlog_size().as_bytes();
+            assert!(
+                wal < 16 * 1024,
+                "WAL grew unbounded despite threshold flushes: {wal} bytes"
+            );
+            // Crash without flush_all.
+        }
+        let mut db = Db::open(OpenOptions::default().vfs(vfs).recover(true)).unwrap();
+        let r = db.execute_cql("SELECT * FROM ks.t").unwrap();
+        assert_eq!(r.len(), 400, "checkpointing lost acknowledged writes");
     }
 
     #[test]

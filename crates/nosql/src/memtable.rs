@@ -241,6 +241,29 @@ impl ShardedMemtable {
         drained
     }
 
+    /// Garbage-collects every shard against `floor`: versions shadowed at
+    /// or below it are unreachable by every current and future reader and
+    /// are dropped; emptied chains disappear.
+    ///
+    /// Chain GC is otherwise lazy (it runs when a key is touched by a put
+    /// or a drain), so a snapshot-retained version can outlive its
+    /// snapshot indefinitely. Tombstone-dropping compaction runs this
+    /// eagerly first: a stale live version left behind a flushed tombstone
+    /// would otherwise resurface once the tombstone leaves the SSTables.
+    pub fn gc(&self, floor: u64) {
+        let mut freed = 0usize;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            shard.entries.retain(|_, versions| {
+                freed += gc_chain(versions, floor);
+                !versions.is_empty()
+            });
+        }
+        if freed > 0 {
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+    }
+
     /// Flush undo: re-inserts entries drained by
     /// [`ShardedMemtable::drain_up_to`] after a failed SSTable write, so
     /// the data stays readable and a later flush can retry. Shadow links
@@ -401,6 +424,22 @@ mod tests {
             !hit.definitive,
             "a flushed newer version exists; SSTables must be consulted"
         );
+    }
+
+    #[test]
+    fn gc_pass_purges_stale_shadowed_versions() {
+        let m = ShardedMemtable::new();
+        put(&m, b"k", 1, 5, 0);
+        put(&m, b"k", 2, 9, 0);
+        // Drain the newest at a floor that keeps the pinned-era version.
+        let drained = m.drain_up_to(9, 5);
+        assert_eq!(drained[&b"k".to_vec()].1, 9);
+        assert_eq!(m.get(b"k", 5).unwrap().seq, 5, "retained for the pin");
+        // Pin released: an explicit pass reclaims it (shadow 9 <= floor 9).
+        m.gc(9);
+        assert!(m.get(b"k", 5).is_none());
+        assert_eq!(m.key_count(), 0);
+        assert_eq!(m.approx_bytes(), 0);
     }
 
     #[test]

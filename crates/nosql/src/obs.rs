@@ -11,6 +11,8 @@
 //! | `nosql.memtable.puts`          | counter   | rows applied to a memtable               |
 //! | `nosql.commitlog.appends`      | counter   | commit-log append calls (batch = 1)      |
 //! | `nosql.commitlog.append_bytes` | counter   | framed bytes appended to the commit log  |
+//! | `nosql.commitlog.checkpoints`  | counter   | WAL checkpoint passes after flushes      |
+//! | `nosql.commitlog.segments_deleted` | counter | redundant WAL segments deleted         |
 //! | `nosql.flush.*`                | span      | memtable → SSTable flush (bytes = SSTable size) |
 //! | `nosql.compaction.*`           | span      | one merge run (bytes = bytes written)    |
 //! | `nosql.compaction.bytes_in`    | counter   | bytes read by merges (input amplification) |
@@ -41,6 +43,8 @@ pub(crate) struct NosqlObs {
     pub memtable_puts: Counter,
     pub commitlog_appends: Counter,
     pub commitlog_append_bytes: Counter,
+    pub commitlog_checkpoints: Counter,
+    pub commitlog_segments_deleted: Counter,
     pub flush: SpanHandle,
     pub compaction: SpanHandle,
     pub compaction_bytes_in: Counter,
@@ -73,6 +77,8 @@ pub(crate) fn nosql() -> &'static NosqlObs {
             memtable_puts: r.counter("nosql.memtable.puts"),
             commitlog_appends: r.counter("nosql.commitlog.appends"),
             commitlog_append_bytes: r.counter("nosql.commitlog.append_bytes"),
+            commitlog_checkpoints: r.counter("nosql.commitlog.checkpoints"),
+            commitlog_segments_deleted: r.counter("nosql.commitlog.segments_deleted"),
             flush: r.span("nosql.flush"),
             compaction: r.span("nosql.compaction"),
             compaction_bytes_in: r.counter("nosql.compaction.bytes_in"),

@@ -71,6 +71,10 @@ pub(crate) struct TableCore {
     next_sst_id: AtomicU64,
     /// Serializes flush and compaction for this table.
     maint: Mutex<()>,
+    /// Boundary of the last successful flush: every WAL record of this
+    /// table at or below it is covered by SSTables. Feeds the engine's
+    /// commit-log checkpoint floor (see [`TableCore::wal_floor`]).
+    wal_floor: AtomicU64,
     /// Serializes read-modify-write statements (UPDATE, and any write to an
     /// indexed table): the read half must observe every prior RMW's write.
     rmw: Mutex<()>,
@@ -104,6 +108,7 @@ impl TableCore {
             ssts: RwLock::new(Vec::new()),
             next_sst_id: AtomicU64::new(0),
             maint: Mutex::new(()),
+            wal_floor: AtomicU64::new(0),
             rmw: Mutex::new(()),
             options,
             cache,
@@ -292,18 +297,51 @@ impl TableCore {
 
     /// Threshold-triggered flush: skips silently when another flush or
     /// compaction is already running (that one will cover the data, or the
-    /// next put re-triggers).
-    pub fn maybe_flush(&self, tracker: &SeqTracker, registry: &SnapshotRegistry) -> Result<()> {
+    /// next put re-triggers). Returns whether a flush ran, so the engine
+    /// knows a WAL checkpoint may now pay off.
+    pub fn maybe_flush(&self, tracker: &SeqTracker, registry: &SnapshotRegistry) -> Result<bool> {
         if self.mem.approx_bytes() < self.options.memtable_flush_bytes {
-            return Ok(());
+            return Ok(false);
         }
         let Ok(guard) = self.maint.try_lock() else {
-            return Ok(());
+            return Ok(false);
         };
         if self.mem.approx_bytes() < self.options.memtable_flush_bytes {
-            return Ok(());
+            return Ok(false);
         }
-        self.flush_locked(&guard, tracker, registry)
+        self.flush_locked(&guard, tracker, registry)?;
+        Ok(true)
+    }
+
+    /// The sequence at or below which every commit-log record of this
+    /// table is redundant. With buffered writes that is the last flush
+    /// boundary; an idle table (no memtable versions, no flush in flight)
+    /// reports the visible watermark instead so it never pins the
+    /// engine-wide checkpoint floor at its last — possibly ancient —
+    /// flush.
+    ///
+    /// Ordering matters for the idle fast path: the watermark is read
+    /// *before* the emptiness checks. Any record with a sequence at or
+    /// below that watermark completed earlier, and the commit path applies
+    /// to the memtable before completing — so at check time the version is
+    /// either still buffered (non-empty, take the flushed floor) or was
+    /// drained by a flush whose boundary the floor already covers.
+    /// Sequences still outstanding at the read are above the watermark and
+    /// stay retained either way.
+    pub fn wal_floor(&self, tracker: &SeqTracker) -> u64 {
+        let flushed = self.wal_floor.load(Ordering::Acquire);
+        let visible = tracker.visible();
+        let idle = self.mem.approx_bytes() == 0
+            && self
+                .flushing
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_none();
+        if idle {
+            flushed.max(visible)
+        } else {
+            flushed
+        }
     }
 
     fn flush_locked(
@@ -317,6 +355,10 @@ impl TableCore {
         crate::mvcc::perturb(33);
         let drained = self.mem.drain_up_to(boundary, gc_floor);
         if drained.is_empty() {
+            // Nothing at or below the boundary needed disk: every such
+            // record is already flushed or shadowed by a flushed version,
+            // so the WAL prefix is redundant and the floor may advance.
+            self.wal_floor.fetch_max(boundary, Ordering::AcqRel);
             return Ok(());
         }
         let mut span = crate::obs::nosql().flush.start();
@@ -379,6 +421,9 @@ impl TableCore {
         }
         crate::mvcc::perturb(34);
         *self.flushing.write().unwrap_or_else(|e| e.into_inner()) = None;
+        // Only now — SSTable durable and attached — are the WAL records at
+        // or below the boundary redundant.
+        self.wal_floor.fetch_max(boundary, Ordering::AcqRel);
         drop(span);
         let should_compact = {
             let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
@@ -460,6 +505,17 @@ impl TableCore {
         // Tombstones can only be dropped when no older SSTable might hold a
         // shadowed live version.
         let drop_tombstones = start == 0;
+        if drop_tombstones {
+            // A snapshot-retained version a past flush left behind in the
+            // memtable (shadowed by a now-flushed newer sequence) is pruned
+            // lazily; if its shadowing record here is a tombstone we are
+            // about to drop, the stale version would become the newest for
+            // its key and resurrect a deleted row. Purge those chains
+            // eagerly before committing to the drop. `max_ts` is a valid
+            // GC floor: `min_pinned() >= max_ts` was just checked, and the
+            // visible watermark covers every flushed sequence.
+            self.mem.gc(max_ts);
+        }
         let entries: Vec<SstEntry> = merged
             .into_values()
             .filter(|e| !drop_tombstones || e.body.is_some())
@@ -550,6 +606,20 @@ impl TableCore {
             }
         }
         Ok(max)
+    }
+
+    /// Newest on-disk sequence for `key`, if any SSTable holds it. Per-key
+    /// sequences are monotone across the age order, so the newest-first
+    /// probe can stop at the first hit. Recovery uses this to skip WAL
+    /// records that a flushed version already covers.
+    pub fn newest_disk_seq(&self, key: &[u8]) -> Result<Option<u64>> {
+        let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
+        for sst in ssts.iter().rev() {
+            if let Some(e) = sst.probe(key)?.entry {
+                return Ok(Some(e.timestamp));
+            }
+        }
+        Ok(None)
     }
 
     /// On-disk bytes of this table's SSTables (flush first for an accurate
@@ -897,5 +967,37 @@ mod tests {
         h.table.compact(&h.registry).unwrap();
         assert_eq!(h.table.sstable_count(), 1, "merge proceeds once released");
         assert_eq!(h.get(&k), Some(r2));
+    }
+
+    #[test]
+    fn compaction_tombstone_drop_purges_stale_memtable_versions() {
+        // Resurrection hazard: a snapshot pins an old live version, a
+        // delete shadows it, and the flush drains only the tombstone (the
+        // "hole" case keeps the pinned version in the memtable). Once the
+        // snapshot is gone, a tombstone-dropping compaction must purge that
+        // stale memtable version too — otherwise it becomes the newest
+        // version for the key and the deleted row comes back.
+        let h = Harness::new(
+            Vfs::memory(),
+            TableOptions {
+                memtable_flush_bytes: 64 * 1024,
+                compaction_threshold: 8,
+            },
+        );
+        let (k1, r1) = row(1, "live");
+        h.put(k1.clone(), Some(r1));
+        let pin = h.registry.pin_current(&h.tracker);
+        h.put(k1.clone(), None);
+        h.flush(); // SSTable 1: tombstone; pinned live version stays buffered
+        let (k2, r2) = row(2, "other");
+        h.put(k2.clone(), Some(r2.clone()));
+        h.flush(); // SSTable 2, so compact() has a run to merge
+        h.registry.unpin(pin);
+        h.table.compact(&h.registry).unwrap();
+        assert_eq!(h.get(&k1), None, "deleted row resurrected by compaction");
+        let rows = h.table.scan(u64::MAX).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, k2);
+        assert_eq!(rows[0].1, r2);
     }
 }
