@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|query|serve|netbench|all]
+//! repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|query|serve|netbench|trace|all]
 //!       [--scale F] [--full] [--threads N] [--points N] [--seed S] [--stats]
 //!       [--port N] [--metrics-port N] [--token TENANT=TOKEN] [--slow-ms N] [--smoke]
 //!       [--clients N] [--rows N] [--out PATH]
@@ -34,8 +34,13 @@
 //! * `netbench` drives a loopback server with `--clients N` concurrent
 //!   connections across two tenants, ingesting `--rows N` total rows and
 //!   then timing point SELECTs cold (after a flush) and warm, reporting
-//!   ingest rows/sec and p50/p99 query latency; `--out PATH` writes the
-//!   numbers as JSON (the committed `BENCH_6.json`).
+//!   ingest rows/sec and p50/p99 query latency, plus a recovery phase
+//!   (ingest to disk, drop without flushing, time the WAL-replay reopen);
+//!   `--out PATH` writes the numbers as JSON (the committed `BENCH_8.json`).
+//! * `trace` runs a traced loopback workload (`--rows N` inserts, point
+//!   SELECTs off SSTables, one full scan) and dumps the worst retained
+//!   trace: a span tree with engine attribution on stdout, and the Chrome
+//!   trace-event JSON (load in `chrome://tracing`) to `--out PATH`.
 //! * `--stats` appends the registry text report after any subcommand.
 //!
 //! Absolute numbers differ from the paper (different hardware, embedded
@@ -155,7 +160,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--threads needs a positive integer"));
             }
             c @ ("table2" | "table4" | "table5" | "fig2" | "fig3" | "fig4" | "stream"
-            | "crashtest" | "obs" | "query" | "serve" | "netbench" | "all") => {
+            | "crashtest" | "obs" | "query" | "serve" | "netbench" | "trace" | "all") => {
                 command = c.to_string();
             }
             other => usage(&format!("unknown argument {other:?}")),
@@ -178,6 +183,7 @@ fn main() {
         "query" => query(scale),
         "serve" => serve(port, metrics_port, tokens, slow_ms, smoke),
         "netbench" => netbench(clients, rows, out.as_deref()),
+        "trace" => trace_cmd(rows, out.as_deref()),
         "all" => {
             fig2();
             fig3();
@@ -198,7 +204,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|query|serve|netbench|all] \
+        "usage: repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|query|serve|netbench|trace|all] \
          [--scale F] [--full] [--threads N] [--points N] [--seed S] [--stats] \
          [--port N] [--metrics-port N] [--token TENANT=TOKEN] [--slow-ms N] [--smoke] \
          [--clients N] [--rows N] [--out PATH]"
@@ -763,6 +769,53 @@ fn serve(port: u16, metrics_port: u16, tokens: Vec<(String, String)>, slow_ms: u
     assert!(health.contains("ok"), "healthz failed:\n{health}");
     println!("server smoke: metrics ok (server_requests present, healthz ok)");
 
+    // Smoke: the debug port retained at least one trace for the statements
+    // above, and a single trace round-trips as Chrome trace-event JSON.
+    let listing = http_get(server.metrics_addr(), "/debug/traces");
+    assert!(
+        listing.starts_with("HTTP/1.1 200"),
+        "trace listing failed:\n{listing}"
+    );
+    let worst_id = listing
+        .split("\"trace_id\": \"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("no retained trace in /debug/traces");
+    let chrome = http_get(server.metrics_addr(), &format!("/debug/traces/{worst_id}"));
+    assert!(
+        chrome.starts_with("HTTP/1.1 200"),
+        "single-trace fetch failed:\n{chrome}"
+    );
+    let body = chrome
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.trim())
+        .expect("chrome export body");
+    assert!(
+        body.starts_with('[') && body.ends_with(']') && body.contains("\"ph\": \"X\""),
+        "not Chrome trace-event JSON:\n{body}"
+    );
+    assert_eq!(
+        body.matches('{').count(),
+        body.matches('}').count(),
+        "unbalanced Chrome trace JSON"
+    );
+    // Some span beyond the root request event must have measurable time.
+    let child_has_duration = body
+        .lines()
+        .skip(2)
+        .filter_map(|l| l.split("\"dur\": ").nth(1))
+        .filter_map(|rest| rest.split(',').next())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .any(|d| d > 0.0);
+    assert!(
+        child_has_duration,
+        "trace {worst_id} has no nonzero-duration child span:\n{body}"
+    );
+    println!(
+        "server smoke: traces ok (trace {worst_id} retained, Chrome export round-trips, \
+         child span has nonzero duration)"
+    );
+
     // Smoke: drained shutdown joins every thread.
     server.shutdown();
     println!("server smoke: shutdown ok (drained)");
@@ -945,14 +998,188 @@ fn netbench(clients: usize, rows: usize, out: Option<&str>) {
     server.shutdown();
     println!("netbench: server drained and joined");
 
+    // Recovery phase: ingest to a real on-disk engine, "kill" it by
+    // dropping without a flush (everything lives in the WAL), and time the
+    // replaying reopen — the startup cost an operator actually pays after
+    // a crash.
+    let recovery_rows = total_rows;
+    let recovery_dir =
+        std::env::temp_dir().join(format!("sc-netbench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&recovery_dir);
+    std::fs::create_dir_all(&recovery_dir).expect("create recovery dir");
+    let open_disk = || {
+        sc_nosql::OpenOptions::default()
+            .vfs(sc_storage::Vfs::disk(&recovery_dir).expect("disk vfs"))
+    };
+    let ingest_start = Instant::now();
+    {
+        let mut db = open_disk().open().expect("open disk engine");
+        db.execute_cql("CREATE KEYSPACE bench").expect("keyspace");
+        db.execute_cql(
+            "CREATE TABLE bench.readings (id int, station text, bikes int, PRIMARY KEY (id))",
+        )
+        .expect("table");
+        for id in 0..recovery_rows {
+            db.execute_cql(&format!(
+                "INSERT INTO bench.readings (id, station, bikes) VALUES ({id}, 'station {id}', {})",
+                id % 40
+            ))
+            .expect("recovery insert");
+        }
+        // Dropped here without flush_all: the reopen must replay the WAL.
+    }
+    let recovery_ingest_elapsed = ingest_start.elapsed();
+    let replay_start = Instant::now();
+    let mut recovered = open_disk().recover(true).open().expect("recovering reopen");
+    let replay_elapsed = replay_start.elapsed();
+    let survivors = recovered
+        .execute_cql("SELECT id FROM bench.readings")
+        .expect("post-recovery scan");
+    assert_eq!(
+        survivors.len(),
+        recovery_rows,
+        "recovery lost rows: {} of {recovery_rows} survived",
+        survivors.len()
+    );
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&recovery_dir);
+    let replay_rows_per_sec = recovery_rows as f64 / replay_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "recovery: {recovery_rows} unflushed rows ingested to disk in {} ms, \
+         WAL replay on reopen took {} ms ({replay_rows_per_sec:.0} rows/sec), \
+         all rows verified present",
+        recovery_ingest_elapsed.as_millis(),
+        replay_elapsed.as_millis()
+    );
+
     if let Some(path) = out {
         let json = format!(
-            "{{\n  \"bench\": \"netbench\",\n  \"pr\": 7,\n  \"config\": {{ \"clients\": {clients}, \"tenants\": {}, \"rows\": {total_rows}, \"queries_per_pass\": {} }},\n  \"ingest\": {{ \"rows\": {total_rows}, \"elapsed_ms\": {}, \"rows_per_sec\": {rows_per_sec:.0} }},\n  \"query_latency_us\": {{\n    \"cold\": {{ \"p50\": {cold_p50}, \"p99\": {cold_p99} }},\n    \"warm\": {{ \"p50\": {warm_p50}, \"p99\": {warm_p99} }}\n  }},\n  \"contended\": {{ \"writers\": {clients}, \"readers\": {clients}, \"rows\": {contended_rows}, \"rows_per_sec\": {contended_rows_per_sec:.0}, \"read_p50\": {cont_p50}, \"read_p99\": {cont_p99} }}\n}}\n",
+            "{{\n  \"bench\": \"netbench\",\n  \"pr\": 8,\n  \"config\": {{ \"clients\": {clients}, \"tenants\": {}, \"rows\": {total_rows}, \"queries_per_pass\": {} }},\n  \"ingest\": {{ \"rows\": {total_rows}, \"elapsed_ms\": {}, \"rows_per_sec\": {rows_per_sec:.0} }},\n  \"query_latency_us\": {{\n    \"cold\": {{ \"p50\": {cold_p50}, \"p99\": {cold_p99} }},\n    \"warm\": {{ \"p50\": {warm_p50}, \"p99\": {warm_p99} }}\n  }},\n  \"contended\": {{ \"writers\": {clients}, \"readers\": {clients}, \"rows\": {contended_rows}, \"rows_per_sec\": {contended_rows_per_sec:.0}, \"read_p50\": {cont_p50}, \"read_p99\": {cont_p99} }},\n  \"recovery\": {{ \"rows\": {recovery_rows}, \"ingest_ms\": {}, \"replay_ms\": {}, \"replay_rows_per_sec\": {replay_rows_per_sec:.0} }}\n}}\n",
             tenants.len(),
             cold.len(),
             ingest_elapsed.as_millis(),
+            recovery_ingest_elapsed.as_millis(),
+            replay_elapsed.as_millis(),
         );
         std::fs::write(path, json).expect("write --out file");
         println!("wrote {path}");
+    }
+}
+
+/// Request tracing demo: drive a traced loopback workload, then dump the
+/// worst retained trace as an attributed span tree plus Chrome trace-event
+/// JSON (`--out PATH`, else printed).
+fn trace_cmd(rows: usize, out: Option<&str>) {
+    use sc_obs::trace::{Attr, TailSampler};
+    use sc_server::client::Client;
+    use sc_server::{Server, ServerConfig};
+    use std::time::Duration;
+
+    header(&format!(
+        "repro trace: {rows}-row traced workload, worst retained trace"
+    ));
+    let db = sc_nosql::SharedDb::open(sc_nosql::OpenOptions::default()).expect("open engine");
+    let server = Server::start(
+        ServerConfig::default()
+            .tenant("demo", "demo-token")
+            .slow_query_threshold(Duration::ZERO)
+            .trace_policy(8, 32),
+        db,
+    )
+    .expect("start server");
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.hello("demo-token").expect("hello");
+    client.query("CREATE KEYSPACE traced").expect("keyspace");
+    client
+        .query("CREATE TABLE traced.readings (id int, station text, bikes int, PRIMARY KEY (id))")
+        .expect("table");
+    for id in 0..rows {
+        client
+            .query(&format!(
+                "INSERT INTO traced.readings (id, station, bikes) VALUES ({id}, 'station {id}', {})",
+                id % 40
+            ))
+            .expect("insert");
+    }
+    // Flush so the point reads below pay the SSTable path (bloom probes,
+    // block reads, cache misses) and the trace has something to attribute.
+    server.db().flush_all().expect("flush");
+    for id in (0..rows).step_by((rows / 64).max(1)) {
+        client
+            .query(&format!(
+                "SELECT station, bikes FROM traced.readings WHERE id = {id}"
+            ))
+            .expect("point select");
+    }
+    let (scan, scan_id) = client
+        .query_traced("SELECT * FROM traced.readings")
+        .expect("full scan");
+    assert_eq!(scan.len(), rows, "full scan missed rows");
+    server.shutdown();
+
+    let sampler = TailSampler::global();
+    let traces = sampler.traces();
+    println!(
+        "sampler: {} requests offered, {} traces retained (client-chosen scan ID {scan_id:016x})",
+        sampler.offered(),
+        traces.len()
+    );
+    let worst = traces.first().expect("no retained traces");
+    println!(
+        "\nworst trace: {} [{}] tenant {} — {:.3} ms — {}",
+        worst.id_hex(),
+        worst.kind,
+        worst.tenant,
+        worst.total_ns as f64 / 1e6,
+        worst.detail
+    );
+    // Render the span tree: spans are stored flat with parent indices.
+    let depth_of = |mut idx: usize| {
+        let mut depth = 1usize;
+        while let Some(p) = worst.spans[idx].parent {
+            depth += 1;
+            idx = p as usize;
+        }
+        depth
+    };
+    for (idx, span) in worst.spans.iter().enumerate() {
+        let attrs: Vec<String> = Attr::ALL
+            .iter()
+            .filter(|&&a| span.attrs[a as usize] != 0)
+            .map(|&a| format!("{}={}", a.name(), span.attrs[a as usize]))
+            .collect();
+        println!(
+            "  {:indent$}{} — {:.3} ms{}",
+            "",
+            span.name,
+            span.duration_ns as f64 / 1e6,
+            if attrs.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", attrs.join(", "))
+            },
+            indent = depth_of(idx) * 2
+        );
+    }
+    let totals: Vec<String> = Attr::ALL
+        .iter()
+        .filter(|&&a| worst.attr_total(a) != 0)
+        .map(|&a| format!("{}={}", a.name(), worst.attr_total(a)))
+        .collect();
+    if !totals.is_empty() {
+        println!("  attribution totals: {}", totals.join(", "));
+    }
+
+    let chrome = worst.to_chrome_trace();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &chrome).expect("write --out file");
+            println!("\nwrote Chrome trace-event JSON to {path} (open in chrome://tracing)");
+        }
+        None => {
+            println!("\nChrome trace-event JSON (open in chrome://tracing):");
+            println!("{chrome}");
+        }
     }
 }

@@ -59,4 +59,31 @@ fn table4_and_table5_numbers_are_identical_with_stats_on_and_off() {
         with_stats, with_stats_again,
         "re-enabling changed the numbers"
     );
+
+    // Request tracing must be an equally pure observer: the same numbers
+    // with the trace layer armed (even though no request context is active
+    // here, every instrumented site now passes through the trace hooks)
+    // and with a live trace actually collecting.
+    assert!(!sc_obs::trace_enabled(), "tracing is off by default");
+    sc_obs::set_trace_enabled(true);
+    let with_tracing_armed = table_numbers();
+    let traced = {
+        let guard = sc_obs::trace::begin(0xBE9C_u64, "bench");
+        assert!(guard.is_active());
+        let numbers = table_numbers();
+        let trace = guard.finish().expect("trace collected");
+        assert!(!trace.spans.is_empty(), "pipeline emitted no spans");
+        numbers
+    };
+    sc_obs::set_trace_enabled(false);
+    let tracing_off_again = table_numbers();
+    assert_eq!(
+        with_stats, with_tracing_armed,
+        "arming tracing changed the numbers"
+    );
+    assert_eq!(with_stats, traced, "an active trace changed the numbers");
+    assert_eq!(
+        with_stats, tracing_off_again,
+        "disarming tracing changed the numbers"
+    );
 }

@@ -63,6 +63,7 @@ impl Dwarf {
         if !sc_obs::enabled() {
             return self.point_inner(sel);
         }
+        let _trace = sc_obs::trace::stage("dwarf.query.point");
         let started = std::time::Instant::now();
         let out = self.point_inner(sel);
         crate::obs::dwarf()
@@ -83,6 +84,7 @@ impl Dwarf {
         if !sc_obs::enabled() {
             return self.range_inner(sel);
         }
+        let _trace = sc_obs::trace::stage("dwarf.query.range");
         let started = std::time::Instant::now();
         let out = self.range_inner(sel);
         crate::obs::dwarf()

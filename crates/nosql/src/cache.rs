@@ -100,6 +100,7 @@ impl BlockCache {
                 if sc_obs::enabled() {
                     crate::obs::nosql().block_cache_hit.inc();
                 }
+                sc_obs::trace::add(sc_obs::trace::Attr::BlockCacheHits, 1);
                 Some(bytes)
             }
             None => {
@@ -107,6 +108,7 @@ impl BlockCache {
                 if sc_obs::enabled() {
                     crate::obs::nosql().block_cache_miss.inc();
                 }
+                sc_obs::trace::add(sc_obs::trace::Attr::BlockCacheMisses, 1);
                 None
             }
         }

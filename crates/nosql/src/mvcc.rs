@@ -216,9 +216,13 @@ pub(crate) fn reset_queue_wait() {
 }
 
 /// Adds group-commit (or other queueing) wait to the calling thread's
-/// accumulator.
+/// accumulator. When the thread is building a request trace, the
+/// already-elapsed wait is also recorded as a completed
+/// `nosql.commit_wait` node so the span tree shows *where* inside the
+/// statement the queueing happened.
 pub(crate) fn add_queue_wait(d: Duration) {
     QUEUE_WAIT_NS.with(|w| w.set(w.get().saturating_add(d.as_nanos() as u64)));
+    sc_obs::trace::record_wait("nosql.commit_wait", d, sc_obs::trace::Attr::CommitWaitNs);
 }
 
 /// The calling thread's queueing wait accumulated since the last reset.

@@ -573,6 +573,7 @@ impl SsTable {
                 {
                     return Ok(Probe::absent(true, false));
                 }
+                sc_obs::trace::add(sc_obs::trace::Attr::BloomProbes, 1);
                 if !meta.filter.may_contain(key) {
                     if stats {
                         crate::obs::nosql().bloom_miss.inc();

@@ -169,6 +169,7 @@ impl TableCore {
                     crate::obs::nosql().sstables_per_get.record(0);
                     crate::obs::nosql().blocks_per_get.record(0);
                 }
+                sc_obs::trace::add(sc_obs::trace::Attr::MemtableHits, 1);
                 return Ok(hit.row);
             }
             best = Some((hit.row, hit.seq));
@@ -190,6 +191,13 @@ impl TableCore {
         let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
         let mut probed = 0u64;
         let mut blocks = 0u64;
+        // One stage for the whole disk-probe loop: its duration is the
+        // statement's block-read time in the request trace.
+        let _read_stage = if ssts.is_empty() {
+            None
+        } else {
+            Some(sc_obs::trace::stage("nosql.block_read"))
+        };
         for sst in ssts.iter().rev() {
             probed += 1;
             let probe = sst.probe(key)?;
@@ -215,6 +223,10 @@ impl TableCore {
         if stats {
             crate::obs::nosql().sstables_per_get.record(probed);
             crate::obs::nosql().blocks_per_get.record(blocks);
+        }
+        if probed > 0 {
+            sc_obs::trace::add(sc_obs::trace::Attr::SstableProbes, probed);
+            sc_obs::trace::add(sc_obs::trace::Attr::BlocksRead, blocks);
         }
         Ok(best.and_then(|(row, _)| row))
     }

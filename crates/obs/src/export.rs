@@ -12,22 +12,44 @@ fn prom_name(name: &str) -> String {
 }
 
 impl RegistrySnapshot {
-    /// Prometheus text format: counters and gauges as single samples,
-    /// histograms as `_count` / `_sum` / cumulative `_bucket{le="..."}`
-    /// series ending in `le="+Inf"`. Only non-empty buckets (plus `+Inf`)
-    /// are emitted.
+    /// The `# HELP` text for `name`: the registered description
+    /// ([`crate::Registry::describe`]) when present, else a fallback
+    /// naming the dotted series the family was derived from.
+    fn help_line(&self, name: &str) -> String {
+        match self.help(name) {
+            Some(help) => help.replace('\n', " "),
+            None => format!("smartcube series {name}"),
+        }
+    }
+
+    /// Prometheus text format: one `# HELP` + `# TYPE` pair per family,
+    /// counters and gauges as single samples, histograms as `_count` /
+    /// `_sum` / cumulative `_bucket{le="..."}` series ending in
+    /// `le="+Inf"`. Only non-empty buckets (plus `+Inf`) are emitted.
+    /// A synthetic `build_info{version="..."} 1` gauge leads the page so
+    /// scrapes are attributable to a binary version.
     pub fn to_prometheus_text(&self) -> String {
         let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP build_info smartcube build metadata; the value is always 1\n\
+             # TYPE build_info gauge\n\
+             build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        );
         for (name, value) in &self.counters {
             let n = prom_name(name);
+            let _ = writeln!(out, "# HELP {n} {}", self.help_line(name));
             let _ = writeln!(out, "# TYPE {n} counter\n{n} {value}");
         }
         for (name, value) in &self.gauges {
             let n = prom_name(name);
+            let _ = writeln!(out, "# HELP {n} {}", self.help_line(name));
             let _ = writeln!(out, "# TYPE {n} gauge\n{n} {value}");
         }
         for (name, h) in &self.histograms {
             let n = prom_name(name);
+            let _ = writeln!(out, "# HELP {n} {}", self.help_line(name));
             let _ = writeln!(out, "# TYPE {n} histogram");
             let mut cumulative = 0u64;
             for &(bound, count) in &h.buckets {
@@ -166,6 +188,13 @@ mod tests {
     #[test]
     fn prometheus_text_shape() {
         let text = sample().to_prometheus_text();
+        assert!(text.starts_with("# HELP build_info "));
+        assert!(text.contains(&format!(
+            "build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )));
+        // Every family gets a HELP line; undescribed ones use the fallback.
+        assert!(text.contains("# HELP x_ops_total smartcube series x.ops.total"));
         assert!(text.contains("# TYPE x_ops_total counter"));
         assert!(text.contains("x_ops_total 3"));
         assert!(text.contains("x_queue_depth -2"));
@@ -176,6 +205,16 @@ mod tests {
         assert!(text.contains("x_put_ns_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("x_put_ns_sum 904"));
         assert!(text.contains("x_put_ns_count 3"));
+    }
+
+    #[test]
+    fn prometheus_help_uses_registered_description() {
+        let registry = Registry::new();
+        registry.counter("x.described.total").add(1);
+        registry.describe("x.described.total", "total described\nthings");
+        let text = registry.snapshot().to_prometheus_text();
+        // Registered text wins over the fallback, newlines flattened.
+        assert!(text.contains("# HELP x_described_total total described things"));
     }
 
     #[test]

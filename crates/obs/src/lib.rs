@@ -16,6 +16,10 @@
 //!   `<name>.bytes` when bytes are attached) and push a [`SpanEvent`] into
 //!   a bounded ring buffer that tests and the CLI can [`drain_events`].
 //!
+//! * **Traces** — per-request span *trees* with engine attribution
+//!   counters, tail-sampled into a bounded store (see [`trace`]). Off by
+//!   default; servers opt in with [`set_trace_enabled`].
+//!
 //! Metric names follow the convention **`crate.component.metric`**
 //! (e.g. `storage.vfs.append_bytes`, `dwarf.build.nodes`).
 //!
@@ -54,12 +58,14 @@ pub mod export;
 pub mod histogram;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use span::{
     drain_events, events_dropped, set_event_capacity, SpanEvent, SpanGuard, SpanHandle,
 };
+pub use trace::{set_trace_enabled, trace_enabled, TailSampler, Trace, TraceGuard, TraceSpan};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

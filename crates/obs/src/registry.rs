@@ -97,6 +97,7 @@ impl Entry {
 struct Inner {
     parent: Option<Registry>,
     metrics: Mutex<BTreeMap<String, Entry>>,
+    helps: Mutex<BTreeMap<String, String>>,
 }
 
 /// A registry of named metrics.
@@ -127,6 +128,7 @@ impl Registry {
             inner: Arc::new(Inner {
                 parent: None,
                 metrics: Mutex::new(BTreeMap::new()),
+                helps: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -145,8 +147,21 @@ impl Registry {
             inner: Arc::new(Inner {
                 parent: Some(self.clone()),
                 metrics: Mutex::new(BTreeMap::new()),
+                helps: Mutex::new(BTreeMap::new()),
             }),
         }
+    }
+
+    /// Attaches a human-readable description to metric `name`, rendered as
+    /// the `# HELP` line of the Prometheus exposition. For spans, describe
+    /// the derived histograms (`{name}.duration_ns`). Undescribed metrics
+    /// get a fallback `# HELP` naming the dotted series.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.inner
+            .helps
+            .lock()
+            .expect("registry lock poisoned")
+            .insert(name.to_string(), help.to_string());
     }
 
     fn local_counter_cell(&self, name: &str) -> Arc<AtomicU64> {
@@ -257,6 +272,8 @@ impl Registry {
                 Entry::Histogram(core) => snap.histograms.push((name.clone(), core.snapshot())),
             }
         }
+        let helps = self.inner.helps.lock().expect("registry lock poisoned");
+        snap.helps = helps.iter().map(|(n, h)| (n.clone(), h.clone())).collect();
         snap
     }
 
@@ -283,6 +300,8 @@ pub struct RegistrySnapshot {
     pub gauges: Vec<(String, i64)>,
     /// `(name, snapshot)` for every histogram.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(name, help)` for every metric described via [`Registry::describe`].
+    pub helps: Vec<(String, String)>,
 }
 
 impl RegistrySnapshot {
@@ -305,6 +324,14 @@ impl RegistrySnapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, h)| h)
+    }
+
+    /// The registered help text for metric `name`, if any.
+    pub fn help(&self, name: &str) -> Option<&str> {
+        self.helps
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.as_str())
     }
 
     /// True when no metric has recorded anything.

@@ -140,6 +140,7 @@ impl SpanHandle {
                 started: Instant::now(),
                 depth,
                 bytes: 0,
+                trace_idx: crate::trace::open_span(self.name),
             }),
         }
     }
@@ -151,6 +152,9 @@ struct ActiveSpan<'a> {
     started: Instant,
     depth: u16,
     bytes: u64,
+    /// Node index in the active request trace, if one is being built on
+    /// this thread (see [`crate::trace`]).
+    trace_idx: Option<u32>,
 }
 
 /// RAII guard for an entered span; records on drop.
@@ -176,6 +180,7 @@ impl Drop for SpanGuard<'_> {
         };
         let duration_ns = u64::try_from(active.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        crate::trace::close_span(active.trace_idx);
         active.handle.duration_ns.record(duration_ns);
         if active.bytes > 0 {
             active.handle.bytes.record(active.bytes);

@@ -1,9 +1,11 @@
 //! Proves the disabled-observability fast path performs **zero heap
-//! allocations** (and drops all recording), and that re-enabling works.
+//! allocations** (and drops all recording), that the tracing-off request
+//! path is equally allocation-free, and that re-enabling works.
 //!
-//! Runs as an integration test so it owns the process-global toggle —
-//! flipping it inside the unit-test binary would race with tests that
-//! assume recording is on.
+//! Runs as an integration test so it owns the process-global toggles —
+//! flipping them inside the unit-test binary would race with tests that
+//! assume recording is on. One `#[test]` fn owns both toggles for the
+//! same reason.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,4 +78,67 @@ fn disabled_path_records_nothing_and_never_allocates() {
     assert_eq!(snap.counter("na.fast.ops"), Some(2));
     assert_eq!(snap.histogram("na.fast.ns").unwrap().count, 2);
     assert_eq!(snap.histogram("na.fast.work.duration_ns").unwrap().count, 2);
+
+    // --- Request tracing: the tracing-off path must be just as free. ---
+    use sc_obs::trace;
+
+    // Warm the trace TLS and the span→trace hook once while tracing is on.
+    trace::set_trace_enabled(true);
+    let warm = trace::begin(trace::next_trace_id(), "na.trace.warm");
+    {
+        let _stage = trace::stage("na.trace.stage");
+        trace::add(trace::Attr::BlocksRead, 1);
+        trace::record_wait(
+            "na.trace.wait",
+            std::time::Duration::from_nanos(1),
+            trace::Attr::CommitWaitNs,
+        );
+        drop(span.start());
+    }
+    drop(warm.finish());
+
+    // Tracing off (metrics still on — the common server configuration):
+    // begin/stage/add/record_wait and traced metric spans must not allocate.
+    trace::set_trace_enabled(false);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let guard = trace::begin(i | 1, "na.trace.off");
+        let _stage = trace::stage("na.trace.stage");
+        trace::add(trace::Attr::BlocksRead, i);
+        trace::record_wait(
+            "na.trace.wait",
+            std::time::Duration::from_nanos(i),
+            trace::Attr::CommitWaitNs,
+        );
+        debug_assert!(!guard.is_active());
+        drop(guard);
+    }
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(allocated, 0, "tracing-off request path must not allocate");
+
+    // And with *everything* off, the span-site hook stays free too.
+    sc_obs::set_enabled(false);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000u64 {
+        drop(span.start());
+        drop(trace::begin(1, "na.trace.alloff"));
+    }
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    sc_obs::set_enabled(true);
+    assert_eq!(allocated, 0, "fully-disabled path must not allocate");
+
+    // Tracing back on: traces build again (prove the off phase was a
+    // toggle, not a latch).
+    trace::set_trace_enabled(true);
+    let guard = trace::begin(0xF00D, "na.trace.on");
+    assert!(guard.is_active());
+    {
+        let _stage = trace::stage("na.trace.stage");
+        trace::add(trace::Attr::BlocksRead, 3);
+    }
+    let t = guard.finish().expect("trace completes when re-enabled");
+    trace::set_trace_enabled(false);
+    assert_eq!(t.trace_id, 0xF00D);
+    assert_eq!(t.spans.len(), 1);
+    assert_eq!(t.attr_total(trace::Attr::BlocksRead), 3);
 }

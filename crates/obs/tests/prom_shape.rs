@@ -118,6 +118,12 @@ fn every_family_has_one_type_line_and_every_sample_parses() {
         if series.ends_with("_bucket") && types[&family] == "histogram" {
             let labels = labels.expect("bucket series carries le label");
             assert!(labels.starts_with("le=\""), "bucket labels: {labels:?}");
+        } else if series == "build_info" {
+            let labels = labels.expect("build_info carries a version label");
+            assert!(
+                labels.starts_with("version=\""),
+                "build_info labels: {labels:?}"
+            );
         } else {
             assert_eq!(labels, None, "unexpected labels on {series:?}");
         }
@@ -135,6 +141,46 @@ fn every_family_has_one_type_line_and_every_sample_parses() {
             ),
         }
     }
+}
+
+#[test]
+fn every_type_line_is_paired_with_a_help_line() {
+    let r = sample_registry();
+    r.describe("server.requests", "statements accepted by the server");
+    let text = r.snapshot().to_prometheus_text();
+
+    // Each # TYPE is immediately preceded by a # HELP for the same family.
+    let lines: Vec<&str> = text.lines().collect();
+    let mut families = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        let Some(rest) = line.strip_prefix("# TYPE ") else {
+            continue;
+        };
+        families += 1;
+        let name = rest.split_whitespace().next().expect("family name");
+        let prev = lines.get(i.wrapping_sub(1)).copied().unwrap_or("");
+        let help_prefix = format!("# HELP {name} ");
+        assert!(
+            prev.starts_with(&help_prefix),
+            "family {name}: # TYPE not preceded by its # HELP (got {prev:?})"
+        );
+        assert!(
+            prev.len() > help_prefix.len(),
+            "family {name}: empty # HELP text"
+        );
+    }
+    assert!(families >= 7, "sample registry shrank? {families} families");
+
+    // Registered descriptions win; undescribed families use the fallback.
+    assert!(text.contains("# HELP server_requests statements accepted by the server"));
+    assert!(text.contains("# HELP stream_backlog smartcube series stream.backlog"));
+
+    // The synthetic build_info gauge leads the page with the crate version.
+    assert!(text.starts_with("# HELP build_info "));
+    assert!(text.contains(&format!(
+        "\nbuild_info{{version=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION")
+    )));
 }
 
 #[test]

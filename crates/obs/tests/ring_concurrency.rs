@@ -1,0 +1,155 @@
+//! The global span-event ring under concurrency: N writer threads emit
+//! span events while a reader drains. The ring must never panic, must
+//! conserve events exactly (delivered + dropped == emitted), must lose
+//! nothing when the emitted total fits the capacity, and must deliver
+//! each thread's events in that thread's emission order.
+//!
+//! Seeded: `SC_NOSQL_YIELD=<seed>` (the workspace-wide concurrency-tier
+//! knob, re-used here so `scripts/ci.sh` drives this test with the same
+//! seeds as the engine tier) perturbs thread interleavings with a
+//! deterministic splitmix-derived yield pattern.
+//!
+//! Own binary: it resizes the process-global ring and reasons about its
+//! exact contents, which would race with other test binaries' spans. One
+//! `#[test]` fn for the same reason.
+
+use sc_obs::{drain_events, events_dropped, set_event_capacity, Registry, SpanEvent};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 2_000;
+
+/// One distinct span name per writer thread, so drained events map back
+/// to their emitting thread (`&'static str` is what the ring stores).
+const NAMES: [&str; THREADS] = [
+    "ring.t0", "ring.t1", "ring.t2", "ring.t3", "ring.t4", "ring.t5", "ring.t6", "ring.t7",
+];
+
+fn seed() -> u64 {
+    std::env::var("SC_NOSQL_YIELD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Emits `PER_THREAD` events through `handle`, encoding the per-thread
+/// sequence number in the byte count, yielding on a seeded pattern.
+fn emit(handle: &sc_obs::SpanHandle, mut rng: u64) {
+    for seq in 1..=PER_THREAD {
+        let mut guard = handle.start();
+        guard.add_bytes(seq);
+        drop(guard);
+        if splitmix(&mut rng) % 7 == 0 {
+            thread::yield_now();
+        }
+    }
+}
+
+/// Asserts that, per thread, the delivered sequence numbers are strictly
+/// increasing — the ring may drop a prefix (oldest-first) or interior
+/// events under overflow, but must never reorder within a thread.
+fn assert_per_thread_order(events: &[SpanEvent]) {
+    let mut last = [0u64; THREADS];
+    for e in events {
+        let Some(t) = NAMES.iter().position(|&n| n == e.name) else {
+            continue; // another subsystem's span; not ours to check
+        };
+        assert!(
+            e.bytes > last[t],
+            "thread {t}: event seq {} delivered after {}",
+            e.bytes,
+            last[t]
+        );
+        last[t] = e.bytes;
+    }
+}
+
+#[test]
+fn ring_conserves_and_orders_events_under_concurrent_drain() {
+    let registry = Registry::new();
+    let handles: Vec<sc_obs::SpanHandle> = NAMES.iter().map(|n| registry.span(n)).collect();
+    let base_seed = seed();
+
+    // --- Phase 1: ring big enough for everything → zero loss, exact set.
+    set_event_capacity(THREADS * PER_THREAD as usize + 64);
+    drain_events();
+    let dropped_before = events_dropped();
+    thread::scope(|scope| {
+        for (t, handle) in handles.iter().enumerate() {
+            scope.spawn(move || emit(handle, base_seed ^ (t as u64) << 32));
+        }
+    });
+    let events = drain_events();
+    assert_eq!(
+        events_dropped(),
+        dropped_before,
+        "emitted total fits capacity → nothing may be lost"
+    );
+    let ours: Vec<&SpanEvent> = events.iter().filter(|e| NAMES.contains(&e.name)).collect();
+    assert_eq!(ours.len(), THREADS * PER_THREAD as usize);
+    assert_per_thread_order(&events);
+    // Every thread delivered its full 1..=PER_THREAD sequence.
+    for (t, name) in NAMES.iter().enumerate() {
+        let seqs: Vec<u64> = events
+            .iter()
+            .filter(|e| e.name == *name)
+            .map(|e| e.bytes)
+            .collect();
+        assert_eq!(seqs.len() as u64, PER_THREAD, "thread {t} lost events");
+        assert_eq!(*seqs.last().unwrap(), PER_THREAD);
+    }
+
+    // --- Phase 2: tiny ring + concurrent reader → conservation + order.
+    const SMALL_CAP: usize = 64;
+    set_event_capacity(SMALL_CAP);
+    let dropped_before = events_dropped();
+    let finished = AtomicUsize::new(0);
+    let mut delivered: Vec<SpanEvent> = Vec::new();
+    thread::scope(|scope| {
+        for (t, handle) in handles.iter().enumerate() {
+            let finished = &finished;
+            scope.spawn(move || {
+                emit(handle, base_seed.rotate_left(t as u32 + 1));
+                finished.fetch_add(1, Ordering::Release);
+            });
+        }
+        // Reader drains while writers run (this scope's main thread);
+        // observe "all writers done" *before* the drain so the exit drain
+        // can't miss events emitted before the observation.
+        let mut reader_rng = base_seed ^ 0xD8A1;
+        loop {
+            let all_done = finished.load(Ordering::Acquire) == THREADS;
+            delivered.extend(drain_events());
+            if all_done {
+                break;
+            }
+            if splitmix(&mut reader_rng) % 3 == 0 {
+                thread::yield_now();
+            }
+        }
+    });
+    delivered.extend(drain_events()); // final sweep after all writers joined
+    let dropped = events_dropped() - dropped_before;
+    let ours = delivered.iter().filter(|e| NAMES.contains(&e.name)).count() as u64;
+    // Conservation: every emitted event is either delivered or counted as
+    // dropped — the ring can lose to overflow, never silently.
+    assert_eq!(
+        ours + dropped,
+        THREADS as u64 * PER_THREAD,
+        "delivered {ours} + dropped {dropped} must equal emitted"
+    );
+    // The final residue can never exceed the ring's capacity.
+    assert!(delivered.len() as u64 >= ours);
+    assert_per_thread_order(&delivered);
+
+    set_event_capacity(1024); // restore the process default
+}

@@ -124,8 +124,33 @@ impl Client {
     pub fn query(&mut self, cql: &str) -> Result<QueryResult, ClientError> {
         match self.call(&Request::Query {
             cql: cql.to_string(),
+            trace_id: None,
         })? {
-            Response::Rows { columns, rows } => Ok(QueryResult::new(columns, rows)),
+            Response::Rows { columns, rows, .. } => Ok(QueryResult::new(columns, rows)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to Query: {other:?}"
+            ))),
+        }
+    }
+
+    /// Like [`Client::query`], but mints a trace ID, sends it with the
+    /// statement, and returns it alongside the result. The server builds
+    /// the request's span tree under this ID — look it up at
+    /// `GET /debug/traces/<id as 16-digit hex>` on the metrics port, or
+    /// match it against slow-query-log entries. The returned ID is the
+    /// one the server echoed (always the sent one on a tracing server).
+    pub fn query_traced(&mut self, cql: &str) -> Result<(QueryResult, u64), ClientError> {
+        let id = sc_obs::trace::next_trace_id();
+        match self.call(&Request::Query {
+            cql: cql.to_string(),
+            trace_id: Some(id),
+        })? {
+            Response::Rows {
+                columns,
+                rows,
+                trace_id,
+            } => Ok((QueryResult::new(columns, rows), trace_id.unwrap_or(id))),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "unexpected response to Query: {other:?}"

@@ -1,12 +1,19 @@
 //! Minimal HTTP/1.1 exposition endpoint.
 //!
-//! A second listener serves exactly two routes, both read-only:
+//! A second listener serves a few read-only routes:
 //!
 //! * `GET /metrics` — the global `sc-obs` registry rendered by
 //!   [`sc_obs::RegistrySnapshot::to_prometheus_text`] (text format
-//!   `version=0.0.4`, the format every Prometheus scraper ingests), and
+//!   `version=0.0.4`, the format every Prometheus scraper ingests),
 //! * `GET /healthz` — `ok` while the server is up, `503 draining` once
-//!   shutdown has begun.
+//!   shutdown has begun,
+//! * `GET /debug/traces` — the tail sampler's retained request traces as
+//!   a JSON array (slowest first), and
+//! * `GET /debug/traces/<trace_id>` — one trace in Chrome trace-event
+//!   format: save the body and load it in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev) to see the request's flame
+//!   graph. `<trace_id>` is the 16-hex-digit ID from the JSON list, the
+//!   slow-query log, or a traced client.
 //!
 //! Requests are parsed just enough to route (request line + headers are
 //! read and discarded, bounded at 8 KiB); every response closes the
@@ -92,6 +99,36 @@ fn serve_one(mut stream: TcpStream, shutdown: &AtomicBool) -> std::io::Result<()
                 )
             } else {
                 ("200 OK", "text/plain; charset=utf-8", "ok\n".into())
+            }
+        }
+        ("GET", "/debug/traces") => {
+            let sampler = sc_obs::TailSampler::global();
+            let traces = sampler.traces();
+            let mut body = String::from("[");
+            for (i, t) in traces.iter().enumerate() {
+                if i > 0 {
+                    body.push_str(",\n ");
+                }
+                body.push_str(&t.to_json());
+            }
+            body.push_str("]\n");
+            ("200 OK", "application/json; charset=utf-8", body)
+        }
+        ("GET", p) if p.strip_prefix("/debug/traces/").is_some() => {
+            let id = p.strip_prefix("/debug/traces/").unwrap_or("");
+            match sc_obs::trace::parse_trace_id(id)
+                .and_then(|id| sc_obs::TailSampler::global().find(id))
+            {
+                Some(t) => (
+                    "200 OK",
+                    "application/json; charset=utf-8",
+                    t.to_chrome_trace(),
+                ),
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "no such trace (expired from the sampler, or never retained)\n".into(),
+                ),
             }
         }
         ("GET", _) => (

@@ -17,6 +17,11 @@
 //! | `server.statement.exec_ns`   | histogram | statement execution time, group-commit queueing excluded |
 //! | `server.statement.commit_wait_ns` | histogram | time queued in the group-commit WAL  |
 //! | `server.metrics_scrapes`     | counter   | HTTP `GET /metrics` requests served       |
+//! | `server.traces_retained`     | counter   | request traces kept by the tail sampler   |
+//!
+//! Key families also register `# HELP` descriptions
+//! ([`Registry::describe`]) so the Prometheus exposition is
+//! self-documenting.
 
 use sc_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::OnceLock;
@@ -35,12 +40,34 @@ pub(crate) struct ServerObs {
     pub statement_exec_ns: Histogram,
     pub commit_wait_ns: Histogram,
     pub metrics_scrapes: Counter,
+    pub traces_retained: Counter,
 }
 
 pub(crate) fn server() -> &'static ServerObs {
     static OBS: OnceLock<ServerObs> = OnceLock::new();
     OBS.get_or_init(|| {
         let r = Registry::global();
+        r.describe("server.requests", "decoded requests handled (any outcome)");
+        r.describe(
+            "server.active_sessions",
+            "session threads currently serving a connection",
+        );
+        r.describe(
+            "server.slow_queries",
+            "statements over the slow-query threshold (see the slow-query log)",
+        );
+        r.describe(
+            "server.statement.exec_ns",
+            "statement execution time in ns, group-commit queueing excluded",
+        );
+        r.describe(
+            "server.statement.commit_wait_ns",
+            "time queued in the group-commit WAL in ns",
+        );
+        r.describe(
+            "server.traces_retained",
+            "request traces kept by the tail sampler (slowest-K + 1-in-N)",
+        );
         ServerObs {
             connections: r.counter("server.connections"),
             active_sessions: r.gauge("server.active_sessions"),
@@ -55,6 +82,7 @@ pub(crate) fn server() -> &'static ServerObs {
             statement_exec_ns: r.histogram("server.statement.exec_ns"),
             commit_wait_ns: r.histogram("server.statement.commit_wait_ns"),
             metrics_scrapes: r.counter("server.metrics_scrapes"),
+            traces_retained: r.counter("server.traces_retained"),
         }
     })
 }

@@ -22,6 +22,10 @@ pub enum Request {
     Query {
         /// CQL text.
         cql: String,
+        /// Optional client-supplied trace ID (`None` → the server mints
+        /// one). Encoded as a trailing field so PR 6 clients — whose
+        /// frames simply omit it — still decode; see DESIGN.md §8.
+        trace_id: Option<u64>,
     },
     /// Liveness probe (allowed before authentication).
     Ping,
@@ -42,6 +46,11 @@ pub enum Response {
         columns: Vec<String>,
         /// Positional rows, aligned with `columns`.
         rows: Vec<Vec<CqlValue>>,
+        /// The trace ID the statement ran under. Echoed (as a trailing
+        /// field) **only when the request carried one**: old clients
+        /// reject trailing bytes, and old clients never send trace IDs,
+        /// so the pair stays wire-compatible in both directions.
+        trace_id: Option<u64>,
     },
     /// Liveness reply.
     Pong,
@@ -141,8 +150,11 @@ impl Request {
             Request::Hello { token } => {
                 enc.put_u8(TAG_HELLO).put_str(token);
             }
-            Request::Query { cql } => {
+            Request::Query { cql, trace_id } => {
                 enc.put_u8(TAG_QUERY).put_str(cql);
+                if let Some(id) = trace_id {
+                    enc.put_u64(*id);
+                }
             }
             Request::Ping => {
                 enc.put_u8(TAG_PING);
@@ -159,9 +171,16 @@ impl Request {
             TAG_HELLO => Request::Hello {
                 token: dec.get_str()?.to_string(),
             },
-            TAG_QUERY => Request::Query {
-                cql: dec.get_str()?.to_string(),
-            },
+            TAG_QUERY => {
+                let cql = dec.get_str()?.to_string();
+                // Optional trailing field (absent in PR 6 frames).
+                let trace_id = if dec.is_exhausted() {
+                    None
+                } else {
+                    Some(dec.get_u64()?)
+                };
+                Request::Query { cql, trace_id }
+            }
             TAG_PING => Request::Ping,
             tag => {
                 return Err(DecodeError::BadTag {
@@ -188,7 +207,11 @@ impl Response {
             Response::HelloOk { tenant } => {
                 enc.put_u8(TAG_HELLO_OK).put_str(tenant);
             }
-            Response::Rows { columns, rows } => {
+            Response::Rows {
+                columns,
+                rows,
+                trace_id,
+            } => {
                 enc.put_u8(TAG_ROWS).put_u64(columns.len() as u64);
                 for c in columns {
                     enc.put_str(c);
@@ -198,6 +221,9 @@ impl Response {
                     for v in row {
                         v.encode(&mut enc);
                     }
+                }
+                if let Some(id) = trace_id {
+                    enc.put_u64(*id);
                 }
             }
             Response::Pong => {
@@ -234,7 +260,18 @@ impl Response {
                     }
                     rows.push(row);
                 }
-                Response::Rows { columns, rows }
+                // Optional trailing field (absent in PR 6 frames and in
+                // replies to untraced requests).
+                let trace_id = if dec.is_exhausted() {
+                    None
+                } else {
+                    Some(dec.get_u64()?)
+                };
+                Response::Rows {
+                    columns,
+                    rows,
+                    trace_id,
+                }
             }
             TAG_PONG => Response::Pong,
             TAG_ERROR => Response::Error {
@@ -270,11 +307,52 @@ mod tests {
             },
             Request::Query {
                 cql: "SELECT * FROM ks.t".into(),
+                trace_id: None,
+            },
+            Request::Query {
+                cql: "SELECT * FROM ks.t".into(),
+                trace_id: Some(0xDEAD_BEEF_CAFE_F00D),
             },
             Request::Ping,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn trace_id_field_is_wire_compatible_with_pr6_frames() {
+        // A PR 6 client's Query frame is exactly tag + cql — no trailing
+        // field. It must decode as an untraced query.
+        let mut old = Encoder::new();
+        old.put_u8(TAG_QUERY).put_str("SELECT * FROM ks.t");
+        assert_eq!(
+            Request::decode(&old.into_bytes()).unwrap(),
+            Request::Query {
+                cql: "SELECT * FROM ks.t".into(),
+                trace_id: None,
+            }
+        );
+        // An untraced query encodes byte-identically to the PR 6 layout,
+        // so a new client talking to an old server stays decodable.
+        let new = Request::Query {
+            cql: "SELECT * FROM ks.t".into(),
+            trace_id: None,
+        }
+        .encode();
+        let mut old = Encoder::new();
+        old.put_u8(TAG_QUERY).put_str("SELECT * FROM ks.t");
+        assert_eq!(new, old.into_bytes());
+        // Same in the response direction: Rows without a trace ID is the
+        // PR 6 byte layout.
+        let new = Response::Rows {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            trace_id: None,
+        }
+        .encode();
+        let mut old = Encoder::new();
+        old.put_u8(TAG_ROWS).put_u64(0).put_u64(0);
+        assert_eq!(new, old.into_bytes());
     }
 
     #[test]
@@ -289,10 +367,12 @@ mod tests {
                     vec![CqlValue::Int(1), CqlValue::Text("Fenian St".into())],
                     vec![CqlValue::Int(2), CqlValue::Null],
                 ],
+                trace_id: None,
             },
             Response::Rows {
                 columns: Vec::new(),
                 rows: Vec::new(),
+                trace_id: Some(42),
             },
             Response::Pong,
             Response::Error {

@@ -30,6 +30,17 @@ pub struct ServerConfig {
     /// Socket read timeout; bounds how long shutdown waits for an idle
     /// session to notice the drain flag.
     pub idle_poll: Duration,
+    /// Whether request tracing is on (`sc_obs::set_trace_enabled`):
+    /// every statement builds a span tree and is offered to the global
+    /// tail sampler, readable at `GET /debug/traces`.
+    pub tracing: bool,
+    /// Tail-sampler retention: keep the slowest `trace_slowest` traces
+    /// per statement kind.
+    pub trace_slowest: usize,
+    /// Tail-sampler retention: additionally keep 1 in
+    /// `trace_sample_one_in` traces per statement kind (0 disables the
+    /// systematic sample; 1 keeps everything up to the ring bound).
+    pub trace_sample_one_in: u64,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +53,9 @@ impl Default for ServerConfig {
             slow_query_capacity: 128,
             max_frame_bytes: crate::frame::DEFAULT_MAX_FRAME_BYTES,
             idle_poll: Duration::from_millis(25),
+            tracing: true,
+            trace_slowest: 8,
+            trace_sample_one_in: 64,
         }
     }
 }
@@ -56,6 +70,20 @@ impl ServerConfig {
     /// Sets the slow-query threshold (builder style).
     pub fn slow_query_threshold(mut self, threshold: Duration) -> ServerConfig {
         self.slow_query_threshold = threshold;
+        self
+    }
+
+    /// Enables or disables request tracing (builder style).
+    pub fn tracing(mut self, on: bool) -> ServerConfig {
+        self.tracing = on;
+        self
+    }
+
+    /// Sets the tail-sampler retention policy (builder style): keep the
+    /// slowest `k` plus 1-in-`one_in` traces per statement kind.
+    pub fn trace_policy(mut self, k: usize, one_in: u64) -> ServerConfig {
+        self.trace_slowest = k;
+        self.trace_sample_one_in = one_in;
         self
     }
 }
@@ -122,6 +150,16 @@ impl Server {
         ));
         let shutdown = Arc::new(AtomicBool::new(false));
         let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Tracing is a process-global toggle (the trace context lives in
+        // sc-obs, below the server); the sampler ring keeps ~4× the
+        // slowest-K so the systematic sample has room of its own.
+        sc_obs::set_trace_enabled(config.tracing);
+        sc_obs::TailSampler::global().set_policy(
+            config.trace_slowest,
+            config.trace_sample_one_in,
+            config.trace_slowest.saturating_mul(4).max(32),
+        );
 
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;

@@ -15,9 +15,10 @@
 use crate::frame::{write_frame, FrameError, FrameEvent, FrameReader};
 use crate::obs::server as obs;
 use crate::protocol::{ErrorCode, Request, Response};
-use crate::slowlog::SlowQueryLog;
+use crate::slowlog::{SlowQueryLog, SlowQueryMeta};
 use crate::tenant::{confine_statement, scrub_message, TenantMap};
-use sc_nosql::{parse_statement, NosqlError, Session, SharedDb};
+use sc_nosql::{parse_statement, NosqlError, Session, SharedDb, Statement};
+use sc_obs::trace::{self, Attr, TailSampler};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -157,7 +158,7 @@ pub(crate) fn run_session(mut stream: TcpStream, ctx: &SessionContext) {
                     return;
                 }
             },
-            Request::Query { cql } => match &tenant {
+            Request::Query { cql, trace_id } => match &tenant {
                 None => {
                     obs().auth_failures.inc();
                     Response::Error {
@@ -165,7 +166,27 @@ pub(crate) fn run_session(mut stream: TcpStream, ctx: &SessionContext) {
                         message: "handshake required before queries (send Hello)".into(),
                     }
                 }
-                Some(tenant) => execute_query(ctx, &mut engine, tenant, &cql),
+                Some(tenant) => {
+                    // Client-supplied ID wins (round-trip correlation);
+                    // otherwise the server mints one so the slow-query
+                    // log and sampler can still link up.
+                    let id = trace_id
+                        .filter(|&id| id != 0)
+                        .unwrap_or_else(trace::next_trace_id);
+                    let mut resp = execute_query(ctx, &mut engine, tenant, &cql, id);
+                    // Echo the ID only to clients that asked: old clients
+                    // reject trailing response bytes.
+                    if let Response::Rows {
+                        trace_id: echo @ None,
+                        ..
+                    } = &mut resp
+                    {
+                        if trace_id.is_some() {
+                            *echo = Some(id);
+                        }
+                    }
+                    resp
+                }
             },
         };
         obs()
@@ -177,21 +198,58 @@ pub(crate) fn run_session(mut stream: TcpStream, ctx: &SessionContext) {
     }
 }
 
-/// Parses, confines, and executes one statement for `tenant`.
-fn execute_query(ctx: &SessionContext, engine: &mut Session, tenant: &str, cql: &str) -> Response {
-    let mut stmt = match parse_statement(cql) {
+/// The sampler bucket a statement falls into.
+fn statement_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Select { .. } => "select",
+        Statement::Insert { .. } => "insert",
+        Statement::Update { .. } => "update",
+        Statement::Delete { .. } => "delete",
+        Statement::Batch { .. } => "batch",
+        Statement::Truncate { .. } => "truncate",
+        Statement::Use { .. } => "use",
+        Statement::CreateKeyspace { .. }
+        | Statement::CreateTable { .. }
+        | Statement::CreateIndex { .. } => "ddl",
+    }
+}
+
+/// Parses, confines, and executes one statement for `tenant`, building
+/// its request trace (when tracing is enabled) along the way.
+fn execute_query(
+    ctx: &SessionContext,
+    engine: &mut Session,
+    tenant: &str,
+    cql: &str,
+    trace_id: u64,
+) -> Response {
+    // The trace starts before parse so `server.parse` lands in the tree;
+    // its kind is refined once the statement is known.
+    let mut guard = trace::begin(trace_id, "query");
+    let parse_result = {
+        let _parse = trace::stage("server.parse");
+        parse_statement(cql)
+    };
+    let mut stmt = match parse_result {
         Ok(s) => s,
         Err(e) => {
             obs().statement_errors.inc();
+            // Parse failures never reach the engine; their traces carry
+            // no attribution worth retaining.
+            drop(guard);
             return Response::Error {
                 code: ErrorCode::Parse,
                 message: e.to_string(),
             };
         }
     };
+    guard.set_kind(statement_kind(&stmt));
     confine_statement(&mut stmt, tenant);
     let started = Instant::now();
-    let result = engine.execute(&stmt);
+    let result = {
+        let _exec = trace::stage("server.execute");
+        engine.execute(&stmt)
+    };
     // Attribute time honestly: wall clock includes waiting in the
     // group-commit queue behind *other* sessions' fsyncs; the slow-query
     // log and latency metrics should charge a statement only for its own
@@ -200,7 +258,20 @@ fn execute_query(ctx: &SessionContext, engine: &mut Session, tenant: &str, cql: 
     let exec = started.elapsed().saturating_sub(commit_wait);
     obs().statement_exec_ns.record(exec.as_nanos() as u64);
     obs().commit_wait_ns.record(commit_wait.as_nanos() as u64);
-    if ctx.slowlog.observe(tenant, cql, exec, commit_wait) {
+    let mut meta = SlowQueryMeta::default();
+    if let Some(mut t) = guard.finish() {
+        t.tenant = tenant.to_string();
+        t.detail = crate::slowlog::truncate_cql(cql);
+        meta = SlowQueryMeta {
+            trace_id,
+            blocks_read: t.attr_total(Attr::BlocksRead),
+            block_cache_hits: t.attr_total(Attr::BlockCacheHits),
+        };
+        if TailSampler::global().offer(t) {
+            obs().traces_retained.inc();
+        }
+    }
+    if ctx.slowlog.observe(tenant, cql, exec, commit_wait, meta) {
         obs().slow_queries.inc();
     }
     match result {
@@ -211,7 +282,11 @@ fn execute_query(ctx: &SessionContext, engine: &mut Session, tenant: &str, cql: 
                 .into_iter()
                 .map(|row| row.into_values())
                 .collect();
-            Response::Rows { columns, rows }
+            Response::Rows {
+                columns,
+                rows,
+                trace_id: None,
+            }
         }
         Err(e) => {
             obs().statement_errors.inc();

@@ -1,10 +1,12 @@
 //! Ring-buffered slow-query log.
 //!
 //! Every statement whose engine execution exceeds the configured
-//! threshold is recorded: tenant, (truncated) CQL text, duration, and a
-//! monotone sequence number. The ring keeps the most recent
-//! `capacity` entries — old entries fall off the front, so the log is a
-//! bounded diagnostic window, not an audit trail.
+//! threshold is recorded: tenant, (truncated) CQL text, duration, a
+//! monotone sequence number, plus the request's trace ID and read stats
+//! (blocks read, block-cache hits) so a slow entry links straight to its
+//! span tree at `GET /debug/traces/<trace_id>`. The ring keeps the most
+//! recent `capacity` entries — old entries fall off the front, so the log
+//! is a bounded diagnostic window, not an audit trail.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -13,6 +15,21 @@ use std::time::Duration;
 /// CQL text longer than this is truncated in log entries (the full text
 /// may be megabytes for generated batches).
 pub const MAX_LOGGED_CQL: usize = 512;
+
+/// Truncates CQL to [`MAX_LOGGED_CQL`] bytes on a char boundary, marking
+/// the cut with `…`. Used by the slow-query log and by trace details.
+pub(crate) fn truncate_cql(cql: &str) -> String {
+    let mut text = cql.to_string();
+    if text.len() > MAX_LOGGED_CQL {
+        let mut cut = MAX_LOGGED_CQL;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text.truncate(cut);
+        text.push('…');
+    }
+    text
+}
 
 /// One slow statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +48,26 @@ pub struct SlowQuery {
     /// Time spent queued in the group-commit WAL (informational; not part
     /// of the threshold comparison).
     pub queue_wait: Duration,
+    /// The request's trace ID: look it up at `/debug/traces/<hex>` for
+    /// the full span tree (0 when tracing was disabled).
+    pub trace_id: u64,
+    /// SSTable data blocks this request read (trace-attributed; 0 when
+    /// tracing was disabled).
+    pub blocks_read: u64,
+    /// Blocks served from the shared block cache (ditto).
+    pub block_cache_hits: u64,
+}
+
+/// Per-request metadata attached to a slow-query entry — the trace ID
+/// and the read stats harvested from the request's finished trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlowQueryMeta {
+    /// The request's trace ID (0 = untraced).
+    pub trace_id: u64,
+    /// Data blocks read while serving the request.
+    pub blocks_read: u64,
+    /// Blocks served from the shared block cache.
+    pub block_cache_hits: u64,
 }
 
 #[derive(Debug)]
@@ -75,19 +112,12 @@ impl SlowQueryLog {
         cql: &str,
         duration: Duration,
         queue_wait: Duration,
+        meta: SlowQueryMeta,
     ) -> bool {
         if duration < self.threshold {
             return false;
         }
-        let mut text = cql.to_string();
-        if text.len() > MAX_LOGGED_CQL {
-            let mut cut = MAX_LOGGED_CQL;
-            while !text.is_char_boundary(cut) {
-                cut -= 1;
-            }
-            text.truncate(cut);
-            text.push('…');
-        }
+        let text = truncate_cql(cql);
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let seq = inner.next_seq;
         inner.next_seq += 1;
@@ -100,6 +130,9 @@ impl SlowQueryLog {
             cql: text,
             duration,
             queue_wait,
+            trace_id: meta.trace_id,
+            blocks_read: meta.blocks_read,
+            block_cache_hits: meta.block_cache_hits,
         });
         true
     }
@@ -125,20 +158,32 @@ mod tests {
     #[test]
     fn threshold_filters_and_ring_drops_oldest() {
         let log = SlowQueryLog::new(Duration::from_millis(10), 3);
-        assert!(!log.observe("t", "fast", Duration::from_millis(9), Duration::ZERO));
+        assert!(!log.observe(
+            "t",
+            "fast",
+            Duration::from_millis(9),
+            Duration::ZERO,
+            SlowQueryMeta::default()
+        ));
         // Queue wait does not count toward the threshold...
         assert!(!log.observe(
             "t",
             "queued",
             Duration::from_millis(9),
-            Duration::from_millis(100)
+            Duration::from_millis(100),
+            SlowQueryMeta::default()
         ));
         for i in 0..5 {
             assert!(log.observe(
                 "t",
                 &format!("q{i}"),
                 Duration::from_millis(10 + i),
-                Duration::from_micros(i)
+                Duration::from_micros(i),
+                SlowQueryMeta {
+                    trace_id: 0x1000 + i,
+                    blocks_read: i,
+                    block_cache_hits: i / 2,
+                }
             ));
         }
         let entries = log.entries();
@@ -150,20 +195,36 @@ mod tests {
         // Sequence numbers expose the dropped prefix.
         assert_eq!(entries[0].seq, 3);
         assert_eq!(entries[2].queue_wait, Duration::from_micros(4));
+        // Trace metadata rides along with each entry.
+        assert_eq!(entries[2].trace_id, 0x1004);
+        assert_eq!(entries[2].blocks_read, 4);
+        assert_eq!(entries[2].block_cache_hits, 2);
         assert_eq!(log.total_recorded(), 5);
     }
 
     #[test]
     fn zero_threshold_records_everything() {
         let log = SlowQueryLog::new(Duration::ZERO, 8);
-        assert!(log.observe("t", "any", Duration::ZERO, Duration::ZERO));
+        assert!(log.observe(
+            "t",
+            "any",
+            Duration::ZERO,
+            Duration::ZERO,
+            SlowQueryMeta::default()
+        ));
     }
 
     #[test]
     fn long_statements_are_truncated_on_char_boundaries() {
         let log = SlowQueryLog::new(Duration::ZERO, 2);
         let long = "é".repeat(MAX_LOGGED_CQL); // 2 bytes per char
-        log.observe("t", &long, Duration::from_secs(1), Duration::ZERO);
+        log.observe(
+            "t",
+            &long,
+            Duration::from_secs(1),
+            Duration::ZERO,
+            SlowQueryMeta::default(),
+        );
         let entry = &log.entries()[0];
         assert!(entry.cql.len() <= MAX_LOGGED_CQL + '…'.len_utf8());
         assert!(entry.cql.ends_with('…'));

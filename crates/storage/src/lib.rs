@@ -175,6 +175,7 @@ impl Vfs {
             o.append_ops.inc();
             o.append_bytes.add(len as u64);
         }
+        sc_obs::trace::add(sc_obs::trace::Attr::VfsWriteBytes, len as u64);
     }
 
     fn record_read(&self, len: usize) {
@@ -183,6 +184,7 @@ impl Vfs {
             o.read_ops.inc();
             o.read_bytes.add(len as u64);
         }
+        sc_obs::trace::add(sc_obs::trace::Attr::VfsReadBytes, len as u64);
     }
 
     /// Reads `len` bytes at `offset` from `name`.

@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Network benchmark: drives the sc-server front door over loopback and
-# records the numbers as BENCH_7.json in the repo root.
+# records the numbers as BENCH_8.json in the repo root.
 #
 #   scripts/bench.sh [clients] [rows]
 #
 # Defaults: 8 clients, 4000 rows across 2 tenants. Absolute numbers are
-# hardware-dependent; the committed BENCH_7.json records one run's shape
+# hardware-dependent; the committed BENCH_8.json records one run's shape
 # (ingest rows/sec, cold vs warm point-SELECT p50/p99, contended mixed
-# read/write throughput) for comparison.
+# read/write throughput, and crash-recovery WAL-replay time on reopen)
+# for comparison.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +16,6 @@ CLIENTS="${1:-8}"
 ROWS="${2:-4000}"
 
 cargo run --release -p sc-bench --bin repro -- \
-    netbench --clients "$CLIENTS" --rows "$ROWS" --out BENCH_7.json
+    netbench --clients "$CLIENTS" --rows "$ROWS" --out BENCH_8.json
 
-echo "bench.sh: wrote BENCH_7.json"
+echo "bench.sh: wrote BENCH_8.json"

@@ -27,6 +27,8 @@ echo "==> concurrency tier (release, seeded yield injector)"
 for yield_seed in 7 1311; do
     SC_NOSQL_YIELD="$yield_seed" \
         cargo test -q --release -p sc-nosql --test concurrent --test crash_matrix
+    SC_NOSQL_YIELD="$yield_seed" \
+        cargo test -q --release -p sc-obs --test ring_concurrency
 done
 
 echo "==> crash-matrix smoke (64 points, sequential + concurrent sweeps)"
@@ -58,6 +60,10 @@ echo "$serve_out" | grep -q 'server smoke: round-trip ok' || {
 }
 echo "$serve_out" | grep -q 'server smoke: metrics ok (server_requests present' || {
     echo "ci.sh: /metrics scrape missing the server_requests series" >&2
+    exit 1
+}
+echo "$serve_out" | grep -q 'server smoke: traces ok' || {
+    echo "ci.sh: /debug/traces retained no trace or its Chrome export failed" >&2
     exit 1
 }
 echo "$serve_out" | grep -q 'server smoke: shutdown ok' || {
