@@ -71,6 +71,7 @@ fn main() {
     let mut clients = 8usize;
     let mut rows = 4000usize;
     let mut out: Option<String> = None;
+    let mut explain = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -151,6 +152,7 @@ fn main() {
             }
             "--full" => scale = 1.0,
             "--stats" => stats = true,
+            "--explain" => explain = true,
             "--threads" => {
                 i += 1;
                 threads = args
@@ -180,7 +182,7 @@ fn main() {
         "stream" => stream(scale, threads),
         "crashtest" => crashtest(seed, points),
         "obs" => obs(threads, seed),
-        "query" => query(scale),
+        "query" => query(scale, explain),
         "serve" => serve(port, metrics_port, tokens, slow_ms, smoke),
         "netbench" => netbench(clients, rows, out.as_deref()),
         "trace" => trace_cmd(rows, out.as_deref()),
@@ -191,7 +193,7 @@ fn main() {
             table2(scale);
             tables45(scale, true, true);
             stream(scale, threads);
-            query(scale);
+            query(scale, explain);
         }
         _ => unreachable!(),
     }
@@ -205,7 +207,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: repro [table2|table4|table5|fig2|fig3|fig4|stream|crashtest|obs|query|serve|netbench|trace|all] \
-         [--scale F] [--full] [--threads N] [--points N] [--seed S] [--stats] \
+         [--scale F] [--full] [--threads N] [--points N] [--seed S] [--stats] [--explain] \
          [--port N] [--metrics-port N] [--token TENANT=TOKEN] [--slow-ms N] [--smoke] \
          [--clients N] [--rows N] [--out PATH]"
     );
@@ -571,7 +573,7 @@ fn obs(threads: usize, seed: u64) {
 
 /// Store-backed querying: point and range answered straight from stored
 /// NoSQL rows through the cached, batched node cursor.
-fn query(scale: f64) {
+fn query(scale: f64, explain: bool) {
     use sc_core::StoreBackedCube;
     use sc_dwarf::{RangeSel, Selection};
 
@@ -590,6 +592,26 @@ fn query(scale: f64) {
         "stored: schema id {}, {} node rows, {} cell rows",
         report.schema_id, report.node_rows, report.cell_rows
     );
+    if explain {
+        header("repro query --explain: planner trees for the store's query shapes");
+        let db = model.db_mut();
+        for cql in [
+            format!(
+                "EXPLAIN SELECT childrenIds FROM smartcity.dwarf_node WHERE id = {}",
+                report.schema_id
+            ),
+            "EXPLAIN SELECT key, measure, pointerNode FROM smartcity.dwarf_cell \
+             WHERE id IN (1, 2, 3)"
+                .to_string(),
+            "EXPLAIN SELECT COUNT(*) FROM smartcity.dwarf_cell".to_string(),
+        ] {
+            println!("\n{cql}");
+            let r = db.execute_cql(&cql).expect("explain");
+            for row in r.rows() {
+                println!("  {}", row.get_text("plan").expect("plan line"));
+            }
+        }
+    }
     let mut sbc = StoreBackedCube::open(&mut model, report.schema_id).expect("open stored schema");
 
     // A real fact to query for: the first extracted tuple.
@@ -930,6 +952,44 @@ fn netbench(clients: usize, rows: usize, out: Option<&str>) {
     println!("  cold (post-flush)  p50 {cold_p50:>6} us   p99 {cold_p99:>6} us");
     println!("  warm (cached)      p50 {warm_p50:>6} us   p99 {warm_p99:>6} us");
 
+    // Scan/aggregate phase: the operator pipeline end to end — a full-scan
+    // COUNT(*) and a grouped aggregate over one tenant's table, first run
+    // (cold: first sequential read of the flushed SSTables) then repeated
+    // (warm: block cache populated).
+    let t1_clients = clients.div_ceil(tenants.len());
+    let t1_rows = per_client * t1_clients;
+    let scan_us = |c: &mut Client, cql: &str, expect_rows: usize| -> u64 {
+        let t = Instant::now();
+        let r = c.query(cql).expect("scan query");
+        let us = t.elapsed().as_micros() as u64;
+        assert_eq!(r.len(), expect_rows, "scan: {cql}");
+        us
+    };
+    let mut c = Client::connect(addr).expect("connect");
+    c.hello("tok-t1").expect("hello");
+    let count_cql = "SELECT COUNT(*) FROM bench.readings";
+    let group_cql = "SELECT bikes, COUNT(*) FROM bench.readings GROUP BY bikes";
+    let groups = t1_rows.min(40);
+    let count_cold_us = scan_us(&mut c, count_cql, 1);
+    let group_cold_us = scan_us(&mut c, group_cql, groups);
+    let count_warm_us = scan_us(&mut c, count_cql, 1);
+    let group_warm_us = scan_us(&mut c, group_cql, groups);
+    let counted = c.query(count_cql).expect("count");
+    let counted = counted
+        .first()
+        .expect("count row")
+        .get_int("count")
+        .expect("count value");
+    assert_eq!(
+        counted, t1_rows as i64,
+        "full-scan COUNT(*) disagrees with ingested rows"
+    );
+    println!("scan/aggregate over {t1_rows} rows (tenant t1, post-flush):");
+    println!(
+        "  COUNT(*) full scan         cold {count_cold_us:>7} us   warm {count_warm_us:>7} us"
+    );
+    println!("  GROUP BY bikes ({groups} groups)  cold {group_cold_us:>7} us   warm {group_warm_us:>7} us");
+
     // Contended phase: `clients` writers and `clients` readers at once.
     // Writers append fresh ids; readers point-SELECT the existing rows.
     // Under the old coarse engine mutex every reader queued behind every
@@ -1054,7 +1114,7 @@ fn netbench(clients: usize, rows: usize, out: Option<&str>) {
 
     if let Some(path) = out {
         let json = format!(
-            "{{\n  \"bench\": \"netbench\",\n  \"pr\": 8,\n  \"config\": {{ \"clients\": {clients}, \"tenants\": {}, \"rows\": {total_rows}, \"queries_per_pass\": {} }},\n  \"ingest\": {{ \"rows\": {total_rows}, \"elapsed_ms\": {}, \"rows_per_sec\": {rows_per_sec:.0} }},\n  \"query_latency_us\": {{\n    \"cold\": {{ \"p50\": {cold_p50}, \"p99\": {cold_p99} }},\n    \"warm\": {{ \"p50\": {warm_p50}, \"p99\": {warm_p99} }}\n  }},\n  \"contended\": {{ \"writers\": {clients}, \"readers\": {clients}, \"rows\": {contended_rows}, \"rows_per_sec\": {contended_rows_per_sec:.0}, \"read_p50\": {cont_p50}, \"read_p99\": {cont_p99} }},\n  \"recovery\": {{ \"rows\": {recovery_rows}, \"ingest_ms\": {}, \"replay_ms\": {}, \"replay_rows_per_sec\": {replay_rows_per_sec:.0} }}\n}}\n",
+            "{{\n  \"bench\": \"netbench\",\n  \"pr\": 9,\n  \"config\": {{ \"clients\": {clients}, \"tenants\": {}, \"rows\": {total_rows}, \"queries_per_pass\": {} }},\n  \"ingest\": {{ \"rows\": {total_rows}, \"elapsed_ms\": {}, \"rows_per_sec\": {rows_per_sec:.0} }},\n  \"query_latency_us\": {{\n    \"cold\": {{ \"p50\": {cold_p50}, \"p99\": {cold_p99} }},\n    \"warm\": {{ \"p50\": {warm_p50}, \"p99\": {warm_p99} }}\n  }},\n  \"scan_aggregate\": {{ \"rows\": {t1_rows}, \"groups\": {groups}, \"count_us\": {{ \"cold\": {count_cold_us}, \"warm\": {count_warm_us} }}, \"group_by_us\": {{ \"cold\": {group_cold_us}, \"warm\": {group_warm_us} }} }},\n  \"contended\": {{ \"writers\": {clients}, \"readers\": {clients}, \"rows\": {contended_rows}, \"rows_per_sec\": {contended_rows_per_sec:.0}, \"read_p50\": {cont_p50}, \"read_p99\": {cont_p99} }},\n  \"recovery\": {{ \"rows\": {recovery_rows}, \"ingest_ms\": {}, \"replay_ms\": {}, \"replay_rows_per_sec\": {replay_rows_per_sec:.0} }}\n}}\n",
             tenants.len(),
             cold.len(),
             ingest_elapsed.as_millis(),

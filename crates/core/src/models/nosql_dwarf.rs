@@ -58,12 +58,12 @@ impl NosqlDwarfModel {
     }
 
     fn next_schema_id(&mut self) -> Result<i64> {
-        let r = self.db.execute(&Statement::Select {
-            table: table("dwarf_schema"),
-            columns: SelectColumns::Named(vec!["id".into()]),
-            where_clause: None,
-            limit: None,
-        })?;
+        let r = self.db.execute(&Statement::select(
+            table("dwarf_schema"),
+            SelectColumns::named(["id"]),
+            None,
+            None,
+        ))?;
         Ok(r.iter()
             .filter_map(|row| row.get_int("id").ok())
             .max()
@@ -72,12 +72,12 @@ impl NosqlDwarfModel {
     }
 
     fn schema_row(&mut self, schema_id: i64) -> Result<(i64, String)> {
-        let r = self.db.execute(&Statement::Select {
-            table: table("dwarf_schema"),
-            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
-            where_clause: Some(WhereClause::eq("id", CqlValue::Int(schema_id))),
-            limit: None,
-        })?;
+        let r = self.db.execute(&Statement::select(
+            table("dwarf_schema"),
+            SelectColumns::named(["entry_node_id", "schema_meta"]),
+            Some(WhereClause::eq("id", CqlValue::Int(schema_id))),
+            None,
+        ))?;
         let row = r.first().ok_or(CoreError::UnknownSchema(schema_id))?;
         let entry = row.get_int("entry_node_id")?;
         let meta = row.get_text("schema_meta")?.to_string();
@@ -358,18 +358,12 @@ impl SchemaModel for NosqlDwarfModel {
     fn rebuild(&mut self, schema_id: i64) -> Result<Dwarf> {
         let (entry, meta) = self.schema_row(schema_id)?;
         let schema = decode_schema_meta(&meta)?;
-        let r = self.db.execute(&Statement::Select {
-            table: table("dwarf_cell"),
-            columns: SelectColumns::Named(vec![
-                "key".into(),
-                "measure".into(),
-                "parentNode".into(),
-                "pointerNode".into(),
-                "leaf".into(),
-            ]),
-            where_clause: Some(WhereClause::eq("schema_id", CqlValue::Int(schema_id))),
-            limit: None,
-        })?;
+        let r = self.db.execute(&Statement::select(
+            table("dwarf_cell"),
+            SelectColumns::named(["key", "measure", "parentNode", "pointerNode", "leaf"]),
+            Some(WhereClause::eq("schema_id", CqlValue::Int(schema_id))),
+            None,
+        ))?;
         let mut cells = Vec::with_capacity(r.len());
         for row in r.rows() {
             cells.push(StoredCell {

@@ -51,12 +51,12 @@ impl NosqlMinModel {
     }
 
     fn next_cube_id(&mut self) -> Result<i64> {
-        let r = self.db.execute(&Statement::Select {
-            table: table("dwarf_cube"),
-            columns: SelectColumns::Named(vec!["id".into()]),
-            where_clause: None,
-            limit: None,
-        })?;
+        let r = self.db.execute(&Statement::select(
+            table("dwarf_cube"),
+            SelectColumns::named(["id"]),
+            None,
+            None,
+        ))?;
         Ok(r.iter()
             .filter_map(|row| row.get_int("id").ok())
             .max()
@@ -65,12 +65,12 @@ impl NosqlMinModel {
     }
 
     fn cube_row(&mut self, cube_id: i64) -> Result<(i64, String)> {
-        let r = self.db.execute(&Statement::Select {
-            table: table("dwarf_cube"),
-            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
-            where_clause: Some(WhereClause::eq("id", CqlValue::Int(cube_id))),
-            limit: None,
-        })?;
+        let r = self.db.execute(&Statement::select(
+            table("dwarf_cube"),
+            SelectColumns::named(["entry_node_id", "schema_meta"]),
+            Some(WhereClause::eq("id", CqlValue::Int(cube_id))),
+            None,
+        ))?;
         let row = r.first().ok_or(CoreError::UnknownSchema(cube_id))?;
         let entry = row.get_int("entry_node_id")?;
         let meta = row.get_text("schema_meta")?.to_string();
@@ -199,18 +199,18 @@ impl SchemaModel for NosqlMinModel {
     fn rebuild(&mut self, cube_id: i64) -> Result<Dwarf> {
         let (entry, meta) = self.cube_row(cube_id)?;
         let schema = decode_schema_meta(&meta)?;
-        let r = self.db.execute(&Statement::Select {
-            table: table("dwarf_cell"),
-            columns: SelectColumns::Named(vec![
-                "item_name".into(),
-                "measure".into(),
-                "parentNodeId".into(),
-                "childNodeId".into(),
-                "leaf".into(),
+        let r = self.db.execute(&Statement::select(
+            table("dwarf_cell"),
+            SelectColumns::named([
+                "item_name",
+                "measure",
+                "parentNodeId",
+                "childNodeId",
+                "leaf",
             ]),
-            where_clause: Some(WhereClause::eq("cubeid", CqlValue::Int(cube_id))),
-            limit: None,
-        })?;
+            Some(WhereClause::eq("cubeid", CqlValue::Int(cube_id))),
+            None,
+        ))?;
         let mut cells = Vec::with_capacity(r.len());
         for row in r.rows() {
             cells.push(StoredCell {

@@ -147,12 +147,12 @@ impl<'a> StoreNodeSource<'a> {
         schema_id: i64,
         cache_capacity: usize,
     ) -> Result<StoreNodeSource<'a>> {
-        let r = model.db_mut().execute(&Statement::Select {
-            table: table(KEYSPACE, "dwarf_schema"),
-            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
-            where_clause: Some(WhereClause::eq("id", CqlValue::Int(schema_id))),
-            limit: None,
-        })?;
+        let r = model.db_mut().execute(&Statement::select(
+            table(KEYSPACE, "dwarf_schema"),
+            SelectColumns::named(["entry_node_id", "schema_meta"]),
+            Some(WhereClause::eq("id", CqlValue::Int(schema_id))),
+            None,
+        ))?;
         let row = r.first().ok_or(CoreError::UnknownSchema(schema_id))?;
         let entry_node_id = row.get_int("entry_node_id")?;
         let schema = decode_schema_meta(row.get_text("schema_meta")?)?;
@@ -191,12 +191,12 @@ impl<'a> StoreNodeSource<'a> {
     /// `SELECT ... WHERE id IN (...)` round-trip.
     fn fetch_node(&mut self, id: SourceNodeId) -> Result<OwnedNode> {
         self.stats.store_selects += 1;
-        let r = self.model.db_mut().execute(&Statement::Select {
-            table: table(KEYSPACE, "dwarf_node"),
-            columns: SelectColumns::Named(vec!["childrenIds".into()]),
-            where_clause: Some(WhereClause::eq("id", CqlValue::Int(id))),
-            limit: None,
-        })?;
+        let r = self.model.db_mut().execute(&Statement::select(
+            table(KEYSPACE, "dwarf_node"),
+            SelectColumns::named(["childrenIds"]),
+            Some(WhereClause::eq("id", CqlValue::Int(id))),
+            None,
+        ))?;
         let row = r
             .first()
             .ok_or_else(|| CoreError::Inconsistent(format!("node {id} missing from store")))?;
@@ -209,16 +209,12 @@ impl<'a> StoreNodeSource<'a> {
         self.stats.store_selects += 1;
         self.stats.batched_selects += 1;
         let values: Vec<CqlValue> = children.iter().map(|&c| CqlValue::Int(c)).collect();
-        let r = self.model.db_mut().execute(&Statement::Select {
-            table: table(KEYSPACE, "dwarf_cell"),
-            columns: SelectColumns::Named(vec![
-                "key".into(),
-                "measure".into(),
-                "pointerNode".into(),
-            ]),
-            where_clause: Some(WhereClause::any_of("id", values)),
-            limit: None,
-        })?;
+        let r = self.model.db_mut().execute(&Statement::select(
+            table(KEYSPACE, "dwarf_cell"),
+            SelectColumns::named(["key", "measure", "pointerNode"]),
+            Some(WhereClause::any_of("id", values)),
+            None,
+        ))?;
         if r.len() != children.len() {
             return Err(CoreError::Inconsistent(format!(
                 "node {id}: fetched {} of {} cells",
@@ -316,12 +312,12 @@ pub struct MinStoreNodeSource<'a> {
 impl<'a> MinStoreNodeSource<'a> {
     /// Opens a stored cube for querying.
     pub fn open(model: &'a mut NosqlMinModel, cube_id: i64) -> Result<MinStoreNodeSource<'a>> {
-        let r = model.db_mut().execute(&Statement::Select {
-            table: table(MIN_KEYSPACE, "dwarf_cube"),
-            columns: SelectColumns::Named(vec!["entry_node_id".into(), "schema_meta".into()]),
-            where_clause: Some(WhereClause::eq("id", CqlValue::Int(cube_id))),
-            limit: None,
-        })?;
+        let r = model.db_mut().execute(&Statement::select(
+            table(MIN_KEYSPACE, "dwarf_cube"),
+            SelectColumns::named(["entry_node_id", "schema_meta"]),
+            Some(WhereClause::eq("id", CqlValue::Int(cube_id))),
+            None,
+        ))?;
         let row = r.first().ok_or(CoreError::UnknownSchema(cube_id))?;
         let entry_node_id = row.get_int("entry_node_id")?;
         let schema = decode_schema_meta(row.get_text("schema_meta")?)?;
@@ -362,16 +358,12 @@ impl NodeSource<'static> for MinStoreNodeSource<'_> {
     fn node(&mut self, id: SourceNodeId) -> std::result::Result<CowNode<'static>, CoreError> {
         self.stats.node_cache_misses += 1;
         self.stats.store_selects += 1;
-        let r = self.model.db_mut().execute(&Statement::Select {
-            table: table(MIN_KEYSPACE, "dwarf_cell"),
-            columns: SelectColumns::Named(vec![
-                "item_name".into(),
-                "measure".into(),
-                "childNodeId".into(),
-            ]),
-            where_clause: Some(WhereClause::eq("parentNodeId", CqlValue::Int(id))),
-            limit: None,
-        })?;
+        let r = self.model.db_mut().execute(&Statement::select(
+            table(MIN_KEYSPACE, "dwarf_cell"),
+            SelectColumns::named(["item_name", "measure", "childNodeId"]),
+            Some(WhereClause::eq("parentNodeId", CqlValue::Int(id))),
+            None,
+        ))?;
         self.stats.rows_fetched += r.len() as u64;
         if r.len() == 0 {
             // No stored cells: the empty cube's entry node (or an unknown

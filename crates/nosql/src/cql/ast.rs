@@ -20,8 +20,45 @@ impl TableRef {
     }
 }
 
-/// A row filter: `WHERE <column> = <value>` or
-/// `WHERE <column> IN (<v1>, <v2>, ...)`.
+/// A comparison operator in a range predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The CQL spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Whether `ord` (cell compared against the literal) satisfies the
+    /// operator.
+    pub fn accepts(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// One predicate of a `WHERE` conjunction: `column = value`,
+/// `column IN (...)`, or `column <op> value`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WhereClause {
     /// `WHERE column = value`.
@@ -39,6 +76,15 @@ pub enum WhereClause {
         column: String,
         /// Accepted values, in statement order.
         values: Vec<CqlValue>,
+    },
+    /// `WHERE column < value` (and `<=`, `>`, `>=`).
+    Cmp {
+        /// Column constrained.
+        column: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal compared against.
+        value: CqlValue,
     },
 }
 
@@ -59,10 +105,21 @@ impl WhereClause {
         }
     }
 
+    /// Convenience constructor for [`WhereClause::Cmp`].
+    pub fn cmp(column: impl Into<String>, op: CmpOp, value: CqlValue) -> WhereClause {
+        WhereClause::Cmp {
+            column: column.into(),
+            op,
+            value,
+        }
+    }
+
     /// The constrained column's name.
     pub fn column(&self) -> &str {
         match self {
-            WhereClause::Eq { column, .. } | WhereClause::In { column, .. } => column,
+            WhereClause::Eq { column, .. }
+            | WhereClause::In { column, .. }
+            | WhereClause::Cmp { column, .. } => column,
         }
     }
 
@@ -76,6 +133,79 @@ impl WhereClause {
                 let vals: Vec<String> = values.iter().map(CqlValue::to_cql_literal).collect();
                 format!("{column} IN ({})", vals.join(", "))
             }
+            WhereClause::Cmp { column, op, value } => {
+                format!("{column} {} {}", op.symbol(), value.to_cql_literal())
+            }
+        }
+    }
+}
+
+/// An aggregate function in a SELECT list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(col)`.
+    Count,
+    /// `SUM(col)` — int columns only.
+    Sum,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+    /// `AVG(col)` — int columns only, integer division as in Cassandra.
+    Avg,
+}
+
+impl AggFunc {
+    /// Lower-case CQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One item of an explicit SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// A plain column reference.
+    Column(String),
+    /// An aggregate call; `column` is `None` for `COUNT(*)`.
+    Aggregate {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Argument column, `None` for `*` (COUNT only).
+        column: Option<String>,
+    },
+}
+
+impl SelectItem {
+    /// The output column name: plain columns keep their name, `COUNT(*)`
+    /// stays `count` (pinned by the pre-planner API), other aggregates
+    /// render as `func(col)`.
+    pub fn output_name(&self) -> String {
+        match self {
+            SelectItem::Column(name) => name.clone(),
+            SelectItem::Aggregate { func, column: None } => func.name().to_string(),
+            SelectItem::Aggregate {
+                func,
+                column: Some(col),
+            } => format!("{}({col})", func.name()),
+        }
+    }
+
+    /// Renders the item as CQL.
+    pub fn to_cql(&self) -> String {
+        match self {
+            SelectItem::Column(name) => name.clone(),
+            SelectItem::Aggregate { func, column } => format!(
+                "{}({})",
+                func.name().to_uppercase(),
+                column.as_deref().unwrap_or("*")
+            ),
         }
     }
 }
@@ -85,10 +215,58 @@ impl WhereClause {
 pub enum SelectColumns {
     /// `SELECT *`.
     All,
-    /// An explicit list.
-    Named(Vec<String>),
+    /// An explicit list of columns and/or aggregates.
+    Items(Vec<SelectItem>),
+}
+
+impl SelectColumns {
+    /// An explicit list of plain (non-aggregate) columns.
+    pub fn named<S: Into<String>>(names: impl IntoIterator<Item = S>) -> SelectColumns {
+        SelectColumns::Items(
+            names
+                .into_iter()
+                .map(|n| SelectItem::Column(n.into()))
+                .collect(),
+        )
+    }
+
     /// `SELECT COUNT(*)`.
-    Count,
+    pub fn count_star() -> SelectColumns {
+        SelectColumns::Items(vec![SelectItem::Aggregate {
+            func: AggFunc::Count,
+            column: None,
+        }])
+    }
+
+    /// Whether any item is an aggregate call.
+    pub fn has_aggregates(&self) -> bool {
+        match self {
+            SelectColumns::All => false,
+            SelectColumns::Items(items) => items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Aggregate { .. })),
+        }
+    }
+}
+
+/// `ORDER BY column [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    /// Sort column.
+    pub column: String,
+    /// `true` for `DESC`.
+    pub desc: bool,
+}
+
+impl OrderBy {
+    /// Renders the clause as CQL (without the `ORDER BY` keywords).
+    pub fn to_cql(&self) -> String {
+        format!(
+            "{}{}",
+            self.column,
+            if self.desc { " DESC" } else { " ASC" }
+        )
+    }
 }
 
 /// A parsed CQL statement.
@@ -124,14 +302,19 @@ pub enum Statement {
         /// Literal values, aligned with `columns`.
         values: Vec<CqlValue>,
     },
-    /// `SELECT ... FROM ks.t [WHERE ...] [LIMIT n]`.
+    /// `SELECT ... FROM ks.t [WHERE ...] [GROUP BY ...] [ORDER BY ...]
+    /// [LIMIT n]`.
     Select {
         /// Target.
         table: TableRef,
-        /// Projected columns.
+        /// Projected columns and aggregates.
         columns: SelectColumns,
-        /// Optional equality filter.
-        where_clause: Option<WhereClause>,
+        /// `WHERE` conjunction (AND-joined); empty means no filter.
+        where_clause: Vec<WhereClause>,
+        /// `GROUP BY` columns, in statement order; empty when absent.
+        group_by: Vec<String>,
+        /// Optional `ORDER BY`.
+        order_by: Option<OrderBy>,
         /// Optional row limit.
         limit: Option<usize>,
     },
@@ -169,9 +352,33 @@ pub enum Statement {
         /// Keyspace name.
         keyspace: String,
     },
+    /// `EXPLAIN <select>` — plans the inner statement and returns the
+    /// plan tree (one `plan` text column) instead of executing it.
+    Explain {
+        /// The statement being explained (currently SELECT only).
+        statement: Box<Statement>,
+    },
 }
 
 impl Statement {
+    /// A `SELECT` with only the target/projection/filter/limit set — the
+    /// shape every pre-`ORDER BY`-era caller builds.
+    pub fn select(
+        table: TableRef,
+        columns: SelectColumns,
+        where_clause: Option<WhereClause>,
+        limit: Option<usize>,
+    ) -> Statement {
+        Statement::Select {
+            table,
+            columns,
+            where_clause: where_clause.into_iter().collect(),
+            group_by: Vec::new(),
+            order_by: None,
+            limit,
+        }
+    }
+
     /// Renders the statement back to CQL text (inverse of parsing; used to
     /// show Figure 3's generated INSERT and in the text-path ablation).
     pub fn to_cql(&self) -> String {
@@ -215,16 +422,27 @@ impl Statement {
                 table,
                 columns,
                 where_clause,
+                group_by,
+                order_by,
                 limit,
             } => {
                 let cols = match columns {
                     SelectColumns::All => "*".to_string(),
-                    SelectColumns::Named(names) => names.join(", "),
-                    SelectColumns::Count => "COUNT(*)".to_string(),
+                    SelectColumns::Items(items) => {
+                        let parts: Vec<String> = items.iter().map(SelectItem::to_cql).collect();
+                        parts.join(", ")
+                    }
                 };
                 let mut s = format!("SELECT {cols} FROM {}.{}", table.keyspace, table.table);
-                if let Some(w) = where_clause {
-                    s.push_str(&format!(" WHERE {}", w.to_cql()));
+                if !where_clause.is_empty() {
+                    let preds: Vec<String> = where_clause.iter().map(WhereClause::to_cql).collect();
+                    s.push_str(&format!(" WHERE {}", preds.join(" AND ")));
+                }
+                if !group_by.is_empty() {
+                    s.push_str(&format!(" GROUP BY {}", group_by.join(", ")));
+                }
+                if let Some(o) = order_by {
+                    s.push_str(&format!(" ORDER BY {}", o.to_cql()));
                 }
                 if let Some(n) = limit {
                     s.push_str(&format!(" LIMIT {n}"));
@@ -270,6 +488,7 @@ impl Statement {
                 s
             }
             Statement::Use { keyspace } => format!("USE {keyspace}"),
+            Statement::Explain { statement } => format!("EXPLAIN {}", statement.to_cql()),
         }
     }
 
@@ -295,6 +514,7 @@ impl Statement {
                     st.collect_refs(out);
                 }
             }
+            Statement::Explain { statement } => statement.collect_refs(out),
         }
     }
 
@@ -326,6 +546,9 @@ impl Statement {
                     .iter()
                     .map(|st| st.with_default_keyspace(keyspace))
                     .collect();
+            }
+            Statement::Explain { statement } => {
+                *statement = Box::new(statement.with_default_keyspace(keyspace));
             }
         }
         stmt

@@ -1,6 +1,8 @@
 //! Recursive-descent CQL parser.
 
-use super::ast::{SelectColumns, Statement, TableRef, WhereClause};
+use super::ast::{
+    AggFunc, CmpOp, OrderBy, SelectColumns, SelectItem, Statement, TableRef, WhereClause,
+};
 use super::lexer::{tokenize, Token};
 use crate::error::{NosqlError, Result};
 use crate::types::{CqlType, CqlValue};
@@ -158,7 +160,8 @@ impl Parser {
         CqlType::parse(&base).ok_or_else(|| NosqlError::Parse(format!("unknown type {base:?}")))
     }
 
-    fn where_clause(&mut self) -> Result<WhereClause> {
+    /// One WHERE predicate: `col = v`, `col IN (...)`, or `col <op> v`.
+    fn where_predicate(&mut self) -> Result<WhereClause> {
         let column = self.ident()?;
         if self.eat_keyword("in") {
             self.expect_symbol('(')?;
@@ -175,12 +178,46 @@ impl Parser {
             }
             return Ok(WhereClause::In { column, values });
         }
+        if self.eat_symbol('<') {
+            let op = if self.eat_symbol('=') {
+                CmpOp::Le
+            } else {
+                CmpOp::Lt
+            };
+            let value = self.literal()?;
+            return Ok(WhereClause::Cmp { column, op, value });
+        }
+        if self.eat_symbol('>') {
+            let op = if self.eat_symbol('=') {
+                CmpOp::Ge
+            } else {
+                CmpOp::Gt
+            };
+            let value = self.literal()?;
+            return Ok(WhereClause::Cmp { column, op, value });
+        }
         self.expect_symbol('=')?;
         let value = self.literal()?;
         Ok(WhereClause::Eq { column, value })
     }
 
+    /// An AND-joined conjunction of predicates (SELECT only; UPDATE and
+    /// DELETE keep their single primary-key equality).
+    fn where_conjunction(&mut self) -> Result<Vec<WhereClause>> {
+        let mut preds = vec![self.where_predicate()?];
+        while self.eat_keyword("and") {
+            preds.push(self.where_predicate()?);
+        }
+        Ok(preds)
+    }
+
     fn statement(&mut self) -> Result<Statement> {
+        if self.eat_keyword("explain") {
+            let inner = self.statement()?;
+            return Ok(Statement::Explain {
+                statement: Box::new(inner),
+            });
+        }
         if self.eat_keyword("create") {
             if self.eat_keyword("keyspace") {
                 let name = self.ident()?;
@@ -226,7 +263,7 @@ impl Parser {
                 }
             }
             self.expect_keyword("where")?;
-            let where_clause = self.where_clause()?;
+            let where_clause = self.where_predicate()?;
             return Ok(Statement::Update {
                 table,
                 assignments,
@@ -237,7 +274,7 @@ impl Parser {
             self.expect_keyword("from")?;
             let table = self.table_ref()?;
             self.expect_keyword("where")?;
-            let where_clause = self.where_clause()?;
+            let where_clause = self.where_predicate()?;
             return Ok(Statement::Delete {
                 table,
                 where_clause,
@@ -266,7 +303,7 @@ impl Parser {
                     self.expect_keyword("from")?;
                     let table = self.table_ref()?;
                     self.expect_keyword("where")?;
-                    let where_clause = self.where_clause()?;
+                    let where_clause = self.where_predicate()?;
                     Statement::Delete {
                         table,
                         where_clause,
@@ -355,29 +392,77 @@ impl Parser {
         })
     }
 
+    /// One SELECT-list item: a plain column or an aggregate call. An
+    /// aggregate keyword only counts as one when `(` follows, so a column
+    /// named `count` still selects.
+    fn select_item(&mut self) -> Result<SelectItem> {
+        const AGGS: [(&str, AggFunc); 5] = [
+            ("count", AggFunc::Count),
+            ("sum", AggFunc::Sum),
+            ("min", AggFunc::Min),
+            ("max", AggFunc::Max),
+            ("avg", AggFunc::Avg),
+        ];
+        for (kw, func) in AGGS {
+            if self.peek_keyword(kw)
+                && matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol('(')))
+            {
+                self.pos += 2;
+                let column = if self.eat_symbol('*') {
+                    None
+                } else {
+                    Some(self.ident()?)
+                };
+                self.expect_symbol(')')?;
+                if column.is_none() && func != AggFunc::Count {
+                    return Err(NosqlError::Parse(format!(
+                        "{}(*) is not valid; only COUNT accepts *",
+                        func.name().to_uppercase()
+                    )));
+                }
+                return Ok(SelectItem::Aggregate { func, column });
+            }
+        }
+        Ok(SelectItem::Column(self.ident()?))
+    }
+
     fn select_body(&mut self) -> Result<Statement> {
         let columns = if self.eat_symbol('*') {
             SelectColumns::All
-        } else if self.peek_keyword("count") {
-            self.pos += 1;
-            self.expect_symbol('(')?;
-            self.expect_symbol('*')?;
-            self.expect_symbol(')')?;
-            SelectColumns::Count
         } else {
-            let mut names = Vec::new();
-            loop {
-                names.push(self.ident()?);
-                if !self.eat_symbol(',') {
-                    break;
-                }
+            let mut items = vec![self.select_item()?];
+            while self.eat_symbol(',') {
+                items.push(self.select_item()?);
             }
-            SelectColumns::Named(names)
+            SelectColumns::Items(items)
         };
         self.expect_keyword("from")?;
         let table = self.table_ref()?;
         let where_clause = if self.eat_keyword("where") {
-            Some(self.where_clause()?)
+            self.where_conjunction()?
+        } else {
+            Vec::new()
+        };
+        let group_by = if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            let mut cols = vec![self.ident()?];
+            while self.eat_symbol(',') {
+                cols.push(self.ident()?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
+        let order_by = if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            let column = self.ident()?;
+            let desc = if self.eat_keyword("desc") {
+                true
+            } else {
+                self.eat_keyword("asc");
+                false
+            };
+            Some(OrderBy { column, desc })
         } else {
             None
         };
@@ -397,6 +482,8 @@ impl Parser {
             table,
             columns,
             where_clause,
+            group_by,
+            order_by,
             limit,
         })
     }
@@ -484,25 +571,31 @@ mod tests {
     #[test]
     fn selects() {
         let stmt = parse_statement("SELECT * FROM ks.t").unwrap();
-        assert!(matches!(
-            stmt,
+        match &stmt {
             Statement::Select {
                 columns: SelectColumns::All,
-                where_clause: None,
+                where_clause,
                 limit: None,
                 ..
-            }
-        ));
+            } => assert!(where_clause.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
         let stmt = parse_statement("SELECT id, key FROM ks.t WHERE id = 7 LIMIT 10").unwrap();
         match stmt {
             Statement::Select {
-                columns: SelectColumns::Named(names),
-                where_clause: Some(w),
+                columns: SelectColumns::Items(items),
+                where_clause,
                 limit: Some(10),
                 ..
             } => {
-                assert_eq!(names, vec!["id", "key"]);
-                assert_eq!(w, WhereClause::eq("id", CqlValue::Int(7)));
+                assert_eq!(
+                    items,
+                    vec![
+                        SelectItem::Column("id".into()),
+                        SelectItem::Column("key".into())
+                    ]
+                );
+                assert_eq!(where_clause, vec![WhereClause::eq("id", CqlValue::Int(7))]);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -512,16 +605,13 @@ mod tests {
     fn select_with_in_list() {
         let stmt = parse_statement("SELECT * FROM ks.t WHERE id IN (1, 2, 3)").unwrap();
         match &stmt {
-            Statement::Select {
-                where_clause: Some(w),
-                ..
-            } => {
+            Statement::Select { where_clause, .. } => {
                 assert_eq!(
-                    *w,
-                    WhereClause::any_of(
+                    *where_clause,
+                    vec![WhereClause::any_of(
                         "id",
                         vec![CqlValue::Int(1), CqlValue::Int(2), CqlValue::Int(3)]
-                    )
+                    )]
                 );
             }
             other => panic!("unexpected {other:?}"),
@@ -534,6 +624,110 @@ mod tests {
         // Malformed lists fail.
         assert!(parse_statement("SELECT * FROM ks.t WHERE id IN (1,").is_err());
         assert!(parse_statement("SELECT * FROM ks.t WHERE id IN 1").is_err());
+    }
+
+    #[test]
+    fn comparison_predicates_and_conjunctions() {
+        let stmt =
+            parse_statement("SELECT * FROM ks.t WHERE bikes >= 3 AND bikes < 10 AND station = 'x'")
+                .unwrap();
+        match &stmt {
+            Statement::Select { where_clause, .. } => {
+                assert_eq!(
+                    *where_clause,
+                    vec![
+                        WhereClause::cmp("bikes", CmpOp::Ge, CqlValue::Int(3)),
+                        WhereClause::cmp("bikes", CmpOp::Lt, CqlValue::Int(10)),
+                        WhereClause::eq("station", CqlValue::Text("x".into())),
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Round-trips through to_cql.
+        let again = parse_statement(&stmt.to_cql()).unwrap();
+        assert_eq!(again, stmt);
+        // <= and > parse too.
+        assert!(parse_statement("SELECT * FROM ks.t WHERE n <= 5").is_ok());
+        assert!(parse_statement("SELECT * FROM ks.t WHERE n > 5").is_ok());
+        // A dangling AND fails.
+        assert!(parse_statement("SELECT * FROM ks.t WHERE n = 1 AND").is_err());
+        // UPDATE and DELETE keep a single predicate.
+        assert!(parse_statement("UPDATE ks.t SET a = 1 WHERE id = 1 AND id = 2").is_err());
+        assert!(parse_statement("DELETE FROM ks.t WHERE id = 1 AND id = 2").is_err());
+    }
+
+    #[test]
+    fn aggregates_group_by_order_by() {
+        let stmt = parse_statement(
+            "SELECT station, COUNT(*), SUM(bikes), AVG(bikes) FROM ks.t \
+             GROUP BY station ORDER BY station DESC LIMIT 5",
+        )
+        .unwrap();
+        match &stmt {
+            Statement::Select {
+                columns: SelectColumns::Items(items),
+                group_by,
+                order_by: Some(o),
+                limit: Some(5),
+                ..
+            } => {
+                assert_eq!(items.len(), 4);
+                assert_eq!(items[0], SelectItem::Column("station".into()));
+                assert_eq!(
+                    items[1],
+                    SelectItem::Aggregate {
+                        func: AggFunc::Count,
+                        column: None
+                    }
+                );
+                assert_eq!(
+                    items[2],
+                    SelectItem::Aggregate {
+                        func: AggFunc::Sum,
+                        column: Some("bikes".into())
+                    }
+                );
+                assert_eq!(group_by, &vec!["station".to_string()]);
+                assert_eq!(o.column, "station");
+                assert!(o.desc);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Round-trips through to_cql.
+        let again = parse_statement(&stmt.to_cql()).unwrap();
+        assert_eq!(again, stmt);
+        // ASC is accepted and is the default.
+        let asc = parse_statement("SELECT id FROM ks.t ORDER BY id ASC").unwrap();
+        let bare = parse_statement("SELECT id FROM ks.t ORDER BY id").unwrap();
+        assert_eq!(asc, bare);
+        // A column named like an aggregate still selects when no `(` follows.
+        let stmt = parse_statement("SELECT count FROM ks.t").unwrap();
+        match &stmt {
+            Statement::Select {
+                columns: SelectColumns::Items(items),
+                ..
+            } => assert_eq!(items, &vec![SelectItem::Column("count".into())]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // SUM(*) is rejected.
+        assert!(parse_statement("SELECT SUM(*) FROM ks.t").is_err());
+    }
+
+    #[test]
+    fn explain_statements() {
+        let stmt = parse_statement("EXPLAIN SELECT * FROM ks.t WHERE id = 1").unwrap();
+        match &stmt {
+            Statement::Explain { statement } => {
+                assert!(matches!(**statement, Statement::Select { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Round-trips through to_cql.
+        let again = parse_statement(&stmt.to_cql()).unwrap();
+        assert_eq!(again, stmt);
+        // EXPLAIN with nothing after it fails.
+        assert!(parse_statement("EXPLAIN").is_err());
     }
 
     #[test]
@@ -583,6 +777,9 @@ mod tests {
             "CREATE TABLE ks.t (id set<text>, PRIMARY KEY (id))",
             "BEGIN BATCH SELECT * FROM ks.t APPLY BATCH",
             "SELECT * FROM ks.t extra",
+            "SELECT * FROM ks.t GROUP station",
+            "SELECT * FROM ks.t ORDER id",
+            "SELECT COUNT( FROM ks.t",
         ] {
             assert!(parse_statement(bad).is_err(), "{bad:?} should fail");
         }
@@ -616,6 +813,10 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        // EXPLAIN resolves the inner statement's reference.
+        let explained = parse_statement("EXPLAIN SELECT * FROM t").unwrap();
+        let resolved = explained.with_default_keyspace("ks");
+        assert_eq!(resolved.table_refs()[0].keyspace, "ks");
         // Already-qualified references are untouched.
         let qualified = parse_statement("SELECT * FROM other.t").unwrap();
         assert_eq!(qualified.with_default_keyspace("ks"), qualified);

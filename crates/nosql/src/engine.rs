@@ -26,11 +26,13 @@
 
 use crate::cache::{BlockCache, CacheStats, DEFAULT_BLOCK_CACHE_BYTES};
 use crate::commitlog::{CommitLog, GroupCommitLog, LogRecord, WalError};
-use crate::cql::ast::{SelectColumns, Statement, TableRef, WhereClause};
+use crate::cql::ast::{Statement, TableRef, WhereClause};
 use crate::cql::parse_statement;
 use crate::error::{NosqlError, Result};
+use crate::exec;
 use crate::manifest::{Manifest, ManifestEdit};
 use crate::mvcc::{ReadPin, SeqGuard, SeqTracker, SnapshotRegistry};
+use crate::plan;
 use crate::result::QueryResult;
 use crate::row::Row;
 use crate::schema::{Catalog, ColumnDef, TableDef};
@@ -416,22 +418,14 @@ impl DbCore {
                 self.insert(&state, table, columns, values)?;
                 Ok(QueryResult::empty())
             }
-            Statement::Select {
-                table,
-                columns,
-                where_clause,
-                limit,
-            } => {
+            Statement::Select { .. } => {
                 let state = self.read_state();
                 let pin = ReadPin::new(&self.registry, &self.tracker);
-                self.select(
-                    &state,
-                    table,
-                    columns,
-                    where_clause.as_ref(),
-                    *limit,
-                    pin.seq(),
-                )
+                self.run_select(&state, stmt, pin.seq())
+            }
+            Statement::Explain { statement } => {
+                let state = self.read_state();
+                self.explain(&state, statement)
             }
             Statement::Update {
                 table,
@@ -470,14 +464,13 @@ impl DbCore {
     pub(crate) fn execute_read(&self, stmt: &Statement, bound: u64) -> Result<QueryResult> {
         Self::check_qualified(stmt)?;
         match stmt {
-            Statement::Select {
-                table,
-                columns,
-                where_clause,
-                limit,
-            } => {
+            Statement::Select { .. } => {
                 let state = self.read_state();
-                self.select(&state, table, columns, where_clause.as_ref(), *limit, bound)
+                self.run_select(&state, stmt, bound)
+            }
+            Statement::Explain { statement } => {
+                let state = self.read_state();
+                self.explain(&state, statement)
             }
             _ => Err(NosqlError::Unsupported(
                 "snapshots are read-only: only SELECT is allowed".into(),
@@ -784,8 +777,9 @@ impl DbCore {
         enc.into_bytes()
     }
 
-    /// Prefix covering every posting of `value`.
-    fn posting_prefix(value: &CqlValue) -> Vec<u8> {
+    /// Prefix covering every posting of `value` (the read side lives in
+    /// [`crate::exec::scan::IndexScan`]).
+    pub(crate) fn posting_prefix(value: &CqlValue) -> Vec<u8> {
         let mut enc = sc_encoding::Encoder::new();
         enc.put_bytes(&value.encode_key());
         enc.into_bytes()
@@ -990,171 +984,84 @@ impl DbCore {
         Ok(())
     }
 
-    /// Executes `WHERE column IN (...)` at MVCC bound `bound`.
-    ///
-    /// On the primary key this is a multi-point read: one memtable/SSTable
-    /// probe per distinct key, no scan — the primitive batched store
-    /// fetches ride on. On an indexed column it unions the per-value
-    /// posting scans; otherwise it degrades to a scan with a membership
-    /// filter.
-    fn select_in(
-        &self,
-        state: &EngineState,
-        def: &TableDef,
-        qualified: &str,
-        column: &str,
-        values: &[CqlValue],
-        bound: u64,
-    ) -> Result<Vec<Row>> {
-        let core = state.core(qualified);
-        if column == def.pk_column().name {
-            let mut seen: HashSet<Vec<u8>> = HashSet::with_capacity(values.len());
-            let mut out = Vec::with_capacity(values.len());
-            for v in values {
-                let key = v.encode_key();
-                if !seen.insert(key.clone()) {
-                    continue;
-                }
-                if let Some(row) = core.get(&key, bound)? {
-                    out.push(row);
-                }
-            }
-            return Ok(out);
+    /// Statistics for the planner's cost model, gathered from structures
+    /// the engine already maintains (no extra bookkeeping on any hot
+    /// path).
+    fn table_stats(&self, core: &TableCore) -> plan::TableStats {
+        let cache = self.cache.stats();
+        let lookups = cache.hits + cache.misses;
+        let cache_hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            cache.hits as f64 / lookups as f64
+        };
+        plan::TableStats {
+            rows: core.estimate_rows(),
+            sstables: core.sstable_count(),
+            cache_hit_rate,
         }
-        if def.is_indexed(column) {
-            let idx_qualified = format!("{}.{}", def.keyspace, def.index_table_name(column));
-            let idx_core = state.core(&idx_qualified);
-            let col_idx = def.column_index(column).expect("indexed column exists");
-            let mut ids = Vec::new();
-            let mut seen_ids: HashSet<i64> = HashSet::new();
-            for v in values {
-                let prefix = Self::posting_prefix(v);
-                for (_, r) in idx_core.scan_prefix(&prefix, bound)? {
-                    if let Some(id) = r.values[1].as_int() {
-                        if seen_ids.insert(id) {
-                            ids.push(id);
-                        }
-                    }
-                }
-            }
-            let mut out = Vec::with_capacity(ids.len());
-            for id in ids {
-                if let Some(row) = core.get(&CqlValue::Int(id).encode_key(), bound)? {
-                    // Re-check: postings may be stale relative to
-                    // overwrites racing the index update.
-                    if values.contains(&row.values[col_idx]) {
-                        out.push(row);
-                    }
-                }
-            }
-            return Ok(out);
-        }
-        let col_idx = def
-            .column_index(column)
-            .ok_or_else(|| NosqlError::UnknownColumn {
-                table: def.name.clone(),
-                column: column.to_string(),
-            })?;
-        Ok(core
-            .scan(bound)?
-            .into_iter()
-            .map(|(_, r)| r)
-            .filter(|r| values.contains(&r.values[col_idx]))
-            .collect())
     }
 
-    fn select(
+    /// Plans a `SELECT` and resolves the table runtimes its pipeline
+    /// reads. The only SELECT entry point — `execute`, snapshots, and
+    /// `EXPLAIN` all come through here, so semantics and plans can never
+    /// diverge.
+    fn plan_parts(
         &self,
         state: &EngineState,
-        table: &TableRef,
-        columns: &SelectColumns,
-        where_clause: Option<&WhereClause>,
-        limit: Option<usize>,
-        bound: u64,
-    ) -> Result<QueryResult> {
-        let def = Arc::clone(state.catalog.table(&table.keyspace, &table.table)?);
-        let qualified = def.qualified_name();
-        let core = state.core(&qualified);
-        let mut rows: Vec<Row> = match where_clause {
-            None => core.scan(bound)?.into_iter().map(|(_, r)| r).collect(),
-            Some(WhereClause::Eq { column, value }) if *column == def.pk_column().name => {
-                let key = value.encode_key();
-                core.get(&key, bound)?.into_iter().collect()
-            }
-            Some(WhereClause::Eq { column, value }) if def.is_indexed(column) => {
-                let idx_qualified = format!("{}.{}", def.keyspace, def.index_table_name(column));
-                let prefix = Self::posting_prefix(value);
-                let postings = state.core(&idx_qualified).scan_prefix(&prefix, bound)?;
-                let ids: Vec<i64> = postings
-                    .iter()
-                    .filter_map(|(_, r)| r.values[1].as_int())
-                    .collect();
-                let col_idx = def.column_index(column).expect("indexed column exists");
-                let mut out = Vec::with_capacity(ids.len());
-                for id in ids {
-                    if let Some(row) = core.get(&CqlValue::Int(id).encode_key(), bound)? {
-                        // Re-check: postings may be stale relative to
-                        // overwrites racing the index update.
-                        if row.values[col_idx] == *value {
-                            out.push(row);
-                        }
-                    }
-                }
-                out
-            }
-            Some(WhereClause::Eq { column, value }) => {
-                // Unindexed filter: full scan (CQL would demand ALLOW
-                // FILTERING; we accept it for diagnostics and tests).
-                let col_idx =
-                    def.column_index(column)
-                        .ok_or_else(|| NosqlError::UnknownColumn {
-                            table: def.name.clone(),
-                            column: column.clone(),
-                        })?;
-                core.scan(bound)?
-                    .into_iter()
-                    .map(|(_, r)| r)
-                    .filter(|r| r.values[col_idx] == *value)
-                    .collect()
-            }
-            Some(WhereClause::In { column, values }) => {
-                self.select_in(state, &def, &qualified, column, values, bound)?
-            }
-        };
-        if let Some(n) = limit {
-            rows.truncate(n);
-        }
-        if matches!(columns, SelectColumns::Count) {
-            return Ok(QueryResult::new(
-                vec!["count".to_string()],
-                vec![vec![CqlValue::Int(rows.len() as i64)]],
+        stmt: &Statement,
+    ) -> Result<(plan::SelectPlan, exec::Cores)> {
+        let Statement::Select {
+            table,
+            columns,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        } = stmt
+        else {
+            return Err(NosqlError::Unsupported(
+                "EXPLAIN covers SELECT statements only".into(),
             ));
-        }
-        let (names, indices): (Vec<String>, Vec<usize>) = match columns {
-            SelectColumns::Count => unreachable!("handled above"),
-            SelectColumns::All => (
-                def.columns.iter().map(|c| c.name.clone()).collect(),
-                (0..def.columns.len()).collect(),
-            ),
-            SelectColumns::Named(names) => {
-                let mut idx = Vec::with_capacity(names.len());
-                for n in names {
-                    idx.push(
-                        def.column_index(n)
-                            .ok_or_else(|| NosqlError::UnknownColumn {
-                                table: def.name.clone(),
-                                column: n.clone(),
-                            })?,
-                    );
-                }
-                (names.clone(), idx)
-            }
         };
-        let projected = rows
-            .into_iter()
-            .map(|r| indices.iter().map(|&i| r.values[i].clone()).collect())
-            .collect();
-        Ok(QueryResult::new(names, projected))
+        let def = Arc::clone(state.catalog.table(&table.keyspace, &table.table)?);
+        let base = Arc::clone(state.core(&def.qualified_name()));
+        let stats = self.table_stats(&base);
+        let plan = plan::plan_select(
+            &def,
+            columns,
+            where_clause,
+            group_by,
+            order_by.as_ref(),
+            *limit,
+            &stats,
+        )?;
+        let index = plan
+            .root
+            .scan()
+            .index_table
+            .as_ref()
+            .map(|qualified| Arc::clone(state.core(qualified)));
+        Ok((plan, exec::Cores { base, index }))
+    }
+
+    /// Executes a `SELECT` at MVCC bound `bound` through the operator
+    /// pipeline: plan, build operators, drain.
+    fn run_select(&self, state: &EngineState, stmt: &Statement, bound: u64) -> Result<QueryResult> {
+        let (plan, cores) = self.plan_parts(state, stmt)?;
+        let mut op = exec::build(&plan.root, &cores, bound);
+        let rows = exec::drain(op.as_mut())?;
+        Ok(QueryResult::new(plan.columns, rows))
+    }
+
+    /// `EXPLAIN <select>`: plans the inner statement and returns the plan
+    /// tree as one `plan` text column, cost estimates included.
+    fn explain(&self, state: &EngineState, stmt: &Statement) -> Result<QueryResult> {
+        let (plan, _cores) = self.plan_parts(state, stmt)?;
+        Ok(QueryResult::new(
+            vec!["plan".to_string()],
+            plan::explain::result_rows(&plan),
+        ))
     }
 
     /// Flushes every memtable to disk and truncates the commit log (its
@@ -1461,6 +1368,37 @@ mod tests {
             .execute_cql("SELECT key, leaf FROM ks.cells WHERE id = 9")
             .unwrap();
         assert_eq!(r.rows(), vec![vec![CqlValue::Null, CqlValue::Null]]);
+    }
+
+    #[test]
+    fn unknown_select_column_is_typed_everywhere() {
+        // Every position a column can appear in a SELECT reports the same
+        // typed error, regardless of access path.
+        let mut db = setup();
+        db.execute_cql("INSERT INTO ks.cells (id, key) VALUES (1, 'a')")
+            .unwrap();
+        for cql in [
+            "SELECT nope FROM ks.cells",
+            "SELECT nope FROM ks.cells WHERE id = 1",
+            "SELECT id, nope FROM ks.cells WHERE id IN (1, 2)",
+            "SELECT * FROM ks.cells WHERE nope = 1",
+            "SELECT * FROM ks.cells WHERE id = 1 AND nope > 2",
+            "SELECT * FROM ks.cells ORDER BY nope",
+            "SELECT nope, COUNT(*) FROM ks.cells GROUP BY nope",
+            "SELECT SUM(nope) FROM ks.cells",
+            "EXPLAIN SELECT nope FROM ks.cells",
+        ] {
+            match db.execute_cql(cql) {
+                Err(NosqlError::UnknownColumn { table, column }) => {
+                    assert_eq!(
+                        (table.as_str(), column.as_str()),
+                        ("cells", "nope"),
+                        "{cql}"
+                    );
+                }
+                other => panic!("{cql}: expected UnknownColumn, got {other:?}"),
+            }
+        }
     }
 
     #[test]

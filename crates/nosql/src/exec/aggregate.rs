@@ -1,0 +1,184 @@
+//! Grouped and global aggregation.
+
+use super::{Operator, RowBatch, BATCH_ROWS};
+use crate::cql::ast::AggFunc;
+use crate::error::Result;
+use crate::plan::{AggOutput, AggSpec};
+use crate::types::CqlValue;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Group key with [`CqlValue::cmp_sort`] order, so output groups emerge
+/// in a deterministic, data-independent order.
+#[derive(Debug, PartialEq, Eq)]
+struct GroupKey(Vec<CqlValue>);
+
+impl Ord for GroupKey {
+    fn cmp(&self, other: &GroupKey) -> Ordering {
+        for (a, b) in self.0.iter().zip(&other.0) {
+            match a.cmp_sort(b) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+impl PartialOrd for GroupKey {
+    fn partial_cmp(&self, other: &GroupKey) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Running state of one aggregate within one group.
+#[derive(Debug, Default)]
+struct AggState {
+    /// Rows seen (`COUNT(*)`) or non-null arguments seen (everything
+    /// else).
+    count: i64,
+    /// Running integer sum (`SUM`/`AVG`).
+    sum: i64,
+    /// Running minimum in [`CqlValue::cmp_sort`] order, nulls skipped.
+    min: Option<CqlValue>,
+    /// Running maximum, nulls skipped.
+    max: Option<CqlValue>,
+}
+
+impl AggState {
+    fn accumulate(&mut self, spec: &AggSpec, row: &[CqlValue]) {
+        let Some(arg) = spec.input else {
+            // COUNT(*): every row counts.
+            self.count += 1;
+            return;
+        };
+        let value = &row[arg];
+        if value.is_null() {
+            // SQL aggregate semantics: nulls do not participate.
+            return;
+        }
+        self.count += 1;
+        match spec.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                self.sum = self.sum.wrapping_add(value.as_int().unwrap_or(0));
+            }
+            AggFunc::Min => {
+                let better = self
+                    .min
+                    .as_ref()
+                    .is_none_or(|m| value.cmp_sort(m) == Ordering::Less);
+                if better {
+                    self.min = Some(value.clone());
+                }
+            }
+            AggFunc::Max => {
+                let better = self
+                    .max
+                    .as_ref()
+                    .is_none_or(|m| value.cmp_sort(m) == Ordering::Greater);
+                if better {
+                    self.max = Some(value.clone());
+                }
+            }
+        }
+    }
+
+    fn finish(&self, spec: &AggSpec) -> CqlValue {
+        match spec.func {
+            AggFunc::Count => CqlValue::Int(self.count),
+            AggFunc::Sum if self.count == 0 => CqlValue::Null,
+            AggFunc::Sum => CqlValue::Int(self.sum),
+            // Integer division, as in Cassandra's int avg.
+            AggFunc::Avg if self.count == 0 => CqlValue::Null,
+            AggFunc::Avg => CqlValue::Int(self.sum / self.count),
+            AggFunc::Min => self.min.clone().unwrap_or(CqlValue::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(CqlValue::Null),
+        }
+    }
+}
+
+/// Drains its input on the first pull, accumulating one [`AggState`] per
+/// aggregate per group, then emits one output row per group in group-key
+/// order. With no `GROUP BY` there is exactly one output row — even over
+/// empty input (`count` 0, other aggregates null).
+pub struct Aggregate {
+    input: Box<dyn Operator>,
+    group_by: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    output: Vec<AggOutput>,
+    results: Option<std::vec::IntoIter<Vec<CqlValue>>>,
+}
+
+impl Aggregate {
+    pub(crate) fn new(
+        input: Box<dyn Operator>,
+        group_by: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        output: Vec<AggOutput>,
+    ) -> Aggregate {
+        Aggregate {
+            input,
+            group_by,
+            aggs,
+            output,
+            results: None,
+        }
+    }
+
+    fn run(&mut self) -> Result<Vec<Vec<CqlValue>>> {
+        let mut groups: BTreeMap<GroupKey, Vec<AggState>> = BTreeMap::new();
+        let fresh = |aggs: &[AggSpec]| -> Vec<AggState> {
+            aggs.iter().map(|_| AggState::default()).collect()
+        };
+        if self.group_by.is_empty() {
+            // A global aggregate emits a row even over nothing.
+            groups.insert(GroupKey(Vec::new()), fresh(&self.aggs));
+        }
+        while let Some(batch) = self.input.next_batch()? {
+            for row in &batch.rows {
+                let key = GroupKey(self.group_by.iter().map(|&i| row[i].clone()).collect());
+                let states = groups.entry(key).or_insert_with(|| fresh(&self.aggs));
+                for (state, spec) in states.iter_mut().zip(&self.aggs) {
+                    state.accumulate(spec, row);
+                }
+            }
+        }
+        let mut rows = Vec::with_capacity(groups.len());
+        for (key, states) in &groups {
+            let row: Vec<CqlValue> = self
+                .output
+                .iter()
+                .map(|out| match out {
+                    AggOutput::Group(col) => {
+                        let pos = self
+                            .group_by
+                            .iter()
+                            .position(|g| g == col)
+                            .expect("projected grouping columns are in GROUP BY");
+                        key.0[pos].clone()
+                    }
+                    AggOutput::Agg(i) => states[*i].finish(&self.aggs[*i]),
+                })
+                .collect();
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+}
+
+impl Operator for Aggregate {
+    fn name(&self) -> &'static str {
+        "Aggregate"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        if self.results.is_none() {
+            let rows = self.run()?;
+            self.results = Some(rows.into_iter());
+        }
+        let iter = self.results.as_mut().expect("aggregated above");
+        let rows: Vec<Vec<CqlValue>> = iter.take(BATCH_ROWS).collect();
+        Ok((!rows.is_empty()).then_some(RowBatch { rows }))
+    }
+}

@@ -1,0 +1,143 @@
+//! Row-shape and row-set operators: Filter, Project, Sort, Limit.
+
+use super::{Operator, RowBatch, BATCH_ROWS};
+use crate::error::Result;
+use crate::plan::Predicate;
+use crate::types::CqlValue;
+
+/// Drops rows failing an AND-joined predicate list.
+pub struct Filter {
+    input: Box<dyn Operator>,
+    predicates: Vec<Predicate>,
+}
+
+impl Filter {
+    pub(crate) fn new(input: Box<dyn Operator>, predicates: Vec<Predicate>) -> Filter {
+        Filter { input, predicates }
+    }
+}
+
+impl Operator for Filter {
+    fn name(&self) -> &'static str {
+        "Filter"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        while let Some(mut batch) = self.input.next_batch()? {
+            batch
+                .rows
+                .retain(|row| self.predicates.iter().all(|p| p.matches(row)));
+            if !batch.rows.is_empty() {
+                return Ok(Some(batch));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Narrows each row to the selected column indices.
+pub struct Project {
+    input: Box<dyn Operator>,
+    indices: Vec<usize>,
+}
+
+impl Project {
+    pub(crate) fn new(input: Box<dyn Operator>, indices: Vec<usize>) -> Project {
+        Project { input, indices }
+    }
+}
+
+impl Operator for Project {
+    fn name(&self) -> &'static str {
+        "Project"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        let rows = batch
+            .rows
+            .into_iter()
+            .map(|row| self.indices.iter().map(|&i| row[i].clone()).collect())
+            .collect();
+        Ok(Some(RowBatch { rows }))
+    }
+}
+
+/// Total sort on one column. Drains its input on the first pull (sorting
+/// is a pipeline breaker), then re-emits in batches. The sort is stable,
+/// so ties keep the input's key order.
+pub struct Sort {
+    input: Box<dyn Operator>,
+    key: usize,
+    desc: bool,
+    sorted: Option<std::vec::IntoIter<Vec<CqlValue>>>,
+}
+
+impl Sort {
+    pub(crate) fn new(input: Box<dyn Operator>, key: usize, desc: bool) -> Sort {
+        Sort {
+            input,
+            key,
+            desc,
+            sorted: None,
+        }
+    }
+}
+
+impl Operator for Sort {
+    fn name(&self) -> &'static str {
+        "Sort"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        if self.sorted.is_none() {
+            let mut rows = super::drain(self.input.as_mut())?;
+            let key = self.key;
+            if self.desc {
+                rows.sort_by(|a, b| b[key].cmp_sort(&a[key]));
+            } else {
+                rows.sort_by(|a, b| a[key].cmp_sort(&b[key]));
+            }
+            self.sorted = Some(rows.into_iter());
+        }
+        let iter = self.sorted.as_mut().expect("sorted above");
+        let rows: Vec<Vec<CqlValue>> = iter.take(BATCH_ROWS).collect();
+        Ok((!rows.is_empty()).then_some(RowBatch { rows }))
+    }
+}
+
+/// Caps the number of rows emitted; stops pulling its input once the cap
+/// is reached.
+pub struct Limit {
+    input: Box<dyn Operator>,
+    remaining: usize,
+}
+
+impl Limit {
+    pub(crate) fn new(input: Box<dyn Operator>, limit: usize) -> Limit {
+        Limit {
+            input,
+            remaining: limit,
+        }
+    }
+}
+
+impl Operator for Limit {
+    fn name(&self) -> &'static str {
+        "Limit"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let Some(mut batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        batch.rows.truncate(self.remaining);
+        self.remaining -= batch.rows.len();
+        Ok(Some(batch))
+    }
+}

@@ -48,10 +48,12 @@ pub mod cql;
 pub mod crashtest;
 pub mod engine;
 pub mod error;
+pub(crate) mod exec;
 pub mod manifest;
 pub mod memtable;
 pub(crate) mod mvcc;
 mod obs;
+pub mod plan;
 pub mod result;
 pub mod row;
 pub mod schema;
@@ -62,7 +64,7 @@ pub mod table;
 pub mod types;
 
 pub use cache::{BlockCache, CacheStats, DEFAULT_BLOCK_CACHE_BYTES};
-pub use cql::ast::{Statement, WhereClause};
+pub use cql::ast::{AggFunc, CmpOp, OrderBy, SelectColumns, SelectItem, Statement, WhereClause};
 pub use cql::parse_statement;
 pub use engine::{Db, DbOptions, OpenOptions, SharedDb};
 pub use error::NosqlError;

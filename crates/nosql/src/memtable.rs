@@ -190,9 +190,8 @@ impl ShardedMemtable {
         self.bytes.load(Ordering::Relaxed)
     }
 
-    /// Number of keys with at least one buffered version (test
-    /// observability).
-    #[cfg(test)]
+    /// Number of keys with at least one buffered version (planner row
+    /// estimates, test observability).
     pub fn key_count(&self) -> usize {
         self.shards
             .iter()

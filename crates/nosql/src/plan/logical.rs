@@ -1,0 +1,233 @@
+//! The logical plan tree: pure data, no table runtimes.
+
+use crate::cql::ast::{AggFunc, CmpOp};
+use crate::types::CqlValue;
+
+/// Cardinality and cost estimates attached to every plan node. `cost` is
+/// cumulative (the node plus everything below it), in the planner's
+/// abstract units (see [`crate::plan::planner`] for the constants).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Estimate {
+    /// Estimated rows the node emits.
+    pub rows: f64,
+    /// Estimated cumulative cost of producing them.
+    pub cost: f64,
+}
+
+/// A resolved single-column predicate test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredTest {
+    /// `column = value`.
+    Eq(CqlValue),
+    /// `column IN (values)`.
+    In(Vec<CqlValue>),
+    /// `column <op> value`.
+    Cmp(CmpOp, CqlValue),
+}
+
+/// A predicate with its column resolved to a row index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Column name (for display).
+    pub column: String,
+    /// Index into the base table's row layout.
+    pub index: usize,
+    /// The test applied to that cell.
+    pub test: PredTest,
+}
+
+impl Predicate {
+    /// Whether `row` (base-table layout) satisfies the predicate.
+    /// Comparisons follow SQL's null semantics: a null cell never
+    /// matches a range test (equality against an explicit null does).
+    pub fn matches(&self, row: &[CqlValue]) -> bool {
+        let cell = &row[self.index];
+        match &self.test {
+            PredTest::Eq(value) => cell == value,
+            PredTest::In(values) => values.contains(cell),
+            PredTest::Cmp(op, value) => {
+                !cell.is_null() && !value.is_null() && op.accepts(cell.cmp_sort(value))
+            }
+        }
+    }
+
+    /// Renders the predicate as CQL-ish text for `EXPLAIN`.
+    pub fn render(&self) -> String {
+        match &self.test {
+            PredTest::Eq(v) => format!("{} = {}", self.column, v.to_cql_literal()),
+            PredTest::In(vs) => {
+                let lits: Vec<String> = vs.iter().map(CqlValue::to_cql_literal).collect();
+                format!("{} IN ({})", self.column, lits.join(", "))
+            }
+            PredTest::Cmp(op, v) => {
+                format!("{} {} {}", self.column, op.symbol(), v.to_cql_literal())
+            }
+        }
+    }
+}
+
+/// How the scan reaches rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanKind {
+    /// One bloom/fence-checked probe of the primary key.
+    Point {
+        /// The key value.
+        key: CqlValue,
+    },
+    /// One probe per distinct `IN` key, in statement order.
+    MultiPoint {
+        /// Key values, already deduplicated, statement order preserved.
+        keys: Vec<CqlValue>,
+    },
+    /// Posting scan of a hidden index table, then a probe per posting id
+    /// with a staleness re-check against the base row.
+    Index {
+        /// The indexed column's name.
+        column: String,
+        /// Its index in the base row layout (for the re-check).
+        col_index: usize,
+        /// Accepted values (one for `=`, several for `IN`).
+        values: Vec<CqlValue>,
+    },
+    /// Key-ordered scan of the whole table.
+    Full,
+}
+
+/// The leaf of every plan: a scan of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanNode {
+    /// Qualified base-table name (`ks.table`).
+    pub table: String,
+    /// Qualified posting-table name, for [`ScanKind::Index`].
+    pub index_table: Option<String>,
+    /// Access path.
+    pub kind: ScanKind,
+    /// Predicates evaluated inside the scan (full scans only; pushdown).
+    pub residual: Vec<Predicate>,
+    /// Row cap applied inside the scan, counted after `residual`.
+    pub pushed_limit: Option<usize>,
+    /// Estimates.
+    pub est: Estimate,
+}
+
+/// One aggregate computed by an [`PlanNode::Aggregate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument column index in the input layout; `None` for `COUNT(*)`.
+    pub input: Option<usize>,
+    /// Argument column name (for display).
+    pub column: Option<String>,
+}
+
+/// One output column of an [`PlanNode::Aggregate`], in select-list order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggOutput {
+    /// A grouping column, by input-layout index.
+    Group(usize),
+    /// An aggregate, by position in the node's `aggs`.
+    Agg(usize),
+}
+
+/// A logical plan node. The tree is linear (every node has at most one
+/// input); rows flow leaf-to-root.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Table access.
+    Scan(ScanNode),
+    /// Drops rows failing a predicate conjunction.
+    Filter {
+        /// Input node.
+        input: Box<PlanNode>,
+        /// AND-joined predicates.
+        predicates: Vec<Predicate>,
+        /// Estimates.
+        est: Estimate,
+    },
+    /// Narrows rows to the selected columns.
+    Project {
+        /// Input node.
+        input: Box<PlanNode>,
+        /// Input-layout indices, in output order.
+        indices: Vec<usize>,
+        /// Output column names (for display).
+        names: Vec<String>,
+        /// Estimates.
+        est: Estimate,
+    },
+    /// Total sort on one column ([`CqlValue::cmp_sort`] order; stable, so
+    /// ties keep the input's key order).
+    Sort {
+        /// Input node.
+        input: Box<PlanNode>,
+        /// Sort-key index in the input layout.
+        key: usize,
+        /// Sort-key column name (for display).
+        column: String,
+        /// `true` for `DESC`.
+        desc: bool,
+        /// Estimates.
+        est: Estimate,
+    },
+    /// Caps the row count.
+    Limit {
+        /// Input node.
+        input: Box<PlanNode>,
+        /// Maximum rows emitted.
+        limit: usize,
+        /// Estimates.
+        est: Estimate,
+    },
+    /// Grouped (or global) aggregation. Output rows follow the group
+    /// keys' [`CqlValue::cmp_sort`] order for determinism.
+    Aggregate {
+        /// Input node.
+        input: Box<PlanNode>,
+        /// Grouping column indices in the input layout.
+        group_by: Vec<usize>,
+        /// Aggregates computed per group.
+        aggs: Vec<AggSpec>,
+        /// Output layout, in select-list order.
+        output: Vec<AggOutput>,
+        /// Output column names, aligned with `output`.
+        names: Vec<String>,
+        /// Estimates.
+        est: Estimate,
+    },
+}
+
+impl PlanNode {
+    /// The node's estimates.
+    pub fn estimate(&self) -> Estimate {
+        match self {
+            PlanNode::Scan(s) => s.est,
+            PlanNode::Filter { est, .. }
+            | PlanNode::Project { est, .. }
+            | PlanNode::Sort { est, .. }
+            | PlanNode::Limit { est, .. }
+            | PlanNode::Aggregate { est, .. } => *est,
+        }
+    }
+
+    /// The scan at the bottom of the tree.
+    pub fn scan(&self) -> &ScanNode {
+        match self {
+            PlanNode::Scan(s) => s,
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. }
+            | PlanNode::Aggregate { input, .. } => input.scan(),
+        }
+    }
+}
+
+/// A planned `SELECT`: the operator tree plus its output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectPlan {
+    /// Root of the plan tree.
+    pub root: PlanNode,
+    /// Output column names, in select-list order.
+    pub columns: Vec<String>,
+}

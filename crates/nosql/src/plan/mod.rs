@@ -1,0 +1,31 @@
+//! Query planning: lowering parsed `SELECT`s into a logical plan tree,
+//! choosing an access path from collected statistics, and rendering
+//! `EXPLAIN` output (see DESIGN.md §5h).
+//!
+//! The layering is strict:
+//!
+//! 1. [`planner::lower`] turns the AST into a canonical [`PlanNode`] tree
+//!    rooted at a full scan, validating every column reference and literal
+//!    type up front — the *only* place name resolution happens, so an
+//!    unknown column fails identically whether it appears in the
+//!    projection, `WHERE`, `GROUP BY`, or `ORDER BY`.
+//! 2. [`planner::optimize`] rewrites the access path using table
+//!    statistics: an equality on the primary key becomes a bloom-checked
+//!    point scan, `IN` on the key a multi-point scan, an indexed column a
+//!    posting scan; remaining predicates and the `LIMIT` are pushed into
+//!    full scans.
+//! 3. [`planner::cost`] annotates every node with row/cost estimates
+//!    bottom-up; [`explain`] renders the tree.
+//!
+//! Execution is elsewhere ([`crate::exec`]): the plan is pure data and
+//! holds no table runtimes, so it can be built, costed, and printed
+//! without touching storage.
+
+pub mod explain;
+pub mod logical;
+pub mod planner;
+
+pub use logical::{
+    AggOutput, AggSpec, Estimate, PlanNode, PredTest, Predicate, ScanKind, ScanNode, SelectPlan,
+};
+pub use planner::{plan_select, TableStats};

@@ -641,10 +641,27 @@ impl TableCore {
         ssts.iter().map(|s| s.size()).sum()
     }
 
-    /// Number of SSTables backing the table (test observability).
-    #[cfg(test)]
+    /// Number of SSTables backing the table.
     pub fn sstable_count(&self) -> usize {
         self.ssts.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Estimated live row count: buffered memtable keys plus every
+    /// SSTable's stored entry count. Overwrites and tombstones are counted
+    /// once per layer they appear in, so this is an upper bound — exactly
+    /// what the query planner wants for costing scans.
+    pub fn estimate_rows(&self) -> u64 {
+        let mut rows = self.mem.key_count() as u64;
+        if let Some(frozen) = self
+            .flushing
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            rows += frozen.entries.len() as u64;
+        }
+        let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
+        rows + ssts.iter().map(|s| s.len() as u64).sum::<u64>()
     }
 
     /// The backing SSTable file names, oldest first.

@@ -205,6 +205,30 @@ impl CqlValue {
         }
     }
 
+    /// Total order across all values, used by `ORDER BY` and for
+    /// deterministic `GROUP BY` output: `null` sorts first, then values of
+    /// the same type compare naturally, then mixed types compare by a
+    /// fixed type rank (int < text < boolean < set). Same-typed columns —
+    /// the only thing the schema layer admits — never hit the rank case.
+    pub fn cmp_sort(&self, other: &CqlValue) -> std::cmp::Ordering {
+        fn rank(v: &CqlValue) -> u8 {
+            match v {
+                CqlValue::Null => 0,
+                CqlValue::Int(_) => 1,
+                CqlValue::Text(_) => 2,
+                CqlValue::Boolean(_) => 3,
+                CqlValue::IntSet(_) => 4,
+            }
+        }
+        match (self, other) {
+            (CqlValue::Int(a), CqlValue::Int(b)) => a.cmp(b),
+            (CqlValue::Text(a), CqlValue::Text(b)) => a.cmp(b),
+            (CqlValue::Boolean(a), CqlValue::Boolean(b)) => a.cmp(b),
+            (CqlValue::IntSet(a), CqlValue::IntSet(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
     /// CQL literal form (used when rendering statements, e.g. Figure 3).
     pub fn to_cql_literal(&self) -> String {
         match self {

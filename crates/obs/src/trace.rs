@@ -79,11 +79,17 @@ pub enum Attr {
     VfsReadBytes,
     /// Bytes appended to the VFS leaf.
     VfsWriteBytes,
+    /// Rows pulled from a child operator by a query-pipeline operator
+    /// (charged to the consuming operator's span).
+    OpRowsIn,
+    /// Rows emitted by a query-pipeline operator (charged to the
+    /// operator's own span).
+    OpRowsOut,
 }
 
 impl Attr {
     /// Number of attribution counters (length of a span's `attrs` array).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// All attributes, index order.
     pub const ALL: [Attr; Attr::COUNT] = [
@@ -96,6 +102,8 @@ impl Attr {
         Attr::BlockCacheMisses,
         Attr::VfsReadBytes,
         Attr::VfsWriteBytes,
+        Attr::OpRowsIn,
+        Attr::OpRowsOut,
     ];
 
     /// Stable snake_case name used in every export format.
@@ -110,6 +118,8 @@ impl Attr {
             Attr::BlockCacheMisses => "block_cache_misses",
             Attr::VfsReadBytes => "vfs_read_bytes",
             Attr::VfsWriteBytes => "vfs_write_bytes",
+            Attr::OpRowsIn => "op_rows_in",
+            Attr::OpRowsOut => "op_rows_out",
         }
     }
 }

@@ -202,6 +202,7 @@ pub(crate) fn run_session(mut stream: TcpStream, ctx: &SessionContext) {
 fn statement_kind(stmt: &Statement) -> &'static str {
     match stmt {
         Statement::Select { .. } => "select",
+        Statement::Explain { .. } => "explain",
         Statement::Insert { .. } => "insert",
         Statement::Update { .. } => "update",
         Statement::Delete { .. } => "delete",

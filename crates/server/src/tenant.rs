@@ -125,6 +125,9 @@ pub fn confine_statement(stmt: &mut Statement, tenant: &str) {
                 confine_statement(s, tenant);
             }
         }
+        Statement::Explain { statement } => {
+            confine_statement(statement, tenant);
+        }
     }
 }
 

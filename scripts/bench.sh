@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Network benchmark: drives the sc-server front door over loopback and
-# records the numbers as BENCH_8.json in the repo root.
+# records the numbers as BENCH_9.json in the repo root.
 #
 #   scripts/bench.sh [clients] [rows]
 #
 # Defaults: 8 clients, 4000 rows across 2 tenants. Absolute numbers are
-# hardware-dependent; the committed BENCH_8.json records one run's shape
-# (ingest rows/sec, cold vs warm point-SELECT p50/p99, contended mixed
+# hardware-dependent; the committed BENCH_9.json records one run's shape
+# (ingest rows/sec, cold vs warm point-SELECT p50/p99, full-scan COUNT and
+# grouped-aggregate latency through the operator pipeline, contended mixed
 # read/write throughput, and crash-recovery WAL-replay time on reopen)
 # for comparison.
 set -euo pipefail
@@ -16,6 +17,6 @@ CLIENTS="${1:-8}"
 ROWS="${2:-4000}"
 
 cargo run --release -p sc-bench --bin repro -- \
-    netbench --clients "$CLIENTS" --rows "$ROWS" --out BENCH_8.json
+    netbench --clients "$CLIENTS" --rows "$ROWS" --out BENCH_9.json
 
-echo "bench.sh: wrote BENCH_8.json"
+echo "bench.sh: wrote BENCH_9.json"

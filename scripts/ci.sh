@@ -41,8 +41,22 @@ echo "$obs_out" | grep -q '"histograms"' || {
     exit 1
 }
 
+echo "==> sqllogictest tier (golden .slt scripts, memtable + flushed)"
+cargo test -q --release -p sc-nosql --test sqllogic
+
 echo "==> store-backed query smoke (warm identical query fetches zero rows)"
-query_out="$(cargo run --release -p sc-bench --bin repro -- query --scale 0.02)"
+query_out="$(cargo run --release -p sc-bench --bin repro -- query --scale 0.02 --explain)"
+# EXPLAIN smoke: a single-pk point query must plan to the bloom-checked
+# point-scan operator, never a full scan.
+echo "$query_out" | grep -q 'PointScan smartcity.dwarf_node key=.* (bloom+fence checked)' || {
+    echo "ci.sh: EXPLAIN of a pk point query does not name PointScan" >&2
+    exit 1
+}
+explain_tree="$(echo "$query_out" | sed -n '/EXPLAIN SELECT childrenIds/,/^$/p')"
+if echo "$explain_tree" | grep -q 'FullScan'; then
+    echo "ci.sh: EXPLAIN of a pk point query fell back to a full scan" >&2
+    exit 1
+fi
 echo "$query_out" | grep -q 'warm point query: store rows fetched 0' || {
     echo "ci.sh: repro query did not report a zero-fetch warm query" >&2
     exit 1
