@@ -1058,6 +1058,68 @@ fn netbench(clients: usize, rows: usize, out: Option<&str>) {
     server.shutdown();
     println!("netbench: server drained and joined");
 
+    // Compaction-stall phase: the same put workload twice, against an
+    // engine tuned so flushes (and the merges they trip) fire constantly.
+    // With `compaction_threads(0)` the merge runs inline on the commit
+    // path — the puts that trip it eat the whole merge in their latency.
+    // With the background pool the flush only *schedules* the merge, so
+    // the put tail must not carry merge-sized spikes.
+    let stall_rows = total_rows;
+    let stall_pass = |threads: usize| -> (Vec<u64>, u64) {
+        let before = sc_obs::Registry::global().snapshot();
+        let db = sc_nosql::SharedDb::open(
+            sc_nosql::OpenOptions::default()
+                .memtable_flush_bytes(8192)
+                .compaction_threshold(4)
+                .compaction_threads(threads),
+        )
+        .expect("open stall engine");
+        db.execute_cql("CREATE KEYSPACE bench").expect("keyspace");
+        db.execute_cql(
+            "CREATE TABLE bench.readings (id int, station text, bikes int, PRIMARY KEY (id))",
+        )
+        .expect("table");
+        let mut lat = Vec::with_capacity(stall_rows);
+        for id in 0..stall_rows {
+            let t = Instant::now();
+            db.execute_cql(&format!(
+                "INSERT INTO bench.readings (id, station, bikes) VALUES \
+                 ({id}, 'stall-phase padded station name {id}', {})",
+                id % 40
+            ))
+            .expect("stall insert");
+            lat.push(t.elapsed().as_micros() as u64);
+        }
+        db.drain_compactions();
+        let after = sc_obs::Registry::global().snapshot();
+        let merges = |snap: &sc_obs::RegistrySnapshot| {
+            snap.histogram("nosql.compaction.duration_ns")
+                .map(|h| h.count)
+                .unwrap_or(0)
+        };
+        let merged = merges(&after) - merges(&before);
+        lat.sort_unstable();
+        (lat, merged)
+    };
+    let (inline_lat, inline_merges) = stall_pass(0);
+    let (bg_lat, bg_merges) = stall_pass(2);
+    let (stall_inline_p50, stall_inline_p99) = (
+        percentile_us(&inline_lat, 0.50),
+        percentile_us(&inline_lat, 0.99),
+    );
+    let (stall_bg_p50, stall_bg_p99) = (percentile_us(&bg_lat, 0.50), percentile_us(&bg_lat, 0.99));
+    let stall_inline_max = inline_lat.last().copied().unwrap_or(0);
+    let stall_bg_max = bg_lat.last().copied().unwrap_or(0);
+    println!("compaction-stall ({stall_rows} puts, flush-heavy engine):");
+    println!(
+        "  inline merges ({inline_merges} merges)      \
+         p50 {stall_inline_p50:>5} us   p99 {stall_inline_p99:>5} us   max {stall_inline_max:>6} us"
+    );
+    println!(
+        "  background pool ({bg_merges} merges)   \
+         p50 {stall_bg_p50:>5} us   p99 {stall_bg_p99:>5} us   max {stall_bg_max:>6} us"
+    );
+
     // Recovery phase: ingest to a real on-disk engine, "kill" it by
     // dropping without a flush (everything lives in the WAL), and time the
     // replaying reopen — the startup cost an operator actually pays after
@@ -1114,7 +1176,7 @@ fn netbench(clients: usize, rows: usize, out: Option<&str>) {
 
     if let Some(path) = out {
         let json = format!(
-            "{{\n  \"bench\": \"netbench\",\n  \"pr\": 9,\n  \"config\": {{ \"clients\": {clients}, \"tenants\": {}, \"rows\": {total_rows}, \"queries_per_pass\": {} }},\n  \"ingest\": {{ \"rows\": {total_rows}, \"elapsed_ms\": {}, \"rows_per_sec\": {rows_per_sec:.0} }},\n  \"query_latency_us\": {{\n    \"cold\": {{ \"p50\": {cold_p50}, \"p99\": {cold_p99} }},\n    \"warm\": {{ \"p50\": {warm_p50}, \"p99\": {warm_p99} }}\n  }},\n  \"scan_aggregate\": {{ \"rows\": {t1_rows}, \"groups\": {groups}, \"count_us\": {{ \"cold\": {count_cold_us}, \"warm\": {count_warm_us} }}, \"group_by_us\": {{ \"cold\": {group_cold_us}, \"warm\": {group_warm_us} }} }},\n  \"contended\": {{ \"writers\": {clients}, \"readers\": {clients}, \"rows\": {contended_rows}, \"rows_per_sec\": {contended_rows_per_sec:.0}, \"read_p50\": {cont_p50}, \"read_p99\": {cont_p99} }},\n  \"recovery\": {{ \"rows\": {recovery_rows}, \"ingest_ms\": {}, \"replay_ms\": {}, \"replay_rows_per_sec\": {replay_rows_per_sec:.0} }}\n}}\n",
+            "{{\n  \"bench\": \"netbench\",\n  \"pr\": 10,\n  \"config\": {{ \"clients\": {clients}, \"tenants\": {}, \"rows\": {total_rows}, \"queries_per_pass\": {} }},\n  \"ingest\": {{ \"rows\": {total_rows}, \"elapsed_ms\": {}, \"rows_per_sec\": {rows_per_sec:.0} }},\n  \"query_latency_us\": {{\n    \"cold\": {{ \"p50\": {cold_p50}, \"p99\": {cold_p99} }},\n    \"warm\": {{ \"p50\": {warm_p50}, \"p99\": {warm_p99} }}\n  }},\n  \"scan_aggregate\": {{ \"rows\": {t1_rows}, \"groups\": {groups}, \"count_us\": {{ \"cold\": {count_cold_us}, \"warm\": {count_warm_us} }}, \"group_by_us\": {{ \"cold\": {group_cold_us}, \"warm\": {group_warm_us} }} }},\n  \"contended\": {{ \"writers\": {clients}, \"readers\": {clients}, \"rows\": {contended_rows}, \"rows_per_sec\": {contended_rows_per_sec:.0}, \"read_p50\": {cont_p50}, \"read_p99\": {cont_p99} }},\n  \"compaction_stall_put_us\": {{ \"rows\": {stall_rows}, \"inline\": {{ \"merges\": {inline_merges}, \"p50\": {stall_inline_p50}, \"p99\": {stall_inline_p99}, \"max\": {stall_inline_max} }}, \"background\": {{ \"threads\": 2, \"merges\": {bg_merges}, \"p50\": {stall_bg_p50}, \"p99\": {stall_bg_p99}, \"max\": {stall_bg_max} }} }},\n  \"recovery\": {{ \"rows\": {recovery_rows}, \"ingest_ms\": {}, \"replay_ms\": {}, \"replay_rows_per_sec\": {replay_rows_per_sec:.0} }}\n}}\n",
             tenants.len(),
             cold.len(),
             ingest_elapsed.as_millis(),

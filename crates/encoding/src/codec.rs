@@ -84,6 +84,12 @@ impl Encoder {
         self.buf.is_empty()
     }
 
+    /// Empties the buffer, keeping its allocation (scratch-buffer reuse in
+    /// per-record hot loops).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Writes a single raw byte.
     pub fn put_u8(&mut self, v: u8) -> &mut Self {
         self.buf.push(v);

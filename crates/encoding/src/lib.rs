@@ -12,6 +12,9 @@
 //!   pair with length-prefixed strings and byte slices,
 //! * [`block`] — the fixed-target data-block codec SSTable v2 packs
 //!   records into,
+//! * [`columnar`] — the column-run primitives (packed bitmaps, zig-zag
+//!   delta runs, byte-string dictionaries) SSTable v3 builds its
+//!   column-major blocks from,
 //! * [`bloom`] — Bloom filters answering SSTable v2 point misses without
 //!   touching data blocks,
 //! * [`checksum`] — a from-scratch CRC-32 (IEEE) used by commit logs and
@@ -30,6 +33,7 @@ pub mod bloom;
 pub mod bytesize;
 pub mod checksum;
 pub mod codec;
+pub mod columnar;
 pub mod hash;
 pub mod overhead;
 pub mod rng;
@@ -40,5 +44,6 @@ pub use bloom::Bloom;
 pub use bytesize::ByteSize;
 pub use checksum::Crc32;
 pub use codec::{DecodeError, Decoder, Encoder};
+pub use columnar::{decode_dict, decode_i64_deltas, encode_i64_deltas, Bitmap, DictBuilder};
 pub use hash::{fnv1a_64, FnvBuildHasher, FnvHashMap, FnvHashSet};
 pub use rng::Rng;

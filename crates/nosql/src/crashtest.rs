@@ -72,6 +72,11 @@ fn tiny_open(vfs: Vfs) -> OpenOptions {
         // Small segments so the matrix crosses WAL rotation and post-flush
         // checkpoint deletion, not just single-file append.
         .wal_segment_bytes(1024)
+        // Inline compaction: the sweep counts every mutating storage op and
+        // crashes at each one deterministically, so nothing may run off the
+        // driving thread (a background merge would also outlive the crashed
+        // engine and mutate the VFS during the *recovering* engine's open).
+        .compaction_threads(0)
 }
 
 /// The statement that was executing when the crash fired.

@@ -26,6 +26,7 @@
 
 use crate::cache::{BlockCache, CacheStats, DEFAULT_BLOCK_CACHE_BYTES};
 use crate::commitlog::{CommitLog, GroupCommitLog, LogRecord, WalError};
+use crate::compactor::CompactionPool;
 use crate::cql::ast::{Statement, TableRef, WhereClause};
 use crate::cql::parse_statement;
 use crate::error::{NosqlError, Result};
@@ -78,6 +79,7 @@ pub struct OpenOptions {
     block_cache_bytes: Option<usize>,
     group_commit_delay: Duration,
     wal_segment_bytes: Option<u64>,
+    compaction_threads: Option<usize>,
 }
 
 impl OpenOptions {
@@ -134,6 +136,18 @@ impl OpenOptions {
     /// latency for larger batches under contention.
     pub fn group_commit_delay(mut self, delay: Duration) -> OpenOptions {
         self.group_commit_delay = delay;
+        self
+    }
+
+    /// Background compaction worker threads (default 2). A flush that
+    /// crosses the SSTable threshold enqueues its table for these workers
+    /// and returns, so commits never wait for a multi-SSTable merge;
+    /// distinct tables (base and hidden index column families included)
+    /// compact in parallel across the pool. `0` disables the pool and runs
+    /// the merge inline on the flushing thread — deterministic, which is
+    /// what the fault-injection crash tests pin.
+    pub fn compaction_threads(mut self, threads: usize) -> OpenOptions {
+        self.compaction_threads = Some(threads);
         self
     }
 
@@ -200,10 +214,17 @@ pub(crate) struct DbCore {
     state: RwLock<EngineState>,
     wal: GroupCommitLog,
     pub(crate) tracker: SeqTracker,
-    pub(crate) registry: SnapshotRegistry,
+    /// `Arc` so background compaction jobs can hold the registry across
+    /// the engine's locks; every in-process use goes through deref.
+    pub(crate) registry: Arc<SnapshotRegistry>,
     options: DbOptions,
     /// Shared across every table's SSTables; see [`BlockCache`].
     cache: BlockCache,
+    /// Background compaction workers; `None` when
+    /// [`OpenOptions::compaction_threads`] is 0 (merges then run inline on
+    /// the flushing thread). Dropping the core drains and joins the pool,
+    /// so close never abandons a scheduled merge.
+    pool: Option<CompactionPool>,
 }
 
 impl DbCore {
@@ -223,7 +244,7 @@ impl DbCore {
             }),
             wal: GroupCommitLog::new(log, options.group_commit_delay),
             tracker: SeqTracker::new(),
-            registry: SnapshotRegistry::new(),
+            registry: Arc::new(SnapshotRegistry::new()),
             options: DbOptions {
                 table: options.table,
             },
@@ -232,6 +253,10 @@ impl DbCore {
                     .block_cache_bytes
                     .unwrap_or(DEFAULT_BLOCK_CACHE_BYTES),
             ),
+            pool: {
+                let threads = options.compaction_threads.unwrap_or(2);
+                (threads > 0).then(|| CompactionPool::new(threads))
+            },
         };
         if options.recover {
             core.recover_state()?;
@@ -276,7 +301,7 @@ impl DbCore {
                 }
             }
         }
-        self.sweep_orphans(&live)?;
+        self.sweep_orphans(&state, &live)?;
         // Replay surviving commit-log records; `repair` truncates a torn
         // final record so later appends stay reachable.
         let records = self.wal.plain().repair()?;
@@ -364,10 +389,24 @@ impl DbCore {
     /// Deletes SSTable files the manifest does not consider live: leftovers
     /// of flushes/compactions that crashed between writing data and
     /// publishing it, or after publishing a swap but before deleting inputs.
-    fn sweep_orphans(&self, live: &BTreeMap<String, Vec<String>>) -> Result<()> {
+    ///
+    /// Every orphan's id is reserved on its owning table *before* the file
+    /// goes away. A crashed flush or merge can leave `sst-N` on disk with
+    /// `N` above everything the manifest lists; seeding `next_sst_id` from
+    /// manifest files alone would hand the very next flush that same name —
+    /// and if the sweep's delete is itself interrupted, the reused name
+    /// would collide with the stale bytes on the following recovery.
+    fn sweep_orphans(
+        &self,
+        state: &EngineState,
+        live: &BTreeMap<String, Vec<String>>,
+    ) -> Result<()> {
         let live_files: HashSet<&str> = live.values().flatten().map(String::as_str).collect();
         for file in self.vfs.list("")? {
             if file.contains("/sst-") && !live_files.contains(file.as_str()) {
+                for table in state.tables.values() {
+                    table.reserve_sst_id(&file);
+                }
                 self.vfs.delete(&file)?;
             }
         }
@@ -643,8 +682,18 @@ impl DbCore {
         // Completing the sequences publishes the writes to the watermark.
         drop(guards);
         let mut flushed = false;
-        for table in touched {
-            flushed |= table.maybe_flush(&self.tracker, &self.registry)?;
+        for table in &touched {
+            if table.maybe_flush(&self.tracker, &self.registry)? {
+                flushed = true;
+                // The flush may have crossed the compaction threshold.
+                // Hand the merge to the background pool (or run it here
+                // when the pool is disabled) — never inside the flush
+                // itself, which would stall this commit and, through the
+                // WAL group, every commit behind it.
+                if table.needs_compaction() {
+                    self.schedule_compaction(table)?;
+                }
+            }
         }
         if flushed {
             // A flush just made a WAL prefix redundant; drop any commit-log
@@ -953,6 +1002,13 @@ impl DbCore {
         let rebuild = |state: &mut EngineState, name: &str| -> Result<()> {
             let qualified = format!("{}.{}", def.keyspace, name);
             let fresh_def = (**state.catalog.table(&def.keyspace, name)?).clone();
+            // A background compaction job may still hold the old runtime:
+            // retire it first, which waits out any in-flight merge and
+            // turns later jobs into no-ops, so nothing re-publishes the
+            // files this TRUNCATE is about to delete.
+            if let Some(old) = state.tables.get(&qualified) {
+                old.retire();
+            }
             // Retire the files from the manifest first (one atomic record):
             // a crash mid-delete then leaves orphans for recovery to sweep,
             // never a manifest pointing at half-deleted tables.
@@ -1078,9 +1134,33 @@ impl DbCore {
     fn checkpoint_all_locked(&self, state: &EngineState) -> Result<()> {
         for table in state.tables.values() {
             table.flush(&self.tracker, &self.registry)?;
+            if table.needs_compaction() {
+                self.schedule_compaction(table)?;
+            }
         }
         self.wal.plain().truncate()?;
         Ok(())
+    }
+
+    /// Post-flush compaction hook. With a pool, enqueue the table (its
+    /// queue slot collapses duplicate schedules) and return immediately;
+    /// with `compaction_threads = 0`, merge inline right here.
+    fn schedule_compaction(&self, table: &Arc<TableCore>) -> Result<()> {
+        match &self.pool {
+            Some(pool) => {
+                pool.schedule(table, &self.registry);
+                Ok(())
+            }
+            None => table.compact_tiered(&self.registry),
+        }
+    }
+
+    /// Blocks until every queued background compaction has finished (a
+    /// no-op with `compaction_threads = 0`).
+    pub(crate) fn drain_compactions(&self) {
+        if let Some(pool) = &self.pool {
+            pool.drain();
+        }
     }
 
     /// Compacts every table fully.
@@ -1104,7 +1184,12 @@ impl DbCore {
 
     /// Total on-disk size of a keyspace: all tables including hidden index
     /// column families. This is the paper's `size_as_mb` measurement.
+    ///
+    /// Waits out any queued background merges first: a size probed while a
+    /// merge is mid-flight would count inputs and output both (or neither
+    /// merged), making the number racy.
     pub(crate) fn keyspace_size(&self, keyspace: &str) -> Result<ByteSize> {
+        self.drain_compactions();
         let state = self.read_state();
         state.catalog.tables_in(keyspace)?; // validates the keyspace
         let mut total = 0;
@@ -1194,6 +1279,13 @@ impl Db {
     /// Compacts every table fully.
     pub fn compact_all(&mut self) -> Result<()> {
         self.core.compact_all()
+    }
+
+    /// Blocks until every queued background compaction has finished (a
+    /// no-op with [`OpenOptions::compaction_threads`] 0). Call before
+    /// asserting on SSTable counts or measuring steady-state disk size.
+    pub fn drain_compactions(&self) {
+        self.core.drain_compactions()
     }
 
     /// On-disk size of one table's SSTables (hidden index tables *not*
@@ -1287,6 +1379,12 @@ impl SharedDb {
     /// Compacts every table fully.
     pub fn compact_all(&self) -> Result<()> {
         self.core.compact_all()
+    }
+
+    /// Blocks until every queued background compaction has finished (a
+    /// no-op with [`OpenOptions::compaction_threads`] 0).
+    pub fn drain_compactions(&self) {
+        self.core.drain_compactions()
     }
 
     /// On-disk size of one table's SSTables.

@@ -35,6 +35,13 @@ pub enum NosqlError {
     AlreadyExists(String),
     /// A WHERE clause the engine cannot serve (no index, not the key).
     Unsupported(String),
+    /// A `SUM`/`AVG` running total left the 64-bit integer range. The
+    /// statement fails rather than wrapping silently (the old behavior
+    /// returned an arbitrary wrapped total).
+    AggregateOverflow {
+        /// The aggregate that overflowed (`"SUM"` or `"AVG"`).
+        func: &'static str,
+    },
     /// Underlying storage failure.
     Storage(StorageError),
     /// Corrupt on-disk data.
@@ -62,6 +69,9 @@ impl fmt::Display for NosqlError {
                 write!(f, "INSERT must bind primary key column {c:?}")
             }
             NosqlError::AlreadyExists(what) => write!(f, "{what} already exists"),
+            NosqlError::AggregateOverflow { func } => {
+                write!(f, "{func} aggregate overflowed the 64-bit integer range")
+            }
             NosqlError::Unsupported(m) => write!(f, "unsupported query: {m}"),
             NosqlError::Storage(e) => write!(f, "storage error: {e}"),
             NosqlError::Corrupt(m) => write!(f, "corrupt data: {m}"),

@@ -2,7 +2,7 @@
 
 use super::{Operator, RowBatch, BATCH_ROWS};
 use crate::cql::ast::AggFunc;
-use crate::error::Result;
+use crate::error::{NosqlError, Result};
 use crate::plan::{AggOutput, AggSpec};
 use crate::types::CqlValue;
 use std::cmp::Ordering;
@@ -46,22 +46,32 @@ struct AggState {
 }
 
 impl AggState {
-    fn accumulate(&mut self, spec: &AggSpec, row: &[CqlValue]) {
+    fn accumulate(&mut self, spec: &AggSpec, row: &[CqlValue]) -> Result<()> {
         let Some(arg) = spec.input else {
             // COUNT(*): every row counts.
             self.count += 1;
-            return;
+            return Ok(());
         };
         let value = &row[arg];
         if value.is_null() {
             // SQL aggregate semantics: nulls do not participate.
-            return;
+            return Ok(());
         }
         self.count += 1;
         match spec.func {
             AggFunc::Count => {}
             AggFunc::Sum | AggFunc::Avg => {
-                self.sum = self.sum.wrapping_add(value.as_int().unwrap_or(0));
+                // Checked, not wrapping: a wrapped running total silently
+                // returns an arbitrary number (and the old `wrapping_add`
+                // hid a debug-build panic behind large SUMs).
+                self.sum = self.sum.checked_add(value.as_int().unwrap_or(0)).ok_or(
+                    NosqlError::AggregateOverflow {
+                        func: match spec.func {
+                            AggFunc::Sum => "SUM",
+                            _ => "AVG",
+                        },
+                    },
+                )?;
             }
             AggFunc::Min => {
                 let better = self
@@ -82,6 +92,7 @@ impl AggState {
                 }
             }
         }
+        Ok(())
     }
 
     fn finish(&self, spec: &AggSpec) -> CqlValue {
@@ -140,7 +151,7 @@ impl Aggregate {
                 let key = GroupKey(self.group_by.iter().map(|&i| row[i].clone()).collect());
                 let states = groups.entry(key).or_insert_with(|| fresh(&self.aggs));
                 for (state, spec) in states.iter_mut().zip(&self.aggs) {
-                    state.accumulate(spec, row);
+                    state.accumulate(spec, row)?;
                 }
             }
         }
@@ -180,5 +191,73 @@ impl Operator for Aggregate {
         let iter = self.results.as_mut().expect("aggregated above");
         let rows: Vec<Vec<CqlValue>> = iter.take(BATCH_ROWS).collect();
         Ok((!rows.is_empty()).then_some(RowBatch { rows }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::NosqlError;
+
+    /// Feeds a fixed row set through the operator interface once.
+    struct Rows(Option<Vec<Vec<CqlValue>>>);
+
+    impl Operator for Rows {
+        fn name(&self) -> &'static str {
+            "Rows"
+        }
+
+        fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+            Ok(self.0.take().map(|rows| RowBatch { rows }))
+        }
+    }
+
+    fn sum_of(values: Vec<i64>, func: AggFunc) -> Result<Vec<Vec<CqlValue>>> {
+        let rows = values.into_iter().map(|v| vec![CqlValue::Int(v)]).collect();
+        let mut agg = Aggregate::new(
+            Box::new(Rows(Some(rows))),
+            Vec::new(),
+            vec![AggSpec {
+                func,
+                input: Some(0),
+                column: Some("v".to_string()),
+            }],
+            vec![AggOutput::Agg(0)],
+        );
+        super::super::drain(&mut agg)
+    }
+
+    #[test]
+    fn sum_overflow_is_a_typed_error_not_a_wrap() {
+        let err = sum_of(vec![i64::MAX, 1], AggFunc::Sum).unwrap_err();
+        assert!(
+            matches!(err, NosqlError::AggregateOverflow { func: "SUM" }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn sum_underflow_is_a_typed_error() {
+        let err = sum_of(vec![i64::MIN, -1], AggFunc::Sum).unwrap_err();
+        assert!(
+            matches!(err, NosqlError::AggregateOverflow { func: "SUM" }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn avg_overflow_is_a_typed_error() {
+        // AVG's *running sum* overflows even though the mean would fit.
+        let err = sum_of(vec![i64::MAX, i64::MAX], AggFunc::Avg).unwrap_err();
+        assert!(
+            matches!(err, NosqlError::AggregateOverflow { func: "AVG" }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn in_range_sums_still_work() {
+        let rows = sum_of(vec![i64::MAX - 1, 1, -2, 2], AggFunc::Sum).unwrap();
+        assert_eq!(rows, vec![vec![CqlValue::Int(i64::MAX)]]);
     }
 }

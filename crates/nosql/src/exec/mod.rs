@@ -103,6 +103,7 @@ pub fn build(plan: &PlanNode, cores: &Cores, bound: u64) -> Box<dyn Operator> {
                 Arc::clone(&cores.base),
                 node.residual.clone(),
                 node.pushed_limit,
+                node.projection.as_ref().map(|p| p.indices.clone()),
                 bound,
             )),
         },

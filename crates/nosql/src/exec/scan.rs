@@ -174,6 +174,10 @@ pub struct FullScan {
     core: Arc<TableCore>,
     residual: Vec<Predicate>,
     remaining: Option<usize>,
+    /// Base-layout columns to materialize (`None` = all): v3 SSTables
+    /// decode only these column runs, leaving the rest `Null`. The planner
+    /// guarantees every column read above the scan is in the set.
+    projection: Option<Vec<usize>>,
     rows: Option<std::vec::IntoIter<(Vec<u8>, Row)>>,
     bound: u64,
 }
@@ -183,12 +187,14 @@ impl FullScan {
         core: Arc<TableCore>,
         residual: Vec<Predicate>,
         pushed_limit: Option<usize>,
+        projection: Option<Vec<usize>>,
         bound: u64,
     ) -> FullScan {
         FullScan {
             core,
             residual,
             remaining: pushed_limit,
+            projection,
             rows: None,
             bound,
         }
@@ -202,7 +208,11 @@ impl Operator for FullScan {
 
     fn next_batch(&mut self) -> Result<Option<RowBatch>> {
         if self.rows.is_none() {
-            self.rows = Some(self.core.scan(self.bound)?.into_iter());
+            self.rows = Some(
+                self.core
+                    .scan_projected(self.bound, self.projection.as_deref())?
+                    .into_iter(),
+            );
         }
         if self.remaining == Some(0) {
             return Ok(None);

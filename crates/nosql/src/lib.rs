@@ -43,7 +43,9 @@
 //! acknowledged writes.
 
 pub mod cache;
+pub(crate) mod colblock;
 pub mod commitlog;
+pub(crate) mod compactor;
 pub mod cql;
 pub mod crashtest;
 pub mod engine;

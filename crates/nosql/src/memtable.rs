@@ -199,6 +199,36 @@ impl ShardedMemtable {
             .sum()
     }
 
+    /// Flush phase zero: the entries [`ShardedMemtable::drain_up_to`]
+    /// would remove at `boundary`, cloned without removing anything. The
+    /// flush publishes these as the frozen run *first* and only then
+    /// drains, so every acked version is findable in at least one layer at
+    /// every instant. Draining before publishing had a window — after a
+    /// shard gave up its versions, before the frozen run appeared — where
+    /// a concurrent point read fell through every layer and served an
+    /// *older* version of an acknowledged write.
+    ///
+    /// A version committed between the peek and the drain has a sequence
+    /// above `boundary` (the visible watermark at flush start), so it can
+    /// shadow a peeked version but never changes the peeked set itself;
+    /// the drain then leaves the newly-shadowed version in its shard,
+    /// which is merely a duplicate of what the frozen run (and then the
+    /// SSTable) already serves.
+    pub fn peek_up_to(&self, boundary: u64) -> BTreeMap<Vec<u8>, (Option<Row>, u64)> {
+        let mut staged = BTreeMap::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (key, versions) in &shard.entries {
+                if let Some(v) = versions.iter().find(|v| v.seq <= boundary) {
+                    if v.shadow == u64::MAX {
+                        staged.insert(key.clone(), (v.row.clone(), v.seq));
+                    }
+                }
+            }
+        }
+        staged
+    }
+
     /// Flush phase one: removes, per key, the newest version at or below
     /// `boundary` (the visible watermark at flush start, so every drained
     /// sequence is fully committed) — but only when that version is the

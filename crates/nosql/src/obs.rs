@@ -23,6 +23,8 @@
 //! | `nosql.bloom.hit`              | counter   | filter said maybe and the key was there  |
 //! | `nosql.bloom.miss`             | counter   | filter ruled the key out (no block read) |
 //! | `nosql.bloom.false_positive`   | counter   | filter said maybe but the key was absent |
+//! | `nosql.read.cols_read`         | counter   | column runs decoded by projected scans   |
+//! | `nosql.read.cols_skipped`      | counter   | column runs pruned without decoding      |
 //! | `nosql.block_cache.hit`        | counter   | block served from the shared cache       |
 //! | `nosql.block_cache.miss`       | counter   | block read from the VFS                  |
 //! | `nosql.block_cache.evict`      | counter   | block evicted to stay within budget      |
@@ -55,6 +57,8 @@ pub(crate) struct NosqlObs {
     pub bloom_hit: Counter,
     pub bloom_miss: Counter,
     pub bloom_false_positive: Counter,
+    pub cols_read: Counter,
+    pub cols_skipped: Counter,
     pub block_cache_hit: Counter,
     pub block_cache_miss: Counter,
     pub block_cache_evict: Counter,
@@ -89,6 +93,8 @@ pub(crate) fn nosql() -> &'static NosqlObs {
             bloom_hit: r.counter("nosql.bloom.hit"),
             bloom_miss: r.counter("nosql.bloom.miss"),
             bloom_false_positive: r.counter("nosql.bloom.false_positive"),
+            cols_read: r.counter("nosql.read.cols_read"),
+            cols_skipped: r.counter("nosql.read.cols_skipped"),
             block_cache_hit: r.counter("nosql.block_cache.hit"),
             block_cache_miss: r.counter("nosql.block_cache.miss"),
             block_cache_evict: r.counter("nosql.block_cache.evict"),

@@ -40,6 +40,13 @@ fn describe(node: &PlanNode) -> String {
             if let Some(n) = scan.pushed_limit {
                 s.push_str(&format!(" limit={n}"));
             }
+            if let Some(p) = &scan.projection {
+                s.push_str(&format!(
+                    " cols=[{}] (+{} pruned)",
+                    p.names.join(", "),
+                    p.pruned
+                ));
+            }
             s
         }
         PlanNode::Filter { predicates, .. } => format!("Filter {}", preds(predicates)),

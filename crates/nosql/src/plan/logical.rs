@@ -106,8 +106,25 @@ pub struct ScanNode {
     pub residual: Vec<Predicate>,
     /// Row cap applied inside the scan, counted after `residual`.
     pub pushed_limit: Option<usize>,
+    /// Column pruning applied by the scan (full scans only). `None` means
+    /// every column is materialized.
+    pub projection: Option<ScanProjection>,
     /// Estimates.
     pub est: Estimate,
+}
+
+/// The columns a full scan materializes: the select list plus every
+/// predicate and sort-key column. v3 SSTables skip decoding the column
+/// runs outside `indices`; pruned cells surface as `Null` and are never
+/// read above the scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanProjection {
+    /// Base-layout indices to materialize, sorted ascending.
+    pub indices: Vec<usize>,
+    /// The same columns by name (for `EXPLAIN`).
+    pub names: Vec<String>,
+    /// Base-layout columns pruned (schema width minus `indices`).
+    pub pruned: usize,
 }
 
 /// One aggregate computed by an [`PlanNode::Aggregate`].

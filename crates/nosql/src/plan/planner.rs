@@ -24,7 +24,8 @@
 //! * grouped aggregation estimates `√n` output groups.
 
 use super::logical::{
-    AggOutput, AggSpec, Estimate, PlanNode, PredTest, Predicate, ScanKind, ScanNode, SelectPlan,
+    AggOutput, AggSpec, Estimate, PlanNode, PredTest, Predicate, ScanKind, ScanNode,
+    ScanProjection, SelectPlan,
 };
 use crate::cql::ast::{AggFunc, OrderBy, SelectColumns, SelectItem, WhereClause};
 use crate::error::{NosqlError, Result};
@@ -191,6 +192,7 @@ fn choose_access(
                 kind: ScanKind::Full,
                 residual: preds,
                 pushed_limit: None,
+                projection: None,
                 est: Estimate {
                     rows: filtered,
                     cost,
@@ -267,10 +269,57 @@ fn choose_access(
             kind,
             residual: Vec::new(),
             pushed_limit: None,
+            projection: None,
             est,
         },
         preds,
     )
+}
+
+/// Columns a full scan must materialize for this query: the select list
+/// (or grouping columns and aggregate inputs), every predicate column, and
+/// a base-layout `ORDER BY` key. `None` when the query touches every
+/// column (`SELECT *`, or the union covers the schema) — v3 SSTables skip
+/// decoding everything outside the returned set.
+fn scan_projection(
+    def: &TableDef,
+    projection: &Projection,
+    residual: &[Predicate],
+    remaining: &[Predicate],
+    order_by: Option<&OrderBy>,
+) -> Result<Option<ScanProjection>> {
+    let mut needed: std::collections::BTreeSet<usize> = match projection {
+        Projection::All => return Ok(None),
+        Projection::Columns { indices, .. } => indices.iter().copied().collect(),
+        Projection::Aggregate { group_by, aggs, .. } => group_by
+            .iter()
+            .copied()
+            .chain(aggs.iter().filter_map(|a| a.input))
+            .collect(),
+    };
+    for p in residual.iter().chain(remaining) {
+        needed.insert(p.index);
+    }
+    // An aggregate's ORDER BY resolves against its output (already
+    // covered); otherwise the sort key reads the base layout.
+    if let Some(o) = order_by {
+        if !matches!(projection, Projection::Aggregate { .. }) {
+            needed.insert(resolve_column(def, &o.column)?);
+        }
+    }
+    if needed.len() >= def.columns.len() {
+        return Ok(None);
+    }
+    let indices: Vec<usize> = needed.into_iter().collect();
+    let names = indices
+        .iter()
+        .map(|&i| def.columns[i].name.clone())
+        .collect();
+    Ok(Some(ScanProjection {
+        pruned: def.columns.len() - indices.len(),
+        names,
+        indices,
+    }))
 }
 
 /// The validated shape of the select list.
@@ -455,7 +504,10 @@ pub fn plan_select(
 ) -> Result<SelectPlan> {
     let preds = resolve_predicates(def, where_clause)?;
     let projection = resolve_projection(def, columns, group_by)?;
-    let (scan, remaining) = choose_access(def, preds, stats);
+    let (mut scan, remaining) = choose_access(def, preds, stats);
+    if scan.kind == ScanKind::Full {
+        scan.projection = scan_projection(def, &projection, &scan.residual, &remaining, order_by)?;
+    }
     let mut node = PlanNode::Scan(scan);
     if !remaining.is_empty() {
         let Estimate { rows, cost } = node.estimate();

@@ -1,9 +1,20 @@
 //! SSTables: immutable sorted string tables flushed from memtables.
 //!
-//! Two on-disk formats share one reader:
+//! Three on-disk formats share one reader, sniffed by the footer magic:
 //!
-//! **v2 (written by [`write_sstable`], magic `STB2`)** — block-based, the
-//! layout real LSM engines use:
+//! **v3 (written by [`write_sstable`], magic `STB3`)** — block-based like
+//! v2, but each ~4 KiB data block stores its records **column-major** (see
+//! [`crate::colblock`] and DESIGN.md §5i): per-column contiguous runs with
+//! varint-delta integers, dictionary text, boolean/null bitmaps, plus a
+//! verbatim row fallback for non-canonical bodies. The meta region —
+//! entry count, min/max key fences, bloom filter, per-block first key /
+//! offset / len / CRC / count — and the footer are byte-identical to v2,
+//! so fences, bloom filters and per-block CRCs work unchanged. Projected
+//! scans ([`SsTable::scan_rows`]) decode only the column chunks the query
+//! needs.
+//!
+//! **v2 (written by [`write_sstable_v2`], magic `STB2`)** — block-based
+//! with row-major (key, payload) records:
 //!
 //! ```text
 //! [ data blocks... ][ meta ][ footer ]
@@ -23,20 +34,23 @@
 //! **v1 (written by [`write_sstable_v1`], magic `STB1`)** — the legacy
 //! dense-index layout: `[ entries ][ index ][ footer ]` with one resident
 //! `(key, offset)` pair per entry. Still fully readable; new tables are
-//! always written as v2.
+//! always written as v3.
 //!
 //! Every decoded geometry field is validated at open (checked arithmetic,
 //! monotone offsets, bounded allocations), so a corrupt or truncated file
-//! of either version surfaces as [`NosqlError::Corrupt`], never a panic.
+//! of any version surfaces as [`NosqlError::Corrupt`], never a panic.
 
 use crate::cache::BlockCache;
+use crate::colblock;
 use crate::error::{NosqlError, Result};
+use crate::row::Row;
 use sc_encoding::{BlockBuilder, BlockIter, Bloom, Crc32, Decoder, Encoder, BLOCK_TARGET_BYTES};
 use sc_storage::Vfs;
 use std::sync::Arc;
 
 const MAGIC_V1: u32 = 0x5354_4231; // "STB1"
 const MAGIC_V2: u32 = 0x5354_4232; // "STB2"
+const MAGIC_V3: u32 = 0x5354_4233; // "STB3"
 const FOOTER_LEN: u64 = 24;
 
 /// One record offered to the writer / returned by readers.
@@ -96,7 +110,7 @@ fn ensure_sorted(file: &str, entries: &[SstEntry]) -> Result<()> {
     Ok(())
 }
 
-fn encode_payload(e: &SstEntry) -> Vec<u8> {
+pub(crate) fn encode_payload(e: &SstEntry) -> Vec<u8> {
     let mut payload = Encoder::with_capacity(9 + e.body.as_ref().map_or(0, Vec::len));
     match &e.body {
         Some(body) => {
@@ -112,7 +126,7 @@ fn encode_payload(e: &SstEntry) -> Vec<u8> {
     payload.into_bytes()
 }
 
-fn decode_payload(file: &str, key: &[u8], payload: &[u8]) -> Result<SstEntry> {
+pub(crate) fn decode_payload(file: &str, key: &[u8], payload: &[u8]) -> Result<SstEntry> {
     if payload.len() < 9 {
         return Err(NosqlError::Corrupt(format!(
             "{file}: record payload shorter than its fixed header"
@@ -142,8 +156,87 @@ fn decode_payload(file: &str, key: &[u8], payload: &[u8]) -> Result<SstEntry> {
     })
 }
 
-/// Writes a sorted run of entries as one block-based (v2) SSTable file.
+/// Appends the shared block-format meta region and footer (v2 and v3
+/// differ only in block payload encoding and magic).
+fn write_meta_and_footer(
+    mut out: Encoder,
+    entries: &[SstEntry],
+    filter: &Bloom,
+    blocks: &[BlockMeta],
+    magic: u32,
+) -> Vec<u8> {
+    let mut meta = Encoder::new();
+    meta.put_u64(entries.len() as u64);
+    if let (Some(first), Some(last)) = (entries.first(), entries.last()) {
+        meta.put_bytes(&first.key);
+        meta.put_bytes(&last.key);
+    }
+    filter.encode(&mut meta);
+    meta.put_u64(blocks.len() as u64);
+    for b in blocks {
+        meta.put_bytes(&b.first_key);
+        meta.put_u64(b.offset);
+        meta.put_u64(b.len);
+        meta.put_u32_fixed(b.crc);
+        meta.put_u64(b.count);
+    }
+    let meta_bytes = meta.into_bytes();
+    let meta_offset = out.len() as u64;
+    let meta_crc = Crc32::of(&meta_bytes);
+    out.put_raw(&meta_bytes);
+    out.put_u64_fixed(meta_offset);
+    out.put_u64_fixed(meta_bytes.len() as u64);
+    out.put_u32_fixed(meta_crc);
+    out.put_u32_fixed(magic);
+    out.into_bytes()
+}
+
+/// Writes a sorted run of entries as one column-major (v3) SSTable file —
+/// the format the engine flushes and compacts to.
 pub fn write_sstable(vfs: &Vfs, file: &str, entries: &[SstEntry]) -> Result<()> {
+    ensure_sorted(file, entries)?;
+    let mut data = Encoder::new();
+    let mut blocks: Vec<BlockMeta> = Vec::new();
+    let mut filter = Bloom::with_capacity(entries.len(), sc_encoding::bloom::DEFAULT_BITS_PER_KEY);
+    let mut close_block = |data: &mut Encoder, run: &[SstEntry]| {
+        let bytes = colblock::encode_block(run);
+        blocks.push(BlockMeta {
+            first_key: run[0].key.clone(),
+            offset: data.len() as u64,
+            len: bytes.len() as u64,
+            crc: Crc32::of(&bytes),
+            count: run.len() as u64,
+        });
+        data.put_raw(&bytes);
+    };
+    let mut start = 0usize;
+    let mut pending = 0usize;
+    for (i, e) in entries.iter().enumerate() {
+        filter.insert(&e.key);
+        // Same never-split-a-record sizing rule as the v2 BlockBuilder:
+        // close once the approximate row-major footprint reaches the
+        // target (the columnar form is usually smaller).
+        pending += e.key.len() + 9 + e.body.as_ref().map_or(0, Vec::len) + 4;
+        if pending >= BLOCK_TARGET_BYTES {
+            close_block(&mut data, &entries[start..=i]);
+            start = i + 1;
+            pending = 0;
+        }
+    }
+    if start < entries.len() {
+        close_block(&mut data, &entries[start..]);
+    }
+    let out = write_meta_and_footer(data, entries, &filter, &blocks, MAGIC_V3);
+    vfs.append(file, &out)?;
+    Ok(())
+}
+
+/// Writes a sorted run of entries as one row-major block-based (v2)
+/// SSTable file.
+///
+/// Kept so compatibility and corruption tests can produce v2 files; the
+/// engine itself now writes v3. [`SsTable::open`] reads all versions.
+pub fn write_sstable_v2(vfs: &Vfs, file: &str, entries: &[SstEntry]) -> Result<()> {
     ensure_sorted(file, entries)?;
     let mut data = Encoder::new();
     let mut blocks: Vec<BlockMeta> = Vec::new();
@@ -171,32 +264,8 @@ pub fn write_sstable(vfs: &Vfs, file: &str, entries: &[SstEntry]) -> Result<()> 
     if !builder.is_empty() {
         close_block(&mut data, builder);
     }
-
-    let mut meta = Encoder::new();
-    meta.put_u64(entries.len() as u64);
-    if let (Some(first), Some(last)) = (entries.first(), entries.last()) {
-        meta.put_bytes(&first.key);
-        meta.put_bytes(&last.key);
-    }
-    filter.encode(&mut meta);
-    meta.put_u64(blocks.len() as u64);
-    for b in &blocks {
-        meta.put_bytes(&b.first_key);
-        meta.put_u64(b.offset);
-        meta.put_u64(b.len);
-        meta.put_u32_fixed(b.crc);
-        meta.put_u64(b.count);
-    }
-    let meta_bytes = meta.into_bytes();
-    let meta_offset = data.len() as u64;
-    let meta_crc = Crc32::of(&meta_bytes);
-    let mut out = data;
-    out.put_raw(&meta_bytes);
-    out.put_u64_fixed(meta_offset);
-    out.put_u64_fixed(meta_bytes.len() as u64);
-    out.put_u32_fixed(meta_crc);
-    out.put_u32_fixed(MAGIC_V2);
-    vfs.append(file, out.bytes())?;
+    let out = write_meta_and_footer(data, entries, &filter, &blocks, MAGIC_V2);
+    vfs.append(file, &out)?;
     Ok(())
 }
 
@@ -249,9 +318,9 @@ struct BlockMeta {
     count: u64,
 }
 
-/// The resident v2 table metadata.
+/// The resident block-format table metadata (shared by v2 and v3).
 #[derive(Debug)]
-struct V2Meta {
+struct BlockMetaTable {
     entry_count: u64,
     min_key: Vec<u8>,
     max_key: Vec<u8>,
@@ -268,7 +337,10 @@ enum Rep {
         /// End of the data region (== index offset).
         data_end: u64,
     },
-    V2(V2Meta),
+    /// Row-major blocks.
+    V2(BlockMetaTable),
+    /// Column-major blocks.
+    V3(BlockMetaTable),
 }
 
 /// An open SSTable with its (sparse, for v2) index resident.
@@ -308,7 +380,7 @@ impl SsTable {
         let meta_len = f.get_u64_fixed().map_err(NosqlError::from)?;
         let meta_crc = f.get_u32_fixed().map_err(NosqlError::from)?;
         let magic = f.get_u32_fixed().map_err(NosqlError::from)?;
-        if magic != MAGIC_V1 && magic != MAGIC_V2 {
+        if magic != MAGIC_V1 && magic != MAGIC_V2 && magic != MAGIC_V3 {
             return Err(NosqlError::Corrupt(format!("{file}: bad magic")));
         }
         // Checked geometry: garbage footer values must not overflow into a
@@ -323,10 +395,10 @@ impl SsTable {
         if Crc32::of(&meta_bytes) != meta_crc {
             return Err(NosqlError::Corrupt(format!("{file}: meta checksum")));
         }
-        let rep = if magic == MAGIC_V1 {
-            Self::parse_v1(&file, &meta_bytes, meta_offset)?
-        } else {
-            Self::parse_v2(&file, &meta_bytes, meta_offset)?
+        let rep = match magic {
+            MAGIC_V1 => Self::parse_v1(&file, &meta_bytes, meta_offset)?,
+            MAGIC_V2 => Rep::V2(Self::parse_block_meta(&file, &meta_bytes, meta_offset)?),
+            _ => Rep::V3(Self::parse_block_meta(&file, &meta_bytes, meta_offset)?),
         };
         Ok(SsTable {
             vfs,
@@ -382,7 +454,7 @@ impl SsTable {
         Ok(Rep::V1 { index, data_end })
     }
 
-    fn parse_v2(file: &str, meta_bytes: &[u8], data_end: u64) -> Result<Rep> {
+    fn parse_block_meta(file: &str, meta_bytes: &[u8], data_end: u64) -> Result<BlockMetaTable> {
         let corrupt = |what: &str| NosqlError::Corrupt(format!("{file}: {what}"));
         let mut d = Decoder::new(meta_bytes);
         let entry_count = d.get_u64().map_err(NosqlError::from)?;
@@ -461,13 +533,13 @@ impl SsTable {
                 return Err(corrupt("min fence disagrees with first block"));
             }
         }
-        Ok(Rep::V2(V2Meta {
+        Ok(BlockMetaTable {
             entry_count,
             min_key,
             max_key,
             filter,
             blocks,
-        }))
+        })
     }
 
     /// File name.
@@ -480,11 +552,12 @@ impl SsTable {
         self.size
     }
 
-    /// On-disk format version (1 or 2).
+    /// On-disk format version (1, 2 or 3).
     pub fn format_version(&self) -> u32 {
         match self.rep {
             Rep::V1 { .. } => 1,
             Rep::V2(_) => 2,
+            Rep::V3(_) => 3,
         }
     }
 
@@ -492,7 +565,7 @@ impl SsTable {
     pub fn len(&self) -> usize {
         match &self.rep {
             Rep::V1 { index, .. } => index.len(),
-            Rep::V2(meta) => meta.entry_count as usize,
+            Rep::V2(meta) | Rep::V3(meta) => meta.entry_count as usize,
         }
     }
 
@@ -565,7 +638,7 @@ impl SsTable {
                     Err(_) => Ok(Probe::absent(false, false)),
                 }
             }
-            Rep::V2(meta) => {
+            Rep::V2(meta) | Rep::V3(meta) => {
                 let stats = sc_obs::enabled();
                 if meta.blocks.is_empty()
                     || key < meta.min_key.as_slice()
@@ -589,33 +662,48 @@ impl SsTable {
                     return Ok(Probe::absent(true, false));
                 };
                 let bytes = self.read_block(block)?;
-                for record in BlockIter::new(&bytes) {
-                    let (k, payload) = record.map_err(NosqlError::from)?;
-                    if k == key {
-                        if stats {
-                            crate::obs::nosql().bloom_hit.inc();
-                        }
-                        return Ok(Probe {
-                            entry: Some(decode_payload(&self.file, k, payload)?),
-                            blocks_read: 1,
-                            fence_rejected: false,
-                            filter_rejected: false,
-                        });
-                    }
-                    if k > key.to_vec().as_slice() {
-                        break;
-                    }
-                }
+                let entry = self.find_in_block(&bytes, key)?;
                 if stats {
-                    crate::obs::nosql().bloom_false_positive.inc();
+                    if entry.is_some() {
+                        crate::obs::nosql().bloom_hit.inc();
+                    } else {
+                        crate::obs::nosql().bloom_false_positive.inc();
+                    }
                 }
                 Ok(Probe {
-                    entry: None,
+                    entry,
                     blocks_read: 1,
                     fence_rejected: false,
                     filter_rejected: false,
                 })
             }
+        }
+    }
+
+    /// Searches one CRC-verified data block for `key` (v2: streaming
+    /// record walk; v3: decode + binary search over the sorted run).
+    fn find_in_block(&self, bytes: &[u8], key: &[u8]) -> Result<Option<SstEntry>> {
+        match &self.rep {
+            Rep::V2(_) => {
+                for record in BlockIter::new(bytes) {
+                    let (k, payload) = record.map_err(NosqlError::from)?;
+                    if k == key {
+                        return Ok(Some(decode_payload(&self.file, k, payload)?));
+                    }
+                    if k > key {
+                        break;
+                    }
+                }
+                Ok(None)
+            }
+            Rep::V3(_) => {
+                let mut entries = colblock::decode_block(&self.file, bytes)?;
+                match entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
+                    Ok(i) => Ok(Some(entries.swap_remove(i))),
+                    Err(_) => Ok(None),
+                }
+            }
+            Rep::V1 { .. } => unreachable!("v1 has no data blocks"),
         }
     }
 
@@ -645,7 +733,66 @@ impl SsTable {
                 }
                 Ok(out)
             }
+            Rep::V3(meta) => {
+                let mut out = Vec::with_capacity(meta.entry_count as usize);
+                for block in &meta.blocks {
+                    let bytes = self.read_block(block)?;
+                    out.extend(colblock::decode_block(&self.file, &bytes)?);
+                }
+                Ok(out)
+            }
         }
+    }
+
+    /// Full scan decoded straight into rows, reading only the column runs
+    /// in `proj` (`None` = all). On v3 tables pruned columns are never
+    /// parsed and come back as [`crate::types::CqlValue::Null`]; v1/v2
+    /// store rows whole, so the projection only feeds the accounting.
+    /// Column-read/skip totals land on the `nosql.read.cols_{read,skipped}`
+    /// counters.
+    pub(crate) fn scan_rows(
+        &self,
+        proj: Option<&[usize]>,
+    ) -> Result<Vec<(Vec<u8>, Option<Row>, u64)>> {
+        let (rows, cols_read, cols_skipped) = match &self.rep {
+            Rep::V3(meta) => {
+                let mut rows = Vec::with_capacity(meta.entry_count as usize);
+                let (mut cols_read, mut cols_skipped) = (0u64, 0u64);
+                for block in &meta.blocks {
+                    let bytes = self.read_block(block)?;
+                    let decoded = colblock::decode_block_rows(&self.file, &bytes, proj)?;
+                    rows.extend(decoded.rows);
+                    cols_read += decoded.cols_read;
+                    cols_skipped += decoded.cols_skipped;
+                }
+                (rows, cols_read, cols_skipped)
+            }
+            _ => {
+                let mut rows = Vec::new();
+                let mut cols_read = 0u64;
+                for e in self.scan()? {
+                    let row = match e.body {
+                        Some(body) => {
+                            let mut d = Decoder::new(&body);
+                            let (row, _ts) = Row::decode(&mut d).map_err(|_| {
+                                NosqlError::Corrupt(format!("{}: undecodable row body", self.file))
+                            })?;
+                            cols_read += row.values.len() as u64;
+                            Some(row)
+                        }
+                        None => None,
+                    };
+                    rows.push((e.key, row, e.timestamp));
+                }
+                (rows, cols_read, 0)
+            }
+        };
+        if sc_obs::enabled() {
+            let obs = crate::obs::nosql();
+            obs.cols_read.add(cols_read);
+            obs.cols_skipped.add(cols_skipped);
+        }
+        Ok(rows)
     }
 
     /// Entries whose keys start with `prefix`, in key order.
@@ -681,6 +828,26 @@ impl SsTable {
                             break 'blocks;
                         }
                         out.push(decode_payload(&self.file, k, payload)?);
+                    }
+                }
+                Ok(out)
+            }
+            Rep::V3(meta) => {
+                let start = meta
+                    .blocks
+                    .partition_point(|b| b.first_key.as_slice() < prefix)
+                    .saturating_sub(1);
+                let mut out = Vec::new();
+                'blocks: for block in &meta.blocks[start.min(meta.blocks.len())..] {
+                    let bytes = self.read_block(block)?;
+                    for entry in colblock::decode_block(&self.file, &bytes)? {
+                        if entry.key.as_slice() < prefix {
+                            continue;
+                        }
+                        if !entry.key.starts_with(prefix) {
+                            break 'blocks;
+                        }
+                        out.push(entry);
                     }
                 }
                 Ok(out)
@@ -733,7 +900,7 @@ mod tests {
         let vfs = Vfs::memory();
         write_sstable(&vfs, "t/sst-1", &entries()).unwrap();
         let sst = SsTable::open(vfs, "t/sst-1").unwrap();
-        assert_eq!(sst.format_version(), 2);
+        assert_eq!(sst.format_version(), 3);
         assert_eq!(sst.len(), 3);
         assert_eq!(sst.get(&[1]).unwrap().unwrap().body, Some(vec![10, 11]));
         assert_eq!(sst.get(&[2]).unwrap().unwrap().body, None);
@@ -758,13 +925,93 @@ mod tests {
     }
 
     #[test]
+    fn v2_files_remain_readable() {
+        let vfs = Vfs::memory();
+        write_sstable_v2(&vfs, "t/v2", &entries()).unwrap();
+        let sst = SsTable::open(vfs, "t/v2").unwrap();
+        assert_eq!(sst.format_version(), 2);
+        assert_eq!(sst.len(), 3);
+        assert_eq!(sst.get(&[1]).unwrap().unwrap().body, Some(vec![10, 11]));
+        assert_eq!(sst.get(&[2]).unwrap().unwrap().body, None);
+        assert!(sst.get(&[9]).unwrap().is_none());
+        assert_eq!(sst.scan().unwrap(), entries());
+        assert_eq!(sst.scan_prefix(&[3]).unwrap().len(), 1);
+    }
+
+    /// Entries whose bodies are canonical row encodings, so v3 blocks take
+    /// the columnar layout.
+    fn typed_entries(n: u8) -> Vec<SstEntry> {
+        use crate::row::Row;
+        use crate::types::CqlValue;
+        (0..n)
+            .map(|i| {
+                let row = Row::new(vec![
+                    CqlValue::Int(i as i64),
+                    CqlValue::Text(format!("station-{}", i % 4)),
+                    CqlValue::Int(1000 + i as i64),
+                ]);
+                let mut enc = Encoder::new();
+                row.encode(&mut enc, i as u64);
+                SstEntry {
+                    key: vec![b'k', i],
+                    body: Some(enc.into_bytes()),
+                    timestamp: i as u64,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn projected_scan_rows_reads_only_requested_columns() {
+        use crate::types::CqlValue;
+        let vfs = Vfs::memory();
+        let es = typed_entries(50);
+        write_sstable(&vfs, "t/typed", &es).unwrap();
+        let sst = SsTable::open(vfs, "t/typed").unwrap();
+        assert_eq!(sst.format_version(), 3);
+        let rows = sst.scan_rows(Some(&[2])).unwrap();
+        assert_eq!(rows.len(), es.len());
+        for (i, (key, row, seq)) in rows.iter().enumerate() {
+            assert_eq!(key, &es[i].key);
+            assert_eq!(*seq, i as u64);
+            let row = row.as_ref().unwrap();
+            assert_eq!(row.values[2], CqlValue::Int(1000 + i as i64));
+            assert_eq!(row.values[0], CqlValue::Null, "pruned column is Null");
+            assert_eq!(row.values[1], CqlValue::Null, "pruned column is Null");
+        }
+        // Unprojected decode returns every column.
+        let full = sst.scan_rows(None).unwrap();
+        assert_eq!(
+            full[7].1.as_ref().unwrap().values[1],
+            CqlValue::Text("station-3".into())
+        );
+        // A byte-level scan reproduces the input exactly even though the
+        // block was stored column-major.
+        assert_eq!(sst.scan().unwrap(), es);
+    }
+
+    #[test]
+    fn scan_rows_on_v2_tables_decodes_whole_rows() {
+        use crate::types::CqlValue;
+        let vfs = Vfs::memory();
+        let es = typed_entries(20);
+        write_sstable_v2(&vfs, "t/v2rows", &es).unwrap();
+        let sst = SsTable::open(vfs, "t/v2rows").unwrap();
+        // v2 stores rows whole: the projection cannot prune reads, but the
+        // result must still carry every column.
+        let rows = sst.scan_rows(Some(&[2])).unwrap();
+        assert_eq!(rows.len(), es.len());
+        assert_eq!(rows[3].1.as_ref().unwrap().values[0], CqlValue::Int(3));
+    }
+
+    #[test]
     fn multi_block_table_reads_every_key() {
         let vfs = Vfs::memory();
         let es = many_entries(400);
         write_sstable(&vfs, "t/big", &es).unwrap();
         let sst = SsTable::open(vfs, "t/big").unwrap();
-        let Rep::V2(meta) = &sst.rep else {
-            panic!("expected v2")
+        let Rep::V3(meta) = &sst.rep else {
+            panic!("expected v3")
         };
         assert!(
             meta.blocks.len() >= 4,
@@ -870,7 +1117,7 @@ mod tests {
         let vfs = Vfs::memory();
         let mut es = entries();
         es[1].key = es[0].key.clone();
-        for writer in [write_sstable, write_sstable_v1] {
+        for writer in [write_sstable, write_sstable_v2, write_sstable_v1] {
             let err = writer(&vfs, "t/dup", &es).unwrap_err();
             assert!(
                 matches!(&err, NosqlError::Corrupt(m) if m.contains("duplicate")),

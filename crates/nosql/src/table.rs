@@ -27,7 +27,7 @@ use crate::sstable::{write_sstable, SsTable, SstEntry};
 use sc_encoding::{Decoder, Encoder};
 use sc_storage::Vfs;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Flush/compaction tuning.
@@ -78,6 +78,15 @@ pub(crate) struct TableCore {
     /// Serializes read-modify-write statements (UPDATE, and any write to an
     /// indexed table): the read half must observe every prior RMW's write.
     rmw: Mutex<()>,
+    /// Set while a background compaction job for this table sits in the
+    /// pool's queue; deduplicates scheduling (at most one queued job per
+    /// table). Cleared by the worker *before* it runs, so a flush landing
+    /// mid-compaction can re-queue.
+    compact_queued: AtomicBool,
+    /// Set when the engine drops the table (TRUNCATE, close): background
+    /// maintenance landing afterwards becomes a no-op instead of writing
+    /// files for a dead table.
+    retired: AtomicBool,
     options: TableOptions,
     /// The engine-wide shared block cache every SSTable reads through.
     cache: BlockCache,
@@ -110,6 +119,8 @@ impl TableCore {
             maint: Mutex::new(()),
             wal_floor: AtomicU64::new(0),
             rmw: Mutex::new(()),
+            compact_queued: AtomicBool::new(false),
+            retired: AtomicBool::new(false),
             options,
             cache,
         }
@@ -234,16 +245,33 @@ impl TableCore {
     /// Full scan at `bound`: newest visible version per key, tombstones
     /// elided, key order.
     pub fn scan(&self, bound: u64) -> Result<Vec<(Vec<u8>, Row)>> {
-        self.scan_merge(bound, None)
+        self.scan_merge(bound, None, None)
+    }
+
+    /// Full scan decoding only the columns in `proj` from v3 SSTables
+    /// (`None` = all). Pruned columns come back as `Null`; rows served from
+    /// the memtable or frozen run are always complete, so callers must only
+    /// look at projected positions.
+    pub fn scan_projected(
+        &self,
+        bound: u64,
+        proj: Option<&[usize]>,
+    ) -> Result<Vec<(Vec<u8>, Row)>> {
+        self.scan_merge(bound, None, proj)
     }
 
     /// Bounded scan at `bound`: like [`TableCore::scan`] but restricted to
     /// keys starting with `prefix`.
     pub fn scan_prefix(&self, prefix: &[u8], bound: u64) -> Result<Vec<(Vec<u8>, Row)>> {
-        self.scan_merge(bound, Some(prefix))
+        self.scan_merge(bound, Some(prefix), None)
     }
 
-    fn scan_merge(&self, bound: u64, prefix: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Row)>> {
+    fn scan_merge(
+        &self,
+        bound: u64,
+        prefix: Option<&[u8]>,
+        proj: Option<&[usize]>,
+    ) -> Result<Vec<(Vec<u8>, Row)>> {
         // Layers ordered oldest → newest: SSTables (age order), frozen
         // run, memtable. Within the on-disk layers, later always means a
         // newer per-key sequence, so plain overwrite is correct; the
@@ -253,19 +281,29 @@ impl TableCore {
         {
             let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
             for sst in ssts.iter() {
-                let entries = match prefix {
-                    Some(p) => sst.scan_prefix(p)?,
-                    None => sst.scan()?,
-                };
-                for e in entries {
-                    if e.timestamp > bound {
-                        continue;
+                match prefix {
+                    Some(p) => {
+                        for e in sst.scan_prefix(p)? {
+                            if e.timestamp > bound {
+                                continue;
+                            }
+                            let row = match &e.body {
+                                Some(body) => Some(decode_body(body)?),
+                                None => None,
+                            };
+                            seen.insert(e.key, (row, e.timestamp));
+                        }
                     }
-                    let row = match &e.body {
-                        Some(body) => Some(decode_body(body)?),
-                        None => None,
-                    };
-                    seen.insert(e.key, (row, e.timestamp));
+                    None => {
+                        // Row-form scan: v3 tables decode only the
+                        // projected column runs.
+                        for (key, row, seq) in sst.scan_rows(proj)? {
+                            if seq > bound {
+                                continue;
+                            }
+                            seen.insert(key, (row, seq));
+                        }
+                    }
                 }
             }
         }
@@ -365,22 +403,31 @@ impl TableCore {
         let boundary = tracker.visible();
         let gc_floor = registry.gc_floor(tracker);
         crate::mvcc::perturb(33);
-        let drained = self.mem.drain_up_to(boundary, gc_floor);
-        if drained.is_empty() {
-            // Nothing at or below the boundary needed disk: every such
-            // record is already flushed or shadowed by a flushed version,
-            // so the WAL prefix is redundant and the floor may advance.
+        let staged = self.mem.peek_up_to(boundary);
+        if staged.is_empty() {
+            // Nothing at or below the boundary needs disk: every such
+            // record is already flushed or shadowed, so the WAL prefix is
+            // redundant and the floor may advance. Still sweep shadowed
+            // versions so retained garbage cannot pin the byte counter
+            // above the flush threshold forever.
+            self.mem.gc(gc_floor);
             self.wal_floor.fetch_max(boundary, Ordering::AcqRel);
             return Ok(());
         }
         let mut span = crate::obs::nosql().flush.start();
-        // Publish the frozen run before the (slow) SSTable write so the
-        // drained entries never stop being readable.
-        let frozen = Arc::new(FrozenRun { entries: drained });
+        // Publish the frozen run BEFORE draining the shards (and before
+        // the slow SSTable write): a reader must find every acked version
+        // in at least one layer at every instant. See
+        // [`ShardedMemtable::peek_up_to`] for the read-skew window the
+        // old drain-then-publish order left open.
+        let frozen = Arc::new(FrozenRun { entries: staged });
         *self.flushing.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&frozen));
+        crate::mvcc::perturb(36);
+        let drained = self.mem.drain_up_to(boundary, gc_floor);
         let undo = |this: &TableCore| {
-            let entries = frozen.entries.clone();
-            this.mem.reinsert(entries);
+            // Restore exactly what the drain removed — the frozen run may
+            // hold entries the drain intentionally left in their shards.
+            this.mem.reinsert(drained.clone());
             *this.flushing.write().unwrap_or_else(|e| e.into_inner()) = None;
         };
 
@@ -436,15 +483,49 @@ impl TableCore {
         // Only now — SSTable durable and attached — are the WAL records at
         // or below the boundary redundant.
         self.wal_floor.fetch_max(boundary, Ordering::AcqRel);
-        drop(span);
-        let should_compact = {
-            let ssts = self.ssts.read().unwrap_or_else(|e| e.into_inner());
-            ssts.len() >= self.options.compaction_threshold
-        };
-        if should_compact {
-            self.compact_tiered_locked(registry)?;
-        }
+        // Deliberately NO compaction here: running a multi-SSTable merge on
+        // the committing session's thread stalled every put behind it. The
+        // engine checks [`TableCore::needs_compaction`] after the flush and
+        // either hands the table to the background pool or (with
+        // `compaction_threads = 0`) compacts inline.
         Ok(())
+    }
+
+    /// Whether the SSTable count has reached the compaction threshold.
+    pub fn needs_compaction(&self) -> bool {
+        self.sstable_count() >= self.options.compaction_threshold
+    }
+
+    /// Claims this table's single background-queue slot. Returns `false`
+    /// when a job is already queued (the scheduled run will see the new
+    /// SSTable too).
+    pub fn try_queue_compaction(&self) -> bool {
+        !self.compact_queued.swap(true, Ordering::AcqRel)
+    }
+
+    /// Releases the queue slot (worker, just before running the job, so a
+    /// flush landing mid-merge can re-queue).
+    pub fn clear_compaction_queued(&self) {
+        self.compact_queued.store(false, Ordering::Release);
+    }
+
+    /// Size-tiered compaction behind the maintenance lock — the background
+    /// pool's entry point, also used inline when the pool is disabled. A
+    /// no-op on a retired table.
+    pub fn compact_tiered(&self, registry: &SnapshotRegistry) -> Result<()> {
+        let _maint = self.maint.lock().unwrap_or_else(|e| e.into_inner());
+        if self.retired.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        self.compact_tiered_locked(registry)
+    }
+
+    /// Marks the table dead (TRUNCATE, close) and waits out any in-flight
+    /// maintenance. Afterwards a queued background job finds the flag and
+    /// returns without touching storage.
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
+        drop(self.maint.lock().unwrap_or_else(|e| e.into_inner()));
     }
 
     /// Size-tiered compaction (Cassandra's default strategy): merge an
@@ -601,10 +682,20 @@ impl TableCore {
         let mut ssts = self.ssts.write().unwrap_or_else(|e| e.into_inner());
         ssts.push(sst);
         // Keep new flushes numbered after anything already on disk.
+        self.reserve_sst_id(file);
+        Ok(())
+    }
+
+    /// Keeps `next_sst_id` above `file`'s id when the file belongs to this
+    /// table. Recovery calls this for manifest-listed *and* orphan files,
+    /// so a crashed flush's or merge's id is never handed out again.
+    pub fn reserve_sst_id(&self, file: &str) {
+        if !file.starts_with(&self.sst_prefix()) {
+            return;
+        }
         if let Some(num) = file.rsplit('-').next().and_then(|s| s.parse::<u64>().ok()) {
             self.next_sst_id.fetch_max(num + 1, Ordering::Relaxed);
         }
-        Ok(())
     }
 
     /// Largest sequence stored in this table's SSTables (recovery sets the
@@ -729,17 +820,22 @@ mod tests {
             }
         }
 
-        /// Write-path shape of the engine: alloc, apply, complete, then the
-        /// threshold check.
+        /// Write-path shape of the engine (inline-compaction mode): alloc,
+        /// apply, complete, the flush threshold check, then the compaction
+        /// threshold check the engine runs after a flush.
         fn put(&self, key: Vec<u8>, row: Option<Row>) {
             let seq = self.tracker.alloc();
             let cost = key.len() + 40;
             let gc_floor = self.registry.gc_floor(&self.tracker);
             self.table.apply(key, row, seq, cost, gc_floor);
             self.tracker.complete(seq);
-            self.table
+            if self
+                .table
                 .maybe_flush(&self.tracker, &self.registry)
-                .unwrap();
+                .unwrap()
+            {
+                self.maybe_compact();
+            }
         }
 
         fn get(&self, key: &[u8]) -> Option<Row> {
@@ -748,6 +844,14 @@ mod tests {
 
         fn flush(&self) {
             self.table.flush(&self.tracker, &self.registry).unwrap();
+            self.maybe_compact();
+        }
+
+        /// The engine's post-flush hook with `compaction_threads = 0`.
+        fn maybe_compact(&self) {
+            if self.table.needs_compaction() {
+                self.table.compact_tiered(&self.registry).unwrap();
+            }
         }
     }
 

@@ -1,6 +1,9 @@
 //! Engine-level filter effectiveness: absent-key point queries are answered
-//! by the v2 key fences and bloom filters without reading data blocks, and
+//! by the key fences and bloom filters without reading data blocks, and
 //! the seeded workload's observed false-positive rate stays under 2%.
+//! The engine flushes v3 (columnar) SSTables now, so these zero-block
+//! probes hold against v3 fences/filters; the sweep in `corrupt_sweep.rs`
+//! covers v1/v2 compatibility.
 //!
 //! Runs as its own integration-test binary (single test) so the
 //! process-global registry deltas are not polluted by parallel tests.

@@ -43,6 +43,10 @@ fn tiny(vfs: Vfs) -> OpenOptions {
         .vfs(vfs)
         .memtable_flush_bytes(512)
         .compaction_threshold(3)
+        // Deterministic op counts, and no background merge surviving a
+        // "crashed" engine to scribble on the VFS while the next open's
+        // recovery is reading it.
+        .compaction_threads(0)
 }
 
 fn read_all(db: &mut Db) -> BTreeMap<i64, i64> {
@@ -161,6 +165,52 @@ fn torn_final_commit_log_record_is_truncated_not_fatal() {
         BTreeMap::from([(1, 10), (3, 30)]),
         "post-recovery write must not land beyond the old tear"
     );
+}
+
+/// Regression for SSTable-id reuse after a crash: a merge that dies between
+/// writing its output file and publishing the manifest leaves a high-id
+/// orphan on disk. Recovery sweeps the orphan away — but `next_sst_id` must
+/// be re-seeded *above* it, or the next flush mints the same name and, if
+/// that sweep's delete is itself lost to a second crash, stale merge bytes
+/// get read back as the new table's data.
+#[test]
+fn recovered_sst_ids_never_reuse_orphan_ids() {
+    let vfs = Vfs::memory();
+    {
+        let mut db = Db::open(tiny(vfs.clone())).unwrap();
+        db.execute_cql("CREATE KEYSPACE p").unwrap();
+        db.execute_cql("CREATE TABLE p.t (id int, v int, PRIMARY KEY (id))")
+            .unwrap();
+        db.execute_cql("INSERT INTO p.t (id, v) VALUES (1, 10)")
+            .unwrap();
+        db.flush_all().unwrap();
+    }
+    // The crashed merge's unpublished output: a high-id orphan the manifest
+    // has never heard of.
+    vfs.append("p/t/sst-99", b"torn merge output").unwrap();
+
+    let mut db = Db::open(tiny(vfs.clone()).recover(true)).unwrap();
+    assert!(
+        !vfs.exists("p/t/sst-99"),
+        "recovery must sweep the orphan away"
+    );
+    let before = vfs.list("p/t/sst-").unwrap();
+    db.execute_cql("INSERT INTO p.t (id, v) VALUES (2, 20)")
+        .unwrap();
+    db.flush_all().unwrap();
+    let minted: Vec<u64> = vfs
+        .list("p/t/sst-")
+        .unwrap()
+        .into_iter()
+        .filter(|f| !before.contains(f))
+        .filter_map(|f| f.rsplit('-').next().and_then(|s| s.parse::<u64>().ok()))
+        .collect();
+    assert!(!minted.is_empty(), "flush minted no new SSTable");
+    assert!(
+        minted.iter().all(|&id| id > 99),
+        "post-recovery flush reused an id at or below the swept orphan's: {minted:?}"
+    );
+    assert_eq!(read_all(&mut db), BTreeMap::from([(1, 10), (2, 20)]));
 }
 
 /// Regression for the recovery age-order bug: a tiered merge's output file

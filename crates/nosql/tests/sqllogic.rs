@@ -1,8 +1,9 @@
 //! Golden-file query tier: runs every `tests/slt/*.slt` script against the
-//! engine **twice** — once with all data memtable-resident and once with a
-//! flush to SSTables at every `flush` directive — and asserts identical
-//! results. The two runs pin the contract that the operator pipeline reads
-//! the same rows from either side of the LSM tree.
+//! engine **three times** — with all data memtable-resident, with a flush
+//! to (v3 columnar) SSTables at every `flush` directive, and with a flush
+//! plus compaction — and asserts identical results. The runs pin the
+//! contract that the operator pipeline reads the same rows from either
+//! side of the LSM tree, including out of merged v3 runs.
 //!
 //! Script format (records separated by blank lines, `#` starts a comment):
 //!
@@ -39,8 +40,11 @@ use std::path::Path;
 enum Mode {
     /// `flush` directives are no-ops; every row is served from memtables.
     Memtable,
-    /// `flush` directives flush all tables; queries read SSTables.
+    /// `flush` directives flush all tables; queries read v3 SSTables.
     Flushed,
+    /// `flush` directives flush *and* compact, so queries read merged v3
+    /// runs produced by the compaction path rather than fresh flushes.
+    Compacted,
 }
 
 impl Mode {
@@ -48,6 +52,7 @@ impl Mode {
         match self {
             Mode::Memtable => "memtable",
             Mode::Flushed => "flushed",
+            Mode::Compacted => "compacted",
         }
     }
 }
@@ -212,9 +217,13 @@ fn run_script(path: &Path, mode: Mode) {
                 }
             }
             Directive::Flush => {
-                if mode == Mode::Flushed {
+                if mode != Mode::Memtable {
                     db.flush_all()
                         .unwrap_or_else(|e| panic!("{at}: flush failed: {e}"));
+                }
+                if mode == Mode::Compacted {
+                    db.compact_all()
+                        .unwrap_or_else(|e| panic!("{at}: compact failed: {e}"));
                 }
             }
         }
@@ -243,4 +252,9 @@ fn slt_memtable() {
 #[test]
 fn slt_flushed() {
     run_all(Mode::Flushed);
+}
+
+#[test]
+fn slt_compacted() {
+    run_all(Mode::Compacted);
 }

@@ -43,6 +43,7 @@ fn error_code(e: &NosqlError) -> ErrorCode {
         NosqlError::TypeMismatch { .. }
         | NosqlError::MissingPrimaryKey(_)
         | NosqlError::AlreadyExists(_)
+        | NosqlError::AggregateOverflow { .. }
         | NosqlError::Unsupported(_) => ErrorCode::Invalid,
         NosqlError::Storage(_) | NosqlError::Corrupt(_) => ErrorCode::Internal,
     }

@@ -20,7 +20,7 @@
 
 use crate::{Result, StorageError, Vfs};
 use sc_encoding::Rng;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// What a mutating operation was, as recorded in the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,11 +59,47 @@ struct Shared {
     rng: Rng,
 }
 
+/// A test-armed gate that parks matching `delete`s until released, so a
+/// test can hold a compaction (the only deleter of data files) mid-flight
+/// for as long as it likes — deterministically, with no timing sleeps.
+#[derive(Debug, Default)]
+struct StallGate {
+    state: Mutex<StallState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct StallState {
+    /// Deletes whose file name contains this substring park on the gate.
+    substr: Option<String>,
+    /// How many deletes are currently parked.
+    parked: usize,
+}
+
+impl StallGate {
+    /// Blocks the calling (engine) thread while the gate matches `name`.
+    fn wait_if_match(&self, name: &str) {
+        let matches = |s: &StallState| s.substr.as_deref().is_some_and(|sub| name.contains(sub));
+        let mut s = self.state.lock().expect("stall lock poisoned");
+        if !matches(&s) {
+            return;
+        }
+        s.parked += 1;
+        self.cv.notify_all();
+        while matches(&s) {
+            s = self.cv.wait(s).expect("stall lock poisoned");
+        }
+        s.parked -= 1;
+        self.cv.notify_all();
+    }
+}
+
 /// The fault-injecting backend state (held inside a [`Vfs`]).
 #[derive(Debug)]
 pub struct FaultState {
     inner: Vfs,
     shared: Arc<Mutex<Shared>>,
+    stall: Arc<StallGate>,
 }
 
 /// Test-side controller for a fault-injecting VFS.
@@ -71,6 +107,7 @@ pub struct FaultState {
 pub struct FaultHandle {
     inner: Vfs,
     shared: Arc<Mutex<Shared>>,
+    stall: Arc<StallGate>,
 }
 
 impl FaultState {
@@ -83,11 +120,20 @@ impl FaultState {
             trace: Vec::new(),
             rng: Rng::new(seed),
         }));
+        let stall = Arc::new(StallGate::default());
         let handle = FaultHandle {
             inner: inner.clone(),
             shared: Arc::clone(&shared),
+            stall: Arc::clone(&stall),
         };
-        (FaultState { inner, shared }, handle)
+        (
+            FaultState {
+                inner,
+                shared,
+                stall,
+            },
+            handle,
+        )
     }
 
     /// The wrapped VFS (reads delegate here).
@@ -149,8 +195,10 @@ impl FaultState {
         Err(self.injected(name))
     }
 
-    /// `delete` that is lost entirely at the crash point.
+    /// `delete` that is lost entirely at the crash point, and that parks on
+    /// the stall gate first when one is armed for this file name.
     pub fn delete(&self, name: &str) -> Result<()> {
+        self.stall.wait_if_match(name);
         if self.admit(name, FaultKind::Delete)? {
             return self.inner.delete(name);
         }
@@ -203,6 +251,35 @@ impl FaultHandle {
     /// may open it directly, bypassing injection.
     pub fn inner(&self) -> Vfs {
         self.inner.clone()
+    }
+
+    /// Arms the stall gate: any `delete` whose file name contains `substr`
+    /// parks until [`release_deletes`](FaultHandle::release_deletes). Models
+    /// an arbitrarily slow disk under a maintenance job without sleeps.
+    pub fn stall_deletes(&self, substr: &str) {
+        let mut s = self.stall.state.lock().expect("stall lock poisoned");
+        s.substr = Some(substr.to_string());
+    }
+
+    /// Opens the gate and wakes every parked delete.
+    pub fn release_deletes(&self) {
+        let mut s = self.stall.state.lock().expect("stall lock poisoned");
+        s.substr = None;
+        self.stall.cv.notify_all();
+    }
+
+    /// Blocks until at least one delete is parked on the gate — the moment a
+    /// test knows the stalled job is truly mid-flight.
+    pub fn wait_for_stalled_delete(&self) {
+        let mut s = self.stall.state.lock().expect("stall lock poisoned");
+        while s.parked == 0 {
+            s = self.stall.cv.wait(s).expect("stall lock poisoned");
+        }
+    }
+
+    /// How many deletes are parked on the gate right now.
+    pub fn stalled_deletes(&self) -> usize {
+        self.stall.state.lock().expect("stall lock poisoned").parked
     }
 }
 

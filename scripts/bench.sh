@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
 # Network benchmark: drives the sc-server front door over loopback and
-# records the numbers as BENCH_9.json in the repo root.
+# records the numbers as BENCH_10.json in the repo root.
 #
 #   scripts/bench.sh [clients] [rows]
 #
 # Defaults: 8 clients, 4000 rows across 2 tenants. Absolute numbers are
-# hardware-dependent; the committed BENCH_9.json records one run's shape
+# hardware-dependent; the committed BENCH_10.json records one run's shape
 # (ingest rows/sec, cold vs warm point-SELECT p50/p99, full-scan COUNT and
 # grouped-aggregate latency through the operator pipeline, contended mixed
-# read/write throughput, and crash-recovery WAL-replay time on reopen)
-# for comparison.
+# read/write throughput, put-latency tails with inline vs background
+# compaction, and crash-recovery WAL-replay time on reopen) for comparison.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +17,6 @@ CLIENTS="${1:-8}"
 ROWS="${2:-4000}"
 
 cargo run --release -p sc-bench --bin repro -- \
-    netbench --clients "$CLIENTS" --rows "$ROWS" --out BENCH_9.json
+    netbench --clients "$CLIENTS" --rows "$ROWS" --out BENCH_10.json
 
-echo "bench.sh: wrote BENCH_9.json"
+echo "bench.sh: wrote BENCH_10.json"

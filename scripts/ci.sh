@@ -22,11 +22,13 @@ cargo test -q
 echo "==> concurrency tier (release, seeded yield injector)"
 # Release mode frees the real interleavings; SC_NOSQL_YIELD arms the
 # deterministic schedule perturber at engine synchronization points so the
-# writer/reader races and the concurrent crash matrix explore far more
-# schedules than free-running threads would.
+# writer/reader races, the concurrent crash matrix, and the background
+# compaction pool (concurrent flushes + merges + pinned snapshot reads)
+# explore far more schedules than free-running threads would.
 for yield_seed in 7 1311; do
     SC_NOSQL_YIELD="$yield_seed" \
-        cargo test -q --release -p sc-nosql --test concurrent --test crash_matrix
+        cargo test -q --release -p sc-nosql \
+        --test concurrent --test crash_matrix --test background_compaction
     SC_NOSQL_YIELD="$yield_seed" \
         cargo test -q --release -p sc-obs --test ring_concurrency
 done
@@ -41,7 +43,7 @@ echo "$obs_out" | grep -q '"histograms"' || {
     exit 1
 }
 
-echo "==> sqllogictest tier (golden .slt scripts, memtable + flushed)"
+echo "==> sqllogictest tier (golden .slt scripts, memtable + flushed + compacted)"
 cargo test -q --release -p sc-nosql --test sqllogic
 
 echo "==> store-backed query smoke (warm identical query fetches zero rows)"

@@ -48,8 +48,19 @@ fn table4_size_relationships_hold() {
         reports["NoSQL-Min"].size,
         reports["NoSQL-DWARF"].size
     );
-    // "The MySQL-Min schema performed best for the small datasets".
-    assert!(size("MySQL-Min") < size("NoSQL-DWARF"));
+    // "The MySQL-Min schema performed best for the small datasets" — true
+    // in the paper because Cassandra's per-cell overhead dominated small
+    // cubes. Our v3 columnar SSTables (varint-delta ints, dictionary text)
+    // eliminate exactly that overhead, so the NoSQL footprints drop *below*
+    // MySQL-Min — the one Table 4 ordering that deliberately inverts
+    // (DESIGN.md deviation #9). Pin the inversion: a codec regression that
+    // silently fell back to row-major blocks would flip it back.
+    assert!(
+        size("NoSQL-DWARF") < size("MySQL-Min"),
+        "columnar NoSQL-DWARF must undercut MySQL-Min ({} vs {})",
+        reports["NoSQL-DWARF"].size,
+        reports["MySQL-Min"].size
+    );
 }
 
 #[test]
